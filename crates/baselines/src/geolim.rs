@@ -1,0 +1,308 @@
+//! GeoLim / CBG (Gueye et al.): constraint-based geolocation with best-line
+//! calibration and strict intersection.
+//!
+//! Each landmark fits a *best line* `dist ≤ m·rtt + b` over its
+//! inter-landmark (latency, distance) observations — the tightest straight
+//! line lying above every observation. A measurement to the target then
+//! yields a disk of radius `m·rtt + b` around the landmark, and the target is
+//! estimated at the centroid of the intersection of all disks.
+//!
+//! Unlike Octant, GeoLim (a) uses only positive information, (b) collapses
+//! the calibration to a single straight line, and (c) intersects constraints
+//! strictly — a single overly aggressive landmark empties the region. That
+//! last property is what Figure 4 of the Octant paper shows: GeoLim's hit
+//! rate *drops* as landmarks are added. We reproduce it faithfully: the
+//! reported region is the strict intersection (possibly empty); only the
+//! point estimate falls back to a greedy non-empty intersection so that an
+//! error CDF can still be computed.
+
+use octant::framework::{Geolocator, LocationEstimate};
+use octant::solver::SolveReport;
+use octant_geo::distance::great_circle;
+use octant_geo::point::GeoPoint;
+use octant_geo::projection::AzimuthalEquidistant;
+use octant_geo::units::{Distance, Latency};
+use octant_netsim::observation::ObservationProvider;
+use octant_netsim::topology::NodeId;
+use octant_region::GeoRegion;
+
+/// Configuration of the GeoLim baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoLimConfig {
+    /// Minimum number of calibration points required to fit a best line;
+    /// below this the speed-of-light bound is used.
+    pub min_calibration_points: usize,
+    /// Additive slack (km) on the best line, as used by CBG to absorb the
+    /// landmark position uncertainty. Zero reproduces the strictest variant.
+    pub slack_km: f64,
+}
+
+impl Default for GeoLimConfig {
+    fn default() -> Self {
+        GeoLimConfig { min_calibration_points: 4, slack_km: 0.0 }
+    }
+}
+
+/// The GeoLim baseline.
+#[derive(Debug, Clone, Default)]
+pub struct GeoLim {
+    config: GeoLimConfig,
+}
+
+impl GeoLim {
+    /// Creates a GeoLim instance with the default configuration.
+    pub fn new(config: GeoLimConfig) -> Self {
+        GeoLim { config }
+    }
+}
+
+/// Fits the best line `y = m·x + b` (m ≥ 0, b ≥ 0) that lies above every
+/// point while minimizing the total vertical over-estimation. The optimum
+/// passes through two of the points (or is the horizontal line through the
+/// maximum), so candidate enumeration over pairs suffices.
+fn best_line(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if points.is_empty() {
+        return None;
+    }
+    let feasible = |m: f64, b: f64| -> bool {
+        m >= 0.0 && b >= -1e-9 && points.iter().all(|&(x, y)| m * x + b >= y - 1e-6)
+    };
+    let objective = |m: f64, b: f64| -> f64 { points.iter().map(|&(x, y)| m * x + b - y).sum() };
+
+    let max_y = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let mut best: Option<(f64, f64, f64)> = None;
+    let mut consider = |m: f64, b: f64| {
+        if feasible(m, b) {
+            let cost = objective(m, b);
+            if best.map(|(c, _, _)| cost < c).unwrap_or(true) {
+                best = Some((cost, m, b.max(0.0)));
+            }
+        }
+    };
+    // Horizontal line through the maximum.
+    consider(0.0, max_y);
+    // Lines through every pair of points.
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let (x1, y1) = points[i];
+            let (x2, y2) = points[j];
+            if (x2 - x1).abs() < 1e-9 {
+                continue;
+            }
+            let m = (y2 - y1) / (x2 - x1);
+            let b = y1 - m * x1;
+            consider(m, b);
+            // Lines through one point with zero intercept.
+        }
+    }
+    for &(x, y) in points {
+        if x > 1e-9 {
+            consider(y / x, 0.0);
+        }
+    }
+    best.map(|(_, m, b)| (m, b))
+}
+
+impl Geolocator for GeoLim {
+    fn name(&self) -> &str {
+        "GeoLim"
+    }
+
+    fn localize(
+        &self,
+        provider: &dyn ObservationProvider,
+        landmarks: &[NodeId],
+        target: NodeId,
+    ) -> LocationEstimate {
+        // Landmarks with known positions.
+        let mut lm_ids = Vec::new();
+        let mut lm_pos = Vec::new();
+        for &lm in landmarks {
+            if lm == target {
+                continue;
+            }
+            if let Some(p) = provider.advertised_location(lm) {
+                lm_ids.push(lm);
+                lm_pos.push(p);
+            }
+        }
+        if lm_ids.is_empty() {
+            return LocationEstimate::unknown();
+        }
+
+        // Per-landmark disks from best-line calibration.
+        let mut disks: Vec<(GeoPoint, Distance, Latency)> = Vec::new();
+        for i in 0..lm_ids.len() {
+            let rtt = match provider.ping(lm_ids[i], target).min() {
+                Some(l) => l,
+                None => continue,
+            };
+            let mut points = Vec::new();
+            for j in 0..lm_ids.len() {
+                if i == j {
+                    continue;
+                }
+                if let Some(peer_rtt) = provider.ping(lm_ids[i], lm_ids[j]).min() {
+                    points.push((peer_rtt.ms(), great_circle(lm_pos[i], lm_pos[j]).km()));
+                }
+            }
+            let sol = Distance::max_fiber_distance_for_rtt(rtt);
+            let radius = if points.len() >= self.config.min_calibration_points {
+                match best_line(&points) {
+                    Some((m, b)) => Distance::from_km((m * rtt.ms() + b + self.config.slack_km).max(1.0)).min(sol),
+                    None => sol,
+                }
+            } else {
+                sol
+            };
+            disks.push((lm_pos[i], radius, rtt));
+        }
+        if disks.is_empty() {
+            return LocationEstimate::unknown();
+        }
+
+        // Projection centred on the landmark with the smallest RTT (GeoLim's
+        // region is always near it).
+        let anchor = disks
+            .iter()
+            .min_by(|a, b| a.2.ms().partial_cmp(&b.2.ms()).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|d| d.0)
+            .unwrap_or(lm_pos[0]);
+        let projection = AzimuthalEquidistant::new(anchor);
+
+        // Strict intersection (the honest GeoLim region).
+        let mut strict: Option<GeoRegion> = None;
+        // Greedy non-empty intersection (for the point estimate).
+        let mut greedy: Option<GeoRegion> = None;
+        let mut applied = 0usize;
+        let mut skipped = 0usize;
+        for (center, radius, _) in &disks {
+            let disk = GeoRegion::disk(projection, *center, *radius);
+            strict = Some(match strict {
+                None => disk.clone(),
+                Some(prev) => prev.intersect(&disk),
+            });
+            greedy = Some(match greedy {
+                None => {
+                    applied += 1;
+                    disk
+                }
+                Some(prev) => {
+                    let candidate = prev.intersect(&disk);
+                    if candidate.is_empty() {
+                        skipped += 1;
+                        prev
+                    } else {
+                        applied += 1;
+                        candidate
+                    }
+                }
+            });
+        }
+        let strict = strict.expect("at least one disk");
+        let greedy = greedy.expect("at least one disk");
+
+        let point = greedy.centroid().or_else(|| strict.centroid());
+        let report = SolveReport {
+            applied_positive: applied,
+            skipped_positive: skipped,
+            applied_negative: 0,
+            skipped_negative: 0,
+            final_area_km2: strict.area_km2(),
+        };
+        LocationEstimate {
+            region: if strict.is_empty() { None } else { Some(strict) },
+            point,
+            report,
+            target_height_ms: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octant_geo::distance::great_circle_km;
+    use octant_netsim::builder::{HostSpec, NetworkBuilder, NetworkConfig};
+    use octant_netsim::probe::Prober;
+    use octant_netsim::ObservationProvider;
+
+    fn prober(n: usize) -> Prober {
+        let mut b = NetworkBuilder::new(NetworkConfig::default());
+        for site in octant_geo::sites::planetlab_51().iter().take(n) {
+            b = b.add_host(HostSpec::from_site(site));
+        }
+        Prober::new(b.build(), 5)
+    }
+
+    #[test]
+    fn best_line_lies_above_all_points_and_is_tight() {
+        let points: Vec<(f64, f64)> = (1..=20).map(|i| (i as f64, i as f64 * 60.0 + (i % 3) as f64 * 40.0)).collect();
+        let (m, b) = best_line(&points).unwrap();
+        for &(x, y) in &points {
+            assert!(m * x + b >= y - 1e-6, "point ({x},{y}) above the best line");
+        }
+        // The line should touch the data (not be wildly above it).
+        let max_gap = points.iter().map(|&(x, y)| m * x + b - y).fold(f64::NEG_INFINITY, f64::max);
+        let min_gap = points.iter().map(|&(x, y)| m * x + b - y).fold(f64::INFINITY, f64::min);
+        assert!(min_gap < 1e-6, "the best line must touch at least one point");
+        assert!(max_gap < 200.0, "best line is too loose ({max_gap} km)");
+        assert!(best_line(&[]).is_none());
+    }
+
+    #[test]
+    fn geolim_localizes_with_moderate_accuracy() {
+        let p = prober(16);
+        let hosts = p.hosts();
+        let target = hosts[0].id;
+        let landmarks: Vec<NodeId> = hosts[1..].iter().map(|h| h.id).collect();
+        let est = GeoLim::default().localize(&p, &landmarks, target);
+        let point = est.point.expect("GeoLim must produce a point estimate");
+        let truth = p.network().node(target).location;
+        let err = great_circle_km(point, truth);
+        assert!(err < 1200.0, "error {err:.0} km");
+    }
+
+    #[test]
+    fn geolim_strict_region_can_be_empty_with_many_landmarks() {
+        // This is the over-constraining behaviour Figure 4 documents: we only
+        // check that the implementation exposes it (region may be None) while
+        // still returning a point estimate.
+        let p = prober(24);
+        let hosts = p.hosts();
+        let mut empty_seen = false;
+        for t in 0..6 {
+            let target = hosts[t].id;
+            let landmarks: Vec<NodeId> = hosts.iter().map(|h| h.id).filter(|&id| id != target).collect();
+            let est = GeoLim::default().localize(&p, &landmarks, target);
+            assert!(est.point.is_some());
+            if est.region.is_none() {
+                empty_seen = true;
+            }
+        }
+        // Not asserted to always happen (it depends on noise), but the field
+        // must be usable either way; record the observation for the record.
+        let _ = empty_seen;
+    }
+
+    #[test]
+    fn geolim_without_landmarks_is_unknown() {
+        let p = prober(4);
+        let hosts = p.hosts();
+        assert!(GeoLim::default().localize(&p, &[], hosts[0].id).point.is_none());
+    }
+
+    #[test]
+    fn geolim_region_when_present_contains_the_point_estimate() {
+        let p = prober(12);
+        let hosts = p.hosts();
+        let target = hosts[3].id;
+        let landmarks: Vec<NodeId> = hosts.iter().map(|h| h.id).filter(|&id| id != target).collect();
+        let est = GeoLim::default().localize(&p, &landmarks, target);
+        if let (Some(region), Some(point)) = (est.region.as_ref(), est.point) {
+            // The greedy point comes from a superset chain of the strict
+            // region; when the strict region is non-empty they coincide.
+            assert!(region.contains(point) || region.distance_to(point).km() < 100.0);
+        }
+    }
+}

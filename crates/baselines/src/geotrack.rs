@@ -1,0 +1,126 @@
+//! GeoTrack (IP2Geo): localize to the last recognizable router on the path.
+//!
+//! GeoTrack traceroutes toward the target, extracts geographic hints from the
+//! DNS names of on-path routers, and places the target at the last router
+//! whose location is recognizable. With several vantage points available we
+//! follow the natural extension used in the paper's evaluation: every
+//! landmark traceroutes to the target and the recognizable router with the
+//! smallest residual latency to the target wins.
+
+use octant::framework::{Geolocator, LocationEstimate};
+use octant::solver::SolveReport;
+use octant_netsim::dns;
+use octant_netsim::observation::ObservationProvider;
+use octant_netsim::topology::NodeId;
+
+/// The GeoTrack baseline.
+#[derive(Debug, Clone, Default)]
+pub struct GeoTrack;
+
+impl GeoTrack {
+    /// Creates a GeoTrack instance.
+    pub fn new() -> Self {
+        GeoTrack
+    }
+}
+
+impl Geolocator for GeoTrack {
+    fn name(&self) -> &str {
+        "GeoTrack"
+    }
+
+    fn localize(
+        &self,
+        provider: &dyn ObservationProvider,
+        landmarks: &[NodeId],
+        target: NodeId,
+    ) -> LocationEstimate {
+        // (residual latency to target, city location) of the best hint so far.
+        let mut best: Option<(f64, octant_geo::GeoPoint)> = None;
+
+        for &lm in landmarks {
+            if lm == target {
+                continue;
+            }
+            let end_to_end = match provider.ping(lm, target).min() {
+                Some(l) => l.ms(),
+                None => continue,
+            };
+            let hops = provider.traceroute(lm, target);
+            // Walk from the target backwards: the last recognizable router.
+            for hop in hops.iter().rev() {
+                if let Some(city) = dns::parse_router_city(&hop.hostname) {
+                    let residual = (end_to_end - hop.rtt.ms()).max(0.0);
+                    if best.map(|(r, _)| residual < r).unwrap_or(true) {
+                        best = Some((residual, city.location()));
+                    }
+                    break;
+                }
+            }
+        }
+
+        match best {
+            Some((_, point)) => LocationEstimate {
+                region: None,
+                point: Some(point),
+                report: SolveReport::default(),
+                target_height_ms: None,
+            },
+            None => LocationEstimate::unknown(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octant_geo::distance::great_circle_km;
+    use octant_netsim::builder::{HostSpec, NetworkBuilder, NetworkConfig};
+    use octant_netsim::probe::Prober;
+    use octant_netsim::ObservationProvider;
+
+    fn prober(n: usize, undns_miss_rate: f64) -> Prober {
+        let mut b = NetworkBuilder::new(NetworkConfig {
+            undns_miss_rate,
+            access_undns_miss_rate: undns_miss_rate,
+            ..NetworkConfig::default()
+        });
+        for site in octant_geo::sites::planetlab_51().iter().take(n) {
+            b = b.add_host(HostSpec::from_site(site));
+        }
+        Prober::new(b.build(), 5)
+    }
+
+    #[test]
+    fn geotrack_places_the_target_near_its_access_city() {
+        let p = prober(16, 0.0);
+        let hosts = p.hosts();
+        let target = hosts[0].id;
+        let landmarks: Vec<NodeId> = hosts[1..].iter().map(|h| h.id).collect();
+        let est = GeoTrack::new().localize(&p, &landmarks, target);
+        let point = est.point.expect("with fully parseable names GeoTrack must answer");
+        let truth = p.network().node(target).location;
+        // The last recognizable router is typically the target's access/backbone
+        // city, so the error is bounded by a metro-to-backbone distance.
+        let err = great_circle_km(point, truth);
+        assert!(err < 500.0, "error {err:.0} km");
+        assert!(est.region.is_none());
+    }
+
+    #[test]
+    fn geotrack_degrades_to_unknown_when_no_names_parse() {
+        let p = prober(8, 1.0);
+        let hosts = p.hosts();
+        let target = hosts[0].id;
+        let landmarks: Vec<NodeId> = hosts[1..].iter().map(|h| h.id).collect();
+        let est = GeoTrack::new().localize(&p, &landmarks, target);
+        assert!(est.point.is_none(), "with no parseable router names GeoTrack cannot answer");
+    }
+
+    #[test]
+    fn geotrack_without_landmarks_is_unknown() {
+        let p = prober(4, 0.0);
+        let hosts = p.hosts();
+        assert!(GeoTrack::new().localize(&p, &[], hosts[0].id).point.is_none());
+    }
+}

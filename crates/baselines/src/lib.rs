@@ -1,0 +1,50 @@
+//! # octant-baselines
+//!
+//! Reimplementations of the geolocalization techniques the Octant paper
+//! compares against (§3, §4):
+//!
+//! * [`GeoPing`] — maps the target to the landmark whose latency "signature"
+//!   is most similar (Padmanabhan & Subramanian, IP2Geo).
+//! * [`GeoTrack`] — traceroutes toward the target and localizes it to the
+//!   last on-path router whose DNS name reveals a city (IP2Geo).
+//! * [`GeoLim`] — constraint-based geolocation (Gueye et al., CBG): each
+//!   landmark derives a *best line* upper bound on distance per unit latency
+//!   from inter-landmark measurements, and the target is placed at the
+//!   centroid of the intersection of the resulting disks.
+//! * [`SpeedOfLight`] — the naive multilateration using only the 2/3-c
+//!   physical bound; a floor for how much the calibrated techniques help.
+//!
+//! All of them implement [`octant::Geolocator`], so the evaluation harness
+//! and the figure generators treat them exactly like Octant itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geolim;
+pub mod geoping;
+pub mod geotrack;
+pub mod sol;
+
+pub use geolim::GeoLim;
+pub use geoping::GeoPing;
+pub use geotrack::GeoTrack;
+pub use sol::SpeedOfLight;
+
+use octant::Geolocator;
+
+/// The full comparison suite: Octant's competitors in the order the paper
+/// lists them.
+pub fn all_baselines() -> Vec<Box<dyn Geolocator>> {
+    vec![Box::new(GeoLim::default()), Box::new(GeoPing::default()), Box::new(GeoTrack::default())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_suite_is_complete_and_named() {
+        let names: Vec<String> = all_baselines().iter().map(|b| b.name().to_string()).collect();
+        assert_eq!(names, vec!["GeoLim", "GeoPing", "GeoTrack"]);
+    }
+}

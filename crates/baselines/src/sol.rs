@@ -1,0 +1,153 @@
+//! Speed-of-light multilateration: the weakest sound baseline.
+//!
+//! Every landmark's RTT bounds the target's distance by the 2/3-c physical
+//! limit (§2.1 calls these constraints "so loose that they lead to very low
+//! precision"). Intersecting those disks and taking the centroid gives a
+//! floor against which the calibrated techniques are compared in the
+//! ablation benchmarks.
+
+use octant::framework::{Geolocator, LocationEstimate};
+use octant::solver::SolveReport;
+use octant_geo::projection::AzimuthalEquidistant;
+use octant_geo::units::Distance;
+use octant_netsim::observation::ObservationProvider;
+use octant_netsim::topology::NodeId;
+use octant_region::GeoRegion;
+
+/// The speed-of-light-only baseline.
+#[derive(Debug, Clone, Default)]
+pub struct SpeedOfLight;
+
+impl SpeedOfLight {
+    /// Creates an instance.
+    pub fn new() -> Self {
+        SpeedOfLight
+    }
+}
+
+impl Geolocator for SpeedOfLight {
+    fn name(&self) -> &str {
+        "SpeedOfLight"
+    }
+
+    fn localize(
+        &self,
+        provider: &dyn ObservationProvider,
+        landmarks: &[NodeId],
+        target: NodeId,
+    ) -> LocationEstimate {
+        let mut disks = Vec::new();
+        let mut anchor = None;
+        let mut best_rtt = f64::INFINITY;
+        for &lm in landmarks {
+            if lm == target {
+                continue;
+            }
+            let (Some(pos), Some(rtt)) = (provider.advertised_location(lm), provider.ping(lm, target).min()) else {
+                continue;
+            };
+            if rtt.ms() < best_rtt {
+                best_rtt = rtt.ms();
+                anchor = Some(pos);
+            }
+            disks.push((pos, Distance::max_fiber_distance_for_rtt(rtt)));
+        }
+        let Some(anchor) = anchor else {
+            return LocationEstimate::unknown();
+        };
+        let projection = AzimuthalEquidistant::new(anchor);
+        let mut region: Option<GeoRegion> = None;
+        let mut applied = 0;
+        let mut skipped = 0;
+        for (center, radius) in disks {
+            let disk = GeoRegion::disk(projection, center, radius);
+            region = Some(match region {
+                None => {
+                    applied += 1;
+                    disk
+                }
+                Some(prev) => {
+                    let next = prev.intersect(&disk);
+                    if next.is_empty() {
+                        // Physically impossible unless a measurement is missing;
+                        // keep the previous sound region.
+                        skipped += 1;
+                        prev
+                    } else {
+                        applied += 1;
+                        next
+                    }
+                }
+            });
+        }
+        let region = region.expect("at least one landmark produced a disk");
+        let point = region.centroid();
+        LocationEstimate {
+            report: SolveReport {
+                applied_positive: applied,
+                skipped_positive: skipped,
+                applied_negative: 0,
+                skipped_negative: 0,
+                final_area_km2: region.area_km2(),
+            },
+            region: Some(region),
+            point,
+            target_height_ms: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octant_geo::distance::great_circle_km;
+    use octant_netsim::builder::{HostSpec, NetworkBuilder, NetworkConfig};
+    use octant_netsim::probe::Prober;
+    use octant_netsim::ObservationProvider;
+
+    fn prober(n: usize) -> Prober {
+        let mut b = NetworkBuilder::new(NetworkConfig::default());
+        for site in octant_geo::sites::planetlab_51().iter().take(n) {
+            b = b.add_host(HostSpec::from_site(site));
+        }
+        Prober::new(b.build(), 5)
+    }
+
+    #[test]
+    fn speed_of_light_region_always_contains_the_truth() {
+        // The 2/3-c bound is physically sound in the simulator, so the strict
+        // intersection must contain the target every single time.
+        let p = prober(14);
+        let hosts = p.hosts();
+        for t in 0..6 {
+            let target = hosts[t].id;
+            let landmarks: Vec<NodeId> = hosts.iter().map(|h| h.id).filter(|&id| id != target).collect();
+            let est = SpeedOfLight::new().localize(&p, &landmarks, target);
+            let truth = p.network().node(target).location;
+            let region = est.region.expect("sound constraints cannot produce an empty region");
+            assert!(region.contains(truth), "target {t} escaped the speed-of-light region");
+            assert_eq!(est.report.skipped_positive, 0);
+        }
+    }
+
+    #[test]
+    fn speed_of_light_is_much_less_precise_than_informative_methods() {
+        let p = prober(14);
+        let hosts = p.hosts();
+        let target = hosts[0].id;
+        let landmarks: Vec<NodeId> = hosts.iter().map(|h| h.id).filter(|&id| id != target).collect();
+        let sol = SpeedOfLight::new().localize(&p, &landmarks, target);
+        let truth = p.network().node(target).location;
+        let err = great_circle_km(sol.point.unwrap(), truth);
+        // It still produces an estimate somewhere on the right continent.
+        assert!(err < 3000.0, "error {err:.0} km");
+        assert!(sol.region.unwrap().area_km2() > 10_000.0, "the SoL region should be large");
+    }
+
+    #[test]
+    fn unknown_without_landmarks() {
+        let p = prober(4);
+        let hosts = p.hosts();
+        assert!(SpeedOfLight::new().localize(&p, &[], hosts[0].id).point.is_none());
+    }
+}

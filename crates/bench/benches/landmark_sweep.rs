@@ -1,0 +1,34 @@
+//! Cost of the Figure 4 sweep: how localization time scales with the number
+//! of landmarks (each landmark adds constraints, so the constraint-system
+//! size — and the region arithmetic behind it — grows linearly).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use octant::framework::Geolocator;
+use octant::{Octant, OctantConfig};
+use octant_baselines::GeoLim;
+use octant_bench::campaign_with_sites;
+
+fn bench_landmark_sweep(c: &mut Criterion) {
+    let campaign = campaign_with_sites(31, 42);
+    let target = campaign.hosts[0];
+    let all_landmarks: Vec<_> = campaign.hosts[1..].to_vec();
+
+    let octant = Octant::new(OctantConfig::default());
+    let geolim = GeoLim::default();
+
+    let mut group = c.benchmark_group("landmark_sweep");
+    group.sample_size(10);
+    for &count in &[10usize, 20, 30] {
+        let landmarks: Vec<_> = all_landmarks.iter().copied().take(count).collect();
+        group.bench_with_input(BenchmarkId::new("octant", count), &landmarks, |b, lms| {
+            b.iter(|| black_box(octant.localize(&campaign.dataset, lms, target)))
+        });
+        group.bench_with_input(BenchmarkId::new("geolim", count), &landmarks, |b, lms| {
+            b.iter(|| black_box(geolim.localize(&campaign.dataset, lms, target)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_landmark_sweep);
+criterion_main!(benches);

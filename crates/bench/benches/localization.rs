@@ -1,0 +1,52 @@
+//! End-to-end localization cost (the paper's "solution … takes only a few
+//! seconds" claim, and the per-target cost behind Figure 3).
+//!
+//! One iteration localizes a single target from a recorded campaign, for
+//! Octant (full configuration), Octant (minimal configuration) and the three
+//! baselines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use octant::framework::Geolocator;
+use octant::{Octant, OctantConfig};
+use octant_baselines::{GeoLim, GeoPing, GeoTrack};
+use octant_bench::campaign_with_sites;
+
+fn bench_localization(c: &mut Criterion) {
+    // A 25-site campaign keeps a single iteration well under a second while
+    // exercising exactly the Figure 3 code path.
+    let campaign = campaign_with_sites(25, 42);
+    let target = campaign.hosts[0];
+    let landmarks: Vec<_> = campaign.hosts[1..].to_vec();
+
+    let full = Octant::new(OctantConfig::default());
+    c.bench_function("localize/octant_full_24_landmarks", |b| {
+        b.iter(|| black_box(full.localize(&campaign.dataset, &landmarks, target)))
+    });
+
+    let minimal = Octant::new(OctantConfig::minimal());
+    c.bench_function("localize/octant_minimal_24_landmarks", |b| {
+        b.iter(|| black_box(minimal.localize(&campaign.dataset, &landmarks, target)))
+    });
+
+    let geolim = GeoLim::default();
+    c.bench_function("localize/geolim_24_landmarks", |b| {
+        b.iter(|| black_box(geolim.localize(&campaign.dataset, &landmarks, target)))
+    });
+
+    let geoping = GeoPing::default();
+    c.bench_function("localize/geoping_24_landmarks", |b| {
+        b.iter(|| black_box(geoping.localize(&campaign.dataset, &landmarks, target)))
+    });
+
+    let geotrack = GeoTrack::default();
+    c.bench_function("localize/geotrack_24_landmarks", |b| {
+        b.iter(|| black_box(geotrack.localize(&campaign.dataset, &landmarks, target)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_localization
+}
+criterion_main!(benches);

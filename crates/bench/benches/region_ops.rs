@@ -1,0 +1,71 @@
+//! Microbenchmarks of the Bézier-region engine (supports the paper's claim
+//! that boolean operations on region estimates are cheap — "solution times
+//! under a few seconds" end to end).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use octant_region::{Region, Vec2};
+
+fn disks(n: usize) -> Vec<Region> {
+    (0..n)
+        .map(|i| {
+            let angle = i as f64 * 0.7;
+            let center = Vec2::new(angle.cos() * 200.0, angle.sin() * 200.0);
+            Region::disk(center, 600.0 + 40.0 * (i % 5) as f64)
+        })
+        .collect()
+}
+
+fn bench_region_ops(c: &mut Criterion) {
+    let a = Region::disk(Vec2::new(0.0, 0.0), 800.0);
+    let b = Region::disk(Vec2::new(500.0, 200.0), 700.0);
+
+    c.bench_function("region/intersect_two_disks", |bench| {
+        bench.iter(|| black_box(a.intersect(&b)))
+    });
+    c.bench_function("region/union_two_disks", |bench| {
+        bench.iter(|| black_box(a.union(&b)))
+    });
+    c.bench_function("region/subtract_two_disks", |bench| {
+        bench.iter(|| black_box(a.subtract(&b)))
+    });
+
+    // The shape of a full positive-constraint combination: intersect 20 disks.
+    let twenty = disks(20);
+    c.bench_function("region/intersect_20_constraint_disks", |bench| {
+        bench.iter(|| {
+            let mut acc = twenty[0].clone();
+            for d in &twenty[1..] {
+                acc = acc.intersect(d);
+            }
+            black_box(acc)
+        })
+    });
+
+    // Secondary-landmark constraint: dilate a small region.
+    let small = Region::disk(Vec2::new(0.0, 0.0), 80.0);
+    c.bench_function("region/dilate_router_region_300km", |bench| {
+        bench.iter(|| black_box(small.dilate(300.0)))
+    });
+
+    // Membership and area queries on a non-trivial estimate.
+    let estimate = {
+        let mut acc = twenty[0].clone();
+        for d in &twenty[1..] {
+            acc = acc.intersect(d);
+        }
+        acc.subtract(&Region::disk(Vec2::new(100.0, 0.0), 120.0))
+    };
+    c.bench_function("region/contains_query", |bench| {
+        bench.iter(|| black_box(estimate.contains(Vec2::new(50.0, 50.0))))
+    });
+    c.bench_function("region/area_and_centroid", |bench| {
+        bench.iter(|| black_box((estimate.area(), estimate.centroid())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_region_ops
+}
+criterion_main!(benches);

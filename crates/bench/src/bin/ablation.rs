@@ -1,0 +1,52 @@
+//! Ablation study — how much each Octant mechanism contributes.
+//!
+//! §2 of the paper motivates four mechanisms on top of the basic constraint
+//! framework: height-based queuing-delay compensation (§2.2), piecewise
+//! router localization (§2.3), negative constraints (§2.1/§2), and
+//! geographic/WHOIS constraints (§2.5). This harness evaluates Octant with
+//! each mechanism disabled in turn (and a "minimal" variant with everything
+//! off) so their individual contributions to the median error and to the
+//! region hit rate are visible.
+//!
+//! Run with `cargo run --release -p octant-bench --bin ablation`.
+
+use octant::{Octant, OctantConfig, RouterLocalization};
+use octant_bench::{planetlab_campaign, print_summary_table, run_technique, TechniqueResult};
+
+fn variant(name: &str, config: OctantConfig, campaign: &octant_bench::Campaign) -> TechniqueResult {
+    let octant = Octant::new(config);
+    let mut result = run_technique(campaign, &octant);
+    result.name = name.to_string();
+    result
+}
+
+fn main() {
+    let campaign = planetlab_campaign(42);
+    println!("# Ablation — each row disables one mechanism of the full system");
+
+    let full = OctantConfig::default();
+    let results = vec![
+        variant("full", full, &campaign),
+        variant("-heights", OctantConfig { use_heights: false, ..full }, &campaign),
+        variant(
+            "-piecewise",
+            OctantConfig { router_localization: RouterLocalization::Off, ..full },
+            &campaign,
+        ),
+        variant("-negative", OctantConfig { use_negative_constraints: false, ..full }, &campaign),
+        variant(
+            "-geo/whois",
+            OctantConfig { use_whois: false, use_landmass_constraint: false, ..full },
+            &campaign,
+        ),
+        variant("minimal", OctantConfig::minimal(), &campaign),
+    ];
+
+    print_summary_table(&results);
+
+    let full_median = results[0].median_miles();
+    println!("# section: median-error degradation when removing each mechanism");
+    for r in &results[1..] {
+        println!("{:<12} {:>+7.1} mi ({:+.0}%)", r.name, r.median_miles() - full_median, (r.median_miles() / full_median - 1.0) * 100.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 2 — the latency-to-distance scatter for one landmark.
+//!
+//! The paper plots, for `planetlab1.cs.rochester.edu`, the RTT to every peer
+//! landmark against the physical distance to it, together with the convex
+//! hull used for calibration, percentile markers and the 2/3-c
+//! speed-of-light line. This binary regenerates the same data from the
+//! simulated campaign and prints it as aligned columns (scatter points, hull
+//! facets, percentile cutoffs, speed-of-light reference) so it can be
+//! plotted or inspected directly.
+//!
+//! Run with `cargo run --release -p octant-bench --bin figure2`.
+
+use octant::calibration::{Calibration, CalibrationConfig, CalibrationSample};
+use octant_bench::planetlab_campaign;
+use octant_geo::distance::great_circle;
+use octant_geo::units::{Distance, Latency};
+use octant_netsim::ObservationProvider;
+
+fn main() {
+    let campaign = planetlab_campaign(42);
+    let reference_host = "planetlab1.cs.rochester.edu";
+    let hosts = campaign.dataset.hosts();
+    let reference = hosts
+        .iter()
+        .find(|h| h.hostname == reference_host)
+        .expect("the Rochester landmark is part of the 51-site set");
+    let reference_loc = campaign
+        .dataset
+        .advertised_location(reference.id)
+        .expect("landmarks have known positions");
+
+    // Scatter: (RTT to peer, distance to peer) for every other landmark.
+    let mut samples = Vec::new();
+    println!("# Figure 2 — latency vs distance from {reference_host}");
+    println!("# section: scatter");
+    println!("{:>10} {:>12} {:<40}", "rtt_ms", "dist_km", "peer");
+    for peer in &hosts {
+        if peer.id == reference.id {
+            continue;
+        }
+        let Some(rtt) = campaign.dataset.ping(reference.id, peer.id).min() else { continue };
+        let peer_loc = campaign.dataset.advertised_location(peer.id).unwrap();
+        let dist = great_circle(reference_loc, peer_loc);
+        println!("{:>10.2} {:>12.1} {:<40}", rtt.ms(), dist.km(), peer.hostname);
+        samples.push(CalibrationSample { latency: rtt, distance: dist });
+    }
+
+    // The calibration the Octant framework would derive from this landmark.
+    let calibration = Calibration::from_samples(samples.clone(), CalibrationConfig::aggressive());
+
+    println!("# section: percentile cutoffs (latency below which X% of peers lie)");
+    let mut latencies: Vec<f64> = samples.iter().map(|s| s.latency.ms()).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for pct in [0.5, 0.75, 0.9] {
+        let idx = ((latencies.len() as f64 - 1.0) * pct).round() as usize;
+        println!("{:>4.0}% of peers within {:>8.2} ms", pct * 100.0, latencies[idx]);
+    }
+    println!("# calibration cutoff rho = {:.2} ms", calibration.cutoff_ms());
+
+    println!("# section: convex hull upper facet (R_L)");
+    println!("{:>10} {:>12}", "rtt_ms", "dist_km");
+    for &(x, y) in calibration.upper_facet() {
+        println!("{x:>10.2} {y:>12.1}");
+    }
+    println!("# section: convex hull lower facet (r_L)");
+    println!("{:>10} {:>12}", "rtt_ms", "dist_km");
+    for &(x, y) in calibration.lower_facet() {
+        println!("{x:>10.2} {y:>12.1}");
+    }
+
+    println!("# section: derived bounds vs the 2/3-c speed-of-light line");
+    println!("{:>10} {:>14} {:>14} {:>14}", "rtt_ms", "R_L_km", "r_L_km", "two_thirds_c_km");
+    let mut rtt = 2.0;
+    while rtt <= 100.0 {
+        let l = Latency::from_ms(rtt);
+        println!(
+            "{:>10.1} {:>14.1} {:>14.1} {:>14.1}",
+            rtt,
+            calibration.max_distance(l).km(),
+            calibration.min_distance(l).km(),
+            Distance::max_fiber_distance_for_rtt(l).km()
+        );
+        rtt += 2.0;
+    }
+
+    // The structural claim of Figure 2: the hull bound is far tighter than
+    // the physical bound over the informative latency range.
+    let probe = Latency::from_ms(40.0);
+    let tightening = Distance::max_fiber_distance_for_rtt(probe).km() / calibration.max_distance(probe).km();
+    println!("# at 40 ms RTT the convex-hull bound is {tightening:.1}x tighter than the speed-of-light bound");
+}

@@ -1,0 +1,48 @@
+//! Figure 4 — fraction of targets whose true position lies inside the
+//! estimated location region, as a function of the number of landmarks.
+//!
+//! The paper compares Octant against GeoLim (the only other region-producing
+//! technique) for 10–50 landmarks and observes that Octant stays high and
+//! roughly flat while GeoLim *degrades* as landmarks are added, because its
+//! strict intersection of aggressively-derived disks is over-constrained by a
+//! single bad landmark. This binary regenerates that sweep.
+//!
+//! Run with `cargo run --release -p octant-bench --bin figure4`.
+
+use octant::{Octant, OctantConfig};
+use octant_baselines::GeoLim;
+use octant_bench::{planetlab_campaign, run_technique_with_landmarks};
+
+fn main() {
+    let campaign = planetlab_campaign(42);
+    let octant = Octant::new(OctantConfig::default());
+    let geolim = GeoLim::default();
+
+    println!("# Figure 4 — % of targets inside the estimated region vs number of landmarks");
+    println!("{:>10} {:>10} {:>10}", "landmarks", "octant", "geolim");
+    let mut octant_first = None;
+    let mut octant_last = None;
+    let mut geolim_first = None;
+    let mut geolim_last = None;
+    for &count in &[10usize, 15, 20, 25, 30, 35, 40, 45, 50] {
+        let o = run_technique_with_landmarks(&campaign, &octant, count, 1000 + count as u64);
+        let g = run_technique_with_landmarks(&campaign, &geolim, count, 1000 + count as u64);
+        println!("{:>10} {:>9.0}% {:>9.0}%", count, o.hit_rate() * 100.0, g.hit_rate() * 100.0);
+        if octant_first.is_none() {
+            octant_first = Some(o.hit_rate());
+            geolim_first = Some(g.hit_rate());
+        }
+        octant_last = Some(o.hit_rate());
+        geolim_last = Some(g.hit_rate());
+    }
+
+    println!("# section: shape check (paper: Octant stays high; GeoLim drops as landmarks increase)");
+    if let (Some(of), Some(ol), Some(gf), Some(gl)) = (octant_first, octant_last, geolim_first, geolim_last) {
+        println!("octant: {:.0}% at 10 landmarks -> {:.0}% at 50 landmarks", of * 100.0, ol * 100.0);
+        println!("geolim: {:.0}% at 10 landmarks -> {:.0}% at 50 landmarks", gf * 100.0, gl * 100.0);
+        println!(
+            "octant advantage at full landmark set: {:+.0} percentage points",
+            (ol - gl) * 100.0
+        );
+    }
+}

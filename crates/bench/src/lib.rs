@@ -1,0 +1,176 @@
+//! Shared experiment harness for the Octant reproduction.
+//!
+//! The binaries in `src/bin/` regenerate the paper's figures; this library
+//! holds the pieces they share: building the PlanetLab-like measurement
+//! campaign, running a set of geolocalization techniques over it, and
+//! printing the comparison tables. `EXPERIMENTS.md` at the workspace root
+//! records the numbers these harnesses produce next to the paper's.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use octant::eval::{self, ErrorCdf, TargetOutcome};
+use octant::framework::Geolocator;
+use octant_netsim::builder::{HostSpec, NetworkBuilder, NetworkConfig};
+use octant_netsim::latency::LatencyModel;
+use octant_netsim::probe::Prober;
+use octant_netsim::topology::NodeId;
+use octant_netsim::{MeasurementDataset, ObservationProvider};
+
+/// A recorded measurement campaign plus the list of hosts participating in
+/// the evaluation.
+pub struct Campaign {
+    /// The captured dataset (every technique sees exactly these bytes).
+    pub dataset: MeasurementDataset,
+    /// The hosts, in site order.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Builds the paper-equivalent campaign: the 51 PlanetLab-like sites, the
+/// default latency model, 10 probes per ping, and a full pairwise capture.
+pub fn planetlab_campaign(seed: u64) -> Campaign {
+    campaign_with_sites(octant_geo::sites::planetlab_51().len(), seed)
+}
+
+/// Builds a campaign over the first `n` built-in sites (useful for fast test
+/// and benchmark runs).
+pub fn campaign_with_sites(n: usize, seed: u64) -> Campaign {
+    let sites = octant_geo::sites::all_sites();
+    let n = n.min(sites.len());
+    let mut builder = NetworkBuilder::new(NetworkConfig { seed, ..NetworkConfig::default() });
+    for site in &sites[..n] {
+        builder = builder.add_host(HostSpec::from_site(site));
+    }
+    let network = builder.build();
+    let prober = Prober::with_options(network, LatencyModel::default(), 0.15, 10, seed);
+    let dataset = MeasurementDataset::capture(&prober);
+    let hosts = dataset.host_ids();
+    Campaign { dataset, hosts }
+}
+
+/// The outcome of running one technique over a campaign.
+pub struct TechniqueResult {
+    /// The technique's display name.
+    pub name: String,
+    /// Per-target outcomes.
+    pub outcomes: Vec<TargetOutcome>,
+    /// The error CDF (miles).
+    pub cdf: ErrorCdf,
+}
+
+impl TechniqueResult {
+    /// Median error in miles.
+    pub fn median_miles(&self) -> f64 {
+        self.cdf.median().unwrap_or(f64::NAN)
+    }
+
+    /// Worst-case error in miles.
+    pub fn worst_miles(&self) -> f64 {
+        self.cdf.max().unwrap_or(f64::NAN)
+    }
+
+    /// Fraction of targets whose true position is inside the estimated
+    /// region (only meaningful for region-based techniques).
+    pub fn hit_rate(&self) -> f64 {
+        eval::region_hit_rate(&self.outcomes)
+    }
+}
+
+/// Runs the full leave-one-out evaluation of one technique over a campaign.
+pub fn run_technique(campaign: &Campaign, technique: &dyn Geolocator) -> TechniqueResult {
+    let outcomes = eval::leave_one_out(&campaign.dataset, technique, &campaign.hosts);
+    let cdf = ErrorCdf::from_outcomes(&outcomes);
+    TechniqueResult { name: technique.name().to_string(), outcomes, cdf }
+}
+
+/// Runs the leave-one-out evaluation with a fixed number of landmarks per
+/// target (the Figure 4 sweep).
+pub fn run_technique_with_landmarks(
+    campaign: &Campaign,
+    technique: &dyn Geolocator,
+    landmark_count: usize,
+    seed: u64,
+) -> TechniqueResult {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let outcomes = eval::leave_one_out_with_landmark_count(
+        &campaign.dataset,
+        technique,
+        &campaign.hosts,
+        landmark_count,
+        &mut rng,
+    );
+    let cdf = ErrorCdf::from_outcomes(&outcomes);
+    TechniqueResult { name: technique.name().to_string(), outcomes, cdf }
+}
+
+/// Prints the standard summary table (median / 90th percentile / worst error
+/// and region hit rate) for a set of technique results.
+pub fn print_summary_table(results: &[TechniqueResult]) {
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>10}",
+        "technique", "median (mi)", "p90 (mi)", "worst (mi)", "hit rate"
+    );
+    for r in results {
+        println!(
+            "{:<14} {:>12.1} {:>12.1} {:>12.1} {:>9.0}%",
+            r.name,
+            r.median_miles(),
+            r.cdf.percentile(0.9).unwrap_or(f64::NAN),
+            r.worst_miles(),
+            r.hit_rate() * 100.0
+        );
+    }
+}
+
+/// Prints CDF curves (one column of cumulative fractions per technique) at
+/// the given error values in miles — the series Figure 3 plots.
+pub fn print_cdf_series(results: &[TechniqueResult], error_grid_miles: &[f64]) {
+    print!("{:>12}", "error (mi)");
+    for r in results {
+        print!(" {:>12}", r.name);
+    }
+    println!();
+    for &e in error_grid_miles {
+        print!("{:>12.0}", e);
+        for r in results {
+            print!(" {:>12.3}", r.cdf.fraction_within(e));
+        }
+        println!();
+    }
+}
+
+/// Convenience: the dataset's ground-truth location for a host (panics for
+/// unknown hosts — evaluation hosts always have one).
+pub fn truth_of(campaign: &Campaign, host: NodeId) -> octant_geo::GeoPoint {
+    campaign
+        .dataset
+        .advertised_location(host)
+        .expect("campaign hosts have ground truth")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octant::{Octant, OctantConfig};
+
+    #[test]
+    fn small_campaign_builds_and_evaluates() {
+        let campaign = campaign_with_sites(8, 3);
+        assert_eq!(campaign.hosts.len(), 8);
+        let octant = Octant::new(OctantConfig::minimal());
+        let result = run_technique(&campaign, &octant);
+        assert_eq!(result.outcomes.len(), 8);
+        assert!(result.median_miles().is_finite());
+        assert!(result.worst_miles() >= result.median_miles());
+    }
+
+    #[test]
+    fn landmark_limited_run_is_reproducible() {
+        let campaign = campaign_with_sites(8, 3);
+        let octant = Octant::new(OctantConfig::minimal());
+        let a = run_technique_with_landmarks(&campaign, &octant, 4, 7);
+        let b = run_technique_with_landmarks(&campaign, &octant, 4, 7);
+        assert_eq!(a.cdf.points(), b.cdf.points());
+    }
+}

@@ -1,0 +1,404 @@
+//! Mapping latencies to distances (§2.1).
+//!
+//! Octant calibrates each landmark by correlating the round-trip latencies it
+//! measures to its *peer landmarks* with the known great-circle distances to
+//! them. The convex hull of the resulting (latency, distance) scatter yields
+//! two piecewise-linear functions: the upper facet `R_L(d)` (the farthest a
+//! node with ping time `d` has been observed to be) and the lower facet
+//! `r_L(d)` (the closest). A latency measurement to the target then produces
+//! a positive constraint of radius `R_L(d)` and a negative constraint of
+//! radius `r_L(d)`.
+//!
+//! Because a landmark has only a limited number of peers, the hull is only
+//! trusted up to a latency cutoff `ρ` chosen so that a configurable
+//! percentile of the peers lies to its left. Beyond `ρ`, `r_L` is held
+//! constant and `R_L` relaxes linearly toward a far-away *sentinel* point on
+//! the speed-of-light line, giving a smooth transition from aggressive,
+//! data-driven bounds to the conservative physical bound.
+
+use octant_geo::units::{Distance, Latency};
+use serde::{Deserialize, Serialize};
+
+/// A single calibration observation: measured RTT to a peer landmark and the
+/// known great-circle distance to it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationSample {
+    /// Minimum observed round-trip latency to the peer.
+    pub latency: Latency,
+    /// Great-circle distance to the peer.
+    pub distance: Distance,
+}
+
+/// Configuration of the calibration step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationConfig {
+    /// Percentile (0–1) of peer latencies that must lie left of the cutoff ρ.
+    pub cutoff_percentile: f64,
+    /// Latency of the fictitious sentinel data point (ms).
+    pub sentinel_latency_ms: f64,
+    /// Minimum number of samples required before the hull is trusted at all;
+    /// below this only speed-of-light constraints are produced.
+    pub min_samples: usize,
+    /// Relative slack applied to the upper facet: `R = hull · (1 + frac) + km`.
+    /// The raw hull is the most aggressive possible bound (a target slightly
+    /// more distant than any peer at the same latency would be wrongly
+    /// excluded); a small margin trades a little precision for soundness when
+    /// the peer set is sparse. Set both margins to zero for the paper's raw
+    /// hull.
+    pub upper_margin_frac: f64,
+    /// Absolute slack (km) added to the upper facet.
+    pub upper_margin_km: f64,
+    /// Relative shrink applied to the lower facet: `r = hull · (1 − frac)`.
+    pub lower_margin_frac: f64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            cutoff_percentile: 0.75,
+            sentinel_latency_ms: 400.0,
+            min_samples: 5,
+            upper_margin_frac: 0.10,
+            upper_margin_km: 50.0,
+            lower_margin_frac: 0.10,
+        }
+    }
+}
+
+impl CalibrationConfig {
+    /// The paper's raw convex-hull bounds with no safety margins.
+    pub fn aggressive() -> Self {
+        CalibrationConfig { upper_margin_frac: 0.0, upper_margin_km: 0.0, lower_margin_frac: 0.0, ..Self::default() }
+    }
+}
+
+/// The calibrated latency→distance bounds for one landmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    samples: Vec<CalibrationSample>,
+    /// Upper hull facet vertices, sorted by latency.
+    upper: Vec<(f64, f64)>,
+    /// Lower hull facet vertices, sorted by latency.
+    lower: Vec<(f64, f64)>,
+    /// Latency cutoff ρ (ms).
+    cutoff_ms: f64,
+    /// Slope of the sentinel extension of the upper facet (km per ms).
+    sentinel_slope: f64,
+    config: CalibrationConfig,
+}
+
+impl Calibration {
+    /// Builds a calibration from peer observations. Samples with zero latency
+    /// are ignored.
+    pub fn from_samples(mut samples: Vec<CalibrationSample>, config: CalibrationConfig) -> Self {
+        samples.retain(|s| s.latency.ms() > 0.0);
+        samples.sort_by(|a, b| a.latency.ms().partial_cmp(&b.latency.ms()).unwrap_or(std::cmp::Ordering::Equal));
+
+        let pts: Vec<(f64, f64)> = samples.iter().map(|s| (s.latency.ms(), s.distance.km())).collect();
+        let (lower, upper) = convex_hull_facets(&pts);
+
+        // Cutoff: the latency below which `cutoff_percentile` of peers lie.
+        let cutoff_ms = if samples.is_empty() {
+            0.0
+        } else {
+            let idx = ((samples.len() as f64 - 1.0) * config.cutoff_percentile.clamp(0.0, 1.0)).round() as usize;
+            samples[idx.min(samples.len() - 1)].latency.ms()
+        };
+
+        // Sentinel: a fictitious far-away point on the speed-of-light line.
+        let sentinel_x = config.sentinel_latency_ms.max(cutoff_ms + 1.0);
+        let sentinel_y = Distance::max_fiber_distance_for_rtt(Latency::from_ms(sentinel_x)).km();
+        let r_at_cutoff = eval_piecewise(&upper, cutoff_ms).unwrap_or(0.0);
+        let sentinel_slope = if sentinel_x > cutoff_ms { (sentinel_y - r_at_cutoff) / (sentinel_x - cutoff_ms) } else { 0.0 };
+
+        Calibration { samples, upper, lower, cutoff_ms, sentinel_slope, config }
+    }
+
+    /// A calibration with no data: every query falls back to the
+    /// speed-of-light bound (positive) and zero (negative).
+    pub fn speed_of_light_only() -> Self {
+        Calibration::from_samples(Vec::new(), CalibrationConfig::default())
+    }
+
+    /// The calibration samples (sorted by latency).
+    pub fn samples(&self) -> &[CalibrationSample] {
+        &self.samples
+    }
+
+    /// The latency cutoff ρ in milliseconds.
+    pub fn cutoff_ms(&self) -> f64 {
+        self.cutoff_ms
+    }
+
+    /// The upper convex-hull facet as (latency ms, distance km) vertices.
+    pub fn upper_facet(&self) -> &[(f64, f64)] {
+        &self.upper
+    }
+
+    /// The lower convex-hull facet as (latency ms, distance km) vertices.
+    pub fn lower_facet(&self) -> &[(f64, f64)] {
+        &self.lower
+    }
+
+    /// `true` when enough peers were observed for the hull to be trusted.
+    pub fn is_data_driven(&self) -> bool {
+        self.samples.len() >= self.config.min_samples
+    }
+
+    /// The positive-constraint radius `R_L(d)`: an upper bound on the
+    /// distance to a node whose measured RTT is `d`. Always capped by the
+    /// speed-of-light bound, which also serves as the fallback when the
+    /// calibration has too little data.
+    pub fn max_distance(&self, rtt: Latency) -> Distance {
+        let sol = Distance::max_fiber_distance_for_rtt(rtt);
+        if !self.is_data_driven() {
+            return sol;
+        }
+        let x = rtt.ms();
+        let first_x = self.upper.first().map(|p| p.0).unwrap_or(0.0);
+        let estimate = if x <= first_x {
+            // Below the observed range the hull says nothing; the physical
+            // bound is already tight for small latencies.
+            sol.km()
+        } else if x <= self.cutoff_ms {
+            eval_piecewise(&self.upper, x).unwrap_or(sol.km())
+        } else {
+            let r_at_cutoff = eval_piecewise(&self.upper, self.cutoff_ms).unwrap_or(sol.km());
+            r_at_cutoff + self.sentinel_slope * (x - self.cutoff_ms)
+        };
+        let with_margin = estimate * (1.0 + self.config.upper_margin_frac.max(0.0)) + self.config.upper_margin_km.max(0.0);
+        Distance::from_km(with_margin.min(sol.km()))
+    }
+
+    /// The negative-constraint radius `r_L(d)`: a lower bound on the distance
+    /// to a node whose measured RTT is `d` (0 when the calibration cannot
+    /// support a claim).
+    pub fn min_distance(&self, rtt: Latency) -> Distance {
+        if !self.is_data_driven() {
+            return Distance::ZERO;
+        }
+        let x = rtt.ms();
+        let first_x = self.lower.first().map(|p| p.0).unwrap_or(0.0);
+        let last_x = self.lower.last().map(|p| p.0).unwrap_or(0.0);
+        let estimate = if x < first_x {
+            0.0
+        } else if x <= self.cutoff_ms.min(last_x) {
+            eval_piecewise(&self.lower, x).unwrap_or(0.0)
+        } else {
+            // Beyond the cutoff r_L is held constant at r_L(ρ).
+            eval_piecewise(&self.lower, self.cutoff_ms.min(last_x)).unwrap_or(0.0)
+        };
+        Distance::from_km((estimate * (1.0 - self.config.lower_margin_frac.clamp(0.0, 1.0))).max(0.0))
+    }
+}
+
+/// Lower and upper facets of the convex hull of a point set, each returned as
+/// a list of vertices sorted by x. Duplicated x values keep the extreme y.
+fn convex_hull_facets(points: &[(f64, f64)]) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+    if points.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let mut pts = points.to_vec();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)));
+    pts.dedup();
+    if pts.len() == 1 {
+        return (pts.clone(), pts);
+    }
+    let cross = |o: (f64, f64), a: (f64, f64), b: (f64, f64)| -> f64 {
+        (a.0 - o.0) * (b.1 - o.1) - (a.1 - o.1) * (b.0 - o.0)
+    };
+    // Monotone chain.
+    let mut lower: Vec<(f64, f64)> = Vec::new();
+    for &p in &pts {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0 {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<(f64, f64)> = Vec::new();
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0 {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    upper.reverse();
+    (lower, upper)
+}
+
+/// Evaluates a piecewise-linear function given as x-sorted vertices. Clamps
+/// to the end values outside the range; `None` for an empty vertex list.
+fn eval_piecewise(vertices: &[(f64, f64)], x: f64) -> Option<f64> {
+    if vertices.is_empty() {
+        return None;
+    }
+    if x <= vertices[0].0 {
+        return Some(vertices[0].1);
+    }
+    if x >= vertices[vertices.len() - 1].0 {
+        return Some(vertices[vertices.len() - 1].1);
+    }
+    for w in vertices.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x >= x0 && x <= x1 {
+            if (x1 - x0).abs() < 1e-12 {
+                return Some(y0.max(y1));
+            }
+            return Some(y0 + (y1 - y0) * (x - x0) / (x1 - x0));
+        }
+    }
+    Some(vertices[vertices.len() - 1].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(lat_ms: f64, dist_km: f64) -> CalibrationSample {
+        CalibrationSample { latency: Latency::from_ms(lat_ms), distance: Distance::from_km(dist_km) }
+    }
+
+    /// A synthetic peer scatter roughly matching Figure 2: distance grows
+    /// with latency, with spread.
+    fn figure2_like_samples() -> Vec<CalibrationSample> {
+        let mut out = Vec::new();
+        for i in 1..=40 {
+            let lat = i as f64 * 2.5;
+            // "true" relationship ~ 70 km/ms with scatter above (never below a
+            // floor because close nodes answer quickly).
+            out.push(sample(lat, lat * 70.0));
+            out.push(sample(lat * 1.2, lat * 70.0 * 0.8));
+            out.push(sample(lat * 1.5, lat * 70.0 * 0.6));
+        }
+        out
+    }
+
+    #[test]
+    fn hull_facets_bracket_all_samples() {
+        let samples = figure2_like_samples();
+        let cal = Calibration::from_samples(samples.clone(), CalibrationConfig::default());
+        assert!(cal.is_data_driven());
+        for s in &samples {
+            if s.latency.ms() <= cal.cutoff_ms() {
+                let upper = cal.max_distance(s.latency).km();
+                let lower = cal.min_distance(s.latency).km();
+                assert!(
+                    s.distance.km() <= upper + 1e-6,
+                    "sample ({}, {}) above upper bound {upper}",
+                    s.latency.ms(),
+                    s.distance.km()
+                );
+                assert!(
+                    s.distance.km() >= lower - 1e-6,
+                    "sample ({}, {}) below lower bound {lower}",
+                    s.latency.ms(),
+                    s.distance.km()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_much_tighter_than_speed_of_light() {
+        let cal = Calibration::from_samples(figure2_like_samples(), CalibrationConfig::default());
+        let rtt = Latency::from_ms(40.0);
+        let sol = Distance::max_fiber_distance_for_rtt(rtt).km();
+        let hull = cal.max_distance(rtt).km();
+        assert!(hull < sol * 0.8, "hull bound {hull} should be far tighter than speed of light {sol}");
+        assert!(cal.min_distance(rtt).km() > 0.0, "a negative constraint should exist");
+    }
+
+    #[test]
+    fn upper_bound_never_exceeds_speed_of_light() {
+        // Even with adversarial samples claiming super-luminal distances, the
+        // bound is capped.
+        let samples = vec![sample(1.0, 5000.0), sample(2.0, 8000.0), sample(3.0, 9000.0), sample(4.0, 9500.0), sample(5.0, 9900.0)];
+        let cal = Calibration::from_samples(samples, CalibrationConfig::default());
+        for ms in [1.0, 2.0, 5.0, 20.0] {
+            let rtt = Latency::from_ms(ms);
+            assert!(cal.max_distance(rtt).km() <= Distance::max_fiber_distance_for_rtt(rtt).km() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn too_few_samples_fall_back_to_speed_of_light() {
+        let cal = Calibration::from_samples(vec![sample(10.0, 500.0), sample(20.0, 900.0)], CalibrationConfig::default());
+        assert!(!cal.is_data_driven());
+        let rtt = Latency::from_ms(30.0);
+        assert_eq!(cal.max_distance(rtt), Distance::max_fiber_distance_for_rtt(rtt));
+        assert_eq!(cal.min_distance(rtt), Distance::ZERO);
+        let empty = Calibration::speed_of_light_only();
+        assert!(!empty.is_data_driven());
+        assert_eq!(empty.max_distance(rtt), Distance::max_fiber_distance_for_rtt(rtt));
+    }
+
+    #[test]
+    fn beyond_cutoff_the_bounds_relax_smoothly() {
+        let cal = Calibration::from_samples(figure2_like_samples(), CalibrationConfig::default());
+        let rho = cal.cutoff_ms();
+        let at_cutoff = cal.max_distance(Latency::from_ms(rho)).km();
+        let beyond = cal.max_distance(Latency::from_ms(rho + 30.0)).km();
+        let far = cal.max_distance(Latency::from_ms(rho + 120.0)).km();
+        assert!(beyond >= at_cutoff, "R must not shrink past the cutoff");
+        assert!(far >= beyond);
+        // The negative bound stays frozen at its cutoff value.
+        let r_cut = cal.min_distance(Latency::from_ms(rho)).km();
+        let r_far = cal.min_distance(Latency::from_ms(rho + 120.0)).km();
+        assert!((r_cut - r_far).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_latency_gives_monotone_positive_bound() {
+        let cal = Calibration::from_samples(figure2_like_samples(), CalibrationConfig::default());
+        let mut prev = 0.0;
+        for ms in (2..200).step_by(2) {
+            let d = cal.max_distance(Latency::from_ms(ms as f64)).km();
+            assert!(d + 1e-6 >= prev, "R_L must be monotone in latency (at {ms} ms: {d} < {prev})");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn min_distance_is_never_above_max_distance() {
+        let cal = Calibration::from_samples(figure2_like_samples(), CalibrationConfig::default());
+        for ms in (1..300).step_by(3) {
+            let rtt = Latency::from_ms(ms as f64);
+            assert!(cal.min_distance(rtt).km() <= cal.max_distance(rtt).km() + 1e-6, "crossed bounds at {ms} ms");
+        }
+    }
+
+    #[test]
+    fn zero_latency_samples_are_discarded() {
+        let cal = Calibration::from_samples(
+            vec![sample(0.0, 100.0), sample(10.0, 700.0), sample(15.0, 900.0), sample(20.0, 1200.0), sample(25.0, 1500.0), sample(30.0, 1800.0)],
+            CalibrationConfig::default(),
+        );
+        assert_eq!(cal.samples().len(), 5);
+    }
+
+    #[test]
+    fn convex_hull_of_degenerate_inputs() {
+        let (lo, up) = convex_hull_facets(&[]);
+        assert!(lo.is_empty() && up.is_empty());
+        let (lo, up) = convex_hull_facets(&[(5.0, 7.0)]);
+        assert_eq!(lo, vec![(5.0, 7.0)]);
+        assert_eq!(up, vec![(5.0, 7.0)]);
+        // Collinear points: both facets span the full range.
+        let (lo, up) = convex_hull_facets(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        assert_eq!(lo.first().unwrap().0, 0.0);
+        assert_eq!(lo.last().unwrap().0, 2.0);
+        assert_eq!(up.first().unwrap().0, 0.0);
+        assert_eq!(up.last().unwrap().0, 2.0);
+    }
+
+    #[test]
+    fn piecewise_evaluation() {
+        let v = vec![(0.0, 0.0), (10.0, 100.0), (20.0, 150.0)];
+        assert_eq!(eval_piecewise(&v, -5.0), Some(0.0));
+        assert_eq!(eval_piecewise(&v, 5.0), Some(50.0));
+        assert_eq!(eval_piecewise(&v, 15.0), Some(125.0));
+        assert_eq!(eval_piecewise(&v, 25.0), Some(150.0));
+        assert_eq!(eval_piecewise(&[], 1.0), None);
+    }
+}

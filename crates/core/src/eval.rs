@@ -1,0 +1,295 @@
+//! Evaluation harness (§3).
+//!
+//! The paper's evaluation treats every host as a target in turn, localizing
+//! it with the remaining hosts as landmarks, and reports (i) the CDF of the
+//! distance between the point estimate and the true position (Figure 3) and
+//! (ii) the fraction of targets whose true position falls inside the
+//! estimated region, as a function of the number of landmarks (Figure 4).
+//! This module provides the leave-one-out driver and the statistics types
+//! those figures are built from; the `octant-bench` crate contains the
+//! binaries that print the actual figure data.
+
+use crate::framework::{Geolocator, LocationEstimate};
+use octant_geo::distance::great_circle;
+use octant_geo::point::GeoPoint;
+use octant_geo::units::Distance;
+use octant_netsim::observation::ObservationProvider;
+use octant_netsim::topology::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of localizing a single target.
+#[derive(Debug, Clone)]
+pub struct TargetOutcome {
+    /// The target that was localized.
+    pub target: NodeId,
+    /// Its ground-truth position.
+    pub truth: GeoPoint,
+    /// The full estimate (region + point).
+    pub estimate: LocationEstimate,
+    /// Distance between the point estimate and the truth, if a point estimate
+    /// exists.
+    pub error: Option<Distance>,
+    /// Whether the truth lies inside the estimated region, if a region
+    /// exists.
+    pub region_hit: Option<bool>,
+    /// Area of the estimated region in square miles, if a region exists.
+    pub region_area_mi2: Option<f64>,
+}
+
+/// Runs the paper's leave-one-out evaluation: each host in `hosts` serves as
+/// the target once, with every other host acting as a landmark.
+pub fn leave_one_out(
+    provider: &dyn ObservationProvider,
+    geolocator: &dyn Geolocator,
+    hosts: &[NodeId],
+) -> Vec<TargetOutcome> {
+    hosts
+        .iter()
+        .map(|&target| {
+            let landmarks: Vec<NodeId> = hosts.iter().copied().filter(|&h| h != target).collect();
+            evaluate_target(provider, geolocator, &landmarks, target)
+        })
+        .collect()
+}
+
+/// Leave-one-out with a bounded number of landmarks: for every target a
+/// random subset of `landmark_count` other hosts is used (the Figure 4
+/// experiment).
+pub fn leave_one_out_with_landmark_count<R: Rng + ?Sized>(
+    provider: &dyn ObservationProvider,
+    geolocator: &dyn Geolocator,
+    hosts: &[NodeId],
+    landmark_count: usize,
+    rng: &mut R,
+) -> Vec<TargetOutcome> {
+    hosts
+        .iter()
+        .map(|&target| {
+            let mut candidates: Vec<NodeId> = hosts.iter().copied().filter(|&h| h != target).collect();
+            candidates.shuffle(rng);
+            candidates.truncate(landmark_count.min(candidates.len()));
+            evaluate_target(provider, geolocator, &candidates, target)
+        })
+        .collect()
+}
+
+/// Localizes one target and scores the outcome against the ground truth.
+pub fn evaluate_target(
+    provider: &dyn ObservationProvider,
+    geolocator: &dyn Geolocator,
+    landmarks: &[NodeId],
+    target: NodeId,
+) -> TargetOutcome {
+    let truth = provider
+        .advertised_location(target)
+        .expect("evaluation targets must have a known ground-truth position");
+    let estimate = geolocator.localize(provider, landmarks, target);
+    let error = estimate.point.map(|p| great_circle(p, truth));
+    let region_hit = estimate.region.as_ref().map(|r| r.contains(truth));
+    let region_area_mi2 = estimate.region.as_ref().map(|r| r.area_mi2());
+    TargetOutcome { target, truth, estimate, error, region_hit, region_area_mi2 }
+}
+
+/// Fraction of outcomes whose estimated region contains the true position
+/// (targets without a region count as misses).
+pub fn region_hit_rate(outcomes: &[TargetOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    let hits = outcomes.iter().filter(|o| o.region_hit == Some(true)).count();
+    hits as f64 / outcomes.len() as f64
+}
+
+/// Mean area of the estimated regions in square miles (over the outcomes that
+/// have a region).
+pub fn mean_region_area_mi2(outcomes: &[TargetOutcome]) -> Option<f64> {
+    let areas: Vec<f64> = outcomes.iter().filter_map(|o| o.region_area_mi2).collect();
+    if areas.is_empty() {
+        None
+    } else {
+        Some(areas.iter().sum::<f64>() / areas.len() as f64)
+    }
+}
+
+/// An empirical CDF of localization errors, in miles (the unit the paper
+/// reports).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ErrorCdf {
+    sorted_miles: Vec<f64>,
+}
+
+impl ErrorCdf {
+    /// Builds a CDF from raw errors. Outcomes without a point estimate are
+    /// treated as "infinitely wrong" and sorted to the end with an error of
+    /// half the Earth's circumference.
+    pub fn from_outcomes(outcomes: &[TargetOutcome]) -> Self {
+        let worst = octant_geo::EARTH_CIRCUMFERENCE_KM / 2.0 / octant_geo::KM_PER_MILE;
+        let mut miles: Vec<f64> =
+            outcomes.iter().map(|o| o.error.map(|d| d.miles()).unwrap_or(worst)).collect();
+        miles.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ErrorCdf { sorted_miles: miles }
+    }
+
+    /// Builds a CDF from plain distances.
+    pub fn from_errors(errors: &[Distance]) -> Self {
+        let mut miles: Vec<f64> = errors.iter().map(|d| d.miles()).collect();
+        miles.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ErrorCdf { sorted_miles: miles }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted_miles.len()
+    }
+
+    /// `true` when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted_miles.is_empty()
+    }
+
+    /// The `p`-quantile (p in 0..=1) of the error, in miles.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.sorted_miles.is_empty() {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let idx = ((self.sorted_miles.len() as f64 - 1.0) * p).round() as usize;
+        Some(self.sorted_miles[idx])
+    }
+
+    /// Median error in miles.
+    pub fn median(&self) -> Option<f64> {
+        self.percentile(0.5)
+    }
+
+    /// Worst-case error in miles.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted_miles.last().copied()
+    }
+
+    /// Fraction of targets with error at most `miles`.
+    pub fn fraction_within(&self, miles: f64) -> f64 {
+        if self.sorted_miles.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted_miles.iter().filter(|&&m| m <= miles).count();
+        count as f64 / self.sorted_miles.len() as f64
+    }
+
+    /// The CDF as (error in miles, cumulative fraction) points, one per
+    /// sample — exactly what Figure 3 plots.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted_miles.len();
+        self.sorted_miles
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (m, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{Octant, OctantConfig};
+    use octant_netsim::builder::{HostSpec, NetworkBuilder, NetworkConfig};
+    use octant_netsim::probe::Prober;
+    use octant_netsim::ObservationProvider;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_prober(n: usize) -> Prober {
+        let mut builder = NetworkBuilder::new(NetworkConfig::default());
+        for site in octant_geo::sites::planetlab_51().iter().take(n) {
+            builder = builder.add_host(HostSpec::from_site(site));
+        }
+        Prober::new(builder.build(), 99)
+    }
+
+    #[test]
+    fn cdf_statistics() {
+        let errors: Vec<Distance> = [10.0, 30.0, 20.0, 40.0, 50.0]
+            .iter()
+            .map(|&m| Distance::from_miles(m))
+            .collect();
+        let cdf = ErrorCdf::from_errors(&errors);
+        assert_eq!(cdf.len(), 5);
+        assert_eq!(cdf.median(), Some(30.0));
+        assert_eq!(cdf.max(), Some(50.0));
+        assert_eq!(cdf.percentile(0.0), Some(10.0));
+        assert_eq!(cdf.percentile(1.0), Some(50.0));
+        assert!((cdf.fraction_within(35.0) - 0.6).abs() < 1e-12);
+        assert_eq!(cdf.fraction_within(5.0), 0.0);
+        assert_eq!(cdf.fraction_within(100.0), 1.0);
+        let pts = cdf.points();
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], (10.0, 0.2));
+        assert_eq!(pts[4], (50.0, 1.0));
+    }
+
+    #[test]
+    fn empty_cdf_behaviour() {
+        let cdf = ErrorCdf::default();
+        assert!(cdf.is_empty());
+        assert!(cdf.median().is_none());
+        assert!(cdf.max().is_none());
+        assert_eq!(cdf.fraction_within(10.0), 0.0);
+        assert!(cdf.points().is_empty());
+    }
+
+    #[test]
+    fn leave_one_out_produces_one_outcome_per_host() {
+        let prober = small_prober(10);
+        let hosts: Vec<NodeId> = prober.hosts().iter().map(|h| h.id).collect();
+        let octant = Octant::new(OctantConfig::default());
+        let outcomes = leave_one_out(&prober, &octant, &hosts);
+        assert_eq!(outcomes.len(), hosts.len());
+        for o in &outcomes {
+            assert!(o.error.is_some(), "every target should receive a point estimate");
+        }
+        let cdf = ErrorCdf::from_outcomes(&outcomes);
+        assert!(cdf.median().unwrap() < 500.0, "median error {} mi is implausibly large", cdf.median().unwrap());
+        // With only 9 landmarks the convex hulls are sparse and aggressive, so
+        // the region misses the truth for a sizeable share of targets; the
+        // full-scale behaviour is tracked by tests/accuracy.rs and figure4.
+        let hit_rate = region_hit_rate(&outcomes);
+        assert!(hit_rate >= 0.2, "hit rate {hit_rate}");
+        assert!(mean_region_area_mi2(&outcomes).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn landmark_count_sweep_uses_the_requested_number() {
+        let prober = small_prober(12);
+        let hosts: Vec<NodeId> = prober.hosts().iter().map(|h| h.id).collect();
+        let octant = Octant::new(OctantConfig::minimal());
+        let mut rng = StdRng::seed_from_u64(4);
+        let outcomes = leave_one_out_with_landmark_count(&prober, &octant, &hosts, 5, &mut rng);
+        assert_eq!(outcomes.len(), hosts.len());
+        // Using fewer landmarks should not crash and should still produce
+        // estimates; accuracy naturally degrades.
+        assert!(outcomes.iter().all(|o| o.error.is_some()));
+        // Requesting more landmarks than available just uses all of them.
+        let outcomes = leave_one_out_with_landmark_count(&prober, &octant, &hosts, 500, &mut rng);
+        assert_eq!(outcomes.len(), hosts.len());
+    }
+
+    #[test]
+    fn outcomes_without_regions_count_as_misses() {
+        let prober = small_prober(6);
+        let hosts: Vec<NodeId> = prober.hosts().iter().map(|h| h.id).collect();
+        let truth = prober.advertised_location(hosts[0]).unwrap();
+        let outcome = TargetOutcome {
+            target: hosts[0],
+            truth,
+            estimate: LocationEstimate::unknown(),
+            error: None,
+            region_hit: None,
+            region_area_mi2: None,
+        };
+        assert_eq!(region_hit_rate(&[outcome]), 0.0);
+        assert!(mean_region_area_mi2(&[]).is_none());
+        assert_eq!(region_hit_rate(&[]), 0.0);
+    }
+}

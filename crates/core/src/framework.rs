@@ -1,0 +1,647 @@
+//! The Octant framework: orchestration of calibration, heights, piecewise
+//! localization, geographic constraints and the weighted solver.
+
+use crate::calibration::{Calibration, CalibrationConfig, CalibrationSample};
+use crate::constraint::{latency_weight, Constraint};
+use crate::geography;
+use crate::heights::{adjust_rtt, estimate_target_height, Heights};
+use crate::piecewise;
+use crate::solver::{SolveReport, Solver, SolverConfig};
+use octant_geo::distance::great_circle;
+use octant_geo::point::GeoPoint;
+use octant_geo::projection::AzimuthalEquidistant;
+use octant_geo::units::{Distance, Latency};
+use octant_netsim::observation::ObservationProvider;
+use octant_netsim::topology::NodeId;
+use octant_region::GeoRegion;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How on-path routers are localized for the piecewise constraints of §2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterLocalization {
+    /// Do not use router-derived constraints at all.
+    Off,
+    /// Use the router's DNS-revealed city as its position estimate
+    /// (the `undns` approach; cheap and effective).
+    CityHint,
+    /// Localize each router with Octant itself from the landmarks' pings to
+    /// it, then use the resulting region as a secondary landmark
+    /// (the full recursive construction of §2).
+    Recursive,
+}
+
+/// Configuration of the full Octant pipeline. The defaults correspond to the
+/// complete system evaluated in the paper; the individual switches exist for
+/// the ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OctantConfig {
+    /// Latency→distance calibration parameters (§2.1).
+    pub calibration: CalibrationConfig,
+    /// Estimate and remove per-node queuing delays (§2.2).
+    pub use_heights: bool,
+    /// Derive negative (exclusion) constraints from the calibration's lower
+    /// facet (§2.1, §2).
+    pub use_negative_constraints: bool,
+    /// Strategy for router-derived constraints (§2.3).
+    pub router_localization: RouterLocalization,
+    /// Use the WHOIS registration of the target's prefix as a positive hint
+    /// (§2.5).
+    pub use_whois: bool,
+    /// Remove oceans/uninhabitable areas from the final estimate (§2.5).
+    pub use_landmass_constraint: bool,
+    /// Decay constant (ms) of the exponential latency weighting (§2.4).
+    pub weight_decay_ms: f64,
+    /// Minimum area (km²) the solver must preserve (§2.4's size threshold).
+    pub min_region_area_km2: f64,
+    /// Radius of the positive constraint derived from a WHOIS city record.
+    pub whois_radius_km: f64,
+    /// Weight of the WHOIS constraint (kept modest: records are often stale).
+    pub whois_weight: f64,
+    /// Metro-scale uncertainty added around a router localized by city hint.
+    pub router_city_uncertainty_km: f64,
+    /// Maximum number of router-derived constraints per target.
+    pub max_router_constraints: usize,
+    /// Floor on positive-constraint radii (km): even a vanishing adjusted
+    /// latency cannot claim better-than-metro accuracy.
+    pub min_positive_radius_km: f64,
+    /// Height adjustment never removes more than this fraction of the raw
+    /// latency, guarding against over-estimated heights collapsing a
+    /// constraint to nothing.
+    pub max_height_adjustment_frac: f64,
+}
+
+impl Default for OctantConfig {
+    fn default() -> Self {
+        OctantConfig {
+            calibration: CalibrationConfig::default(),
+            use_heights: true,
+            use_negative_constraints: true,
+            router_localization: RouterLocalization::CityHint,
+            use_whois: true,
+            use_landmass_constraint: true,
+            weight_decay_ms: 80.0,
+            min_region_area_km2: 10_000.0,
+            whois_radius_km: 250.0,
+            whois_weight: 0.25,
+            router_city_uncertainty_km: 60.0,
+            max_router_constraints: 12,
+            min_positive_radius_km: 50.0,
+            max_height_adjustment_frac: 0.6,
+        }
+    }
+}
+
+impl OctantConfig {
+    /// A configuration with every optional mechanism disabled: pure
+    /// end-to-end latency constraints with speed-of-light/hull calibration.
+    /// Useful as an ablation baseline.
+    pub fn minimal() -> Self {
+        OctantConfig {
+            use_heights: false,
+            use_negative_constraints: false,
+            router_localization: RouterLocalization::Off,
+            use_whois: false,
+            use_landmass_constraint: false,
+            ..OctantConfig::default()
+        }
+    }
+}
+
+/// The result of localizing one target.
+#[derive(Debug, Clone)]
+pub struct LocationEstimate {
+    /// The estimated location region βᵢ (non-convex, possibly disconnected).
+    /// `None` only when not even a single landmark measurement was available.
+    pub region: Option<GeoRegion>,
+    /// The point estimate (the weighted centre of the region), used when a
+    /// single answer is required.
+    pub point: Option<GeoPoint>,
+    /// What the solver did with the constraints.
+    pub report: SolveReport,
+    /// The target's estimated height (queuing delay) in milliseconds, when
+    /// heights were enabled.
+    pub target_height_ms: Option<f64>,
+}
+
+impl LocationEstimate {
+    /// An empty estimate (no usable measurements).
+    pub fn unknown() -> Self {
+        LocationEstimate { region: None, point: None, report: SolveReport::default(), target_height_ms: None }
+    }
+}
+
+/// Anything that can localize a target from landmarks and observations.
+/// Implemented by [`Octant`] and by every baseline in `octant-baselines`, so
+/// the evaluation harness can treat them uniformly.
+pub trait Geolocator {
+    /// Human-readable name used in result tables ("Octant", "GeoLim", …).
+    fn name(&self) -> &str;
+
+    /// Localizes `target` using the given landmark hosts (whose advertised
+    /// positions may be consulted) and the observation provider.
+    fn localize(
+        &self,
+        provider: &dyn ObservationProvider,
+        landmarks: &[NodeId],
+        target: NodeId,
+    ) -> LocationEstimate;
+}
+
+/// The Octant geolocalization framework.
+#[derive(Debug, Clone)]
+pub struct Octant {
+    config: OctantConfig,
+}
+
+impl Octant {
+    /// Creates an Octant instance with the given configuration.
+    pub fn new(config: OctantConfig) -> Self {
+        Octant { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OctantConfig {
+        &self.config
+    }
+
+    /// Removes heights from a raw RTT, but never more than the configured
+    /// fraction of it: over-estimated heights (which absorb route inflation)
+    /// must not collapse a measurement to zero.
+    fn bounded_adjust(&self, raw: Latency, landmark_height_ms: f64, target_height_ms: f64) -> Latency {
+        let floor = raw * (1.0 - self.config.max_height_adjustment_frac.clamp(0.0, 1.0));
+        adjust_rtt(raw, landmark_height_ms, target_height_ms).max(floor)
+    }
+
+    /// Localizes an arbitrary node (host or router) for which the landmarks
+    /// have ping measurements. This is the entry point used both for targets
+    /// and, recursively, for on-path routers.
+    fn localize_node(
+        &self,
+        provider: &dyn ObservationProvider,
+        landmarks: &[NodeId],
+        target: NodeId,
+        allow_router_constraints: bool,
+    ) -> LocationEstimate {
+        // ---- Landmark positions -------------------------------------------------
+        let mut lm_ids: Vec<NodeId> = Vec::new();
+        let mut lm_pos: Vec<GeoPoint> = Vec::new();
+        for &lm in landmarks {
+            if lm == target {
+                continue;
+            }
+            if let Some(pos) = provider.advertised_location(lm) {
+                lm_ids.push(lm);
+                lm_pos.push(pos);
+            }
+        }
+        if lm_ids.is_empty() {
+            return LocationEstimate::unknown();
+        }
+
+        // ---- Raw measurements ---------------------------------------------------
+        // Target RTTs (minimum over the probes).
+        let target_rtts: Vec<Option<Latency>> =
+            lm_ids.iter().map(|&lm| provider.ping(lm, target).min()).collect();
+        if target_rtts.iter().all(|r| r.is_none()) {
+            return LocationEstimate::unknown();
+        }
+        // Inter-landmark RTTs (for calibration and heights).
+        let mut inter: HashMap<(usize, usize), Latency> = HashMap::new();
+        for i in 0..lm_ids.len() {
+            for j in 0..lm_ids.len() {
+                if i == j {
+                    continue;
+                }
+                if let Some(rtt) = provider.ping(lm_ids[i], lm_ids[j]).min() {
+                    inter.insert((i, j), rtt);
+                }
+            }
+        }
+
+        // ---- Heights (§2.2) -----------------------------------------------------
+        let heights = if self.config.use_heights {
+            Heights::solve_landmarks(&lm_pos, &inter)
+        } else {
+            Heights::default()
+        };
+        let target_height = estimate_target_height(&lm_pos, &heights, &target_rtts);
+        let target_height_ms = if self.config.use_heights { target_height.height_ms } else { 0.0 };
+
+        // The projection is centred on the coarse position estimate so that
+        // constraint disks suffer minimal distortion.
+        let projection = AzimuthalEquidistant::new(target_height.coarse_position);
+
+        // ---- Per-landmark calibration (§2.1) -------------------------------------
+        let mut calibrations: Vec<Calibration> = Vec::with_capacity(lm_ids.len());
+        let mut pooled: Vec<CalibrationSample> = Vec::new();
+        for i in 0..lm_ids.len() {
+            let mut samples = Vec::new();
+            for j in 0..lm_ids.len() {
+                if i == j {
+                    continue;
+                }
+                if let Some(&rtt) = inter.get(&(i, j)) {
+                    let adjusted = if self.config.use_heights {
+                        self.bounded_adjust(rtt, heights.get_ms(i), heights.get_ms(j))
+                    } else {
+                        rtt
+                    };
+                    let sample = CalibrationSample { latency: adjusted, distance: great_circle(lm_pos[i], lm_pos[j]) };
+                    samples.push(sample);
+                    pooled.push(sample);
+                }
+            }
+            calibrations.push(Calibration::from_samples(samples, self.config.calibration));
+        }
+        let global_calibration = Calibration::from_samples(pooled, self.config.calibration);
+
+        // ---- Latency constraints --------------------------------------------------
+        let mut constraints: Vec<Constraint> = Vec::new();
+        for i in 0..lm_ids.len() {
+            let raw = match target_rtts[i] {
+                Some(r) => r,
+                None => continue,
+            };
+            let adjusted = if self.config.use_heights {
+                self.bounded_adjust(raw, heights.get_ms(i), target_height_ms)
+            } else {
+                raw
+            };
+            let weight = latency_weight(adjusted, self.config.weight_decay_ms);
+            let r_max = calibrations[i]
+                .max_distance(adjusted)
+                .max(Distance::from_km(self.config.min_positive_radius_km));
+            let region = GeoRegion::disk(projection, lm_pos[i], r_max);
+            constraints.push(Constraint::positive(region, weight, format!("lm{}+", i)));
+
+            if self.config.use_negative_constraints {
+                let r_min = calibrations[i].min_distance(adjusted);
+                if r_min.km() > 1.0 {
+                    let region = GeoRegion::disk(projection, lm_pos[i], r_min);
+                    constraints.push(Constraint::negative(region, weight, format!("lm{}-", i)));
+                }
+            }
+        }
+
+        // ---- Piecewise router constraints (§2.3) -----------------------------------
+        if allow_router_constraints && self.config.router_localization != RouterLocalization::Off {
+            let mut router_constraints = self.router_constraints(
+                provider,
+                &lm_ids,
+                &lm_pos,
+                &target_rtts,
+                target,
+                target_height_ms,
+                projection,
+                &global_calibration,
+            );
+            // Keep the tightest (smallest-region) router constraints.
+            router_constraints.sort_by(|a, b| {
+                a.region
+                    .area_km2()
+                    .partial_cmp(&b.region.area_km2())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            router_constraints.truncate(self.config.max_router_constraints);
+            constraints.extend(router_constraints);
+        }
+
+        // ---- WHOIS constraint (§2.5) ------------------------------------------------
+        if self.config.use_whois {
+            if let Some(ip) = host_ip(provider, target) {
+                if let Some(city) = provider.whois_city(ip) {
+                    if let Some(c) = geography::whois_constraint(
+                        projection,
+                        &city,
+                        Distance::from_km(self.config.whois_radius_km),
+                        self.config.whois_weight,
+                    ) {
+                        constraints.push(c);
+                    }
+                }
+            }
+        }
+
+        // ---- Solve -------------------------------------------------------------------
+        let solver = Solver::new(SolverConfig {
+            min_region_area_km2: self.config.min_region_area_km2,
+            ..SolverConfig::default()
+        });
+        let (mut region, report) = solver.solve(projection, &constraints);
+
+        // ---- Geographic restriction (§2.5) ---------------------------------------------
+        if self.config.use_landmass_constraint && !region.is_empty() {
+            region = geography::restrict_to_land(&region);
+        }
+
+        let point = weighted_point_estimate(&region, &constraints)
+            .or_else(|| region.centroid())
+            .or(Some(target_height.coarse_position));
+        LocationEstimate {
+            region: if region.is_empty() { None } else { Some(region) },
+            point,
+            report,
+            target_height_ms: if self.config.use_heights { Some(target_height_ms) } else { None },
+        }
+    }
+
+    /// Builds router-derived constraints for a target.
+    #[allow(clippy::too_many_arguments)]
+    fn router_constraints(
+        &self,
+        provider: &dyn ObservationProvider,
+        lm_ids: &[NodeId],
+        lm_pos: &[GeoPoint],
+        target_rtts: &[Option<Latency>],
+        target: NodeId,
+        target_height_ms: f64,
+        projection: AzimuthalEquidistant,
+        global_calibration: &Calibration,
+    ) -> Vec<Constraint> {
+        let mut out = Vec::new();
+        let mut seen_routers: HashMap<NodeId, Latency> = HashMap::new();
+
+        for (i, &lm) in lm_ids.iter().enumerate() {
+            let end_to_end = match target_rtts[i] {
+                Some(r) => r,
+                None => continue,
+            };
+            // The residual between the last router and the target contains the
+            // target's own queuing delay; remove the estimated height (bounded
+            // the same way as for the direct constraints) so the residual
+            // reflects propagation as closely as possible.
+            let end_to_end = if self.config.use_heights {
+                self.bounded_adjust(end_to_end, 0.0, target_height_ms)
+            } else {
+                end_to_end
+            };
+            let hops = provider.traceroute(lm, target);
+            if hops.is_empty() {
+                continue;
+            }
+            match self.config.router_localization {
+                RouterLocalization::Off => {}
+                RouterLocalization::CityHint => {
+                    if let Some(localized) = piecewise::last_localizable_hop(&hops, end_to_end) {
+                        // Keep only the tightest residual per router.
+                        let keep = seen_routers
+                            .get(&localized.hop.node)
+                            .map(|prev| localized.residual.ms() < prev.ms())
+                            .unwrap_or(true);
+                        if keep {
+                            seen_routers.insert(localized.hop.node, localized.residual);
+                            out.push(piecewise::city_hint_router_constraint(
+                                projection,
+                                &localized,
+                                global_calibration,
+                                Distance::from_km(self.config.router_city_uncertainty_km),
+                                self.config.weight_decay_ms,
+                            ));
+                        }
+                    }
+                }
+                RouterLocalization::Recursive => {
+                    // Use the last hop (closest to the target) regardless of
+                    // whether its name parses, and localize it with Octant
+                    // itself from the landmarks' measurements to it.
+                    let last = match hops.last() {
+                        Some(h) => h,
+                        None => continue,
+                    };
+                    let residual = Latency::from_ms((end_to_end.ms() - last.rtt.ms()).max(0.0));
+                    let better = seen_routers
+                        .get(&last.node)
+                        .map(|prev| residual.ms() < prev.ms())
+                        .unwrap_or(true);
+                    if !better {
+                        continue;
+                    }
+                    seen_routers.insert(last.node, residual);
+                    let sub = Octant::new(OctantConfig {
+                        router_localization: RouterLocalization::Off,
+                        use_whois: false,
+                        ..self.config
+                    });
+                    let router_estimate = sub.localize_node(provider, lm_ids, last.node, false);
+                    if let Some(router_region) = router_estimate.region {
+                        let anchored = router_region.reproject(projection);
+                        out.push(piecewise::secondary_landmark_constraint(
+                            &anchored,
+                            residual,
+                            global_calibration,
+                            self.config.weight_decay_ms,
+                            format!("router:{}", last.hostname),
+                        ));
+                    } else if let Some(p) = router_estimate.point {
+                        let small = GeoRegion::disk(projection, p, Distance::from_km(self.config.router_city_uncertainty_km));
+                        out.push(piecewise::secondary_landmark_constraint(
+                            &small,
+                            residual,
+                            global_calibration,
+                            self.config.weight_decay_ms,
+                            format!("router:{}", last.hostname),
+                        ));
+                    }
+                }
+            }
+            // Keep the landmark position slice alive for symmetry with the
+            // calibration (and to make it obvious `lm_pos[i]` corresponds to
+            // `lm`): nothing else to do here.
+            let _ = (lm, lm_pos.get(i));
+        }
+        out
+    }
+}
+
+impl Geolocator for Octant {
+    fn name(&self) -> &str {
+        "Octant"
+    }
+
+    fn localize(
+        &self,
+        provider: &dyn ObservationProvider,
+        landmarks: &[NodeId],
+        target: NodeId,
+    ) -> LocationEstimate {
+        self.localize_node(provider, landmarks, target, true)
+    }
+}
+
+/// Looks up a host's IP address from the provider's host list.
+fn host_ip(provider: &dyn ObservationProvider, id: NodeId) -> Option<[u8; 4]> {
+    provider.hosts().into_iter().find(|h| h.id == id).map(|h| h.ip)
+}
+
+/// The weighted point estimate of §2.4: instead of the plain area centroid,
+/// favour the part of the estimated region covered by the largest total
+/// constraint weight. Implemented by scoring the centroid plus a fixed number
+/// of deterministic region samples against the constraint set and averaging
+/// the top quartile on the unit sphere.
+fn weighted_point_estimate(region: &GeoRegion, constraints: &[Constraint]) -> Option<GeoPoint> {
+    use rand::SeedableRng;
+    let centroid = region.centroid()?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+    let mut candidates = vec![centroid];
+    for _ in 0..160 {
+        if let Some(p) = region.sample_point(&mut rng) {
+            candidates.push(p);
+        }
+    }
+    let score = |p: GeoPoint| -> f64 {
+        constraints
+            .iter()
+            .map(|c| {
+                if c.region.contains(p) {
+                    if c.is_positive() {
+                        c.weight
+                    } else {
+                        -c.weight
+                    }
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    };
+    let mut scored: Vec<(f64, GeoPoint)> = candidates.into_iter().map(|p| (score(p), p)).collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let top = &scored[..(scored.len() / 4).max(1)];
+    let mut v = [0.0f64; 3];
+    for (_, p) in top {
+        let u = p.to_unit_vector();
+        v[0] += u[0];
+        v[1] += u[1];
+        v[2] += u[2];
+    }
+    Some(GeoPoint::from_vector(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octant_geo::distance::great_circle_km;
+    use octant_netsim::builder::{HostSpec, NetworkBuilder, NetworkConfig};
+    use octant_netsim::latency::LatencyModel;
+    use octant_netsim::probe::Prober;
+    use octant_netsim::ObservationProvider;
+
+    /// A small deployment (subset of the PlanetLab sites) keeps unit tests fast.
+    fn small_prober(n: usize, seed: u64) -> Prober {
+        let mut builder = NetworkBuilder::new(NetworkConfig { seed, ..NetworkConfig::default() });
+        for site in octant_geo::sites::planetlab_51().iter().take(n) {
+            builder = builder.add_host(HostSpec::from_site(site));
+        }
+        Prober::with_options(builder.build(), LatencyModel::default(), 0.1, 10, seed)
+    }
+
+    #[test]
+    fn octant_localizes_a_target_with_usable_accuracy() {
+        let prober = small_prober(16, 11);
+        let hosts = prober.hosts();
+        let octant = Octant::new(OctantConfig::default());
+        // Localize the Cornell node using the other 15.
+        let target = hosts[0].id;
+        let landmarks: Vec<NodeId> = hosts[1..].iter().map(|h| h.id).collect();
+        let est = octant.localize(&prober, &landmarks, target);
+        let truth = prober.network().node(target).location;
+        let point = est.point.expect("a point estimate must exist");
+        let err = great_circle_km(point, truth);
+        assert!(err < 600.0, "error {err:.0} km is implausibly large for 15 landmarks");
+        let region = est.region.expect("a region estimate must exist");
+        assert!(region.area_km2() > 0.0);
+        assert!(est.report.applied_positive >= 5);
+    }
+
+    #[test]
+    fn estimate_region_usually_contains_the_truth() {
+        let prober = small_prober(14, 23);
+        let hosts = prober.hosts();
+        let octant = Octant::new(OctantConfig::default());
+        let mut hits = 0;
+        let mut total = 0;
+        for t in 0..6 {
+            let target = hosts[t].id;
+            let landmarks: Vec<NodeId> =
+                hosts.iter().map(|h| h.id).filter(|&id| id != target).collect();
+            let est = octant.localize(&prober, &landmarks, target);
+            if let Some(region) = est.region {
+                total += 1;
+                if region.contains(prober.network().node(target).location) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(total >= 5, "almost every solve should produce a region");
+        // With 13 landmarks the aggressively-derived hulls are sparse, so a
+        // minority of regions may miss the truth; require that the mechanism
+        // works for a meaningful share rather than a majority here (the
+        // 51-landmark behaviour is covered by the figure4 harness).
+        assert!(hits >= 2, "at least a third of the regions should contain the truth ({hits}/{total})");
+    }
+
+    #[test]
+    fn unknown_when_no_landmarks_are_usable() {
+        let prober = small_prober(6, 3);
+        let hosts = prober.hosts();
+        let octant = Octant::new(OctantConfig::default());
+        let est = octant.localize(&prober, &[], hosts[0].id);
+        assert!(est.point.is_none());
+        assert!(est.region.is_none());
+        // Landmarks equal to the target are ignored.
+        let est = octant.localize(&prober, &[hosts[0].id], hosts[0].id);
+        assert!(est.point.is_none());
+    }
+
+    #[test]
+    fn minimal_config_still_works_but_is_less_precise() {
+        let prober = small_prober(14, 5);
+        let hosts = prober.hosts();
+        let target = hosts[2].id;
+        let landmarks: Vec<NodeId> = hosts.iter().map(|h| h.id).filter(|&id| id != target).collect();
+        let truth = prober.network().node(target).location;
+
+        let full = Octant::new(OctantConfig::default()).localize(&prober, &landmarks, target);
+        let minimal = Octant::new(OctantConfig::minimal()).localize(&prober, &landmarks, target);
+        let full_region = full.region.unwrap();
+        let minimal_region = minimal.region.unwrap();
+        // The fully-featured configuration must not be (much) worse in area.
+        assert!(
+            full_region.area_km2() <= minimal_region.area_km2() * 1.5,
+            "full {:.0} km² vs minimal {:.0} km²",
+            full_region.area_km2(),
+            minimal_region.area_km2()
+        );
+        let full_err = great_circle_km(full.point.unwrap(), truth);
+        assert!(full_err < 800.0);
+        assert!(minimal.target_height_ms.is_none());
+        assert!(full.target_height_ms.is_some());
+    }
+
+    #[test]
+    fn recursive_router_localization_produces_an_estimate() {
+        let prober = small_prober(10, 29);
+        let hosts = prober.hosts();
+        let target = hosts[1].id;
+        let landmarks: Vec<NodeId> = hosts.iter().map(|h| h.id).filter(|&id| id != target).collect();
+        let cfg = OctantConfig { router_localization: RouterLocalization::Recursive, max_router_constraints: 3, ..OctantConfig::default() };
+        let est = Octant::new(cfg).localize(&prober, &landmarks, target);
+        let truth = prober.network().node(target).location;
+        let err = great_circle_km(est.point.unwrap(), truth);
+        assert!(err < 1000.0, "recursive mode error {err:.0} km");
+    }
+
+    #[test]
+    fn geolocator_trait_object_works() {
+        let prober = small_prober(8, 31);
+        let hosts = prober.hosts();
+        let octant = Octant::new(OctantConfig::default());
+        let geolocator: &dyn Geolocator = &octant;
+        assert_eq!(geolocator.name(), "Octant");
+        let target = hosts[0].id;
+        let landmarks: Vec<NodeId> = hosts[1..].iter().map(|h| h.id).collect();
+        let est = geolocator.localize(&prober, &landmarks, target);
+        assert!(est.point.is_some());
+    }
+}

@@ -1,0 +1,139 @@
+//! Geographic and demographic constraints (§2.5).
+//!
+//! Beyond latency, Octant folds in any geographic knowledge available:
+//! negative constraints removing oceans and other uninhabitable areas, and
+//! positive constraints derived from the WHOIS record of the target's IP
+//! prefix (a city/ZIP-level registration that is sometimes stale or wrong and
+//! therefore enters with a modest weight).
+
+use crate::constraint::Constraint;
+use octant_geo::cities;
+use octant_geo::landmass::LANDMASSES;
+use octant_geo::point::GeoPoint;
+use octant_geo::projection::AzimuthalEquidistant;
+use octant_geo::units::Distance;
+use octant_region::GeoRegion;
+
+/// The union of all coarse landmass outlines, expressed in `projection`.
+/// Intersecting an estimate with this region implements the paper's "the
+/// target is not in an ocean" negative constraint.
+pub fn landmass_union(projection: AzimuthalEquidistant) -> GeoRegion {
+    let mut acc = GeoRegion::from_region(projection, octant_region::Region::empty());
+    for lm in LANDMASSES {
+        let region = GeoRegion::from_landmass(projection, lm);
+        acc = acc.union(&region);
+    }
+    acc
+}
+
+/// Restricts `estimate` to land. When the intersection would wipe the
+/// estimate out entirely (which can only happen if the estimate already
+/// contradicts the latency constraints), the original estimate is returned
+/// unchanged — geographic hints must never empty the solution (§2.4's
+/// robustness principle).
+pub fn restrict_to_land(estimate: &GeoRegion) -> GeoRegion {
+    let land = landmass_union(estimate.projection());
+    let restricted = estimate.intersect(&land);
+    if restricted.is_empty() {
+        estimate.clone()
+    } else {
+        restricted
+    }
+}
+
+/// A positive constraint from a WHOIS registration: the target is believed to
+/// be within `radius` of the registered city. Returns `None` when the city
+/// code is unknown to the city table.
+pub fn whois_constraint(
+    projection: AzimuthalEquidistant,
+    city_code: &str,
+    radius: Distance,
+    weight: f64,
+) -> Option<Constraint> {
+    let city = cities::by_code(city_code)?;
+    let region = GeoRegion::disk(projection, city.location(), radius);
+    Some(Constraint::positive(region, weight, format!("whois:{}", city.code)))
+}
+
+/// A positive constraint from a known city hint (e.g. a router whose DNS name
+/// reveals its city), with an explicit radius and weight.
+pub fn city_hint_constraint(
+    projection: AzimuthalEquidistant,
+    city: &cities::City,
+    radius: Distance,
+    weight: f64,
+    label: impl Into<String>,
+) -> Constraint {
+    let region = GeoRegion::disk(projection, city.location(), radius);
+    Constraint::positive(region, weight, label)
+}
+
+/// `true` when a point is on land according to the coarse landmass outlines
+/// (re-exported convenience used by the evaluation and the examples).
+pub fn is_plausible_host_location(p: GeoPoint) -> bool {
+    octant_geo::landmass::is_on_land(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octant_geo::units::Distance;
+
+    fn proj() -> AzimuthalEquidistant {
+        AzimuthalEquidistant::new(GeoPoint::new(40.0, -75.0))
+    }
+
+    #[test]
+    fn landmass_union_contains_major_cities_not_oceans() {
+        let land = landmass_union(proj());
+        for code in ["nyc", "chi", "lax", "mia"] {
+            assert!(land.contains(cities::by_code(code).unwrap().location()), "{code} should be on land");
+        }
+        assert!(!land.contains(GeoPoint::new(35.0, -45.0)), "mid-Atlantic is ocean");
+    }
+
+    #[test]
+    fn restricting_to_land_removes_ocean_area() {
+        let nyc = cities::by_code("nyc").unwrap().location();
+        let region = GeoRegion::disk(proj(), nyc, Distance::from_km(600.0));
+        let restricted = restrict_to_land(&region);
+        assert!(restricted.area_km2() < region.area_km2(), "the Atlantic part must disappear");
+        assert!(restricted.contains(cities::by_code("phl").unwrap().location()));
+        assert!(!restricted.contains(GeoPoint::new(37.5, -68.0)));
+    }
+
+    #[test]
+    fn restriction_never_empties_the_estimate() {
+        // A disk entirely in the middle of the Pacific: restricting it to
+        // land would empty it, so the original must be returned.
+        let pacific = GeoPoint::new(30.0, -160.0);
+        let region = GeoRegion::disk(AzimuthalEquidistant::new(pacific), pacific, Distance::from_km(300.0));
+        let restricted = restrict_to_land(&region);
+        assert!(!restricted.is_empty());
+        assert!((restricted.area_km2() - region.area_km2()).abs() < 1.0);
+    }
+
+    #[test]
+    fn whois_constraints_resolve_known_cities() {
+        let c = whois_constraint(proj(), "chi", Distance::from_km(200.0), 0.4).unwrap();
+        assert!(c.is_positive());
+        assert_eq!(c.weight, 0.4);
+        assert!(c.region.contains(cities::by_code("chi").unwrap().location()));
+        assert!(!c.region.contains(cities::by_code("nyc").unwrap().location()));
+        assert!(whois_constraint(proj(), "not-a-city", Distance::from_km(200.0), 0.4).is_none());
+    }
+
+    #[test]
+    fn city_hint_constraint_is_centred_on_the_city() {
+        let city = cities::by_code("den").unwrap();
+        let c = city_hint_constraint(proj(), city, Distance::from_km(150.0), 0.9, "router hint");
+        assert!(c.region.contains(city.location()));
+        assert_eq!(c.label, "router hint");
+    }
+
+    #[test]
+    fn plausibility_check_delegates_to_landmass_data() {
+        assert!(is_plausible_host_location(GeoPoint::new(40.71, -74.01)));
+        assert!(!is_plausible_host_location(GeoPoint::new(0.0, -30.0)));
+    }
+}

@@ -1,0 +1,354 @@
+//! Queuing-delay ("height") estimation (§2.2).
+//!
+//! Latency measurements include an inelastic component — last-mile and
+//! processing delays — that has nothing to do with geographic distance.
+//! Octant captures each node's minimum queuing delay in a single scalar, its
+//! *height*, in the spirit of Vivaldi's height vectors but derived
+//! differently: landmark heights are solved directly from the inter-landmark
+//! measurements (whose mutual distances are known), and a target's height is
+//! estimated together with a coarse position by minimising the residual of
+//! the height-adjusted measurements.
+//!
+//! Adjusted latencies (`raw RTT − landmark height − target height`) are then
+//! used everywhere a latency is mapped to a distance, which removes a
+//! systematic positive bias from the constraints.
+
+use crate::linalg::{solve_least_squares, Matrix};
+use octant_geo::distance::great_circle;
+use octant_geo::point::GeoPoint;
+use octant_geo::units::Latency;
+use std::collections::HashMap;
+
+/// Heights (minimum attributable queuing delay, in milliseconds) for a set of
+/// landmarks, keyed by an opaque landmark index chosen by the caller.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Heights {
+    values_ms: Vec<f64>,
+}
+
+impl Heights {
+    /// Solves the landmark-height system from pairwise observations.
+    ///
+    /// `positions[i]` is landmark `i`'s (approximately) known location and
+    /// `rtt[(i, j)]` the minimum observed RTT between landmarks `i` and `j`.
+    /// Missing pairs are simply skipped. With fewer than two usable pairs all
+    /// heights are zero.
+    pub fn solve_landmarks(positions: &[GeoPoint], rtt: &HashMap<(usize, usize), Latency>) -> Heights {
+        let n = positions.len();
+        if n == 0 {
+            return Heights { values_ms: Vec::new() };
+        }
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut rhs: Vec<f64> = Vec::new();
+        for (&(i, j), lat) in rtt {
+            if i >= n || j >= n || i == j {
+                continue;
+            }
+            let transmission = great_circle(positions[i], positions[j]).min_rtt_over_fiber();
+            let queuing = (lat.ms() - transmission.ms()).max(0.0);
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            row[j] = 1.0;
+            rows.push(row);
+            rhs.push(queuing);
+        }
+        if rows.len() < 2 {
+            return Heights { values_ms: vec![0.0; n] };
+        }
+        let a = Matrix::from_rows(&rows);
+        let mut values = solve_least_squares(&a, &rhs).unwrap_or_else(|| vec![0.0; n]);
+        for v in &mut values {
+            if !v.is_finite() || *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        Heights { values_ms: values }
+    }
+
+    /// The height of landmark `i`, in milliseconds (zero for unknown
+    /// indices).
+    pub fn get_ms(&self, i: usize) -> f64 {
+        self.values_ms.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Number of landmarks covered.
+    pub fn len(&self) -> usize {
+        self.values_ms.len()
+    }
+
+    /// `true` when no landmark heights are known.
+    pub fn is_empty(&self) -> bool {
+        self.values_ms.is_empty()
+    }
+
+    /// All heights in milliseconds.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values_ms
+    }
+}
+
+/// The result of estimating a target's height.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetHeight {
+    /// Estimated target height in milliseconds.
+    pub height_ms: f64,
+    /// The coarse position estimate produced as a by-product (the paper notes
+    /// it "has relatively high error and is not used in the later stages" —
+    /// it exists for diagnostics and for the Vivaldi-style comparison).
+    pub coarse_position: GeoPoint,
+    /// Root-mean-square residual of the fit, in milliseconds.
+    pub residual_ms: f64,
+}
+
+/// Estimates a target's height from its measurements to landmarks with known
+/// heights, per §2.2: find the height `t'` and coarse coordinates minimising
+/// the residual of `a' + t' + (a,t) = [a,t]` over all landmarks `a`.
+///
+/// The minimisation alternates between (a) a grid-refined position search and
+/// (b) the closed-form optimal `t'` for a fixed position (the mean positive
+/// residual). Both steps are deterministic.
+pub fn estimate_target_height(
+    landmark_positions: &[GeoPoint],
+    landmark_heights: &Heights,
+    target_rtts: &[Option<Latency>],
+) -> TargetHeight {
+    // Collect usable observations.
+    let obs: Vec<(GeoPoint, f64, f64)> = landmark_positions
+        .iter()
+        .zip(target_rtts.iter())
+        .enumerate()
+        .filter_map(|(i, (&pos, rtt))| rtt.map(|r| (pos, landmark_heights.get_ms(i), r.ms())))
+        .collect();
+    if obs.is_empty() {
+        return TargetHeight { height_ms: 0.0, coarse_position: GeoPoint::new(0.0, 0.0), residual_ms: 0.0 };
+    }
+
+    // Initial position: landmarks weighted by inverse squared latency.
+    let mut best = weighted_centroid(&obs);
+    let mut best_cost = cost_at(best, &obs).0;
+
+    // Coarse-to-fine grid search around the current best position.
+    let mut span_deg = 20.0;
+    for _ in 0..5 {
+        let steps = 7;
+        let mut improved = false;
+        for dy in -steps..=steps {
+            for dx in -steps..=steps {
+                let cand = GeoPoint::new(
+                    best.lat + span_deg * dy as f64 / steps as f64,
+                    best.lon + span_deg * dx as f64 / steps as f64,
+                );
+                let (cost, _) = cost_at(cand, &obs);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = cand;
+                    improved = true;
+                }
+            }
+        }
+        span_deg /= 3.0;
+        if !improved && span_deg < 0.5 {
+            break;
+        }
+    }
+
+    let (_, height) = cost_at(best, &obs);
+    let rms = {
+        let residuals: Vec<f64> = obs
+            .iter()
+            .map(|&(pos, h, rtt)| {
+                let trans = great_circle(best, pos).min_rtt_over_fiber().ms();
+                rtt - h - height - trans
+            })
+            .collect();
+        (residuals.iter().map(|r| r * r).sum::<f64>() / residuals.len() as f64).sqrt()
+    };
+    TargetHeight { height_ms: height, coarse_position: best, residual_ms: rms }
+}
+
+/// Adjusts a raw RTT by removing the landmark's and target's heights, never
+/// going below zero.
+pub fn adjust_rtt(raw: Latency, landmark_height_ms: f64, target_height_ms: f64) -> Latency {
+    Latency::from_ms((raw.ms() - landmark_height_ms - target_height_ms).max(0.0))
+}
+
+/// For a candidate target position, picks the height that explains the
+/// residuals and returns (sum of squared residuals with that height, height).
+///
+/// The residual of each landmark is `rtt − landmark height − transmission`,
+/// which still contains that path's route inflation. A mean estimator would
+/// absorb the *average* inflation into the target height and over-correct
+/// every subsequent constraint, so the height is taken from the lower
+/// quartile of the residuals: the least-inflated paths are the ones whose
+/// residual is closest to the pure queuing component.
+fn cost_at(candidate: GeoPoint, obs: &[(GeoPoint, f64, f64)]) -> (f64, f64) {
+    let mut residuals: Vec<f64> = obs
+        .iter()
+        .map(|&(pos, h, rtt)| {
+            let trans = great_circle(candidate, pos).min_rtt_over_fiber().ms();
+            rtt - h - trans
+        })
+        .collect();
+    residuals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q25 = residuals[(residuals.len() - 1) / 4];
+    let height = q25.max(0.0);
+    let cost = residuals.iter().map(|r| (r - height) * (r - height)).sum::<f64>();
+    (cost, height)
+}
+
+fn weighted_centroid(obs: &[(GeoPoint, f64, f64)]) -> GeoPoint {
+    let mut sum = [0.0f64; 3];
+    let mut total = 0.0;
+    for &(pos, _, rtt) in obs {
+        let w = 1.0 / (rtt * rtt).max(1e-6);
+        let v = pos.to_unit_vector();
+        sum[0] += v[0] * w;
+        sum[1] += v[1] * w;
+        sum[2] += v[2] * w;
+        total += w;
+    }
+    if total <= 0.0 {
+        return obs[0].0;
+    }
+    GeoPoint::from_vector(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octant_geo::cities;
+    use octant_geo::distance::great_circle_km;
+
+    fn positions() -> Vec<GeoPoint> {
+        ["nyc", "chi", "den", "sea", "atl", "bos"]
+            .iter()
+            .map(|c| cities::by_code(c).unwrap().location())
+            .collect()
+    }
+
+    /// Builds an RTT map from positions and per-node heights with no noise.
+    fn synthetic_rtts(positions: &[GeoPoint], heights: &[f64]) -> HashMap<(usize, usize), Latency> {
+        let mut map = HashMap::new();
+        for i in 0..positions.len() {
+            for j in 0..positions.len() {
+                if i == j {
+                    continue;
+                }
+                let trans = great_circle(positions[i], positions[j]).min_rtt_over_fiber().ms();
+                map.insert((i, j), Latency::from_ms(trans + heights[i] + heights[j]));
+            }
+        }
+        map
+    }
+
+    #[test]
+    fn landmark_heights_are_recovered_exactly_without_noise() {
+        let pos = positions();
+        let true_heights = [2.0, 5.0, 1.0, 8.0, 3.0, 0.5];
+        let rtts = synthetic_rtts(&pos, &true_heights);
+        let solved = Heights::solve_landmarks(&pos, &rtts);
+        assert_eq!(solved.len(), pos.len());
+        for (i, &truth) in true_heights.iter().enumerate() {
+            assert!(
+                (solved.get_ms(i) - truth).abs() < 0.05,
+                "height {i}: solved {} vs true {truth}",
+                solved.get_ms(i)
+            );
+        }
+    }
+
+    #[test]
+    fn landmark_heights_tolerate_noise_and_stay_nonnegative() {
+        let pos = positions();
+        let true_heights = [2.0, 5.0, 1.0, 8.0, 3.0, 0.0];
+        let mut rtts = synthetic_rtts(&pos, &true_heights);
+        // Perturb every measurement by a deterministic pseudo-noise.
+        for (k, v) in rtts.iter_mut() {
+            let bump = ((k.0 * 7 + k.1 * 13) % 5) as f64 * 0.3;
+            *v = Latency::from_ms(v.ms() + bump);
+        }
+        let solved = Heights::solve_landmarks(&pos, &rtts);
+        for (i, &truth) in true_heights.iter().enumerate() {
+            assert!(solved.get_ms(i) >= 0.0);
+            assert!((solved.get_ms(i) - truth).abs() < 1.5, "height {i}: {} vs {truth}", solved.get_ms(i));
+        }
+    }
+
+    #[test]
+    fn degenerate_height_systems() {
+        let empty = Heights::solve_landmarks(&[], &HashMap::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.get_ms(3), 0.0);
+
+        let pos = positions();
+        let too_few = Heights::solve_landmarks(&pos, &HashMap::new());
+        assert_eq!(too_few.len(), pos.len());
+        assert!(too_few.as_slice().iter().all(|&h| h == 0.0));
+    }
+
+    #[test]
+    fn target_height_recovers_synthetic_target() {
+        let pos = positions();
+        let true_heights = [2.0, 5.0, 1.0, 8.0, 3.0, 0.5];
+        let rtts = synthetic_rtts(&pos, &true_heights);
+        let heights = Heights::solve_landmarks(&pos, &rtts);
+
+        // A target in Pittsburgh with a 6 ms last-mile delay.
+        let target = cities::by_code("pit").unwrap().location();
+        let target_height = 6.0;
+        let target_rtts: Vec<Option<Latency>> = pos
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let trans = great_circle(target, p).min_rtt_over_fiber().ms();
+                Some(Latency::from_ms(trans + true_heights[i] + target_height))
+            })
+            .collect();
+
+        let est = estimate_target_height(&pos, &heights, &target_rtts);
+        assert!((est.height_ms - target_height).abs() < 1.5, "estimated height {}", est.height_ms);
+        // The coarse position should land within a few hundred km of Pittsburgh.
+        let err = great_circle_km(est.coarse_position, target);
+        assert!(err < 500.0, "coarse position error {err} km");
+        assert!(est.residual_ms < 2.0, "residual {}", est.residual_ms);
+    }
+
+    #[test]
+    fn target_height_with_missing_measurements() {
+        let pos = positions();
+        let heights = Heights::solve_landmarks(&pos, &synthetic_rtts(&pos, &[1.0; 6]));
+        let mut target_rtts: Vec<Option<Latency>> = vec![None; pos.len()];
+        target_rtts[0] = Some(Latency::from_ms(20.0));
+        target_rtts[2] = Some(Latency::from_ms(30.0));
+        let est = estimate_target_height(&pos, &heights, &target_rtts);
+        assert!(est.height_ms >= 0.0);
+        assert!(est.coarse_position.is_valid());
+        // With no measurements at all the estimate degrades gracefully.
+        let none = estimate_target_height(&pos, &heights, &vec![None; pos.len()]);
+        assert_eq!(none.height_ms, 0.0);
+    }
+
+    #[test]
+    fn rtt_adjustment_clamps_at_zero() {
+        let adjusted = adjust_rtt(Latency::from_ms(30.0), 4.0, 6.0);
+        assert!((adjusted.ms() - 20.0).abs() < 1e-9);
+        assert_eq!(adjust_rtt(Latency::from_ms(5.0), 4.0, 6.0), Latency::ZERO);
+    }
+
+    #[test]
+    fn paper_example_three_landmark_system() {
+        // The 3x3 system shown in §2.2 of the paper: heights are solvable
+        // exactly from the three pairwise queuing observations.
+        let pos = vec![
+            cities::by_code("nyc").unwrap().location(),
+            cities::by_code("chi").unwrap().location(),
+            cities::by_code("den").unwrap().location(),
+        ];
+        let truth = [4.0, 1.0, 2.5];
+        let rtts = synthetic_rtts(&pos, &truth);
+        let h = Heights::solve_landmarks(&pos, &rtts);
+        for i in 0..3 {
+            assert!((h.get_ms(i) - truth[i]).abs() < 0.05);
+        }
+    }
+}

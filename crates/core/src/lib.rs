@@ -1,0 +1,68 @@
+//! # octant
+//!
+//! A Rust implementation of **Octant** — the comprehensive framework for the
+//! geolocalization of Internet hosts introduced by Wong, Stoyanov and Sirer
+//! (NSDI 2007).
+//!
+//! Octant poses geolocalization as *error-minimizing constraint
+//! satisfaction*: every network measurement from a landmark (a host whose
+//! position is at least approximately known) is converted into a geometric
+//! constraint — positive ("the target lies within `R(d)` of me") or negative
+//! ("the target lies farther than `r(d)` from me") — and the target's
+//! estimated location region is the weighted combination of those
+//! constraints, represented as a Bézier-bounded region that may be non-convex
+//! and disconnected.
+//!
+//! The crate is organised by the sections of the paper:
+//!
+//! | Paper section | Module |
+//! |---|---|
+//! | §2 constraint framework, region representation | [`constraint`], [`solver`] (regions come from `octant-region`) |
+//! | §2.1 mapping latencies to distances (convex-hull calibration, cutoff ρ) | [`calibration`] |
+//! | §2.2 queuing delays ("heights") | [`heights`], [`linalg`] |
+//! | §2.3 indirect routes (piecewise localization of routers) | [`piecewise`] |
+//! | §2.4 handling uncertainty (weights, weighted solution) | [`constraint`], [`solver`] |
+//! | §2.5 geographic constraints (oceans, WHOIS) | [`geography`] |
+//! | §3 evaluation harness | [`eval`] |
+//!
+//! The top-level entry point is [`Octant`]: configure it with an
+//! [`OctantConfig`], hand it an
+//! [`octant_netsim::ObservationProvider`] (the live simulator, a recorded
+//! dataset, or your own implementation backed by real measurements), a set of
+//! landmarks and a target, and it produces a [`LocationEstimate`].
+//!
+//! ```
+//! use octant::{Octant, OctantConfig, Geolocator};
+//! use octant_netsim::{NetworkBuilder, NetworkConfig, Prober, ObservationProvider};
+//!
+//! // Simulate a small PlanetLab-like deployment.
+//! let network = NetworkBuilder::planetlab(NetworkConfig::default()).build();
+//! let prober = Prober::new(network, 7);
+//! let hosts = prober.hosts();
+//!
+//! // Use every host except the first as a landmark; localize the first.
+//! let target = hosts[0].id;
+//! let landmarks: Vec<_> = hosts[1..].iter().map(|h| h.id).collect();
+//!
+//! let octant = Octant::new(OctantConfig::default());
+//! let estimate = octant.localize(&prober, &landmarks, target);
+//! assert!(estimate.point.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod constraint;
+pub mod eval;
+pub mod framework;
+pub mod geography;
+pub mod heights;
+pub mod linalg;
+pub mod piecewise;
+pub mod solver;
+
+pub use constraint::{Constraint, ConstraintKind};
+pub use eval::{ErrorCdf, TargetOutcome};
+pub use framework::{Geolocator, LocationEstimate, Octant, OctantConfig, RouterLocalization};
+pub use solver::{SolveReport, Solver};

@@ -1,0 +1,262 @@
+//! Piecewise localization of on-path routers (§2.3).
+//!
+//! Policy routing makes end-to-end latency a poor proxy for end-to-end
+//! distance. Octant mitigates this by localizing the routers on the path from
+//! each landmark to the target and using them as *secondary landmarks*: the
+//! residual latency between the last localizable router and the target is
+//! mostly free of indirect-routing effects, so the constraint it yields is
+//! much tighter.
+//!
+//! Two localization strategies are provided:
+//!
+//! * **City hints** — the router's DNS name frequently embeds its city
+//!   (parsed by the `undns`-style parser in `octant-netsim`); the router's
+//!   position estimate is a small disk around that city.
+//! * **Recursive localization** — run Octant itself on the router, using the
+//!   landmarks' recorded pings to it; the resulting region (however shaped)
+//!   becomes the secondary landmark's position estimate and the target
+//!   constraint is its dilation by the latency-derived radius, exactly the
+//!   `⋃ c(x, y, d)` construction of §2.
+//!
+//! Both strategies produce [`Constraint`]s tagged with the router identity.
+
+use crate::calibration::Calibration;
+use crate::constraint::{latency_weight, Constraint};
+use octant_geo::cities::City;
+use octant_geo::projection::AzimuthalEquidistant;
+use octant_geo::units::{Distance, Latency};
+use octant_netsim::dns;
+use octant_netsim::observation::TracerouteHop;
+use octant_region::GeoRegion;
+
+/// The last hop on a traceroute whose DNS name reveals its city, together
+/// with the residual latency from that hop to the traceroute destination.
+#[derive(Debug, Clone)]
+pub struct LocalizedHop<'a> {
+    /// The hop itself.
+    pub hop: &'a TracerouteHop,
+    /// The city parsed from the router's DNS name.
+    pub city: &'static City,
+    /// Residual round-trip latency between the hop and the destination
+    /// (end-to-end RTT minus RTT to the hop, clamped at zero).
+    pub residual: Latency,
+}
+
+/// Finds the last hop of `hops` whose DNS name reveals a city, given the
+/// end-to-end RTT of the full path. Returns `None` when no hop is
+/// localizable.
+pub fn last_localizable_hop<'a>(hops: &'a [TracerouteHop], end_to_end: Latency) -> Option<LocalizedHop<'a>> {
+    hops.iter().rev().find_map(|hop| {
+        dns::parse_router_city(&hop.hostname).map(|city| LocalizedHop {
+            hop,
+            city,
+            residual: Latency::from_ms((end_to_end.ms() - hop.rtt.ms()).max(0.0)),
+        })
+    })
+}
+
+/// Every localizable hop on the path (in path order), with residuals.
+pub fn localizable_hops<'a>(hops: &'a [TracerouteHop], end_to_end: Latency) -> Vec<LocalizedHop<'a>> {
+    hops.iter()
+        .filter_map(|hop| {
+            dns::parse_router_city(&hop.hostname).map(|city| LocalizedHop {
+                hop,
+                city,
+                residual: Latency::from_ms((end_to_end.ms() - hop.rtt.ms()).max(0.0)),
+            })
+        })
+        .collect()
+}
+
+/// Builds a positive constraint from a city-hinted router: the target lies
+/// within `R(residual)` (from `calibration`) of a small disk around the
+/// router's city. The disk radius accounts for the router being anywhere in
+/// its metro area; the dilation is folded into the disk radius directly,
+/// since the dilation of a disk is a disk.
+pub fn city_hint_router_constraint(
+    projection: AzimuthalEquidistant,
+    localized: &LocalizedHop<'_>,
+    calibration: &Calibration,
+    city_uncertainty: Distance,
+    weight_decay_ms: f64,
+) -> Constraint {
+    let radius = calibration.max_distance(localized.residual) + city_uncertainty;
+    let region = GeoRegion::disk(projection, localized.city.location(), radius);
+    let weight = latency_weight(localized.residual, weight_decay_ms);
+    Constraint::positive(
+        region,
+        weight,
+        format!("router:{}@{}", localized.hop.hostname, localized.city.code),
+    )
+}
+
+/// Builds a positive constraint from a router localized to an arbitrary
+/// region (the recursive strategy): the secondary-landmark construction of
+/// §2, i.e. the dilation of the router's region by the latency-derived
+/// radius.
+pub fn secondary_landmark_constraint(
+    router_region: &GeoRegion,
+    residual: Latency,
+    calibration: &Calibration,
+    weight_decay_ms: f64,
+    label: impl Into<String>,
+) -> Constraint {
+    let radius = calibration.max_distance(residual);
+    let region = router_region.dilate(radius);
+    Constraint::positive(region, latency_weight(residual, weight_decay_ms), label)
+}
+
+/// A negative constraint from a secondary landmark: the target cannot be
+/// anywhere that is within `r(residual)` of *every* possible router position,
+/// i.e. the erosion of the router's region (§2's `⋂ c(x, y, d)`).
+pub fn secondary_landmark_negative_constraint(
+    router_region: &GeoRegion,
+    residual: Latency,
+    calibration: &Calibration,
+    weight_decay_ms: f64,
+    label: impl Into<String>,
+) -> Option<Constraint> {
+    let radius = calibration.min_distance(residual);
+    if radius.km() <= 0.0 {
+        return None;
+    }
+    let region = router_region.erode_to_common_reach(radius);
+    if region.is_empty() {
+        return None;
+    }
+    Some(Constraint::negative(region, latency_weight(residual, weight_decay_ms), label))
+}
+
+/// Extension trait adding the "common reach" erosion used by negative
+/// secondary-landmark constraints: the set of points within `radius` of
+/// *every* point of the region. For a region with diameter larger than
+/// `radius` this is empty; for a small router region it is approximately the
+/// erosion of the dilated complement, which we compute as a disk around the
+/// centroid with radius `radius − max_extent` (a sound under-approximation).
+trait CommonReach {
+    fn erode_to_common_reach(&self, radius: Distance) -> GeoRegion;
+}
+
+impl CommonReach for GeoRegion {
+    fn erode_to_common_reach(&self, radius: Distance) -> GeoRegion {
+        match self.centroid() {
+            None => GeoRegion::empty(self.projection().center()),
+            Some(c) => {
+                let extent = self.max_distance_from(c);
+                let usable = radius.km() - extent.km();
+                if usable <= 0.0 {
+                    GeoRegion::empty(self.projection().center())
+                } else {
+                    GeoRegion::disk(self.projection(), c, Distance::from_km(usable))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::{Calibration, CalibrationConfig, CalibrationSample};
+    use octant_geo::cities;
+    use octant_geo::point::GeoPoint;
+    use octant_netsim::topology::NodeId;
+
+    fn hop(hostname: &str, rtt_ms: f64) -> TracerouteHop {
+        TracerouteHop {
+            node: NodeId(99),
+            ip: [10, 0, 0, 9],
+            hostname: hostname.to_string(),
+            rtt: Latency::from_ms(rtt_ms),
+        }
+    }
+
+    fn calibration() -> Calibration {
+        let samples = (1..=30)
+            .map(|i| CalibrationSample {
+                latency: Latency::from_ms(i as f64 * 3.0),
+                distance: Distance::from_km(i as f64 * 3.0 * 60.0),
+            })
+            .collect();
+        Calibration::from_samples(samples, CalibrationConfig::default())
+    }
+
+    fn proj() -> AzimuthalEquidistant {
+        AzimuthalEquidistant::new(GeoPoint::new(40.0, -80.0))
+    }
+
+    #[test]
+    fn last_localizable_hop_prefers_the_hop_closest_to_the_target() {
+        let hops = vec![
+            hop("xe-0-0-0.cr1.nyc.as64500.octantsim.net", 5.0),
+            hop("core42.unk1.as64501.octantsim.net", 12.0),
+            hop("ge-1-2-0.gw1.chi.as64501.octantsim.net", 20.0),
+        ];
+        let found = last_localizable_hop(&hops, Latency::from_ms(26.0)).unwrap();
+        assert_eq!(found.city.code, "chi");
+        assert!((found.residual.ms() - 6.0).abs() < 1e-9);
+        let all = localizable_hops(&hops, Latency::from_ms(26.0));
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].city.code, "nyc");
+    }
+
+    #[test]
+    fn no_localizable_hop_returns_none() {
+        let hops = vec![hop("core1.unk1.as64500.octantsim.net", 5.0)];
+        assert!(last_localizable_hop(&hops, Latency::from_ms(10.0)).is_none());
+        assert!(localizable_hops(&hops, Latency::from_ms(10.0)).is_empty());
+        assert!(last_localizable_hop(&[], Latency::from_ms(10.0)).is_none());
+    }
+
+    #[test]
+    fn residual_clamps_at_zero_when_hop_rtt_exceeds_end_to_end() {
+        let hops = vec![hop("xe-0-0-0.cr1.nyc.as64500.octantsim.net", 50.0)];
+        let found = last_localizable_hop(&hops, Latency::from_ms(30.0)).unwrap();
+        assert_eq!(found.residual, Latency::ZERO);
+    }
+
+    #[test]
+    fn city_hint_constraint_covers_the_neighbourhood_of_the_city() {
+        let hops = vec![hop("xe-0-0-0.cr1.pit.as64500.octantsim.net", 10.0)];
+        let localized = last_localizable_hop(&hops, Latency::from_ms(14.0)).unwrap();
+        let c = city_hint_router_constraint(proj(), &localized, &calibration(), Distance::from_km(50.0), 80.0);
+        assert!(c.is_positive());
+        let pit = cities::by_code("pit").unwrap().location();
+        assert!(c.region.contains(pit));
+        // A 4 ms residual bounds the distance to a few hundred km; Denver must
+        // be excluded.
+        assert!(!c.region.contains(cities::by_code("den").unwrap().location()));
+        assert!(c.weight > 0.9, "short residuals should carry high weight, got {}", c.weight);
+    }
+
+    #[test]
+    fn secondary_landmark_constraint_dilates_the_router_region() {
+        let pit = cities::by_code("pit").unwrap().location();
+        let router_region = GeoRegion::disk(proj(), pit, Distance::from_km(80.0));
+        let c = secondary_landmark_constraint(&router_region, Latency::from_ms(6.0), &calibration(), 80.0, "r1");
+        assert!(c.is_positive());
+        assert!(c.region.area_km2() > router_region.area_km2());
+        assert!(c.region.contains(pit));
+        // The dilation radius for 6 ms is ~360 km plus the 80 km region, so
+        // Cleveland (~185 km away) must be inside.
+        assert!(c.region.contains(cities::by_code("cle").unwrap().location()));
+    }
+
+    #[test]
+    fn secondary_negative_constraint_requires_a_meaningful_radius() {
+        let pit = cities::by_code("pit").unwrap().location();
+        let router_region = GeoRegion::disk(proj(), pit, Distance::from_km(30.0));
+        let cal = calibration();
+        // Large residual => sizeable r(d) => a common-reach disk exists.
+        let some = secondary_landmark_negative_constraint(&router_region, Latency::from_ms(60.0), &cal, 80.0, "r1");
+        assert!(some.is_some());
+        let c = some.unwrap();
+        assert!(!c.is_positive());
+        assert!(c.region.contains(pit), "the excluded area surrounds the router");
+        // Zero residual => r(d) = 0 => no constraint.
+        assert!(secondary_landmark_negative_constraint(&router_region, Latency::ZERO, &cal, 80.0, "r1").is_none());
+        // An empty router region produces no constraint either.
+        let empty = GeoRegion::empty(GeoPoint::new(0.0, 0.0));
+        assert!(secondary_landmark_negative_constraint(&empty, Latency::from_ms(60.0), &cal, 80.0, "r1").is_none());
+    }
+}

@@ -1,0 +1,286 @@
+//! The weighted constraint solver (§2, §2.4).
+//!
+//! The paper's formal solution is `βᵢ = ⋂ positives \ ⋃ negatives`, but a
+//! literal intersection is brittle: a single erroneous (overly aggressive)
+//! constraint empties the estimate. Octant therefore weights constraints and
+//! combines them so that high-weight constraints win conflicts and
+//! low-weight constraints that would annihilate the estimate are set aside.
+//!
+//! This solver implements that policy as a greedy weighted combination:
+//! constraints are applied in decreasing weight order, and a constraint that
+//! would shrink the estimate below a configurable minimum area is skipped
+//! (recorded in the [`SolveReport`]). The result is exactly the paper's
+//! intersection when the constraints are consistent, and a maximal-weight
+//! consistent subset when they are not.
+
+use crate::constraint::{Constraint, ConstraintKind};
+use octant_geo::point::GeoPoint;
+use octant_geo::projection::AzimuthalEquidistant;
+use octant_region::GeoRegion;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the constraint solver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// A constraint is skipped when applying it would leave less than this
+    /// much area (km²). This is the "desired size threshold" of §2.4.
+    pub min_region_area_km2: f64,
+    /// A negative constraint is additionally skipped when it would remove
+    /// more than this fraction of the current estimate: a single exclusion
+    /// that wipes out most of what every positive constraint agreed on is far
+    /// more likely to be an over-aggressive lower bound than real
+    /// information (the weighted-combination rationale of §2.4).
+    pub max_negative_removal_frac: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig { min_region_area_km2: 5_000.0, max_negative_removal_frac: 0.6 }
+    }
+}
+
+/// Bookkeeping of what the solver did — how many constraints were applied and
+/// how many were skipped as inconsistent.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SolveReport {
+    /// Positive constraints applied.
+    pub applied_positive: usize,
+    /// Positive constraints skipped because they conflicted with
+    /// higher-weight information.
+    pub skipped_positive: usize,
+    /// Negative constraints applied.
+    pub applied_negative: usize,
+    /// Negative constraints skipped.
+    pub skipped_negative: usize,
+    /// Area of the final estimated region, km².
+    pub final_area_km2: f64,
+}
+
+impl SolveReport {
+    /// Total constraints considered.
+    pub fn total(&self) -> usize {
+        self.applied_positive + self.skipped_positive + self.applied_negative + self.skipped_negative
+    }
+}
+
+/// The weighted constraint solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Solver {
+    config: SolverConfig,
+}
+
+impl Solver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        Solver { config }
+    }
+
+    /// The solver's configuration.
+    pub fn config(&self) -> SolverConfig {
+        self.config
+    }
+
+    /// Combines the constraints into an estimated location region.
+    ///
+    /// `projection` fixes the plane all regions are expressed in; it should
+    /// be centred near the expected target position (any landmark-weighted
+    /// centroid works — the azimuthal-equidistant distortion is negligible at
+    /// constraint scale).
+    pub fn solve(&self, projection: AzimuthalEquidistant, constraints: &[Constraint]) -> (GeoRegion, SolveReport) {
+        let mut report = SolveReport::default();
+
+        let positives_raw: Vec<&Constraint> =
+            constraints.iter().filter(|c| c.kind == ConstraintKind::Positive).collect();
+        let mut negatives: Vec<&Constraint> =
+            constraints.iter().filter(|c| c.kind == ConstraintKind::Negative).collect();
+
+        let mut positives: Vec<&Constraint> = positives_raw;
+        positives.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal));
+        negatives.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal));
+
+        // §2.4 weighted combination, greedy form: seed the estimate with the
+        // highest-weight positive constraint whose region is itself large
+        // enough to be meaningful (a degenerate region would otherwise poison
+        // the whole combination), then fold in the remaining constraints in
+        // decreasing weight order, setting aside any that would shrink the
+        // estimate below the size threshold.
+        let mut estimate = GeoRegion::world(projection);
+        let mut seeded = false;
+        for c in &positives {
+            if !seeded {
+                if c.region.area_km2() >= self.config.min_region_area_km2 {
+                    estimate = c.region.reproject(projection);
+                    report.applied_positive += 1;
+                    seeded = true;
+                } else {
+                    report.skipped_positive += 1;
+                }
+                continue;
+            }
+            let candidate = estimate.intersect(&c.region);
+            if candidate.area_km2() >= self.config.min_region_area_km2 {
+                estimate = candidate;
+                report.applied_positive += 1;
+            } else {
+                report.skipped_positive += 1;
+            }
+        }
+
+        for c in &negatives {
+            let candidate = estimate.subtract(&c.region);
+            let floor = (estimate.area_km2() * (1.0 - self.config.max_negative_removal_frac.clamp(0.0, 1.0)))
+                .max(self.config.min_region_area_km2);
+            if candidate.area_km2() >= floor {
+                estimate = candidate;
+                report.applied_negative += 1;
+            } else {
+                report.skipped_negative += 1;
+            }
+        }
+
+        report.final_area_km2 = estimate.area_km2();
+        (estimate, report)
+    }
+
+    /// Convenience: solve and return the centroid point estimate alongside
+    /// the region.
+    pub fn solve_with_point(
+        &self,
+        projection: AzimuthalEquidistant,
+        constraints: &[Constraint],
+    ) -> (GeoRegion, Option<GeoPoint>, SolveReport) {
+        let (region, report) = self.solve(projection, constraints);
+        let point = region.centroid();
+        (region, point, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use octant_geo::cities;
+    use octant_geo::distance::great_circle_km;
+    use octant_geo::units::Distance;
+
+    fn proj() -> AzimuthalEquidistant {
+        AzimuthalEquidistant::new(cities::by_code("pit").unwrap().location())
+    }
+
+    fn disk_at(code: &str, km: f64) -> GeoRegion {
+        let c = cities::by_code(code).unwrap().location();
+        GeoRegion::disk(proj(), c, Distance::from_km(km))
+    }
+
+    #[test]
+    fn consistent_positive_constraints_are_all_applied() {
+        // Three landmark disks that genuinely contain Pittsburgh.
+        let constraints = vec![
+            Constraint::positive(disk_at("nyc", 600.0), 0.9, "nyc"),
+            Constraint::positive(disk_at("chi", 750.0), 0.8, "chi"),
+            Constraint::positive(disk_at("was", 500.0), 0.7, "was"),
+        ];
+        let solver = Solver::default();
+        let (region, report) = solver.solve(proj(), &constraints);
+        assert_eq!(report.applied_positive, 3);
+        assert_eq!(report.skipped_positive, 0);
+        assert!(region.contains(cities::by_code("pit").unwrap().location()));
+        assert!(!region.contains(cities::by_code("den").unwrap().location()));
+        assert!(report.final_area_km2 > 0.0);
+    }
+
+    #[test]
+    fn conflicting_low_weight_constraint_is_skipped() {
+        // Two consistent high-weight disks around Pittsburgh plus a bogus
+        // low-weight disk around Los Angeles that intersects neither.
+        let constraints = vec![
+            Constraint::positive(disk_at("nyc", 600.0), 0.9, "nyc"),
+            Constraint::positive(disk_at("was", 500.0), 0.8, "was"),
+            Constraint::positive(disk_at("lax", 300.0), 0.1, "bogus"),
+        ];
+        let solver = Solver::default();
+        let (region, report) = solver.solve(proj(), &constraints);
+        assert_eq!(report.applied_positive, 2);
+        assert_eq!(report.skipped_positive, 1);
+        assert!(!region.is_empty());
+        assert!(region.contains(cities::by_code("pit").unwrap().location()));
+    }
+
+    #[test]
+    fn weights_determine_who_wins_a_conflict() {
+        // Two mutually exclusive disks; the heavier one must survive.
+        let constraints = vec![
+            Constraint::positive(disk_at("lax", 300.0), 0.9, "lax"),
+            Constraint::positive(disk_at("bos", 300.0), 0.2, "bos"),
+        ];
+        let (region, report) = Solver::default().solve(proj(), &constraints);
+        assert_eq!(report.applied_positive, 1);
+        assert_eq!(report.skipped_positive, 1);
+        assert!(region.contains(cities::by_code("lax").unwrap().location()));
+        assert!(!region.contains(cities::by_code("bos").unwrap().location()));
+    }
+
+    #[test]
+    fn negative_constraints_carve_holes_but_cannot_empty_the_estimate() {
+        let constraints = vec![
+            Constraint::positive(disk_at("pit", 400.0), 1.0, "pos"),
+            Constraint::negative(disk_at("pit", 100.0), 0.8, "ring"),
+            // A negative constraint covering everything would empty the
+            // estimate, so it must be skipped.
+            Constraint::negative(disk_at("pit", 5000.0), 0.5, "too big"),
+        ];
+        let (region, report) = Solver::default().solve(proj(), &constraints);
+        assert_eq!(report.applied_negative, 1);
+        assert_eq!(report.skipped_negative, 1);
+        let pit = cities::by_code("pit").unwrap().location();
+        assert!(!region.contains(pit), "the inner disk is excluded");
+        assert!(region.contains(cities::by_code("cle").unwrap().location()), "the annulus remains");
+    }
+
+    #[test]
+    fn no_constraints_yields_the_world() {
+        let (region, report) = Solver::default().solve(proj(), &[]);
+        assert_eq!(report.total(), 0);
+        assert!(region.contains(cities::by_code("nrt").unwrap().location()));
+        assert!(region.contains(cities::by_code("lax").unwrap().location()));
+    }
+
+    #[test]
+    fn point_estimate_lands_between_consistent_landmarks() {
+        let constraints = vec![
+            Constraint::positive(disk_at("nyc", 620.0), 0.9, "nyc"),
+            Constraint::positive(disk_at("chi", 780.0), 0.8, "chi"),
+        ];
+        let (region, point, _) = Solver::default().solve_with_point(proj(), &constraints);
+        let p = point.unwrap();
+        assert!(region.contains(p), "the centroid of the estimate lies inside it");
+        // Roughly between NYC and Chicago: within 600 km of Pittsburgh.
+        assert!(great_circle_km(p, cities::by_code("pit").unwrap().location()) < 600.0);
+    }
+
+    #[test]
+    fn min_area_threshold_is_respected() {
+        let solver = Solver::new(SolverConfig { min_region_area_km2: 1_000_000.0, ..SolverConfig::default() });
+        let constraints = vec![
+            Constraint::positive(disk_at("nyc", 600.0), 0.9, "nyc"),
+            // Applying this would leave less than the (huge) minimum area.
+            Constraint::positive(disk_at("chi", 750.0), 0.8, "chi"),
+        ];
+        let (region, report) = solver.solve(proj(), &constraints);
+        assert_eq!(report.applied_positive, 1);
+        assert_eq!(report.skipped_positive, 1);
+        assert!(region.area_km2() >= 1_000_000.0);
+    }
+
+    #[test]
+    fn report_totals_add_up() {
+        let constraints = vec![
+            Constraint::positive(disk_at("nyc", 600.0), 0.9, "a"),
+            Constraint::positive(disk_at("was", 600.0), 0.8, "b"),
+            Constraint::negative(disk_at("nyc", 50.0), 0.5, "c"),
+        ];
+        let (_, report) = Solver::default().solve(proj(), &constraints);
+        assert_eq!(report.total(), 3);
+        assert!(report.final_area_km2 > 0.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! A built-in database of world cities.
+//!
+//! The network simulator places routers and hosts at real city coordinates,
+//! the `undns`-style router-name parser resolves city codes back to
+//! coordinates, and the WHOIS simulation records city-level registrations.
+//! All of that is driven by this table. Coordinates are city-centre values
+//! rounded to two decimals (≈1 km), which is far finer than the resolution
+//! Octant can achieve from latency alone.
+
+use crate::point::GeoPoint;
+use serde::Serialize;
+
+/// A city record: name, IATA-style short code, country, coordinates and an
+/// approximate metropolitan population (used to weight random host
+/// placement toward population centres).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct City {
+    /// Human-readable city name, e.g. `"New York"`.
+    pub name: &'static str,
+    /// Three-letter code used in synthetic router DNS names, e.g. `"nyc"`.
+    pub code: &'static str,
+    /// ISO-ish two letter country code.
+    pub country: &'static str,
+    /// City-centre latitude in degrees.
+    pub lat: f64,
+    /// City-centre longitude in degrees.
+    pub lon: f64,
+    /// Approximate metro population, in thousands.
+    pub population_k: u32,
+}
+
+impl City {
+    /// The city centre as a [`GeoPoint`].
+    pub fn location(&self) -> GeoPoint {
+        GeoPoint::new(self.lat, self.lon)
+    }
+}
+
+macro_rules! city {
+    ($name:literal, $code:literal, $country:literal, $lat:literal, $lon:literal, $pop:literal) => {
+        City { name: $name, code: $code, country: $country, lat: $lat, lon: $lon, population_k: $pop }
+    };
+}
+
+/// The full built-in city table (world-wide, biased toward North America and
+/// Europe to mirror the 2007 PlanetLab footprint the paper measured).
+pub const CITIES: &[City] = &[
+    // --- United States ---
+    city!("New York", "nyc", "us", 40.71, -74.01, 19500),
+    city!("Los Angeles", "lax", "us", 34.05, -118.24, 12800),
+    city!("Chicago", "chi", "us", 41.88, -87.63, 9500),
+    city!("Houston", "hou", "us", 29.76, -95.37, 6900),
+    city!("Phoenix", "phx", "us", 33.45, -112.07, 4800),
+    city!("Philadelphia", "phl", "us", 39.95, -75.17, 6100),
+    city!("San Antonio", "sat", "us", 29.42, -98.49, 2500),
+    city!("San Diego", "san", "us", 32.72, -117.16, 3300),
+    city!("Dallas", "dfw", "us", 32.78, -96.80, 7500),
+    city!("San Jose", "sjc", "us", 37.34, -121.89, 2000),
+    city!("Austin", "aus", "us", 30.27, -97.74, 2200),
+    city!("Seattle", "sea", "us", 47.61, -122.33, 4000),
+    city!("Denver", "den", "us", 39.74, -104.99, 2900),
+    city!("Washington", "was", "us", 38.91, -77.04, 6300),
+    city!("Boston", "bos", "us", 42.36, -71.06, 4900),
+    city!("Atlanta", "atl", "us", 33.75, -84.39, 6000),
+    city!("Miami", "mia", "us", 25.76, -80.19, 6100),
+    city!("Minneapolis", "msp", "us", 44.98, -93.27, 3700),
+    city!("Detroit", "dtw", "us", 42.33, -83.05, 4300),
+    city!("St. Louis", "stl", "us", 38.63, -90.20, 2800),
+    city!("Pittsburgh", "pit", "us", 40.44, -79.99, 2300),
+    city!("Salt Lake City", "slc", "us", 40.76, -111.89, 1200),
+    city!("Portland", "pdx", "us", 45.52, -122.68, 2500),
+    city!("San Francisco", "sfo", "us", 37.77, -122.42, 4700),
+    city!("Sacramento", "smf", "us", 38.58, -121.49, 2400),
+    city!("Kansas City", "mci", "us", 39.10, -94.58, 2200),
+    city!("Indianapolis", "ind", "us", 39.77, -86.16, 2100),
+    city!("Columbus", "cmh", "us", 39.96, -82.99, 2100),
+    city!("Cleveland", "cle", "us", 41.50, -81.69, 2100),
+    city!("Nashville", "bna", "us", 36.16, -86.78, 2000),
+    city!("Charlotte", "clt", "us", 35.23, -80.84, 2700),
+    city!("Raleigh", "rdu", "us", 35.78, -78.64, 1400),
+    city!("New Orleans", "msy", "us", 29.95, -90.07, 1300),
+    city!("Las Vegas", "las", "us", 36.17, -115.14, 2300),
+    city!("Albuquerque", "abq", "us", 35.08, -106.65, 920),
+    city!("Tucson", "tus", "us", 32.22, -110.97, 1000),
+    city!("Ithaca", "ith", "us", 42.44, -76.50, 105),
+    city!("Rochester", "roc", "us", 43.16, -77.61, 1080),
+    city!("Buffalo", "buf", "us", 42.89, -78.88, 1160),
+    city!("Syracuse", "syr", "us", 43.05, -76.15, 660),
+    city!("Princeton", "pct", "us", 40.36, -74.66, 31),
+    city!("Ann Arbor", "arb", "us", 42.28, -83.74, 370),
+    city!("Madison", "msn", "us", 43.07, -89.40, 680),
+    city!("Urbana", "cmi", "us", 40.11, -88.21, 240),
+    city!("Boulder", "bld", "us", 40.01, -105.27, 330),
+    city!("Pasadena", "pas", "us", 34.15, -118.14, 140),
+    city!("Berkeley", "brk", "us", 37.87, -122.27, 120),
+    city!("Palo Alto", "pao", "us", 37.44, -122.14, 67),
+    city!("Cambridge", "cam", "us", 42.37, -71.11, 118),
+    city!("Durham", "dur", "us", 35.99, -78.90, 650),
+    city!("College Park", "cpk", "us", 38.99, -76.94, 32),
+    city!("Gainesville", "gnv", "us", 29.65, -82.32, 340),
+    city!("Tallahassee", "tlh", "us", 30.44, -84.28, 390),
+    city!("Baton Rouge", "btr", "us", 30.45, -91.15, 870),
+    city!("Eugene", "eug", "us", 44.05, -123.09, 380),
+    city!("Provo", "pvu", "us", 40.23, -111.66, 700),
+    city!("Tempe", "tpe2", "us", 33.43, -111.94, 200),
+    city!("Norman", "oun", "us", 35.22, -97.44, 130),
+    city!("Lincoln", "lnk", "us", 40.81, -96.68, 340),
+    city!("Iowa City", "iow", "us", 41.66, -91.53, 180),
+    city!("Lexington", "lex", "us", 38.04, -84.50, 520),
+    city!("Knoxville", "tys", "us", 35.96, -83.92, 900),
+    city!("Blacksburg", "bcb", "us", 37.23, -80.41, 45),
+    city!("Charlottesville", "cho", "us", 38.03, -78.48, 150),
+    city!("State College", "scE", "us", 40.79, -77.86, 160),
+    city!("New Haven", "hvn", "us", 41.31, -72.92, 860),
+    city!("Providence", "pvd", "us", 41.82, -71.41, 1600),
+    city!("Hanover", "hnv", "us", 43.70, -72.29, 11),
+    city!("Amherst", "amh", "us", 42.37, -72.52, 38),
+    city!("Stony Brook", "sbk", "us", 40.91, -73.12, 14),
+    city!("Riverside", "ral", "us", 33.95, -117.40, 4600),
+    city!("Santa Barbara", "sba", "us", 34.42, -119.70, 450),
+    city!("Irvine", "irv", "us", 33.68, -117.83, 310),
+    city!("Davis", "dav", "us", 38.54, -121.74, 68),
+    city!("Santa Cruz", "scz", "us", 36.97, -122.03, 64),
+    city!("Honolulu", "hnl", "us", 21.31, -157.86, 1000),
+    city!("Anchorage", "anc", "us", 61.22, -149.90, 400),
+    // --- Canada ---
+    city!("Toronto", "yyz", "ca", 43.65, -79.38, 6200),
+    city!("Montreal", "yul", "ca", 45.50, -73.57, 4300),
+    city!("Vancouver", "yvr", "ca", 49.28, -123.12, 2600),
+    city!("Ottawa", "yow", "ca", 45.42, -75.70, 1400),
+    city!("Calgary", "yyc", "ca", 51.05, -114.07, 1500),
+    city!("Waterloo", "ykf", "ca", 43.46, -80.52, 620),
+    city!("Halifax", "yhz", "ca", 44.65, -63.58, 440),
+    // --- Latin America ---
+    city!("Mexico City", "mex", "mx", 19.43, -99.13, 21800),
+    city!("Sao Paulo", "gru", "br", -23.55, -46.63, 22000),
+    city!("Rio de Janeiro", "gig", "br", -22.91, -43.17, 13500),
+    city!("Buenos Aires", "eze", "ar", -34.60, -58.38, 15200),
+    city!("Santiago", "scl", "cl", -33.45, -70.67, 6800),
+    city!("Bogota", "bog", "co", 4.71, -74.07, 11000),
+    city!("Lima", "lim", "pe", -12.05, -77.04, 10700),
+    // --- Europe ---
+    city!("London", "lhr", "gb", 51.51, -0.13, 14300),
+    city!("Cambridge UK", "cbg", "gb", 52.21, 0.12, 145),
+    city!("Manchester", "man", "gb", 53.48, -2.24, 2800),
+    city!("Edinburgh", "edi", "gb", 55.95, -3.19, 540),
+    city!("Paris", "cdg", "fr", 48.86, 2.35, 11200),
+    city!("Lyon", "lys", "fr", 45.76, 4.84, 1700),
+    city!("Nice", "nce", "fr", 43.70, 7.27, 1000),
+    city!("Berlin", "ber", "de", 52.52, 13.40, 3800),
+    city!("Munich", "muc", "de", 48.14, 11.58, 1600),
+    city!("Frankfurt", "fra", "de", 50.11, 8.68, 790),
+    city!("Hamburg", "ham", "de", 53.55, 9.99, 1900),
+    city!("Karlsruhe", "kae", "de", 49.01, 8.40, 310),
+    city!("Amsterdam", "ams", "nl", 52.37, 4.90, 1160),
+    city!("Delft", "dlf", "nl", 52.01, 4.36, 105),
+    city!("Brussels", "bru", "be", 50.85, 4.35, 1220),
+    city!("Zurich", "zrh", "ch", 47.37, 8.54, 1400),
+    city!("Geneva", "gva", "ch", 46.20, 6.14, 600),
+    city!("Lausanne", "lsn", "ch", 46.52, 6.63, 140),
+    city!("Vienna", "vie", "at", 48.21, 16.37, 1930),
+    city!("Prague", "prg", "cz", 50.08, 14.44, 1300),
+    city!("Warsaw", "waw", "pl", 52.23, 21.01, 1790),
+    city!("Krakow", "krk", "pl", 50.06, 19.94, 770),
+    city!("Budapest", "bud", "hu", 47.50, 19.04, 1750),
+    city!("Madrid", "mad", "es", 40.42, -3.70, 6700),
+    city!("Barcelona", "bcn", "es", 41.39, 2.17, 5600),
+    city!("Lisbon", "lis", "pt", 38.72, -9.14, 2900),
+    city!("Rome", "fco", "it", 41.90, 12.50, 4300),
+    city!("Milan", "mxp", "it", 45.46, 9.19, 3100),
+    city!("Bologna", "blq", "it", 44.49, 11.34, 390),
+    city!("Pisa", "psa", "it", 43.72, 10.40, 90),
+    city!("Athens", "ath", "gr", 37.98, 23.73, 3150),
+    city!("Stockholm", "arn", "se", 59.33, 18.07, 1630),
+    city!("Uppsala", "ups", "se", 59.86, 17.64, 180),
+    city!("Gothenburg", "got", "se", 57.71, 11.97, 600),
+    city!("Copenhagen", "cph", "dk", 55.68, 12.57, 1350),
+    city!("Oslo", "osl", "no", 59.91, 10.75, 1040),
+    city!("Helsinki", "hel", "fi", 60.17, 24.94, 1300),
+    city!("Dublin", "dub", "ie", 53.35, -6.26, 1260),
+    city!("Moscow", "svo", "ru", 55.76, 37.62, 12600),
+    city!("St. Petersburg", "led", "ru", 59.93, 30.34, 5400),
+    city!("Istanbul", "ist", "tr", 41.01, 28.98, 15500),
+    // --- Asia / Oceania ---
+    city!("Tokyo", "nrt", "jp", 35.68, 139.69, 37400),
+    city!("Osaka", "kix", "jp", 34.69, 135.50, 19200),
+    city!("Kyoto", "ukb", "jp", 35.01, 135.77, 1470),
+    city!("Seoul", "icn", "kr", 37.57, 126.98, 25600),
+    city!("Daejeon", "tae", "kr", 36.35, 127.38, 1500),
+    city!("Beijing", "pek", "cn", 39.90, 116.41, 21500),
+    city!("Shanghai", "pvg", "cn", 31.23, 121.47, 27800),
+    city!("Shenzhen", "szx", "cn", 22.54, 114.06, 17600),
+    city!("Hong Kong", "hkg", "hk", 22.32, 114.17, 7500),
+    city!("Taipei", "tpe", "tw", 25.03, 121.57, 7000),
+    city!("Hsinchu", "hsz", "tw", 24.80, 120.97, 450),
+    city!("Singapore", "sin", "sg", 1.35, 103.82, 5900),
+    city!("Bangkok", "bkk", "th", 13.76, 100.50, 10700),
+    city!("Mumbai", "bom", "in", 19.08, 72.88, 20700),
+    city!("Bangalore", "blr", "in", 12.97, 77.59, 12800),
+    city!("New Delhi", "del", "in", 28.61, 77.21, 31200),
+    city!("Tel Aviv", "tlv", "il", 32.08, 34.78, 4300),
+    city!("Haifa", "hfa", "il", 32.79, 34.99, 1150),
+    city!("Dubai", "dxb", "ae", 25.20, 55.27, 3400),
+    city!("Sydney", "syd", "au", -33.87, 151.21, 5300),
+    city!("Melbourne", "mel", "au", -37.81, 144.96, 5100),
+    city!("Brisbane", "bne", "au", -27.47, 153.03, 2500),
+    city!("Perth", "per", "au", -31.95, 115.86, 2100),
+    city!("Auckland", "akl", "nz", -36.85, 174.76, 1700),
+    city!("Wellington", "wlg", "nz", -41.29, 174.78, 420),
+    // --- Africa ---
+    city!("Johannesburg", "jnb", "za", -26.20, 28.05, 6000),
+    city!("Cape Town", "cpt", "za", -33.92, 18.42, 4700),
+    city!("Cairo", "cai", "eg", 30.04, 31.24, 21300),
+    city!("Nairobi", "nbo", "ke", -1.29, 36.82, 4900),
+    city!("Lagos", "los", "ng", 6.52, 3.38, 15400),
+];
+
+/// Looks up a city by its short code (case-insensitive).
+pub fn by_code(code: &str) -> Option<&'static City> {
+    CITIES.iter().find(|c| c.code.eq_ignore_ascii_case(code))
+}
+
+/// Looks up a city by its full name (case-insensitive).
+pub fn by_name(name: &str) -> Option<&'static City> {
+    CITIES.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+}
+
+/// All cities in a given country.
+pub fn in_country(country: &str) -> Vec<&'static City> {
+    CITIES.iter().filter(|c| c.country.eq_ignore_ascii_case(country)).collect()
+}
+
+/// The city whose centre is nearest to `p`, together with the distance to it
+/// in kilometers. The table is never empty, so this always returns a value.
+pub fn nearest_city(p: GeoPoint) -> (&'static City, f64) {
+    let mut best: Option<(&'static City, f64)> = None;
+    for c in CITIES {
+        let d = crate::distance::great_circle_km(p, c.location());
+        match best {
+            Some((_, bd)) if bd <= d => {}
+            _ => best = Some((c, d)),
+        }
+    }
+    best.expect("city table is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table_is_reasonably_large_and_valid() {
+        assert!(CITIES.len() >= 140, "expected a substantial city table, got {}", CITIES.len());
+        for c in CITIES {
+            assert!(c.location().is_valid(), "{} has invalid coords", c.name);
+            assert!(!c.name.is_empty() && !c.code.is_empty() && !c.country.is_empty());
+            assert!(c.population_k > 0, "{} has zero population", c.name);
+        }
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut seen = HashSet::new();
+        for c in CITIES {
+            assert!(seen.insert(c.code.to_ascii_lowercase()), "duplicate city code {}", c.code);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = HashSet::new();
+        for c in CITIES {
+            assert!(seen.insert(c.name.to_ascii_lowercase()), "duplicate city name {}", c.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_code_and_name() {
+        assert_eq!(by_code("NYC").unwrap().name, "New York");
+        assert_eq!(by_code("ith").unwrap().name, "Ithaca");
+        assert_eq!(by_name("london").unwrap().code, "lhr");
+        assert!(by_code("zzz").is_none());
+        assert!(by_name("Atlantis").is_none());
+    }
+
+    #[test]
+    fn country_filter() {
+        let us = in_country("us");
+        assert!(us.len() >= 60);
+        assert!(us.iter().all(|c| c.country == "us"));
+        let de = in_country("DE");
+        assert!(de.len() >= 4);
+    }
+
+    #[test]
+    fn nearest_city_finds_expected_cities() {
+        // A point in midtown Manhattan should resolve to New York.
+        let (c, d) = nearest_city(GeoPoint::new(40.75, -73.99));
+        assert_eq!(c.name, "New York");
+        assert!(d < 20.0);
+        // A point on the Cornell campus should resolve to Ithaca.
+        let (c, d) = nearest_city(GeoPoint::new(42.447, -76.483));
+        assert_eq!(c.name, "Ithaca");
+        assert!(d < 5.0);
+    }
+
+    #[test]
+    fn coverage_spans_continents() {
+        let countries: HashSet<_> = CITIES.iter().map(|c| c.country).collect();
+        for expected in ["us", "ca", "gb", "de", "jp", "au", "br", "za", "in"] {
+            assert!(countries.contains(expected), "missing country {expected}");
+        }
+    }
+}

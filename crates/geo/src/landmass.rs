@@ -1,0 +1,449 @@
+//! Coarse landmass polygons and ocean tests.
+//!
+//! §2.5 of the paper lets Octant incorporate *negative geographic
+//! constraints* — oceans, deserts, uninhabitable areas — directly into the
+//! constraint system instead of as an ad-hoc post-processing step. This
+//! module supplies the geographic data for that: hand-digitised, coarse
+//! polygons for the continents (a few dozen vertices each), a
+//! point-on-land test, and per-continent lookups.
+//!
+//! The polygons intentionally trace *generous* outlines (they may include
+//! some coastal water) so that using them as negative constraints never
+//! excludes a real land position; precision comes from the latency
+//! constraints, not from the coastline data.
+
+use crate::point::GeoPoint;
+use serde::Serialize;
+
+/// A named landmass: a simple (non-self-intersecting) polygon in latitude /
+/// longitude space. None of the built-in polygons crosses the antimeridian.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Landmass {
+    /// Human-readable name, e.g. `"North America"`.
+    pub name: &'static str,
+    /// Polygon vertices as `(lat, lon)` pairs, in order, not closed
+    /// (the last vertex implicitly connects back to the first).
+    pub outline: &'static [(f64, f64)],
+}
+
+impl Landmass {
+    /// Tests whether a point lies inside this landmass outline using the
+    /// even-odd rule in lat/lon space.
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        point_in_polygon(p.lat, p.lon, self.outline)
+    }
+
+    /// The outline as [`GeoPoint`]s.
+    pub fn outline_points(&self) -> Vec<GeoPoint> {
+        self.outline.iter().map(|&(lat, lon)| GeoPoint::new(lat, lon)).collect()
+    }
+
+    /// A crude bounding box `(min_lat, min_lon, max_lat, max_lon)`.
+    pub fn bounding_box(&self) -> (f64, f64, f64, f64) {
+        let mut min_lat = f64::INFINITY;
+        let mut min_lon = f64::INFINITY;
+        let mut max_lat = f64::NEG_INFINITY;
+        let mut max_lon = f64::NEG_INFINITY;
+        for &(lat, lon) in self.outline {
+            min_lat = min_lat.min(lat);
+            min_lon = min_lon.min(lon);
+            max_lat = max_lat.max(lat);
+            max_lon = max_lon.max(lon);
+        }
+        (min_lat, min_lon, max_lat, max_lon)
+    }
+}
+
+/// Generous outline of continental North America (including the settled
+/// parts of Canada, the contiguous US and Mexico).
+pub const NORTH_AMERICA: Landmass = Landmass {
+    name: "North America",
+    outline: &[
+        (60.0, -166.0),
+        (71.5, -156.0),
+        (70.0, -125.0),
+        (72.0, -95.0),
+        (63.0, -68.0),
+        (52.0, -55.0),
+        (46.0, -52.0),
+        (43.0, -65.0),
+        (40.0, -69.0),
+        (35.0, -74.5),
+        (30.0, -80.0),
+        (24.5, -80.0),
+        (24.0, -83.0),
+        (29.0, -90.0),
+        (25.5, -97.0),
+        (21.0, -97.0),
+        (18.0, -94.0),
+        (15.5, -96.5),
+        (17.0, -102.0),
+        (23.0, -107.0),
+        (23.0, -111.0),
+        (28.0, -116.0),
+        (33.0, -119.0),
+        (37.0, -124.0),
+        (43.0, -126.0),
+        (49.0, -126.5),
+        (55.0, -134.0),
+        (59.0, -142.0),
+        (57.0, -158.0),
+    ],
+};
+
+/// Generous outline of South America.
+pub const SOUTH_AMERICA: Landmass = Landmass {
+    name: "South America",
+    outline: &[
+        (12.0, -72.0),
+        (10.5, -62.0),
+        (6.0, -54.0),
+        (0.0, -49.0),
+        (-5.0, -35.0),
+        (-13.0, -38.0),
+        (-23.0, -41.0),
+        (-34.0, -52.0),
+        (-39.0, -57.5),
+        (-47.0, -65.0),
+        (-54.0, -68.0),
+        (-55.5, -71.0),
+        (-50.0, -75.5),
+        (-40.0, -74.0),
+        (-30.0, -72.0),
+        (-18.0, -71.0),
+        (-6.0, -81.5),
+        (1.0, -80.5),
+        (7.0, -78.0),
+        (9.0, -76.0),
+    ],
+};
+
+/// Generous outline of Europe west of the Urals (excluding Iceland).
+pub const EUROPE: Landmass = Landmass {
+    name: "Europe",
+    outline: &[
+        (71.0, 28.0),
+        (67.0, 41.0),
+        (60.0, 48.0),
+        (52.0, 50.0),
+        (46.0, 48.0),
+        (41.0, 48.5),
+        (40.5, 44.0),
+        (41.0, 36.0),
+        (40.0, 26.0),
+        (36.5, 23.0),
+        (38.0, 15.5),
+        (36.5, -5.5),
+        (37.0, -9.5),
+        (43.5, -9.8),
+        (46.0, -2.0),
+        (48.5, -5.0),
+        (50.0, -5.8),
+        (53.5, -11.0),
+        (55.5, -8.5),
+        (58.5, -7.0),
+        (61.0, 4.0),
+        (63.0, 4.5),
+        (68.0, 12.0),
+        (71.0, 22.0),
+    ],
+};
+
+/// Generous outline of Africa.
+pub const AFRICA: Landmass = Landmass {
+    name: "Africa",
+    outline: &[
+        (37.0, 10.0),
+        (33.0, 32.0),
+        (30.0, 34.0),
+        (12.0, 43.5),
+        (11.0, 51.5),
+        (0.0, 42.5),
+        (-10.0, 40.5),
+        (-26.0, 33.0),
+        (-34.5, 20.0),
+        (-34.0, 18.0),
+        (-17.0, 11.5),
+        (-6.0, 12.0),
+        (4.0, 9.0),
+        (4.5, -8.0),
+        (14.5, -17.5),
+        (21.0, -17.0),
+        (28.0, -13.0),
+        (33.0, -9.0),
+        (35.5, -6.0),
+        (37.0, 0.0),
+    ],
+};
+
+/// Generous outline of mainland Asia (west of 145°E, south of the Arctic).
+pub const ASIA: Landmass = Landmass {
+    name: "Asia",
+    outline: &[
+        (68.0, 68.0),
+        (73.0, 85.0),
+        (77.0, 105.0),
+        (72.0, 130.0),
+        (67.0, 145.0),
+        (60.0, 143.0),
+        (54.0, 137.0),
+        (45.0, 135.0),
+        (39.0, 128.0),
+        (35.0, 126.5),
+        (30.0, 122.0),
+        (22.0, 115.0),
+        (21.0, 108.0),
+        (10.5, 107.0),
+        (8.5, 100.0),
+        (1.5, 103.5),
+        (6.0, 95.0),
+        (15.0, 94.5),
+        (21.0, 89.5),
+        (16.0, 82.0),
+        (8.0, 77.0),
+        (20.0, 72.5),
+        (24.5, 67.0),
+        (25.5, 57.5),
+        (22.5, 59.5),
+        (17.0, 55.0),
+        (13.0, 44.5),
+        (20.0, 40.0),
+        (28.0, 34.5),
+        (33.0, 35.5),
+        (36.5, 36.0),
+        (41.0, 41.0),
+        (45.0, 48.0),
+        (52.0, 50.5),
+        (60.0, 60.0),
+    ],
+};
+
+/// Generous outline of Japan (kept separate from mainland Asia so hosts in
+/// Tokyo/Osaka are recognised as being on land).
+pub const JAPAN: Landmass = Landmass {
+    name: "Japan",
+    outline: &[
+        (45.6, 141.0),
+        (44.0, 145.5),
+        (42.0, 143.5),
+        (39.5, 142.2),
+        (35.5, 140.9),
+        (33.0, 135.5),
+        (31.0, 131.5),
+        (31.0, 129.5),
+        (34.5, 129.0),
+        (36.0, 133.0),
+        (38.5, 137.5),
+        (41.0, 139.5),
+        (43.5, 139.5),
+    ],
+};
+
+/// Generous outline of the British Isles (kept separate from the continent).
+pub const BRITISH_ISLES: Landmass = Landmass {
+    name: "British Isles",
+    outline: &[
+        (58.7, -5.0),
+        (58.5, -2.8),
+        (55.5, -1.4),
+        (53.0, 0.5),
+        (51.3, 1.6),
+        (50.5, 0.5),
+        (50.0, -5.8),
+        (51.5, -10.8),
+        (54.5, -10.5),
+        (55.5, -8.5),
+        (57.5, -7.5),
+    ],
+};
+
+/// Generous outline of Australia.
+pub const AUSTRALIA: Landmass = Landmass {
+    name: "Australia",
+    outline: &[
+        (-11.0, 142.5),
+        (-16.0, 146.0),
+        (-25.0, 153.5),
+        (-33.0, 152.5),
+        (-38.0, 150.0),
+        (-39.5, 146.5),
+        (-38.5, 141.0),
+        (-35.5, 138.0),
+        (-35.0, 136.0),
+        (-32.0, 134.0),
+        (-34.0, 123.0),
+        (-35.0, 117.0),
+        (-31.0, 115.0),
+        (-26.0, 113.0),
+        (-21.0, 114.0),
+        (-19.0, 121.0),
+        (-14.0, 126.5),
+        (-12.0, 131.0),
+        (-14.5, 135.5),
+        (-12.5, 137.0),
+        (-16.0, 138.0),
+        (-17.5, 140.5),
+    ],
+};
+
+/// Generous outline of New Zealand.
+pub const NEW_ZEALAND: Landmass = Landmass {
+    name: "New Zealand",
+    outline: &[
+        (-34.3, 172.7),
+        (-37.5, 178.5),
+        (-41.5, 175.5),
+        (-43.5, 173.5),
+        (-46.8, 169.0),
+        (-45.8, 166.3),
+        (-42.5, 170.0),
+        (-40.5, 172.0),
+        (-38.0, 174.5),
+        (-35.0, 173.0),
+    ],
+};
+
+/// All built-in landmasses.
+pub const LANDMASSES: &[&Landmass] = &[
+    &NORTH_AMERICA,
+    &SOUTH_AMERICA,
+    &EUROPE,
+    &AFRICA,
+    &ASIA,
+    &JAPAN,
+    &BRITISH_ISLES,
+    &AUSTRALIA,
+    &NEW_ZEALAND,
+];
+
+/// Returns `true` when the point lies inside one of the coarse landmass
+/// outlines.
+pub fn is_on_land(p: GeoPoint) -> bool {
+    LANDMASSES.iter().any(|l| l.contains(p))
+}
+
+/// Returns `true` when the point lies in an ocean (i.e. outside every coarse
+/// landmass outline). This is the predicate Octant's negative geographic
+/// constraints are built from.
+pub fn is_ocean(p: GeoPoint) -> bool {
+    !is_on_land(p)
+}
+
+/// The landmass containing `p`, if any.
+pub fn landmass_of(p: GeoPoint) -> Option<&'static Landmass> {
+    LANDMASSES.iter().find(|l| l.contains(p)).copied()
+}
+
+/// Even-odd point-in-polygon test in latitude/longitude space.
+fn point_in_polygon(lat: f64, lon: f64, polygon: &[(f64, f64)]) -> bool {
+    let n = polygon.len();
+    if n < 3 {
+        return false;
+    }
+    let mut inside = false;
+    let mut j = n - 1;
+    for i in 0..n {
+        let (lat_i, lon_i) = polygon[i];
+        let (lat_j, lon_j) = polygon[j];
+        // Cast a ray in the +lon direction.
+        if ((lat_i > lat) != (lat_j > lat))
+            && (lon < (lon_j - lon_i) * (lat - lat_i) / (lat_j - lat_i) + lon_i)
+        {
+            inside = !inside;
+        }
+        j = i;
+    }
+    inside
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cities::CITIES;
+
+    #[test]
+    fn known_land_points_are_on_land() {
+        let land = [
+            (40.71, -74.01, "New York"),
+            (41.88, -87.63, "Chicago"),
+            (39.74, -104.99, "Denver"),
+            (48.86, 2.35, "Paris"),
+            (52.52, 13.40, "Berlin"),
+            (55.76, 37.62, "Moscow"),
+            (35.68, 139.69, "Tokyo"),
+            (-33.87, 151.21, "Sydney"),
+            (-23.55, -46.63, "Sao Paulo"),
+            (30.04, 31.24, "Cairo"),
+            (51.51, -0.13, "London"),
+            (28.61, 77.21, "New Delhi"),
+            (-36.85, 174.76, "Auckland"),
+        ];
+        for (lat, lon, name) in land {
+            assert!(is_on_land(GeoPoint::new(lat, lon)), "{name} should be on land");
+        }
+    }
+
+    #[test]
+    fn known_ocean_points_are_in_the_ocean() {
+        let ocean = [
+            (35.0, -45.0, "mid North Atlantic"),
+            (0.0, -30.0, "equatorial Atlantic"),
+            (30.0, -160.0, "mid North Pacific"),
+            (-20.0, 90.0, "Indian Ocean"),
+            (-55.0, -120.0, "Southern Pacific"),
+            (45.0, -150.0, "Gulf of Alaska"),
+            (25.0, -60.0, "Sargasso Sea"),
+        ];
+        for (lat, lon, name) in ocean {
+            assert!(is_ocean(GeoPoint::new(lat, lon)), "{name} should be ocean");
+        }
+    }
+
+    #[test]
+    fn most_cities_fall_on_land() {
+        // The outlines are coarse, so allow a small number of coastal cities
+        // to fall outside, but the overwhelming majority must be inside.
+        let on_land = CITIES.iter().filter(|c| is_on_land(c.location())).count();
+        let frac = on_land as f64 / CITIES.len() as f64;
+        assert!(frac > 0.9, "only {:.0}% of cities fall on land", frac * 100.0);
+    }
+
+    #[test]
+    fn all_planetlab_sites_fall_on_land() {
+        for s in crate::sites::planetlab_51() {
+            assert!(is_on_land(s.location()), "{} should be on land", s.hostname);
+        }
+    }
+
+    #[test]
+    fn landmass_of_identifies_continents() {
+        assert_eq!(landmass_of(GeoPoint::new(40.0, -100.0)).unwrap().name, "North America");
+        assert_eq!(landmass_of(GeoPoint::new(48.86, 2.35)).unwrap().name, "Europe");
+        assert_eq!(landmass_of(GeoPoint::new(-25.0, 135.0)).unwrap().name, "Australia");
+        assert!(landmass_of(GeoPoint::new(0.0, -30.0)).is_none());
+    }
+
+    #[test]
+    fn bounding_boxes_contain_their_outline() {
+        for l in LANDMASSES {
+            let (min_lat, min_lon, max_lat, max_lon) = l.bounding_box();
+            assert!(min_lat < max_lat && min_lon < max_lon, "{}", l.name);
+            for &(lat, lon) in l.outline {
+                assert!(lat >= min_lat && lat <= max_lat && lon >= min_lon && lon <= max_lon);
+            }
+        }
+    }
+
+    #[test]
+    fn point_in_polygon_rejects_degenerate_polygons() {
+        assert!(!point_in_polygon(0.0, 0.0, &[]));
+        assert!(!point_in_polygon(0.0, 0.0, &[(0.0, 0.0), (1.0, 1.0)]));
+    }
+
+    #[test]
+    fn outline_points_match_raw_outline() {
+        let pts = NORTH_AMERICA.outline_points();
+        assert_eq!(pts.len(), NORTH_AMERICA.outline.len());
+        assert!((pts[0].lat - NORTH_AMERICA.outline[0].0).abs() < 1e-12);
+    }
+}

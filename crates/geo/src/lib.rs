@@ -1,0 +1,75 @@
+//! # octant-geo
+//!
+//! Spherical-geometry substrate for the Octant geolocalization framework
+//! (Wong, Stoyanov, Sirer — NSDI 2007).
+//!
+//! Octant reasons about *where on the globe* a host can be. Everything in the
+//! framework ultimately bottoms out in a handful of geographic primitives:
+//!
+//! * [`GeoPoint`] — a position on the surface of the Earth (latitude /
+//!   longitude in degrees),
+//! * great-circle distance, bearing and destination computations
+//!   ([`distance`]),
+//! * local planar projections used to do exact 2-D geometry around a
+//!   landmark ([`projection`]),
+//! * strongly-typed units for distances and latencies and the
+//!   speed-of-light-in-fiber conversion between them ([`units`]),
+//! * a database of world cities and PlanetLab-like measurement sites used to
+//!   place synthetic hosts at realistic coordinates ([`cities`], [`sites`]),
+//! * coarse landmass polygons used for the paper's negative geographic
+//!   constraints ("the target is not in an ocean") ([`landmass`]),
+//! * seeded random geographic sampling helpers ([`sample`]).
+//!
+//! The crate is deliberately dependency-light (only `rand` and `serde`) and
+//! completely deterministic: every function is a pure computation and every
+//! random helper takes an explicit RNG.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use octant_geo::{GeoPoint, distance::great_circle_km, units::Distance};
+//!
+//! let ithaca = GeoPoint::new(42.4440, -76.5019);
+//! let seattle = GeoPoint::new(47.6062, -122.3321);
+//! let d = great_circle_km(ithaca, seattle);
+//! assert!((d - 3540.0).abs() < 60.0, "Ithaca-Seattle is ~3540 km, got {d}");
+//! let as_miles = Distance::from_km(d).miles();
+//! assert!(as_miles > 2100.0 && as_miles < 2300.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cities;
+pub mod distance;
+pub mod landmass;
+pub mod point;
+pub mod projection;
+pub mod sample;
+pub mod sites;
+pub mod units;
+
+pub use point::GeoPoint;
+pub use projection::AzimuthalEquidistant;
+pub use units::{Distance, Latency};
+
+/// Mean Earth radius in kilometers (IUGG value), used by every great-circle
+/// computation in the workspace.
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Earth circumference in kilometers, handy as an upper bound for distances.
+pub const EARTH_CIRCUMFERENCE_KM: f64 = 2.0 * std::f64::consts::PI * EARTH_RADIUS_KM;
+
+/// Kilometers per statute mile.
+pub const KM_PER_MILE: f64 = 1.609_344;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earth_constants_are_consistent() {
+        assert!((EARTH_CIRCUMFERENCE_KM - 40_030.0).abs() < 50.0);
+        assert!((KM_PER_MILE - 1.609).abs() < 1e-3);
+    }
+}

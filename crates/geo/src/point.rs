@@ -1,0 +1,201 @@
+//! Geographic points (latitude / longitude) and validation helpers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point on the surface of the Earth, expressed as latitude and longitude
+/// in decimal degrees.
+///
+/// Latitudes are in `[-90, 90]` (positive north), longitudes in `(-180, 180]`
+/// (positive east). Construction via [`GeoPoint::new`] normalizes longitudes
+/// into that range and clamps latitudes; [`GeoPoint::try_new`] rejects
+/// non-finite values instead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in decimal degrees, positive north.
+    pub lat: f64,
+    /// Longitude in decimal degrees, positive east.
+    pub lon: f64,
+}
+
+/// Errors produced when constructing a [`GeoPoint`] from untrusted values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeoPointError {
+    /// Latitude or longitude was NaN or infinite.
+    NonFinite,
+    /// Latitude was outside `[-90, 90]` after normalization.
+    LatitudeOutOfRange,
+}
+
+impl fmt::Display for GeoPointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoPointError::NonFinite => write!(f, "latitude/longitude must be finite"),
+            GeoPointError::LatitudeOutOfRange => {
+                write!(f, "latitude must lie within [-90, 90] degrees")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeoPointError {}
+
+impl GeoPoint {
+    /// Creates a new point, normalizing the longitude into `(-180, 180]` and
+    /// clamping the latitude into `[-90, 90]`.
+    ///
+    /// Non-finite inputs are mapped to `0.0`; use [`GeoPoint::try_new`] when
+    /// the caller needs to detect such inputs.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        let lat = if lat.is_finite() { lat.clamp(-90.0, 90.0) } else { 0.0 };
+        let lon = if lon.is_finite() { normalize_lon(lon) } else { 0.0 };
+        GeoPoint { lat, lon }
+    }
+
+    /// Creates a new point, returning an error for non-finite or out-of-range
+    /// latitudes. Longitudes are normalized into `(-180, 180]`.
+    pub fn try_new(lat: f64, lon: f64) -> Result<Self, GeoPointError> {
+        if !lat.is_finite() || !lon.is_finite() {
+            return Err(GeoPointError::NonFinite);
+        }
+        if !(-90.0..=90.0).contains(&lat) {
+            return Err(GeoPointError::LatitudeOutOfRange);
+        }
+        Ok(GeoPoint { lat, lon: normalize_lon(lon) })
+    }
+
+    /// Latitude in radians.
+    pub fn lat_rad(&self) -> f64 {
+        self.lat.to_radians()
+    }
+
+    /// Longitude in radians.
+    pub fn lon_rad(&self) -> f64 {
+        self.lon.to_radians()
+    }
+
+    /// Returns `true` when both coordinates are finite and within range.
+    pub fn is_valid(&self) -> bool {
+        self.lat.is_finite()
+            && self.lon.is_finite()
+            && (-90.0..=90.0).contains(&self.lat)
+            && (-180.0..=180.0).contains(&self.lon)
+    }
+
+    /// The antipode of this point (the diametrically opposite point on the
+    /// globe). Useful for constructing worst-case distance tests.
+    pub fn antipode(&self) -> GeoPoint {
+        GeoPoint::new(-self.lat, self.lon + 180.0)
+    }
+
+    /// Converts the point to a 3-D unit vector on the sphere
+    /// (x toward lon=0 on the equator, z toward the north pole).
+    pub fn to_unit_vector(&self) -> [f64; 3] {
+        let lat = self.lat_rad();
+        let lon = self.lon_rad();
+        [lat.cos() * lon.cos(), lat.cos() * lon.sin(), lat.sin()]
+    }
+
+    /// Reconstructs a point from a (not necessarily normalized) 3-D vector.
+    pub fn from_vector(v: [f64; 3]) -> GeoPoint {
+        let norm = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+        if norm == 0.0 || !norm.is_finite() {
+            return GeoPoint::new(0.0, 0.0);
+        }
+        let x = v[0] / norm;
+        let y = v[1] / norm;
+        let z = v[2] / norm;
+        GeoPoint::new(z.asin().to_degrees(), y.atan2(x).to_degrees())
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = if self.lat >= 0.0 { 'N' } else { 'S' };
+        let ew = if self.lon >= 0.0 { 'E' } else { 'W' };
+        write!(f, "{:.4}{}, {:.4}{}", self.lat.abs(), ns, self.lon.abs(), ew)
+    }
+}
+
+/// Normalizes a longitude into the range `(-180, 180]`.
+pub fn normalize_lon(lon: f64) -> f64 {
+    if !lon.is_finite() {
+        return 0.0;
+    }
+    let mut l = lon % 360.0;
+    if l <= -180.0 {
+        l += 360.0;
+    } else if l > 180.0 {
+        l -= 360.0;
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longitude_normalization_wraps_into_range() {
+        assert_eq!(normalize_lon(190.0), -170.0);
+        assert_eq!(normalize_lon(-190.0), 170.0);
+        assert_eq!(normalize_lon(360.0), 0.0);
+        assert_eq!(normalize_lon(540.0), 180.0);
+        assert_eq!(normalize_lon(-540.0), 180.0);
+        assert_eq!(normalize_lon(0.0), 0.0);
+    }
+
+    #[test]
+    fn new_clamps_latitude() {
+        assert_eq!(GeoPoint::new(95.0, 0.0).lat, 90.0);
+        assert_eq!(GeoPoint::new(-95.0, 0.0).lat, -90.0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_inputs() {
+        assert_eq!(GeoPoint::try_new(f64::NAN, 0.0), Err(GeoPointError::NonFinite));
+        assert_eq!(GeoPoint::try_new(0.0, f64::INFINITY), Err(GeoPointError::NonFinite));
+        assert_eq!(GeoPoint::try_new(91.0, 0.0), Err(GeoPointError::LatitudeOutOfRange));
+        assert!(GeoPoint::try_new(42.0, 200.0).is_ok());
+    }
+
+    #[test]
+    fn non_finite_inputs_map_to_origin() {
+        let p = GeoPoint::new(f64::NAN, f64::NAN);
+        assert!(p.is_valid());
+        assert_eq!(p, GeoPoint::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn antipode_round_trips() {
+        let p = GeoPoint::new(42.44, -76.5);
+        let a = p.antipode();
+        assert!((a.lat + p.lat).abs() < 1e-9);
+        assert!((super::normalize_lon(a.lon - 180.0) - p.lon).abs() < 1e-9);
+        let back = a.antipode();
+        assert!((back.lat - p.lat).abs() < 1e-9);
+        assert!((back.lon - p.lon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_vector_round_trip() {
+        for &(lat, lon) in &[(0.0, 0.0), (42.44, -76.5), (-33.9, 151.2), (89.0, 10.0), (-89.0, -170.0)] {
+            let p = GeoPoint::new(lat, lon);
+            let q = GeoPoint::from_vector(p.to_unit_vector());
+            assert!((p.lat - q.lat).abs() < 1e-9, "{p} vs {q}");
+            assert!((p.lon - q.lon).abs() < 1e-9, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn from_vector_handles_degenerate_input() {
+        let p = GeoPoint::from_vector([0.0, 0.0, 0.0]);
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn display_formats_hemispheres() {
+        let s = format!("{}", GeoPoint::new(42.4440, -76.5019));
+        assert!(s.contains('N') && s.contains('W'), "{s}");
+    }
+}

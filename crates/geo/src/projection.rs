@@ -1,0 +1,214 @@
+//! Local planar projections.
+//!
+//! Octant's region arithmetic (intersections, unions, Bézier boundaries)
+//! happens in a 2-D plane. Each solve projects the globe onto a plane using
+//! an *azimuthal equidistant* projection centred near the constraints'
+//! centroid: distances **from the centre** are preserved exactly, which is
+//! precisely the property needed to turn "within d km of landmark L" into a
+//! planar disk with negligible error at the continental scales Octant
+//! operates on.
+//!
+//! A simple equirectangular projection is also provided for plotting and for
+//! the coarse landmass masks.
+
+use crate::distance::{destination, great_circle_km, initial_bearing_deg};
+use crate::point::GeoPoint;
+use crate::units::Distance;
+use crate::EARTH_RADIUS_KM;
+use serde::{Deserialize, Serialize};
+
+/// A point in a local projected plane, in kilometers.
+///
+/// `x` grows eastward, `y` grows northward (for the azimuthal projection this
+/// is only exactly true at the projection centre, which is all Octant needs).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlanePoint {
+    /// East-ish coordinate in kilometers.
+    pub x: f64,
+    /// North-ish coordinate in kilometers.
+    pub y: f64,
+}
+
+impl PlanePoint {
+    /// Creates a plane point from kilometre coordinates.
+    pub fn new(x: f64, y: f64) -> Self {
+        PlanePoint { x, y }
+    }
+
+    /// Euclidean distance to another plane point, in kilometers.
+    pub fn distance(&self, other: &PlanePoint) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Euclidean distance to the plane origin, in kilometers.
+    pub fn norm(&self) -> f64 {
+        self.x.hypot(self.y)
+    }
+}
+
+/// Azimuthal equidistant projection centred at a reference point.
+///
+/// Every point on the globe maps to `(rho·sin θ, rho·cos θ)` where `rho` is
+/// the great-circle distance from the centre and `θ` the initial bearing.
+/// The projection is exact in distance and direction from the centre, and its
+/// distortion of distances *between* projected points stays below ~1% within
+/// roughly 3000 km of the centre — comfortably inside the scale at which
+/// latency constraints are informative.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AzimuthalEquidistant {
+    center: GeoPoint,
+}
+
+impl AzimuthalEquidistant {
+    /// Creates a projection centred at `center`.
+    pub fn new(center: GeoPoint) -> Self {
+        AzimuthalEquidistant { center }
+    }
+
+    /// The projection centre.
+    pub fn center(&self) -> GeoPoint {
+        self.center
+    }
+
+    /// Projects a geographic point onto the plane.
+    pub fn project(&self, p: GeoPoint) -> PlanePoint {
+        let rho = great_circle_km(self.center, p);
+        if rho < 1e-9 {
+            return PlanePoint::new(0.0, 0.0);
+        }
+        let theta = initial_bearing_deg(self.center, p).to_radians();
+        PlanePoint::new(rho * theta.sin(), rho * theta.cos())
+    }
+
+    /// Maps a plane point back to the globe.
+    pub fn unproject(&self, p: PlanePoint) -> GeoPoint {
+        let rho = p.norm();
+        if rho < 1e-9 {
+            return self.center;
+        }
+        let bearing = p.x.atan2(p.y).to_degrees();
+        destination(self.center, bearing, Distance::from_km(rho))
+    }
+
+    /// Maximum distance (km) from the centre at which this projection should
+    /// be trusted for *relative* geometry. Points farther than a quarter of
+    /// the Earth's circumference start wrapping around.
+    pub fn usable_radius_km(&self) -> f64 {
+        std::f64::consts::PI * EARTH_RADIUS_KM / 2.0
+    }
+}
+
+/// A plain equirectangular (plate carrée) projection: `x = lon·cos(lat₀)`,
+/// `y = lat`, scaled to kilometers. Cheap and adequate for plotting and for
+/// the coarse continent polygons; not used for constraint geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Equirectangular {
+    ref_lat_rad: f64,
+}
+
+impl Equirectangular {
+    /// Creates a projection whose east-west scale is correct at `ref_lat`
+    /// degrees of latitude.
+    pub fn new(ref_lat: f64) -> Self {
+        Equirectangular { ref_lat_rad: ref_lat.clamp(-89.9, 89.9).to_radians() }
+    }
+
+    /// Projects a geographic point (km units).
+    pub fn project(&self, p: GeoPoint) -> PlanePoint {
+        let km_per_deg = EARTH_RADIUS_KM * std::f64::consts::PI / 180.0;
+        PlanePoint::new(p.lon * km_per_deg * self.ref_lat_rad.cos(), p.lat * km_per_deg)
+    }
+
+    /// Maps a plane point back to the globe.
+    pub fn unproject(&self, p: PlanePoint) -> GeoPoint {
+        let km_per_deg = EARTH_RADIUS_KM * std::f64::consts::PI / 180.0;
+        let cos = self.ref_lat_rad.cos().max(1e-9);
+        GeoPoint::new(p.y / km_per_deg, p.x / (km_per_deg * cos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ithaca() -> GeoPoint {
+        GeoPoint::new(42.4440, -76.5019)
+    }
+
+    #[test]
+    fn azimuthal_preserves_distance_from_center() {
+        let proj = AzimuthalEquidistant::new(ithaca());
+        for &(lat, lon) in &[(47.6, -122.3), (51.5, -0.13), (40.7, -74.0), (35.0, 139.7), (-33.9, 151.2)] {
+            let p = GeoPoint::new(lat, lon);
+            let plane = proj.project(p);
+            let rho = plane.norm();
+            let truth = great_circle_km(ithaca(), p);
+            assert!((rho - truth).abs() < 1e-6 * truth.max(1.0), "rho={rho} truth={truth}");
+        }
+    }
+
+    #[test]
+    fn azimuthal_round_trips() {
+        let proj = AzimuthalEquidistant::new(ithaca());
+        for &(lat, lon) in &[(42.4440, -76.5019), (40.7, -74.0), (37.4, -122.1), (51.5, -0.13), (1.35, 103.8)] {
+            let p = GeoPoint::new(lat, lon);
+            let back = proj.unproject(proj.project(p));
+            assert!(great_circle_km(p, back) < 1e-3, "{p} -> {back}");
+        }
+    }
+
+    #[test]
+    fn azimuthal_center_maps_to_origin() {
+        let proj = AzimuthalEquidistant::new(ithaca());
+        let o = proj.project(ithaca());
+        assert!(o.norm() < 1e-9);
+        assert!(great_circle_km(proj.unproject(PlanePoint::new(0.0, 0.0)), ithaca()) < 1e-9);
+    }
+
+    #[test]
+    fn azimuthal_axes_point_the_right_way() {
+        let proj = AzimuthalEquidistant::new(GeoPoint::new(0.0, 0.0));
+        let north = proj.project(GeoPoint::new(1.0, 0.0));
+        assert!(north.y > 0.0 && north.x.abs() < 1e-6);
+        let east = proj.project(GeoPoint::new(0.0, 1.0));
+        assert!(east.x > 0.0 && east.y.abs() < 1e-6);
+    }
+
+    #[test]
+    fn azimuthal_relative_distortion_is_small_at_continental_scale() {
+        // Distances *between* two projected points (neither at the centre)
+        // should be close to their great-circle distance when both are within
+        // ~2500 km of the centre.
+        let proj = AzimuthalEquidistant::new(GeoPoint::new(40.0, -95.0)); // center of the US
+        let a = GeoPoint::new(40.7, -74.0); // NYC
+        let b = GeoPoint::new(34.05, -118.24); // LA
+        let plane_d = proj.project(a).distance(&proj.project(b));
+        let truth = great_circle_km(a, b);
+        let rel_err = (plane_d - truth).abs() / truth;
+        assert!(rel_err < 0.02, "relative error {rel_err}");
+    }
+
+    #[test]
+    fn equirectangular_round_trips() {
+        let proj = Equirectangular::new(40.0);
+        for &(lat, lon) in &[(40.0, -75.0), (52.0, 13.4), (-23.5, -46.6)] {
+            let p = GeoPoint::new(lat, lon);
+            let back = proj.unproject(proj.project(p));
+            assert!((back.lat - p.lat).abs() < 1e-9);
+            assert!((back.lon - p.lon).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn plane_point_distance() {
+        let a = PlanePoint::new(3.0, 4.0);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        assert!((a.distance(&PlanePoint::new(0.0, 0.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usable_radius_is_quarter_circumference() {
+        let proj = AzimuthalEquidistant::new(ithaca());
+        assert!((proj.usable_radius_km() - 10_007.0).abs() < 10.0);
+    }
+}

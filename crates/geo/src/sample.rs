@@ -1,0 +1,175 @@
+//! Seeded random geographic sampling.
+//!
+//! The network simulator and the experiment harness need random-but-
+//! reproducible geographic inputs: hosts scattered around a city, targets
+//! drawn from population centres, uniform points inside a radius (for the
+//! Monte-Carlo region oracles in `octant-region`'s tests). Every helper here
+//! takes an explicit `&mut impl Rng`, so determinism is entirely in the
+//! caller's hands.
+
+use crate::cities::{City, CITIES};
+use crate::distance::destination;
+use crate::point::GeoPoint;
+use crate::units::Distance;
+use rand::Rng;
+
+/// A point drawn uniformly at random on the surface of the sphere.
+pub fn uniform_on_sphere<R: Rng + ?Sized>(rng: &mut R) -> GeoPoint {
+    // Uniform on the sphere: longitude uniform, sin(latitude) uniform.
+    let lon = rng.gen_range(-180.0..180.0);
+    let z: f64 = rng.gen_range(-1.0..1.0);
+    GeoPoint::new(z.asin().to_degrees(), lon)
+}
+
+/// A point drawn uniformly (by area, to first order) from the disk of radius
+/// `radius` around `center`.
+pub fn uniform_in_disk<R: Rng + ?Sized>(rng: &mut R, center: GeoPoint, radius: Distance) -> GeoPoint {
+    let bearing = rng.gen_range(0.0..360.0);
+    // sqrt for uniform area density.
+    let r = radius.km() * rng.gen::<f64>().sqrt();
+    destination(center, bearing, Distance::from_km(r))
+}
+
+/// A point drawn from a (truncated) Gaussian scatter around `center` with the
+/// given standard deviation. Used to place hosts "somewhere in the metro
+/// area" of a city.
+pub fn gaussian_scatter<R: Rng + ?Sized>(rng: &mut R, center: GeoPoint, sigma: Distance) -> GeoPoint {
+    // Box-Muller.
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let mag = sigma.km() * (-2.0 * u1.ln()).sqrt();
+    // Truncate at 4 sigma so a single unlucky draw cannot teleport a host to
+    // another continent.
+    let mag = mag.min(sigma.km() * 4.0);
+    let bearing = u2 * 360.0;
+    destination(center, bearing, Distance::from_km(mag))
+}
+
+/// Draws a city at random, weighted by population. Never returns `None`
+/// because the built-in city table is non-empty.
+pub fn population_weighted_city<R: Rng + ?Sized>(rng: &mut R) -> &'static City {
+    let total: u64 = CITIES.iter().map(|c| c.population_k as u64).sum();
+    let mut pick = rng.gen_range(0..total);
+    for c in CITIES {
+        let w = c.population_k as u64;
+        if pick < w {
+            return c;
+        }
+        pick -= w;
+    }
+    // Unreachable unless the table is empty; fall back to the first city.
+    &CITIES[0]
+}
+
+/// Draws a city uniformly at random from the set of cities in `country`.
+/// Returns `None` when no city of that country is in the table.
+pub fn random_city_in_country<R: Rng + ?Sized>(rng: &mut R, country: &str) -> Option<&'static City> {
+    let candidates: Vec<&'static City> =
+        CITIES.iter().filter(|c| c.country.eq_ignore_ascii_case(country)).collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.gen_range(0..candidates.len())])
+    }
+}
+
+/// A plausible host location: a population-weighted city centre plus a
+/// metro-scale Gaussian scatter (σ = 15 km).
+pub fn random_host_location<R: Rng + ?Sized>(rng: &mut R) -> GeoPoint {
+    let city = population_weighted_city(rng);
+    gaussian_scatter(rng, city.location(), Distance::from_km(15.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::great_circle_km;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_on_sphere_covers_both_hemispheres() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts: Vec<GeoPoint> = (0..2000).map(|_| uniform_on_sphere(&mut rng)).collect();
+        let north = pts.iter().filter(|p| p.lat > 0.0).count();
+        let east = pts.iter().filter(|p| p.lon > 0.0).count();
+        assert!(north > 800 && north < 1200, "north count {north}");
+        assert!(east > 800 && east < 1200, "east count {east}");
+        // Uniform-on-sphere means |lat| > 60° should be rare (~13.4% of area).
+        let polar = pts.iter().filter(|p| p.lat.abs() > 60.0).count();
+        assert!(polar < 400, "polar count {polar}");
+        for p in &pts {
+            assert!(p.is_valid());
+        }
+    }
+
+    #[test]
+    fn uniform_in_disk_respects_radius() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let center = GeoPoint::new(42.44, -76.50);
+        let radius = Distance::from_km(500.0);
+        let mut beyond_half = 0;
+        for _ in 0..1000 {
+            let p = uniform_in_disk(&mut rng, center, radius);
+            let d = great_circle_km(center, p);
+            assert!(d <= radius.km() + 1e-6, "point at {d} km exceeds radius");
+            if d > radius.km() / 2.0 {
+                beyond_half += 1;
+            }
+        }
+        // Uniform-by-area means ~75% of points lie beyond half the radius.
+        assert!(beyond_half > 650 && beyond_half < 850, "beyond_half = {beyond_half}");
+    }
+
+    #[test]
+    fn gaussian_scatter_stays_near_center() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let center = GeoPoint::new(48.86, 2.35);
+        let sigma = Distance::from_km(15.0);
+        for _ in 0..500 {
+            let p = gaussian_scatter(&mut rng, center, sigma);
+            assert!(great_circle_km(center, p) <= 60.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn population_weighting_prefers_big_cities() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut tokyo = 0;
+        let mut ithaca = 0;
+        for _ in 0..5000 {
+            let c = population_weighted_city(&mut rng);
+            if c.name == "Tokyo" {
+                tokyo += 1;
+            }
+            if c.name == "Ithaca" {
+                ithaca += 1;
+            }
+        }
+        assert!(tokyo > ithaca, "Tokyo ({tokyo}) should be drawn more often than Ithaca ({ithaca})");
+        assert!(tokyo > 50, "Tokyo should be drawn regularly, got {tokyo}");
+    }
+
+    #[test]
+    fn random_city_in_country_filters() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for _ in 0..50 {
+            let c = random_city_in_country(&mut rng, "de").unwrap();
+            assert_eq!(c.country, "de");
+        }
+        assert!(random_city_in_country(&mut rng, "zz").is_none());
+    }
+
+    #[test]
+    fn random_host_location_is_deterministic_for_a_seed() {
+        let a: Vec<GeoPoint> = {
+            let mut rng = StdRng::seed_from_u64(23);
+            (0..10).map(|_| random_host_location(&mut rng)).collect()
+        };
+        let b: Vec<GeoPoint> = {
+            let mut rng = StdRng::seed_from_u64(23);
+            (0..10).map(|_| random_host_location(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,320 @@
+//! Strongly-typed distance and latency units, and the speed-of-light
+//! conversions between them.
+//!
+//! The Octant paper translates round-trip latencies into distance bounds
+//! using the propagation speed of light in fiber, approximately 2/3 of the
+//! speed of light in vacuum (§2.1). These conversions appear all over the
+//! framework — in calibration, in the conservative fallback constraints, in
+//! the network simulator — so they live here as a single source of truth.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use crate::KM_PER_MILE;
+
+/// Speed of light in vacuum, kilometers per millisecond.
+pub const SPEED_OF_LIGHT_KM_PER_MS: f64 = 299.792_458;
+
+/// Propagation speed of light in optical fiber, kilometers per millisecond.
+///
+/// The paper uses "approximately 2/3 the speed of light"; we use exactly 2/3.
+pub const FIBER_SPEED_KM_PER_MS: f64 = SPEED_OF_LIGHT_KM_PER_MS * 2.0 / 3.0;
+
+/// A geographic distance. Internally stored in kilometers.
+///
+/// The paper reports results in miles; [`Distance::miles`] performs the
+/// conversion so experiment harnesses can print the same units as the paper.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Distance(f64);
+
+impl Distance {
+    /// Zero distance.
+    pub const ZERO: Distance = Distance(0.0);
+
+    /// Creates a distance from kilometers. Negative values are clamped to 0.
+    pub fn from_km(km: f64) -> Self {
+        Distance(if km.is_finite() { km.max(0.0) } else { 0.0 })
+    }
+
+    /// Creates a distance from statute miles.
+    pub fn from_miles(miles: f64) -> Self {
+        Distance::from_km(miles * KM_PER_MILE)
+    }
+
+    /// Creates a distance from meters.
+    pub fn from_meters(m: f64) -> Self {
+        Distance::from_km(m / 1000.0)
+    }
+
+    /// The distance in kilometers.
+    pub fn km(&self) -> f64 {
+        self.0
+    }
+
+    /// The distance in statute miles.
+    pub fn miles(&self) -> f64 {
+        self.0 / KM_PER_MILE
+    }
+
+    /// The distance in meters.
+    pub fn meters(&self) -> f64 {
+        self.0 * 1000.0
+    }
+
+    /// Minimum of two distances.
+    pub fn min(self, other: Distance) -> Distance {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two distances.
+    pub fn max(self, other: Distance) -> Distance {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// One-way great-circle distance light can travel in fiber during a
+    /// round-trip latency `rtt` (i.e. the paper's conservative speed-of-light
+    /// bound on landmark-target distance).
+    pub fn max_fiber_distance_for_rtt(rtt: Latency) -> Distance {
+        Distance::from_km(rtt.ms() / 2.0 * FIBER_SPEED_KM_PER_MS)
+    }
+
+    /// The minimum round-trip latency needed for light in fiber to cover this
+    /// distance and come back (the inverse of
+    /// [`Distance::max_fiber_distance_for_rtt`]).
+    pub fn min_rtt_over_fiber(&self) -> Latency {
+        Latency::from_ms(2.0 * self.0 / FIBER_SPEED_KM_PER_MS)
+    }
+}
+
+impl Add for Distance {
+    type Output = Distance;
+    fn add(self, rhs: Distance) -> Distance {
+        Distance::from_km(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Distance {
+    fn add_assign(&mut self, rhs: Distance) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Distance {
+    type Output = Distance;
+    fn sub(self, rhs: Distance) -> Distance {
+        Distance::from_km(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Distance {
+    type Output = Distance;
+    fn mul(self, rhs: f64) -> Distance {
+        Distance::from_km(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Distance {
+    type Output = Distance;
+    fn div(self, rhs: f64) -> Distance {
+        Distance::from_km(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Distance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} km", self.0)
+    }
+}
+
+/// A network latency (round-trip or one-way depending on context), stored in
+/// milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Latency(f64);
+
+impl Latency {
+    /// Zero latency.
+    pub const ZERO: Latency = Latency(0.0);
+
+    /// Creates a latency from milliseconds. Negative values are clamped to 0.
+    pub fn from_ms(ms: f64) -> Self {
+        Latency(if ms.is_finite() { ms.max(0.0) } else { 0.0 })
+    }
+
+    /// Creates a latency from microseconds.
+    pub fn from_us(us: f64) -> Self {
+        Latency::from_ms(us / 1000.0)
+    }
+
+    /// Creates a latency from seconds.
+    pub fn from_secs(s: f64) -> Self {
+        Latency::from_ms(s * 1000.0)
+    }
+
+    /// The latency in milliseconds.
+    pub fn ms(&self) -> f64 {
+        self.0
+    }
+
+    /// The latency in microseconds.
+    pub fn us(&self) -> f64 {
+        self.0 * 1000.0
+    }
+
+    /// The latency in seconds.
+    pub fn secs(&self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// Minimum of two latencies — the standard way to filter queuing noise
+    /// out of a set of probes.
+    pub fn min(self, other: Latency) -> Latency {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two latencies.
+    pub fn max(self, other: Latency) -> Latency {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Round-trip time for light in fiber to traverse `distance` and return.
+    pub fn fiber_rtt_for_distance(distance: Distance) -> Latency {
+        distance.min_rtt_over_fiber()
+    }
+}
+
+impl Add for Latency {
+    type Output = Latency;
+    fn add(self, rhs: Latency) -> Latency {
+        Latency::from_ms(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Latency {
+    fn add_assign(&mut self, rhs: Latency) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Latency {
+    type Output = Latency;
+    fn sub(self, rhs: Latency) -> Latency {
+        Latency::from_ms(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Latency {
+    type Output = Latency;
+    fn mul(self, rhs: f64) -> Latency {
+        Latency::from_ms(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Latency {
+    type Output = Latency;
+    fn div(self, rhs: f64) -> Latency {
+        Latency::from_ms(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_unit_conversions_round_trip() {
+        let d = Distance::from_miles(100.0);
+        assert!((d.km() - 160.9344).abs() < 1e-9);
+        assert!((d.miles() - 100.0).abs() < 1e-9);
+        assert!((Distance::from_meters(1500.0).km() - 1.5).abs() < 1e-12);
+        assert!((Distance::from_km(2.0).meters() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_unit_conversions_round_trip() {
+        let l = Latency::from_secs(0.05);
+        assert!((l.ms() - 50.0).abs() < 1e-12);
+        assert!((l.us() - 50_000.0).abs() < 1e-9);
+        assert!((Latency::from_us(2500.0).ms() - 2.5).abs() < 1e-12);
+        assert!((l.secs() - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn negative_and_non_finite_values_clamp_to_zero() {
+        assert_eq!(Distance::from_km(-5.0), Distance::ZERO);
+        assert_eq!(Distance::from_km(f64::NAN), Distance::ZERO);
+        assert_eq!(Latency::from_ms(-1.0), Latency::ZERO);
+        assert_eq!(Latency::from_ms(f64::INFINITY), Latency::ZERO);
+    }
+
+    #[test]
+    fn fiber_bound_is_two_thirds_c() {
+        // A 100 ms RTT allows at most 50 ms one-way, i.e. ~9993 km in fiber.
+        let d = Distance::max_fiber_distance_for_rtt(Latency::from_ms(100.0));
+        assert!((d.km() - 50.0 * FIBER_SPEED_KM_PER_MS).abs() < 1e-9);
+        assert!((d.km() - 9993.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn fiber_rtt_and_distance_are_inverse() {
+        let d = Distance::from_km(1234.5);
+        let rtt = d.min_rtt_over_fiber();
+        let back = Distance::max_fiber_distance_for_rtt(rtt);
+        assert!((back.km() - d.km()).abs() < 1e-9);
+        assert_eq!(Latency::fiber_rtt_for_distance(d), rtt);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Distance::from_km(10.0);
+        let b = Distance::from_km(4.0);
+        assert!(((a + b).km() - 14.0).abs() < 1e-12);
+        assert!(((a - b).km() - 6.0).abs() < 1e-12);
+        assert!(((b - a).km()).abs() < 1e-12, "subtraction saturates at zero");
+        assert!(((a * 2.5).km() - 25.0).abs() < 1e-12);
+        assert!(((a / 2.0).km() - 5.0).abs() < 1e-12);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+
+        let x = Latency::from_ms(3.0);
+        let y = Latency::from_ms(7.0);
+        assert!(((x + y).ms() - 10.0).abs() < 1e-12);
+        assert!(((y - x).ms() - 4.0).abs() < 1e-12);
+        assert_eq!(x.min(y), x);
+        assert_eq!(x.max(y), y);
+        let mut z = x;
+        z += y;
+        assert!((z.ms() - 10.0).abs() < 1e-12);
+        let mut dd = a;
+        dd += b;
+        assert!((dd.km() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(format!("{}", Distance::from_km(12.5)), "12.50 km");
+        assert_eq!(format!("{}", Latency::from_ms(1.25)), "1.250 ms");
+    }
+}

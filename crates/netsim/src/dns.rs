@@ -1,0 +1,137 @@
+//! ISP-style router naming and an `undns`-like reverse parser.
+//!
+//! Real ISPs encode the point of presence into router interface names
+//! (`so-3-0-0.cr2.nyc4.example.net`); the Rocketfuel `undns` tool the paper
+//! uses maps such names back to cities. This module generates names in that
+//! style — with a configurable fraction of routers that have opaque,
+//! unparsable names — and provides the parser that Octant's piecewise
+//! localization (§2.3) and the GeoTrack baseline rely on.
+
+use octant_geo::cities::{self, City};
+use rand::Rng;
+
+/// Interface-name prefixes observed in real ISP naming schemes.
+const INTERFACE_PREFIXES: &[&str] = &["so", "ge", "xe", "ae", "et", "pos"];
+
+/// Role labels for routers.
+const ROLE_LABELS: &[&str] = &["cr", "br", "gw", "ar", "er"];
+
+/// Generates a router hostname. When `reveal_city` draws true (probability
+/// `1 - undns_miss_rate`), the city code is embedded as its own DNS label so
+/// [`parse_router_city`] can recover it; otherwise an opaque name is
+/// produced.
+///
+/// `backbone` routers get core-router style names, access routers get
+/// gateway-style names; both follow the same city-label convention.
+pub fn router_hostname<R: Rng + ?Sized>(
+    city_code: &str,
+    provider: u8,
+    index: u32,
+    backbone: bool,
+    rng: &mut R,
+    undns_miss_rate: f64,
+) -> String {
+    let iface = INTERFACE_PREFIXES[rng.gen_range(0..INTERFACE_PREFIXES.len())];
+    let slot: u8 = rng.gen_range(0..8);
+    let port: u8 = rng.gen_range(0..4);
+    let role = if backbone { ROLE_LABELS[rng.gen_range(0..2)] } else { ROLE_LABELS[2 + rng.gen_range(0..3)] };
+    let unit: u8 = rng.gen_range(1..5);
+    let reveal_city = !rng.gen_bool(undns_miss_rate.clamp(0.0, 1.0));
+    if reveal_city {
+        format!(
+            "{iface}-{slot}-0-{port}.{role}{unit}.{}.as{}.octantsim.net",
+            city_code.to_ascii_lowercase(),
+            provider_asn(provider)
+        )
+    } else {
+        format!("core{index}.unk{unit}.as{}.octantsim.net", provider_asn(provider))
+    }
+}
+
+/// The synthetic AS number of a provider.
+pub fn provider_asn(provider: u8) -> u32 {
+    64500 + provider as u32
+}
+
+/// Attempts to recover the city a router resides in from its DNS name, the
+/// way `undns` does: scan the dot-separated labels for a known city code.
+/// Returns `None` for opaque names or names whose code is not in the city
+/// table.
+pub fn parse_router_city(hostname: &str) -> Option<&'static City> {
+    for label in hostname.split('.') {
+        let label = label.trim().to_ascii_lowercase();
+        if label.is_empty() || label.len() > 4 {
+            continue;
+        }
+        if let Some(city) = cities::by_code(&label) {
+            return Some(city);
+        }
+    }
+    None
+}
+
+/// Convenience: does this hostname reveal any city at all?
+pub fn reveals_city(hostname: &str) -> bool {
+    parse_router_city(hostname).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn revealing_names_round_trip_to_their_city() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for code in ["nyc", "lhr", "sea", "fra", "nrt"] {
+            let name = router_hostname(code, 2, 7, true, &mut rng, 0.0);
+            let city = parse_router_city(&name).unwrap_or_else(|| panic!("{name} should parse"));
+            assert_eq!(city.code, code, "{name}");
+            assert!(reveals_city(&name));
+        }
+    }
+
+    #[test]
+    fn opaque_names_do_not_parse() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let name = router_hostname("nyc", 1, 3, true, &mut rng, 1.0);
+        assert!(parse_router_city(&name).is_none(), "{name} should be opaque");
+        assert!(!reveals_city(&name));
+    }
+
+    #[test]
+    fn miss_rate_is_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 2000;
+        let misses = (0..n)
+            .filter(|i| {
+                let name = router_hostname("chi", 0, *i, *i % 2 == 0, &mut rng, 0.25);
+                parse_router_city(&name).is_none()
+            })
+            .count();
+        let rate = misses as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.05, "observed miss rate {rate}");
+    }
+
+    #[test]
+    fn parser_ignores_unknown_and_long_labels() {
+        assert!(parse_router_city("totally.opaque.example.com").is_none());
+        assert!(parse_router_city("").is_none());
+        // A label that happens to be a known code embedded in a real-ish name.
+        let c = parse_router_city("xe-1-0-0.gw3.lhr.as64501.octantsim.net").unwrap();
+        assert_eq!(c.name, "London");
+    }
+
+    #[test]
+    fn provider_asns_are_distinct() {
+        assert_ne!(provider_asn(0), provider_asn(1));
+        assert!(provider_asn(3) >= 64500);
+    }
+
+    #[test]
+    fn parsing_is_case_insensitive() {
+        let c = parse_router_city("SO-1-2-3.CR1.NYC.AS64500.OCTANTSIM.NET").unwrap();
+        assert_eq!(c.code, "nyc");
+    }
+}

@@ -1,0 +1,169 @@
+//! The end-to-end latency model.
+//!
+//! A round-trip measurement over a routed path is composed of:
+//!
+//! * **propagation** — twice the path's fiber length at 2/3 c (the only
+//!   component that carries geographic information),
+//! * **deterministic node delays** — every node on the path contributes its
+//!   `node_delay_ms` (hosts carry a last-mile delay of several milliseconds,
+//!   routers a fraction of a millisecond). This is the *minimum queuing
+//!   delay* that Octant's height computation (§2.2) estimates and removes,
+//! * **stochastic jitter** — per-probe exponential queuing noise plus
+//!   occasional congestion spikes. Taking the minimum over several
+//!   time-dispersed probes (as the paper does) suppresses most of it.
+
+use crate::routing::Path;
+use crate::topology::Network;
+use octant_geo::units::Latency;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the stochastic part of the latency model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Mean of the per-probe exponential jitter, in milliseconds.
+    pub jitter_mean_ms: f64,
+    /// Probability that a probe hits a congestion episode.
+    pub spike_probability: f64,
+    /// Mean additional delay of a congestion episode, in milliseconds.
+    pub spike_mean_ms: f64,
+    /// Probability that a probe is lost entirely (no answer).
+    pub loss_probability: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            jitter_mean_ms: 1.5,
+            spike_probability: 0.08,
+            spike_mean_ms: 25.0,
+            loss_probability: 0.01,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A noise-free model: probes measure exactly the deterministic floor.
+    pub fn noiseless() -> Self {
+        LatencyModel { jitter_mean_ms: 0.0, spike_probability: 0.0, spike_mean_ms: 0.0, loss_probability: 0.0 }
+    }
+
+    /// The deterministic floor of the round-trip time over `path`: twice the
+    /// propagation delay plus every on-path node's minimum delay.
+    pub fn rtt_floor(&self, net: &Network, path: &Path) -> Latency {
+        let mut ms = 2.0 * path.propagation.ms();
+        for &n in &path.nodes {
+            ms += net.node(n).node_delay_ms;
+        }
+        Latency::from_ms(ms)
+    }
+
+    /// One probe's round-trip time: the floor plus sampled jitter. Returns
+    /// `None` when the probe is lost.
+    pub fn rtt_sample<R: Rng + ?Sized>(&self, net: &Network, path: &Path, rng: &mut R) -> Option<Latency> {
+        if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let mut ms = self.rtt_floor(net, path).ms();
+        ms += sample_exponential(rng, self.jitter_mean_ms);
+        if self.spike_probability > 0.0 && rng.gen_bool(self.spike_probability.clamp(0.0, 1.0)) {
+            ms += sample_exponential(rng, self.spike_mean_ms);
+        }
+        Some(Latency::from_ms(ms))
+    }
+}
+
+/// Sample from an exponential distribution with the given mean (0 mean yields
+/// 0).
+fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{NetworkBuilder, NetworkConfig};
+    use crate::routing::RouteTable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Network, Path) {
+        let net = NetworkBuilder::planetlab(NetworkConfig::default()).build();
+        let hosts = net.hosts();
+        let mut table = RouteTable::new();
+        let path = table.route(&net, hosts[0], hosts[25]).unwrap();
+        (net, path)
+    }
+
+    #[test]
+    fn floor_includes_propagation_and_node_delays() {
+        let (net, path) = setup();
+        let model = LatencyModel::noiseless();
+        let floor = model.rtt_floor(&net, &path);
+        let prop = 2.0 * path.propagation.ms();
+        assert!(floor.ms() > prop, "node delays must add to the floor");
+        let node_sum: f64 = path.nodes.iter().map(|&n| net.node(n).node_delay_ms).sum();
+        assert!((floor.ms() - prop - node_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_never_fall_below_the_floor() {
+        let (net, path) = setup();
+        let model = LatencyModel::default();
+        let floor = model.rtt_floor(&net, &path).ms();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            if let Some(s) = model.rtt_sample(&net, &path, &mut rng) {
+                assert!(s.ms() >= floor - 1e-9, "sample {s} below floor {floor}");
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_model_is_deterministic() {
+        let (net, path) = setup();
+        let model = LatencyModel::noiseless();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = model.rtt_sample(&net, &path, &mut rng).unwrap();
+        let b = model.rtt_sample(&net, &path, &mut rng).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, model.rtt_floor(&net, &path));
+    }
+
+    #[test]
+    fn min_of_many_probes_approaches_the_floor() {
+        let (net, path) = setup();
+        let model = LatencyModel::default();
+        let floor = model.rtt_floor(&net, &path).ms();
+        let mut rng = StdRng::seed_from_u64(5);
+        let min = (0..20)
+            .filter_map(|_| model.rtt_sample(&net, &path, &mut rng))
+            .map(|l| l.ms())
+            .fold(f64::INFINITY, f64::min);
+        assert!(min - floor < 2.0, "minimum over 20 probes should sit close to the floor (excess {})", min - floor);
+    }
+
+    #[test]
+    fn losses_occur_at_roughly_the_configured_rate() {
+        let (net, path) = setup();
+        let model = LatencyModel { loss_probability: 0.2, ..LatencyModel::default() };
+        let mut rng = StdRng::seed_from_u64(7);
+        let lost = (0..2000).filter(|_| model.rtt_sample(&net, &path, &mut rng).is_none()).count();
+        let rate = lost as f64 / 2000.0;
+        assert!((rate - 0.2).abs() < 0.04, "loss rate {rate}");
+    }
+
+    #[test]
+    fn exponential_sampler_mean_is_right() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let mean = (0..n).map(|_| sample_exponential(&mut rng, 3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "sampled mean {mean}");
+        assert_eq!(sample_exponential(&mut rng, 0.0), 0.0);
+        assert_eq!(sample_exponential(&mut rng, -1.0), 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! A simulated WHOIS registry.
+//!
+//! §2.5 of the paper uses WHOIS records (ZIP codes registered for an IP
+//! block) as an additional source of positive geographic constraints, while
+//! §5 notes that real registries are coarse and frequently stale. The
+//! simulated registry reproduces both properties: each host prefix is
+//! registered at city granularity, and a configurable fraction of records
+//! points at the wrong city (e.g. the organisation's headquarters rather
+//! than the host's actual site).
+
+use crate::topology::{Network, NodeKind};
+use octant_geo::cities;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A WHOIS record for an IP prefix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhoisRecord {
+    /// Registered city code.
+    pub city_code: String,
+    /// Registered organisation name.
+    pub organisation: String,
+    /// Whether the record actually matches the host's true city (ground
+    /// truth for evaluation; localization algorithms must not read this).
+    pub accurate: bool,
+}
+
+/// The registry: a map from /24-style prefixes to records.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WhoisRegistry {
+    records: HashMap<[u8; 3], WhoisRecord>,
+    /// Fraction of records that were deliberately generated wrong.
+    pub error_rate: f64,
+}
+
+impl WhoisRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        WhoisRegistry::default()
+    }
+
+    /// Generates a registry covering every *host* prefix in the network.
+    /// Each record is wrong (points at a different plausible city) with
+    /// probability `error_rate`.
+    pub fn generate<R: Rng + ?Sized>(net: &Network, error_rate: f64, rng: &mut R) -> Self {
+        let error_rate = error_rate.clamp(0.0, 1.0);
+        let mut records = HashMap::new();
+        for node in net.nodes() {
+            if node.kind != NodeKind::Host {
+                continue;
+            }
+            let prefix = [node.ip[0], node.ip[1], node.ip[2]];
+            let wrong = rng.gen_bool(error_rate);
+            let city_code = if wrong {
+                // Pick a different city, preferring one in the same country so
+                // the error is plausible (an organisation's HQ, say).
+                let same_country: Vec<_> = cities::CITIES
+                    .iter()
+                    .filter(|c| {
+                        cities::by_code(&node.city_code).map(|home| home.country == c.country).unwrap_or(false)
+                            && !c.code.eq_ignore_ascii_case(&node.city_code)
+                    })
+                    .collect();
+                if same_country.is_empty() {
+                    cities::CITIES[rng.gen_range(0..cities::CITIES.len())].code.to_string()
+                } else {
+                    same_country[rng.gen_range(0..same_country.len())].code.to_string()
+                }
+            } else {
+                node.city_code.clone()
+            };
+            records.insert(
+                prefix,
+                WhoisRecord {
+                    city_code,
+                    organisation: organisation_from_hostname(&node.hostname),
+                    accurate: !wrong,
+                },
+            );
+        }
+        WhoisRegistry { records, error_rate }
+    }
+
+    /// Looks up the record covering `ip`.
+    pub fn lookup(&self, ip: [u8; 4]) -> Option<&WhoisRecord> {
+        self.records.get(&[ip[0], ip[1], ip[2]])
+    }
+
+    /// Number of registered prefixes.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no prefix is registered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Fraction of records that are accurate (evaluation helper).
+    pub fn accuracy(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        self.records.values().filter(|r| r.accurate).count() as f64 / self.records.len() as f64
+    }
+}
+
+/// Derives an organisation-ish name from a hostname ("planetlab1.cs.cornell.edu"
+/// becomes "cornell.edu").
+fn organisation_from_hostname(hostname: &str) -> String {
+    let parts: Vec<&str> = hostname.split('.').collect();
+    if parts.len() >= 2 {
+        format!("{}.{}", parts[parts.len() - 2], parts[parts.len() - 1])
+    } else {
+        hostname.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{NetworkBuilder, NetworkConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Network {
+        NetworkBuilder::planetlab(NetworkConfig::default()).build()
+    }
+
+    #[test]
+    fn every_host_prefix_is_registered() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(1);
+        let reg = WhoisRegistry::generate(&net, 0.15, &mut rng);
+        assert!(!reg.is_empty());
+        for &h in &net.hosts() {
+            let node = net.node(h);
+            let rec = reg.lookup(node.ip).unwrap_or_else(|| panic!("missing record for {}", node.hostname));
+            assert!(!rec.city_code.is_empty());
+            assert!(rec.organisation.contains('.'));
+        }
+    }
+
+    #[test]
+    fn error_rate_zero_means_all_accurate() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(2);
+        let reg = WhoisRegistry::generate(&net, 0.0, &mut rng);
+        assert_eq!(reg.accuracy(), 1.0);
+        for &h in &net.hosts() {
+            let node = net.node(h);
+            assert_eq!(reg.lookup(node.ip).unwrap().city_code, node.city_code);
+        }
+    }
+
+    #[test]
+    fn error_rate_is_roughly_respected() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(3);
+        let reg = WhoisRegistry::generate(&net, 0.3, &mut rng);
+        // With 51 hosts the binomial spread is wide; just check the direction.
+        assert!(reg.accuracy() < 0.95 && reg.accuracy() > 0.4, "accuracy {}", reg.accuracy());
+        // Inaccurate records point somewhere else.
+        for &h in &net.hosts() {
+            let node = net.node(h);
+            let rec = reg.lookup(node.ip).unwrap();
+            if !rec.accurate {
+                assert_ne!(rec.city_code, node.city_code);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_prefixes_return_none() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(4);
+        let reg = WhoisRegistry::generate(&net, 0.1, &mut rng);
+        assert!(reg.lookup([1, 2, 3, 4]).is_none());
+    }
+
+    #[test]
+    fn organisation_name_derivation() {
+        assert_eq!(organisation_from_hostname("planetlab1.cs.cornell.edu"), "cornell.edu");
+        assert_eq!(organisation_from_hostname("localhost"), "localhost");
+    }
+
+    #[test]
+    fn empty_registry_behaviour() {
+        let reg = WhoisRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.len(), 0);
+        assert_eq!(reg.accuracy(), 1.0);
+        assert!(reg.lookup([10, 0, 0, 1]).is_none());
+    }
+}

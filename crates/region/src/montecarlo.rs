@@ -1,0 +1,166 @@
+//! Monte-Carlo oracles for validating the exact region geometry.
+//!
+//! The boolean engine in [`crate::scanline`] is exact (up to curve
+//! flattening), but its implementation is intricate enough that the test
+//! suite cross-checks it against brute-force estimates: sample points
+//! uniformly over a bounding box, classify each against the operand regions
+//! directly, and compare the implied area / membership with what the exact
+//! machinery reports. These helpers are exported (rather than hidden behind
+//! `#[cfg(test)]`) so the integration tests and property tests of dependent
+//! crates can reuse them.
+
+use crate::region::Region;
+use crate::vec2::Vec2;
+use rand::Rng;
+
+/// Estimates the area of `region` by sampling `samples` points uniformly in
+/// the given bounding box. Returns 0 for an empty box.
+pub fn estimate_area<R: Rng + ?Sized>(
+    rng: &mut R,
+    region: &Region,
+    bbox: (Vec2, Vec2),
+    samples: usize,
+) -> f64 {
+    let (lo, hi) = bbox;
+    let w = (hi.x - lo.x).max(0.0);
+    let h = (hi.y - lo.y).max(0.0);
+    if w <= 0.0 || h <= 0.0 || samples == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        let p = Vec2::new(rng.gen_range(lo.x..=hi.x), rng.gen_range(lo.y..=hi.y));
+        if region.contains(p) {
+            hits += 1;
+        }
+    }
+    w * h * hits as f64 / samples as f64
+}
+
+/// Estimates the area of a *predicate* (an arbitrary point-set description)
+/// over a bounding box. Used to compare the exact result of a boolean
+/// operation against the operation applied point-wise.
+pub fn estimate_predicate_area<R, F>(rng: &mut R, bbox: (Vec2, Vec2), samples: usize, pred: F) -> f64
+where
+    R: Rng + ?Sized,
+    F: Fn(Vec2) -> bool,
+{
+    let (lo, hi) = bbox;
+    let w = (hi.x - lo.x).max(0.0);
+    let h = (hi.y - lo.y).max(0.0);
+    if w <= 0.0 || h <= 0.0 || samples == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        let p = Vec2::new(rng.gen_range(lo.x..=hi.x), rng.gen_range(lo.y..=hi.y));
+        if pred(p) {
+            hits += 1;
+        }
+    }
+    w * h * hits as f64 / samples as f64
+}
+
+/// Fraction of sampled points (within `bbox`) where `region.contains`
+/// disagrees with the predicate. A direct membership-level comparison that is
+/// stricter than comparing areas.
+pub fn disagreement_fraction<R, F>(
+    rng: &mut R,
+    region: &Region,
+    bbox: (Vec2, Vec2),
+    samples: usize,
+    pred: F,
+) -> f64
+where
+    R: Rng + ?Sized,
+    F: Fn(Vec2) -> bool,
+{
+    if samples == 0 {
+        return 0.0;
+    }
+    let (lo, hi) = bbox;
+    let mut disagreements = 0usize;
+    for _ in 0..samples {
+        let p = Vec2::new(rng.gen_range(lo.x..=hi.x), rng.gen_range(lo.y..=hi.y));
+        if region.contains(p) != pred(p) {
+            disagreements += 1;
+        }
+    }
+    disagreements as f64 / samples as f64
+}
+
+/// A bounding box that covers both regions with a margin, suitable for the
+/// estimators above. Falls back to a unit box when both regions are empty.
+pub fn joint_bbox(a: &Region, b: &Region, margin: f64) -> (Vec2, Vec2) {
+    let boxes = [a.bbox(), b.bbox()];
+    let mut acc: Option<(Vec2, Vec2)> = None;
+    for bb in boxes.into_iter().flatten() {
+        acc = Some(match acc {
+            None => bb,
+            Some((lo, hi)) => (lo.min(bb.0), hi.max(bb.1)),
+        });
+    }
+    match acc {
+        Some((lo, hi)) => (lo - Vec2::new(margin, margin), hi + Vec2::new(margin, margin)),
+        None => (Vec2::new(-1.0, -1.0), Vec2::new(1.0, 1.0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn monte_carlo_area_matches_exact_disk_area() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Region::disk(Vec2::ZERO, 100.0);
+        let bbox = joint_bbox(&d, &Region::empty(), 10.0);
+        let est = estimate_area(&mut rng, &d, bbox, 40_000);
+        let rel = (est - d.area()).abs() / d.area();
+        assert!(rel < 0.03, "relative error {rel}");
+    }
+
+    #[test]
+    fn boolean_ops_agree_with_pointwise_semantics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Region::disk(Vec2::new(0.0, 0.0), 120.0);
+        let b = Region::disk(Vec2::new(100.0, 30.0), 90.0);
+        let bbox = joint_bbox(&a, &b, 20.0);
+
+        let cases: Vec<(Region, Box<dyn Fn(Vec2) -> bool>)> = vec![
+            (a.union(&b), Box::new(|p| a.contains(p) || b.contains(p))),
+            (a.intersect(&b), Box::new(|p| a.contains(p) && b.contains(p))),
+            (a.subtract(&b), Box::new(|p| a.contains(p) && !b.contains(p))),
+            (a.xor(&b), Box::new(|p| a.contains(p) != b.contains(p))),
+        ];
+        for (i, (exact, pred)) in cases.iter().enumerate() {
+            let frac = disagreement_fraction(&mut rng, exact, bbox, 20_000, pred);
+            assert!(frac < 0.01, "case {i}: {:.3}% of samples disagree", frac * 100.0);
+        }
+    }
+
+    #[test]
+    fn predicate_area_estimator_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bbox = (Vec2::new(0.0, 0.0), Vec2::new(10.0, 10.0));
+        // A predicate covering the lower-left quarter.
+        let est = estimate_predicate_area(&mut rng, bbox, 20_000, |p| p.x < 5.0 && p.y < 5.0);
+        assert!((est - 25.0).abs() < 1.5, "estimate {est}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let empty_box = (Vec2::ZERO, Vec2::ZERO);
+        assert_eq!(estimate_area(&mut rng, &Region::empty(), empty_box, 100), 0.0);
+        assert_eq!(estimate_predicate_area(&mut rng, empty_box, 100, |_| true), 0.0);
+        assert_eq!(
+            estimate_area(&mut rng, &Region::disk(Vec2::ZERO, 10.0), joint_bbox(&Region::empty(), &Region::empty(), 1.0), 0),
+            0.0
+        );
+        let (lo, hi) = joint_bbox(&Region::empty(), &Region::empty(), 1.0);
+        assert!(lo.x < hi.x && lo.y < hi.y);
+    }
+}

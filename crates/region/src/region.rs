@@ -1,0 +1,526 @@
+//! The planar region type: a set of interior-disjoint rings supporting the
+//! boolean algebra Octant's constraint solver is built on.
+
+use crate::bezier::BezierLoop;
+use crate::ring::Ring;
+use crate::scanline::{boolean_op, BoolOp};
+use crate::vec2::Vec2;
+use crate::{AREA_EPSILON_KM2, DEFAULT_FLATTEN_TOLERANCE_KM};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A (possibly non-convex, possibly disconnected) area of the projection
+/// plane.
+///
+/// Internally a region is a set of *interior-disjoint* rings; every public
+/// constructor and operation maintains that invariant, which keeps area,
+/// centroid and containment queries trivially correct. Regions are
+/// constructed from Bézier loops (disks, annuli, polygons) and combined with
+/// [`Region::union`], [`Region::intersect`] and [`Region::subtract`]; the
+/// morphological operations [`Region::dilate`] and [`Region::erode`]
+/// implement the paper's secondary-landmark constraints.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Region {
+    rings: Vec<Ring>,
+}
+
+impl Region {
+    /// The empty region.
+    pub fn empty() -> Self {
+        Region { rings: Vec::new() }
+    }
+
+    /// A region from a single ring.
+    pub fn from_ring(ring: Ring) -> Self {
+        if ring.is_empty() || ring.area() < AREA_EPSILON_KM2 {
+            Region::empty()
+        } else {
+            Region { rings: vec![ring] }
+        }
+    }
+
+    /// A region from several rings interpreted with the even-odd rule
+    /// (so a ring nested inside another punches a hole). The rings are
+    /// normalized into the internal disjoint representation.
+    pub fn from_rings_even_odd(rings: Vec<Ring>) -> Self {
+        let mut acc = Region::empty();
+        for ring in rings {
+            let r = Region::from_ring(ring);
+            acc = acc.xor(&r);
+        }
+        acc
+    }
+
+    /// A circular disk of radius `radius_km` centred at `center`, bounded by
+    /// a four-segment cubic Bézier circle flattened at the default tolerance.
+    pub fn disk(center: Vec2, radius_km: f64) -> Self {
+        Region::disk_with_tolerance(center, radius_km, DEFAULT_FLATTEN_TOLERANCE_KM)
+    }
+
+    /// A disk with an explicit flattening tolerance (km).
+    pub fn disk_with_tolerance(center: Vec2, radius_km: f64, tolerance_km: f64) -> Self {
+        if radius_km <= 0.0 {
+            return Region::empty();
+        }
+        let loop_ = BezierLoop::circle(center, radius_km);
+        Region::from_ring(loop_.flatten(tolerance_km.max(radius_km * 1e-4)))
+    }
+
+    /// An annulus (ring-shaped region) between `inner_km` and `outer_km`
+    /// around `center`: the shape a single landmark's positive + negative
+    /// constraint pair produces in the paper.
+    pub fn annulus(center: Vec2, inner_km: f64, outer_km: f64) -> Self {
+        if outer_km <= 0.0 || outer_km <= inner_km {
+            return Region::empty();
+        }
+        let outer = Region::disk(center, outer_km);
+        if inner_km <= 0.0 {
+            return outer;
+        }
+        let inner = Region::disk(center, inner_km);
+        outer.subtract(&inner)
+    }
+
+    /// A rectangle region from opposite corners.
+    pub fn rectangle(min: Vec2, max: Vec2) -> Self {
+        Region::from_ring(Ring::rectangle(min, max))
+    }
+
+    /// A region from a closed Bézier loop.
+    pub fn from_bezier_loop(loop_: &BezierLoop, tolerance_km: f64) -> Self {
+        Region::from_ring(loop_.flatten(tolerance_km))
+    }
+
+    /// The interior-disjoint rings making up the region.
+    pub fn rings(&self) -> &[Ring] {
+        &self.rings
+    }
+
+    /// `true` when the region has (practically) no area.
+    pub fn is_empty(&self) -> bool {
+        self.area() < AREA_EPSILON_KM2
+    }
+
+    /// Total area in km².
+    pub fn area(&self) -> f64 {
+        self.rings.iter().map(|r| r.area()).sum()
+    }
+
+    /// Area-weighted centroid. Returns `None` for empty regions.
+    pub fn centroid(&self) -> Option<Vec2> {
+        let total = self.area();
+        if total < AREA_EPSILON_KM2 {
+            return None;
+        }
+        let mut acc = Vec2::ZERO;
+        for r in &self.rings {
+            acc += r.centroid() * r.area();
+        }
+        Some(acc / total)
+    }
+
+    /// Axis-aligned bounding box `(min, max)`, or `None` when empty.
+    pub fn bbox(&self) -> Option<(Vec2, Vec2)> {
+        let mut acc: Option<(Vec2, Vec2)> = None;
+        for r in &self.rings {
+            if let Some((lo, hi)) = r.bbox() {
+                acc = Some(match acc {
+                    None => (lo, hi),
+                    Some((alo, ahi)) => (alo.min(lo), ahi.max(hi)),
+                });
+            }
+        }
+        acc
+    }
+
+    /// Point containment (even-odd over the disjoint rings, i.e. plain
+    /// membership).
+    pub fn contains(&self, p: Vec2) -> bool {
+        let mut inside = false;
+        for r in &self.rings {
+            if r.contains(p) {
+                inside = !inside;
+            }
+        }
+        inside
+    }
+
+    /// Distance from `p` to the region: 0 inside, otherwise the distance to
+    /// the nearest boundary point. Infinite for the empty region.
+    pub fn distance_to(&self, p: Vec2) -> f64 {
+        if self.rings.is_empty() {
+            return f64::INFINITY;
+        }
+        if self.contains(p) {
+            return 0.0;
+        }
+        self.rings.iter().map(|r| r.distance_to_boundary(p)).fold(f64::INFINITY, f64::min)
+    }
+
+    /// The largest distance from `p` to any vertex of the region boundary
+    /// (an upper bound on the distance to any point of the region).
+    pub fn max_distance_from(&self, p: Vec2) -> f64 {
+        self.rings
+            .iter()
+            .flat_map(|r| r.points().iter())
+            .map(|&q| p.distance(q))
+            .fold(0.0, f64::max)
+    }
+
+    /// Union with another region.
+    pub fn union(&self, other: &Region) -> Region {
+        Region { rings: boolean_op(&self.rings, &other.rings, BoolOp::Union) }
+    }
+
+    /// Intersection with another region.
+    pub fn intersect(&self, other: &Region) -> Region {
+        Region { rings: boolean_op(&self.rings, &other.rings, BoolOp::Intersection) }
+    }
+
+    /// Set difference (`self` minus `other`).
+    pub fn subtract(&self, other: &Region) -> Region {
+        Region { rings: boolean_op(&self.rings, &other.rings, BoolOp::Difference) }
+    }
+
+    /// Symmetric difference.
+    pub fn xor(&self, other: &Region) -> Region {
+        Region { rings: boolean_op(&self.rings, &other.rings, BoolOp::Xor) }
+    }
+
+    /// Morphological dilation by `radius_km`: every point within `radius_km`
+    /// of the region. This realizes the paper's positive constraint from a
+    /// *secondary* landmark whose own position is only known as a region
+    /// (the union of disks centred at every point of that region).
+    pub fn dilate(&self, radius_km: f64) -> Region {
+        if radius_km <= 0.0 || self.rings.is_empty() {
+            return self.clone();
+        }
+        let mut acc = self.clone();
+        // The dilation is the union of the region with a "capsule"
+        // (stadium shape) around every boundary edge. Edges interior to the
+        // region only add area already covered, so using all edges is
+        // correct, just mildly wasteful.
+        let mut capsules: Vec<Ring> = Vec::new();
+        for ring in &self.rings {
+            for (a, b) in ring.edges() {
+                capsules.push(capsule_ring(a, b, radius_km));
+            }
+        }
+        // Union the capsules in batches to keep intermediate sizes small.
+        let mut batch = Region::empty();
+        for (i, cap) in capsules.into_iter().enumerate() {
+            batch = batch.union(&Region::from_ring(cap));
+            if (i + 1) % 16 == 0 {
+                acc = acc.union(&batch);
+                batch = Region::empty();
+            }
+        }
+        acc.union(&batch)
+    }
+
+    /// Morphological erosion by `radius_km`: every point whose `radius_km`
+    /// neighbourhood lies entirely inside the region. This realizes the
+    /// paper's negative constraint from a secondary landmark (the
+    /// intersection of disks centred at every point of that region).
+    pub fn erode(&self, radius_km: f64) -> Region {
+        if radius_km <= 0.0 || self.rings.is_empty() {
+            return self.clone();
+        }
+        let (lo, hi) = match self.bbox() {
+            Some(b) => b,
+            None => return Region::empty(),
+        };
+        let pad = Vec2::new(radius_km * 2.0 + 1.0, radius_km * 2.0 + 1.0);
+        let frame = Region::rectangle(lo - pad, hi + pad);
+        // erode(A, r) = frame \ dilate(frame \ A, r), for any frame ⊇ A ⊕ r.
+        let complement = frame.subtract(self);
+        let grown = complement.dilate(radius_km);
+        frame.subtract(&grown)
+    }
+
+    /// A conservative disk that contains the whole region: centred at the
+    /// centroid with radius `max_distance_from(centroid)`. Used as a fast
+    /// over-approximation when exact dilation is not required.
+    pub fn bounding_disk(&self) -> Option<(Vec2, f64)> {
+        let c = self.centroid()?;
+        Some((c, self.max_distance_from(c)))
+    }
+
+    /// Draws a point uniformly at random from the region. Returns `None` for
+    /// empty regions.
+    pub fn sample_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Vec2> {
+        let total = self.area();
+        if total < AREA_EPSILON_KM2 {
+            return None;
+        }
+        // Pick a ring weighted by area.
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = &self.rings[0];
+        for r in &self.rings {
+            let a = r.area();
+            if pick < a {
+                chosen = r;
+                break;
+            }
+            pick -= a;
+        }
+        // Rejection-sample within the ring's bounding box. The rings produced
+        // by the boolean engine are convex quadrilaterals, so acceptance is
+        // at worst ~50%.
+        let (lo, hi) = chosen.bbox()?;
+        for _ in 0..256 {
+            let p = Vec2::new(rng.gen_range(lo.x..=hi.x), rng.gen_range(lo.y..=hi.y));
+            if chosen.contains(p) {
+                return Some(p);
+            }
+        }
+        Some(chosen.centroid())
+    }
+
+    /// Number of rings in the internal decomposition (useful for asserting
+    /// that simplification keeps representations compact).
+    pub fn ring_count(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Total number of vertices across all rings.
+    pub fn vertex_count(&self) -> usize {
+        self.rings.iter().map(|r| r.len()).sum()
+    }
+}
+
+/// A stadium-shaped ring (rectangle with semicircular caps) of radius `r`
+/// around the segment `[a, b]`, approximated with `CAP_STEPS` points per cap.
+fn capsule_ring(a: Vec2, b: Vec2, r: f64) -> Ring {
+    const CAP_STEPS: usize = 8;
+    let dir = (b - a).normalized();
+    if dir == Vec2::ZERO {
+        return Ring::regular_polygon(a, r, 2 * CAP_STEPS);
+    }
+    let normal = dir.perp();
+    let mut pts = Vec::with_capacity(2 * CAP_STEPS + 2);
+    // Cap around b: sweep from +normal to -normal going through +dir.
+    let base_angle_b = normal.y.atan2(normal.x);
+    for i in 0..=CAP_STEPS {
+        let ang = base_angle_b - std::f64::consts::PI * i as f64 / CAP_STEPS as f64;
+        pts.push(b + Vec2::new(ang.cos(), ang.sin()) * r);
+    }
+    // Cap around a: sweep from -normal to +normal going through -dir.
+    let base_angle_a = (-normal.y).atan2(-normal.x);
+    for i in 0..=CAP_STEPS {
+        let ang = base_angle_a - std::f64::consts::PI * i as f64 / CAP_STEPS as f64;
+        pts.push(a + Vec2::new(ang.cos(), ang.sin()) * r);
+    }
+    Ring::new(pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disk_area_and_containment() {
+        let d = Region::disk(Vec2::new(10.0, -5.0), 300.0);
+        let truth = std::f64::consts::PI * 300.0 * 300.0;
+        assert!((d.area() - truth).abs() / truth < 0.005, "area {}", d.area());
+        assert!(d.contains(Vec2::new(10.0, -5.0)));
+        assert!(d.contains(Vec2::new(10.0 + 299.0, -5.0)));
+        assert!(!d.contains(Vec2::new(10.0 + 301.0, -5.0)));
+        assert!(!d.is_empty());
+        assert_eq!(Region::disk(Vec2::ZERO, 0.0), Region::empty());
+        assert!(Region::disk(Vec2::ZERO, -5.0).is_empty());
+    }
+
+    #[test]
+    fn annulus_area_and_membership() {
+        let a = Region::annulus(Vec2::ZERO, 100.0, 200.0);
+        let truth = std::f64::consts::PI * (200.0f64.powi(2) - 100.0f64.powi(2));
+        assert!((a.area() - truth).abs() / truth < 0.01, "area {}", a.area());
+        assert!(!a.contains(Vec2::ZERO));
+        assert!(!a.contains(Vec2::new(50.0, 0.0)));
+        assert!(a.contains(Vec2::new(150.0, 0.0)));
+        assert!(!a.contains(Vec2::new(250.0, 0.0)));
+        // Degenerate annuli.
+        assert!(Region::annulus(Vec2::ZERO, 200.0, 100.0).is_empty());
+        let solid = Region::annulus(Vec2::ZERO, 0.0, 100.0);
+        assert!((solid.area() - std::f64::consts::PI * 100.0 * 100.0).abs() < 300.0);
+    }
+
+    #[test]
+    fn intersection_of_three_disks() {
+        // Three disks arranged so they share a small common area around the origin.
+        let a = Region::disk(Vec2::new(-80.0, 0.0), 100.0);
+        let b = Region::disk(Vec2::new(80.0, 0.0), 100.0);
+        let c = Region::disk(Vec2::new(0.0, 80.0), 100.0);
+        let estimate = a.intersect(&b).intersect(&c);
+        assert!(!estimate.is_empty());
+        assert!(estimate.contains(Vec2::new(0.0, 10.0)));
+        assert!(!estimate.contains(Vec2::new(-80.0, 0.0)));
+        assert!(estimate.area() < a.area());
+        // The intersection must be contained in each operand.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let p = estimate.sample_point(&mut rng).unwrap();
+            assert!(a.contains(p) && b.contains(p) && c.contains(p), "{p} escapes an operand");
+        }
+    }
+
+    #[test]
+    fn subtract_creates_disconnected_regions() {
+        // A long rectangle with a full-height bite removed from its middle
+        // becomes two disjoint pieces.
+        let bar = Region::rectangle(Vec2::new(0.0, 0.0), Vec2::new(10.0, 1.0));
+        let bite = Region::rectangle(Vec2::new(4.0, -1.0), Vec2::new(6.0, 2.0));
+        let result = bar.subtract(&bite);
+        assert!((result.area() - 8.0).abs() < 1e-6);
+        assert!(result.contains(Vec2::new(2.0, 0.5)));
+        assert!(result.contains(Vec2::new(8.0, 0.5)));
+        assert!(!result.contains(Vec2::new(5.0, 0.5)));
+    }
+
+    #[test]
+    fn union_of_disjoint_disks_keeps_both() {
+        let a = Region::disk(Vec2::new(0.0, 0.0), 50.0);
+        let b = Region::disk(Vec2::new(500.0, 0.0), 50.0);
+        let u = a.union(&b);
+        assert!((u.area() - a.area() - b.area()).abs() / u.area() < 0.01);
+        assert!(u.contains(Vec2::new(0.0, 0.0)));
+        assert!(u.contains(Vec2::new(500.0, 0.0)));
+        assert!(!u.contains(Vec2::new(250.0, 0.0)));
+    }
+
+    #[test]
+    fn centroid_of_symmetric_shapes() {
+        let d = Region::disk(Vec2::new(42.0, -17.0), 120.0);
+        let c = d.centroid().unwrap();
+        assert!(c.distance(Vec2::new(42.0, -17.0)) < 1.0);
+        assert!(Region::empty().centroid().is_none());
+
+        let lens = Region::disk(Vec2::new(-50.0, 0.0), 100.0).intersect(&Region::disk(Vec2::new(50.0, 0.0), 100.0));
+        let c = lens.centroid().unwrap();
+        assert!(c.x.abs() < 1.0 && c.y.abs() < 1.0, "lens centroid {c}");
+    }
+
+    #[test]
+    fn bbox_covers_the_region() {
+        let d = Region::disk(Vec2::new(0.0, 0.0), 100.0);
+        let (lo, hi) = d.bbox().unwrap();
+        assert!(lo.x <= -99.0 && lo.y <= -99.0 && hi.x >= 99.0 && hi.y >= 99.0);
+        assert!(Region::empty().bbox().is_none());
+    }
+
+    #[test]
+    fn distance_to_region() {
+        let d = Region::disk(Vec2::ZERO, 100.0);
+        assert_eq!(d.distance_to(Vec2::new(10.0, 10.0)), 0.0);
+        let outside = d.distance_to(Vec2::new(200.0, 0.0));
+        assert!((outside - 100.0).abs() < 2.0, "distance {outside}");
+        assert_eq!(Region::empty().distance_to(Vec2::ZERO), f64::INFINITY);
+    }
+
+    #[test]
+    fn max_distance_and_bounding_disk() {
+        let d = Region::disk(Vec2::ZERO, 100.0);
+        let (c, r) = d.bounding_disk().unwrap();
+        assert!(c.length() < 1.0);
+        assert!(r >= 99.0 && r <= 101.0);
+        assert!(Region::empty().bounding_disk().is_none());
+    }
+
+    #[test]
+    fn dilation_grows_and_contains_original() {
+        let sq = Region::rectangle(Vec2::new(0.0, 0.0), Vec2::new(10.0, 10.0));
+        let grown = sq.dilate(5.0);
+        // Area should approach (10+2*5)^2 − corner deficit = 400 − (4−π)·25 ≈ 378.5.
+        let expected = 20.0 * 20.0 - (4.0 - std::f64::consts::PI) * 25.0;
+        assert!(
+            (grown.area() - expected).abs() / expected < 0.03,
+            "area {} expected {expected}",
+            grown.area()
+        );
+        assert!(grown.contains(Vec2::new(-3.0, 5.0)));
+        assert!(grown.contains(Vec2::new(13.0, 5.0)));
+        assert!(!grown.contains(Vec2::new(-6.0, 5.0)));
+        // Original is a subset.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let p = sq.sample_point(&mut rng).unwrap();
+            assert!(grown.contains(p));
+        }
+        // Dilation by zero is the identity.
+        assert_eq!(sq.dilate(0.0), sq);
+    }
+
+    #[test]
+    fn erosion_shrinks_and_is_contained() {
+        let sq = Region::rectangle(Vec2::new(0.0, 0.0), Vec2::new(20.0, 20.0));
+        let shrunk = sq.erode(5.0);
+        assert!((shrunk.area() - 100.0).abs() < 5.0, "area {}", shrunk.area());
+        assert!(shrunk.contains(Vec2::new(10.0, 10.0)));
+        assert!(!shrunk.contains(Vec2::new(2.0, 2.0)));
+        // Eroding by more than the inradius empties the region.
+        let gone = sq.erode(11.0);
+        assert!(gone.is_empty(), "area {}", gone.area());
+        assert_eq!(sq.erode(0.0), sq);
+    }
+
+    #[test]
+    fn dilate_then_erode_roughly_recovers_a_convex_region() {
+        let d = Region::disk(Vec2::ZERO, 100.0);
+        let round_trip = d.dilate(20.0).erode(20.0);
+        let rel = (round_trip.area() - d.area()).abs() / d.area();
+        assert!(rel < 0.05, "relative area error {rel}");
+    }
+
+    #[test]
+    fn sampling_stays_inside() {
+        let region = Region::annulus(Vec2::ZERO, 50.0, 150.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let p = region.sample_point(&mut rng).unwrap();
+            let r = p.length();
+            assert!(r > 49.0 && r < 151.0, "sample at radius {r}");
+        }
+        assert!(Region::empty().sample_point(&mut rng).is_none());
+    }
+
+    #[test]
+    fn from_rings_even_odd_handles_holes() {
+        let outer = Ring::rectangle(Vec2::new(0.0, 0.0), Vec2::new(10.0, 10.0));
+        let inner = Ring::rectangle(Vec2::new(3.0, 3.0), Vec2::new(7.0, 7.0));
+        let region = Region::from_rings_even_odd(vec![outer, inner]);
+        assert!((region.area() - (100.0 - 16.0)).abs() < 1e-5);
+        assert!(region.contains(Vec2::new(1.0, 1.0)));
+        assert!(!region.contains(Vec2::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn empty_region_algebra() {
+        let d = Region::disk(Vec2::ZERO, 100.0);
+        let e = Region::empty();
+        assert!((d.union(&e).area() - d.area()).abs() < 1e-6);
+        assert!(d.intersect(&e).is_empty());
+        assert!((d.subtract(&e).area() - d.area()).abs() < 1e-6);
+        assert!(e.subtract(&d).is_empty());
+        assert!(e.is_empty());
+        assert_eq!(e.dilate(10.0), e);
+        assert_eq!(e.erode(10.0), e);
+    }
+
+    #[test]
+    fn representation_stays_compact_across_chained_ops() {
+        let mut region = Region::disk(Vec2::ZERO, 1000.0);
+        for i in 0..10 {
+            let c = Vec2::new((i as f64 - 5.0) * 100.0, (i as f64).sin() * 200.0);
+            region = region.intersect(&Region::disk(c, 900.0));
+        }
+        assert!(!region.is_empty());
+        assert!(
+            region.vertex_count() < 5000,
+            "representation blew up: {} vertices",
+            region.vertex_count()
+        );
+    }
+}

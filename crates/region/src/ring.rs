@@ -1,0 +1,415 @@
+//! Closed polygons ("rings") with the standard geometric queries.
+//!
+//! Rings are what Bézier loops flatten into and what the boolean-operation
+//! engine consumes and produces. A [`Ring`] is a simple closed polygon stored
+//! as an ordered vertex list (implicitly closed: the last vertex connects
+//! back to the first).
+
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A closed polygon in the projection plane (kilometre coordinates).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Ring {
+    points: Vec<Vec2>,
+}
+
+impl Ring {
+    /// Creates a ring from a vertex list. Consecutive duplicate vertices are
+    /// removed; the polygon is implicitly closed.
+    pub fn new(points: Vec<Vec2>) -> Self {
+        let mut cleaned: Vec<Vec2> = Vec::with_capacity(points.len());
+        for p in points {
+            if !p.is_finite() {
+                continue;
+            }
+            if cleaned.last().map(|q| q.distance(p) < 1e-12).unwrap_or(false) {
+                continue;
+            }
+            cleaned.push(p);
+        }
+        // Drop a trailing vertex that duplicates the first.
+        if cleaned.len() > 1 && cleaned[0].distance(*cleaned.last().unwrap()) < 1e-12 {
+            cleaned.pop();
+        }
+        Ring { points: cleaned }
+    }
+
+    /// A rectangle ring from opposite corners.
+    pub fn rectangle(min: Vec2, max: Vec2) -> Self {
+        let lo = min.min(max);
+        let hi = min.max(max);
+        Ring::new(vec![
+            Vec2::new(lo.x, lo.y),
+            Vec2::new(hi.x, lo.y),
+            Vec2::new(hi.x, hi.y),
+            Vec2::new(lo.x, hi.y),
+        ])
+    }
+
+    /// A regular polygon approximating a circle with `n` vertices.
+    pub fn regular_polygon(center: Vec2, radius: f64, n: usize) -> Self {
+        let n = n.max(3);
+        let pts = (0..n)
+            .map(|i| {
+                let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                center + Vec2::new(a.cos(), a.sin()) * radius.max(0.0)
+            })
+            .collect();
+        Ring::new(pts)
+    }
+
+    /// The vertices of the ring.
+    pub fn points(&self) -> &[Vec2] {
+        &self.points
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the ring has fewer than 3 vertices (no interior).
+    pub fn is_empty(&self) -> bool {
+        self.points.len() < 3
+    }
+
+    /// Signed area (positive for counter-clockwise orientation), via the
+    /// shoelace formula. Units: km².
+    pub fn signed_area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let n = self.points.len();
+        let mut sum = 0.0;
+        for i in 0..n {
+            let a = self.points[i];
+            let b = self.points[(i + 1) % n];
+            sum += a.cross(b);
+        }
+        sum / 2.0
+    }
+
+    /// Absolute area in km².
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// `true` when the vertices wind counter-clockwise.
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area() > 0.0
+    }
+
+    /// A copy of the ring with counter-clockwise orientation.
+    pub fn oriented_ccw(&self) -> Ring {
+        if self.is_ccw() || self.is_empty() {
+            self.clone()
+        } else {
+            let mut pts = self.points.clone();
+            pts.reverse();
+            Ring { points: pts }
+        }
+    }
+
+    /// Perimeter length in km.
+    pub fn perimeter(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let n = self.points.len();
+        (0..n).map(|i| self.points[i].distance(self.points[(i + 1) % n])).sum()
+    }
+
+    /// Area centroid of the polygon. Falls back to the vertex average for
+    /// degenerate (zero-area) rings, and `Vec2::ZERO` for empty rings.
+    pub fn centroid(&self) -> Vec2 {
+        if self.points.is_empty() {
+            return Vec2::ZERO;
+        }
+        let a = self.signed_area();
+        if a.abs() < 1e-12 {
+            let sum = self.points.iter().fold(Vec2::ZERO, |acc, &p| acc + p);
+            return sum / self.points.len() as f64;
+        }
+        let n = self.points.len();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for i in 0..n {
+            let p = self.points[i];
+            let q = self.points[(i + 1) % n];
+            let cross = p.cross(q);
+            cx += (p.x + q.x) * cross;
+            cy += (p.y + q.y) * cross;
+        }
+        Vec2::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Axis-aligned bounding box `(min, max)`. Returns `None` for empty rings.
+    pub fn bbox(&self) -> Option<(Vec2, Vec2)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut min = self.points[0];
+        let mut max = self.points[0];
+        for &p in &self.points {
+            min = min.min(p);
+            max = max.max(p);
+        }
+        Some((min, max))
+    }
+
+    /// Even-odd (ray casting) point containment test. Points exactly on the
+    /// boundary may be classified either way.
+    pub fn contains(&self, p: Vec2) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let n = self.points.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let a = self.points[i];
+            let b = self.points[j];
+            if ((a.y > p.y) != (b.y > p.y))
+                && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Distance from `p` to the ring boundary (0 is *not* returned for
+    /// interior points; use [`Ring::contains`] to distinguish).
+    pub fn distance_to_boundary(&self, p: Vec2) -> f64 {
+        if self.points.is_empty() {
+            return f64::INFINITY;
+        }
+        if self.points.len() == 1 {
+            return p.distance(self.points[0]);
+        }
+        let n = self.points.len();
+        (0..n)
+            .map(|i| p.distance_to_segment(self.points[i], self.points[(i + 1) % n]))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// `true` when every interior angle turns the same way (the ring is
+    /// convex). Degenerate rings report `true`.
+    pub fn is_convex(&self) -> bool {
+        let n = self.points.len();
+        if n < 4 {
+            return true;
+        }
+        let mut sign = 0.0;
+        for i in 0..n {
+            let a = self.points[i];
+            let b = self.points[(i + 1) % n];
+            let c = self.points[(i + 2) % n];
+            let cross = (b - a).cross(c - b);
+            if cross.abs() < 1e-12 {
+                continue;
+            }
+            if sign == 0.0 {
+                sign = cross.signum();
+            } else if cross.signum() != sign {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Translates every vertex by `offset`.
+    pub fn translated(&self, offset: Vec2) -> Ring {
+        Ring { points: self.points.iter().map(|&p| p + offset).collect() }
+    }
+
+    /// Scales the ring about a centre point.
+    pub fn scaled_about(&self, center: Vec2, factor: f64) -> Ring {
+        Ring { points: self.points.iter().map(|&p| center + (p - center) * factor).collect() }
+    }
+
+    /// Removes vertices that are (nearly) collinear with their neighbours,
+    /// reducing vertex count without changing the shape materially.
+    pub fn simplified(&self, tolerance: f64) -> Ring {
+        let n = self.points.len();
+        if n < 4 {
+            return self.clone();
+        }
+        let mut keep = Vec::with_capacity(n);
+        for i in 0..n {
+            let prev = self.points[(i + n - 1) % n];
+            let cur = self.points[i];
+            let next = self.points[(i + 1) % n];
+            if cur.distance_to_segment(prev, next) > tolerance {
+                keep.push(cur);
+            }
+        }
+        if keep.len() < 3 {
+            return self.clone();
+        }
+        Ring::new(keep)
+    }
+
+    /// The edges of the ring as `(start, end)` pairs.
+    pub fn edges(&self) -> Vec<(Vec2, Vec2)> {
+        let n = self.points.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        (0..n).map(|i| (self.points[i], self.points[(i + 1) % n])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Ring {
+        Ring::rectangle(Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn square_properties() {
+        let sq = unit_square();
+        assert_eq!(sq.len(), 4);
+        assert!((sq.area() - 1.0).abs() < 1e-12);
+        assert!((sq.perimeter() - 4.0).abs() < 1e-12);
+        assert!(sq.is_ccw());
+        assert!(sq.is_convex());
+        assert!((sq.centroid().x - 0.5).abs() < 1e-12);
+        assert!((sq.centroid().y - 0.5).abs() < 1e-12);
+        let (min, max) = sq.bbox().unwrap();
+        assert_eq!(min, Vec2::new(0.0, 0.0));
+        assert_eq!(max, Vec2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn containment() {
+        let sq = unit_square();
+        assert!(sq.contains(Vec2::new(0.5, 0.5)));
+        assert!(!sq.contains(Vec2::new(1.5, 0.5)));
+        assert!(!sq.contains(Vec2::new(-0.1, 0.5)));
+        assert!(!sq.contains(Vec2::new(0.5, 2.0)));
+    }
+
+    #[test]
+    fn orientation_helpers() {
+        let cw = Ring::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(1.0, 0.0),
+        ]);
+        assert!(!cw.is_ccw());
+        assert!(cw.signed_area() < 0.0);
+        let ccw = cw.oriented_ccw();
+        assert!(ccw.is_ccw());
+        assert!((ccw.area() - cw.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_convex_ring_detected() {
+        let l_shape = Ring::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(2.0, 1.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(1.0, 2.0),
+            Vec2::new(0.0, 2.0),
+        ]);
+        assert!(!l_shape.is_convex());
+        assert!((l_shape.area() - 3.0).abs() < 1e-12);
+        assert!(l_shape.contains(Vec2::new(0.5, 1.5)));
+        assert!(!l_shape.contains(Vec2::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn regular_polygon_approximates_circle() {
+        let r = Ring::regular_polygon(Vec2::new(10.0, -5.0), 100.0, 256);
+        let truth = std::f64::consts::PI * 100.0 * 100.0;
+        assert!((r.area() - truth).abs() / truth < 0.001);
+        assert!(r.is_convex());
+        assert!(r.contains(Vec2::new(10.0, -5.0)));
+    }
+
+    #[test]
+    fn degenerate_rings() {
+        let empty = Ring::new(vec![]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.area(), 0.0);
+        assert_eq!(empty.perimeter(), 0.0);
+        assert!(!empty.contains(Vec2::ZERO));
+        assert!(empty.bbox().is_none());
+        assert_eq!(empty.centroid(), Vec2::ZERO);
+
+        let two = Ring::new(vec![Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0)]);
+        assert!(two.is_empty());
+        assert_eq!(two.area(), 0.0);
+
+        // Duplicate and closing vertices are removed.
+        let dup = Ring::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(0.0, 0.0),
+        ]);
+        assert_eq!(dup.len(), 3);
+    }
+
+    #[test]
+    fn distance_to_boundary() {
+        let sq = unit_square();
+        assert!((sq.distance_to_boundary(Vec2::new(0.5, 0.5)) - 0.5).abs() < 1e-12);
+        assert!((sq.distance_to_boundary(Vec2::new(2.0, 0.5)) - 1.0).abs() < 1e-12);
+        assert!(sq.distance_to_boundary(Vec2::new(1.0, 0.5)) < 1e-12);
+    }
+
+    #[test]
+    fn transforms() {
+        let sq = unit_square();
+        let moved = sq.translated(Vec2::new(10.0, 20.0));
+        assert!(moved.contains(Vec2::new(10.5, 20.5)));
+        assert!((moved.area() - 1.0).abs() < 1e-12);
+        let scaled = sq.scaled_about(Vec2::new(0.5, 0.5), 2.0);
+        assert!((scaled.area() - 4.0).abs() < 1e-12);
+        assert!((scaled.centroid().x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplify_drops_collinear_points() {
+        let r = Ring::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(0.5, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(0.0, 1.0),
+        ]);
+        let s = r.simplified(1e-9);
+        assert_eq!(s.len(), 4);
+        assert!((s.area() - r.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_returns_closed_chain() {
+        let sq = unit_square();
+        let edges = sq.edges();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[3].1, edges[0].0);
+    }
+
+    #[test]
+    fn non_finite_points_are_dropped() {
+        let r = Ring::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(f64::NAN, 1.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(0.0, 1.0),
+        ]);
+        assert_eq!(r.len(), 4);
+        assert!(r.points().iter().all(|p| p.is_finite()));
+    }
+}

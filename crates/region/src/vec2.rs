@@ -1,0 +1,249 @@
+//! Planar points and vectors in kilometre coordinates.
+
+use octant_geo::projection::PlanePoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2-D point or vector in the local projection plane, in kilometres.
+///
+/// This is the coordinate type all region geometry is expressed in. It is
+/// interconvertible with [`octant_geo::projection::PlanePoint`], which is the
+/// type the projections in `octant-geo` produce.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// East-ish coordinate, kilometres.
+    pub x: f64,
+    /// North-ish coordinate, kilometres.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The origin.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components.
+    pub fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z component of the 3-D cross product).
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean length.
+    pub fn length_squared(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).length()
+    }
+
+    /// Squared distance to another point.
+    pub fn distance_squared(self, other: Vec2) -> f64 {
+        (self - other).length_squared()
+    }
+
+    /// Unit vector in the same direction, or zero for the zero vector.
+    pub fn normalized(self) -> Vec2 {
+        let len = self.length();
+        if len < 1e-15 {
+            Vec2::ZERO
+        } else {
+            self / len
+        }
+    }
+
+    /// The vector rotated 90° counter-clockwise.
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        self + (other - self) * t
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// `true` when both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Distance from this point to the segment `[a, b]`.
+    pub fn distance_to_segment(self, a: Vec2, b: Vec2) -> f64 {
+        let ab = b - a;
+        let len2 = ab.length_squared();
+        if len2 < 1e-18 {
+            return self.distance(a);
+        }
+        let t = ((self - a).dot(ab) / len2).clamp(0.0, 1.0);
+        self.distance(a + ab * t)
+    }
+}
+
+impl From<PlanePoint> for Vec2 {
+    fn from(p: PlanePoint) -> Self {
+        Vec2::new(p.x, p.y)
+    }
+}
+
+impl From<Vec2> for PlanePoint {
+    fn from(v: Vec2) -> Self {
+        PlanePoint::new(v.x, v.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Vec2::new(4.0, 1.0));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn products_and_lengths() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.length(), 5.0);
+        assert_eq!(a.length_squared(), 25.0);
+        assert_eq!(a.dot(Vec2::new(1.0, 0.0)), 3.0);
+        assert_eq!(Vec2::new(1.0, 0.0).cross(Vec2::new(0.0, 1.0)), 1.0);
+        assert_eq!(Vec2::new(0.0, 1.0).cross(Vec2::new(1.0, 0.0)), -1.0);
+        assert!((a.normalized().length() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn perp_is_counter_clockwise() {
+        assert_eq!(Vec2::new(1.0, 0.0).perp(), Vec2::new(0.0, 1.0));
+        assert_eq!(Vec2::new(0.0, 1.0).perp(), Vec2::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn distance_to_segment_cases() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(10.0, 0.0);
+        // Perpendicular foot inside the segment.
+        assert!((Vec2::new(5.0, 3.0).distance_to_segment(a, b) - 3.0).abs() < 1e-12);
+        // Beyond the endpoints.
+        assert!((Vec2::new(-4.0, 3.0).distance_to_segment(a, b) - 5.0).abs() < 1e-12);
+        assert!((Vec2::new(14.0, 3.0).distance_to_segment(a, b) - 5.0).abs() < 1e-12);
+        // Degenerate segment.
+        assert!((Vec2::new(3.0, 4.0).distance_to_segment(a, a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plane_point_round_trip() {
+        let v = Vec2::new(12.5, -3.25);
+        let p: PlanePoint = v.into();
+        let back: Vec2 = p.into();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn min_max_and_finite() {
+        let a = Vec2::new(1.0, 5.0);
+        let b = Vec2::new(2.0, 3.0);
+        assert_eq!(a.min(b), Vec2::new(1.0, 3.0));
+        assert_eq!(a.max(b), Vec2::new(2.0, 5.0));
+        assert!(a.is_finite());
+        assert!(!Vec2::new(f64::NAN, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,74 @@
+//! Network management / diagnosis — the other application class the paper's
+//! summary calls out: localize the *routers* on a path to understand where a
+//! long-latency detour happens.
+//!
+//! The example traceroutes between two hosts, localizes every on-path router
+//! with Octant (using the hosts as landmarks), and prints the inferred
+//! geographic path with per-hop detour factors, flagging hops where policy
+//! routing sends traffic far off the great circle.
+//!
+//! Run with `cargo run --release -p octant-bench --example network_diagnosis`.
+
+use octant::{Geolocator, Octant, OctantConfig, RouterLocalization};
+use octant_geo::distance::great_circle_km;
+use octant_netsim::{NetworkBuilder, NetworkConfig, ObservationProvider, Prober};
+
+fn main() {
+    let network = NetworkBuilder::planetlab(NetworkConfig::default()).build();
+    let prober = Prober::new(network, 99);
+    let hosts = prober.hosts();
+
+    // Diagnose the path from Cornell to UC Berkeley.
+    let src = hosts.iter().find(|h| h.hostname.contains("cornell")).expect("cornell host");
+    let dst = hosts.iter().find(|h| h.hostname.contains("berkeley")).expect("berkeley host");
+    let landmarks: Vec<_> = hosts
+        .iter()
+        .map(|h| h.id)
+        .filter(|&id| id != src.id && id != dst.id)
+        .collect();
+
+    let direct = great_circle_km(
+        prober.network().node(src.id).location,
+        prober.network().node(dst.id).location,
+    );
+    println!("diagnosing path {} -> {}", src.hostname, dst.hostname);
+    println!("great-circle distance: {direct:.0} km\n");
+
+    // Routers have no advertised position, so we localize each one with
+    // Octant from the landmarks' measurements to it.
+    let octant = Octant::new(OctantConfig {
+        router_localization: RouterLocalization::Off,
+        use_whois: false,
+        ..OctantConfig::default()
+    });
+
+    let hops = prober.traceroute(src.id, dst.id);
+    println!(
+        "{:<46} {:>10} {:>14} {:>12}",
+        "router", "rtt (ms)", "est. position", "from-src km"
+    );
+    let mut prev_estimate = prober.network().node(src.id).location;
+    let mut inferred_path_km = 0.0;
+    for hop in &hops {
+        let estimate = octant.localize(&prober, &landmarks, hop.node);
+        let Some(point) = estimate.point else { continue };
+        inferred_path_km += great_circle_km(prev_estimate, point);
+        prev_estimate = point;
+        println!(
+            "{:<46} {:>10.2} {:>14} {:>12.0}",
+            hop.hostname,
+            hop.rtt.ms(),
+            format!("{:.1},{:.1}", point.lat, point.lon),
+            great_circle_km(prober.network().node(src.id).location, point)
+        );
+    }
+    inferred_path_km += great_circle_km(prev_estimate, prober.network().node(dst.id).location);
+
+    println!("\ninferred routed path length: {inferred_path_km:.0} km");
+    println!("route inflation vs great circle: {:.2}x", inferred_path_km / direct);
+    if inferred_path_km / direct > 1.5 {
+        println!("=> the path takes a significant geographic detour (policy routing)");
+    } else {
+        println!("=> the path follows the geodesic reasonably closely");
+    }
+}

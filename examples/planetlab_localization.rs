@@ -1,0 +1,68 @@
+//! The paper's evaluation scenario end to end: capture a measurement
+//! campaign over the 51 PlanetLab-like sites, run Octant and the three
+//! baselines leave-one-out, and print a per-target comparison plus summary
+//! statistics — a compact version of what `figure3` does, but driven purely
+//! through the public API and printed per host so individual sites can be
+//! inspected.
+//!
+//! Run with `cargo run --release -p octant-bench --example planetlab_localization`.
+
+use octant::eval::{leave_one_out, region_hit_rate, ErrorCdf};
+use octant::{Octant, OctantConfig};
+use octant_baselines::{GeoLim, GeoPing};
+use octant_netsim::{MeasurementDataset, NetworkBuilder, NetworkConfig, Prober};
+
+fn main() {
+    // Use a 30-site subset so the example finishes in a few seconds even in
+    // debug builds; `figure3` runs the full 51-site evaluation.
+    let sites = &octant_geo::sites::planetlab_51()[..30];
+    let mut builder = NetworkBuilder::new(NetworkConfig::default());
+    for site in sites {
+        builder = builder.add_host(octant_netsim::builder::HostSpec::from_site(site));
+    }
+    let prober = Prober::new(builder.build(), 42);
+    println!("capturing pairwise measurements over {} sites…", sites.len());
+    let dataset = MeasurementDataset::capture(&prober);
+    let hosts = dataset.host_ids();
+
+    let octant = Octant::new(OctantConfig::default());
+    let geolim = GeoLim::default();
+    let geoping = GeoPing::default();
+
+    println!("running leave-one-out localization…");
+    let octant_outcomes = leave_one_out(&dataset, &octant, &hosts);
+    let geolim_outcomes = leave_one_out(&dataset, &geolim, &hosts);
+    let geoping_outcomes = leave_one_out(&dataset, &geoping, &hosts);
+
+    println!(
+        "{:<42} {:>12} {:>12} {:>12}",
+        "target", "octant (mi)", "geolim (mi)", "geoping (mi)"
+    );
+    for ((o, g), p) in octant_outcomes.iter().zip(&geolim_outcomes).zip(&geoping_outcomes) {
+        let host = dataset
+            .hosts
+            .iter()
+            .find(|h| h.descriptor.id == o.target)
+            .map(|h| h.descriptor.hostname.clone())
+            .unwrap_or_else(|| format!("{}", o.target));
+        let miles = |e: &Option<octant_geo::Distance>| e.map(|d| d.miles()).unwrap_or(f64::NAN);
+        println!(
+            "{:<42} {:>12.1} {:>12.1} {:>12.1}",
+            host,
+            miles(&o.error),
+            miles(&g.error),
+            miles(&p.error)
+        );
+    }
+
+    let octant_cdf = ErrorCdf::from_outcomes(&octant_outcomes);
+    let geolim_cdf = ErrorCdf::from_outcomes(&geolim_outcomes);
+    let geoping_cdf = ErrorCdf::from_outcomes(&geoping_outcomes);
+    println!("\nmedian error:  Octant {:.1} mi | GeoLim {:.1} mi | GeoPing {:.1} mi",
+        octant_cdf.median().unwrap_or(f64::NAN),
+        geolim_cdf.median().unwrap_or(f64::NAN),
+        geoping_cdf.median().unwrap_or(f64::NAN));
+    println!("region hit rate: Octant {:.0}% | GeoLim {:.0}%",
+        region_hit_rate(&octant_outcomes) * 100.0,
+        region_hit_rate(&geolim_outcomes) * 100.0);
+}

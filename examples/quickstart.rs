@@ -1,0 +1,53 @@
+//! Quickstart: localize one host with Octant in a dozen lines.
+//!
+//! This walks through the full public API surface once:
+//!
+//! 1. build a simulated PlanetLab-like deployment (`octant-netsim`),
+//! 2. pick landmarks and a target,
+//! 3. run Octant and inspect the estimated location region and point
+//!    estimate,
+//! 4. compare against the ground truth the simulator knows.
+//!
+//! Run with `cargo run --release -p octant-bench --example quickstart`.
+
+use octant::{Geolocator, Octant, OctantConfig};
+use octant_geo::distance::great_circle;
+use octant_netsim::{NetworkBuilder, NetworkConfig, ObservationProvider, Prober};
+
+fn main() {
+    // 1. A 51-host network at real university coordinates, with a seeded
+    //    latency model so every run is identical.
+    let network = NetworkBuilder::planetlab(NetworkConfig::default()).build();
+    let prober = Prober::new(network, 7);
+    let hosts = prober.hosts();
+
+    // 2. The first host is the target; everyone else is a landmark.
+    let target = &hosts[0];
+    let landmarks: Vec<_> = hosts[1..].iter().map(|h| h.id).collect();
+    println!("localizing {} using {} landmarks…", target.hostname, landmarks.len());
+
+    // 3. Run the full Octant pipeline.
+    let octant = Octant::new(OctantConfig::default());
+    let estimate = octant.localize(&prober, &landmarks, target.id);
+
+    let region = estimate.region.expect("enough landmarks to form a region");
+    let point = estimate.point.expect("a point estimate");
+    println!("estimated region:  {:.0} sq mi across {} ring(s)", region.area_mi2(), region.region().ring_count());
+    println!("point estimate:    {point}");
+    if let Some(h) = estimate.target_height_ms {
+        println!("estimated height:  {h:.2} ms of last-mile queuing delay");
+    }
+    println!(
+        "constraints:       {} applied, {} skipped as inconsistent",
+        estimate.report.applied_positive + estimate.report.applied_negative,
+        estimate.report.skipped_positive + estimate.report.skipped_negative
+    );
+
+    // 4. Score against the simulator's ground truth (only the evaluation may
+    //    look at this).
+    let truth = prober.network().node(target.id).location;
+    let error = great_circle(point, truth);
+    println!("true position:     {truth}");
+    println!("error:             {:.1} miles", error.miles());
+    println!("truth inside region? {}", region.contains(truth));
+}

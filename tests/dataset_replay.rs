@@ -1,0 +1,94 @@
+//! Record/replay integration tests: a captured campaign must be a faithful,
+//! deterministic stand-in for the live network, because the paper's
+//! methodology evaluates every technique over one shared dataset.
+
+use octant::{Geolocator, Octant, OctantConfig};
+use octant_netsim::builder::{HostSpec, NetworkBuilder, NetworkConfig};
+use octant_netsim::latency::LatencyModel;
+use octant_netsim::{MeasurementDataset, ObservationProvider, Prober};
+
+fn noiseless_prober(n: usize, seed: u64) -> Prober {
+    let mut builder = NetworkBuilder::new(NetworkConfig { seed, ..NetworkConfig::default() });
+    for site in octant_geo::sites::planetlab_51().iter().take(n) {
+        builder = builder.add_host(HostSpec::from_site(site));
+    }
+    Prober::with_options(builder.build(), LatencyModel::noiseless(), 0.1, 5, seed)
+}
+
+#[test]
+fn replay_equals_live_when_the_latency_model_is_noiseless() {
+    let prober = noiseless_prober(12, 21);
+    let dataset = MeasurementDataset::capture(&prober);
+    let hosts = dataset.host_ids();
+
+    // Without stochastic jitter, the recorded observations must be identical
+    // to what the live prober reports.
+    for &a in &hosts {
+        for &b in &hosts {
+            if a == b {
+                continue;
+            }
+            assert_eq!(prober.ping(a, b).min(), dataset.ping(a, b).min(), "ping {a}->{b}");
+            let live: Vec<_> = prober.traceroute(a, b).iter().map(|h| h.node).collect();
+            let replay: Vec<_> = dataset.traceroute(a, b).iter().map(|h| h.node).collect();
+            assert_eq!(live, replay, "traceroute {a}->{b}");
+        }
+    }
+}
+
+#[test]
+fn octant_gives_identical_results_on_live_and_replayed_noiseless_measurements() {
+    let prober = noiseless_prober(14, 33);
+    let dataset = MeasurementDataset::capture(&prober);
+    let hosts = dataset.host_ids();
+    let target = hosts[0];
+    let landmarks: Vec<_> = hosts[1..].to_vec();
+
+    let octant = Octant::new(OctantConfig::default());
+    let live = octant.localize(&prober, &landmarks, target);
+    let replay = octant.localize(&dataset, &landmarks, target);
+
+    let (lp, rp) = (live.point.unwrap(), replay.point.unwrap());
+    assert!(
+        octant_geo::distance::great_circle_km(lp, rp) < 1.0,
+        "live {lp} vs replay {rp} point estimates diverged"
+    );
+    let (lr, rr) = (live.region.unwrap(), replay.region.unwrap());
+    assert!((lr.area_km2() - rr.area_km2()).abs() < 1.0, "region areas diverged");
+}
+
+#[test]
+fn capture_is_deterministic_for_a_seed() {
+    let a = MeasurementDataset::capture(&noiseless_prober(10, 77));
+    let b = MeasurementDataset::capture(&noiseless_prober(10, 77));
+    assert_eq!(a.host_ids(), b.host_ids());
+    assert_eq!(a.ping_count(), b.ping_count());
+    assert_eq!(a.traceroute_count(), b.traceroute_count());
+    for &x in &a.host_ids() {
+        for &y in &a.host_ids() {
+            if x != y {
+                assert_eq!(a.ping(x, y), b.ping(x, y));
+            }
+        }
+    }
+}
+
+#[test]
+fn replayed_dataset_supports_every_observation_type_octant_needs() {
+    let prober = noiseless_prober(10, 5);
+    let dataset = MeasurementDataset::capture(&prober);
+    let hosts = dataset.hosts();
+    assert_eq!(hosts.len(), 10);
+    for h in &hosts {
+        assert!(dataset.reverse_dns(h.ip).is_some());
+        assert!(dataset.whois_city(h.ip).is_some());
+        assert_eq!(dataset.node_by_ip(h.ip), Some(h.id));
+        assert!(dataset.advertised_location(h.id).is_some());
+    }
+    // Router information discovered through traceroutes is also replayable.
+    let hops = dataset.traceroute(hosts[0].id, hosts[5].id);
+    assert!(!hops.is_empty());
+    for hop in hops {
+        assert_eq!(dataset.reverse_dns(hop.ip).unwrap(), hop.hostname);
+    }
+}

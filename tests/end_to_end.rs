@@ -1,0 +1,116 @@
+//! Cross-crate integration tests: the full pipeline from topology generation
+//! through measurement capture to localization, exercised the way the
+//! examples and the figure harnesses use it.
+
+use octant::eval::{leave_one_out, region_hit_rate, ErrorCdf};
+use octant::{Geolocator, Octant, OctantConfig, RouterLocalization};
+use octant_baselines::SpeedOfLight;
+use octant_bench::campaign_with_sites;
+use octant_geo::distance::great_circle_km;
+use octant_netsim::{NetworkBuilder, NetworkConfig, ObservationProvider, Prober};
+
+#[test]
+fn live_prober_and_recorded_dataset_both_drive_octant() {
+    let network = NetworkBuilder::planetlab(NetworkConfig::default()).build();
+    let prober = Prober::new(network, 11);
+    let hosts = prober.hosts();
+    let target = hosts[3].id;
+    let landmarks: Vec<_> = hosts.iter().map(|h| h.id).filter(|&id| id != target).take(18).collect();
+
+    let octant = Octant::new(OctantConfig::default());
+    let live = octant.localize(&prober, &landmarks, target);
+    assert!(live.point.is_some());
+    assert!(live.region.is_some());
+
+    // The same call against a captured dataset also works and produces a
+    // sane estimate (not necessarily identical: the capture re-samples probes).
+    let campaign = campaign_with_sites(22, 11);
+    let target = campaign.hosts[3];
+    let landmarks: Vec<_> = campaign.hosts.iter().copied().filter(|&id| id != target).collect();
+    let recorded = octant.localize(&campaign.dataset, &landmarks, target);
+    assert!(recorded.point.is_some());
+    assert!(recorded.region.is_some());
+}
+
+#[test]
+fn octant_region_is_dramatically_smaller_than_speed_of_light_region() {
+    let campaign = campaign_with_sites(20, 5);
+    let target = campaign.hosts[0];
+    let landmarks: Vec<_> = campaign.hosts.iter().copied().filter(|&id| id != target).collect();
+
+    let octant = Octant::new(OctantConfig::default()).localize(&campaign.dataset, &landmarks, target);
+    let sol = SpeedOfLight::new().localize(&campaign.dataset, &landmarks, target);
+
+    let octant_area = octant.region.expect("octant region").area_km2();
+    let sol_area = sol.region.expect("speed-of-light region").area_km2();
+    assert!(
+        octant_area < sol_area / 2.0,
+        "octant region ({octant_area:.0} km²) should be far smaller than the speed-of-light region ({sol_area:.0} km²)"
+    );
+}
+
+#[test]
+fn point_estimates_fall_on_land_and_in_region() {
+    let campaign = campaign_with_sites(18, 9);
+    let octant = Octant::new(OctantConfig::default());
+    let outcomes = leave_one_out(&campaign.dataset, &octant, &campaign.hosts);
+    for o in &outcomes {
+        let p = o.estimate.point.expect("point estimate");
+        if let Some(region) = &o.estimate.region {
+            assert!(
+                region.contains(p) || region.distance_to(p).km() < 50.0,
+                "the point estimate should lie in (or immediately next to) its own region"
+            );
+        }
+        // With the landmass constraint enabled, estimates should not end up in
+        // the middle of an ocean.
+        assert!(
+            octant::geography::is_plausible_host_location(p) || o.estimate.region.is_none(),
+            "estimate {p} for target {:?} is in the ocean",
+            o.target
+        );
+    }
+}
+
+#[test]
+fn leave_one_out_errors_are_reasonable_at_moderate_scale() {
+    let campaign = campaign_with_sites(24, 7);
+    let octant = Octant::new(OctantConfig::default());
+    let outcomes = leave_one_out(&campaign.dataset, &octant, &campaign.hosts);
+    let cdf = ErrorCdf::from_outcomes(&outcomes);
+    let median = cdf.median().unwrap();
+    assert!(median < 300.0, "median error {median:.0} mi is too large for 23 landmarks");
+    let hit = region_hit_rate(&outcomes);
+    assert!(hit >= 0.2, "region hit rate {hit:.2} is too low");
+}
+
+#[test]
+fn recursive_router_localization_runs_end_to_end() {
+    let campaign = campaign_with_sites(14, 13);
+    let cfg = OctantConfig {
+        router_localization: RouterLocalization::Recursive,
+        max_router_constraints: 4,
+        ..OctantConfig::default()
+    };
+    let octant = Octant::new(cfg);
+    let target = campaign.hosts[2];
+    let landmarks: Vec<_> = campaign.hosts.iter().copied().filter(|&id| id != target).collect();
+    let est = octant.localize(&campaign.dataset, &landmarks, target);
+    let truth = campaign.dataset.advertised_location(target).unwrap();
+    let err = great_circle_km(est.point.unwrap(), truth);
+    assert!(err < 1200.0, "recursive localization error {err:.0} km");
+}
+
+#[test]
+fn different_seeds_produce_different_but_valid_results() {
+    let a = campaign_with_sites(12, 1);
+    let b = campaign_with_sites(12, 2);
+    let octant = Octant::new(OctantConfig::minimal());
+    let oa = leave_one_out(&a.dataset, &octant, &a.hosts);
+    let ob = leave_one_out(&b.dataset, &octant, &b.hosts);
+    let ea: Vec<f64> = oa.iter().filter_map(|o| o.error.map(|d| d.km())).collect();
+    let eb: Vec<f64> = ob.iter().filter_map(|o| o.error.map(|d| d.km())).collect();
+    assert_eq!(ea.len(), 12);
+    assert_eq!(eb.len(), 12);
+    assert_ne!(ea, eb, "different measurement seeds must not produce identical errors");
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the region algebra Octant's solver relies on.
+//!
+//! The boolean engine is the correctness-critical substrate of the whole
+//! framework: if intersection/subtraction misbehave, every constraint
+//! combination silently degrades. These properties pit the exact engine
+//! against point-wise set semantics and basic measure-theoretic identities
+//! over randomized disk configurations.
+
+use octant_geo::point::GeoPoint;
+use octant_geo::projection::AzimuthalEquidistant;
+use octant_geo::units::Distance;
+use octant_region::montecarlo;
+use octant_region::{GeoRegion, Region, Vec2};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a disk with centre within ±1500 km of the origin and radius
+/// 50–900 km — the scale of real Octant constraints.
+fn disk_strategy() -> impl Strategy<Value = Region> {
+    (-1500.0f64..1500.0, -1500.0f64..1500.0, 50.0f64..900.0)
+        .prop_map(|(x, y, r)| Region::disk(Vec2::new(x, y), r))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn intersection_is_contained_in_both_operands(a in disk_strategy(), b in disk_strategy()) {
+        let inter = a.intersect(&b);
+        prop_assert!(inter.area() <= a.area() + 1.0);
+        prop_assert!(inter.area() <= b.area() + 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            if let Some(p) = inter.sample_point(&mut rng) {
+                prop_assert!(a.contains(p) && b.contains(p), "sample {p} escaped an operand");
+            }
+        }
+    }
+
+    #[test]
+    fn union_area_follows_inclusion_exclusion(a in disk_strategy(), b in disk_strategy()) {
+        let union = a.union(&b);
+        let inter = a.intersect(&b);
+        let lhs = union.area() + inter.area();
+        let rhs = a.area() + b.area();
+        let scale = rhs.max(1.0);
+        prop_assert!((lhs - rhs).abs() / scale < 0.02, "|A∪B|+|A∩B| = {lhs}, |A|+|B| = {rhs}");
+    }
+
+    #[test]
+    fn difference_partitions_the_first_operand(a in disk_strategy(), b in disk_strategy()) {
+        let diff = a.subtract(&b);
+        let inter = a.intersect(&b);
+        let lhs = diff.area() + inter.area();
+        let scale = a.area().max(1.0);
+        prop_assert!((lhs - a.area()).abs() / scale < 0.02, "|A\\B|+|A∩B| = {lhs}, |A| = {}", a.area());
+        // And the difference is disjoint from B.
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            if let Some(p) = diff.sample_point(&mut rng) {
+                prop_assert!(a.contains(p), "difference sample escaped A");
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_ops_agree_with_pointwise_membership(a in disk_strategy(), b in disk_strategy()) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bbox = montecarlo::joint_bbox(&a, &b, 50.0);
+        let inter = a.intersect(&b);
+        let frac = montecarlo::disagreement_fraction(&mut rng, &inter, bbox, 2_000, |p| {
+            a.contains(p) && b.contains(p)
+        });
+        prop_assert!(frac < 0.015, "intersection disagreement {frac}");
+        let diff = a.subtract(&b);
+        let frac = montecarlo::disagreement_fraction(&mut rng, &diff, bbox, 2_000, |p| {
+            a.contains(p) && !b.contains(p)
+        });
+        prop_assert!(frac < 0.015, "difference disagreement {frac}");
+    }
+
+    #[test]
+    fn dilation_contains_the_original_and_monotone_in_radius(a in disk_strategy(), r in 20.0f64..200.0) {
+        let grown = a.dilate(r);
+        prop_assert!(grown.area() >= a.area() - 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..30 {
+            if let Some(p) = a.sample_point(&mut rng) {
+                prop_assert!(grown.contains(p), "dilation lost an original point");
+            }
+        }
+        let grown_more = a.dilate(r * 1.5);
+        prop_assert!(grown_more.area() >= grown.area() - 1.0);
+    }
+
+    #[test]
+    fn centroid_lies_within_the_bounding_box(a in disk_strategy(), b in disk_strategy()) {
+        let union = a.union(&b);
+        if let (Some(c), Some((lo, hi))) = (union.centroid(), union.bbox()) {
+            prop_assert!(c.x >= lo.x - 1e-6 && c.x <= hi.x + 1e-6);
+            prop_assert!(c.y >= lo.y - 1e-6 && c.y <= hi.y + 1e-6);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Geographic disks behave like their planar counterparts: a geodesic
+    /// disk contains exactly the points within its radius (up to projection
+    /// and flattening tolerance).
+    #[test]
+    fn geodesic_disk_membership_matches_great_circle_distance(
+        lat in -55.0f64..65.0,
+        lon in -150.0f64..150.0,
+        radius_km in 100.0f64..1500.0,
+        probe_bearing in 0.0f64..360.0,
+        probe_frac in 0.0f64..2.0,
+    ) {
+        let center = GeoPoint::new(lat, lon);
+        let projection = AzimuthalEquidistant::new(center);
+        let disk = GeoRegion::disk(projection, center, Distance::from_km(radius_km));
+        let probe = octant_geo::distance::destination(center, probe_bearing, Distance::from_km(radius_km * probe_frac));
+        let d = octant_geo::distance::great_circle_km(center, probe);
+        // Skip probes within 2% of the boundary, where flattening tolerance
+        // legitimately decides either way.
+        if (d - radius_km).abs() > radius_km * 0.02 {
+            prop_assert_eq!(disk.contains(probe), d < radius_km, "probe at {} km of a {} km disk", d, radius_km);
+        }
+    }
+}
