@@ -39,7 +39,10 @@ pub struct GeoLimConfig {
 
 impl Default for GeoLimConfig {
     fn default() -> Self {
-        GeoLimConfig { min_calibration_points: 4, slack_km: 0.0 }
+        GeoLimConfig {
+            min_calibration_points: 4,
+            slack_km: 0.0,
+        }
     }
 }
 
@@ -149,7 +152,10 @@ impl Geolocator for GeoLim {
             let sol = Distance::max_fiber_distance_for_rtt(rtt);
             let radius = if points.len() >= self.config.min_calibration_points {
                 match best_line(&points) {
-                    Some((m, b)) => Distance::from_km((m * rtt.ms() + b + self.config.slack_km).max(1.0)).min(sol),
+                    Some((m, b)) => {
+                        Distance::from_km((m * rtt.ms() + b + self.config.slack_km).max(1.0))
+                            .min(sol)
+                    }
                     None => sol,
                 }
             } else {
@@ -165,7 +171,11 @@ impl Geolocator for GeoLim {
         // region is always near it).
         let anchor = disks
             .iter()
-            .min_by(|a, b| a.2.ms().partial_cmp(&b.2.ms()).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.2.ms()
+                    .partial_cmp(&b.2.ms())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .map(|d| d.0)
             .unwrap_or(lm_pos[0]);
         let projection = AzimuthalEquidistant::new(anchor);
@@ -211,7 +221,11 @@ impl Geolocator for GeoLim {
             final_area_km2: strict.area_km2(),
         };
         LocationEstimate {
-            region: if strict.is_empty() { None } else { Some(strict) },
+            region: if strict.is_empty() {
+                None
+            } else {
+                Some(strict)
+            },
             point,
             report,
             target_height_ms: None,
@@ -237,15 +251,26 @@ mod tests {
 
     #[test]
     fn best_line_lies_above_all_points_and_is_tight() {
-        let points: Vec<(f64, f64)> = (1..=20).map(|i| (i as f64, i as f64 * 60.0 + (i % 3) as f64 * 40.0)).collect();
+        let points: Vec<(f64, f64)> = (1..=20)
+            .map(|i| (i as f64, i as f64 * 60.0 + (i % 3) as f64 * 40.0))
+            .collect();
         let (m, b) = best_line(&points).unwrap();
         for &(x, y) in &points {
             assert!(m * x + b >= y - 1e-6, "point ({x},{y}) above the best line");
         }
         // The line should touch the data (not be wildly above it).
-        let max_gap = points.iter().map(|&(x, y)| m * x + b - y).fold(f64::NEG_INFINITY, f64::max);
-        let min_gap = points.iter().map(|&(x, y)| m * x + b - y).fold(f64::INFINITY, f64::min);
-        assert!(min_gap < 1e-6, "the best line must touch at least one point");
+        let max_gap = points
+            .iter()
+            .map(|&(x, y)| m * x + b - y)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min_gap = points
+            .iter()
+            .map(|&(x, y)| m * x + b - y)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min_gap < 1e-6,
+            "the best line must touch at least one point"
+        );
         assert!(max_gap < 200.0, "best line is too loose ({max_gap} km)");
         assert!(best_line(&[]).is_none());
     }
@@ -273,7 +298,11 @@ mod tests {
         let mut empty_seen = false;
         for t in 0..6 {
             let target = hosts[t].id;
-            let landmarks: Vec<NodeId> = hosts.iter().map(|h| h.id).filter(|&id| id != target).collect();
+            let landmarks: Vec<NodeId> = hosts
+                .iter()
+                .map(|h| h.id)
+                .filter(|&id| id != target)
+                .collect();
             let est = GeoLim::default().localize(&p, &landmarks, target);
             assert!(est.point.is_some());
             if est.region.is_none() {
@@ -289,7 +318,10 @@ mod tests {
     fn geolim_without_landmarks_is_unknown() {
         let p = prober(4);
         let hosts = p.hosts();
-        assert!(GeoLim::default().localize(&p, &[], hosts[0].id).point.is_none());
+        assert!(GeoLim::default()
+            .localize(&p, &[], hosts[0].id)
+            .point
+            .is_none());
     }
 
     #[test]
@@ -297,7 +329,11 @@ mod tests {
         let p = prober(12);
         let hosts = p.hosts();
         let target = hosts[3].id;
-        let landmarks: Vec<NodeId> = hosts.iter().map(|h| h.id).filter(|&id| id != target).collect();
+        let landmarks: Vec<NodeId> = hosts
+            .iter()
+            .map(|h| h.id)
+            .filter(|&id| id != target)
+            .collect();
         let est = GeoLim::default().localize(&p, &landmarks, target);
         if let (Some(region), Some(point)) = (est.region.as_ref(), est.point) {
             // The greedy point comes from a superset chain of the strict

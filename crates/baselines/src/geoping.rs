@@ -44,8 +44,10 @@ impl Geolocator for GeoPing {
         }
 
         // The target's signature: latency from each landmark to the target.
-        let target_sig: Vec<Option<f64>> =
-            usable.iter().map(|&lm| provider.ping(lm, target).min().map(|l| l.ms())).collect();
+        let target_sig: Vec<Option<f64>> = usable
+            .iter()
+            .map(|&lm| provider.ping(lm, target).min().map(|l| l.ms()))
+            .collect();
         if target_sig.iter().all(|s| s.is_none()) {
             return LocationEstimate::unknown();
         }
@@ -59,7 +61,10 @@ impl Geolocator for GeoPing {
                 if lm == candidate {
                     continue;
                 }
-                let (Some(t), Some(c)) = (target_sig[i], provider.ping(lm, candidate).min().map(|l| l.ms())) else {
+                let (Some(t), Some(c)) = (
+                    target_sig[i],
+                    provider.ping(lm, candidate).min().map(|l| l.ms()),
+                ) else {
                     continue;
                 };
                 sum += (t - c) * (t - c);
@@ -122,7 +127,10 @@ mod tests {
             .iter()
             .any(|&lm| great_circle_km(p.network().node(lm).location, point) < 1e-6);
         assert!(is_landmark_position);
-        assert!(est.region.is_none(), "GeoPing produces point estimates only");
+        assert!(
+            est.region.is_none(),
+            "GeoPing produces point estimates only"
+        );
     }
 
     #[test]
@@ -143,6 +151,9 @@ mod tests {
         let landmarks: Vec<NodeId> = hosts[1..].to_vec();
         let a = GeoPing::new().localize(&ds, &landmarks, hosts[0]);
         let b = GeoPing::new().localize(&ds, &landmarks, hosts[0]);
-        assert_eq!(a.point.map(|p| (p.lat, p.lon)), b.point.map(|p| (p.lat, p.lon)));
+        assert_eq!(
+            a.point.map(|p| (p.lat, p.lon)),
+            b.point.map(|p| (p.lat, p.lon))
+        );
     }
 }

@@ -98,7 +98,9 @@ mod tests {
         let target = hosts[0].id;
         let landmarks: Vec<NodeId> = hosts[1..].iter().map(|h| h.id).collect();
         let est = GeoTrack::new().localize(&p, &landmarks, target);
-        let point = est.point.expect("with fully parseable names GeoTrack must answer");
+        let point = est
+            .point
+            .expect("with fully parseable names GeoTrack must answer");
         let truth = p.network().node(target).location;
         // The last recognizable router is typically the target's access/backbone
         // city, so the error is bounded by a metro-to-backbone distance.
@@ -114,13 +116,19 @@ mod tests {
         let target = hosts[0].id;
         let landmarks: Vec<NodeId> = hosts[1..].iter().map(|h| h.id).collect();
         let est = GeoTrack::new().localize(&p, &landmarks, target);
-        assert!(est.point.is_none(), "with no parseable router names GeoTrack cannot answer");
+        assert!(
+            est.point.is_none(),
+            "with no parseable router names GeoTrack cannot answer"
+        );
     }
 
     #[test]
     fn geotrack_without_landmarks_is_unknown() {
         let p = prober(4, 0.0);
         let hosts = p.hosts();
-        assert!(GeoTrack::new().localize(&p, &[], hosts[0].id).point.is_none());
+        assert!(GeoTrack::new()
+            .localize(&p, &[], hosts[0].id)
+            .point
+            .is_none());
     }
 }

@@ -35,7 +35,11 @@ use octant::Geolocator;
 /// The full comparison suite: Octant's competitors in the order the paper
 /// lists them.
 pub fn all_baselines() -> Vec<Box<dyn Geolocator>> {
-    vec![Box::new(GeoLim::default()), Box::new(GeoPing::default()), Box::new(GeoTrack::default())]
+    vec![
+        Box::new(GeoLim::default()),
+        Box::new(GeoPing),
+        Box::new(GeoTrack),
+    ]
 }
 
 #[cfg(test)]
@@ -44,7 +48,10 @@ mod tests {
 
     #[test]
     fn baseline_suite_is_complete_and_named() {
-        let names: Vec<String> = all_baselines().iter().map(|b| b.name().to_string()).collect();
+        let names: Vec<String> = all_baselines()
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect();
         assert_eq!(names, vec!["GeoLim", "GeoPing", "GeoTrack"]);
     }
 }

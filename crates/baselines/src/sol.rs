@@ -43,7 +43,10 @@ impl Geolocator for SpeedOfLight {
             if lm == target {
                 continue;
             }
-            let (Some(pos), Some(rtt)) = (provider.advertised_location(lm), provider.ping(lm, target).min()) else {
+            let (Some(pos), Some(rtt)) = (
+                provider.advertised_location(lm),
+                provider.ping(lm, target).min(),
+            ) else {
                 continue;
             };
             if rtt.ms() < best_rtt {
@@ -121,11 +124,20 @@ mod tests {
         let hosts = p.hosts();
         for t in 0..6 {
             let target = hosts[t].id;
-            let landmarks: Vec<NodeId> = hosts.iter().map(|h| h.id).filter(|&id| id != target).collect();
+            let landmarks: Vec<NodeId> = hosts
+                .iter()
+                .map(|h| h.id)
+                .filter(|&id| id != target)
+                .collect();
             let est = SpeedOfLight::new().localize(&p, &landmarks, target);
             let truth = p.network().node(target).location;
-            let region = est.region.expect("sound constraints cannot produce an empty region");
-            assert!(region.contains(truth), "target {t} escaped the speed-of-light region");
+            let region = est
+                .region
+                .expect("sound constraints cannot produce an empty region");
+            assert!(
+                region.contains(truth),
+                "target {t} escaped the speed-of-light region"
+            );
             assert_eq!(est.report.skipped_positive, 0);
         }
     }
@@ -135,19 +147,29 @@ mod tests {
         let p = prober(14);
         let hosts = p.hosts();
         let target = hosts[0].id;
-        let landmarks: Vec<NodeId> = hosts.iter().map(|h| h.id).filter(|&id| id != target).collect();
+        let landmarks: Vec<NodeId> = hosts
+            .iter()
+            .map(|h| h.id)
+            .filter(|&id| id != target)
+            .collect();
         let sol = SpeedOfLight::new().localize(&p, &landmarks, target);
         let truth = p.network().node(target).location;
         let err = great_circle_km(sol.point.unwrap(), truth);
         // It still produces an estimate somewhere on the right continent.
         assert!(err < 3000.0, "error {err:.0} km");
-        assert!(sol.region.unwrap().area_km2() > 10_000.0, "the SoL region should be large");
+        assert!(
+            sol.region.unwrap().area_km2() > 10_000.0,
+            "the SoL region should be large"
+        );
     }
 
     #[test]
     fn unknown_without_landmarks() {
         let p = prober(4);
         let hosts = p.hosts();
-        assert!(SpeedOfLight::new().localize(&p, &[], hosts[0].id).point.is_none());
+        assert!(SpeedOfLight::new()
+            .localize(&p, &[], hosts[0].id)
+            .point
+            .is_none());
     }
 }

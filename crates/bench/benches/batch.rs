@@ -1,0 +1,59 @@
+//! The throughput axis the batch engine establishes: localizing a target
+//! population against a fixed landmark deployment, batched (shared landmark
+//! model + parallel fan-out) versus the naive sequential loop that rebuilds
+//! the model per target.
+//!
+//! `batch/sequential_loop` and `batch/localize_batch` run the identical
+//! workload, so their ratio is the end-to-end speedup; `batch/prepare_model`
+//! isolates the landmark-side cost the batch path amortizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use octant::{BatchGeolocator, Geolocator, Octant, OctantConfig};
+use octant_bench::batch_campaign;
+
+fn bench_batch(c: &mut Criterion) {
+    let campaign = batch_campaign(12, 24, 42);
+    let octant = Octant::new(OctantConfig::default());
+    let batch = BatchGeolocator::new(OctantConfig::default());
+
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+
+    group.bench_function("prepare_model", |b| {
+        b.iter(|| black_box(octant.prepare_landmarks(&campaign.dataset, &campaign.landmarks)))
+    });
+
+    for &n in &[8usize, 24] {
+        let targets = &campaign.targets[..n];
+        group.bench_with_input(
+            BenchmarkId::new("sequential_loop", n),
+            &targets,
+            |b, targets| {
+                b.iter(|| {
+                    let estimates: Vec<_> = targets
+                        .iter()
+                        .map(|&t| octant.localize(&campaign.dataset, &campaign.landmarks, t))
+                        .collect();
+                    black_box(estimates)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("localize_batch", n),
+            &targets,
+            |b, targets| {
+                b.iter(|| {
+                    black_box(batch.localize_batch(&campaign.dataset, &campaign.landmarks, targets))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch
+}
+criterion_main!(benches);

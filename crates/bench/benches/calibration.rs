@@ -23,7 +23,12 @@ fn synthetic_samples(n: usize) -> Vec<CalibrationSample> {
 fn bench_calibration(c: &mut Criterion) {
     let samples = synthetic_samples(50);
     c.bench_function("calibration/build_from_50_peers", |b| {
-        b.iter(|| black_box(Calibration::from_samples(samples.clone(), CalibrationConfig::default())))
+        b.iter(|| {
+            black_box(Calibration::from_samples(
+                samples.clone(),
+                CalibrationConfig::default(),
+            ))
+        })
     });
 
     let cal = Calibration::from_samples(samples, CalibrationConfig::default());
@@ -42,8 +47,13 @@ fn bench_calibration(c: &mut Criterion) {
             if i == j {
                 continue;
             }
-            let base = great_circle(positions[i], positions[j]).min_rtt_over_fiber().ms();
-            rtts.insert((i, j), Latency::from_ms(base + 2.0 + (i % 5) as f64 + (j % 3) as f64));
+            let base = great_circle(positions[i], positions[j])
+                .min_rtt_over_fiber()
+                .ms();
+            rtts.insert(
+                (i, j),
+                Latency::from_ms(base + 2.0 + (i % 5) as f64 + (j % 3) as f64),
+            );
         }
     }
     c.bench_function("heights/solve_51_landmarks", |b| {

@@ -33,12 +33,12 @@ fn bench_localization(c: &mut Criterion) {
         b.iter(|| black_box(geolim.localize(&campaign.dataset, &landmarks, target)))
     });
 
-    let geoping = GeoPing::default();
+    let geoping = GeoPing;
     c.bench_function("localize/geoping_24_landmarks", |b| {
         b.iter(|| black_box(geoping.localize(&campaign.dataset, &landmarks, target)))
     });
 
-    let geotrack = GeoTrack::default();
+    let geotrack = GeoTrack;
     c.bench_function("localize/geotrack_24_landmarks", |b| {
         b.iter(|| black_box(geotrack.localize(&campaign.dataset, &landmarks, target)))
     });

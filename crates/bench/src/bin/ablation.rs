@@ -27,16 +27,37 @@ fn main() {
     let full = OctantConfig::default();
     let results = vec![
         variant("full", full, &campaign),
-        variant("-heights", OctantConfig { use_heights: false, ..full }, &campaign),
         variant(
-            "-piecewise",
-            OctantConfig { router_localization: RouterLocalization::Off, ..full },
+            "-heights",
+            OctantConfig {
+                use_heights: false,
+                ..full
+            },
             &campaign,
         ),
-        variant("-negative", OctantConfig { use_negative_constraints: false, ..full }, &campaign),
+        variant(
+            "-piecewise",
+            OctantConfig {
+                router_localization: RouterLocalization::Off,
+                ..full
+            },
+            &campaign,
+        ),
+        variant(
+            "-negative",
+            OctantConfig {
+                use_negative_constraints: false,
+                ..full
+            },
+            &campaign,
+        ),
         variant(
             "-geo/whois",
-            OctantConfig { use_whois: false, use_landmass_constraint: false, ..full },
+            OctantConfig {
+                use_whois: false,
+                use_landmass_constraint: false,
+                ..full
+            },
             &campaign,
         ),
         variant("minimal", OctantConfig::minimal(), &campaign),
@@ -47,6 +68,11 @@ fn main() {
     let full_median = results[0].median_miles();
     println!("# section: median-error degradation when removing each mechanism");
     for r in &results[1..] {
-        println!("{:<12} {:>+7.1} mi ({:+.0}%)", r.name, r.median_miles() - full_median, (r.median_miles() / full_median - 1.0) * 100.0);
+        println!(
+            "{:<12} {:>+7.1} mi ({:+.0}%)",
+            r.name,
+            r.median_miles() - full_median,
+            (r.median_miles() / full_median - 1.0) * 100.0
+        );
     }
 }

@@ -8,16 +8,25 @@
 //! facets, percentile cutoffs, speed-of-light reference) so it can be
 //! plotted or inspected directly.
 //!
-//! Run with `cargo run --release -p octant-bench --bin figure2`.
+//! Run with `cargo run --release -p octant-bench --bin figure2`. Pass
+//! `--smoke` to run over a reduced site set — CI uses this to prove the
+//! figure pipeline end to end without paying for the full 51-site capture.
 
 use octant::calibration::{Calibration, CalibrationConfig, CalibrationSample};
-use octant_bench::planetlab_campaign;
+use octant_bench::{campaign_with_sites, planetlab_campaign};
 use octant_geo::distance::great_circle;
 use octant_geo::units::{Distance, Latency};
 use octant_netsim::ObservationProvider;
 
 fn main() {
-    let campaign = planetlab_campaign(42);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // The reference landmark (Rochester) is site index 1, so even the
+    // reduced set keeps the figure's subject.
+    let campaign = if smoke {
+        campaign_with_sites(12, 42)
+    } else {
+        planetlab_campaign(42)
+    };
     let reference_host = "planetlab1.cs.rochester.edu";
     let hosts = campaign.dataset.hosts();
     let reference = hosts
@@ -38,11 +47,21 @@ fn main() {
         if peer.id == reference.id {
             continue;
         }
-        let Some(rtt) = campaign.dataset.ping(reference.id, peer.id).min() else { continue };
+        let Some(rtt) = campaign.dataset.ping(reference.id, peer.id).min() else {
+            continue;
+        };
         let peer_loc = campaign.dataset.advertised_location(peer.id).unwrap();
         let dist = great_circle(reference_loc, peer_loc);
-        println!("{:>10.2} {:>12.1} {:<40}", rtt.ms(), dist.km(), peer.hostname);
-        samples.push(CalibrationSample { latency: rtt, distance: dist });
+        println!(
+            "{:>10.2} {:>12.1} {:<40}",
+            rtt.ms(),
+            dist.km(),
+            peer.hostname
+        );
+        samples.push(CalibrationSample {
+            latency: rtt,
+            distance: dist,
+        });
     }
 
     // The calibration the Octant framework would derive from this landmark.
@@ -53,9 +72,16 @@ fn main() {
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     for pct in [0.5, 0.75, 0.9] {
         let idx = ((latencies.len() as f64 - 1.0) * pct).round() as usize;
-        println!("{:>4.0}% of peers within {:>8.2} ms", pct * 100.0, latencies[idx]);
+        println!(
+            "{:>4.0}% of peers within {:>8.2} ms",
+            pct * 100.0,
+            latencies[idx]
+        );
     }
-    println!("# calibration cutoff rho = {:.2} ms", calibration.cutoff_ms());
+    println!(
+        "# calibration cutoff rho = {:.2} ms",
+        calibration.cutoff_ms()
+    );
 
     println!("# section: convex hull upper facet (R_L)");
     println!("{:>10} {:>12}", "rtt_ms", "dist_km");
@@ -69,7 +95,10 @@ fn main() {
     }
 
     println!("# section: derived bounds vs the 2/3-c speed-of-light line");
-    println!("{:>10} {:>14} {:>14} {:>14}", "rtt_ms", "R_L_km", "r_L_km", "two_thirds_c_km");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "rtt_ms", "R_L_km", "r_L_km", "two_thirds_c_km"
+    );
     let mut rtt = 2.0;
     while rtt <= 100.0 {
         let l = Latency::from_ms(rtt);
@@ -86,6 +115,7 @@ fn main() {
     // The structural claim of Figure 2: the hull bound is far tighter than
     // the physical bound over the informative latency range.
     let probe = Latency::from_ms(40.0);
-    let tightening = Distance::max_fiber_distance_for_rtt(probe).km() / calibration.max_distance(probe).km();
+    let tightening =
+        Distance::max_fiber_distance_for_rtt(probe).km() / calibration.max_distance(probe).km();
     println!("# at 40 ms RTT the convex-hull bound is {tightening:.1}x tighter than the speed-of-light bound");
 }

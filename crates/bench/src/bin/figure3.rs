@@ -16,12 +16,15 @@ use octant_bench::{planetlab_campaign, print_cdf_series, print_summary_table, ru
 
 fn main() {
     let campaign = planetlab_campaign(42);
-    println!("# Figure 3 — error CDF over {} targets (leave-one-out)", campaign.hosts.len());
+    println!(
+        "# Figure 3 — error CDF over {} targets (leave-one-out)",
+        campaign.hosts.len()
+    );
 
     let octant = Octant::new(OctantConfig::default());
     let geolim = GeoLim::default();
-    let geoping = GeoPing::default();
-    let geotrack = GeoTrack::default();
+    let geoping = GeoPing;
+    let geotrack = GeoTrack;
 
     let results = vec![
         run_technique(&campaign, &octant),

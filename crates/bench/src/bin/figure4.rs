@@ -27,7 +27,12 @@ fn main() {
     for &count in &[10usize, 15, 20, 25, 30, 35, 40, 45, 50] {
         let o = run_technique_with_landmarks(&campaign, &octant, count, 1000 + count as u64);
         let g = run_technique_with_landmarks(&campaign, &geolim, count, 1000 + count as u64);
-        println!("{:>10} {:>9.0}% {:>9.0}%", count, o.hit_rate() * 100.0, g.hit_rate() * 100.0);
+        println!(
+            "{:>10} {:>9.0}% {:>9.0}%",
+            count,
+            o.hit_rate() * 100.0,
+            g.hit_rate() * 100.0
+        );
         if octant_first.is_none() {
             octant_first = Some(o.hit_rate());
             geolim_first = Some(g.hit_rate());
@@ -36,10 +41,22 @@ fn main() {
         geolim_last = Some(g.hit_rate());
     }
 
-    println!("# section: shape check (paper: Octant stays high; GeoLim drops as landmarks increase)");
-    if let (Some(of), Some(ol), Some(gf), Some(gl)) = (octant_first, octant_last, geolim_first, geolim_last) {
-        println!("octant: {:.0}% at 10 landmarks -> {:.0}% at 50 landmarks", of * 100.0, ol * 100.0);
-        println!("geolim: {:.0}% at 10 landmarks -> {:.0}% at 50 landmarks", gf * 100.0, gl * 100.0);
+    println!(
+        "# section: shape check (paper: Octant stays high; GeoLim drops as landmarks increase)"
+    );
+    if let (Some(of), Some(ol), Some(gf), Some(gl)) =
+        (octant_first, octant_last, geolim_first, geolim_last)
+    {
+        println!(
+            "octant: {:.0}% at 10 landmarks -> {:.0}% at 50 landmarks",
+            of * 100.0,
+            ol * 100.0
+        );
+        println!(
+            "geolim: {:.0}% at 10 landmarks -> {:.0}% at 50 landmarks",
+            gf * 100.0,
+            gl * 100.0
+        );
         println!(
             "octant advantage at full landmark set: {:+.0} percentage points",
             (ol - gl) * 100.0

@@ -37,7 +37,10 @@ pub fn planetlab_campaign(seed: u64) -> Campaign {
 pub fn campaign_with_sites(n: usize, seed: u64) -> Campaign {
     let sites = octant_geo::sites::all_sites();
     let n = n.min(sites.len());
-    let mut builder = NetworkBuilder::new(NetworkConfig { seed, ..NetworkConfig::default() });
+    let mut builder = NetworkBuilder::new(NetworkConfig {
+        seed,
+        ..NetworkConfig::default()
+    });
     for site in &sites[..n] {
         builder = builder.add_host(HostSpec::from_site(site));
     }
@@ -46,6 +49,56 @@ pub fn campaign_with_sites(n: usize, seed: u64) -> Campaign {
     let dataset = MeasurementDataset::capture(&prober);
     let hosts = dataset.host_ids();
     Campaign { dataset, hosts }
+}
+
+/// A campaign purpose-built for batch-throughput experiments: a fixed
+/// landmark deployment plus a (possibly much larger) population of target
+/// hosts, captured into one replay-stable dataset.
+pub struct BatchCampaign {
+    /// The captured dataset (replay-stable, so batched and sequential
+    /// localization see byte-identical measurements).
+    pub dataset: MeasurementDataset,
+    /// The landmark hosts (placed at the built-in sites).
+    pub landmarks: Vec<NodeId>,
+    /// The target hosts to localize.
+    pub targets: Vec<NodeId>,
+}
+
+/// Builds a batch campaign: `landmark_count` hosts at the built-in sites
+/// plus `target_count` extra hosts cycled over the sites with small
+/// deterministic position offsets (so co-sited targets are distinct hosts a
+/// few kilometres apart, like multiple customers behind one metro).
+pub fn batch_campaign(landmark_count: usize, target_count: usize, seed: u64) -> BatchCampaign {
+    let sites = octant_geo::sites::all_sites();
+    let landmark_count = landmark_count.min(sites.len());
+    let mut builder = NetworkBuilder::new(NetworkConfig {
+        seed,
+        ..NetworkConfig::default()
+    });
+    for site in &sites[..landmark_count] {
+        builder = builder.add_host(HostSpec::from_site(site));
+    }
+    for i in 0..target_count {
+        let site = &sites[i % sites.len()];
+        // Deterministic scatter: each wave of targets around a site moves a
+        // little farther out (0.02° ≈ 2 km), alternating quadrants.
+        let wave = (i / sites.len() + 1) as f64;
+        let dlat = 0.021 * wave * if i % 2 == 0 { 1.0 } else { -1.0 };
+        let dlon = 0.017 * wave * if i % 3 == 0 { 1.0 } else { -1.0 };
+        builder = builder.add_host(HostSpec {
+            hostname: format!("target{i}.{}", site.hostname),
+            location: octant_geo::GeoPoint::new(site.lat + dlat, site.lon + dlon),
+            city_code: site.city_code.to_string(),
+        });
+    }
+    let prober = Prober::with_options(builder.build(), LatencyModel::default(), 0.15, 10, seed);
+    let dataset = MeasurementDataset::capture(&prober);
+    let hosts = dataset.host_ids();
+    BatchCampaign {
+        landmarks: hosts[..landmark_count].to_vec(),
+        targets: hosts[landmark_count..].to_vec(),
+        dataset,
+    }
 }
 
 /// The outcome of running one technique over a campaign.
@@ -80,7 +133,11 @@ impl TechniqueResult {
 pub fn run_technique(campaign: &Campaign, technique: &dyn Geolocator) -> TechniqueResult {
     let outcomes = eval::leave_one_out(&campaign.dataset, technique, &campaign.hosts);
     let cdf = ErrorCdf::from_outcomes(&outcomes);
-    TechniqueResult { name: technique.name().to_string(), outcomes, cdf }
+    TechniqueResult {
+        name: technique.name().to_string(),
+        outcomes,
+        cdf,
+    }
 }
 
 /// Runs the leave-one-out evaluation with a fixed number of landmarks per
@@ -101,7 +158,11 @@ pub fn run_technique_with_landmarks(
         &mut rng,
     );
     let cdf = ErrorCdf::from_outcomes(&outcomes);
-    TechniqueResult { name: technique.name().to_string(), outcomes, cdf }
+    TechniqueResult {
+        name: technique.name().to_string(),
+        outcomes,
+        cdf,
+    }
 }
 
 /// Prints the standard summary table (median / 90th percentile / worst error

@@ -1,0 +1,283 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro with an optional `#![proptest_config(..)]` header, `Strategy` for
+//! float/integer ranges and tuples, `.prop_map`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! Cases are generated from a fixed-seed deterministic RNG (same inputs on
+//! every run and every machine). Failing cases are reported with their case
+//! index and message but are **not shrunk** — acceptable for CI gating,
+//! where determinism matters more than minimal counterexamples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for API compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Error type produced by `prop_assert!` inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError(message)
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A generator of random values (no shrinking in this shim).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `Just`-style constant strategy, handy when a property needs a fixed input.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Everything a `use proptest::prelude::*` is expected to provide.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Drives the generated cases for one property (used by `proptest!`).
+pub fn run_property<F>(config: &ProptestConfig, test_name: &str, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    use rand::SeedableRng;
+    // Per-test deterministic seed derived from the test name (FNV-1a).
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for case in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(case) << 32));
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest case {case}/{} for `{test_name}` failed: {}",
+                config.cases,
+                e.message()
+            );
+        }
+    }
+}
+
+/// Property-test declaration macro, mirroring proptest's syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, y in 0u32..10) { prop_assert!(x >= 0.0); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        #[test]
+        fn $name() {
+            let config = $config;
+            let strategies = ($($strategy,)+);
+            $crate::run_property(&config, stringify!($name), |rng| {
+                let ($($arg,)+) = $crate::Strategy::generate(&strategies, rng);
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body, reporting the failing case
+/// instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(x in -5.0f64..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0u32..100).prop_map(|v| v * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_block_works(x in 0u8..255) {
+            prop_assert!(x < 255);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_property_panics_with_case_info() {
+        crate::run_property(
+            &ProptestConfig {
+                cases: 3,
+                ..ProptestConfig::default()
+            },
+            "always_fails",
+            |_rng| Err(crate::TestCaseError::fail("nope".into())),
+        );
+    }
+}

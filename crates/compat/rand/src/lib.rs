@@ -1,0 +1,334 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate re-implements the (small) slice of the rand 0.8 API the
+//! workspace actually uses, behind the same paths and names:
+//!
+//! * [`Rng`] with `gen`, `gen_bool` and `gen_range` over integer and float
+//!   ranges (half-open and inclusive),
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`rngs::StdRng`] — here a xoshiro256++ generator seeded via SplitMix64
+//!   (not ChaCha12 like the real crate, but deterministic and of good
+//!   statistical quality),
+//! * [`seq::SliceRandom`] with `shuffle` and `choose`.
+//!
+//! Everything is deterministic given the seed; nothing reads OS entropy.
+//! When registry access becomes available, swapping the path dependency for
+//! the real crate only changes the concrete random streams, not any API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of random 32/64-bit words, the base trait of every generator.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A uniform double in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Samples uniformly from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`).
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                assert!(span > 0, "cannot sample from empty range");
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo <= hi, "cannot sample from empty range");
+        lo + unit_f64(rng) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo <= hi, "cannot sample from empty range");
+        lo + (unit_f64(rng) as f32) * (hi - lo)
+    }
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution of the real
+/// crate, for the types the workspace draws).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng) as f32
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// User-facing random-value methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of a [`Standard`]-samplable type (`rng.gen::<f64>()` is
+    /// uniform in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+
+    /// Draws uniformly from a half-open (`lo..hi`) or inclusive (`lo..=hi`)
+    /// range.
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded through SplitMix64.
+    ///
+    /// (The real rand 0.8 `StdRng` is ChaCha12; the streams differ but every
+    /// consumer in this workspace only relies on determinism and uniformity.)
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = Self::splitmix64(&mut sm);
+            }
+            // All-zero state would trap xoshiro in the zero cycle.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias kept for drop-in compatibility with `rand::rngs::SmallRng`.
+    pub type SmallRng = StdRng;
+}
+
+/// Random slice operations.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices (`shuffle`, `choose`).
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffles the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly picks one element, or `None` if the slice is empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let first: f64 = StdRng::seed_from_u64(42).gen();
+        assert_ne!(first, c.gen::<f64>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&f));
+            let i = rng.gen_range(1..=6);
+            assert!((1..=6).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!(
+            (23_000..27_000).contains(&hits),
+            "p=0.25 produced {hits}/100000"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle leaving order intact is vanishingly unlikely"
+        );
+    }
+
+    #[test]
+    fn trait_object_rng_works() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dyn_rng: &mut dyn super::RngCore = &mut rng;
+        let v = dyn_rng.gen_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&v));
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) data
+//! parallelism crate.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the slice → `par_iter().map(..).collect()` pipeline the workspace uses on
+//! top of `std::thread::scope`: the input slice is split into one contiguous
+//! chunk per available core, each chunk is mapped on its own OS thread, and
+//! the per-chunk outputs are concatenated in order, so results are
+//! positionally identical to a sequential `iter().map().collect()`.
+//!
+//! Unlike real rayon there is no work-stealing pool — threads are spawned
+//! per call — so this is only appropriate for coarse-grained work items
+//! (like localizing one geolocation target, milliseconds each). That is
+//! exactly the granularity `octant::batch` feeds it. `map_init` mirrors
+//! rayon's: worker-local state is created once per worker and reused across
+//! that worker's items, which is what makes per-thread scratch buffers
+//! allocation-free in the batch engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Conversion of `&collection` into a parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Returns a parallel iterator over references to the elements.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps every element through `f`, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, R, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+            _out: PhantomData,
+        }
+    }
+
+    /// Maps with worker-local state: `init` runs once per worker thread and
+    /// the resulting state is threaded through every item that worker
+    /// processes (rayon's `map_init`).
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<'data, T, S, R, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'data T) -> R + Sync,
+    {
+        ParMapInit {
+            slice: self.slice,
+            init,
+            f,
+            _out: PhantomData,
+        }
+    }
+
+    /// Accepted for rayon API compatibility; chunking is already one
+    /// contiguous block per core, so there is nothing to tune.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Result of [`ParIter::map`].
+pub struct ParMap<'data, T, R, F> {
+    slice: &'data [T],
+    f: F,
+    _out: PhantomData<fn() -> R>,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, R, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Runs the map in parallel and collects the results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let f = self.f;
+        C::from(run_in_chunks(self.slice, || (), move |(), item| f(item)))
+    }
+}
+
+/// Result of [`ParIter::map_init`].
+pub struct ParMapInit<'data, T, S, R, INIT, F> {
+    slice: &'data [T],
+    init: INIT,
+    f: F,
+    _out: PhantomData<fn() -> (S, R)>,
+}
+
+impl<'data, T, S, R, INIT, F> ParMapInit<'data, T, S, R, INIT, F>
+where
+    T: Sync,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'data T) -> R + Sync,
+{
+    /// Runs the map in parallel and collects the results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(run_in_chunks(self.slice, self.init, self.f))
+    }
+}
+
+/// Splits `items` into one contiguous chunk per worker, runs each chunk on
+/// its own scoped thread with worker-local state from `init`, and
+/// concatenates the outputs in order.
+fn run_in_chunks<'data, T, S, R, INIT, F>(items: &'data [T], init: INIT, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'data T) -> R + Sync,
+{
+    let workers = current_num_threads().min(items.len().max(1));
+    if workers <= 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+    let chunk_size = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let init = &init;
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    chunk
+                        .iter()
+                        .map(|item| f(&mut state, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            // Re-raise a worker's panic with its original payload (as real
+            // rayon does) so the actual failure reaches the caller's logs.
+            match handle.join() {
+                Ok(chunk_out) => out.extend(chunk_out),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_reuses_worker_state() {
+        let input: Vec<u32> = (0..100).collect();
+        // Each worker counts how many items it has already processed; with
+        // chunked scheduling the per-item counter values within a chunk are
+        // strictly increasing, proving state is reused, not re-created.
+        let counts: Vec<u32> = input
+            .par_iter()
+            .map_init(
+                || 0u32,
+                |seen, _| {
+                    let c = *seen;
+                    *seen += 1;
+                    c
+                },
+            )
+            .collect();
+        assert_eq!(counts.len(), 100);
+        assert_eq!(counts[0], 0);
+        let total_chunk_starts = counts.iter().filter(|&&c| c == 0).count();
+        assert!(total_chunk_starts <= super::current_num_threads());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u8];
+        let out: Vec<u8> = one[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) facade.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and the derive macros
+//! under their usual paths so the workspace's `#[derive(Serialize,
+//! Deserialize)]` annotations compile without registry access. No actual
+//! serialization machinery exists yet — no consumer in the tree serializes
+//! bytes. When real serde becomes available the path dependency swap is
+//! API-compatible for everything the workspace uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -18,6 +18,25 @@
 
 use octant_geo::units::{Distance, Latency};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`Calibration::from_samples`] invocations.
+static BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// How many calibrations have been built in this process so far.
+///
+/// Instrumentation for the batch engine's cache-regression tests (and for
+/// operational dashboards): a batch of `N` targets against `L` landmarks
+/// builds exactly `L + 1` calibrations (one per landmark plus the pooled
+/// one), independent of `N` — provided no target is itself a landmark
+/// (such targets take the sequential leave-one-out path, `L + 1` builds
+/// each) and router localization is not
+/// [`RouterLocalization::Recursive`](crate::RouterLocalization::Recursive)
+/// (which sub-localizes on-path routers, each a fresh model). Monotonically
+/// increasing; compare deltas, not absolute values.
+pub fn build_count() -> u64 {
+    BUILD_COUNT.load(Ordering::Relaxed)
+}
 
 /// A single calibration observation: measured RTT to a peer landmark and the
 /// known great-circle distance to it.
@@ -68,7 +87,12 @@ impl Default for CalibrationConfig {
 impl CalibrationConfig {
     /// The paper's raw convex-hull bounds with no safety margins.
     pub fn aggressive() -> Self {
-        CalibrationConfig { upper_margin_frac: 0.0, upper_margin_km: 0.0, lower_margin_frac: 0.0, ..Self::default() }
+        CalibrationConfig {
+            upper_margin_frac: 0.0,
+            upper_margin_km: 0.0,
+            lower_margin_frac: 0.0,
+            ..Self::default()
+        }
     }
 }
 
@@ -91,17 +115,27 @@ impl Calibration {
     /// Builds a calibration from peer observations. Samples with zero latency
     /// are ignored.
     pub fn from_samples(mut samples: Vec<CalibrationSample>, config: CalibrationConfig) -> Self {
+        BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
         samples.retain(|s| s.latency.ms() > 0.0);
-        samples.sort_by(|a, b| a.latency.ms().partial_cmp(&b.latency.ms()).unwrap_or(std::cmp::Ordering::Equal));
+        samples.sort_by(|a, b| {
+            a.latency
+                .ms()
+                .partial_cmp(&b.latency.ms())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
-        let pts: Vec<(f64, f64)> = samples.iter().map(|s| (s.latency.ms(), s.distance.km())).collect();
+        let pts: Vec<(f64, f64)> = samples
+            .iter()
+            .map(|s| (s.latency.ms(), s.distance.km()))
+            .collect();
         let (lower, upper) = convex_hull_facets(&pts);
 
         // Cutoff: the latency below which `cutoff_percentile` of peers lie.
         let cutoff_ms = if samples.is_empty() {
             0.0
         } else {
-            let idx = ((samples.len() as f64 - 1.0) * config.cutoff_percentile.clamp(0.0, 1.0)).round() as usize;
+            let idx = ((samples.len() as f64 - 1.0) * config.cutoff_percentile.clamp(0.0, 1.0))
+                .round() as usize;
             samples[idx.min(samples.len() - 1)].latency.ms()
         };
 
@@ -109,9 +143,20 @@ impl Calibration {
         let sentinel_x = config.sentinel_latency_ms.max(cutoff_ms + 1.0);
         let sentinel_y = Distance::max_fiber_distance_for_rtt(Latency::from_ms(sentinel_x)).km();
         let r_at_cutoff = eval_piecewise(&upper, cutoff_ms).unwrap_or(0.0);
-        let sentinel_slope = if sentinel_x > cutoff_ms { (sentinel_y - r_at_cutoff) / (sentinel_x - cutoff_ms) } else { 0.0 };
+        let sentinel_slope = if sentinel_x > cutoff_ms {
+            (sentinel_y - r_at_cutoff) / (sentinel_x - cutoff_ms)
+        } else {
+            0.0
+        };
 
-        Calibration { samples, upper, lower, cutoff_ms, sentinel_slope, config }
+        Calibration {
+            samples,
+            upper,
+            lower,
+            cutoff_ms,
+            sentinel_slope,
+            config,
+        }
     }
 
     /// A calibration with no data: every query falls back to the
@@ -166,7 +211,8 @@ impl Calibration {
             let r_at_cutoff = eval_piecewise(&self.upper, self.cutoff_ms).unwrap_or(sol.km());
             r_at_cutoff + self.sentinel_slope * (x - self.cutoff_ms)
         };
-        let with_margin = estimate * (1.0 + self.config.upper_margin_frac.max(0.0)) + self.config.upper_margin_km.max(0.0);
+        let with_margin = estimate * (1.0 + self.config.upper_margin_frac.max(0.0))
+            + self.config.upper_margin_km.max(0.0);
         Distance::from_km(with_margin.min(sol.km()))
     }
 
@@ -188,18 +234,27 @@ impl Calibration {
             // Beyond the cutoff r_L is held constant at r_L(ρ).
             eval_piecewise(&self.lower, self.cutoff_ms.min(last_x)).unwrap_or(0.0)
         };
-        Distance::from_km((estimate * (1.0 - self.config.lower_margin_frac.clamp(0.0, 1.0))).max(0.0))
+        Distance::from_km(
+            (estimate * (1.0 - self.config.lower_margin_frac.clamp(0.0, 1.0))).max(0.0),
+        )
     }
 }
 
+/// A piecewise-linear facet: (latency ms, distance km) vertices sorted by x.
+type Facet = Vec<(f64, f64)>;
+
 /// Lower and upper facets of the convex hull of a point set, each returned as
 /// a list of vertices sorted by x. Duplicated x values keep the extreme y.
-fn convex_hull_facets(points: &[(f64, f64)]) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+fn convex_hull_facets(points: &[(f64, f64)]) -> (Facet, Facet) {
     if points.is_empty() {
         return (Vec::new(), Vec::new());
     }
     let mut pts = points.to_vec();
-    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)));
+    pts.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    });
     pts.dedup();
     if pts.len() == 1 {
         return (pts.clone(), pts);
@@ -256,7 +311,10 @@ mod tests {
     use super::*;
 
     fn sample(lat_ms: f64, dist_km: f64) -> CalibrationSample {
-        CalibrationSample { latency: Latency::from_ms(lat_ms), distance: Distance::from_km(dist_km) }
+        CalibrationSample {
+            latency: Latency::from_ms(lat_ms),
+            distance: Distance::from_km(dist_km),
+        }
     }
 
     /// A synthetic peer scatter roughly matching Figure 2: distance grows
@@ -305,32 +363,55 @@ mod tests {
         let rtt = Latency::from_ms(40.0);
         let sol = Distance::max_fiber_distance_for_rtt(rtt).km();
         let hull = cal.max_distance(rtt).km();
-        assert!(hull < sol * 0.8, "hull bound {hull} should be far tighter than speed of light {sol}");
-        assert!(cal.min_distance(rtt).km() > 0.0, "a negative constraint should exist");
+        assert!(
+            hull < sol * 0.8,
+            "hull bound {hull} should be far tighter than speed of light {sol}"
+        );
+        assert!(
+            cal.min_distance(rtt).km() > 0.0,
+            "a negative constraint should exist"
+        );
     }
 
     #[test]
     fn upper_bound_never_exceeds_speed_of_light() {
         // Even with adversarial samples claiming super-luminal distances, the
         // bound is capped.
-        let samples = vec![sample(1.0, 5000.0), sample(2.0, 8000.0), sample(3.0, 9000.0), sample(4.0, 9500.0), sample(5.0, 9900.0)];
+        let samples = vec![
+            sample(1.0, 5000.0),
+            sample(2.0, 8000.0),
+            sample(3.0, 9000.0),
+            sample(4.0, 9500.0),
+            sample(5.0, 9900.0),
+        ];
         let cal = Calibration::from_samples(samples, CalibrationConfig::default());
         for ms in [1.0, 2.0, 5.0, 20.0] {
             let rtt = Latency::from_ms(ms);
-            assert!(cal.max_distance(rtt).km() <= Distance::max_fiber_distance_for_rtt(rtt).km() + 1e-9);
+            assert!(
+                cal.max_distance(rtt).km() <= Distance::max_fiber_distance_for_rtt(rtt).km() + 1e-9
+            );
         }
     }
 
     #[test]
     fn too_few_samples_fall_back_to_speed_of_light() {
-        let cal = Calibration::from_samples(vec![sample(10.0, 500.0), sample(20.0, 900.0)], CalibrationConfig::default());
+        let cal = Calibration::from_samples(
+            vec![sample(10.0, 500.0), sample(20.0, 900.0)],
+            CalibrationConfig::default(),
+        );
         assert!(!cal.is_data_driven());
         let rtt = Latency::from_ms(30.0);
-        assert_eq!(cal.max_distance(rtt), Distance::max_fiber_distance_for_rtt(rtt));
+        assert_eq!(
+            cal.max_distance(rtt),
+            Distance::max_fiber_distance_for_rtt(rtt)
+        );
         assert_eq!(cal.min_distance(rtt), Distance::ZERO);
         let empty = Calibration::speed_of_light_only();
         assert!(!empty.is_data_driven());
-        assert_eq!(empty.max_distance(rtt), Distance::max_fiber_distance_for_rtt(rtt));
+        assert_eq!(
+            empty.max_distance(rtt),
+            Distance::max_fiber_distance_for_rtt(rtt)
+        );
     }
 
     #[test]
@@ -354,7 +435,10 @@ mod tests {
         let mut prev = 0.0;
         for ms in (2..200).step_by(2) {
             let d = cal.max_distance(Latency::from_ms(ms as f64)).km();
-            assert!(d + 1e-6 >= prev, "R_L must be monotone in latency (at {ms} ms: {d} < {prev})");
+            assert!(
+                d + 1e-6 >= prev,
+                "R_L must be monotone in latency (at {ms} ms: {d} < {prev})"
+            );
             prev = d;
         }
     }
@@ -364,14 +448,24 @@ mod tests {
         let cal = Calibration::from_samples(figure2_like_samples(), CalibrationConfig::default());
         for ms in (1..300).step_by(3) {
             let rtt = Latency::from_ms(ms as f64);
-            assert!(cal.min_distance(rtt).km() <= cal.max_distance(rtt).km() + 1e-6, "crossed bounds at {ms} ms");
+            assert!(
+                cal.min_distance(rtt).km() <= cal.max_distance(rtt).km() + 1e-6,
+                "crossed bounds at {ms} ms"
+            );
         }
     }
 
     #[test]
     fn zero_latency_samples_are_discarded() {
         let cal = Calibration::from_samples(
-            vec![sample(0.0, 100.0), sample(10.0, 700.0), sample(15.0, 900.0), sample(20.0, 1200.0), sample(25.0, 1500.0), sample(30.0, 1800.0)],
+            vec![
+                sample(0.0, 100.0),
+                sample(10.0, 700.0),
+                sample(15.0, 900.0),
+                sample(20.0, 1200.0),
+                sample(25.0, 1500.0),
+                sample(30.0, 1800.0),
+            ],
             CalibrationConfig::default(),
         );
         assert_eq!(cal.samples().len(), 5);

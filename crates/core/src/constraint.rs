@@ -36,12 +36,22 @@ pub struct Constraint {
 impl Constraint {
     /// A positive constraint.
     pub fn positive(region: GeoRegion, weight: f64, label: impl Into<String>) -> Self {
-        Constraint { kind: ConstraintKind::Positive, region, weight: sanitize(weight), label: label.into() }
+        Constraint {
+            kind: ConstraintKind::Positive,
+            region,
+            weight: sanitize(weight),
+            label: label.into(),
+        }
     }
 
     /// A negative constraint.
     pub fn negative(region: GeoRegion, weight: f64, label: impl Into<String>) -> Self {
-        Constraint { kind: ConstraintKind::Negative, region, weight: sanitize(weight), label: label.into() }
+        Constraint {
+            kind: ConstraintKind::Negative,
+            region,
+            weight: sanitize(weight),
+            label: label.into(),
+        }
     }
 
     /// `true` for positive constraints.
@@ -75,7 +85,11 @@ mod tests {
 
     fn disk(radius_km: f64) -> GeoRegion {
         let c = GeoPoint::new(40.0, -75.0);
-        GeoRegion::disk(AzimuthalEquidistant::new(c), c, Distance::from_km(radius_km))
+        GeoRegion::disk(
+            AzimuthalEquidistant::new(c),
+            c,
+            Distance::from_km(radius_km),
+        )
     }
 
     #[test]
@@ -110,6 +124,6 @@ mod tests {
     fn latency_weight_handles_degenerate_decay() {
         let w = latency_weight(Latency::from_ms(10.0), 0.0);
         assert!(w.is_finite());
-        assert!(w >= 0.0 && w <= 1.0);
+        assert!((0.0..=1.0).contains(&w));
     }
 }

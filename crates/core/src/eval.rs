@@ -67,7 +67,8 @@ pub fn leave_one_out_with_landmark_count<R: Rng + ?Sized>(
     hosts
         .iter()
         .map(|&target| {
-            let mut candidates: Vec<NodeId> = hosts.iter().copied().filter(|&h| h != target).collect();
+            let mut candidates: Vec<NodeId> =
+                hosts.iter().copied().filter(|&h| h != target).collect();
             candidates.shuffle(rng);
             candidates.truncate(landmark_count.min(candidates.len()));
             evaluate_target(provider, geolocator, &candidates, target)
@@ -89,7 +90,14 @@ pub fn evaluate_target(
     let error = estimate.point.map(|p| great_circle(p, truth));
     let region_hit = estimate.region.as_ref().map(|r| r.contains(truth));
     let region_area_mi2 = estimate.region.as_ref().map(|r| r.area_mi2());
-    TargetOutcome { target, truth, estimate, error, region_hit, region_area_mi2 }
+    TargetOutcome {
+        target,
+        truth,
+        estimate,
+        error,
+        region_hit,
+        region_area_mi2,
+    }
 }
 
 /// Fraction of outcomes whose estimated region contains the true position
@@ -98,7 +106,10 @@ pub fn region_hit_rate(outcomes: &[TargetOutcome]) -> f64 {
     if outcomes.is_empty() {
         return 0.0;
     }
-    let hits = outcomes.iter().filter(|o| o.region_hit == Some(true)).count();
+    let hits = outcomes
+        .iter()
+        .filter(|o| o.region_hit == Some(true))
+        .count();
     hits as f64 / outcomes.len() as f64
 }
 
@@ -126,17 +137,23 @@ impl ErrorCdf {
     /// half the Earth's circumference.
     pub fn from_outcomes(outcomes: &[TargetOutcome]) -> Self {
         let worst = octant_geo::EARTH_CIRCUMFERENCE_KM / 2.0 / octant_geo::KM_PER_MILE;
-        let mut miles: Vec<f64> =
-            outcomes.iter().map(|o| o.error.map(|d| d.miles()).unwrap_or(worst)).collect();
+        let mut miles: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.error.map(|d| d.miles()).unwrap_or(worst))
+            .collect();
         miles.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        ErrorCdf { sorted_miles: miles }
+        ErrorCdf {
+            sorted_miles: miles,
+        }
     }
 
     /// Builds a CDF from plain distances.
     pub fn from_errors(errors: &[Distance]) -> Self {
         let mut miles: Vec<f64> = errors.iter().map(|d| d.miles()).collect();
         miles.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        ErrorCdf { sorted_miles: miles }
+        ErrorCdf {
+            sorted_miles: miles,
+        }
     }
 
     /// Number of samples.
@@ -247,10 +264,17 @@ mod tests {
         let outcomes = leave_one_out(&prober, &octant, &hosts);
         assert_eq!(outcomes.len(), hosts.len());
         for o in &outcomes {
-            assert!(o.error.is_some(), "every target should receive a point estimate");
+            assert!(
+                o.error.is_some(),
+                "every target should receive a point estimate"
+            );
         }
         let cdf = ErrorCdf::from_outcomes(&outcomes);
-        assert!(cdf.median().unwrap() < 500.0, "median error {} mi is implausibly large", cdf.median().unwrap());
+        assert!(
+            cdf.median().unwrap() < 500.0,
+            "median error {} mi is implausibly large",
+            cdf.median().unwrap()
+        );
         // With only 9 landmarks the convex hulls are sparse and aggressive, so
         // the region misses the truth for a sizeable share of targets; the
         // full-scale behaviour is tracked by tests/accuracy.rs and figure4.

@@ -1,6 +1,7 @@
 //! The Octant framework: orchestration of calibration, heights, piecewise
 //! localization, geographic constraints and the weighted solver.
 
+use crate::batch::{LandmarkModel, TargetScratch};
 use crate::calibration::{Calibration, CalibrationConfig, CalibrationSample};
 use crate::constraint::{latency_weight, Constraint};
 use crate::geography;
@@ -127,7 +128,12 @@ pub struct LocationEstimate {
 impl LocationEstimate {
     /// An empty estimate (no usable measurements).
     pub fn unknown() -> Self {
-        LocationEstimate { region: None, point: None, report: SolveReport::default(), target_height_ms: None }
+        LocationEstimate {
+            region: None,
+            point: None,
+            report: SolveReport::default(),
+            target_height_ms: None,
+        }
     }
 }
 
@@ -168,26 +174,41 @@ impl Octant {
     /// Removes heights from a raw RTT, but never more than the configured
     /// fraction of it: over-estimated heights (which absorb route inflation)
     /// must not collapse a measurement to zero.
-    fn bounded_adjust(&self, raw: Latency, landmark_height_ms: f64, target_height_ms: f64) -> Latency {
+    fn bounded_adjust(
+        &self,
+        raw: Latency,
+        landmark_height_ms: f64,
+        target_height_ms: f64,
+    ) -> Latency {
         let floor = raw * (1.0 - self.config.max_height_adjustment_frac.clamp(0.0, 1.0));
         adjust_rtt(raw, landmark_height_ms, target_height_ms).max(floor)
     }
 
-    /// Localizes an arbitrary node (host or router) for which the landmarks
-    /// have ping measurements. This is the entry point used both for targets
-    /// and, recursively, for on-path routers.
-    fn localize_node(
+    /// Computes the target-independent half of a solve — usable landmarks,
+    /// the §2.2 height solve and the §2.1 per-landmark calibrations — once
+    /// for a landmark set. The model can then be shared across every target
+    /// localized against these landmarks (see [`crate::BatchGeolocator`]).
+    pub fn prepare_landmarks(
         &self,
         provider: &dyn ObservationProvider,
         landmarks: &[NodeId],
-        target: NodeId,
-        allow_router_constraints: bool,
-    ) -> LocationEstimate {
+    ) -> LandmarkModel {
+        self.prepare_excluding(provider, landmarks, None)
+    }
+
+    /// [`Octant::prepare_landmarks`] with one id excluded — the sequential
+    /// leave-one-out path excludes the target itself from the landmark set.
+    pub(crate) fn prepare_excluding(
+        &self,
+        provider: &dyn ObservationProvider,
+        landmarks: &[NodeId],
+        exclude: Option<NodeId>,
+    ) -> LandmarkModel {
         // ---- Landmark positions -------------------------------------------------
         let mut lm_ids: Vec<NodeId> = Vec::new();
         let mut lm_pos: Vec<GeoPoint> = Vec::new();
         for &lm in landmarks {
-            if lm == target {
+            if Some(lm) == exclude {
                 continue;
             }
             if let Some(pos) = provider.advertised_location(lm) {
@@ -195,18 +216,8 @@ impl Octant {
                 lm_pos.push(pos);
             }
         }
-        if lm_ids.is_empty() {
-            return LocationEstimate::unknown();
-        }
 
-        // ---- Raw measurements ---------------------------------------------------
-        // Target RTTs (minimum over the probes).
-        let target_rtts: Vec<Option<Latency>> =
-            lm_ids.iter().map(|&lm| provider.ping(lm, target).min()).collect();
-        if target_rtts.iter().all(|r| r.is_none()) {
-            return LocationEstimate::unknown();
-        }
-        // Inter-landmark RTTs (for calibration and heights).
+        // ---- Inter-landmark RTTs (for calibration and heights) ------------------
         let mut inter: HashMap<(usize, usize), Latency> = HashMap::new();
         for i in 0..lm_ids.len() {
             for j in 0..lm_ids.len() {
@@ -225,12 +236,6 @@ impl Octant {
         } else {
             Heights::default()
         };
-        let target_height = estimate_target_height(&lm_pos, &heights, &target_rtts);
-        let target_height_ms = if self.config.use_heights { target_height.height_ms } else { 0.0 };
-
-        // The projection is centred on the coarse position estimate so that
-        // constraint disks suffer minimal distortion.
-        let projection = AzimuthalEquidistant::new(target_height.coarse_position);
 
         // ---- Per-landmark calibration (§2.1) -------------------------------------
         let mut calibrations: Vec<Calibration> = Vec::with_capacity(lm_ids.len());
@@ -247,7 +252,10 @@ impl Octant {
                     } else {
                         rtt
                     };
-                    let sample = CalibrationSample { latency: adjusted, distance: great_circle(lm_pos[i], lm_pos[j]) };
+                    let sample = CalibrationSample {
+                        latency: adjusted,
+                        distance: great_circle(lm_pos[i], lm_pos[j]),
+                    };
                     samples.push(sample);
                     pooled.push(sample);
                 }
@@ -256,8 +264,100 @@ impl Octant {
         }
         let global_calibration = Calibration::from_samples(pooled, self.config.calibration);
 
+        LandmarkModel {
+            lm_ids,
+            lm_pos,
+            heights,
+            calibrations,
+            global_calibration,
+        }
+    }
+
+    /// Localizes one target against a prepared [`LandmarkModel`]. The model
+    /// must have been prepared by an `Octant` with this configuration.
+    ///
+    /// A target that is itself one of the model's landmarks is routed
+    /// through the sequential leave-one-out path (a model excluding it is
+    /// prepared on the spot): its own measurements must never calibrate its
+    /// own solve, and silently reusing the shared model would return a
+    /// self-confirming, over-tight estimate.
+    pub fn localize_with_model(
+        &self,
+        provider: &dyn ObservationProvider,
+        model: &LandmarkModel,
+        target: NodeId,
+    ) -> LocationEstimate {
+        if model.contains_landmark(target) {
+            return self.localize(provider, model.landmark_ids(), target);
+        }
+        let mut scratch = TargetScratch::default();
+        self.localize_prepared(provider, model, target, true, &mut scratch)
+    }
+
+    /// Localizes an arbitrary node (host or router) for which the landmarks
+    /// have ping measurements. This is the entry point used both for targets
+    /// and, recursively, for on-path routers.
+    fn localize_node(
+        &self,
+        provider: &dyn ObservationProvider,
+        landmarks: &[NodeId],
+        target: NodeId,
+        allow_router_constraints: bool,
+    ) -> LocationEstimate {
+        let model = self.prepare_excluding(provider, landmarks, Some(target));
+        let mut scratch = TargetScratch::default();
+        self.localize_prepared(
+            provider,
+            &model,
+            target,
+            allow_router_constraints,
+            &mut scratch,
+        )
+    }
+
+    /// The target-dependent half of a solve, against a prepared model and
+    /// with caller-owned scratch buffers (the batch engine hands each worker
+    /// thread one [`TargetScratch`] and reuses it across that worker's
+    /// targets).
+    pub(crate) fn localize_prepared(
+        &self,
+        provider: &dyn ObservationProvider,
+        model: &LandmarkModel,
+        target: NodeId,
+        allow_router_constraints: bool,
+        scratch: &mut TargetScratch,
+    ) -> LocationEstimate {
+        let lm_ids = &model.lm_ids;
+        let lm_pos = &model.lm_pos;
+        let heights = &model.heights;
+        if lm_ids.is_empty() {
+            return LocationEstimate::unknown();
+        }
+
+        // ---- Target RTTs (minimum over the probes) ------------------------------
+        scratch.target_rtts.clear();
+        scratch
+            .target_rtts
+            .extend(lm_ids.iter().map(|&lm| provider.ping(lm, target).min()));
+        let target_rtts = &scratch.target_rtts;
+        if target_rtts.iter().all(|r| r.is_none()) {
+            return LocationEstimate::unknown();
+        }
+
+        let target_height = estimate_target_height(lm_pos, heights, target_rtts);
+        let target_height_ms = if self.config.use_heights {
+            target_height.height_ms
+        } else {
+            0.0
+        };
+
+        // The projection is centred on the coarse position estimate so that
+        // constraint disks suffer minimal distortion.
+        let projection = AzimuthalEquidistant::new(target_height.coarse_position);
+
         // ---- Latency constraints --------------------------------------------------
-        let mut constraints: Vec<Constraint> = Vec::new();
+        scratch.constraints.clear();
+        let constraints = &mut scratch.constraints;
         for i in 0..lm_ids.len() {
             let raw = match target_rtts[i] {
                 Some(r) => r,
@@ -269,14 +369,14 @@ impl Octant {
                 raw
             };
             let weight = latency_weight(adjusted, self.config.weight_decay_ms);
-            let r_max = calibrations[i]
+            let r_max = model.calibrations[i]
                 .max_distance(adjusted)
                 .max(Distance::from_km(self.config.min_positive_radius_km));
             let region = GeoRegion::disk(projection, lm_pos[i], r_max);
             constraints.push(Constraint::positive(region, weight, format!("lm{}+", i)));
 
             if self.config.use_negative_constraints {
-                let r_min = calibrations[i].min_distance(adjusted);
+                let r_min = model.calibrations[i].min_distance(adjusted);
                 if r_min.km() > 1.0 {
                     let region = GeoRegion::disk(projection, lm_pos[i], r_min);
                     constraints.push(Constraint::negative(region, weight, format!("lm{}-", i)));
@@ -288,13 +388,11 @@ impl Octant {
         if allow_router_constraints && self.config.router_localization != RouterLocalization::Off {
             let mut router_constraints = self.router_constraints(
                 provider,
-                &lm_ids,
-                &lm_pos,
-                &target_rtts,
+                model,
+                target_rtts,
                 target,
                 target_height_ms,
                 projection,
-                &global_calibration,
             );
             // Keep the tightest (smallest-region) router constraints.
             router_constraints.sort_by(|a, b| {
@@ -328,37 +426,49 @@ impl Octant {
             min_region_area_km2: self.config.min_region_area_km2,
             ..SolverConfig::default()
         });
-        let (mut region, report) = solver.solve(projection, &constraints);
+        let (mut region, report) = solver.solve(projection, constraints);
 
         // ---- Geographic restriction (§2.5) ---------------------------------------------
         if self.config.use_landmass_constraint && !region.is_empty() {
             region = geography::restrict_to_land(&region);
         }
 
-        let point = weighted_point_estimate(&region, &constraints)
-            .or_else(|| region.centroid())
-            .or(Some(target_height.coarse_position));
+        let point = weighted_point_estimate(
+            &region,
+            constraints,
+            &mut scratch.candidates,
+            &mut scratch.scored,
+        )
+        .or_else(|| region.centroid())
+        .or(Some(target_height.coarse_position));
         LocationEstimate {
-            region: if region.is_empty() { None } else { Some(region) },
+            region: if region.is_empty() {
+                None
+            } else {
+                Some(region)
+            },
             point,
             report,
-            target_height_ms: if self.config.use_heights { Some(target_height_ms) } else { None },
+            target_height_ms: if self.config.use_heights {
+                Some(target_height_ms)
+            } else {
+                None
+            },
         }
     }
 
     /// Builds router-derived constraints for a target.
-    #[allow(clippy::too_many_arguments)]
     fn router_constraints(
         &self,
         provider: &dyn ObservationProvider,
-        lm_ids: &[NodeId],
-        lm_pos: &[GeoPoint],
+        model: &LandmarkModel,
         target_rtts: &[Option<Latency>],
         target: NodeId,
         target_height_ms: f64,
         projection: AzimuthalEquidistant,
-        global_calibration: &Calibration,
     ) -> Vec<Constraint> {
+        let lm_ids = &model.lm_ids;
+        let global_calibration = &model.global_calibration;
         let mut out = Vec::new();
         let mut seen_routers: HashMap<NodeId, Latency> = HashMap::new();
 
@@ -434,7 +544,11 @@ impl Octant {
                             format!("router:{}", last.hostname),
                         ));
                     } else if let Some(p) = router_estimate.point {
-                        let small = GeoRegion::disk(projection, p, Distance::from_km(self.config.router_city_uncertainty_km));
+                        let small = GeoRegion::disk(
+                            projection,
+                            p,
+                            Distance::from_km(self.config.router_city_uncertainty_km),
+                        );
                         out.push(piecewise::secondary_landmark_constraint(
                             &small,
                             residual,
@@ -445,10 +559,6 @@ impl Octant {
                     }
                 }
             }
-            // Keep the landmark position slice alive for symmetry with the
-            // calibration (and to make it obvious `lm_pos[i]` corresponds to
-            // `lm`): nothing else to do here.
-            let _ = (lm, lm_pos.get(i));
         }
         out
     }
@@ -471,7 +581,11 @@ impl Geolocator for Octant {
 
 /// Looks up a host's IP address from the provider's host list.
 fn host_ip(provider: &dyn ObservationProvider, id: NodeId) -> Option<[u8; 4]> {
-    provider.hosts().into_iter().find(|h| h.id == id).map(|h| h.ip)
+    provider
+        .hosts()
+        .into_iter()
+        .find(|h| h.id == id)
+        .map(|h| h.ip)
 }
 
 /// The weighted point estimate of §2.4: instead of the plain area centroid,
@@ -479,11 +593,20 @@ fn host_ip(provider: &dyn ObservationProvider, id: NodeId) -> Option<[u8; 4]> {
 /// constraint weight. Implemented by scoring the centroid plus a fixed number
 /// of deterministic region samples against the constraint set and averaging
 /// the top quartile on the unit sphere.
-fn weighted_point_estimate(region: &GeoRegion, constraints: &[Constraint]) -> Option<GeoPoint> {
+///
+/// `candidates` and `scored` are caller-owned scratch buffers (cleared here)
+/// so the batch engine can reuse their capacity across targets.
+fn weighted_point_estimate(
+    region: &GeoRegion,
+    constraints: &[Constraint],
+    candidates: &mut Vec<GeoPoint>,
+    scored: &mut Vec<(f64, GeoPoint)>,
+) -> Option<GeoPoint> {
     use rand::SeedableRng;
     let centroid = region.centroid()?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
-    let mut candidates = vec![centroid];
+    candidates.clear();
+    candidates.push(centroid);
     for _ in 0..160 {
         if let Some(p) = region.sample_point(&mut rng) {
             candidates.push(p);
@@ -505,7 +628,8 @@ fn weighted_point_estimate(region: &GeoRegion, constraints: &[Constraint]) -> Op
             })
             .sum()
     };
-    let mut scored: Vec<(f64, GeoPoint)> = candidates.into_iter().map(|p| (score(p), p)).collect();
+    scored.clear();
+    scored.extend(candidates.iter().map(|&p| (score(p), p)));
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
     let top = &scored[..(scored.len() / 4).max(1)];
     let mut v = [0.0f64; 3];
@@ -529,7 +653,10 @@ mod tests {
 
     /// A small deployment (subset of the PlanetLab sites) keeps unit tests fast.
     fn small_prober(n: usize, seed: u64) -> Prober {
-        let mut builder = NetworkBuilder::new(NetworkConfig { seed, ..NetworkConfig::default() });
+        let mut builder = NetworkBuilder::new(NetworkConfig {
+            seed,
+            ..NetworkConfig::default()
+        });
         for site in octant_geo::sites::planetlab_51().iter().take(n) {
             builder = builder.add_host(HostSpec::from_site(site));
         }
@@ -548,7 +675,10 @@ mod tests {
         let truth = prober.network().node(target).location;
         let point = est.point.expect("a point estimate must exist");
         let err = great_circle_km(point, truth);
-        assert!(err < 600.0, "error {err:.0} km is implausibly large for 15 landmarks");
+        assert!(
+            err < 600.0,
+            "error {err:.0} km is implausibly large for 15 landmarks"
+        );
         let region = est.region.expect("a region estimate must exist");
         assert!(region.area_km2() > 0.0);
         assert!(est.report.applied_positive >= 5);
@@ -563,8 +693,11 @@ mod tests {
         let mut total = 0;
         for t in 0..6 {
             let target = hosts[t].id;
-            let landmarks: Vec<NodeId> =
-                hosts.iter().map(|h| h.id).filter(|&id| id != target).collect();
+            let landmarks: Vec<NodeId> = hosts
+                .iter()
+                .map(|h| h.id)
+                .filter(|&id| id != target)
+                .collect();
             let est = octant.localize(&prober, &landmarks, target);
             if let Some(region) = est.region {
                 total += 1;
@@ -578,7 +711,10 @@ mod tests {
         // minority of regions may miss the truth; require that the mechanism
         // works for a meaningful share rather than a majority here (the
         // 51-landmark behaviour is covered by the figure4 harness).
-        assert!(hits >= 2, "at least a third of the regions should contain the truth ({hits}/{total})");
+        assert!(
+            hits >= 2,
+            "at least a third of the regions should contain the truth ({hits}/{total})"
+        );
     }
 
     #[test]
@@ -599,7 +735,11 @@ mod tests {
         let prober = small_prober(14, 5);
         let hosts = prober.hosts();
         let target = hosts[2].id;
-        let landmarks: Vec<NodeId> = hosts.iter().map(|h| h.id).filter(|&id| id != target).collect();
+        let landmarks: Vec<NodeId> = hosts
+            .iter()
+            .map(|h| h.id)
+            .filter(|&id| id != target)
+            .collect();
         let truth = prober.network().node(target).location;
 
         let full = Octant::new(OctantConfig::default()).localize(&prober, &landmarks, target);
@@ -624,8 +764,16 @@ mod tests {
         let prober = small_prober(10, 29);
         let hosts = prober.hosts();
         let target = hosts[1].id;
-        let landmarks: Vec<NodeId> = hosts.iter().map(|h| h.id).filter(|&id| id != target).collect();
-        let cfg = OctantConfig { router_localization: RouterLocalization::Recursive, max_router_constraints: 3, ..OctantConfig::default() };
+        let landmarks: Vec<NodeId> = hosts
+            .iter()
+            .map(|h| h.id)
+            .filter(|&id| id != target)
+            .collect();
+        let cfg = OctantConfig {
+            router_localization: RouterLocalization::Recursive,
+            max_router_constraints: 3,
+            ..OctantConfig::default()
+        };
         let est = Octant::new(cfg).localize(&prober, &landmarks, target);
         let truth = prober.network().node(target).location;
         let err = great_circle_km(est.point.unwrap(), truth);

@@ -52,7 +52,11 @@ pub fn whois_constraint(
 ) -> Option<Constraint> {
     let city = cities::by_code(city_code)?;
     let region = GeoRegion::disk(projection, city.location(), radius);
-    Some(Constraint::positive(region, weight, format!("whois:{}", city.code)))
+    Some(Constraint::positive(
+        region,
+        weight,
+        format!("whois:{}", city.code),
+    ))
 }
 
 /// A positive constraint from a known city hint (e.g. a router whose DNS name
@@ -87,9 +91,15 @@ mod tests {
     fn landmass_union_contains_major_cities_not_oceans() {
         let land = landmass_union(proj());
         for code in ["nyc", "chi", "lax", "mia"] {
-            assert!(land.contains(cities::by_code(code).unwrap().location()), "{code} should be on land");
+            assert!(
+                land.contains(cities::by_code(code).unwrap().location()),
+                "{code} should be on land"
+            );
         }
-        assert!(!land.contains(GeoPoint::new(35.0, -45.0)), "mid-Atlantic is ocean");
+        assert!(
+            !land.contains(GeoPoint::new(35.0, -45.0)),
+            "mid-Atlantic is ocean"
+        );
     }
 
     #[test]
@@ -97,7 +107,10 @@ mod tests {
         let nyc = cities::by_code("nyc").unwrap().location();
         let region = GeoRegion::disk(proj(), nyc, Distance::from_km(600.0));
         let restricted = restrict_to_land(&region);
-        assert!(restricted.area_km2() < region.area_km2(), "the Atlantic part must disappear");
+        assert!(
+            restricted.area_km2() < region.area_km2(),
+            "the Atlantic part must disappear"
+        );
         assert!(restricted.contains(cities::by_code("phl").unwrap().location()));
         assert!(!restricted.contains(GeoPoint::new(37.5, -68.0)));
     }
@@ -107,7 +120,11 @@ mod tests {
         // A disk entirely in the middle of the Pacific: restricting it to
         // land would empty it, so the original must be returned.
         let pacific = GeoPoint::new(30.0, -160.0);
-        let region = GeoRegion::disk(AzimuthalEquidistant::new(pacific), pacific, Distance::from_km(300.0));
+        let region = GeoRegion::disk(
+            AzimuthalEquidistant::new(pacific),
+            pacific,
+            Distance::from_km(300.0),
+        );
         let restricted = restrict_to_land(&region);
         assert!(!restricted.is_empty());
         assert!((restricted.area_km2() - region.area_km2()).abs() < 1.0);
@@ -118,8 +135,12 @@ mod tests {
         let c = whois_constraint(proj(), "chi", Distance::from_km(200.0), 0.4).unwrap();
         assert!(c.is_positive());
         assert_eq!(c.weight, 0.4);
-        assert!(c.region.contains(cities::by_code("chi").unwrap().location()));
-        assert!(!c.region.contains(cities::by_code("nyc").unwrap().location()));
+        assert!(c
+            .region
+            .contains(cities::by_code("chi").unwrap().location()));
+        assert!(!c
+            .region
+            .contains(cities::by_code("nyc").unwrap().location()));
         assert!(whois_constraint(proj(), "not-a-city", Distance::from_km(200.0), 0.4).is_none());
     }
 

@@ -33,14 +33,28 @@ impl Heights {
     /// `rtt[(i, j)]` the minimum observed RTT between landmarks `i` and `j`.
     /// Missing pairs are simply skipped. With fewer than two usable pairs all
     /// heights are zero.
-    pub fn solve_landmarks(positions: &[GeoPoint], rtt: &HashMap<(usize, usize), Latency>) -> Heights {
+    pub fn solve_landmarks(
+        positions: &[GeoPoint],
+        rtt: &HashMap<(usize, usize), Latency>,
+    ) -> Heights {
         let n = positions.len();
         if n == 0 {
-            return Heights { values_ms: Vec::new() };
+            return Heights {
+                values_ms: Vec::new(),
+            };
         }
+        // Sort the observations: HashMap iteration order varies per map
+        // instance, and the least-squares solve is sensitive to row order in
+        // its floating-point rounding. Deterministic row order makes the
+        // heights — and everything derived from them — bit-reproducible, in
+        // particular between the batch engine's shared landmark model and a
+        // per-target sequential solve.
+        let mut observations: Vec<((usize, usize), Latency)> =
+            rtt.iter().map(|(&k, &v)| (k, v)).collect();
+        observations.sort_unstable_by_key(|&(k, _)| k);
         let mut rows: Vec<Vec<f64>> = Vec::new();
         let mut rhs: Vec<f64> = Vec::new();
-        for (&(i, j), lat) in rtt {
+        for ((i, j), lat) in observations {
             if i >= n || j >= n || i == j {
                 continue;
             }
@@ -53,7 +67,9 @@ impl Heights {
             rhs.push(queuing);
         }
         if rows.len() < 2 {
-            return Heights { values_ms: vec![0.0; n] };
+            return Heights {
+                values_ms: vec![0.0; n],
+            };
         }
         let a = Matrix::from_rows(&rows);
         let mut values = solve_least_squares(&a, &rhs).unwrap_or_else(|| vec![0.0; n]);
@@ -120,7 +136,11 @@ pub fn estimate_target_height(
         .filter_map(|(i, (&pos, rtt))| rtt.map(|r| (pos, landmark_heights.get_ms(i), r.ms())))
         .collect();
     if obs.is_empty() {
-        return TargetHeight { height_ms: 0.0, coarse_position: GeoPoint::new(0.0, 0.0), residual_ms: 0.0 };
+        return TargetHeight {
+            height_ms: 0.0,
+            coarse_position: GeoPoint::new(0.0, 0.0),
+            residual_ms: 0.0,
+        };
     }
 
     // Initial position: landmarks weighted by inverse squared latency.
@@ -163,7 +183,11 @@ pub fn estimate_target_height(
             .collect();
         (residuals.iter().map(|r| r * r).sum::<f64>() / residuals.len() as f64).sqrt()
     };
-    TargetHeight { height_ms: height, coarse_position: best, residual_ms: rms }
+    TargetHeight {
+        height_ms: height,
+        coarse_position: best,
+        residual_ms: rms,
+    }
 }
 
 /// Adjusts a raw RTT by removing the landmark's and target's heights, never
@@ -192,7 +216,10 @@ fn cost_at(candidate: GeoPoint, obs: &[(GeoPoint, f64, f64)]) -> (f64, f64) {
     residuals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let q25 = residuals[(residuals.len() - 1) / 4];
     let height = q25.max(0.0);
-    let cost = residuals.iter().map(|r| (r - height) * (r - height)).sum::<f64>();
+    let cost = residuals
+        .iter()
+        .map(|r| (r - height) * (r - height))
+        .sum::<f64>();
     (cost, height)
 }
 
@@ -234,7 +261,9 @@ mod tests {
                 if i == j {
                     continue;
                 }
-                let trans = great_circle(positions[i], positions[j]).min_rtt_over_fiber().ms();
+                let trans = great_circle(positions[i], positions[j])
+                    .min_rtt_over_fiber()
+                    .ms();
                 map.insert((i, j), Latency::from_ms(trans + heights[i] + heights[j]));
             }
         }
@@ -270,7 +299,11 @@ mod tests {
         let solved = Heights::solve_landmarks(&pos, &rtts);
         for (i, &truth) in true_heights.iter().enumerate() {
             assert!(solved.get_ms(i) >= 0.0);
-            assert!((solved.get_ms(i) - truth).abs() < 1.5, "height {i}: {} vs {truth}", solved.get_ms(i));
+            assert!(
+                (solved.get_ms(i) - truth).abs() < 1.5,
+                "height {i}: {} vs {truth}",
+                solved.get_ms(i)
+            );
         }
     }
 
@@ -306,7 +339,11 @@ mod tests {
             .collect();
 
         let est = estimate_target_height(&pos, &heights, &target_rtts);
-        assert!((est.height_ms - target_height).abs() < 1.5, "estimated height {}", est.height_ms);
+        assert!(
+            (est.height_ms - target_height).abs() < 1.5,
+            "estimated height {}",
+            est.height_ms
+        );
         // The coarse position should land within a few hundred km of Pittsburgh.
         let err = great_circle_km(est.coarse_position, target);
         assert!(err < 500.0, "coarse position error {err} km");
@@ -347,8 +384,8 @@ mod tests {
         let truth = [4.0, 1.0, 2.5];
         let rtts = synthetic_rtts(&pos, &truth);
         let h = Heights::solve_landmarks(&pos, &rtts);
-        for i in 0..3 {
-            assert!((h.get_ms(i) - truth[i]).abs() < 0.05);
+        for (i, &t) in truth.iter().enumerate() {
+            assert!((h.get_ms(i) - t).abs() < 0.05);
         }
     }
 }

@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod calibration;
 pub mod constraint;
 pub mod eval;
@@ -62,6 +63,7 @@ pub mod linalg;
 pub mod piecewise;
 pub mod solver;
 
+pub use batch::{BatchGeolocator, LandmarkModel, TargetScratch};
 pub use constraint::{Constraint, ConstraintKind};
 pub use eval::{ErrorCdf, TargetOutcome};
 pub use framework::{Geolocator, LocationEstimate, Octant, OctantConfig, RouterLocalization};

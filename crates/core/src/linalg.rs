@@ -16,7 +16,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from nested rows. All rows must have the same length.
@@ -112,25 +116,31 @@ pub fn solve_square(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n).max_by(|&i, &j| {
-            m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap_or(std::cmp::Ordering::Equal)
+            m[i][col]
+                .abs()
+                .partial_cmp(&m[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
         })?;
         if m[pivot][col].abs() < 1e-12 {
             return None;
         }
         m.swap(col, pivot);
-        // Eliminate.
-        for row in 0..n {
+        // Eliminate. The pivot row is taken out of the matrix for the
+        // duration so the target rows can be mutated through iterators.
+        let pivot_row = std::mem::take(&mut m[col]);
+        for (row, r) in m.iter_mut().enumerate() {
             if row == col {
                 continue;
             }
-            let factor = m[row][col] / m[col][col];
+            let factor = r[col] / pivot_row[col];
             if factor == 0.0 {
                 continue;
             }
-            for k in col..=n {
-                m[row][k] -= factor * m[col][k];
+            for (t, &p) in r[col..=n].iter_mut().zip(&pivot_row[col..=n]) {
+                *t -= factor * p;
             }
         }
+        m[col] = pivot_row;
     }
     Some((0..n).map(|i| m[i][n] / m[i][i]).collect())
 }
@@ -220,7 +230,11 @@ mod tests {
         let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
         let noise = [0.1, -0.05, 0.07, -0.02, 0.03];
         let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
-        let b: Vec<f64> = xs.iter().zip(noise.iter()).map(|(&x, &n)| 1.0 + 2.0 * x + n).collect();
+        let b: Vec<f64> = xs
+            .iter()
+            .zip(noise.iter())
+            .map(|(&x, &n)| 1.0 + 2.0 * x + n)
+            .collect();
         let a = Matrix::from_rows(&rows);
         let c = solve_least_squares(&a, &b).unwrap();
         assert!((c[0] - 1.0).abs() < 0.15, "intercept {}", c[0]);

@@ -45,7 +45,10 @@ pub struct LocalizedHop<'a> {
 /// Finds the last hop of `hops` whose DNS name reveals a city, given the
 /// end-to-end RTT of the full path. Returns `None` when no hop is
 /// localizable.
-pub fn last_localizable_hop<'a>(hops: &'a [TracerouteHop], end_to_end: Latency) -> Option<LocalizedHop<'a>> {
+pub fn last_localizable_hop<'a>(
+    hops: &'a [TracerouteHop],
+    end_to_end: Latency,
+) -> Option<LocalizedHop<'a>> {
     hops.iter().rev().find_map(|hop| {
         dns::parse_router_city(&hop.hostname).map(|city| LocalizedHop {
             hop,
@@ -56,7 +59,10 @@ pub fn last_localizable_hop<'a>(hops: &'a [TracerouteHop], end_to_end: Latency) 
 }
 
 /// Every localizable hop on the path (in path order), with residuals.
-pub fn localizable_hops<'a>(hops: &'a [TracerouteHop], end_to_end: Latency) -> Vec<LocalizedHop<'a>> {
+pub fn localizable_hops<'a>(
+    hops: &'a [TracerouteHop],
+    end_to_end: Latency,
+) -> Vec<LocalizedHop<'a>> {
     hops.iter()
         .filter_map(|hop| {
             dns::parse_router_city(&hop.hostname).map(|city| LocalizedHop {
@@ -124,7 +130,11 @@ pub fn secondary_landmark_negative_constraint(
     if region.is_empty() {
         return None;
     }
-    Some(Constraint::negative(region, latency_weight(residual, weight_decay_ms), label))
+    Some(Constraint::negative(
+        region,
+        latency_weight(residual, weight_decay_ms),
+        label,
+    ))
 }
 
 /// Extension trait adding the "common reach" erosion used by negative
@@ -219,27 +229,47 @@ mod tests {
     fn city_hint_constraint_covers_the_neighbourhood_of_the_city() {
         let hops = vec![hop("xe-0-0-0.cr1.pit.as64500.octantsim.net", 10.0)];
         let localized = last_localizable_hop(&hops, Latency::from_ms(14.0)).unwrap();
-        let c = city_hint_router_constraint(proj(), &localized, &calibration(), Distance::from_km(50.0), 80.0);
+        let c = city_hint_router_constraint(
+            proj(),
+            &localized,
+            &calibration(),
+            Distance::from_km(50.0),
+            80.0,
+        );
         assert!(c.is_positive());
         let pit = cities::by_code("pit").unwrap().location();
         assert!(c.region.contains(pit));
         // A 4 ms residual bounds the distance to a few hundred km; Denver must
         // be excluded.
-        assert!(!c.region.contains(cities::by_code("den").unwrap().location()));
-        assert!(c.weight > 0.9, "short residuals should carry high weight, got {}", c.weight);
+        assert!(!c
+            .region
+            .contains(cities::by_code("den").unwrap().location()));
+        assert!(
+            c.weight > 0.9,
+            "short residuals should carry high weight, got {}",
+            c.weight
+        );
     }
 
     #[test]
     fn secondary_landmark_constraint_dilates_the_router_region() {
         let pit = cities::by_code("pit").unwrap().location();
         let router_region = GeoRegion::disk(proj(), pit, Distance::from_km(80.0));
-        let c = secondary_landmark_constraint(&router_region, Latency::from_ms(6.0), &calibration(), 80.0, "r1");
+        let c = secondary_landmark_constraint(
+            &router_region,
+            Latency::from_ms(6.0),
+            &calibration(),
+            80.0,
+            "r1",
+        );
         assert!(c.is_positive());
         assert!(c.region.area_km2() > router_region.area_km2());
         assert!(c.region.contains(pit));
         // The dilation radius for 6 ms is ~360 km plus the 80 km region, so
         // Cleveland (~185 km away) must be inside.
-        assert!(c.region.contains(cities::by_code("cle").unwrap().location()));
+        assert!(c
+            .region
+            .contains(cities::by_code("cle").unwrap().location()));
     }
 
     #[test]
@@ -248,15 +278,38 @@ mod tests {
         let router_region = GeoRegion::disk(proj(), pit, Distance::from_km(30.0));
         let cal = calibration();
         // Large residual => sizeable r(d) => a common-reach disk exists.
-        let some = secondary_landmark_negative_constraint(&router_region, Latency::from_ms(60.0), &cal, 80.0, "r1");
+        let some = secondary_landmark_negative_constraint(
+            &router_region,
+            Latency::from_ms(60.0),
+            &cal,
+            80.0,
+            "r1",
+        );
         assert!(some.is_some());
         let c = some.unwrap();
         assert!(!c.is_positive());
-        assert!(c.region.contains(pit), "the excluded area surrounds the router");
+        assert!(
+            c.region.contains(pit),
+            "the excluded area surrounds the router"
+        );
         // Zero residual => r(d) = 0 => no constraint.
-        assert!(secondary_landmark_negative_constraint(&router_region, Latency::ZERO, &cal, 80.0, "r1").is_none());
+        assert!(secondary_landmark_negative_constraint(
+            &router_region,
+            Latency::ZERO,
+            &cal,
+            80.0,
+            "r1"
+        )
+        .is_none());
         // An empty router region produces no constraint either.
         let empty = GeoRegion::empty(GeoPoint::new(0.0, 0.0));
-        assert!(secondary_landmark_negative_constraint(&empty, Latency::from_ms(60.0), &cal, 80.0, "r1").is_none());
+        assert!(secondary_landmark_negative_constraint(
+            &empty,
+            Latency::from_ms(60.0),
+            &cal,
+            80.0,
+            "r1"
+        )
+        .is_none());
     }
 }

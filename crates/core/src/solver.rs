@@ -35,7 +35,10 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { min_region_area_km2: 5_000.0, max_negative_removal_frac: 0.6 }
+        SolverConfig {
+            min_region_area_km2: 5_000.0,
+            max_negative_removal_frac: 0.6,
+        }
     }
 }
 
@@ -59,7 +62,10 @@ pub struct SolveReport {
 impl SolveReport {
     /// Total constraints considered.
     pub fn total(&self) -> usize {
-        self.applied_positive + self.skipped_positive + self.applied_negative + self.skipped_negative
+        self.applied_positive
+            + self.skipped_positive
+            + self.applied_negative
+            + self.skipped_negative
     }
 }
 
@@ -86,17 +92,33 @@ impl Solver {
     /// be centred near the expected target position (any landmark-weighted
     /// centroid works — the azimuthal-equidistant distortion is negligible at
     /// constraint scale).
-    pub fn solve(&self, projection: AzimuthalEquidistant, constraints: &[Constraint]) -> (GeoRegion, SolveReport) {
+    pub fn solve(
+        &self,
+        projection: AzimuthalEquidistant,
+        constraints: &[Constraint],
+    ) -> (GeoRegion, SolveReport) {
         let mut report = SolveReport::default();
 
-        let positives_raw: Vec<&Constraint> =
-            constraints.iter().filter(|c| c.kind == ConstraintKind::Positive).collect();
-        let mut negatives: Vec<&Constraint> =
-            constraints.iter().filter(|c| c.kind == ConstraintKind::Negative).collect();
+        let positives_raw: Vec<&Constraint> = constraints
+            .iter()
+            .filter(|c| c.kind == ConstraintKind::Positive)
+            .collect();
+        let mut negatives: Vec<&Constraint> = constraints
+            .iter()
+            .filter(|c| c.kind == ConstraintKind::Negative)
+            .collect();
 
         let mut positives: Vec<&Constraint> = positives_raw;
-        positives.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal));
-        negatives.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal));
+        positives.sort_by(|a, b| {
+            b.weight
+                .partial_cmp(&a.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        negatives.sort_by(|a, b| {
+            b.weight
+                .partial_cmp(&a.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         // §2.4 weighted combination, greedy form: seed the estimate with the
         // highest-weight positive constraint whose region is itself large
@@ -128,8 +150,9 @@ impl Solver {
 
         for c in &negatives {
             let candidate = estimate.subtract(&c.region);
-            let floor = (estimate.area_km2() * (1.0 - self.config.max_negative_removal_frac.clamp(0.0, 1.0)))
-                .max(self.config.min_region_area_km2);
+            let floor = (estimate.area_km2()
+                * (1.0 - self.config.max_negative_removal_frac.clamp(0.0, 1.0)))
+            .max(self.config.min_region_area_km2);
             if candidate.area_km2() >= floor {
                 estimate = candidate;
                 report.applied_negative += 1;
@@ -234,7 +257,10 @@ mod tests {
         assert_eq!(report.skipped_negative, 1);
         let pit = cities::by_code("pit").unwrap().location();
         assert!(!region.contains(pit), "the inner disk is excluded");
-        assert!(region.contains(cities::by_code("cle").unwrap().location()), "the annulus remains");
+        assert!(
+            region.contains(cities::by_code("cle").unwrap().location()),
+            "the annulus remains"
+        );
     }
 
     #[test]
@@ -253,14 +279,20 @@ mod tests {
         ];
         let (region, point, _) = Solver::default().solve_with_point(proj(), &constraints);
         let p = point.unwrap();
-        assert!(region.contains(p), "the centroid of the estimate lies inside it");
+        assert!(
+            region.contains(p),
+            "the centroid of the estimate lies inside it"
+        );
         // Roughly between NYC and Chicago: within 600 km of Pittsburgh.
         assert!(great_circle_km(p, cities::by_code("pit").unwrap().location()) < 600.0);
     }
 
     #[test]
     fn min_area_threshold_is_respected() {
-        let solver = Solver::new(SolverConfig { min_region_area_km2: 1_000_000.0, ..SolverConfig::default() });
+        let solver = Solver::new(SolverConfig {
+            min_region_area_km2: 1_000_000.0,
+            ..SolverConfig::default()
+        });
         let constraints = vec![
             Constraint::positive(disk_at("nyc", 600.0), 0.9, "nyc"),
             // Applying this would leave less than the (huge) minimum area.

@@ -38,7 +38,14 @@ impl City {
 
 macro_rules! city {
     ($name:literal, $code:literal, $country:literal, $lat:literal, $lon:literal, $pop:literal) => {
-        City { name: $name, code: $code, country: $country, lat: $lat, lon: $lon, population_k: $pop }
+        City {
+            name: $name,
+            code: $code,
+            country: $country,
+            lat: $lat,
+            lon: $lon,
+            population_k: $pop,
+        }
     };
 }
 
@@ -227,7 +234,10 @@ pub fn by_name(name: &str) -> Option<&'static City> {
 
 /// All cities in a given country.
 pub fn in_country(country: &str) -> Vec<&'static City> {
-    CITIES.iter().filter(|c| c.country.eq_ignore_ascii_case(country)).collect()
+    CITIES
+        .iter()
+        .filter(|c| c.country.eq_ignore_ascii_case(country))
+        .collect()
 }
 
 /// The city whose centre is nearest to `p`, together with the distance to it
@@ -251,7 +261,11 @@ mod tests {
 
     #[test]
     fn table_is_reasonably_large_and_valid() {
-        assert!(CITIES.len() >= 140, "expected a substantial city table, got {}", CITIES.len());
+        assert!(
+            CITIES.len() >= 140,
+            "expected a substantial city table, got {}",
+            CITIES.len()
+        );
         for c in CITIES {
             assert!(c.location().is_valid(), "{} has invalid coords", c.name);
             assert!(!c.name.is_empty() && !c.code.is_empty() && !c.country.is_empty());
@@ -263,7 +277,11 @@ mod tests {
     fn codes_are_unique() {
         let mut seen = HashSet::new();
         for c in CITIES {
-            assert!(seen.insert(c.code.to_ascii_lowercase()), "duplicate city code {}", c.code);
+            assert!(
+                seen.insert(c.code.to_ascii_lowercase()),
+                "duplicate city code {}",
+                c.code
+            );
         }
     }
 
@@ -271,7 +289,11 @@ mod tests {
     fn names_are_unique() {
         let mut seen = HashSet::new();
         for c in CITIES {
-            assert!(seen.insert(c.name.to_ascii_lowercase()), "duplicate city name {}", c.name);
+            assert!(
+                seen.insert(c.name.to_ascii_lowercase()),
+                "duplicate city name {}",
+                c.name
+            );
         }
     }
 

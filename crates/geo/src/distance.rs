@@ -161,7 +161,13 @@ mod tests {
     #[test]
     fn destination_round_trips_with_distance_and_bearing() {
         let start = ithaca();
-        for &(bearing, km) in &[(0.0, 100.0), (45.0, 800.0), (90.0, 2500.0), (200.0, 5000.0), (359.0, 42.0)] {
+        for &(bearing, km) in &[
+            (0.0, 100.0),
+            (45.0, 800.0),
+            (90.0, 2500.0),
+            (200.0, 5000.0),
+            (359.0, 42.0),
+        ] {
             let end = destination(start, bearing, Distance::from_km(km));
             let measured = great_circle_km(start, end);
             assert!(
@@ -212,7 +218,11 @@ mod tests {
             let p = interpolate(a, b, t);
             let d = great_circle_km(a, p);
             assert!(d >= prev - 1e-6, "distance along path should be monotone");
-            assert!((d - t * total).abs() < 1.0, "t={t}: d={d}, expected {}", t * total);
+            assert!(
+                (d - t * total).abs() < 1.0,
+                "t={t}: d={d}, expected {}",
+                t * total
+            );
             prev = d;
         }
     }

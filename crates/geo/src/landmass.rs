@@ -35,7 +35,10 @@ impl Landmass {
 
     /// The outline as [`GeoPoint`]s.
     pub fn outline_points(&self) -> Vec<GeoPoint> {
-        self.outline.iter().map(|&(lat, lon)| GeoPoint::new(lat, lon)).collect()
+        self.outline
+            .iter()
+            .map(|&(lat, lon)| GeoPoint::new(lat, lon))
+            .collect()
     }
 
     /// A crude bounding box `(min_lat, min_lon, max_lat, max_lon)`.
@@ -379,7 +382,10 @@ mod tests {
             (-36.85, 174.76, "Auckland"),
         ];
         for (lat, lon, name) in land {
-            assert!(is_on_land(GeoPoint::new(lat, lon)), "{name} should be on land");
+            assert!(
+                is_on_land(GeoPoint::new(lat, lon)),
+                "{name} should be on land"
+            );
         }
     }
 
@@ -405,7 +411,11 @@ mod tests {
         // to fall outside, but the overwhelming majority must be inside.
         let on_land = CITIES.iter().filter(|c| is_on_land(c.location())).count();
         let frac = on_land as f64 / CITIES.len() as f64;
-        assert!(frac > 0.9, "only {:.0}% of cities fall on land", frac * 100.0);
+        assert!(
+            frac > 0.9,
+            "only {:.0}% of cities fall on land",
+            frac * 100.0
+        );
     }
 
     #[test]
@@ -417,9 +427,18 @@ mod tests {
 
     #[test]
     fn landmass_of_identifies_continents() {
-        assert_eq!(landmass_of(GeoPoint::new(40.0, -100.0)).unwrap().name, "North America");
-        assert_eq!(landmass_of(GeoPoint::new(48.86, 2.35)).unwrap().name, "Europe");
-        assert_eq!(landmass_of(GeoPoint::new(-25.0, 135.0)).unwrap().name, "Australia");
+        assert_eq!(
+            landmass_of(GeoPoint::new(40.0, -100.0)).unwrap().name,
+            "North America"
+        );
+        assert_eq!(
+            landmass_of(GeoPoint::new(48.86, 2.35)).unwrap().name,
+            "Europe"
+        );
+        assert_eq!(
+            landmass_of(GeoPoint::new(-25.0, 135.0)).unwrap().name,
+            "Australia"
+        );
         assert!(landmass_of(GeoPoint::new(0.0, -30.0)).is_none());
     }
 

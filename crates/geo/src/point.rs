@@ -47,8 +47,16 @@ impl GeoPoint {
     /// Non-finite inputs are mapped to `0.0`; use [`GeoPoint::try_new`] when
     /// the caller needs to detect such inputs.
     pub fn new(lat: f64, lon: f64) -> Self {
-        let lat = if lat.is_finite() { lat.clamp(-90.0, 90.0) } else { 0.0 };
-        let lon = if lon.is_finite() { normalize_lon(lon) } else { 0.0 };
+        let lat = if lat.is_finite() {
+            lat.clamp(-90.0, 90.0)
+        } else {
+            0.0
+        };
+        let lon = if lon.is_finite() {
+            normalize_lon(lon)
+        } else {
+            0.0
+        };
         GeoPoint { lat, lon }
     }
 
@@ -61,7 +69,10 @@ impl GeoPoint {
         if !(-90.0..=90.0).contains(&lat) {
             return Err(GeoPointError::LatitudeOutOfRange);
         }
-        Ok(GeoPoint { lat, lon: normalize_lon(lon) })
+        Ok(GeoPoint {
+            lat,
+            lon: normalize_lon(lon),
+        })
     }
 
     /// Latitude in radians.
@@ -113,7 +124,14 @@ impl fmt::Display for GeoPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let ns = if self.lat >= 0.0 { 'N' } else { 'S' };
         let ew = if self.lon >= 0.0 { 'E' } else { 'W' };
-        write!(f, "{:.4}{}, {:.4}{}", self.lat.abs(), ns, self.lon.abs(), ew)
+        write!(
+            f,
+            "{:.4}{}, {:.4}{}",
+            self.lat.abs(),
+            ns,
+            self.lon.abs(),
+            ew
+        )
     }
 }
 
@@ -153,9 +171,18 @@ mod tests {
 
     #[test]
     fn try_new_rejects_bad_inputs() {
-        assert_eq!(GeoPoint::try_new(f64::NAN, 0.0), Err(GeoPointError::NonFinite));
-        assert_eq!(GeoPoint::try_new(0.0, f64::INFINITY), Err(GeoPointError::NonFinite));
-        assert_eq!(GeoPoint::try_new(91.0, 0.0), Err(GeoPointError::LatitudeOutOfRange));
+        assert_eq!(
+            GeoPoint::try_new(f64::NAN, 0.0),
+            Err(GeoPointError::NonFinite)
+        );
+        assert_eq!(
+            GeoPoint::try_new(0.0, f64::INFINITY),
+            Err(GeoPointError::NonFinite)
+        );
+        assert_eq!(
+            GeoPoint::try_new(91.0, 0.0),
+            Err(GeoPointError::LatitudeOutOfRange)
+        );
         assert!(GeoPoint::try_new(42.0, 200.0).is_ok());
     }
 
@@ -179,7 +206,13 @@ mod tests {
 
     #[test]
     fn unit_vector_round_trip() {
-        for &(lat, lon) in &[(0.0, 0.0), (42.44, -76.5), (-33.9, 151.2), (89.0, 10.0), (-89.0, -170.0)] {
+        for &(lat, lon) in &[
+            (0.0, 0.0),
+            (42.44, -76.5),
+            (-33.9, 151.2),
+            (89.0, 10.0),
+            (-89.0, -170.0),
+        ] {
             let p = GeoPoint::new(lat, lon);
             let q = GeoPoint::from_vector(p.to_unit_vector());
             assert!((p.lat - q.lat).abs() < 1e-9, "{p} vs {q}");

@@ -110,13 +110,18 @@ impl Equirectangular {
     /// Creates a projection whose east-west scale is correct at `ref_lat`
     /// degrees of latitude.
     pub fn new(ref_lat: f64) -> Self {
-        Equirectangular { ref_lat_rad: ref_lat.clamp(-89.9, 89.9).to_radians() }
+        Equirectangular {
+            ref_lat_rad: ref_lat.clamp(-89.9, 89.9).to_radians(),
+        }
     }
 
     /// Projects a geographic point (km units).
     pub fn project(&self, p: GeoPoint) -> PlanePoint {
         let km_per_deg = EARTH_RADIUS_KM * std::f64::consts::PI / 180.0;
-        PlanePoint::new(p.lon * km_per_deg * self.ref_lat_rad.cos(), p.lat * km_per_deg)
+        PlanePoint::new(
+            p.lon * km_per_deg * self.ref_lat_rad.cos(),
+            p.lat * km_per_deg,
+        )
     }
 
     /// Maps a plane point back to the globe.
@@ -138,19 +143,34 @@ mod tests {
     #[test]
     fn azimuthal_preserves_distance_from_center() {
         let proj = AzimuthalEquidistant::new(ithaca());
-        for &(lat, lon) in &[(47.6, -122.3), (51.5, -0.13), (40.7, -74.0), (35.0, 139.7), (-33.9, 151.2)] {
+        for &(lat, lon) in &[
+            (47.6, -122.3),
+            (51.5, -0.13),
+            (40.7, -74.0),
+            (35.0, 139.7),
+            (-33.9, 151.2),
+        ] {
             let p = GeoPoint::new(lat, lon);
             let plane = proj.project(p);
             let rho = plane.norm();
             let truth = great_circle_km(ithaca(), p);
-            assert!((rho - truth).abs() < 1e-6 * truth.max(1.0), "rho={rho} truth={truth}");
+            assert!(
+                (rho - truth).abs() < 1e-6 * truth.max(1.0),
+                "rho={rho} truth={truth}"
+            );
         }
     }
 
     #[test]
     fn azimuthal_round_trips() {
         let proj = AzimuthalEquidistant::new(ithaca());
-        for &(lat, lon) in &[(42.4440, -76.5019), (40.7, -74.0), (37.4, -122.1), (51.5, -0.13), (1.35, 103.8)] {
+        for &(lat, lon) in &[
+            (42.4440, -76.5019),
+            (40.7, -74.0),
+            (37.4, -122.1),
+            (51.5, -0.13),
+            (1.35, 103.8),
+        ] {
             let p = GeoPoint::new(lat, lon);
             let back = proj.unproject(proj.project(p));
             assert!(great_circle_km(p, back) < 1e-3, "{p} -> {back}");

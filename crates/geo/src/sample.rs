@@ -23,7 +23,11 @@ pub fn uniform_on_sphere<R: Rng + ?Sized>(rng: &mut R) -> GeoPoint {
 
 /// A point drawn uniformly (by area, to first order) from the disk of radius
 /// `radius` around `center`.
-pub fn uniform_in_disk<R: Rng + ?Sized>(rng: &mut R, center: GeoPoint, radius: Distance) -> GeoPoint {
+pub fn uniform_in_disk<R: Rng + ?Sized>(
+    rng: &mut R,
+    center: GeoPoint,
+    radius: Distance,
+) -> GeoPoint {
     let bearing = rng.gen_range(0.0..360.0);
     // sqrt for uniform area density.
     let r = radius.km() * rng.gen::<f64>().sqrt();
@@ -33,7 +37,11 @@ pub fn uniform_in_disk<R: Rng + ?Sized>(rng: &mut R, center: GeoPoint, radius: D
 /// A point drawn from a (truncated) Gaussian scatter around `center` with the
 /// given standard deviation. Used to place hosts "somewhere in the metro
 /// area" of a city.
-pub fn gaussian_scatter<R: Rng + ?Sized>(rng: &mut R, center: GeoPoint, sigma: Distance) -> GeoPoint {
+pub fn gaussian_scatter<R: Rng + ?Sized>(
+    rng: &mut R,
+    center: GeoPoint,
+    sigma: Distance,
+) -> GeoPoint {
     // Box-Muller.
     let u1: f64 = rng.gen_range(1e-12..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
@@ -63,9 +71,14 @@ pub fn population_weighted_city<R: Rng + ?Sized>(rng: &mut R) -> &'static City {
 
 /// Draws a city uniformly at random from the set of cities in `country`.
 /// Returns `None` when no city of that country is in the table.
-pub fn random_city_in_country<R: Rng + ?Sized>(rng: &mut R, country: &str) -> Option<&'static City> {
-    let candidates: Vec<&'static City> =
-        CITIES.iter().filter(|c| c.country.eq_ignore_ascii_case(country)).collect();
+pub fn random_city_in_country<R: Rng + ?Sized>(
+    rng: &mut R,
+    country: &str,
+) -> Option<&'static City> {
+    let candidates: Vec<&'static City> = CITIES
+        .iter()
+        .filter(|c| c.country.eq_ignore_ascii_case(country))
+        .collect();
     if candidates.is_empty() {
         None
     } else {
@@ -118,7 +131,10 @@ mod tests {
             }
         }
         // Uniform-by-area means ~75% of points lie beyond half the radius.
-        assert!(beyond_half > 650 && beyond_half < 850, "beyond_half = {beyond_half}");
+        assert!(
+            beyond_half > 650 && beyond_half < 850,
+            "beyond_half = {beyond_half}"
+        );
     }
 
     #[test]
@@ -146,7 +162,10 @@ mod tests {
                 ithaca += 1;
             }
         }
-        assert!(tokyo > ithaca, "Tokyo ({tokyo}) should be drawn more often than Ithaca ({ithaca})");
+        assert!(
+            tokyo > ithaca,
+            "Tokyo ({tokyo}) should be drawn more often than Ithaca ({ithaca})"
+        );
         assert!(tokyo > 50, "Tokyo should be drawn regularly, got {tokyo}");
     }
 

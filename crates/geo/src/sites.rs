@@ -44,7 +44,13 @@ impl Site {
 
 macro_rules! site {
     ($inst:literal, $host:literal, $city:literal, $lat:literal, $lon:literal) => {
-        Site { institution: $inst, hostname: $host, city_code: $city, lat: $lat, lon: $lon }
+        Site {
+            institution: $inst,
+            hostname: $host,
+            city_code: $city,
+            lat: $lat,
+            lon: $lon,
+        }
     };
 }
 
@@ -52,76 +58,424 @@ macro_rules! site {
 /// paper-equivalent [`planetlab_51`] set.
 pub const SITES: &[Site] = &[
     // --- North America (34) ---
-    site!("Cornell University", "planetlab1.cs.cornell.edu", "ith", 42.4440, -76.4830),
-    site!("University of Rochester", "planetlab1.cs.rochester.edu", "roc", 43.1280, -77.6280),
+    site!(
+        "Cornell University",
+        "planetlab1.cs.cornell.edu",
+        "ith",
+        42.4440,
+        -76.4830
+    ),
+    site!(
+        "University of Rochester",
+        "planetlab1.cs.rochester.edu",
+        "roc",
+        43.1280,
+        -77.6280
+    ),
     site!("MIT", "planetlab1.csail.mit.edu", "cam", 42.3620, -71.0900),
-    site!("Harvard University", "planetlab1.eecs.harvard.edu", "bos", 42.3780, -71.1170),
-    site!("Princeton University", "planetlab1.cs.princeton.edu", "pct", 40.3500, -74.6520),
-    site!("Columbia University", "planetlab1.cs.columbia.edu", "nyc", 40.8080, -73.9620),
-    site!("University of Pennsylvania", "planetlab1.seas.upenn.edu", "phl", 39.9520, -75.1910),
-    site!("Carnegie Mellon University", "planetlab1.cmcl.cs.cmu.edu", "pit", 40.4430, -79.9440),
-    site!("University of Maryland", "planetlab1.umiacs.umd.edu", "cpk", 38.9900, -76.9360),
-    site!("Duke University", "planetlab1.cs.duke.edu", "dur", 36.0010, -78.9380),
-    site!("Georgia Tech", "planetlab1.cc.gatech.edu", "atl", 33.7760, -84.3990),
-    site!("University of Florida", "planetlab1.cise.ufl.edu", "gnv", 29.6480, -82.3440),
-    site!("University of Michigan", "planetlab1.eecs.umich.edu", "arb", 42.2930, -83.7160),
-    site!("University of Wisconsin", "planetlab1.cs.wisc.edu", "msn", 43.0720, -89.4070),
+    site!(
+        "Harvard University",
+        "planetlab1.eecs.harvard.edu",
+        "bos",
+        42.3780,
+        -71.1170
+    ),
+    site!(
+        "Princeton University",
+        "planetlab1.cs.princeton.edu",
+        "pct",
+        40.3500,
+        -74.6520
+    ),
+    site!(
+        "Columbia University",
+        "planetlab1.cs.columbia.edu",
+        "nyc",
+        40.8080,
+        -73.9620
+    ),
+    site!(
+        "University of Pennsylvania",
+        "planetlab1.seas.upenn.edu",
+        "phl",
+        39.9520,
+        -75.1910
+    ),
+    site!(
+        "Carnegie Mellon University",
+        "planetlab1.cmcl.cs.cmu.edu",
+        "pit",
+        40.4430,
+        -79.9440
+    ),
+    site!(
+        "University of Maryland",
+        "planetlab1.umiacs.umd.edu",
+        "cpk",
+        38.9900,
+        -76.9360
+    ),
+    site!(
+        "Duke University",
+        "planetlab1.cs.duke.edu",
+        "dur",
+        36.0010,
+        -78.9380
+    ),
+    site!(
+        "Georgia Tech",
+        "planetlab1.cc.gatech.edu",
+        "atl",
+        33.7760,
+        -84.3990
+    ),
+    site!(
+        "University of Florida",
+        "planetlab1.cise.ufl.edu",
+        "gnv",
+        29.6480,
+        -82.3440
+    ),
+    site!(
+        "University of Michigan",
+        "planetlab1.eecs.umich.edu",
+        "arb",
+        42.2930,
+        -83.7160
+    ),
+    site!(
+        "University of Wisconsin",
+        "planetlab1.cs.wisc.edu",
+        "msn",
+        43.0720,
+        -89.4070
+    ),
     site!("UIUC", "planetlab1.cs.uiuc.edu", "cmi", 40.1140, -88.2250),
-    site!("Northwestern University", "planetlab1.cs.northwestern.edu", "chi", 42.0580, -87.6840),
-    site!("Washington University in St. Louis", "planetlab1.cse.wustl.edu", "stl", 38.6490, -90.3110),
-    site!("University of Minnesota", "planetlab1.dtc.umn.edu", "msp", 44.9740, -93.2280),
-    site!("University of Texas at Austin", "planetlab1.cs.utexas.edu", "aus", 30.2880, -97.7360),
-    site!("Rice University", "planetlab1.cs.rice.edu", "hou", 29.7170, -95.4020),
-    site!("University of Arizona", "planetlab1.cs.arizona.edu", "tus", 32.2320, -110.9530),
-    site!("University of Colorado Boulder", "planetlab1.cs.colorado.edu", "bld", 40.0080, -105.2660),
-    site!("University of Utah", "planetlab1.flux.utah.edu", "slc", 40.7680, -111.8450),
-    site!("University of Washington", "planetlab1.cs.washington.edu", "sea", 47.6530, -122.3060),
-    site!("University of Oregon", "planetlab1.cs.uoregon.edu", "eug", 44.0450, -123.0710),
-    site!("UC Berkeley", "planetlab1.millennium.berkeley.edu", "brk", 37.8750, -122.2590),
-    site!("Stanford University", "planetlab1.stanford.edu", "pao", 37.4280, -122.1740),
-    site!("UC San Diego", "planetlab1.ucsd.edu", "san", 32.8810, -117.2340),
+    site!(
+        "Northwestern University",
+        "planetlab1.cs.northwestern.edu",
+        "chi",
+        42.0580,
+        -87.6840
+    ),
+    site!(
+        "Washington University in St. Louis",
+        "planetlab1.cse.wustl.edu",
+        "stl",
+        38.6490,
+        -90.3110
+    ),
+    site!(
+        "University of Minnesota",
+        "planetlab1.dtc.umn.edu",
+        "msp",
+        44.9740,
+        -93.2280
+    ),
+    site!(
+        "University of Texas at Austin",
+        "planetlab1.cs.utexas.edu",
+        "aus",
+        30.2880,
+        -97.7360
+    ),
+    site!(
+        "Rice University",
+        "planetlab1.cs.rice.edu",
+        "hou",
+        29.7170,
+        -95.4020
+    ),
+    site!(
+        "University of Arizona",
+        "planetlab1.cs.arizona.edu",
+        "tus",
+        32.2320,
+        -110.9530
+    ),
+    site!(
+        "University of Colorado Boulder",
+        "planetlab1.cs.colorado.edu",
+        "bld",
+        40.0080,
+        -105.2660
+    ),
+    site!(
+        "University of Utah",
+        "planetlab1.flux.utah.edu",
+        "slc",
+        40.7680,
+        -111.8450
+    ),
+    site!(
+        "University of Washington",
+        "planetlab1.cs.washington.edu",
+        "sea",
+        47.6530,
+        -122.3060
+    ),
+    site!(
+        "University of Oregon",
+        "planetlab1.cs.uoregon.edu",
+        "eug",
+        44.0450,
+        -123.0710
+    ),
+    site!(
+        "UC Berkeley",
+        "planetlab1.millennium.berkeley.edu",
+        "brk",
+        37.8750,
+        -122.2590
+    ),
+    site!(
+        "Stanford University",
+        "planetlab1.stanford.edu",
+        "pao",
+        37.4280,
+        -122.1740
+    ),
+    site!(
+        "UC San Diego",
+        "planetlab1.ucsd.edu",
+        "san",
+        32.8810,
+        -117.2340
+    ),
     site!("UCLA", "planetlab1.cs.ucla.edu", "lax", 34.0690, -118.4450),
-    site!("Caltech", "planetlab1.cs.caltech.edu", "pas", 34.1380, -118.1250),
-    site!("UC Santa Barbara", "planetlab1.cs.ucsb.edu", "sba", 34.4140, -119.8450),
-    site!("University of Toronto", "planetlab1.cs.toronto.edu", "yyz", 43.6600, -79.3970),
-    site!("University of Waterloo", "planetlab1.uwaterloo.ca", "ykf", 43.4720, -80.5450),
-    site!("University of British Columbia", "planetlab1.cs.ubc.ca", "yvr", 49.2610, -123.2490),
+    site!(
+        "Caltech",
+        "planetlab1.cs.caltech.edu",
+        "pas",
+        34.1380,
+        -118.1250
+    ),
+    site!(
+        "UC Santa Barbara",
+        "planetlab1.cs.ucsb.edu",
+        "sba",
+        34.4140,
+        -119.8450
+    ),
+    site!(
+        "University of Toronto",
+        "planetlab1.cs.toronto.edu",
+        "yyz",
+        43.6600,
+        -79.3970
+    ),
+    site!(
+        "University of Waterloo",
+        "planetlab1.uwaterloo.ca",
+        "ykf",
+        43.4720,
+        -80.5450
+    ),
+    site!(
+        "University of British Columbia",
+        "planetlab1.cs.ubc.ca",
+        "yvr",
+        49.2610,
+        -123.2490
+    ),
     // --- Europe (17) ---
-    site!("University of Cambridge", "planetlab1.xeno.cl.cam.ac.uk", "cbg", 52.2050, 0.1210),
-    site!("University College London", "planetlab1.cs.ucl.ac.uk", "lhr", 51.5250, -0.1340),
-    site!("INRIA Sophia Antipolis", "planetlab1.inria.fr", "nce", 43.6160, 7.0720),
+    site!(
+        "University of Cambridge",
+        "planetlab1.xeno.cl.cam.ac.uk",
+        "cbg",
+        52.2050,
+        0.1210
+    ),
+    site!(
+        "University College London",
+        "planetlab1.cs.ucl.ac.uk",
+        "lhr",
+        51.5250,
+        -0.1340
+    ),
+    site!(
+        "INRIA Sophia Antipolis",
+        "planetlab1.inria.fr",
+        "nce",
+        43.6160,
+        7.0720
+    ),
     site!("LIP6 Paris", "planetlab1.lip6.fr", "cdg", 48.8470, 2.3560),
-    site!("TU Berlin", "planetlab1.cs.tu-berlin.de", "ber", 52.5120, 13.3270),
+    site!(
+        "TU Berlin",
+        "planetlab1.cs.tu-berlin.de",
+        "ber",
+        52.5120,
+        13.3270
+    ),
     site!("TU Munich", "planetlab1.in.tum.de", "muc", 48.2620, 11.6680),
-    site!("University of Karlsruhe", "planetlab1.ira.uka.de", "kae", 49.0120, 8.4150),
-    site!("Vrije Universiteit Amsterdam", "planetlab1.cs.vu.nl", "ams", 52.3340, 4.8650),
-    site!("TU Delft", "planetlab1.ewi.tudelft.nl", "dlf", 51.9990, 4.3730),
+    site!(
+        "University of Karlsruhe",
+        "planetlab1.ira.uka.de",
+        "kae",
+        49.0120,
+        8.4150
+    ),
+    site!(
+        "Vrije Universiteit Amsterdam",
+        "planetlab1.cs.vu.nl",
+        "ams",
+        52.3340,
+        4.8650
+    ),
+    site!(
+        "TU Delft",
+        "planetlab1.ewi.tudelft.nl",
+        "dlf",
+        51.9990,
+        4.3730
+    ),
     site!("EPFL", "planetlab1.epfl.ch", "lsn", 46.5190, 6.5660),
     site!("ETH Zurich", "planetlab1.ethz.ch", "zrh", 47.3780, 8.5480),
-    site!("Universidad Carlos III de Madrid", "planetlab1.uc3m.es", "mad", 40.3320, -3.7660),
+    site!(
+        "Universidad Carlos III de Madrid",
+        "planetlab1.uc3m.es",
+        "mad",
+        40.3320,
+        -3.7660
+    ),
     site!("UPC Barcelona", "planetlab1.upc.es", "bcn", 41.3890, 2.1130),
-    site!("University of Pisa", "planetlab1.di.unipi.it", "psa", 43.7200, 10.4080),
-    site!("University of Bologna", "planetlab1.cs.unibo.it", "blq", 44.4870, 11.3420),
-    site!("KTH Stockholm", "planetlab1.ssvl.kth.se", "arn", 59.3500, 18.0700),
-    site!("Warsaw University of Technology", "planetlab1.ee.pw.edu.pl", "waw", 52.2200, 21.0100),
+    site!(
+        "University of Pisa",
+        "planetlab1.di.unipi.it",
+        "psa",
+        43.7200,
+        10.4080
+    ),
+    site!(
+        "University of Bologna",
+        "planetlab1.cs.unibo.it",
+        "blq",
+        44.4870,
+        11.3420
+    ),
+    site!(
+        "KTH Stockholm",
+        "planetlab1.ssvl.kth.se",
+        "arn",
+        59.3500,
+        18.0700
+    ),
+    site!(
+        "Warsaw University of Technology",
+        "planetlab1.ee.pw.edu.pl",
+        "waw",
+        52.2200,
+        21.0100
+    ),
     // --- The 51st node of the paper-equivalent set ---
-    site!("University of Virginia", "planetlab1.cs.virginia.edu", "cho", 38.0320, -78.5110),
+    site!(
+        "University of Virginia",
+        "planetlab1.cs.virginia.edu",
+        "cho",
+        38.0320,
+        -78.5110
+    ),
     // --- Extra sites beyond the paper's 51 (robustness sweeps) ---
-    site!("University of Tokyo", "planetlab1.iii.u-tokyo.ac.jp", "nrt", 35.7130, 139.7620),
+    site!(
+        "University of Tokyo",
+        "planetlab1.iii.u-tokyo.ac.jp",
+        "nrt",
+        35.7130,
+        139.7620
+    ),
     site!("KAIST", "planetlab1.kaist.ac.kr", "tae", 36.3720, 127.3600),
-    site!("Tsinghua University", "planetlab1.edu.cn", "pek", 40.0030, 116.3260),
-    site!("National University of Singapore", "planetlab1.comp.nus.edu.sg", "sin", 1.2950, 103.7740),
-    site!("University of Sydney", "planetlab1.it.usyd.edu.au", "syd", -33.8890, 151.1870),
-    site!("University of Melbourne", "planetlab1.csse.unimelb.edu.au", "mel", -37.7960, 144.9610),
-    site!("Technion Haifa", "planetlab1.technion.ac.il", "hfa", 32.7770, 35.0230),
-    site!("University of Sao Paulo", "planetlab1.larc.usp.br", "gru", -23.5560, -46.7300),
-    site!("University of Cape Town", "planetlab1.cs.uct.ac.za", "cpt", -33.9570, 18.4610),
-    site!("Trinity College Dublin", "planetlab1.cs.tcd.ie", "dub", 53.3440, -6.2540),
-    site!("University of Helsinki", "planetlab1.cs.helsinki.fi", "hel", 60.2040, 24.9620),
-    site!("Moscow State University", "planetlab1.msu.ru", "svo", 55.7020, 37.5300),
-    site!("IIT Bombay", "planetlab1.iitb.ac.in", "bom", 19.1330, 72.9150),
-    site!("New York University", "planetlab1.nyu.edu", "nyc", 40.7290, -73.9960),
-    site!("University of New Mexico", "planetlab1.unm.edu", "abq", 35.0840, -106.6200),
+    site!(
+        "Tsinghua University",
+        "planetlab1.edu.cn",
+        "pek",
+        40.0030,
+        116.3260
+    ),
+    site!(
+        "National University of Singapore",
+        "planetlab1.comp.nus.edu.sg",
+        "sin",
+        1.2950,
+        103.7740
+    ),
+    site!(
+        "University of Sydney",
+        "planetlab1.it.usyd.edu.au",
+        "syd",
+        -33.8890,
+        151.1870
+    ),
+    site!(
+        "University of Melbourne",
+        "planetlab1.csse.unimelb.edu.au",
+        "mel",
+        -37.7960,
+        144.9610
+    ),
+    site!(
+        "Technion Haifa",
+        "planetlab1.technion.ac.il",
+        "hfa",
+        32.7770,
+        35.0230
+    ),
+    site!(
+        "University of Sao Paulo",
+        "planetlab1.larc.usp.br",
+        "gru",
+        -23.5560,
+        -46.7300
+    ),
+    site!(
+        "University of Cape Town",
+        "planetlab1.cs.uct.ac.za",
+        "cpt",
+        -33.9570,
+        18.4610
+    ),
+    site!(
+        "Trinity College Dublin",
+        "planetlab1.cs.tcd.ie",
+        "dub",
+        53.3440,
+        -6.2540
+    ),
+    site!(
+        "University of Helsinki",
+        "planetlab1.cs.helsinki.fi",
+        "hel",
+        60.2040,
+        24.9620
+    ),
+    site!(
+        "Moscow State University",
+        "planetlab1.msu.ru",
+        "svo",
+        55.7020,
+        37.5300
+    ),
+    site!(
+        "IIT Bombay",
+        "planetlab1.iitb.ac.in",
+        "bom",
+        19.1330,
+        72.9150
+    ),
+    site!(
+        "New York University",
+        "planetlab1.nyu.edu",
+        "nyc",
+        40.7290,
+        -73.9960
+    ),
+    site!(
+        "University of New Mexico",
+        "planetlab1.unm.edu",
+        "abq",
+        35.0840,
+        -106.6200
+    ),
 ];
 
 /// Number of sites in the paper-equivalent evaluation set.
@@ -150,7 +504,9 @@ pub fn north_american_sites() -> Vec<&'static Site> {
 
 /// Looks up a site by hostname (case-insensitive).
 pub fn by_hostname(hostname: &str) -> Option<&'static Site> {
-    SITES.iter().find(|s| s.hostname.eq_ignore_ascii_case(hostname))
+    SITES
+        .iter()
+        .find(|s| s.hostname.eq_ignore_ascii_case(hostname))
 }
 
 #[cfg(test)]
@@ -174,24 +530,43 @@ mod tests {
         let mut hosts = HashSet::new();
         let mut insts = HashSet::new();
         for s in SITES {
-            assert!(hosts.insert(s.hostname), "duplicate hostname {}", s.hostname);
-            assert!(insts.insert(s.institution), "duplicate institution {}", s.institution);
+            assert!(
+                hosts.insert(s.hostname),
+                "duplicate hostname {}",
+                s.hostname
+            );
+            assert!(
+                insts.insert(s.institution),
+                "duplicate institution {}",
+                s.institution
+            );
         }
     }
 
     #[test]
     fn every_site_references_a_known_city_nearby() {
         for s in SITES {
-            let city = s.city().unwrap_or_else(|| panic!("{} has unknown city code {}", s.hostname, s.city_code));
+            let city = s
+                .city()
+                .unwrap_or_else(|| panic!("{} has unknown city code {}", s.hostname, s.city_code));
             let d = great_circle_km(s.location(), city.location());
-            assert!(d < 60.0, "{} is {d:.1} km from its city {}", s.hostname, city.name);
+            assert!(
+                d < 60.0,
+                "{} is {d:.1} km from its city {}",
+                s.hostname,
+                city.name
+            );
         }
     }
 
     #[test]
     fn coordinates_are_valid() {
         for s in SITES {
-            assert!(s.location().is_valid(), "{} has invalid coordinates", s.hostname);
+            assert!(
+                s.location().is_valid(),
+                "{} has invalid coordinates",
+                s.hostname
+            );
         }
     }
 
@@ -201,7 +576,10 @@ mod tests {
             .iter()
             .filter(|s| matches!(s.city().map(|c| c.country), Some("us") | Some("ca")))
             .count();
-        assert!(na >= 30, "expected a North-America-heavy set, got {na} NA sites");
+        assert!(
+            na >= 30,
+            "expected a North-America-heavy set, got {na} NA sites"
+        );
         // And the rest should be predominantly European (2007 PlanetLab shape).
         assert!(na < 51, "the set should not be exclusively North American");
     }
@@ -219,7 +597,12 @@ mod tests {
         for (i, a) in set.iter().enumerate() {
             for b in set.iter().skip(i + 1) {
                 let d = great_circle_km(a.location(), b.location());
-                assert!(d > 1.0, "{} and {} are co-located ({d:.2} km apart)", a.hostname, b.hostname);
+                assert!(
+                    d > 1.0,
+                    "{} and {} are co-located ({d:.2} km apart)",
+                    a.hostname,
+                    b.hostname
+                );
             }
         }
     }

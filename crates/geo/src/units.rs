@@ -292,7 +292,10 @@ mod tests {
         let b = Distance::from_km(4.0);
         assert!(((a + b).km() - 14.0).abs() < 1e-12);
         assert!(((a - b).km() - 6.0).abs() < 1e-12);
-        assert!(((b - a).km()).abs() < 1e-12, "subtraction saturates at zero");
+        assert!(
+            ((b - a).km()).abs() < 1e-12,
+            "subtraction saturates at zero"
+        );
         assert!(((a * 2.5).km() - 25.0).abs() < 1e-12);
         assert!(((a / 2.0).km() - 5.0).abs() < 1e-12);
         assert_eq!(a.min(b), b);

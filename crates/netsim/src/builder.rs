@@ -108,7 +108,10 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Starts a builder with the given configuration.
     pub fn new(config: NetworkConfig) -> Self {
-        NetworkBuilder { config, hosts: Vec::new() }
+        NetworkBuilder {
+            config,
+            hosts: Vec::new(),
+        }
     }
 
     /// A builder pre-populated with the paper-equivalent 51 PlanetLab sites.
@@ -153,12 +156,19 @@ impl NetworkBuilder {
             // One router per city per provider "present" in that city; each
             // provider covers roughly half the backbone cities.
             for p in 0..cfg.providers {
-                let present = (ci + p as usize) % 2 == 0 || rng.gen_bool(0.3);
+                let present = (ci + p as usize).is_multiple_of(2) || rng.gen_bool(0.3);
                 if !present {
                     continue;
                 }
                 let delay = rng.gen_range(cfg.router_delay_ms.0..=cfg.router_delay_ms.1);
-                let hostname = dns::router_hostname(city.code, p, backbone.len() as u32, true, &mut rng, cfg.undns_miss_rate);
+                let hostname = dns::router_hostname(
+                    city.code,
+                    p,
+                    backbone.len() as u32,
+                    true,
+                    &mut rng,
+                    cfg.undns_miss_rate,
+                );
                 let ip = [10, p + 1, (ci / 250) as u8, (ci % 250) as u8 + 1];
                 let id = net.add_node(
                     NodeKind::BackboneRouter,
@@ -180,7 +190,9 @@ impl NetworkBuilder {
                 .iter()
                 .enumerate()
                 .filter(|&(j, &(_, _, q))| j != i && q == p)
-                .map(|(_, &(other, ocity, _))| (great_circle_km(city.location(), ocity.location()), other))
+                .map(|(_, &(other, ocity, _))| {
+                    (great_circle_km(city.location(), ocity.location()), other)
+                })
                 .collect();
             same.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             for &(_, other) in same.iter().take(cfg.intra_provider_neighbors) {
@@ -221,17 +233,21 @@ impl NetworkBuilder {
                     backbone
                         .iter()
                         .filter(|&&(_, _, q)| q == p)
-                        .map(|&(id, bcity, _)| (great_circle_km(home, bcity.location()), id, bcity, p))
+                        .map(|&(id, bcity, _)| {
+                            (great_circle_km(home, bcity.location()), id, bcity, p)
+                        })
                         .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
                 })
                 .collect();
-            provider_pops.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            provider_pops
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             if provider_pops.is_empty() {
                 provider_pops = backbone
                     .iter()
                     .map(|&(id, bcity, p)| (great_circle_km(home, bcity.location()), id, bcity, p))
                     .collect();
-                provider_pops.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                provider_pops
+                    .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             }
             let pick: f64 = rng.gen();
             let chosen = if pick < 0.7 || provider_pops.len() == 1 {
@@ -329,7 +345,8 @@ impl NetworkBuilder {
                 }
             }
             if let Some((_, a, b)) = best {
-                let stretch = rng.gen_range(self.config.link_stretch.0..=self.config.link_stretch.1);
+                let stretch =
+                    rng.gen_range(self.config.link_stretch.0..=self.config.link_stretch.1);
                 net.add_link(a, b, stretch, 1.0);
             } else {
                 return;
@@ -388,8 +405,15 @@ mod tests {
     fn planetlab_network_has_expected_shape() {
         let net = default_net();
         assert_eq!(net.hosts().len(), 51);
-        assert!(net.routers().len() > 60, "expected a substantial router backbone, got {}", net.routers().len());
-        assert!(net.link_count() > net.node_count(), "backbone should be more than a tree");
+        assert!(
+            net.routers().len() > 60,
+            "expected a substantial router backbone, got {}",
+            net.routers().len()
+        );
+        assert!(
+            net.link_count() > net.node_count(),
+            "backbone should be more than a tree"
+        );
         assert!(net.is_connected());
     }
 
@@ -402,9 +426,17 @@ mod tests {
         assert_eq!(a.nodes()[10].hostname, b.nodes()[10].hostname);
         assert_eq!(a.nodes()[10].node_delay_ms, b.nodes()[10].node_delay_ms);
         // A different seed produces a different network.
-        let other = NetworkBuilder::planetlab(NetworkConfig { seed: 7, ..NetworkConfig::default() }).build();
+        let other = NetworkBuilder::planetlab(NetworkConfig {
+            seed: 7,
+            ..NetworkConfig::default()
+        })
+        .build();
         let delays_a: Vec<f64> = a.hosts().iter().map(|&h| a.node(h).node_delay_ms).collect();
-        let delays_c: Vec<f64> = other.hosts().iter().map(|&h| other.node(h).node_delay_ms).collect();
+        let delays_c: Vec<f64> = other
+            .hosts()
+            .iter()
+            .map(|&h| other.node(h).node_delay_ms)
+            .collect();
         assert_ne!(delays_a, delays_c);
     }
 
@@ -425,7 +457,10 @@ mod tests {
         let net = default_net();
         for &h in &net.hosts() {
             let d = net.node(h).node_delay_ms;
-            assert!(d >= cfg.host_delay_ms.0 - 1e-9 && d <= cfg.host_delay_ms.1 + 1e-9, "delay {d}");
+            assert!(
+                d >= cfg.host_delay_ms.0 - 1e-9 && d <= cfg.host_delay_ms.1 + 1e-9,
+                "delay {d}"
+            );
         }
     }
 
@@ -434,13 +469,21 @@ mod tests {
         let net = default_net();
         for &h in &net.hosts() {
             let links = net.incident_links(h);
-            assert_eq!(links.len(), 1, "hosts attach through exactly one access link");
+            assert_eq!(
+                links.len(),
+                1,
+                "hosts attach through exactly one access link"
+            );
             let l = net.links()[links[0]];
             let other = if l.a == h { l.b } else { l.a };
             assert_eq!(net.node(other).kind, NodeKind::AccessRouter);
             // The access POP is a regional backhaul target: in the same
             // region, not on another continent.
-            assert!(l.length.km() < 3000.0, "access backhaul is {:.0} km", l.length.km());
+            assert!(
+                l.length.km() < 3000.0,
+                "access backhaul is {:.0} km",
+                l.length.km()
+            );
         }
     }
 
@@ -449,7 +492,12 @@ mod tests {
         let net = default_net();
         let mut seen = std::collections::HashSet::new();
         for n in net.nodes() {
-            assert!(seen.insert(n.ip), "duplicate IP {:?} for {}", n.ip, n.hostname);
+            assert!(
+                seen.insert(n.ip),
+                "duplicate IP {:?} for {}",
+                n.ip,
+                n.hostname
+            );
         }
     }
 
@@ -474,7 +522,10 @@ mod tests {
 
     #[test]
     fn larger_site_set_builds_a_connected_network() {
-        let mut b = NetworkBuilder::new(NetworkConfig { seed: 3, ..NetworkConfig::default() });
+        let mut b = NetworkBuilder::new(NetworkConfig {
+            seed: 3,
+            ..NetworkConfig::default()
+        });
         for site in sites::all_sites() {
             b = b.add_host(HostSpec::from_site(site));
         }

@@ -57,7 +57,10 @@ impl MeasurementDataset {
             if let Some(city) = provider.whois_city(d.ip) {
                 ds.whois.insert(d.ip, city);
             }
-            ds.hosts.push(DatasetHost { descriptor: d.clone(), true_location: loc });
+            ds.hosts.push(DatasetHost {
+                descriptor: d.clone(),
+                true_location: loc,
+            });
         }
 
         for a in &descriptors {
@@ -75,7 +78,9 @@ impl MeasurementDataset {
                     }
                     // Latency from the landmark to the intermediate router,
                     // as collected in the paper's evaluation.
-                    ds.pings.entry((a.id, hop.node)).or_insert_with(|| provider.ping(a.id, hop.node));
+                    ds.pings
+                        .entry((a.id, hop.node))
+                        .or_insert_with(|| provider.ping(a.id, hop.node));
                 }
                 ds.traceroutes.insert((a.id, b.id), hops);
             }
@@ -95,7 +100,10 @@ impl MeasurementDataset {
 
     /// The ground-truth location of a host in the dataset.
     pub fn true_location(&self, id: NodeId) -> Option<GeoPoint> {
-        self.hosts.iter().find(|h| h.descriptor.id == id).map(|h| h.true_location)
+        self.hosts
+            .iter()
+            .find(|h| h.descriptor.id == id)
+            .map(|h| h.true_location)
     }
 
     /// The host ids in the dataset, in capture order.
@@ -114,7 +122,10 @@ impl ObservationProvider for MeasurementDataset {
     }
 
     fn traceroute(&self, from: NodeId, to: NodeId) -> Vec<TracerouteHop> {
-        self.traceroutes.get(&(from, to)).cloned().unwrap_or_default()
+        self.traceroutes
+            .get(&(from, to))
+            .cloned()
+            .unwrap_or_default()
     }
 
     fn node_by_ip(&self, ip: [u8; 4]) -> Option<NodeId> {
@@ -199,7 +210,10 @@ mod tests {
             assert_eq!(host.descriptor.hostname, site.hostname);
             let d = octant_geo::distance::great_circle_km(host.true_location, site.location());
             assert!(d < 1.0);
-            assert_eq!(ds.advertised_location(host.descriptor.id), Some(host.true_location));
+            assert_eq!(
+                ds.advertised_location(host.descriptor.id),
+                Some(host.true_location)
+            );
         }
     }
 

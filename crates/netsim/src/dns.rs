@@ -34,7 +34,11 @@ pub fn router_hostname<R: Rng + ?Sized>(
     let iface = INTERFACE_PREFIXES[rng.gen_range(0..INTERFACE_PREFIXES.len())];
     let slot: u8 = rng.gen_range(0..8);
     let port: u8 = rng.gen_range(0..4);
-    let role = if backbone { ROLE_LABELS[rng.gen_range(0..2)] } else { ROLE_LABELS[2 + rng.gen_range(0..3)] };
+    let role = if backbone {
+        ROLE_LABELS[rng.gen_range(0..2)]
+    } else {
+        ROLE_LABELS[2 + rng.gen_range(0..3)]
+    };
     let unit: u8 = rng.gen_range(1..5);
     let reveal_city = !rng.gen_bool(undns_miss_rate.clamp(0.0, 1.0));
     if reveal_city {
@@ -44,7 +48,10 @@ pub fn router_hostname<R: Rng + ?Sized>(
             provider_asn(provider)
         )
     } else {
-        format!("core{index}.unk{unit}.as{}.octantsim.net", provider_asn(provider))
+        format!(
+            "core{index}.unk{unit}.as{}.octantsim.net",
+            provider_asn(provider)
+        )
     }
 }
 
@@ -96,7 +103,10 @@ mod tests {
     fn opaque_names_do_not_parse() {
         let mut rng = StdRng::seed_from_u64(2);
         let name = router_hostname("nyc", 1, 3, true, &mut rng, 1.0);
-        assert!(parse_router_city(&name).is_none(), "{name} should be opaque");
+        assert!(
+            parse_router_city(&name).is_none(),
+            "{name} should be opaque"
+        );
         assert!(!reveals_city(&name));
     }
 

@@ -45,7 +45,12 @@ impl Default for LatencyModel {
 impl LatencyModel {
     /// A noise-free model: probes measure exactly the deterministic floor.
     pub fn noiseless() -> Self {
-        LatencyModel { jitter_mean_ms: 0.0, spike_probability: 0.0, spike_mean_ms: 0.0, loss_probability: 0.0 }
+        LatencyModel {
+            jitter_mean_ms: 0.0,
+            spike_probability: 0.0,
+            spike_mean_ms: 0.0,
+            loss_probability: 0.0,
+        }
     }
 
     /// The deterministic floor of the round-trip time over `path`: twice the
@@ -60,7 +65,12 @@ impl LatencyModel {
 
     /// One probe's round-trip time: the floor plus sampled jitter. Returns
     /// `None` when the probe is lost.
-    pub fn rtt_sample<R: Rng + ?Sized>(&self, net: &Network, path: &Path, rng: &mut R) -> Option<Latency> {
+    pub fn rtt_sample<R: Rng + ?Sized>(
+        &self,
+        net: &Network,
+        path: &Path,
+        rng: &mut R,
+    ) -> Option<Latency> {
         if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability.clamp(0.0, 1.0)) {
             return None;
         }
@@ -144,15 +154,24 @@ mod tests {
             .filter_map(|_| model.rtt_sample(&net, &path, &mut rng))
             .map(|l| l.ms())
             .fold(f64::INFINITY, f64::min);
-        assert!(min - floor < 2.0, "minimum over 20 probes should sit close to the floor (excess {})", min - floor);
+        assert!(
+            min - floor < 2.0,
+            "minimum over 20 probes should sit close to the floor (excess {})",
+            min - floor
+        );
     }
 
     #[test]
     fn losses_occur_at_roughly_the_configured_rate() {
         let (net, path) = setup();
-        let model = LatencyModel { loss_probability: 0.2, ..LatencyModel::default() };
+        let model = LatencyModel {
+            loss_probability: 0.2,
+            ..LatencyModel::default()
+        };
         let mut rng = StdRng::seed_from_u64(7);
-        let lost = (0..2000).filter(|_| model.rtt_sample(&net, &path, &mut rng).is_none()).count();
+        let lost = (0..2000)
+            .filter(|_| model.rtt_sample(&net, &path, &mut rng).is_none())
+            .count();
         let rate = lost as f64 / 2000.0;
         assert!((rate - 0.2).abs() < 0.04, "loss rate {rate}");
     }
@@ -161,7 +180,10 @@ mod tests {
     fn exponential_sampler_mean_is_right() {
         let mut rng = StdRng::seed_from_u64(9);
         let n = 20_000;
-        let mean = (0..n).map(|_| sample_exponential(&mut rng, 3.0)).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| sample_exponential(&mut rng, 3.0))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 3.0).abs() < 0.15, "sampled mean {mean}");
         assert_eq!(sample_exponential(&mut rng, 0.0), 0.0);
         assert_eq!(sample_exponential(&mut rng, -1.0), 0.0);

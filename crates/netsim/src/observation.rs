@@ -62,7 +62,9 @@ impl PingObservation {
         if self.samples.is_empty() {
             return None;
         }
-        Some(Latency::from_ms(self.samples.iter().map(|l| l.ms()).sum::<f64>() / self.samples.len() as f64))
+        Some(Latency::from_ms(
+            self.samples.iter().map(|l| l.ms()).sum::<f64>() / self.samples.len() as f64,
+        ))
     }
 }
 

@@ -35,7 +35,13 @@ impl Prober {
     /// Creates a prober with the default latency model, a WHOIS registry with
     /// a 15 % error rate and 10 probes per ping.
     pub fn new(network: Network, seed: u64) -> Self {
-        Prober::with_options(network, LatencyModel::default(), 0.15, DEFAULT_PROBES_PER_PING, seed)
+        Prober::with_options(
+            network,
+            LatencyModel::default(),
+            0.15,
+            DEFAULT_PROBES_PER_PING,
+            seed,
+        )
     }
 
     /// Creates a prober with full control over the measurement options.
@@ -89,7 +95,11 @@ impl ObservationProvider for Prober {
             .nodes()
             .iter()
             .filter(|n| n.kind == NodeKind::Host)
-            .map(|n| HostDescriptor { id: n.id, hostname: n.hostname.clone(), ip: n.ip })
+            .map(|n| HostDescriptor {
+                id: n.id,
+                hostname: n.hostname.clone(),
+                ip: n.ip,
+            })
             .collect()
     }
 
@@ -187,7 +197,10 @@ mod tests {
         let obs = p.ping(hosts[0].id, hosts[1].id);
         assert!(!obs.is_unreachable());
         assert!(obs.samples.len() <= DEFAULT_PROBES_PER_PING);
-        assert!(obs.samples.len() >= DEFAULT_PROBES_PER_PING - 3, "losses should be rare");
+        assert!(
+            obs.samples.len() >= DEFAULT_PROBES_PER_PING - 3,
+            "losses should be rare"
+        );
     }
 
     #[test]
@@ -199,10 +212,8 @@ mod tests {
             let b = hosts[i].id;
             let obs = p.ping(a, b);
             let min = obs.min().unwrap();
-            let direct = great_circle_km(
-                p.network().node(a).location,
-                p.network().node(b).location,
-            );
+            let direct =
+                great_circle_km(p.network().node(a).location, p.network().node(b).location);
             let sol_bound = Distance::max_fiber_distance_for_rtt(min).km();
             assert!(
                 sol_bound >= direct * 0.999,
@@ -224,7 +235,10 @@ mod tests {
         let p = prober();
         let hosts = p.hosts();
         let hops = p.traceroute(hosts[0].id, hosts[30].id);
-        assert!(hops.len() >= 2, "host-to-host paths traverse at least access+backbone routers");
+        assert!(
+            hops.len() >= 2,
+            "host-to-host paths traverse at least access+backbone routers"
+        );
         // Hops must all be routers and their floor RTTs should broadly increase.
         for h in &hops {
             let node = p.network().node(h.node);
@@ -233,7 +247,10 @@ mod tests {
         }
         let end_to_end = p.ping(hosts[0].id, hosts[30].id).min().unwrap();
         let last_hop = hops.last().unwrap().rtt;
-        assert!(last_hop.ms() <= end_to_end.ms() + 40.0, "last hop should not hugely exceed the end-to-end RTT");
+        assert!(
+            last_hop.ms() <= end_to_end.ms() + 40.0,
+            "last hop should not hugely exceed the end-to-end RTT"
+        );
     }
 
     #[test]

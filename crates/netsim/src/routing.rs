@@ -108,13 +108,16 @@ impl RouteTable {
     /// `None` when the destination is unreachable.
     pub fn route(&mut self, net: &Network, from: NodeId, to: NodeId) -> Option<Path> {
         if from == to {
-            return Some(Path { nodes: vec![from], length: Distance::ZERO, propagation: Latency::ZERO });
+            return Some(Path {
+                nodes: vec![from],
+                length: Distance::ZERO,
+                propagation: Latency::ZERO,
+            });
         }
-        if !self.cache.contains_key(&from) {
-            let tree = dijkstra(net, from);
-            self.cache.insert(from, tree);
-        }
-        let tree = &self.cache[&from];
+        let tree = self
+            .cache
+            .entry(from)
+            .or_insert_with(|| dijkstra(net, from));
         tree.cost.get(&to)?;
         // Reconstruct node sequence.
         let mut nodes = vec![to];
@@ -131,7 +134,11 @@ impl RouteTable {
             length += link.length;
         }
         let propagation = Latency::from_ms(length.km() / octant_geo::units::FIBER_SPEED_KM_PER_MS);
-        Some(Path { nodes, length, propagation })
+        Some(Path {
+            nodes,
+            length,
+            propagation,
+        })
     }
 
     /// Drops all cached routes (e.g. after mutating the network).
@@ -145,7 +152,10 @@ fn dijkstra(net: &Network, source: NodeId) -> SourceTree {
     let mut predecessor: HashMap<NodeId, NodeId> = HashMap::new();
     let mut heap = BinaryHeap::new();
     cost.insert(source, 0.0);
-    heap.push(HeapEntry { cost: 0.0, node: source });
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
 
     while let Some(HeapEntry { cost: c, node }) = heap.pop() {
         if c > *cost.get(&node).unwrap_or(&f64::INFINITY) {
@@ -159,7 +169,10 @@ fn dijkstra(net: &Network, source: NodeId) -> SourceTree {
             if nc < *cost.get(&other).unwrap_or(&f64::INFINITY) {
                 cost.insert(other, nc);
                 predecessor.insert(other, node);
-                heap.push(HeapEntry { cost: nc, node: other });
+                heap.push(HeapEntry {
+                    cost: nc,
+                    node: other,
+                });
             }
         }
     }
@@ -170,7 +183,7 @@ fn dijkstra(net: &Network, source: NodeId) -> SourceTree {
 mod tests {
     use super::*;
     use crate::builder::{NetworkBuilder, NetworkConfig};
-    use crate::topology::{NodeKind};
+    use crate::topology::NodeKind;
     use octant_geo::point::GeoPoint;
 
     fn planetlab() -> Network {
@@ -187,13 +200,19 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let p = table.route(&net, a, b).unwrap_or_else(|| panic!("no route {a}->{b}"));
+                let p = table
+                    .route(&net, a, b)
+                    .unwrap_or_else(|| panic!("no route {a}->{b}"));
                 assert!(p.hop_count() >= 2, "host-to-host paths traverse routers");
                 assert_eq!(p.nodes[0], a);
                 assert_eq!(*p.nodes.last().unwrap(), b);
                 // Every intermediate node is a router.
                 for &r in p.intermediate() {
-                    assert_ne!(net.node(r).kind, NodeKind::Host, "hosts do not forward traffic");
+                    assert_ne!(
+                        net.node(r).kind,
+                        NodeKind::Host,
+                        "hosts do not forward traffic"
+                    );
                 }
             }
         }
@@ -207,10 +226,19 @@ mod tests {
         for &a in hosts.iter().take(12) {
             for &b in hosts.iter().skip(12).take(12) {
                 let p = table.route(&net, a, b).unwrap();
-                let direct = octant_geo::distance::great_circle_km(net.node(a).location, net.node(b).location);
-                assert!(p.length.km() >= direct * 0.99, "path cannot be shorter than the geodesic");
+                let direct = octant_geo::distance::great_circle_km(
+                    net.node(a).location,
+                    net.node(b).location,
+                );
+                assert!(
+                    p.length.km() >= direct * 0.99,
+                    "path cannot be shorter than the geodesic"
+                );
                 let infl = p.inflation(&net);
-                assert!(infl < 6.0, "inflation {infl} between {a} and {b} is implausibly large");
+                assert!(
+                    infl < 6.0,
+                    "inflation {infl} between {a} and {b} is implausibly large"
+                );
             }
         }
     }
@@ -230,8 +258,24 @@ mod tests {
     #[test]
     fn unreachable_destination_returns_none() {
         let mut net = Network::new();
-        let a = net.add_node(NodeKind::Host, GeoPoint::new(0.0, 0.0), "nyc", 0, "a", [1, 0, 0, 1], 1.0);
-        let b = net.add_node(NodeKind::Host, GeoPoint::new(1.0, 1.0), "nyc", 0, "b", [1, 0, 0, 2], 1.0);
+        let a = net.add_node(
+            NodeKind::Host,
+            GeoPoint::new(0.0, 0.0),
+            "nyc",
+            0,
+            "a",
+            [1, 0, 0, 1],
+            1.0,
+        );
+        let b = net.add_node(
+            NodeKind::Host,
+            GeoPoint::new(1.0, 1.0),
+            "nyc",
+            0,
+            "b",
+            [1, 0, 0, 2],
+            1.0,
+        );
         let mut table = RouteTable::new();
         assert!(table.route(&net, a, b).is_none());
     }
@@ -246,7 +290,10 @@ mod tests {
         assert_eq!(p1, p2);
         table.clear();
         let p3 = table.route(&net, hosts[0], hosts[1]).unwrap();
-        assert_eq!(p1, p3, "routing is deterministic, so clearing must not change results");
+        assert_eq!(
+            p1, p3,
+            "routing is deterministic, so clearing must not change results"
+        );
     }
 
     #[test]

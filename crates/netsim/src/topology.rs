@@ -91,6 +91,7 @@ impl Network {
 
     /// Adds a node and returns its id. Node ids are assigned densely in
     /// insertion order.
+    #[allow(clippy::too_many_arguments)] // topology construction is inherently wide
     pub fn add_node(
         &mut self,
         kind: NodeKind,
@@ -122,9 +123,15 @@ impl Network {
         if a == b || self.find_link(a, b).is_some() {
             return;
         }
-        let length = great_circle(self.node(a).location, self.node(b).location) * path_stretch.max(1.0);
+        let length =
+            great_circle(self.node(a).location, self.node(b).location) * path_stretch.max(1.0);
         let idx = self.links.len();
-        self.links.push(Link { a, b, length, policy_cost: policy_cost.max(0.0) });
+        self.links.push(Link {
+            a,
+            b,
+            length,
+            policy_cost: policy_cost.max(0.0),
+        });
         self.adjacency.entry(a).or_default().push(idx);
         self.adjacency.entry(b).or_default().push(idx);
     }
@@ -157,12 +164,20 @@ impl Network {
 
     /// All host nodes.
     pub fn hosts(&self) -> Vec<NodeId> {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Host).map(|n| n.id).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Host)
+            .map(|n| n.id)
+            .collect()
     }
 
     /// All router nodes (access + backbone).
     pub fn routers(&self) -> Vec<NodeId> {
-        self.nodes.iter().filter(|n| n.kind != NodeKind::Host).map(|n| n.id).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind != NodeKind::Host)
+            .map(|n| n.id)
+            .collect()
     }
 
     /// Indices (into [`Network::links`]) of the links incident to `id`.
@@ -181,7 +196,9 @@ impl Network {
 
     /// Looks up a host by hostname.
     pub fn host_by_name(&self, hostname: &str) -> Option<&Node> {
-        self.nodes.iter().find(|n| n.hostname.eq_ignore_ascii_case(hostname))
+        self.nodes
+            .iter()
+            .find(|n| n.hostname.eq_ignore_ascii_case(hostname))
     }
 
     /// Looks up a node by IP address.
@@ -230,9 +247,33 @@ mod tests {
 
     fn tiny_network() -> (Network, NodeId, NodeId, NodeId) {
         let mut net = Network::new();
-        let a = net.add_node(NodeKind::Host, GeoPoint::new(42.44, -76.50), "ith", 1, "host-a", [10, 0, 0, 1], 3.0);
-        let b = net.add_node(NodeKind::BackboneRouter, GeoPoint::new(40.71, -74.01), "nyc", 1, "r1.nyc", [10, 0, 0, 2], 0.1);
-        let c = net.add_node(NodeKind::Host, GeoPoint::new(42.36, -71.06), "bos", 2, "host-c", [10, 0, 1, 1], 5.0);
+        let a = net.add_node(
+            NodeKind::Host,
+            GeoPoint::new(42.44, -76.50),
+            "ith",
+            1,
+            "host-a",
+            [10, 0, 0, 1],
+            3.0,
+        );
+        let b = net.add_node(
+            NodeKind::BackboneRouter,
+            GeoPoint::new(40.71, -74.01),
+            "nyc",
+            1,
+            "r1.nyc",
+            [10, 0, 0, 2],
+            0.1,
+        );
+        let c = net.add_node(
+            NodeKind::Host,
+            GeoPoint::new(42.36, -71.06),
+            "bos",
+            2,
+            "host-c",
+            [10, 0, 1, 1],
+            5.0,
+        );
         net.add_link(a, b, 1.1, 1.0);
         net.add_link(b, c, 1.1, 1.0);
         (net, a, b, c)
@@ -254,7 +295,11 @@ mod tests {
         let (net, a, b, _) = tiny_network();
         let l = net.find_link(a, b).unwrap();
         // Ithaca-NYC is ~280 km; with a 1.1 stretch the link is ~310 km.
-        assert!(l.length.km() > 250.0 && l.length.km() < 350.0, "{}", l.length);
+        assert!(
+            l.length.km() > 250.0 && l.length.km() < 350.0,
+            "{}",
+            l.length
+        );
         let d = l.propagation_delay();
         assert!(d.ms() > 1.0 && d.ms() < 2.0, "{d}");
         // The link is registered in both directions.
@@ -283,12 +328,39 @@ mod tests {
     #[test]
     fn connectivity_detects_partitions() {
         let mut net = Network::new();
-        let a = net.add_node(NodeKind::Host, GeoPoint::new(0.0, 0.0), "nyc", 1, "a", [1, 1, 1, 1], 1.0);
-        let b = net.add_node(NodeKind::Host, GeoPoint::new(1.0, 1.0), "nyc", 1, "b", [1, 1, 1, 2], 1.0);
-        let _c = net.add_node(NodeKind::Host, GeoPoint::new(2.0, 2.0), "nyc", 1, "c", [1, 1, 1, 3], 1.0);
+        let a = net.add_node(
+            NodeKind::Host,
+            GeoPoint::new(0.0, 0.0),
+            "nyc",
+            1,
+            "a",
+            [1, 1, 1, 1],
+            1.0,
+        );
+        let b = net.add_node(
+            NodeKind::Host,
+            GeoPoint::new(1.0, 1.0),
+            "nyc",
+            1,
+            "b",
+            [1, 1, 1, 2],
+            1.0,
+        );
+        let _c = net.add_node(
+            NodeKind::Host,
+            GeoPoint::new(2.0, 2.0),
+            "nyc",
+            1,
+            "c",
+            [1, 1, 1, 3],
+            1.0,
+        );
         net.add_link(a, b, 1.0, 1.0);
         assert!(!net.is_connected());
-        assert!(Network::new().is_connected(), "the empty network is trivially connected");
+        assert!(
+            Network::new().is_connected(),
+            "the empty network is trivially connected"
+        );
     }
 
     #[test]
@@ -304,7 +376,15 @@ mod tests {
     #[test]
     fn negative_node_delay_is_clamped() {
         let mut net = Network::new();
-        let id = net.add_node(NodeKind::Host, GeoPoint::new(0.0, 0.0), "nyc", 1, "x", [1, 2, 3, 4], -5.0);
+        let id = net.add_node(
+            NodeKind::Host,
+            GeoPoint::new(0.0, 0.0),
+            "nyc",
+            1,
+            "x",
+            [1, 2, 3, 4],
+            -5.0,
+        );
         assert_eq!(net.node(id).node_delay_ms, 0.0);
     }
 }

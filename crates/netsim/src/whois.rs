@@ -58,14 +58,20 @@ impl WhoisRegistry {
                 let same_country: Vec<_> = cities::CITIES
                     .iter()
                     .filter(|c| {
-                        cities::by_code(&node.city_code).map(|home| home.country == c.country).unwrap_or(false)
+                        cities::by_code(&node.city_code)
+                            .map(|home| home.country == c.country)
+                            .unwrap_or(false)
                             && !c.code.eq_ignore_ascii_case(&node.city_code)
                     })
                     .collect();
                 if same_country.is_empty() {
-                    cities::CITIES[rng.gen_range(0..cities::CITIES.len())].code.to_string()
+                    cities::CITIES[rng.gen_range(0..cities::CITIES.len())]
+                        .code
+                        .to_string()
                 } else {
-                    same_country[rng.gen_range(0..same_country.len())].code.to_string()
+                    same_country[rng.gen_range(0..same_country.len())]
+                        .code
+                        .to_string()
                 }
             } else {
                 node.city_code.clone()
@@ -79,7 +85,10 @@ impl WhoisRegistry {
                 },
             );
         }
-        WhoisRegistry { records, error_rate }
+        WhoisRegistry {
+            records,
+            error_rate,
+        }
     }
 
     /// Looks up the record covering `ip`.
@@ -136,7 +145,9 @@ mod tests {
         assert!(!reg.is_empty());
         for &h in &net.hosts() {
             let node = net.node(h);
-            let rec = reg.lookup(node.ip).unwrap_or_else(|| panic!("missing record for {}", node.hostname));
+            let rec = reg
+                .lookup(node.ip)
+                .unwrap_or_else(|| panic!("missing record for {}", node.hostname));
             assert!(!rec.city_code.is_empty());
             assert!(rec.organisation.contains('.'));
         }
@@ -160,7 +171,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let reg = WhoisRegistry::generate(&net, 0.3, &mut rng);
         // With 51 hosts the binomial spread is wide; just check the direction.
-        assert!(reg.accuracy() < 0.95 && reg.accuracy() > 0.4, "accuracy {}", reg.accuracy());
+        assert!(
+            reg.accuracy() < 0.95 && reg.accuracy() > 0.4,
+            "accuracy {}",
+            reg.accuracy()
+        );
         // Inaccurate records point somewhere else.
         for &h in &net.hosts() {
             let node = net.node(h);
@@ -181,7 +196,10 @@ mod tests {
 
     #[test]
     fn organisation_name_derivation() {
-        assert_eq!(organisation_from_hostname("planetlab1.cs.cornell.edu"), "cornell.edu");
+        assert_eq!(
+            organisation_from_hostname("planetlab1.cs.cornell.edu"),
+            "cornell.edu"
+        );
         assert_eq!(organisation_from_hostname("localhost"), "localhost");
     }
 

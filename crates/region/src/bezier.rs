@@ -48,7 +48,10 @@ impl CubicBezier {
         let mt = 1.0 - t;
         let mt2 = mt * mt;
         let t2 = t * t;
-        self.p0 * (mt2 * mt) + self.p1 * (3.0 * mt2 * t) + self.p2 * (3.0 * mt * t2) + self.p3 * (t2 * t)
+        self.p0 * (mt2 * mt)
+            + self.p1 * (3.0 * mt2 * t)
+            + self.p2 * (3.0 * mt * t2)
+            + self.p3 * (t2 * t)
     }
 
     /// The derivative (velocity) at parameter `t`.
@@ -274,7 +277,11 @@ mod tests {
         for i in 0..=50 {
             let t = i as f64 / 50.0;
             let r = arc.eval(t).distance(Vec2::new(3.0, -2.0));
-            assert!((r - 100.0).abs() < 0.05, "radius error {} at t={t}", (r - 100.0).abs());
+            assert!(
+                (r - 100.0).abs() < 0.05,
+                "radius error {} at t={t}",
+                (r - 100.0).abs()
+            );
         }
     }
 

@@ -33,7 +33,10 @@ pub struct GeoRegion {
 impl GeoRegion {
     /// An empty region anchored at `center`.
     pub fn empty(center: GeoPoint) -> Self {
-        GeoRegion { projection: AzimuthalEquidistant::new(center), region: Region::empty() }
+        GeoRegion {
+            projection: AzimuthalEquidistant::new(center),
+            region: Region::empty(),
+        }
     }
 
     /// Wraps an existing planar region in a projection.
@@ -50,7 +53,10 @@ impl GeoRegion {
     /// to latency-derived constraint widths.
     pub fn disk(projection: AzimuthalEquidistant, center: GeoPoint, radius: Distance) -> Self {
         let c: Vec2 = projection.project(center).into();
-        GeoRegion { projection, region: Region::disk(c, radius.km()) }
+        GeoRegion {
+            projection,
+            region: Region::disk(c, radius.km()),
+        }
     }
 
     /// A geodesic annulus between `inner` and `outer` around `center`.
@@ -61,7 +67,10 @@ impl GeoRegion {
         outer: Distance,
     ) -> Self {
         let c: Vec2 = projection.project(center).into();
-        GeoRegion { projection, region: Region::annulus(c, inner.km(), outer.km()) }
+        GeoRegion {
+            projection,
+            region: Region::annulus(c, inner.km(), outer.km()),
+        }
     }
 
     /// The whole-world stand-in: a huge disk around the projection centre
@@ -70,7 +79,10 @@ impl GeoRegion {
     /// before any constraint is applied.
     pub fn world(projection: AzimuthalEquidistant) -> Self {
         let radius = octant_geo::EARTH_CIRCUMFERENCE_KM / 2.0;
-        GeoRegion { projection, region: Region::disk_with_tolerance(Vec2::ZERO, radius, 50.0) }
+        GeoRegion {
+            projection,
+            region: Region::disk_with_tolerance(Vec2::ZERO, radius, 50.0),
+        }
     }
 
     /// Converts a landmass outline into a region under this projection.
@@ -80,7 +92,10 @@ impl GeoRegion {
             .into_iter()
             .map(|p| Vec2::from(projection.project(p)))
             .collect();
-        GeoRegion { projection, region: Region::from_ring(Ring::new(pts)) }
+        GeoRegion {
+            projection,
+            region: Region::from_ring(Ring::new(pts)),
+        }
     }
 
     /// The projection this region is expressed in.
@@ -116,7 +131,9 @@ impl GeoRegion {
     /// The geographic centroid of the region (the paper's "point estimate"
     /// for a target). `None` when empty.
     pub fn centroid(&self) -> Option<GeoPoint> {
-        self.region.centroid().map(|c| self.projection.unproject(c.into()))
+        self.region
+            .centroid()
+            .map(|c| self.projection.unproject(c.into()))
     }
 
     /// Distance from a geographic point to the region (zero inside). For an
@@ -135,31 +152,46 @@ impl GeoRegion {
     /// reprojected if needed).
     pub fn intersect(&self, other: &GeoRegion) -> GeoRegion {
         let other = other.reproject(self.projection);
-        GeoRegion { projection: self.projection, region: self.region.intersect(&other.region) }
+        GeoRegion {
+            projection: self.projection,
+            region: self.region.intersect(&other.region),
+        }
     }
 
     /// Union, in this region's projection.
     pub fn union(&self, other: &GeoRegion) -> GeoRegion {
         let other = other.reproject(self.projection);
-        GeoRegion { projection: self.projection, region: self.region.union(&other.region) }
+        GeoRegion {
+            projection: self.projection,
+            region: self.region.union(&other.region),
+        }
     }
 
     /// Difference (`self` minus `other`), in this region's projection.
     pub fn subtract(&self, other: &GeoRegion) -> GeoRegion {
         let other = other.reproject(self.projection);
-        GeoRegion { projection: self.projection, region: self.region.subtract(&other.region) }
+        GeoRegion {
+            projection: self.projection,
+            region: self.region.subtract(&other.region),
+        }
     }
 
     /// Dilation by a geodesic distance (positive secondary-landmark
     /// constraint).
     pub fn dilate(&self, by: Distance) -> GeoRegion {
-        GeoRegion { projection: self.projection, region: self.region.dilate(by.km()) }
+        GeoRegion {
+            projection: self.projection,
+            region: self.region.dilate(by.km()),
+        }
     }
 
     /// Erosion by a geodesic distance (negative secondary-landmark
     /// constraint).
     pub fn erode(&self, by: Distance) -> GeoRegion {
-        GeoRegion { projection: self.projection, region: self.region.erode(by.km()) }
+        GeoRegion {
+            projection: self.projection,
+            region: self.region.erode(by.km()),
+        }
     }
 
     /// Re-expresses the region in a different projection by mapping every
@@ -185,18 +217,26 @@ impl GeoRegion {
                 )
             })
             .collect();
-        GeoRegion { projection: target, region: Region::from_rings_raw(rings) }
+        GeoRegion {
+            projection: target,
+            region: Region::from_rings_raw(rings),
+        }
     }
 
     /// Draws a random geographic point from the region.
     pub fn sample_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<GeoPoint> {
-        self.region.sample_point(rng).map(|v| self.projection.unproject(v.into()))
+        self.region
+            .sample_point(rng)
+            .map(|v| self.projection.unproject(v.into()))
     }
 
     /// The farthest boundary vertex from a geographic point — an upper bound
     /// on how far inside the region the true position can be from `p`.
     pub fn max_distance_from(&self, p: GeoPoint) -> Distance {
-        Distance::from_km(self.region.max_distance_from(self.projection.project(p).into()))
+        Distance::from_km(
+            self.region
+                .max_distance_from(self.projection.project(p).into()),
+        )
     }
 }
 
@@ -241,7 +281,12 @@ mod tests {
     fn annulus_between_cities() {
         let roch = cities::by_code("roc").unwrap().location();
         let proj = AzimuthalEquidistant::new(roch);
-        let ring = GeoRegion::annulus(proj, roch, Distance::from_km(200.0), Distance::from_km(800.0));
+        let ring = GeoRegion::annulus(
+            proj,
+            roch,
+            Distance::from_km(200.0),
+            Distance::from_km(800.0),
+        );
         // Ithaca is ~125 km from Rochester: inside the hole, so excluded.
         assert!(!ring.contains(cities::by_code("ith").unwrap().location()));
         // Boston is ~600 km away: inside the annulus.
@@ -272,7 +317,11 @@ mod tests {
     #[test]
     fn area_in_miles_conversion() {
         let proj = proj_at(40.0, -75.0);
-        let d = GeoRegion::disk(proj, GeoPoint::new(40.0, -75.0), Distance::from_miles(100.0));
+        let d = GeoRegion::disk(
+            proj,
+            GeoPoint::new(40.0, -75.0),
+            Distance::from_miles(100.0),
+        );
         let truth = std::f64::consts::PI * 100.0 * 100.0;
         assert!((d.area_mi2() - truth).abs() / truth < 0.01);
     }
@@ -281,7 +330,11 @@ mod tests {
     fn reprojection_preserves_membership_and_area() {
         let nyc = cities::by_code("nyc").unwrap().location();
         let sea = cities::by_code("sea").unwrap().location();
-        let orig = GeoRegion::disk(AzimuthalEquidistant::new(nyc), nyc, Distance::from_km(500.0));
+        let orig = GeoRegion::disk(
+            AzimuthalEquidistant::new(nyc),
+            nyc,
+            Distance::from_km(500.0),
+        );
         let moved = orig.reproject(AzimuthalEquidistant::new(sea));
         // The azimuthal projection stretches tangential distances ~7% at the
         // ~3900 km NYC-Seattle separation, so allow a generous area drift.
@@ -289,7 +342,11 @@ mod tests {
         assert!(rel_area < 0.15, "area drift {rel_area}");
         for city in ["phl", "bos", "was", "pit"] {
             let p = cities::by_code(city).unwrap().location();
-            assert_eq!(orig.contains(p), moved.contains(p), "membership changed for {city}");
+            assert_eq!(
+                orig.contains(p),
+                moved.contains(p),
+                "membership changed for {city}"
+            );
         }
         // Reprojecting onto the same centre is a no-op.
         let same = orig.reproject(AzimuthalEquidistant::new(nyc));
@@ -301,7 +358,10 @@ mod tests {
         let proj = proj_at(40.0, -75.0);
         let world = GeoRegion::world(proj);
         for c in ["nyc", "lax", "lhr", "nrt", "syd", "gru"] {
-            assert!(world.contains(cities::by_code(c).unwrap().location()), "{c} not in world");
+            assert!(
+                world.contains(cities::by_code(c).unwrap().location()),
+                "{c} not in world"
+            );
         }
     }
 
@@ -312,7 +372,10 @@ mod tests {
         assert!(na.contains(cities::by_code("den").unwrap().location()));
         assert!(na.contains(cities::by_code("chi").unwrap().location()));
         assert!(!na.contains(cities::by_code("lhr").unwrap().location()));
-        assert!(!na.contains(GeoPoint::new(35.0, -45.0)), "mid-Atlantic is not land");
+        assert!(
+            !na.contains(GeoPoint::new(35.0, -45.0)),
+            "mid-Atlantic is not land"
+        );
     }
 
     #[test]
@@ -322,16 +385,27 @@ mod tests {
         let disk = GeoRegion::disk(proj, nyc, Distance::from_km(500.0));
         let na = GeoRegion::from_landmass(proj, &octant_geo::landmass::NORTH_AMERICA);
         let on_land = disk.intersect(&na);
-        assert!(on_land.area_km2() < disk.area_km2(), "the Atlantic part must be removed");
+        assert!(
+            on_land.area_km2() < disk.area_km2(),
+            "the Atlantic part must be removed"
+        );
         assert!(on_land.contains(cities::by_code("phl").unwrap().location()));
-        assert!(!on_land.contains(GeoPoint::new(38.0, -68.0)), "open ocean excluded");
+        assert!(
+            !on_land.contains(GeoPoint::new(38.0, -68.0)),
+            "open ocean excluded"
+        );
     }
 
     #[test]
     fn sample_points_are_inside() {
         let nyc = cities::by_code("nyc").unwrap().location();
         let proj = AzimuthalEquidistant::new(nyc);
-        let region = GeoRegion::annulus(proj, nyc, Distance::from_km(100.0), Distance::from_km(400.0));
+        let region = GeoRegion::annulus(
+            proj,
+            nyc,
+            Distance::from_km(100.0),
+            Distance::from_km(400.0),
+        );
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         for _ in 0..50 {
@@ -351,8 +425,13 @@ mod tests {
         let chi = cities::by_code("chi").unwrap().location();
         let dist = d.distance_to(chi).km();
         let direct = great_circle_km(nyc, chi);
-        assert!((dist - (direct - 100.0)).abs() < 30.0, "distance {dist} vs direct {direct}");
+        assert!(
+            (dist - (direct - 100.0)).abs() < 30.0,
+            "distance {dist} vs direct {direct}"
+        );
         assert!(d.max_distance_from(nyc).km() <= 102.0);
-        assert!(GeoRegion::empty(nyc).distance_to(chi).km() >= octant_geo::EARTH_CIRCUMFERENCE_KM - 1.0);
+        assert!(
+            GeoRegion::empty(nyc).distance_to(chi).km() >= octant_geo::EARTH_CIRCUMFERENCE_KM - 1.0
+        );
     }
 }

@@ -40,7 +40,12 @@ pub fn estimate_area<R: Rng + ?Sized>(
 /// Estimates the area of a *predicate* (an arbitrary point-set description)
 /// over a bounding box. Used to compare the exact result of a boolean
 /// operation against the operation applied point-wise.
-pub fn estimate_predicate_area<R, F>(rng: &mut R, bbox: (Vec2, Vec2), samples: usize, pred: F) -> f64
+pub fn estimate_predicate_area<R, F>(
+    rng: &mut R,
+    bbox: (Vec2, Vec2),
+    samples: usize,
+    pred: F,
+) -> f64
 where
     R: Rng + ?Sized,
     F: Fn(Vec2) -> bool,
@@ -101,7 +106,10 @@ pub fn joint_bbox(a: &Region, b: &Region, margin: f64) -> (Vec2, Vec2) {
         });
     }
     match acc {
-        Some((lo, hi)) => (lo - Vec2::new(margin, margin), hi + Vec2::new(margin, margin)),
+        Some((lo, hi)) => (
+            lo - Vec2::new(margin, margin),
+            hi + Vec2::new(margin, margin),
+        ),
         None => (Vec2::new(-1.0, -1.0), Vec2::new(1.0, 1.0)),
     }
 }
@@ -129,15 +137,26 @@ mod tests {
         let b = Region::disk(Vec2::new(100.0, 30.0), 90.0);
         let bbox = joint_bbox(&a, &b, 20.0);
 
-        let cases: Vec<(Region, Box<dyn Fn(Vec2) -> bool>)> = vec![
+        type Oracle<'a> = Box<dyn Fn(Vec2) -> bool + 'a>;
+        let cases: Vec<(Region, Oracle<'_>)> = vec![
             (a.union(&b), Box::new(|p| a.contains(p) || b.contains(p))),
-            (a.intersect(&b), Box::new(|p| a.contains(p) && b.contains(p))),
-            (a.subtract(&b), Box::new(|p| a.contains(p) && !b.contains(p))),
+            (
+                a.intersect(&b),
+                Box::new(|p| a.contains(p) && b.contains(p)),
+            ),
+            (
+                a.subtract(&b),
+                Box::new(|p| a.contains(p) && !b.contains(p)),
+            ),
             (a.xor(&b), Box::new(|p| a.contains(p) != b.contains(p))),
         ];
         for (i, (exact, pred)) in cases.iter().enumerate() {
             let frac = disagreement_fraction(&mut rng, exact, bbox, 20_000, pred);
-            assert!(frac < 0.01, "case {i}: {:.3}% of samples disagree", frac * 100.0);
+            assert!(
+                frac < 0.01,
+                "case {i}: {:.3}% of samples disagree",
+                frac * 100.0
+            );
         }
     }
 
@@ -154,10 +173,21 @@ mod tests {
     fn degenerate_inputs() {
         let mut rng = StdRng::seed_from_u64(4);
         let empty_box = (Vec2::ZERO, Vec2::ZERO);
-        assert_eq!(estimate_area(&mut rng, &Region::empty(), empty_box, 100), 0.0);
-        assert_eq!(estimate_predicate_area(&mut rng, empty_box, 100, |_| true), 0.0);
         assert_eq!(
-            estimate_area(&mut rng, &Region::disk(Vec2::ZERO, 10.0), joint_bbox(&Region::empty(), &Region::empty(), 1.0), 0),
+            estimate_area(&mut rng, &Region::empty(), empty_box, 100),
+            0.0
+        );
+        assert_eq!(
+            estimate_predicate_area(&mut rng, empty_box, 100, |_| true),
+            0.0
+        );
+        assert_eq!(
+            estimate_area(
+                &mut rng,
+                &Region::disk(Vec2::ZERO, 10.0),
+                joint_bbox(&Region::empty(), &Region::empty(), 1.0),
+                0
+            ),
             0.0
         );
         let (lo, hi) = joint_bbox(&Region::empty(), &Region::empty(), 1.0);

@@ -154,7 +154,10 @@ impl Region {
         if self.contains(p) {
             return 0.0;
         }
-        self.rings.iter().map(|r| r.distance_to_boundary(p)).fold(f64::INFINITY, f64::min)
+        self.rings
+            .iter()
+            .map(|r| r.distance_to_boundary(p))
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// The largest distance from `p` to any vertex of the region boundary
@@ -169,22 +172,30 @@ impl Region {
 
     /// Union with another region.
     pub fn union(&self, other: &Region) -> Region {
-        Region { rings: boolean_op(&self.rings, &other.rings, BoolOp::Union) }
+        Region {
+            rings: boolean_op(&self.rings, &other.rings, BoolOp::Union),
+        }
     }
 
     /// Intersection with another region.
     pub fn intersect(&self, other: &Region) -> Region {
-        Region { rings: boolean_op(&self.rings, &other.rings, BoolOp::Intersection) }
+        Region {
+            rings: boolean_op(&self.rings, &other.rings, BoolOp::Intersection),
+        }
     }
 
     /// Set difference (`self` minus `other`).
     pub fn subtract(&self, other: &Region) -> Region {
-        Region { rings: boolean_op(&self.rings, &other.rings, BoolOp::Difference) }
+        Region {
+            rings: boolean_op(&self.rings, &other.rings, BoolOp::Difference),
+        }
     }
 
     /// Symmetric difference.
     pub fn xor(&self, other: &Region) -> Region {
-        Region { rings: boolean_op(&self.rings, &other.rings, BoolOp::Xor) }
+        Region {
+            rings: boolean_op(&self.rings, &other.rings, BoolOp::Xor),
+        }
     }
 
     /// Morphological dilation by `radius_km`: every point within `radius_km`
@@ -324,7 +335,11 @@ mod tests {
     fn disk_area_and_containment() {
         let d = Region::disk(Vec2::new(10.0, -5.0), 300.0);
         let truth = std::f64::consts::PI * 300.0 * 300.0;
-        assert!((d.area() - truth).abs() / truth < 0.005, "area {}", d.area());
+        assert!(
+            (d.area() - truth).abs() / truth < 0.005,
+            "area {}",
+            d.area()
+        );
         assert!(d.contains(Vec2::new(10.0, -5.0)));
         assert!(d.contains(Vec2::new(10.0 + 299.0, -5.0)));
         assert!(!d.contains(Vec2::new(10.0 + 301.0, -5.0)));
@@ -363,7 +378,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..100 {
             let p = estimate.sample_point(&mut rng).unwrap();
-            assert!(a.contains(p) && b.contains(p) && c.contains(p), "{p} escapes an operand");
+            assert!(
+                a.contains(p) && b.contains(p) && c.contains(p),
+                "{p} escapes an operand"
+            );
         }
     }
 
@@ -398,7 +416,8 @@ mod tests {
         assert!(c.distance(Vec2::new(42.0, -17.0)) < 1.0);
         assert!(Region::empty().centroid().is_none());
 
-        let lens = Region::disk(Vec2::new(-50.0, 0.0), 100.0).intersect(&Region::disk(Vec2::new(50.0, 0.0), 100.0));
+        let lens = Region::disk(Vec2::new(-50.0, 0.0), 100.0)
+            .intersect(&Region::disk(Vec2::new(50.0, 0.0), 100.0));
         let c = lens.centroid().unwrap();
         assert!(c.x.abs() < 1.0 && c.y.abs() < 1.0, "lens centroid {c}");
     }
@@ -425,7 +444,7 @@ mod tests {
         let d = Region::disk(Vec2::ZERO, 100.0);
         let (c, r) = d.bounding_disk().unwrap();
         assert!(c.length() < 1.0);
-        assert!(r >= 99.0 && r <= 101.0);
+        assert!((99.0..=101.0).contains(&r));
         assert!(Region::empty().bounding_disk().is_none());
     }
 
@@ -457,7 +476,11 @@ mod tests {
     fn erosion_shrinks_and_is_contained() {
         let sq = Region::rectangle(Vec2::new(0.0, 0.0), Vec2::new(20.0, 20.0));
         let shrunk = sq.erode(5.0);
-        assert!((shrunk.area() - 100.0).abs() < 5.0, "area {}", shrunk.area());
+        assert!(
+            (shrunk.area() - 100.0).abs() < 5.0,
+            "area {}",
+            shrunk.area()
+        );
         assert!(shrunk.contains(Vec2::new(10.0, 10.0)));
         assert!(!shrunk.contains(Vec2::new(2.0, 2.0)));
         // Eroding by more than the inradius empties the region.

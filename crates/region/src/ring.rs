@@ -23,7 +23,11 @@ impl Ring {
             if !p.is_finite() {
                 continue;
             }
-            if cleaned.last().map(|q| q.distance(p) < 1e-12).unwrap_or(false) {
+            if cleaned
+                .last()
+                .map(|q| q.distance(p) < 1e-12)
+                .unwrap_or(false)
+            {
                 continue;
             }
             cleaned.push(p);
@@ -117,7 +121,9 @@ impl Ring {
             return 0.0;
         }
         let n = self.points.len();
-        (0..n).map(|i| self.points[i].distance(self.points[(i + 1) % n])).sum()
+        (0..n)
+            .map(|i| self.points[i].distance(self.points[(i + 1) % n]))
+            .sum()
     }
 
     /// Area centroid of the polygon. Falls back to the vertex average for
@@ -170,8 +176,7 @@ impl Ring {
         for i in 0..n {
             let a = self.points[i];
             let b = self.points[j];
-            if ((a.y > p.y) != (b.y > p.y))
-                && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)
+            if ((a.y > p.y) != (b.y > p.y)) && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)
             {
                 inside = !inside;
             }
@@ -222,12 +227,20 @@ impl Ring {
 
     /// Translates every vertex by `offset`.
     pub fn translated(&self, offset: Vec2) -> Ring {
-        Ring { points: self.points.iter().map(|&p| p + offset).collect() }
+        Ring {
+            points: self.points.iter().map(|&p| p + offset).collect(),
+        }
     }
 
     /// Scales the ring about a centre point.
     pub fn scaled_about(&self, center: Vec2, factor: f64) -> Ring {
-        Ring { points: self.points.iter().map(|&p| center + (p - center) * factor).collect() }
+        Ring {
+            points: self
+                .points
+                .iter()
+                .map(|&p| center + (p - center) * factor)
+                .collect(),
+        }
     }
 
     /// Removes vertices that are (nearly) collinear with their neighbours,
@@ -258,7 +271,9 @@ impl Ring {
         if n < 2 {
             return Vec::new();
         }
-        (0..n).map(|i| (self.points[i], self.points[(i + 1) % n])).collect()
+        (0..n)
+            .map(|i| (self.points[i], self.points[(i + 1) % n]))
+            .collect()
     }
 }
 

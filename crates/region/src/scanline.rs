@@ -163,7 +163,12 @@ fn pair_intervals(xs: &[(f64, usize)]) -> Vec<Interval> {
         let (xl, sl) = xs[i];
         let (xr, sr) = xs[i + 1];
         if xr - xl > EPS {
-            intervals.push(Interval { xl, xr, seg_l: sl, seg_r: sr });
+            intervals.push(Interval {
+                xl,
+                xr,
+                seg_l: sl,
+                seg_r: sr,
+            });
         }
         i += 2;
     }
@@ -197,12 +202,32 @@ fn interval_op(ia: &[Interval], ib: &[Interval], op: BoolOp) -> Vec<Interval> {
     }
     let mut events: Vec<Event> = Vec::with_capacity(2 * (ia.len() + ib.len()));
     for itv in ia {
-        events.push(Event { x: itv.xl, is_a: true, is_start: true, seg: itv.seg_l });
-        events.push(Event { x: itv.xr, is_a: true, is_start: false, seg: itv.seg_r });
+        events.push(Event {
+            x: itv.xl,
+            is_a: true,
+            is_start: true,
+            seg: itv.seg_l,
+        });
+        events.push(Event {
+            x: itv.xr,
+            is_a: true,
+            is_start: false,
+            seg: itv.seg_r,
+        });
     }
     for itv in ib {
-        events.push(Event { x: itv.xl, is_a: false, is_start: true, seg: itv.seg_l });
-        events.push(Event { x: itv.xr, is_a: false, is_start: false, seg: itv.seg_r });
+        events.push(Event {
+            x: itv.xl,
+            is_a: false,
+            is_start: true,
+            seg: itv.seg_l,
+        });
+        events.push(Event {
+            x: itv.xr,
+            is_a: false,
+            is_start: false,
+            seg: itv.seg_r,
+        });
     }
     events.sort_by(|a, b| {
         a.x.partial_cmp(&b.x)
@@ -227,7 +252,12 @@ fn interval_op(ia: &[Interval], ib: &[Interval], op: BoolOp) -> Vec<Interval> {
         } else if !now_inside && inside {
             if let Some((xl, seg_l)) = open.take() {
                 if ev.x - xl > EPS {
-                    out.push(Interval { xl, xr: ev.x, seg_l, seg_r: ev.seg });
+                    out.push(Interval {
+                        xl,
+                        xr: ev.x,
+                        seg_l,
+                        seg_r: ev.seg,
+                    });
                 }
             }
         }
@@ -323,10 +353,7 @@ pub fn boolean_op(a: &[Ring], b: &[Ring], op: BoolOp) -> Vec<Ring> {
         for itv in &res {
             let mut extended = false;
             for ot in open.iter_mut() {
-                if ot.seg_l == itv.seg_l
-                    && ot.seg_r == itv.seg_r
-                    && (ot.y_top - y0).abs() < EPS
-                {
+                if ot.seg_l == itv.seg_l && ot.seg_r == itv.seg_r && (ot.y_top - y0).abs() < EPS {
                     next_open.push(OpenTrapezoid { y_top: y1, ..*ot });
                     // Mark as consumed by moving its top below everything.
                     ot.y_top = f64::NEG_INFINITY;
@@ -388,7 +415,12 @@ fn compact_trapezoids(rings: Vec<Ring>) -> Vec<Ring> {
         if p[2].y <= p[0].y {
             return None;
         }
-        Some(Quad { bl: p[0], br: p[1], tr: p[2], tl: p[3] })
+        Some(Quad {
+            bl: p[0],
+            br: p[1],
+            tr: p[2],
+            tl: p[3],
+        })
     }
     fn key(a: Vec2, b: Vec2) -> (i64, i64, i64, i64) {
         let q = |v: f64| (v / (EPS * 10.0)).round() as i64;
@@ -419,11 +451,7 @@ fn compact_trapezoids(rings: Vec<Ring>) -> Vec<Ring> {
     let n = quads.len();
     for i in 0..n {
         // Repeatedly absorb the quad sitting directly on top of quad i.
-        loop {
-            let base = match quads[i] {
-                Some(q) => q,
-                None => break,
-            };
+        while let Some(base) = quads[i] {
             let top_key = key(base.tl, base.tr);
             let j = match by_bottom.get(&top_key) {
                 Some(&j) if j != i && quads[j].is_some() => j,
@@ -431,7 +459,12 @@ fn compact_trapezoids(rings: Vec<Ring>) -> Vec<Ring> {
             };
             let upper = quads[j].expect("checked above");
             if collinear(base.bl, base.tl, upper.tl) && collinear(base.br, base.tr, upper.tr) {
-                let merged = Quad { bl: base.bl, br: base.br, tr: upper.tr, tl: upper.tl };
+                let merged = Quad {
+                    bl: base.bl,
+                    br: base.br,
+                    tr: upper.tr,
+                    tl: upper.tl,
+                };
                 by_bottom.remove(&key(upper.bl, upper.br));
                 quads[j] = None;
                 quads[i] = Some(merged);
@@ -509,7 +542,10 @@ mod tests {
         assert!((total_area(&diff) - 12.0).abs() < 1e-6);
         assert!(contains(&diff, Vec2::new(0.5, 0.5)));
         assert!(contains(&diff, Vec2::new(3.5, 2.0)));
-        assert!(!contains(&diff, Vec2::new(2.0, 2.0)), "the hole must be excluded");
+        assert!(
+            !contains(&diff, Vec2::new(2.0, 2.0)),
+            "the hole must be excluded"
+        );
         // Intersection recovers the inner square.
         let inter = boolean_op(&outer, &inner, BoolOp::Intersection);
         assert!((total_area(&inter) - 4.0).abs() < 1e-6);
@@ -602,7 +638,11 @@ mod tests {
         let sq = square(0.0, 0.0, 4.0, 2.0);
         let inter = boolean_op(&tri, &sq, BoolOp::Intersection);
         // The triangle below y=2 is a trapezoid with area 6 (bases 4 and 2, height 2).
-        assert!((total_area(&inter) - 6.0).abs() < 1e-5, "area {}", total_area(&inter));
+        assert!(
+            (total_area(&inter) - 6.0).abs() < 1e-5,
+            "area {}",
+            total_area(&inter)
+        );
         let union = boolean_op(&tri, &sq, BoolOp::Union);
         // Union = triangle (8) + square (8) − intersection (6) = 10.
         assert!((total_area(&union) - 10.0).abs() < 1e-5);

@@ -1,0 +1,91 @@
+//! Batch geolocalization — the production-service shape of Octant: one
+//! fixed landmark deployment, a stream of many unknown hosts to localize.
+//!
+//! The example captures a measurement campaign over a landmark deployment
+//! plus a target population, localizes every target twice — with the naive
+//! sequential loop and with `BatchGeolocator::localize_batch` (shared
+//! landmark model, parallel fan-out, per-worker scratch buffers) — verifies
+//! the estimates are identical, and reports the throughput difference and
+//! the accuracy of the batch.
+//!
+//! Run with `cargo run --release --example batch_localization` (pass
+//! `--smoke` for a reduced problem size, as CI does).
+
+use octant::{BatchGeolocator, Geolocator, Octant, OctantConfig};
+use octant_bench::batch_campaign;
+use octant_geo::distance::great_circle_km;
+use std::time::Instant;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (landmark_count, target_count) = if smoke { (10, 16) } else { (16, 120) };
+
+    println!("# Batch localization: {landmark_count} landmarks, {target_count} targets");
+    let capture_start = Instant::now();
+    let campaign = batch_campaign(landmark_count, target_count, 42);
+    println!("# campaign captured in {:.1?}", capture_start.elapsed());
+
+    let octant = Octant::new(OctantConfig::default());
+    let batch = BatchGeolocator::new(OctantConfig::default());
+
+    let seq_start = Instant::now();
+    let sequential: Vec<_> = campaign
+        .targets
+        .iter()
+        .map(|&t| octant.localize(&campaign.dataset, &campaign.landmarks, t))
+        .collect();
+    let seq_elapsed = seq_start.elapsed();
+
+    let batch_start = Instant::now();
+    let batched = batch.localize_batch(&campaign.dataset, &campaign.landmarks, &campaign.targets);
+    let batch_elapsed = batch_start.elapsed();
+
+    let identical = sequential
+        .iter()
+        .zip(&batched)
+        .all(|(s, b)| s.point == b.point && s.target_height_ms == b.target_height_ms);
+
+    let mut errors_km: Vec<f64> = Vec::new();
+    for (&target, est) in campaign.targets.iter().zip(&batched) {
+        let truth = campaign
+            .dataset
+            .true_location(target)
+            .expect("targets have ground truth");
+        if let Some(p) = est.point {
+            errors_km.push(great_circle_km(p, truth));
+        }
+    }
+    errors_km.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+    let median_km = errors_km
+        .get(errors_km.len() / 2)
+        .copied()
+        .unwrap_or(f64::NAN);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let n = campaign.targets.len() as f64;
+    println!(
+        "# sequential loop : {seq_elapsed:>10.1?}  ({:.1} targets/s)",
+        n / seq_elapsed.as_secs_f64()
+    );
+    println!(
+        "# localize_batch  : {batch_elapsed:>10.1?}  ({:.1} targets/s, {cores} core(s))",
+        n / batch_elapsed.as_secs_f64()
+    );
+    println!(
+        "# speedup         : {:.2}x",
+        seq_elapsed.as_secs_f64() / batch_elapsed.as_secs_f64()
+    );
+    println!("# estimates identical to sequential: {identical}");
+    println!(
+        "# localized {}/{} targets, median error {median_km:.0} km",
+        errors_km.len(),
+        campaign.targets.len()
+    );
+
+    assert!(
+        identical,
+        "batch and sequential estimates must be identical on a replay-stable dataset"
+    );
+}

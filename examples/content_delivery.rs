@@ -29,7 +29,9 @@ fn nearest_replica(p: GeoPoint) -> (&'static str, f64) {
     REPLICAS
         .iter()
         .map(|(name, code)| {
-            let loc = cities::by_code(code).expect("replica city exists").location();
+            let loc = cities::by_code(code)
+                .expect("replica city exists")
+                .location();
             (*name, great_circle_km(p, loc))
         })
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
@@ -48,11 +50,20 @@ fn main() {
     let mut total = 0usize;
     let mut extra_km = 0.0f64;
 
-    println!("{:<42} {:>12} {:>12} {:>8}", "client", "estimated", "true", "match");
+    println!(
+        "{:<42} {:>12} {:>12} {:>8}",
+        "client", "estimated", "true", "match"
+    );
     for client in hosts.iter().take(24) {
-        let landmarks: Vec<_> = hosts.iter().map(|h| h.id).filter(|&id| id != client.id).collect();
+        let landmarks: Vec<_> = hosts
+            .iter()
+            .map(|h| h.id)
+            .filter(|&id| id != client.id)
+            .collect();
         let estimate = octant.localize(&prober, &landmarks, client.id);
-        let Some(point) = estimate.point else { continue };
+        let Some(point) = estimate.point else {
+            continue;
+        };
         let truth = prober.network().node(client.id).location;
 
         let (chosen, _) = nearest_replica(point);
@@ -69,7 +80,13 @@ fn main() {
         } else {
             extra_km += chosen_km - ideal_km;
         }
-        println!("{:<42} {:>12} {:>12} {:>8}", client.hostname, chosen, ideal, if chosen == ideal { "yes" } else { "NO" });
+        println!(
+            "{:<42} {:>12} {:>12} {:>8}",
+            client.hostname,
+            chosen,
+            ideal,
+            if chosen == ideal { "yes" } else { "NO" }
+        );
     }
 
     println!("\nreplica selection matched the ground-truth choice for {correct}/{total} clients");

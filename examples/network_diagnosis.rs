@@ -19,8 +19,14 @@ fn main() {
     let hosts = prober.hosts();
 
     // Diagnose the path from Cornell to UC Berkeley.
-    let src = hosts.iter().find(|h| h.hostname.contains("cornell")).expect("cornell host");
-    let dst = hosts.iter().find(|h| h.hostname.contains("berkeley")).expect("berkeley host");
+    let src = hosts
+        .iter()
+        .find(|h| h.hostname.contains("cornell"))
+        .expect("cornell host");
+    let dst = hosts
+        .iter()
+        .find(|h| h.hostname.contains("berkeley"))
+        .expect("berkeley host");
     let landmarks: Vec<_> = hosts
         .iter()
         .map(|h| h.id)
@@ -51,7 +57,9 @@ fn main() {
     let mut inferred_path_km = 0.0;
     for hop in &hops {
         let estimate = octant.localize(&prober, &landmarks, hop.node);
-        let Some(point) = estimate.point else { continue };
+        let Some(point) = estimate.point else {
+            continue;
+        };
         inferred_path_km += great_circle_km(prev_estimate, point);
         prev_estimate = point;
         println!(
@@ -65,7 +73,10 @@ fn main() {
     inferred_path_km += great_circle_km(prev_estimate, prober.network().node(dst.id).location);
 
     println!("\ninferred routed path length: {inferred_path_km:.0} km");
-    println!("route inflation vs great circle: {:.2}x", inferred_path_km / direct);
+    println!(
+        "route inflation vs great circle: {:.2}x",
+        inferred_path_km / direct
+    );
     if inferred_path_km / direct > 1.5 {
         println!("=> the path takes a significant geographic detour (policy routing)");
     } else {

@@ -21,13 +21,16 @@ fn main() {
         builder = builder.add_host(octant_netsim::builder::HostSpec::from_site(site));
     }
     let prober = Prober::new(builder.build(), 42);
-    println!("capturing pairwise measurements over {} sites…", sites.len());
+    println!(
+        "capturing pairwise measurements over {} sites…",
+        sites.len()
+    );
     let dataset = MeasurementDataset::capture(&prober);
     let hosts = dataset.host_ids();
 
     let octant = Octant::new(OctantConfig::default());
     let geolim = GeoLim::default();
-    let geoping = GeoPing::default();
+    let geoping = GeoPing;
 
     println!("running leave-one-out localization…");
     let octant_outcomes = leave_one_out(&dataset, &octant, &hosts);
@@ -38,7 +41,11 @@ fn main() {
         "{:<42} {:>12} {:>12} {:>12}",
         "target", "octant (mi)", "geolim (mi)", "geoping (mi)"
     );
-    for ((o, g), p) in octant_outcomes.iter().zip(&geolim_outcomes).zip(&geoping_outcomes) {
+    for ((o, g), p) in octant_outcomes
+        .iter()
+        .zip(&geolim_outcomes)
+        .zip(&geoping_outcomes)
+    {
         let host = dataset
             .hosts
             .iter()
@@ -58,11 +65,15 @@ fn main() {
     let octant_cdf = ErrorCdf::from_outcomes(&octant_outcomes);
     let geolim_cdf = ErrorCdf::from_outcomes(&geolim_outcomes);
     let geoping_cdf = ErrorCdf::from_outcomes(&geoping_outcomes);
-    println!("\nmedian error:  Octant {:.1} mi | GeoLim {:.1} mi | GeoPing {:.1} mi",
+    println!(
+        "\nmedian error:  Octant {:.1} mi | GeoLim {:.1} mi | GeoPing {:.1} mi",
         octant_cdf.median().unwrap_or(f64::NAN),
         geolim_cdf.median().unwrap_or(f64::NAN),
-        geoping_cdf.median().unwrap_or(f64::NAN));
-    println!("region hit rate: Octant {:.0}% | GeoLim {:.0}%",
+        geoping_cdf.median().unwrap_or(f64::NAN)
+    );
+    println!(
+        "region hit rate: Octant {:.0}% | GeoLim {:.0}%",
         region_hit_rate(&octant_outcomes) * 100.0,
-        region_hit_rate(&geolim_outcomes) * 100.0);
+        region_hit_rate(&geolim_outcomes) * 100.0
+    );
 }

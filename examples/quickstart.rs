@@ -24,7 +24,11 @@ fn main() {
     // 2. The first host is the target; everyone else is a landmark.
     let target = &hosts[0];
     let landmarks: Vec<_> = hosts[1..].iter().map(|h| h.id).collect();
-    println!("localizing {} using {} landmarks…", target.hostname, landmarks.len());
+    println!(
+        "localizing {} using {} landmarks…",
+        target.hostname,
+        landmarks.len()
+    );
 
     // 3. Run the full Octant pipeline.
     let octant = Octant::new(OctantConfig::default());
@@ -32,7 +36,11 @@ fn main() {
 
     let region = estimate.region.expect("enough landmarks to form a region");
     let point = estimate.point.expect("a point estimate");
-    println!("estimated region:  {:.0} sq mi across {} ring(s)", region.area_mi2(), region.region().ring_count());
+    println!(
+        "estimated region:  {:.0} sq mi across {} ring(s)",
+        region.area_mi2(),
+        region.region().ring_count()
+    );
     println!("point estimate:    {point}");
     if let Some(h) = estimate.target_height_ms {
         println!("estimated height:  {h:.2} ms of last-mile queuing delay");

@@ -1,0 +1,18 @@
+//! Workspace façade for the Octant (Wong, Stoyanov, Sirer — NSDI 2007)
+//! reproduction.
+//!
+//! This crate exists so the repository root is itself a package: the
+//! cross-crate integration tests live in `tests/` and the runnable
+//! application examples in `examples/`, both building against the re-exports
+//! below. Library consumers should depend on the individual crates
+//! (`octant-core`, `octant-geo`, …) directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use octant;
+pub use octant_baselines;
+pub use octant_bench;
+pub use octant_geo;
+pub use octant_netsim;
+pub use octant_region;

@@ -21,8 +21,8 @@ fn octant_beats_every_baseline_on_median_error() {
     let campaign = campaign();
     let octant = run_technique(&campaign, &Octant::new(OctantConfig::default()));
     let geolim = run_technique(&campaign, &GeoLim::default());
-    let geoping = run_technique(&campaign, &GeoPing::default());
-    let geotrack = run_technique(&campaign, &GeoTrack::default());
+    let geoping = run_technique(&campaign, &GeoPing);
+    let geotrack = run_technique(&campaign, &GeoTrack);
 
     let o = octant.median_miles();
     // Figure 3's qualitative claim against the latency-based baselines:
@@ -90,12 +90,18 @@ fn figure4_shape_octant_does_not_degrade_with_more_landmarks_as_much_as_geolim()
     // collapse as landmarks are added (the paper's headline); absolute hit
     // rates differ from 2007 PlanetLab — see EXPERIMENTS.md.
     assert!(octant_few >= 0.2, "Octant at 10 landmarks: {octant_few:.2}");
-    assert!(octant_many >= 0.2, "Octant at 25 landmarks: {octant_many:.2}");
+    assert!(
+        octant_many >= 0.2,
+        "Octant at 25 landmarks: {octant_many:.2}"
+    );
     assert!(
         octant_many >= octant_few - 0.15,
         "Octant must not collapse as landmarks are added ({octant_few:.2} -> {octant_many:.2})"
     );
-    assert!(geolim_few > 0.0 && geolim_many > 0.0, "GeoLim produces regions at both ends");
+    assert!(
+        geolim_few > 0.0 && geolim_many > 0.0,
+        "GeoLim produces regions at both ends"
+    );
 }
 
 #[test]

@@ -1,0 +1,61 @@
+//! Regression test for the batch engine's shared calibration cache.
+//!
+//! The entire point of `BatchGeolocator` is that the landmark-side state is
+//! computed once per batch: exactly one `Calibration::from_samples` per
+//! landmark plus one pooled calibration, *independent of the number of
+//! targets*. The sequential loop pays that cost once per target. This test
+//! pins both facts through the process-wide build counter, so a future
+//! refactor that silently reintroduces per-target calibration will fail
+//! loudly.
+//!
+//! Kept in its own integration-test binary: the counter is process-wide,
+//! and sibling tests running concurrently would perturb the deltas.
+
+use octant::{calibration, BatchGeolocator, Geolocator, Octant, OctantConfig};
+use octant_bench::batch_campaign;
+
+#[test]
+fn batch_builds_the_calibrations_once_regardless_of_target_count() {
+    let campaign = batch_campaign(10, 40, 19);
+    let landmark_count = campaign.landmarks.len() as u64;
+    let batch = BatchGeolocator::new(OctantConfig::default());
+
+    // Batch over a small prefix of the targets…
+    let before_small = calibration::build_count();
+    let small = batch.localize_batch(
+        &campaign.dataset,
+        &campaign.landmarks,
+        &campaign.targets[..10],
+    );
+    let small_builds = calibration::build_count() - before_small;
+
+    // …and over the full target set: the calibration work must not grow.
+    let before_full = calibration::build_count();
+    let full = batch.localize_batch(&campaign.dataset, &campaign.landmarks, &campaign.targets);
+    let full_builds = calibration::build_count() - before_full;
+
+    assert_eq!(small.len(), 10);
+    assert_eq!(full.len(), campaign.targets.len());
+    assert_eq!(
+        small_builds,
+        landmark_count + 1,
+        "a batch must build exactly one calibration per landmark plus the pooled one"
+    );
+    assert_eq!(
+        full_builds, small_builds,
+        "calibration builds must be independent of the number of targets"
+    );
+
+    // The sequential loop, by contrast, rebuilds the model per target.
+    let octant = Octant::new(OctantConfig::default());
+    let before_seq = calibration::build_count();
+    for &target in &campaign.targets[..10] {
+        octant.localize(&campaign.dataset, &campaign.landmarks, target);
+    }
+    let seq_builds = calibration::build_count() - before_seq;
+    assert_eq!(
+        seq_builds,
+        10 * (landmark_count + 1),
+        "the sequential loop pays the calibration cost once per target"
+    );
+}

@@ -1,0 +1,147 @@
+//! Batch-engine parity: `BatchGeolocator::localize_batch` must produce
+//! estimates *identical* to the sequential `Octant::localize` loop over the
+//! same replay-stable dataset — same points (bit-for-bit), same regions,
+//! same solver reports — while paying the landmark-side work once instead
+//! of once per target.
+
+use octant::{BatchGeolocator, Geolocator, Octant, OctantConfig};
+use octant_bench::batch_campaign;
+use std::time::Instant;
+
+#[test]
+fn batch_matches_sequential_exactly_over_100_targets() {
+    let campaign = batch_campaign(12, 104, 42);
+    assert!(
+        campaign.targets.len() >= 100,
+        "the campaign must cover at least 100 targets"
+    );
+
+    let octant = Octant::new(OctantConfig::default());
+    let batch = BatchGeolocator::new(OctantConfig::default());
+
+    let batch_start = Instant::now();
+    let batched = batch.localize_batch(&campaign.dataset, &campaign.landmarks, &campaign.targets);
+    let batch_elapsed = batch_start.elapsed();
+
+    let seq_start = Instant::now();
+    let sequential: Vec<_> = campaign
+        .targets
+        .iter()
+        .map(|&target| octant.localize(&campaign.dataset, &campaign.landmarks, target))
+        .collect();
+    let seq_elapsed = seq_start.elapsed();
+
+    assert_eq!(batched.len(), sequential.len());
+    let mut with_points = 0;
+    for ((&target, b), s) in campaign.targets.iter().zip(&batched).zip(&sequential) {
+        // Point estimates must agree bit-for-bit (GeoPoint comparison is
+        // exact f64 equality — both paths must run the same float ops in
+        // the same order).
+        assert_eq!(
+            b.point, s.point,
+            "point estimate diverged for target {target:?}"
+        );
+        assert_eq!(
+            b.target_height_ms, s.target_height_ms,
+            "height estimate diverged for target {target:?}"
+        );
+        assert_eq!(
+            b.report, s.report,
+            "solver report diverged for target {target:?}"
+        );
+        match (&b.region, &s.region) {
+            (Some(br), Some(sr)) => {
+                assert_eq!(
+                    br.area_km2(),
+                    sr.area_km2(),
+                    "region area diverged for {target:?}"
+                );
+                assert_eq!(
+                    br.centroid(),
+                    sr.centroid(),
+                    "region centroid diverged for {target:?}"
+                );
+            }
+            (None, None) => {}
+            _ => panic!("one path produced a region and the other did not for {target:?}"),
+        }
+        if b.point.is_some() {
+            with_points += 1;
+        }
+    }
+    assert!(
+        with_points >= campaign.targets.len() * 9 / 10,
+        "almost all targets should be localizable ({with_points}/{})",
+        campaign.targets.len()
+    );
+
+    // Per-target region algebra dominates a solve, so on a single core the
+    // batch path saves only the (small) shared landmark model and the two
+    // loops run neck and neck; the wall-clock win comes from the multi-core
+    // fan-out. Assert strictly only when parallelism is available, and in
+    // any case require that batching is not a regression (wide margin:
+    // other test binaries share the machine). The real measurement lives in
+    // benches/batch.rs.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "localize_batch: {batch_elapsed:?} for {} targets on {cores} core(s); sequential loop: {seq_elapsed:?}",
+        campaign.targets.len()
+    );
+    // This is a regression guard, not the speed measurement: sibling tests
+    // in this binary run on concurrent threads and can saturate every core
+    // during either measurement, so a strict "batch wins" comparison here
+    // would be scheduler-noise roulette. The 1.10 margin still catches the
+    // engine becoming materially slower than the loop it replaces; the
+    // actual speedup numbers live in benches/batch.rs. One retry shrugs
+    // off a single unlucky scheduling of the fan-out workers.
+    let within_margin = |b: std::time::Duration| b.as_secs_f64() < seq_elapsed.as_secs_f64() * 1.10;
+    let acceptable = within_margin(batch_elapsed) || {
+        let retry_start = Instant::now();
+        let _ = batch.localize_batch(&campaign.dataset, &campaign.landmarks, &campaign.targets);
+        within_margin(retry_start.elapsed())
+    };
+    assert!(
+        acceptable,
+        "batch ({batch_elapsed:?}) regressed past the sequential loop ({seq_elapsed:?}) on {cores} core(s)"
+    );
+}
+
+#[test]
+fn batch_respects_target_order_and_duplicates() {
+    let campaign = batch_campaign(10, 12, 7);
+    let batch = BatchGeolocator::new(OctantConfig::default());
+    // Duplicate and permute targets: outputs must line up positionally.
+    let shuffled: Vec<_> = campaign.targets.iter().rev().copied().collect();
+    let mut doubled = shuffled.clone();
+    doubled.extend_from_slice(&shuffled);
+
+    let estimates = batch.localize_batch(&campaign.dataset, &campaign.landmarks, &doubled);
+    assert_eq!(estimates.len(), doubled.len());
+    let half = shuffled.len();
+    for i in 0..half {
+        assert_eq!(
+            estimates[i].point,
+            estimates[i + half].point,
+            "duplicate target {:?} got different estimates",
+            doubled[i]
+        );
+    }
+}
+
+#[test]
+fn batch_with_minimal_config_also_matches() {
+    let campaign = batch_campaign(10, 16, 23);
+    let octant = Octant::new(OctantConfig::minimal());
+    let batch = BatchGeolocator::new(OctantConfig::minimal());
+    let batched = batch.localize_batch(&campaign.dataset, &campaign.landmarks, &campaign.targets);
+    for (&target, b) in campaign.targets.iter().zip(&batched) {
+        let s = octant.localize(&campaign.dataset, &campaign.landmarks, target);
+        assert_eq!(
+            b.point, s.point,
+            "minimal-config parity broke for {target:?}"
+        );
+        assert_eq!(b.report, s.report);
+    }
+}

@@ -8,7 +8,10 @@ use octant_netsim::latency::LatencyModel;
 use octant_netsim::{MeasurementDataset, ObservationProvider, Prober};
 
 fn noiseless_prober(n: usize, seed: u64) -> Prober {
-    let mut builder = NetworkBuilder::new(NetworkConfig { seed, ..NetworkConfig::default() });
+    let mut builder = NetworkBuilder::new(NetworkConfig {
+        seed,
+        ..NetworkConfig::default()
+    });
     for site in octant_geo::sites::planetlab_51().iter().take(n) {
         builder = builder.add_host(HostSpec::from_site(site));
     }
@@ -28,7 +31,11 @@ fn replay_equals_live_when_the_latency_model_is_noiseless() {
             if a == b {
                 continue;
             }
-            assert_eq!(prober.ping(a, b).min(), dataset.ping(a, b).min(), "ping {a}->{b}");
+            assert_eq!(
+                prober.ping(a, b).min(),
+                dataset.ping(a, b).min(),
+                "ping {a}->{b}"
+            );
             let live: Vec<_> = prober.traceroute(a, b).iter().map(|h| h.node).collect();
             let replay: Vec<_> = dataset.traceroute(a, b).iter().map(|h| h.node).collect();
             assert_eq!(live, replay, "traceroute {a}->{b}");
@@ -54,7 +61,10 @@ fn octant_gives_identical_results_on_live_and_replayed_noiseless_measurements() 
         "live {lp} vs replay {rp} point estimates diverged"
     );
     let (lr, rr) = (live.region.unwrap(), replay.region.unwrap());
-    assert!((lr.area_km2() - rr.area_km2()).abs() < 1.0, "region areas diverged");
+    assert!(
+        (lr.area_km2() - rr.area_km2()).abs() < 1.0,
+        "region areas diverged"
+    );
 }
 
 #[test]

@@ -15,7 +15,12 @@ fn live_prober_and_recorded_dataset_both_drive_octant() {
     let prober = Prober::new(network, 11);
     let hosts = prober.hosts();
     let target = hosts[3].id;
-    let landmarks: Vec<_> = hosts.iter().map(|h| h.id).filter(|&id| id != target).take(18).collect();
+    let landmarks: Vec<_> = hosts
+        .iter()
+        .map(|h| h.id)
+        .filter(|&id| id != target)
+        .take(18)
+        .collect();
 
     let octant = Octant::new(OctantConfig::default());
     let live = octant.localize(&prober, &landmarks, target);
@@ -26,7 +31,12 @@ fn live_prober_and_recorded_dataset_both_drive_octant() {
     // sane estimate (not necessarily identical: the capture re-samples probes).
     let campaign = campaign_with_sites(22, 11);
     let target = campaign.hosts[3];
-    let landmarks: Vec<_> = campaign.hosts.iter().copied().filter(|&id| id != target).collect();
+    let landmarks: Vec<_> = campaign
+        .hosts
+        .iter()
+        .copied()
+        .filter(|&id| id != target)
+        .collect();
     let recorded = octant.localize(&campaign.dataset, &landmarks, target);
     assert!(recorded.point.is_some());
     assert!(recorded.region.is_some());
@@ -36,9 +46,15 @@ fn live_prober_and_recorded_dataset_both_drive_octant() {
 fn octant_region_is_dramatically_smaller_than_speed_of_light_region() {
     let campaign = campaign_with_sites(20, 5);
     let target = campaign.hosts[0];
-    let landmarks: Vec<_> = campaign.hosts.iter().copied().filter(|&id| id != target).collect();
+    let landmarks: Vec<_> = campaign
+        .hosts
+        .iter()
+        .copied()
+        .filter(|&id| id != target)
+        .collect();
 
-    let octant = Octant::new(OctantConfig::default()).localize(&campaign.dataset, &landmarks, target);
+    let octant =
+        Octant::new(OctantConfig::default()).localize(&campaign.dataset, &landmarks, target);
     let sol = SpeedOfLight::new().localize(&campaign.dataset, &landmarks, target);
 
     let octant_area = octant.region.expect("octant region").area_km2();
@@ -79,7 +95,10 @@ fn leave_one_out_errors_are_reasonable_at_moderate_scale() {
     let outcomes = leave_one_out(&campaign.dataset, &octant, &campaign.hosts);
     let cdf = ErrorCdf::from_outcomes(&outcomes);
     let median = cdf.median().unwrap();
-    assert!(median < 300.0, "median error {median:.0} mi is too large for 23 landmarks");
+    assert!(
+        median < 300.0,
+        "median error {median:.0} mi is too large for 23 landmarks"
+    );
     let hit = region_hit_rate(&outcomes);
     assert!(hit >= 0.2, "region hit rate {hit:.2} is too low");
 }
@@ -94,7 +113,12 @@ fn recursive_router_localization_runs_end_to_end() {
     };
     let octant = Octant::new(cfg);
     let target = campaign.hosts[2];
-    let landmarks: Vec<_> = campaign.hosts.iter().copied().filter(|&id| id != target).collect();
+    let landmarks: Vec<_> = campaign
+        .hosts
+        .iter()
+        .copied()
+        .filter(|&id| id != target)
+        .collect();
     let est = octant.localize(&campaign.dataset, &landmarks, target);
     let truth = campaign.dataset.advertised_location(target).unwrap();
     let err = great_circle_km(est.point.unwrap(), truth);
@@ -112,5 +136,8 @@ fn different_seeds_produce_different_but_valid_results() {
     let eb: Vec<f64> = ob.iter().filter_map(|o| o.error.map(|d| d.km())).collect();
     assert_eq!(ea.len(), 12);
     assert_eq!(eb.len(), 12);
-    assert_ne!(ea, eb, "different measurement seeds must not produce identical errors");
+    assert_ne!(
+        ea, eb,
+        "different measurement seeds must not produce identical errors"
+    );
 }
