@@ -1,0 +1,81 @@
+//! The serving axis the router cache establishes: recursive router
+//! localization over targets that share last-hop routers, uncached (every
+//! target re-runs each router's sub-solve inline) versus served through
+//! `octant_service`'s shared `(epoch, router)` cache.
+//!
+//! `service/recursive_uncached` and `service/served_cached` run the
+//! identical workload, so their ratio is the cache's end-to-end win;
+//! `service/served_warm` measures the steady state where every router is
+//! already resident (the cost of pure constraint assembly + solving).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use octant::{BatchGeolocator, Octant, OctantConfig, RouterLocalization};
+use octant_bench::service_campaign;
+use octant_service::{GeolocationService, ServiceConfig};
+
+fn bench_service(c: &mut Criterion) {
+    let octant_config = OctantConfig {
+        router_localization: RouterLocalization::Recursive,
+        ..OctantConfig::default()
+    };
+    // 12 targets behind 3 shared sites: the N ≫ R serving regime.
+    let campaign = service_campaign(16, 3, 4, 42);
+    let provider = campaign.dataset.into_shared();
+    let batch = BatchGeolocator::new(octant_config);
+    let octant = Octant::new(octant_config);
+    let model = octant.prepare_landmarks(&provider, &campaign.landmarks);
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+
+    group.bench_function("recursive_uncached", |b| {
+        b.iter(|| black_box(batch.localize_batch_with_model(&provider, &model, &campaign.targets)))
+    });
+
+    group.bench_function("served_cached", |b| {
+        b.iter(|| {
+            // A fresh service per iteration: measures the cold-cache serving
+            // path end to end (bootstrap + exactly R sub-solves + serving).
+            let service = GeolocationService::start(
+                ServiceConfig {
+                    octant: octant_config,
+                    ..ServiceConfig::default()
+                },
+                provider.clone(),
+                &campaign.landmarks,
+            );
+            let served = service.localize_blocking(&campaign.targets);
+            black_box(served)
+        })
+    });
+
+    let warm_service = GeolocationService::start(
+        ServiceConfig {
+            octant: octant_config,
+            ..ServiceConfig::default()
+        },
+        provider.clone(),
+        &campaign.landmarks,
+    );
+    warm_service.localize_blocking(&campaign.targets);
+    group.bench_function("served_warm", |b| {
+        b.iter(|| black_box(warm_service.localize_blocking(&campaign.targets)))
+    });
+    group.finish();
+
+    let stats = warm_service.stats();
+    println!(
+        "service/cache: {} sub-localizations, {} hits ({:.1}% hit rate)",
+        stats.cache.misses,
+        stats.cache.hits,
+        stats.cache.hit_rate() * 100.0
+    );
+    warm_service.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_service
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Batch-throughput campaign binary: the offline engine's targets/sec axis.
+//!
+//! Localizes a target population against a fixed landmark deployment twice —
+//! with the naive sequential loop (model rebuilt per target) and with
+//! `BatchGeolocator::localize_batch` — verifies the estimates are identical
+//! on the replay-stable dataset, and reports both throughputs.
+//!
+//! Run with `cargo run --release -p octant-bench --bin batch`. Flags:
+//! * `--smoke` — reduced problem size (CI's bench-smoke job).
+//! * `--json <path>` — additionally write the machine-readable
+//!   `BENCH_*.json` summary documented in `octant_bench`'s crate docs.
+
+use octant::{BatchGeolocator, Geolocator, Octant, OctantConfig};
+use octant_bench::{batch_campaign, json_path_from_args, BenchSummary};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = json_path_from_args(&args);
+    let (landmark_count, target_count) = if smoke { (10, 16) } else { (16, 120) };
+
+    println!("# batch bench: {landmark_count} landmarks, {target_count} targets");
+    let campaign = batch_campaign(landmark_count, target_count, 42);
+
+    let octant = Octant::new(OctantConfig::default());
+    let batch = BatchGeolocator::new(OctantConfig::default());
+
+    let seq_start = Instant::now();
+    let sequential: Vec<_> = campaign
+        .targets
+        .iter()
+        .map(|&t| octant.localize(&campaign.dataset, &campaign.landmarks, t))
+        .collect();
+    let seq_elapsed = seq_start.elapsed();
+
+    let batch_start = Instant::now();
+    let batched = batch.localize_batch(&campaign.dataset, &campaign.landmarks, &campaign.targets);
+    let batch_elapsed = batch_start.elapsed();
+
+    let identical = sequential
+        .iter()
+        .zip(&batched)
+        .all(|(s, b)| s.point == b.point);
+    assert!(
+        identical,
+        "batch and sequential estimates must be identical on a replay-stable dataset"
+    );
+
+    let n = campaign.targets.len();
+    println!(
+        "# sequential loop : {seq_elapsed:>10.1?}  ({:.1} targets/s)",
+        n as f64 / seq_elapsed.as_secs_f64()
+    );
+    println!(
+        "# localize_batch  : {batch_elapsed:>10.1?}  ({:.1} targets/s)",
+        n as f64 / batch_elapsed.as_secs_f64()
+    );
+    println!(
+        "# speedup         : {:.2}x",
+        seq_elapsed.as_secs_f64() / batch_elapsed.as_secs_f64()
+    );
+
+    let summary = BenchSummary {
+        bench: "batch".into(),
+        scenario: if smoke { "smoke".into() } else { "full".into() },
+        landmarks: campaign.landmarks.len(),
+        targets: n,
+        elapsed_s: batch_elapsed.as_secs_f64(),
+        baseline_elapsed_s: Some(seq_elapsed.as_secs_f64()),
+        cache_hits: None,
+        cache_misses: None,
+    };
+    if let Some(path) = json_path {
+        summary
+            .write_json(&path)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("# wrote {}", path.display());
+    }
+}

@@ -1,0 +1,123 @@
+//! Serving-throughput campaign binary: the online engine's axis.
+//!
+//! Runs `RouterLocalization::Recursive` — the most expensive enrichment in
+//! the framework, §3's recursive router localization — over a population of
+//! targets that share last-hop routers, twice:
+//!
+//! 1. **baseline**: the offline batch engine with inline router sub-solves
+//!    (every target pays for every router it routes through), and
+//! 2. **service**: `octant_service::GeolocationService`, whose shared
+//!    router cache computes each router's sub-localization once per model
+//!    epoch and replays it across all targets and requests.
+//!
+//! The two produce bit-identical estimates on the replay-stable dataset;
+//! the throughput ratio is the cache's win, and grows with N/R (targets per
+//! shared router).
+//!
+//! Run with `cargo run --release -p octant-bench --bin service`. Flags:
+//! * `--smoke` — reduced problem size (CI's bench-smoke job).
+//! * `--json <path>` — additionally write the machine-readable
+//!   `BENCH_*.json` summary documented in `octant_bench`'s crate docs.
+
+use octant::{BatchGeolocator, OctantConfig, RouterLocalization};
+use octant_bench::{json_path_from_args, service_campaign, BenchSummary};
+use octant_service::{GeolocationService, ServiceConfig};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = json_path_from_args(&args);
+    // Targets concentrated behind a few sites, so they share last-hop
+    // routers: the N ≫ R regime the router cache amortizes.
+    let (landmark_count, target_sites, per_site) = if smoke { (16, 3, 4) } else { (16, 3, 16) };
+
+    let octant_config = OctantConfig {
+        router_localization: RouterLocalization::Recursive,
+        ..OctantConfig::default()
+    };
+
+    println!(
+        "# service bench: {landmark_count} landmarks, {} targets behind {target_sites} sites, recursive router localization",
+        target_sites * per_site
+    );
+    let campaign = service_campaign(landmark_count, target_sites, per_site, 42);
+    let provider = campaign.dataset.into_shared();
+
+    // ---- Baseline: per-target recursive batch (inline sub-solves) ----------
+    let batch = BatchGeolocator::new(octant_config);
+    let base_start = Instant::now();
+    let baseline = batch.localize_batch(&provider, &campaign.landmarks, &campaign.targets);
+    let base_elapsed = base_start.elapsed();
+
+    // ---- Service: shared router cache, micro-batched request stream --------
+    let service = GeolocationService::start(
+        ServiceConfig {
+            octant: octant_config,
+            ..ServiceConfig::default()
+        },
+        provider,
+        &campaign.landmarks,
+    );
+    // Submit the population as a stream of small requests (4 targets each),
+    // the shape real traffic has; the queue coalesces them into micro-batches.
+    let serve_start = Instant::now();
+    let handles: Vec<_> = campaign
+        .targets
+        .chunks(4)
+        .map(|chunk| service.submit(chunk))
+        .collect();
+    let served: Vec<_> = handles.into_iter().flat_map(|h| h.wait()).collect();
+    let serve_elapsed = serve_start.elapsed();
+
+    let identical = campaign
+        .targets
+        .iter()
+        .zip(&baseline)
+        .zip(&served)
+        .all(|((&t, b), s)| s.target == t && s.estimate.point == b.point);
+    assert!(
+        identical,
+        "cached serving must be bit-identical to the uncached recursive batch"
+    );
+
+    let stats = service.stats();
+    let n = campaign.targets.len();
+    println!(
+        "# recursive batch (uncached) : {base_elapsed:>10.1?}  ({:.1} targets/s)",
+        n as f64 / base_elapsed.as_secs_f64()
+    );
+    println!(
+        "# service (shared cache)     : {serve_elapsed:>10.1?}  ({:.1} targets/s)",
+        n as f64 / serve_elapsed.as_secs_f64()
+    );
+    println!(
+        "# speedup                    : {:.2}x",
+        base_elapsed.as_secs_f64() / serve_elapsed.as_secs_f64()
+    );
+    println!(
+        "# router cache               : {} sub-localizations, {} hits, {:.1}% hit rate, {} micro-batches",
+        stats.cache.misses,
+        stats.cache.hits,
+        stats.cache.hit_rate() * 100.0,
+        stats.batches
+    );
+
+    let summary = BenchSummary {
+        bench: "service".into(),
+        scenario: if smoke { "smoke".into() } else { "full".into() },
+        landmarks: campaign.landmarks.len(),
+        targets: n,
+        elapsed_s: serve_elapsed.as_secs_f64(),
+        baseline_elapsed_s: Some(base_elapsed.as_secs_f64()),
+        cache_hits: Some(stats.cache.hits),
+        cache_misses: Some(stats.cache.misses),
+    };
+    service.shutdown();
+    if let Some(path) = json_path {
+        summary
+            .write_json(&path)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("# wrote {}", path.display());
+    }
+}

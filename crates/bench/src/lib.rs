@@ -5,6 +5,36 @@
 //! campaign, running a set of geolocalization techniques over it, and
 //! printing the comparison tables. `EXPERIMENTS.md` at the workspace root
 //! records the numbers these harnesses produce next to the paper's.
+//!
+//! ## Machine-readable bench summaries (`BENCH_*.json`)
+//!
+//! The throughput binaries (`batch`, `service`) accept `--json <path>` and
+//! write a [`BenchSummary`] there, so CI and the perf-trajectory tooling can
+//! consume the numbers without scraping stdout. The format is one flat JSON
+//! object; fields whose value is unavailable for a run are **omitted**, not
+//! null:
+//!
+//! ```json
+//! {
+//!   "bench": "service",            // binary name
+//!   "scenario": "smoke",           // workload variant ("smoke" or "full")
+//!   "landmarks": 10,               // landmark deployment size
+//!   "targets": 48,                 // targets served by the measured run
+//!   "elapsed_s": 1.52,             // wall-clock of the measured run
+//!   "targets_per_sec": 31.5,       // targets / elapsed_s
+//!   "baseline_elapsed_s": 11.8,    // (optional) uncached/sequential run
+//!   "baseline_targets_per_sec": 4.1,
+//!   "speedup": 7.7,                // baseline_elapsed_s / elapsed_s
+//!   "cache_hits": 410,             // (optional) router-cache counters
+//!   "cache_misses": 14,
+//!   "cache_hit_rate": 0.967,      // hits / (hits + misses)
+//!   "sub_localizations": 14        // router sub-solves actually performed
+//! }
+//! ```
+//!
+//! The conventional file name is `BENCH_<bench>.json` (e.g.
+//! `BENCH_service.json`); the flag takes an explicit path so campaigns can
+//! collect several variants side by side.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -83,6 +113,62 @@ pub fn batch_campaign(landmark_count: usize, target_count: usize, seed: u64) -> 
         // Deterministic scatter: each wave of targets around a site moves a
         // little farther out (0.02° ≈ 2 km), alternating quadrants.
         let wave = (i / sites.len() + 1) as f64;
+        let dlat = 0.021 * wave * if i % 2 == 0 { 1.0 } else { -1.0 };
+        let dlon = 0.017 * wave * if i % 3 == 0 { 1.0 } else { -1.0 };
+        builder = builder.add_host(HostSpec {
+            hostname: format!("target{i}.{}", site.hostname),
+            location: octant_geo::GeoPoint::new(site.lat + dlat, site.lon + dlon),
+            city_code: site.city_code.to_string(),
+        });
+    }
+    let prober = Prober::with_options(builder.build(), LatencyModel::default(), 0.15, 10, seed);
+    let dataset = MeasurementDataset::capture(&prober);
+    let hosts = dataset.host_ids();
+    BatchCampaign {
+        landmarks: hosts[..landmark_count].to_vec(),
+        targets: hosts[landmark_count..].to_vec(),
+        dataset,
+    }
+}
+
+/// Builds a serving campaign: `landmark_count` hosts at the built-in sites
+/// plus `target_sites * targets_per_site` target hosts **concentrated
+/// behind a handful of sites** (with small deterministic position offsets),
+/// so co-sited targets reach the network through the same access
+/// infrastructure and their traceroutes share last-hop routers.
+///
+/// This is the workload shape the `octant-service` router cache exists for:
+/// co-sited targets share their metro's access router (the builder's
+/// `access_share_radius_km` knob), so `N = target_sites * targets_per_site`
+/// targets sit behind `R ≈ target_sites` shared last-hop routers and
+/// recursive router localization does `R` sub-solves instead of `O(N)` —
+/// the `N ≫ R` axis of the service bench. Target sites start right after
+/// the landmark sites, so targets are never co-located with a landmark.
+pub fn service_campaign(
+    landmark_count: usize,
+    target_sites: usize,
+    targets_per_site: usize,
+    seed: u64,
+) -> BatchCampaign {
+    let sites = octant_geo::sites::all_sites();
+    let landmark_count = landmark_count.min(sites.len().saturating_sub(1));
+    let target_sites = target_sites.max(1).min(sites.len() - landmark_count);
+    let mut builder = NetworkBuilder::new(NetworkConfig {
+        seed,
+        // Customers a few km apart in one metro attach through the same
+        // aggregation router — the sharing the serving cache amortizes.
+        access_share_radius_km: 25.0,
+        ..NetworkConfig::default()
+    });
+    for site in &sites[..landmark_count] {
+        builder = builder.add_host(HostSpec::from_site(site));
+    }
+    let target_count = target_sites * targets_per_site;
+    for i in 0..target_count {
+        let site = &sites[landmark_count + i % target_sites];
+        // Same deterministic scatter scheme as `batch_campaign`: each wave
+        // of co-sited targets moves a couple of kilometres farther out.
+        let wave = (i / target_sites + 1) as f64;
         let dlat = 0.021 * wave * if i % 2 == 0 { 1.0 } else { -1.0 };
         let dlon = 0.017 * wave * if i % 3 == 0 { 1.0 } else { -1.0 };
         builder = builder.add_host(HostSpec {
@@ -201,6 +287,126 @@ pub fn print_cdf_series(results: &[TechniqueResult], error_grid_miles: &[f64]) {
     }
 }
 
+/// A machine-readable throughput-bench summary — see the crate docs for the
+/// on-disk JSON format. `None` fields are omitted from the output.
+#[derive(Debug, Clone, Default)]
+pub struct BenchSummary {
+    /// Binary name (`"batch"`, `"service"`).
+    pub bench: String,
+    /// Workload variant (`"smoke"`, `"full"`).
+    pub scenario: String,
+    /// Landmark deployment size.
+    pub landmarks: usize,
+    /// Targets served by the measured run.
+    pub targets: usize,
+    /// Wall-clock seconds of the measured run.
+    pub elapsed_s: f64,
+    /// Wall-clock seconds of the baseline run, when one was measured.
+    pub baseline_elapsed_s: Option<f64>,
+    /// Router-cache hits, for cache-backed runs.
+    pub cache_hits: Option<u64>,
+    /// Router-cache misses (== router sub-solves performed).
+    pub cache_misses: Option<u64>,
+}
+
+impl BenchSummary {
+    /// Targets per second of the measured run.
+    pub fn targets_per_sec(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.targets as f64 / self.elapsed_s
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Cache hit rate, when cache counters were recorded.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        match (self.cache_hits, self.cache_misses) {
+            (Some(h), Some(m)) if h + m > 0 => Some(h as f64 / (h + m) as f64),
+            _ => None,
+        }
+    }
+
+    /// Renders the summary as the documented flat JSON object.
+    pub fn to_json(&self) -> String {
+        // Hand-rolled: the workspace's serde stand-in has no serializer, and
+        // the format is a flat object with a handful of fields.
+        let mut fields: Vec<String> = vec![
+            format!("\"bench\": {}", json_string(&self.bench)),
+            format!("\"scenario\": {}", json_string(&self.scenario)),
+            format!("\"landmarks\": {}", self.landmarks),
+            format!("\"targets\": {}", self.targets),
+            format!("\"elapsed_s\": {}", json_f64(self.elapsed_s)),
+            format!("\"targets_per_sec\": {}", json_f64(self.targets_per_sec())),
+        ];
+        if let Some(base) = self.baseline_elapsed_s {
+            fields.push(format!("\"baseline_elapsed_s\": {}", json_f64(base)));
+            if base > 0.0 && self.elapsed_s > 0.0 {
+                fields.push(format!(
+                    "\"baseline_targets_per_sec\": {}",
+                    json_f64(self.targets as f64 / base)
+                ));
+                fields.push(format!("\"speedup\": {}", json_f64(base / self.elapsed_s)));
+            }
+        }
+        if let Some(hits) = self.cache_hits {
+            fields.push(format!("\"cache_hits\": {hits}"));
+        }
+        if let Some(misses) = self.cache_misses {
+            fields.push(format!("\"cache_misses\": {misses}"));
+            fields.push(format!("\"sub_localizations\": {misses}"));
+        }
+        if let Some(rate) = self.cache_hit_rate() {
+            fields.push(format!("\"cache_hit_rate\": {}", json_f64(rate)));
+        }
+        format!("{{\n  {}\n}}\n", fields.join(",\n  "))
+    }
+
+    /// Writes the JSON summary to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Enough digits to round-trip the interesting range; trailing zeros
+        // are harmless to every JSON consumer.
+        format!("{v:.6}")
+    } else {
+        // JSON has no Infinity/NaN; null is the conventional stand-in.
+        "null".to_string()
+    }
+}
+
+/// Parses a `--json <path>` flag from a binary's argument list. Returns
+/// `None` when the flag is absent; panics with a usage message when the flag
+/// is present without a path (a misconfigured CI invocation should fail
+/// loudly, not silently skip the artifact).
+pub fn json_path_from_args(args: &[String]) -> Option<std::path::PathBuf> {
+    let idx = args.iter().position(|a| a == "--json")?;
+    match args.get(idx + 1) {
+        Some(path) if !path.starts_with("--") => Some(std::path::PathBuf::from(path)),
+        _ => panic!("--json requires a path argument (e.g. --json BENCH_batch.json)"),
+    }
+}
+
 /// Convenience: the dataset's ground-truth location for a host (panics for
 /// unknown hosts — evaluation hosts always have one).
 pub fn truth_of(campaign: &Campaign, host: NodeId) -> octant_geo::GeoPoint {
@@ -224,6 +430,55 @@ mod tests {
         assert_eq!(result.outcomes.len(), 8);
         assert!(result.median_miles().is_finite());
         assert!(result.worst_miles() >= result.median_miles());
+    }
+
+    #[test]
+    fn bench_summary_json_includes_and_omits_the_right_fields() {
+        let mut summary = BenchSummary {
+            bench: "service".into(),
+            scenario: "smoke".into(),
+            landmarks: 10,
+            targets: 48,
+            elapsed_s: 2.0,
+            ..BenchSummary::default()
+        };
+        let json = summary.to_json();
+        assert!(json.contains("\"bench\": \"service\""));
+        assert!(json.contains("\"targets\": 48"));
+        assert!(json.contains("\"targets_per_sec\": 24.000000"));
+        assert!(!json.contains("baseline"), "absent fields are omitted");
+        assert!(!json.contains("cache"), "absent fields are omitted");
+
+        summary.baseline_elapsed_s = Some(8.0);
+        summary.cache_hits = Some(30);
+        summary.cache_misses = Some(10);
+        let json = summary.to_json();
+        assert!(json.contains("\"speedup\": 4.000000"));
+        assert!(json.contains("\"baseline_targets_per_sec\": 6.000000"));
+        assert!(json.contains("\"cache_hit_rate\": 0.750000"));
+        assert!(json.contains("\"sub_localizations\": 10"));
+        assert_eq!(summary.cache_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn json_path_flag_parses() {
+        let args: Vec<String> = vec!["--smoke".into(), "--json".into(), "out.json".into()];
+        assert_eq!(
+            json_path_from_args(&args),
+            Some(std::path::PathBuf::from("out.json"))
+        );
+        let args: Vec<String> = vec!["--smoke".into()];
+        assert_eq!(json_path_from_args(&args), None);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let summary = BenchSummary {
+            bench: "a\"b\\c".into(),
+            scenario: "s".into(),
+            ..BenchSummary::default()
+        };
+        assert!(summary.to_json().contains("\"a\\\"b\\\\c\""));
     }
 
     #[test]

@@ -38,7 +38,7 @@
 
 use crate::calibration::Calibration;
 use crate::constraint::Constraint;
-use crate::framework::{Geolocator, LocationEstimate, Octant, OctantConfig};
+use crate::framework::{Geolocator, LocationEstimate, Octant, OctantConfig, RouterEstimateSource};
 use crate::heights::Heights;
 use octant_geo::point::GeoPoint;
 use octant_geo::units::Latency;
@@ -198,6 +198,26 @@ impl BatchGeolocator {
     where
         P: ObservationProvider + Sync,
     {
+        self.localize_batch_with_routers(provider, model, targets, None)
+    }
+
+    /// Like [`BatchGeolocator::localize_batch_with_model`] with an explicit
+    /// [`RouterEstimateSource`] consulted by `Recursive` router localization
+    /// instead of re-running each router's sub-solve inline per target. A
+    /// caching source (see `octant-service`) makes a batch of `N` targets
+    /// behind `R` shared routers pay for `R` sub-localizations instead of
+    /// `O(N · L)`; results stay bit-identical to the uncached path on a
+    /// replay-stable provider.
+    pub fn localize_batch_with_routers<P>(
+        &self,
+        provider: &P,
+        model: &LandmarkModel,
+        targets: &[NodeId],
+        routers: Option<&dyn RouterEstimateSource>,
+    ) -> Vec<LocationEstimate>
+    where
+        P: ObservationProvider + Sync,
+    {
         targets
             .par_iter()
             .map_init(TargetScratch::default, |scratch, &target| {
@@ -205,7 +225,7 @@ impl BatchGeolocator {
                     self.octant.localize(provider, model.landmark_ids(), target)
                 } else {
                     self.octant
-                        .localize_prepared(provider, model, target, true, scratch)
+                        .localize_prepared(provider, model, target, true, routers, scratch)
                 }
             })
             .collect()

@@ -109,6 +109,52 @@ impl OctantConfig {
     }
 }
 
+/// The location estimate of an on-path router, as consumed by the §2.3
+/// recursive piecewise constraints: the region (preferred) or point the
+/// router's own Octant sub-solve produced. This is the slice of a full
+/// [`LocationEstimate`] that the recursive constraint construction actually
+/// uses, split out so router estimates can be cached and shared across
+/// targets (see [`RouterEstimateSource`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RouterEstimate {
+    /// The router's estimated region, in the sub-solve's own projection
+    /// (callers reproject it onto the target's projection).
+    pub region: Option<GeoRegion>,
+    /// The router's point estimate, used when no region survived.
+    pub point: Option<GeoPoint>,
+}
+
+/// A source of recursive router location estimates (§2.3).
+///
+/// The `RouterLocalization::Recursive` mode localizes each last-hop router
+/// with a full Octant sub-solve. That sub-solve depends only on the
+/// landmark model and the router — not on the target being localized — so a
+/// serving layer can compute it **once per router per model version** and
+/// reuse it across every target and request (`octant-service`'s
+/// `RouterCache` does exactly that). When no source is supplied, the
+/// framework computes estimates inline with
+/// [`Octant::compute_router_estimate`], which is also the reference
+/// implementation a caching source must delegate to on a miss: provided the
+/// source returns exactly what `compute_router_estimate` would, cached and
+/// uncached solves are bit-identical on a replay-stable provider.
+pub trait RouterEstimateSource: Sync {
+    /// Returns the location estimate for `router` under `model`.
+    ///
+    /// Implementations must return a value identical to
+    /// `octant.compute_router_estimate(provider, model, router)` — caching
+    /// is the intended freedom here, not approximation. The estimate is
+    /// behind an [`std::sync::Arc`] so a caching source answers a hit with
+    /// a pointer bump rather than cloning the router's region polygons (the
+    /// framework only borrows the estimate).
+    fn router_estimate(
+        &self,
+        octant: &Octant,
+        provider: &dyn ObservationProvider,
+        model: &LandmarkModel,
+        router: NodeId,
+    ) -> std::sync::Arc<RouterEstimate>;
+}
+
 /// The result of localizing one target.
 #[derive(Debug, Clone)]
 pub struct LocationEstimate {
@@ -291,7 +337,51 @@ impl Octant {
             return self.localize(provider, model.landmark_ids(), target);
         }
         let mut scratch = TargetScratch::default();
-        self.localize_prepared(provider, model, target, true, &mut scratch)
+        self.localize_prepared(provider, model, target, true, None, &mut scratch)
+    }
+
+    /// [`Octant::localize_with_model`] with an explicit
+    /// [`RouterEstimateSource`] consulted by the `Recursive` router mode
+    /// instead of running each router sub-solve inline. Passing a caching
+    /// source makes serving many targets behind shared routers pay for each
+    /// router's sub-localization once; results are bit-identical to the
+    /// inline path as long as the source honours its contract.
+    pub fn localize_with_model_using(
+        &self,
+        provider: &dyn ObservationProvider,
+        model: &LandmarkModel,
+        target: NodeId,
+        routers: Option<&dyn RouterEstimateSource>,
+    ) -> LocationEstimate {
+        if model.contains_landmark(target) {
+            return self.localize(provider, model.landmark_ids(), target);
+        }
+        let mut scratch = TargetScratch::default();
+        self.localize_prepared(provider, model, target, true, routers, &mut scratch)
+    }
+
+    /// Computes the recursive §2.3 location estimate of one on-path router:
+    /// a fresh Octant sub-solve (router constraints and WHOIS disabled) from
+    /// the model's landmarks' measurements to the router. This is the
+    /// reference computation behind [`RouterEstimateSource`] — the inline
+    /// `Recursive` path calls it per router encounter, and a caching source
+    /// calls it once per `(model, router)` and replays the result.
+    pub fn compute_router_estimate(
+        &self,
+        provider: &dyn ObservationProvider,
+        model: &LandmarkModel,
+        router: NodeId,
+    ) -> RouterEstimate {
+        let sub = Octant::new(OctantConfig {
+            router_localization: RouterLocalization::Off,
+            use_whois: false,
+            ..self.config
+        });
+        let est = sub.localize_node(provider, &model.lm_ids, router, false);
+        RouterEstimate {
+            region: est.region,
+            point: est.point,
+        }
     }
 
     /// Localizes an arbitrary node (host or router) for which the landmarks
@@ -311,6 +401,7 @@ impl Octant {
             &model,
             target,
             allow_router_constraints,
+            None,
             &mut scratch,
         )
     }
@@ -325,6 +416,7 @@ impl Octant {
         model: &LandmarkModel,
         target: NodeId,
         allow_router_constraints: bool,
+        routers: Option<&dyn RouterEstimateSource>,
         scratch: &mut TargetScratch,
     ) -> LocationEstimate {
         let lm_ids = &model.lm_ids;
@@ -393,6 +485,7 @@ impl Octant {
                 target,
                 target_height_ms,
                 projection,
+                routers,
             );
             // Keep the tightest (smallest-region) router constraints.
             router_constraints.sort_by(|a, b| {
@@ -457,7 +550,10 @@ impl Octant {
         }
     }
 
-    /// Builds router-derived constraints for a target.
+    /// Builds router-derived constraints for a target. In `Recursive` mode
+    /// the per-router sub-solves are taken from `routers` when supplied
+    /// (e.g. a cross-target cache) and computed inline otherwise.
+    #[allow(clippy::too_many_arguments)]
     fn router_constraints(
         &self,
         provider: &dyn ObservationProvider,
@@ -466,6 +562,7 @@ impl Octant {
         target: NodeId,
         target_height_ms: f64,
         projection: AzimuthalEquidistant,
+        routers: Option<&dyn RouterEstimateSource>,
     ) -> Vec<Constraint> {
         let lm_ids = &model.lm_ids;
         let global_calibration = &model.global_calibration;
@@ -528,13 +625,13 @@ impl Octant {
                         continue;
                     }
                     seen_routers.insert(last.node, residual);
-                    let sub = Octant::new(OctantConfig {
-                        router_localization: RouterLocalization::Off,
-                        use_whois: false,
-                        ..self.config
-                    });
-                    let router_estimate = sub.localize_node(provider, lm_ids, last.node, false);
-                    if let Some(router_region) = router_estimate.region {
+                    let router_estimate = match routers {
+                        Some(source) => source.router_estimate(self, provider, model, last.node),
+                        None => std::sync::Arc::new(
+                            self.compute_router_estimate(provider, model, last.node),
+                        ),
+                    };
+                    if let Some(router_region) = &router_estimate.region {
                         let anchored = router_region.reproject(projection);
                         out.push(piecewise::secondary_landmark_constraint(
                             &anchored,

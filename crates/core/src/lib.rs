@@ -66,5 +66,8 @@ pub mod solver;
 pub use batch::{BatchGeolocator, LandmarkModel, TargetScratch};
 pub use constraint::{Constraint, ConstraintKind};
 pub use eval::{ErrorCdf, TargetOutcome};
-pub use framework::{Geolocator, LocationEstimate, Octant, OctantConfig, RouterLocalization};
+pub use framework::{
+    Geolocator, LocationEstimate, Octant, OctantConfig, RouterEstimate, RouterEstimateSource,
+    RouterLocalization,
+};
 pub use solver::{SolveReport, Solver};

@@ -77,6 +77,15 @@ pub struct NetworkConfig {
     /// misleading naming), giving DNS-hint-based techniques a realistic error
     /// tail.
     pub undns_wrong_city_rate: f64,
+    /// Access-router sharing radius in kilometres. `0.0` (the default) gives
+    /// every host its own access router — byte-identical topology generation
+    /// to earlier versions of this crate. A positive radius makes a host
+    /// whose home is within the radius of an already-created access router
+    /// attach through that router instead, modelling multiple customers
+    /// behind one metro aggregation router. That is the serving-workload
+    /// shape where traceroute last hops are *shared across targets* (the
+    /// regime `octant-service`'s router sub-localization cache amortizes).
+    pub access_share_radius_km: f64,
 }
 
 impl Default for NetworkConfig {
@@ -94,6 +103,7 @@ impl Default for NetworkConfig {
             undns_miss_rate: 0.45,
             access_undns_miss_rate: 0.9,
             undns_wrong_city_rate: 0.05,
+            access_share_radius_km: 0.0,
         }
     }
 }
@@ -217,10 +227,43 @@ impl NetworkBuilder {
         self.connect_components(&mut net, &mut rng);
 
         // --- Access routers and hosts ------------------------------------------
+        // Access routers created so far, with the home location they serve,
+        // for the opt-in sharing of access infrastructure between co-sited
+        // hosts (see [`NetworkConfig::access_share_radius_km`]).
+        let mut access_routers: Vec<(GeoPoint, NodeId, u8)> = Vec::new();
         for (hi, host) in self.hosts.iter().enumerate() {
             let home = cities::by_code(&host.city_code)
                 .map(|c| c.location())
                 .unwrap_or(host.location);
+            // A host close enough to an existing access router attaches
+            // through it (sharing disabled at the default radius of 0).
+            // Reuse consumes no RNG draws, so topologies without co-sited
+            // hosts are unaffected by the knob.
+            let shared = if cfg.access_share_radius_km > 0.0 {
+                access_routers
+                    .iter()
+                    .map(|&(loc, id, p)| (great_circle_km(home, loc), id, p))
+                    .filter(|&(d, _, _)| d <= cfg.access_share_radius_km)
+                    .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+            } else {
+                None
+            };
+            if let Some((_, access, provider)) = shared {
+                let host_delay = sample_last_mile(&mut rng, cfg.host_delay_ms);
+                let host_ip = [128 + (hi / 200) as u8, (hi % 200) as u8 + 1, 13, 7];
+                let host_id = net.add_node(
+                    NodeKind::Host,
+                    host.location,
+                    host.city_code.clone(),
+                    provider,
+                    host.hostname.clone(),
+                    host_ip,
+                    host_delay,
+                );
+                let stretch = rng.gen_range(1.2..1.6);
+                net.add_link(host_id, access, stretch, 1.0);
+                continue;
+            }
             // The host buys connectivity from one provider and its traffic is
             // backhauled to that provider's nearest point of presence — which
             // is why the last recognizable router on a path is frequently
@@ -299,6 +342,7 @@ impl NetworkBuilder {
                 let stretch = rng.gen_range(cfg.link_stretch.0..=cfg.link_stretch.1);
                 net.add_link(access, second, stretch, 1.0);
             }
+            access_routers.push((home, access, provider));
 
             // The host itself.
             let host_delay = sample_last_mile(&mut rng, cfg.host_delay_ms);
@@ -462,6 +506,63 @@ mod tests {
                 "delay {d}"
             );
         }
+    }
+
+    #[test]
+    fn co_sited_hosts_share_an_access_router_when_enabled() {
+        let site = &sites::planetlab_51()[0];
+        let co_sited = |share_km: f64| {
+            let mut builder = NetworkBuilder::new(NetworkConfig {
+                access_share_radius_km: share_km,
+                ..NetworkConfig::default()
+            });
+            for i in 0..4 {
+                builder = builder.add_host(HostSpec {
+                    hostname: format!("host{i}.{}", site.hostname),
+                    // A few km of scatter, like customers across one metro.
+                    location: GeoPoint::new(site.lat + 0.02 * i as f64, site.lon),
+                    city_code: site.city_code.to_string(),
+                });
+            }
+            builder.build()
+        };
+        let access_of = |net: &Network, h: NodeId| {
+            let li = net.incident_links(h)[0];
+            let link = net.links()[li];
+            if link.a == h {
+                link.b
+            } else {
+                link.a
+            }
+        };
+
+        // Default (0): every host gets its own access router.
+        let isolated = co_sited(0.0);
+        let mut accesses: Vec<NodeId> = isolated
+            .hosts()
+            .iter()
+            .map(|&h| access_of(&isolated, h))
+            .collect();
+        accesses.dedup();
+        assert_eq!(accesses.len(), 4, "no sharing at the default radius");
+
+        // Sharing enabled: all four co-sited hosts attach through one router.
+        let shared = co_sited(25.0);
+        let accesses: Vec<NodeId> = shared
+            .hosts()
+            .iter()
+            .map(|&h| access_of(&shared, h))
+            .collect();
+        assert!(
+            accesses.iter().all(|&a| a == accesses[0]),
+            "co-sited hosts must share the access router"
+        );
+        assert_eq!(
+            shared.node_count() + 3,
+            isolated.node_count(),
+            "sharing saves exactly the three duplicate access routers"
+        );
+        assert!(shared.is_connected());
     }
 
     #[test]

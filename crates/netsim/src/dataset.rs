@@ -110,6 +110,17 @@ impl MeasurementDataset {
     pub fn host_ids(&self) -> Vec<NodeId> {
         self.hosts.iter().map(|h| h.descriptor.id).collect()
     }
+
+    /// Wraps the dataset in an [`std::sync::Arc`] handle for concurrent
+    /// serving: the dataset is replay-stable (same query → same observation,
+    /// regardless of call order or thread), so one capture can safely back a
+    /// long-lived service whose worker threads each hold a cheap clone of
+    /// the handle. `Arc<MeasurementDataset>` is itself an
+    /// [`ObservationProvider`] via the forwarding impl in
+    /// [`crate::observation`].
+    pub fn into_shared(self) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(self)
+    }
 }
 
 impl ObservationProvider for MeasurementDataset {

@@ -116,6 +116,41 @@ pub trait ObservationProvider {
     fn advertised_location(&self, id: NodeId) -> Option<GeoPoint>;
 }
 
+/// Forwarding impls so shared handles to a provider are providers
+/// themselves. A long-lived serving layer keeps one replay-stable dataset
+/// behind an [`std::sync::Arc`] and hands cheap clones to worker threads and
+/// model-refresh tasks; `&P` forwarding additionally lets borrowed providers
+/// flow through generic `P: ObservationProvider` entry points.
+macro_rules! forward_observation_provider {
+    ($($t:ty),+) => {$(
+        impl<P: ObservationProvider + ?Sized> ObservationProvider for $t {
+            fn hosts(&self) -> Vec<HostDescriptor> {
+                (**self).hosts()
+            }
+            fn ping(&self, from: NodeId, to: NodeId) -> PingObservation {
+                (**self).ping(from, to)
+            }
+            fn traceroute(&self, from: NodeId, to: NodeId) -> Vec<TracerouteHop> {
+                (**self).traceroute(from, to)
+            }
+            fn node_by_ip(&self, ip: [u8; 4]) -> Option<NodeId> {
+                (**self).node_by_ip(ip)
+            }
+            fn reverse_dns(&self, ip: [u8; 4]) -> Option<String> {
+                (**self).reverse_dns(ip)
+            }
+            fn whois_city(&self, ip: [u8; 4]) -> Option<String> {
+                (**self).whois_city(ip)
+            }
+            fn advertised_location(&self, id: NodeId) -> Option<GeoPoint> {
+                (**self).advertised_location(id)
+            }
+        }
+    )+};
+}
+
+forward_observation_provider!(&P, std::sync::Arc<P>);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,364 @@
+//! The shared router sub-localization cache.
+//!
+//! `RouterLocalization::Recursive` (§2.3 of the paper) localizes each
+//! last-hop router with a full Octant sub-solve. The sub-solve depends only
+//! on the landmark model and the router — never on the target — yet the
+//! batch engine used to re-run it for every target that routed through the
+//! router. [`RouterCache`] memoizes those solves under a `(model epoch,
+//! router)` key, so a serving workload of `N` targets behind `R` shared
+//! routers performs exactly `R` sub-localizations per model epoch, however
+//! many requests arrive and however they are batched.
+//!
+//! Concurrency: the map itself is guarded by a `parking_lot` mutex, and each
+//! entry is an `Arc<OnceLock<..>>` — when several worker threads miss the
+//! same key simultaneously, `OnceLock::get_or_init` guarantees exactly one
+//! of them runs the sub-solve while the others block on the result. That
+//! in-flight deduplication is what makes the "exactly `R`" property hold
+//! under concurrent serving, not just statistically.
+
+use octant::{Octant, RouterEstimate, RouterEstimateSource};
+use octant_netsim::observation::ObservationProvider;
+use octant_netsim::topology::NodeId;
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Sizing and retention knobs of a [`RouterCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterCacheConfig {
+    /// Soft capacity cap. When an insert pushes the cache past this size,
+    /// entries from **retired** epochs are evicted (oldest epoch first);
+    /// entries of the epoch being inserted are never evicted, so the
+    /// exactly-once property within an epoch is unconditional.
+    pub max_entries: usize,
+    /// How many epochs [`RouterCache::retire_epochs_before`]-driven
+    /// maintenance keeps around (the service evicts everything older than
+    /// `current_epoch - keep_epochs + 1` after a model refresh). Minimum 1.
+    pub keep_epochs: u64,
+}
+
+impl Default for RouterCacheConfig {
+    fn default() -> Self {
+        RouterCacheConfig {
+            max_entries: 4096,
+            keep_epochs: 1,
+        }
+    }
+}
+
+/// Counter snapshot of a [`RouterCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouterCacheStats {
+    /// Lookups answered from a completed entry (including lookups that
+    /// waited on another thread's in-flight computation).
+    pub hits: u64,
+    /// Lookups that ran the router sub-solve — one per distinct
+    /// `(epoch, router)` key ever inserted.
+    pub misses: u64,
+    /// Entries removed by epoch retirement or the capacity cap.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl RouterCacheStats {
+    /// Fraction of lookups served without a sub-solve (0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type CacheMap = HashMap<(u64, NodeId), Arc<OnceLock<Arc<RouterEstimate>>>>;
+
+/// A thread-safe, epoch-aware cache of recursive router location estimates.
+#[derive(Debug, Default)]
+pub struct RouterCache {
+    config: RouterCacheConfig,
+    entries: Mutex<CacheMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl RouterCache {
+    /// Creates a cache with the given configuration.
+    pub fn new(config: RouterCacheConfig) -> Self {
+        RouterCache {
+            config,
+            ..RouterCache::default()
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> RouterCacheConfig {
+        self.config
+    }
+
+    /// Returns the estimate for `(epoch, router)`, running `compute` exactly
+    /// once per key across all threads. Concurrent callers that lose the
+    /// insertion race block until the winner's computation completes and
+    /// then observe the identical value (counted as hits — their sub-solve
+    /// was shared, not skipped). Hits hand back a shared `Arc`, not a deep
+    /// clone of the router's region polygons.
+    pub fn get_or_compute(
+        &self,
+        epoch: u64,
+        router: NodeId,
+        compute: impl FnOnce() -> RouterEstimate,
+    ) -> Arc<RouterEstimate> {
+        let cell = {
+            let mut map = self.entries.lock();
+            match map.entry((epoch, router)) {
+                Entry::Occupied(e) => e.get().clone(),
+                Entry::Vacant(v) => {
+                    let cell = Arc::new(OnceLock::new());
+                    v.insert(cell.clone());
+                    self.enforce_capacity(&mut map, epoch);
+                    cell
+                }
+            }
+        };
+        let ran = Cell::new(false);
+        let value = cell
+            .get_or_init(|| {
+                ran.set(true);
+                Arc::new(compute())
+            })
+            .clone();
+        if ran.get() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Evicts retired-epoch entries (oldest epoch first, deterministically)
+    /// while the map exceeds the soft cap. Entries of `current_epoch` are
+    /// never evicted. Caller holds the map lock.
+    fn enforce_capacity(&self, map: &mut CacheMap, current_epoch: u64) {
+        if map.len() <= self.config.max_entries {
+            return;
+        }
+        let over = map.len() - self.config.max_entries;
+        let mut retired: Vec<(u64, NodeId)> = map
+            .keys()
+            .filter(|(e, _)| *e != current_epoch)
+            .copied()
+            .collect();
+        retired.sort_unstable();
+        let mut evicted = 0u64;
+        for key in retired.into_iter().take(over) {
+            map.remove(&key);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Evicts every entry whose epoch is strictly below `min_epoch`
+    /// (model-refresh maintenance). Returns the number of entries removed.
+    pub fn retire_epochs_before(&self, min_epoch: u64) -> usize {
+        let mut map = self.entries.lock();
+        let before = map.len();
+        map.retain(|(e, _), _| *e >= min_epoch);
+        let removed = before - map.len();
+        if removed > 0 {
+            self.evictions.fetch_add(removed as u64, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Total router sub-solves this cache has performed — the quantity the
+    /// cache exists to minimize. Equal to the number of distinct
+    /// `(epoch, router)` keys ever computed (the miss counter).
+    pub fn sub_localizations(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of resident entries belonging to `epoch`.
+    pub fn entries_for_epoch(&self, epoch: u64) -> usize {
+        self.entries
+            .lock()
+            .keys()
+            .filter(|(e, _)| *e == epoch)
+            .count()
+    }
+
+    /// Number of resident entries across all epochs.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// `true` when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A counter snapshot.
+    pub fn stats(&self) -> RouterCacheStats {
+        RouterCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Binds the cache to one model epoch, yielding the
+    /// [`RouterEstimateSource`] the core framework consults during a solve.
+    pub fn source(&self, epoch: u64) -> EpochRouterSource<'_> {
+        EpochRouterSource { cache: self, epoch }
+    }
+}
+
+/// A [`RouterCache`] bound to one model epoch — the adapter between the
+/// epoch-agnostic [`RouterEstimateSource`] seam in `octant-core` and the
+/// epoch-keyed cache. On a miss it delegates to
+/// [`Octant::compute_router_estimate`], the uncached reference computation,
+/// so cached solves are bit-identical to inline ones.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochRouterSource<'a> {
+    cache: &'a RouterCache,
+    epoch: u64,
+}
+
+impl EpochRouterSource<'_> {
+    /// The epoch this source reads and fills.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl RouterEstimateSource for EpochRouterSource<'_> {
+    fn router_estimate(
+        &self,
+        octant: &Octant,
+        provider: &dyn ObservationProvider,
+        model: &octant::LandmarkModel,
+        router: NodeId,
+    ) -> Arc<RouterEstimate> {
+        self.cache.get_or_compute(self.epoch, router, || {
+            octant.compute_router_estimate(provider, model, router)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn octant_geo_point(lat: f64) -> octant_geo::GeoPoint {
+        octant_geo::GeoPoint::new(lat, 0.0)
+    }
+
+    #[test]
+    fn compute_runs_once_per_key() {
+        let cache = RouterCache::default();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..5 {
+            cache.get_or_compute(1, NodeId(7), || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                RouterEstimate::default()
+            });
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_epochs_are_distinct_keys() {
+        let cache = RouterCache::default();
+        cache.get_or_compute(1, NodeId(7), RouterEstimate::default);
+        cache.get_or_compute(2, NodeId(7), RouterEstimate::default);
+        assert_eq!(cache.sub_localizations(), 2);
+        assert_eq!(cache.entries_for_epoch(1), 1);
+        assert_eq!(cache.entries_for_epoch(2), 1);
+    }
+
+    #[test]
+    fn retire_evicts_old_epochs_only() {
+        let cache = RouterCache::default();
+        for id in 0..4 {
+            cache.get_or_compute(1, NodeId(id), RouterEstimate::default);
+        }
+        for id in 0..3 {
+            cache.get_or_compute(2, NodeId(id), RouterEstimate::default);
+        }
+        let removed = cache.retire_epochs_before(2);
+        assert_eq!(removed, 4);
+        assert_eq!(cache.entries_for_epoch(1), 0);
+        assert_eq!(cache.entries_for_epoch(2), 3);
+        assert_eq!(cache.stats().evictions, 4);
+    }
+
+    #[test]
+    fn capacity_cap_spares_the_current_epoch() {
+        let cache = RouterCache::new(RouterCacheConfig {
+            max_entries: 4,
+            keep_epochs: 2,
+        });
+        for id in 0..4 {
+            cache.get_or_compute(1, NodeId(id), RouterEstimate::default);
+        }
+        // Epoch 2 inserts push past the cap: epoch-1 entries are evicted,
+        // epoch-2 entries are never touched.
+        for id in 0..6 {
+            cache.get_or_compute(2, NodeId(id), RouterEstimate::default);
+        }
+        assert_eq!(cache.entries_for_epoch(2), 6);
+        assert!(cache.stats().evictions >= 2);
+        // Even over-cap inserts within one epoch are kept.
+        assert_eq!(cache.sub_localizations(), 10);
+    }
+
+    #[test]
+    fn concurrent_misses_deduplicate() {
+        let cache = RouterCache::default();
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    cache.get_or_compute(1, NodeId(3), || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window so racers really do overlap.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        RouterEstimate::default()
+                    });
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.sub_localizations(), 1);
+        assert_eq!(cache.stats().hits, 7);
+    }
+
+    #[test]
+    fn cached_value_is_replayed_verbatim() {
+        let cache = RouterCache::default();
+        let original = RouterEstimate {
+            region: None,
+            point: Some(octant_geo_point(42.0)),
+        };
+        let first = cache.get_or_compute(1, NodeId(9), || original.clone());
+        let second = cache.get_or_compute(1, NodeId(9), || unreachable!("must be cached"));
+        assert_eq!(*first, original);
+        assert_eq!(*second, original);
+        // A hit is a pointer bump, not a deep copy of the estimate.
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+}

@@ -1,0 +1,91 @@
+//! # octant-service
+//!
+//! The cache-backed geolocation **serving** subsystem of the Octant
+//! reproduction: where `octant::BatchGeolocator` is the offline engine (one
+//! batch, one model, run to completion), this crate hosts the long-lived
+//! online layer a production deployment needs — and the cross-request
+//! amortization that makes heavy traffic affordable.
+//!
+//! Three pieces, one per module:
+//!
+//! * [`registry`] — a versioned [`octant::LandmarkModel`] registry. Models
+//!   are registered/refreshed by **epoch**; refresh prepares the new model
+//!   outside the lock and swaps an `Arc`, so in-flight requests finish on
+//!   the snapshot they started with.
+//! * [`cache`] — the core new piece: a **shared router sub-localization
+//!   cache** keyed by `(model epoch, router node)`. The §2.3
+//!   `RouterLocalization::Recursive` mode localizes last-hop routers with
+//!   full Octant sub-solves; those solves are target-independent, so the
+//!   cache computes each one exactly once per epoch (thread-safe via
+//!   `parking_lot` + per-entry `OnceLock` in-flight deduplication, with
+//!   hit/miss/eviction counters) and replays it to every target and request
+//!   that shares the router — results bit-identical to the uncached path on
+//!   a replay-stable provider.
+//! * [`service`] — [`GeolocationService`]: an adaptive micro-batching
+//!   request queue drained by a worker pool onto the batch engine, wired to
+//!   the registry and the cache.
+//!
+//! The seam into `octant-core` is [`octant::RouterEstimateSource`]: the
+//! framework's recursive path consults the source instead of constructing a
+//! fresh sub-`Octant` inline, and [`cache::EpochRouterSource`] is this
+//! crate's caching implementation.
+//!
+//! ```
+//! use octant::{OctantConfig, RouterLocalization};
+//! use octant_netsim::builder::{HostSpec, NetworkBuilder, NetworkConfig};
+//! use octant_netsim::{MeasurementDataset, Prober};
+//! use octant_service::{GeolocationService, ServiceConfig};
+//!
+//! let mut builder = NetworkBuilder::new(NetworkConfig::default());
+//! for site in octant_geo::sites::planetlab_51().iter().take(9) {
+//!     builder = builder.add_host(HostSpec::from_site(site));
+//! }
+//! let dataset = MeasurementDataset::capture(&Prober::new(builder.build(), 7)).into_shared();
+//! let hosts = dataset.host_ids();
+//! let (landmarks, targets) = hosts.split_at(6);
+//!
+//! let config = ServiceConfig {
+//!     octant: OctantConfig {
+//!         router_localization: RouterLocalization::Recursive,
+//!         ..OctantConfig::default()
+//!     },
+//!     ..ServiceConfig::default()
+//! };
+//! let service = GeolocationService::start(config, dataset, landmarks);
+//! let served = service.localize_blocking(targets);
+//! assert_eq!(served.len(), targets.len());
+//! // Router sub-solves were computed once each and shared across targets:
+//! assert!(service.cache().sub_localizations() > 0);
+//! service.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod registry;
+pub mod service;
+
+pub use cache::{EpochRouterSource, RouterCache, RouterCacheConfig, RouterCacheStats};
+pub use registry::{ModelEpoch, ModelRegistry};
+pub use service::{GeolocationService, RequestHandle, ServedEstimate, ServiceConfig, ServiceStats};
+
+/// Shared fixtures for this crate's unit tests.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use octant_netsim::builder::{HostSpec, NetworkBuilder, NetworkConfig};
+    use octant_netsim::{MeasurementDataset, Prober};
+
+    /// Captures a small replay-stable campaign over the first `n` built-in
+    /// PlanetLab-like sites.
+    pub fn dataset(n: usize, seed: u64) -> MeasurementDataset {
+        let mut builder = NetworkBuilder::new(NetworkConfig {
+            seed,
+            ..NetworkConfig::default()
+        });
+        for site in octant_geo::sites::planetlab_51().iter().take(n) {
+            builder = builder.add_host(HostSpec::from_site(site));
+        }
+        MeasurementDataset::capture(&Prober::new(builder.build(), seed))
+    }
+}

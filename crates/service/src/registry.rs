@@ -1,0 +1,149 @@
+//! The versioned landmark-model registry.
+//!
+//! A long-lived service cannot rebuild the landmark model per request (that
+//! is the waste `BatchGeolocator` already eliminates per batch), but it also
+//! cannot pin one model forever: landmark sets change, and recorded
+//! measurements go stale. [`ModelRegistry`] holds the current
+//! [`LandmarkModel`] behind an epoch number and swaps in refreshed models
+//! atomically — in-flight requests keep the `Arc` snapshot they grabbed when
+//! their batch started, so a refresh never interrupts or skews a solve that
+//! is already running.
+
+use octant::{LandmarkModel, Octant};
+use octant_netsim::observation::ObservationProvider;
+use octant_netsim::topology::NodeId;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One registered model version.
+#[derive(Debug)]
+pub struct ModelEpoch {
+    /// Monotonically increasing version number, starting at 1.
+    pub epoch: u64,
+    /// The prepared target-independent landmark state.
+    pub model: LandmarkModel,
+    /// The landmark ids the model was prepared from (the model itself may
+    /// have dropped landmarks without usable advertised positions).
+    pub landmarks: Vec<NodeId>,
+}
+
+/// A registry of versioned landmark models with atomic refresh.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    octant: Octant,
+    current: RwLock<Arc<ModelEpoch>>,
+}
+
+impl ModelRegistry {
+    /// Prepares the initial model (epoch 1) from `landmarks` and opens the
+    /// registry.
+    pub fn bootstrap(
+        octant: Octant,
+        provider: &dyn ObservationProvider,
+        landmarks: &[NodeId],
+    ) -> Self {
+        let model = octant.prepare_landmarks(provider, landmarks);
+        ModelRegistry {
+            octant,
+            current: RwLock::new(Arc::new(ModelEpoch {
+                epoch: 1,
+                model,
+                landmarks: landmarks.to_vec(),
+            })),
+        }
+    }
+
+    /// The framework configuration the registry prepares models with.
+    pub fn octant(&self) -> &Octant {
+        &self.octant
+    }
+
+    /// A snapshot of the current model version. The returned `Arc` stays
+    /// valid (and the model unchanged) for as long as the caller holds it,
+    /// regardless of concurrent refreshes.
+    pub fn current(&self) -> Arc<ModelEpoch> {
+        self.current.read().clone()
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().epoch
+    }
+
+    /// Prepares a fresh model from `landmarks` and atomically makes it the
+    /// current epoch. The (expensive) preparation runs **outside** the lock:
+    /// readers keep serving the previous epoch until the swap, which is a
+    /// pointer exchange. Returns the new epoch number.
+    pub fn refresh(&self, provider: &dyn ObservationProvider, landmarks: &[NodeId]) -> u64 {
+        let model = self.octant.prepare_landmarks(provider, landmarks);
+        self.register(model, landmarks.to_vec())
+    }
+
+    /// Registers a caller-prepared model as the new current epoch (the
+    /// escape hatch for callers that prepare models elsewhere — e.g. on a
+    /// dedicated refresh thread against a different provider handle).
+    /// The model must have been prepared by an [`Octant`] configured
+    /// identically to [`ModelRegistry::octant`].
+    pub fn register(&self, model: LandmarkModel, landmarks: Vec<NodeId>) -> u64 {
+        let mut cur = self.current.write();
+        let epoch = cur.epoch + 1;
+        *cur = Arc::new(ModelEpoch {
+            epoch,
+            model,
+            landmarks,
+        });
+        epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::dataset;
+    use octant::OctantConfig;
+
+    #[test]
+    fn bootstrap_and_refresh_advance_epochs() {
+        let ds = dataset(8, 3);
+        let hosts = ds.host_ids();
+        let registry =
+            ModelRegistry::bootstrap(Octant::new(OctantConfig::default()), &ds, &hosts[..6]);
+        assert_eq!(registry.epoch(), 1);
+        assert_eq!(registry.current().model.landmark_count(), 6);
+
+        let snapshot = registry.current();
+        let e2 = registry.refresh(&ds, &hosts[..5]);
+        assert_eq!(e2, 2);
+        assert_eq!(registry.epoch(), 2);
+        assert_eq!(registry.current().model.landmark_count(), 5);
+        // The pre-refresh snapshot is untouched: in-flight work is safe.
+        assert_eq!(snapshot.epoch, 1);
+        assert_eq!(snapshot.model.landmark_count(), 6);
+    }
+
+    #[test]
+    fn register_accepts_external_models() {
+        let ds = dataset(7, 5);
+        let hosts = ds.host_ids();
+        let octant = Octant::new(OctantConfig::default());
+        let registry = ModelRegistry::bootstrap(octant.clone(), &ds, &hosts[..5]);
+        let model = octant.prepare_landmarks(&ds, &hosts[..4]);
+        let epoch = registry.register(model, hosts[..4].to_vec());
+        assert_eq!(epoch, 2);
+        assert_eq!(registry.current().landmarks, &hosts[..4]);
+    }
+
+    #[test]
+    fn refreshed_model_matches_a_fresh_preparation() {
+        let ds = dataset(8, 9);
+        let hosts = ds.host_ids();
+        let octant = Octant::new(OctantConfig::default());
+        let registry = ModelRegistry::bootstrap(octant.clone(), &ds, &hosts[..6]);
+        registry.refresh(&ds, &hosts[..6]);
+        // Same landmarks, replay-stable provider → identical model state.
+        let fresh = octant.prepare_landmarks(&ds, &hosts[..6]);
+        let current = registry.current();
+        assert_eq!(current.model.landmark_ids(), fresh.landmark_ids());
+        assert_eq!(current.model.heights().len(), fresh.heights().len());
+    }
+}

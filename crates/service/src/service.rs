@@ -1,0 +1,623 @@
+//! The long-lived geolocation serving engine.
+//!
+//! [`GeolocationService`] turns the offline [`BatchGeolocator`] into an
+//! online server: callers [`submit`](GeolocationService::submit) targets
+//! from any thread and block on a [`RequestHandle`]; a pool of worker
+//! threads drains the shared queue in **adaptive micro-batches** onto the
+//! batch engine. Three pieces of shared state amortize work across requests:
+//!
+//! * the [`ModelRegistry`] — the target-independent landmark model is
+//!   prepared once per epoch and snapshotted per batch, so a model refresh
+//!   mid-stream never interrupts in-flight solves,
+//! * the [`RouterCache`] — recursive router sub-localizations are computed
+//!   once per `(epoch, router)` and shared by every target and request,
+//! * the micro-batch itself — targets from different requests coalesce into
+//!   one batch, sharing the per-batch fan-out overhead.
+//!
+//! ## Micro-batching policy
+//!
+//! A worker that finds the queue non-empty drains `min(queue_len,
+//! max_batch)` targets — under load, batches grow to the ceiling on their
+//! own. When fewer than `min_batch` targets are pending, the worker waits up
+//! to `max_wait` (measured from the oldest pending enqueue) for more to
+//! arrive before serving a small batch, trading a bounded latency bump for
+//! much better amortization under trickle load. Batch size thus adapts to
+//! queue depth with no tuning beyond the two bounds.
+
+use crate::cache::{RouterCache, RouterCacheConfig, RouterCacheStats};
+use crate::registry::ModelRegistry;
+use octant::{BatchGeolocator, LocationEstimate, Octant, OctantConfig};
+use octant_netsim::observation::ObservationProvider;
+use octant_netsim::topology::NodeId;
+use parking_lot::Mutex as PlMutex;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`GeolocationService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// The Octant pipeline configuration used for model preparation and
+    /// every solve.
+    pub octant: OctantConfig,
+    /// Worker threads draining the request queue. Each worker serves one
+    /// micro-batch at a time (the batch itself fans out over rayon).
+    pub workers: usize,
+    /// Micro-batch ceiling: a worker never drains more targets than this.
+    pub max_batch: usize,
+    /// Below this many pending targets a worker waits (up to
+    /// [`ServiceConfig::max_wait`]) for more before serving.
+    pub min_batch: usize,
+    /// Longest time the oldest pending target may wait for batch-mates.
+    pub max_wait: Duration,
+    /// Router sub-localization cache sizing and retention.
+    pub cache: RouterCacheConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            octant: OctantConfig::default(),
+            workers: 2,
+            max_batch: 64,
+            min_batch: 4,
+            max_wait: Duration::from_millis(2),
+            cache: RouterCacheConfig::default(),
+        }
+    }
+}
+
+/// One served target: the estimate plus the model epoch that produced it.
+#[derive(Debug, Clone)]
+pub struct ServedEstimate {
+    /// The target that was localized.
+    pub target: NodeId,
+    /// The model epoch the solve ran against.
+    pub epoch: u64,
+    /// The location estimate.
+    pub estimate: LocationEstimate,
+}
+
+/// Aggregate service counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Current model epoch.
+    pub epoch: u64,
+    /// Micro-batches served so far.
+    pub batches: u64,
+    /// Targets served so far.
+    pub targets_served: u64,
+    /// Largest micro-batch drained so far.
+    pub largest_batch: usize,
+    /// Micro-batches whose solve panicked; their targets were answered with
+    /// unknown estimates instead of hanging the request.
+    pub failed_batches: u64,
+    /// Targets currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Router cache counters.
+    pub cache: RouterCacheStats,
+}
+
+/// Shared completion state of one submitted request.
+struct RequestState {
+    /// `(remaining, results)` — `results` is in submission order and filled
+    /// as micro-batches complete (a request may be split across batches).
+    slots: Mutex<(usize, Vec<Option<ServedEstimate>>)>,
+    done: Condvar,
+}
+
+impl RequestState {
+    fn complete(&self, slot: usize, result: ServedEstimate) {
+        let mut guard = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        guard.1[slot] = Some(result);
+        guard.0 -= 1;
+        if guard.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A handle on a submitted request; [`RequestHandle::wait`] blocks until
+/// every target of the request has been served.
+pub struct RequestHandle {
+    state: Arc<RequestState>,
+}
+
+impl RequestHandle {
+    /// Blocks until the request completes and returns the estimates in
+    /// submission order.
+    pub fn wait(self) -> Vec<ServedEstimate> {
+        let mut guard = self.state.slots.lock().unwrap_or_else(|e| e.into_inner());
+        while guard.0 > 0 {
+            guard = self
+                .state
+                .done
+                .wait(guard)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        guard
+            .1
+            .drain(..)
+            .map(|r| r.expect("completed request has every slot filled"))
+            .collect()
+    }
+
+    /// `true` when every target of the request has been served (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.state.slots.lock().unwrap_or_else(|e| e.into_inner()).0 == 0
+    }
+}
+
+/// One queued target with its delivery slot.
+struct PendingTarget {
+    target: NodeId,
+    request: Arc<RequestState>,
+    slot: usize,
+}
+
+/// Queue state behind the std mutex paired with the drain condvar.
+struct QueueState {
+    pending: VecDeque<PendingTarget>,
+    /// When the oldest currently-pending target was enqueued (None when
+    /// empty). Deliberately left untouched by partial drains, so leftovers
+    /// are served promptly on the next pass instead of re-waiting.
+    oldest_since: Option<Instant>,
+    shutdown: bool,
+}
+
+#[derive(Debug, Default)]
+struct ServingCounters {
+    batches: u64,
+    targets_served: u64,
+    largest_batch: usize,
+    failed_batches: u64,
+}
+
+struct ServiceInner<P> {
+    provider: P,
+    config: ServiceConfig,
+    batch: BatchGeolocator,
+    registry: ModelRegistry,
+    cache: RouterCache,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    counters: PlMutex<ServingCounters>,
+}
+
+impl<P: ObservationProvider + Sync> ServiceInner<P> {
+    fn serve_batch(&self, batch: Vec<PendingTarget>) {
+        let epoch_model = self.registry.current();
+        let source = self.cache.source(epoch_model.epoch);
+        let targets: Vec<NodeId> = batch.iter().map(|p| p.target).collect();
+        // A panicking solve must neither kill the worker (the pool would
+        // silently shrink) nor leave the batch's requests waiting forever:
+        // catch the unwind, answer every slot with an unknown estimate, and
+        // count the failure.
+        let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.batch.localize_batch_with_routers(
+                &self.provider,
+                &epoch_model.model,
+                &targets,
+                Some(&source),
+            )
+        }));
+        let estimates = match solved {
+            Ok(estimates) => estimates,
+            Err(_) => {
+                self.counters.lock().failed_batches += 1;
+                targets
+                    .iter()
+                    .map(|_| LocationEstimate::unknown())
+                    .collect()
+            }
+        };
+        {
+            let mut counters = self.counters.lock();
+            counters.batches += 1;
+            counters.targets_served += targets.len() as u64;
+            counters.largest_batch = counters.largest_batch.max(targets.len());
+        }
+        for (pending, estimate) in batch.into_iter().zip(estimates) {
+            pending.request.complete(
+                pending.slot,
+                ServedEstimate {
+                    target: pending.target,
+                    epoch: epoch_model.epoch,
+                    estimate,
+                },
+            );
+        }
+    }
+
+    /// Blocks until a micro-batch is ready (or shutdown drains the rest) and
+    /// returns it; `None` means shut down with an empty queue.
+    fn next_batch(&self) -> Option<Vec<PendingTarget>> {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if queue.pending.is_empty() {
+                if queue.shutdown {
+                    return None;
+                }
+                queue = self.queue_cv.wait(queue).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            let waited = queue
+                .oldest_since
+                .map(|t| t.elapsed())
+                .unwrap_or(Duration::ZERO);
+            let ready = queue.shutdown
+                || queue.pending.len() >= self.config.min_batch
+                || waited >= self.config.max_wait;
+            if ready {
+                let n = queue.pending.len().min(self.config.max_batch);
+                let batch: Vec<PendingTarget> = queue.pending.drain(..n).collect();
+                if queue.pending.is_empty() {
+                    queue.oldest_since = None;
+                }
+                return Some(batch);
+            }
+            let remaining = self.config.max_wait.saturating_sub(waited);
+            let (guard, _) = self
+                .queue_cv
+                .wait_timeout(queue, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            queue = guard;
+        }
+    }
+}
+
+/// The cache-backed geolocation serving engine. See the module docs for the
+/// architecture; construct with [`GeolocationService::start`].
+pub struct GeolocationService<P: ObservationProvider + Send + Sync + 'static> {
+    inner: Arc<ServiceInner<P>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<P: ObservationProvider + Send + Sync + 'static> GeolocationService<P> {
+    /// Prepares the initial landmark model (epoch 1), spawns the worker
+    /// pool, and starts serving.
+    pub fn start(config: ServiceConfig, provider: P, landmarks: &[NodeId]) -> Self {
+        let octant = Octant::new(config.octant);
+        let registry = ModelRegistry::bootstrap(octant.clone(), &provider, landmarks);
+        let inner = Arc::new(ServiceInner {
+            batch: BatchGeolocator::from_octant(octant),
+            registry,
+            cache: RouterCache::new(config.cache),
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                oldest_since: None,
+                shutdown: false,
+            }),
+            queue_cv: Condvar::new(),
+            counters: PlMutex::new(ServingCounters::default()),
+            provider,
+            config,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("octant-serve-{i}"))
+                    .spawn(move || {
+                        while let Some(batch) = inner.next_batch() {
+                            inner.serve_batch(batch);
+                        }
+                    })
+                    .expect("spawning a service worker thread")
+            })
+            .collect();
+        GeolocationService { inner, workers }
+    }
+
+    /// Enqueues `targets` for localization and returns a handle to wait on.
+    /// Targets from concurrent requests coalesce into shared micro-batches.
+    pub fn submit(&self, targets: &[NodeId]) -> RequestHandle {
+        let state = Arc::new(RequestState {
+            slots: Mutex::new((targets.len(), vec![None; targets.len()])),
+            done: Condvar::new(),
+        });
+        if !targets.is_empty() {
+            let mut queue = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            for (slot, &target) in targets.iter().enumerate() {
+                queue.pending.push_back(PendingTarget {
+                    target,
+                    request: state.clone(),
+                    slot,
+                });
+            }
+            if queue.oldest_since.is_none() {
+                queue.oldest_since = Some(Instant::now());
+            }
+            drop(queue);
+            self.inner.queue_cv.notify_all();
+        }
+        RequestHandle { state }
+    }
+
+    /// Convenience: [`GeolocationService::submit`] + [`RequestHandle::wait`].
+    pub fn localize_blocking(&self, targets: &[NodeId]) -> Vec<ServedEstimate> {
+        self.submit(targets).wait()
+    }
+
+    /// Prepares a fresh model from `landmarks`, makes it the current epoch
+    /// without interrupting in-flight batches, and retires cache entries
+    /// older than the configured retention window. Returns the new epoch.
+    pub fn refresh_model(&self, landmarks: &[NodeId]) -> u64 {
+        let epoch = self.inner.registry.refresh(&self.inner.provider, landmarks);
+        let keep = self.inner.config.cache.keep_epochs.max(1);
+        self.inner
+            .cache
+            .retire_epochs_before(epoch.saturating_sub(keep - 1));
+        epoch
+    }
+
+    /// The current model epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.registry.epoch()
+    }
+
+    /// The shared router sub-localization cache (counters, eviction).
+    pub fn cache(&self) -> &RouterCache {
+        &self.inner.cache
+    }
+
+    /// The model registry (snapshots, external registration).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.inner.registry
+    }
+
+    /// An aggregate counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let counters = self.inner.counters.lock();
+        ServiceStats {
+            epoch: self.inner.registry.epoch(),
+            batches: counters.batches,
+            targets_served: counters.targets_served,
+            largest_batch: counters.largest_batch,
+            failed_batches: counters.failed_batches,
+            queue_depth: self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pending
+                .len(),
+            cache: self.inner.cache.stats(),
+        }
+    }
+
+    /// Drains the queue, stops the workers, and joins them. Pending requests
+    /// are served before the workers exit.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        {
+            let mut queue = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.shutdown = true;
+        }
+        self.inner.queue_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<P: ObservationProvider + Send + Sync + 'static> Drop for GeolocationService<P> {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::dataset;
+    use octant::{Geolocator, RouterLocalization};
+    use octant_netsim::observation::{HostDescriptor, PingObservation, TracerouteHop};
+    use octant_netsim::MeasurementDataset;
+
+    #[test]
+    fn serves_submitted_targets_in_order() {
+        let ds = dataset(10, 7).into_shared();
+        let hosts = ds.host_ids();
+        let (landmarks, targets) = hosts.split_at(7);
+        let service = GeolocationService::start(ServiceConfig::default(), ds.clone(), landmarks);
+        let served = service.localize_blocking(targets);
+        assert_eq!(served.len(), targets.len());
+        for (&target, s) in targets.iter().zip(&served) {
+            assert_eq!(s.target, target);
+            assert_eq!(s.epoch, 1);
+            assert!(s.estimate.point.is_some());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.targets_served, targets.len() as u64);
+        assert!(stats.batches >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn served_estimates_match_the_offline_batch_engine() {
+        let ds = dataset(10, 13).into_shared();
+        let hosts = ds.host_ids();
+        let (landmarks, targets) = hosts.split_at(7);
+        let service = GeolocationService::start(ServiceConfig::default(), ds.clone(), landmarks);
+        let served = service.localize_blocking(targets);
+        let octant = Octant::new(OctantConfig::default());
+        for s in &served {
+            let direct = octant.localize(ds.as_ref(), landmarks, s.target);
+            assert_eq!(s.estimate.point, direct.point);
+            assert_eq!(s.estimate.report, direct.report);
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn empty_request_completes_immediately() {
+        let ds = dataset(8, 3).into_shared();
+        let hosts = ds.host_ids();
+        let service = GeolocationService::start(ServiceConfig::default(), ds, &hosts[..6]);
+        let handle = service.submit(&[]);
+        assert!(handle.is_done());
+        assert!(handle.wait().is_empty());
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_all_complete() {
+        let ds = dataset(12, 17).into_shared();
+        let hosts = ds.host_ids();
+        let (landmarks, targets) = hosts.split_at(8);
+        let service = Arc::new(GeolocationService::start(
+            ServiceConfig {
+                workers: 3,
+                min_batch: 2,
+                ..ServiceConfig::default()
+            },
+            ds,
+            landmarks,
+        ));
+        std::thread::scope(|scope| {
+            for i in 0..6 {
+                let service = &service;
+                let targets = &targets;
+                scope.spawn(move || {
+                    let pick = [targets[i % targets.len()], targets[(i + 1) % targets.len()]];
+                    let served = service.localize_blocking(&pick);
+                    assert_eq!(served.len(), 2);
+                    assert_eq!(served[0].target, pick[0]);
+                    assert_eq!(served[1].target, pick[1]);
+                });
+            }
+        });
+        assert_eq!(service.stats().targets_served, 12);
+    }
+
+    #[test]
+    fn refresh_mid_stream_bumps_epoch_without_breaking_requests() {
+        let ds = dataset(10, 23).into_shared();
+        let hosts = ds.host_ids();
+        let (landmarks, targets) = hosts.split_at(7);
+        let service = GeolocationService::start(ServiceConfig::default(), ds, landmarks);
+        let first = service.localize_blocking(&targets[..1]);
+        assert_eq!(first[0].epoch, 1);
+        let epoch = service.refresh_model(landmarks);
+        assert_eq!(epoch, 2);
+        let second = service.localize_blocking(&targets[..1]);
+        assert_eq!(second[0].epoch, 2);
+        // Same landmarks, replay-stable provider → identical estimates
+        // across epochs.
+        assert_eq!(first[0].estimate.point, second[0].estimate.point);
+        service.shutdown();
+    }
+
+    #[test]
+    fn recursive_mode_fills_the_router_cache() {
+        let ds = dataset(8, 29).into_shared();
+        let hosts = ds.host_ids();
+        let (landmarks, targets) = hosts.split_at(6);
+        let service = GeolocationService::start(
+            ServiceConfig {
+                octant: OctantConfig {
+                    router_localization: RouterLocalization::Recursive,
+                    max_router_constraints: 3,
+                    ..OctantConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+            ds,
+            landmarks,
+        );
+        let served = service.localize_blocking(targets);
+        assert_eq!(served.len(), targets.len());
+        let stats = service.stats();
+        assert!(
+            stats.cache.misses > 0,
+            "recursive solves must fill the cache"
+        );
+        assert_eq!(
+            stats.cache.misses,
+            service.cache().sub_localizations(),
+            "misses count the sub-localizations"
+        );
+        // Serving the same targets again is answered entirely from cache.
+        let before = service.cache().sub_localizations();
+        service.localize_blocking(targets);
+        assert_eq!(service.cache().sub_localizations(), before);
+        service.shutdown();
+    }
+
+    /// Wraps a dataset and panics on any ping involving one poisoned node.
+    struct PoisonedProvider {
+        inner: MeasurementDataset,
+        poison: octant_netsim::topology::NodeId,
+    }
+
+    impl ObservationProvider for PoisonedProvider {
+        fn hosts(&self) -> Vec<HostDescriptor> {
+            self.inner.hosts()
+        }
+        fn ping(
+            &self,
+            from: octant_netsim::topology::NodeId,
+            to: octant_netsim::topology::NodeId,
+        ) -> PingObservation {
+            assert!(
+                from != self.poison && to != self.poison,
+                "simulated measurement failure"
+            );
+            self.inner.ping(from, to)
+        }
+        fn traceroute(
+            &self,
+            from: octant_netsim::topology::NodeId,
+            to: octant_netsim::topology::NodeId,
+        ) -> Vec<TracerouteHop> {
+            self.inner.traceroute(from, to)
+        }
+        fn node_by_ip(&self, ip: [u8; 4]) -> Option<octant_netsim::topology::NodeId> {
+            self.inner.node_by_ip(ip)
+        }
+        fn reverse_dns(&self, ip: [u8; 4]) -> Option<String> {
+            self.inner.reverse_dns(ip)
+        }
+        fn whois_city(&self, ip: [u8; 4]) -> Option<String> {
+            self.inner.whois_city(ip)
+        }
+        fn advertised_location(
+            &self,
+            id: octant_netsim::topology::NodeId,
+        ) -> Option<octant_geo::GeoPoint> {
+            self.inner.advertised_location(id)
+        }
+    }
+
+    #[test]
+    fn panicking_solve_answers_unknown_instead_of_hanging() {
+        let ds = dataset(10, 31);
+        let hosts = ds.host_ids();
+        let (landmarks, targets) = hosts.split_at(7);
+        let poison = targets[0];
+        let provider = std::sync::Arc::new(PoisonedProvider { inner: ds, poison });
+        let service = GeolocationService::start(
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            provider,
+            landmarks,
+        );
+        // The poisoned target's batch must complete (with unknown results),
+        // not hang the caller or kill the worker.
+        let served = service.localize_blocking(&[poison]);
+        assert_eq!(served.len(), 1);
+        assert!(served[0].estimate.point.is_none());
+        assert!(service.stats().failed_batches >= 1);
+        // The single worker survived and keeps serving healthy targets.
+        let healthy = service.localize_blocking(&targets[1..2]);
+        assert!(healthy[0].estimate.point.is_some());
+        service.shutdown();
+    }
+}

@@ -1,0 +1,149 @@
+//! The geolocation service — Octant as a long-lived online system.
+//!
+//! Where `batch_localization` runs one offline batch, this example drives
+//! `octant_service::GeolocationService` through the mixed workload a real
+//! deployment sees, with `RouterLocalization::Recursive` (the most expensive
+//! enrichment in the framework) enabled throughout:
+//!
+//! 1. a **cold wave** of requests for targets concentrated behind a few
+//!    metro sites — the shared router cache performs one sub-localization
+//!    per router, not per target;
+//! 2. a **repeat wave** re-requesting the same targets from many small
+//!    concurrent requests — served entirely from cache;
+//! 3. a **model refresh mid-stream** — a new landmark-model epoch is
+//!    registered while requests are in flight, without interrupting them;
+//! 4. a **post-refresh wave** — the cache re-fills for the new epoch and
+//!    old-epoch entries are retired.
+//!
+//! Along the way the example verifies that served estimates are
+//! bit-identical to the uncached sequential `Recursive` path on the same
+//! replay-stable dataset.
+//!
+//! Run with `cargo run --release --example geolocation_service` (pass
+//! `--smoke` for a reduced problem size, as CI does).
+
+use octant::{Geolocator, Octant, OctantConfig, RouterLocalization};
+use octant_bench::service_campaign;
+use octant_service::{GeolocationService, ServiceConfig};
+use std::time::Instant;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // More landmarks are *cheaper* per target here: tighter constraints keep
+    // the region boolean ops small, which dominates the solve cost.
+    let (landmark_count, target_sites, per_site) = if smoke { (16, 3, 2) } else { (16, 4, 6) };
+    let octant_config = OctantConfig {
+        router_localization: RouterLocalization::Recursive,
+        ..OctantConfig::default()
+    };
+
+    println!(
+        "# geolocation service: {landmark_count} landmarks, {} targets behind {target_sites} shared sites",
+        target_sites * per_site
+    );
+    let capture_start = Instant::now();
+    let campaign = service_campaign(landmark_count, target_sites, per_site, 42);
+    let provider = campaign.dataset.into_shared();
+    println!("# campaign captured in {:.1?}", capture_start.elapsed());
+
+    let service = GeolocationService::start(
+        ServiceConfig {
+            octant: octant_config,
+            ..ServiceConfig::default()
+        },
+        provider.clone(),
+        &campaign.landmarks,
+    );
+
+    // ---- Wave 1: cold cache ----------------------------------------------
+    let wave_start = Instant::now();
+    let cold = service.localize_blocking(&campaign.targets);
+    let cold_elapsed = wave_start.elapsed();
+    let stats = service.stats();
+    println!(
+        "# wave 1 (cold)   : {:>8.1?}  {} targets, {} router sub-localizations, {:.0}% hit rate",
+        cold_elapsed,
+        cold.len(),
+        stats.cache.misses,
+        stats.cache.hit_rate() * 100.0
+    );
+
+    // ---- Wave 2: repeat traffic, many small concurrent requests ------------
+    let wave_start = Instant::now();
+    let handles: Vec<_> = campaign
+        .targets
+        .chunks(3)
+        .map(|chunk| service.submit(chunk))
+        .collect();
+    let repeat: Vec<_> = handles.into_iter().flat_map(|h| h.wait()).collect();
+    let repeat_elapsed = wave_start.elapsed();
+    let before = service.stats();
+    println!(
+        "# wave 2 (repeat) : {:>8.1?}  {} targets, cache answered every router lookup",
+        repeat_elapsed,
+        repeat.len()
+    );
+    for (a, b) in cold.iter().zip(&repeat) {
+        assert_eq!(
+            a.estimate.point, b.estimate.point,
+            "repeat wave must replay"
+        );
+    }
+
+    // ---- Model refresh mid-stream ------------------------------------------
+    // Submit a request, refresh the model while it may still be queued, then
+    // submit another: the first is served on whichever epoch its batch
+    // snapshotted, the second on the new epoch — neither is interrupted.
+    let in_flight = service.submit(&campaign.targets[..per_site.min(3)]);
+    let epoch = service.refresh_model(&campaign.landmarks);
+    let after_refresh = service.submit(&campaign.targets[..per_site.min(3)]);
+    let in_flight = in_flight.wait();
+    let after_refresh = after_refresh.wait();
+    println!(
+        "# refresh         : epoch {} -> {}, {} entries retired, in-flight request served on epoch {}",
+        before.epoch,
+        epoch,
+        service.cache().stats().evictions,
+        in_flight[0].epoch
+    );
+    assert_eq!(after_refresh[0].epoch, epoch);
+    // Same landmarks + replay-stable dataset => same estimates across epochs.
+    for (a, b) in in_flight.iter().zip(&after_refresh) {
+        assert_eq!(a.estimate.point, b.estimate.point);
+    }
+
+    // ---- Wave 3: post-refresh traffic re-fills the new epoch ----------------
+    let wave_start = Instant::now();
+    let post = service.localize_blocking(&campaign.targets);
+    let post_elapsed = wave_start.elapsed();
+    println!(
+        "# wave 3 (epoch {}): {:>8.1?}  {} targets",
+        epoch,
+        post_elapsed,
+        post.len()
+    );
+
+    // ---- Parity against the uncached sequential Recursive path --------------
+    let octant = Octant::new(octant_config);
+    let checks = if smoke { 2 } else { 4 };
+    for s in cold.iter().take(checks) {
+        let uncached = octant.localize(provider.as_ref(), &campaign.landmarks, s.target);
+        assert_eq!(
+            s.estimate.point, uncached.point,
+            "served estimate must be bit-identical to the uncached path"
+        );
+    }
+    println!("# parity          : served estimates bit-identical to uncached Recursive ({checks} targets checked)");
+
+    let final_stats = service.stats();
+    println!(
+        "# totals          : {} targets in {} micro-batches (largest {}), {} sub-localizations, {} cache hits, {:.0}% hit rate",
+        final_stats.targets_served,
+        final_stats.batches,
+        final_stats.largest_batch,
+        final_stats.cache.misses,
+        final_stats.cache.hits,
+        final_stats.cache.hit_rate() * 100.0
+    );
+    service.shutdown();
+}

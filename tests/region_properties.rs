@@ -10,7 +10,7 @@ use octant_geo::point::GeoPoint;
 use octant_geo::projection::AzimuthalEquidistant;
 use octant_geo::units::Distance;
 use octant_region::montecarlo;
-use octant_region::{GeoRegion, Region, Vec2};
+use octant_region::{GeoRegion, Region, Ring, Vec2};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -102,6 +102,175 @@ proptest! {
             prop_assert!(c.y >= lo.y - 1e-6 && c.y <= hi.y + 1e-6);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate configurations. The band-sweep boolean engine's events are
+// horizontal lines through segment endpoints and crossings, so horizontal
+// edges, coincident vertices and zero-area contacts are exactly the inputs
+// that stress its event handling. These tests pit those configurations
+// against exact set identities.
+// ---------------------------------------------------------------------------
+
+/// Strategy: an axis-aligned rectangle with corners snapped to a 100 km
+/// grid. Snapping makes *coincident horizontal edges*, shared corners and
+/// zero-area overlaps between two independently drawn rectangles common
+/// rather than measure-zero.
+fn grid_rect_strategy() -> impl Strategy<Value = Region> {
+    (-8i32..8, -8i32..8, 1i32..6, 1i32..6).prop_map(|(x, y, w, h)| {
+        let min = Vec2::new(x as f64 * 100.0, y as f64 * 100.0);
+        let max = Vec2::new((x + w) as f64 * 100.0, (y + h) as f64 * 100.0);
+        Region::rectangle(min, max)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Inclusion–exclusion must hold exactly-ish for grid-aligned
+    /// rectangles, where every edge is horizontal or vertical and operand
+    /// edges frequently coincide.
+    #[test]
+    fn grid_rectangles_obey_inclusion_exclusion(a in grid_rect_strategy(), b in grid_rect_strategy()) {
+        let union = a.union(&b);
+        let inter = a.intersect(&b);
+        let lhs = union.area() + inter.area();
+        let rhs = a.area() + b.area();
+        prop_assert!((lhs - rhs).abs() / rhs.max(1.0) < 1e-6,
+            "|A∪B|+|A∩B| = {lhs}, |A|+|B| = {rhs}");
+        let diff = a.subtract(&b);
+        prop_assert!((diff.area() + inter.area() - a.area()).abs() / a.area().max(1.0) < 1e-6);
+    }
+
+    /// Self-operations on rectangles: A∩A = A, A\A = ∅, A⊕A = ∅ — the
+    /// all-edges-coincident extreme.
+    #[test]
+    fn self_operations_on_rectangles_are_exact(a in grid_rect_strategy()) {
+        prop_assert!((a.intersect(&a).area() - a.area()).abs() / a.area() < 1e-6);
+        prop_assert!(a.subtract(&a).is_empty(), "A \\ A must be empty");
+        prop_assert!(a.xor(&a).is_empty(), "A ⊕ A must be empty");
+        prop_assert!((a.union(&a).area() - a.area()).abs() / a.area() < 1e-6);
+    }
+}
+
+#[test]
+fn rectangles_sharing_a_horizontal_edge_union_without_overlap() {
+    // Stacked: the top edge of `low` is the bottom edge of `high`.
+    let low = Region::rectangle(Vec2::new(0.0, 0.0), Vec2::new(400.0, 200.0));
+    let high = Region::rectangle(Vec2::new(0.0, 200.0), Vec2::new(400.0, 500.0));
+    let union = low.union(&high);
+    let expected = 400.0 * 200.0 + 400.0 * 300.0;
+    assert!(
+        (union.area() - expected).abs() < 1.0,
+        "union area {} vs expected {expected}",
+        union.area()
+    );
+    // The shared edge has zero area: the intersection is empty.
+    assert!(low.intersect(&high).is_empty());
+    // Subtracting the neighbour changes nothing.
+    assert!((low.subtract(&high).area() - low.area()).abs() < 1.0);
+    // Points on either side of the shared edge belong to the union.
+    assert!(union.contains(Vec2::new(200.0, 199.9)));
+    assert!(union.contains(Vec2::new(200.0, 200.1)));
+}
+
+#[test]
+fn corner_touching_rectangles_have_zero_area_intersection() {
+    let sw = Region::rectangle(Vec2::new(0.0, 0.0), Vec2::new(300.0, 300.0));
+    let ne = Region::rectangle(Vec2::new(300.0, 300.0), Vec2::new(600.0, 600.0));
+    assert!(sw.intersect(&ne).is_empty());
+    let union = sw.union(&ne);
+    assert!((union.area() - 2.0 * 300.0 * 300.0).abs() < 1.0);
+    assert!((sw.subtract(&ne).area() - sw.area()).abs() < 1.0);
+    assert!((sw.xor(&ne).area() - union.area()).abs() < 1.0);
+}
+
+#[test]
+fn externally_tangent_disks_intersect_to_nothing() {
+    let a = Region::disk(Vec2::new(0.0, 0.0), 250.0);
+    let b = Region::disk(Vec2::new(500.0, 0.0), 250.0);
+    let inter = a.intersect(&b);
+    // The polygonized circles may graze each other near the tangency point;
+    // anything beyond a sliver would be an engine bug.
+    assert!(
+        inter.area() < a.area() * 1e-3,
+        "tangent disks must share at most a sliver, got {} km²",
+        inter.area()
+    );
+    let union = a.union(&b);
+    let expected = a.area() + b.area();
+    assert!((union.area() - expected).abs() / expected < 1e-3);
+}
+
+#[test]
+fn ring_with_coincident_vertices_behaves_like_its_simple_form() {
+    // The same triangle, once clean and once with every vertex doubled and
+    // a collinear midpoint inserted — degenerate (zero-length and collinear)
+    // edges must not change area, containment, or boolean behaviour.
+    let clean = Region::from_ring(Ring::new(vec![
+        Vec2::new(0.0, 0.0),
+        Vec2::new(400.0, 0.0),
+        Vec2::new(200.0, 300.0),
+    ]));
+    let degenerate = Region::from_ring(Ring::new(vec![
+        Vec2::new(0.0, 0.0),
+        Vec2::new(0.0, 0.0),
+        Vec2::new(200.0, 0.0), // collinear midpoint of the base
+        Vec2::new(400.0, 0.0),
+        Vec2::new(400.0, 0.0),
+        Vec2::new(200.0, 300.0),
+        Vec2::new(200.0, 300.0),
+    ]));
+    assert!((clean.area() - degenerate.area()).abs() / clean.area() < 1e-9);
+    assert!((clean.intersect(&degenerate).area() - clean.area()).abs() / clean.area() < 1e-6);
+    assert!(clean.xor(&degenerate).is_empty());
+    for p in [
+        Vec2::new(200.0, 100.0),
+        Vec2::new(10.0, 150.0),
+        Vec2::new(390.0, 150.0),
+    ] {
+        assert_eq!(clean.contains(p), degenerate.contains(p), "at {p}");
+    }
+}
+
+#[test]
+fn triangles_sharing_a_vertex_keep_exact_areas() {
+    // Two triangles meeting only at the origin: a bow-tie by vertex contact.
+    let left = Region::from_ring(Ring::new(vec![
+        Vec2::new(0.0, 0.0),
+        Vec2::new(-300.0, 200.0),
+        Vec2::new(-300.0, -200.0),
+    ]));
+    let right = Region::from_ring(Ring::new(vec![
+        Vec2::new(0.0, 0.0),
+        Vec2::new(300.0, -200.0),
+        Vec2::new(300.0, 200.0),
+    ]));
+    assert!(left.intersect(&right).is_empty());
+    let union = left.union(&right);
+    let expected = left.area() + right.area();
+    assert!((union.area() - expected).abs() / expected < 1e-6);
+    assert!((left.subtract(&right).area() - left.area()).abs() / left.area() < 1e-6);
+}
+
+#[test]
+fn zero_and_negative_extent_inputs_yield_empty_regions() {
+    // A zero-width rectangle, a zero-area ring, and a zero-radius disk all
+    // normalize to the empty region, and booleans against them are no-ops.
+    let flat = Region::rectangle(Vec2::new(0.0, 0.0), Vec2::new(0.0, 500.0));
+    assert!(flat.is_empty());
+    let line = Region::from_ring(Ring::new(vec![
+        Vec2::new(0.0, 0.0),
+        Vec2::new(400.0, 0.0),
+        Vec2::new(200.0, 0.0),
+    ]));
+    assert!(line.is_empty());
+    assert!(Region::disk(Vec2::new(0.0, 0.0), 0.0).is_empty());
+
+    let solid = Region::rectangle(Vec2::new(-100.0, -100.0), Vec2::new(100.0, 100.0));
+    assert!((solid.union(&flat).area() - solid.area()).abs() < 1e-6);
+    assert!(solid.intersect(&line).is_empty());
+    assert!((solid.subtract(&line).area() - solid.area()).abs() < 1e-6);
 }
 
 proptest! {

@@ -1,0 +1,171 @@
+//! Pins the router-cache sharing win of `octant-service`:
+//!
+//! * localizing N targets behind R shared last-hop routers performs
+//!   **exactly R** router sub-localizations per model epoch (the cache's
+//!   miss counter), however many targets, requests, or repeat waves arrive;
+//! * cached results are **bit-identical** to the uncached sequential
+//!   `RouterLocalization::Recursive` path on a replay-stable dataset;
+//! * a model refresh opens a new epoch: exactly R more sub-solves, and the
+//!   retired epoch's entries are evicted.
+
+use octant::{BatchGeolocator, Geolocator, Octant, OctantConfig, RouterLocalization};
+use octant_bench::{service_campaign, BatchCampaign};
+use octant_netsim::topology::NodeId;
+use octant_netsim::ObservationProvider;
+use octant_service::{GeolocationService, RouterCache, ServiceConfig};
+use std::collections::BTreeSet;
+
+fn recursive_config() -> OctantConfig {
+    OctantConfig {
+        router_localization: RouterLocalization::Recursive,
+        ..OctantConfig::default()
+    }
+}
+
+/// A small serving campaign: targets co-sited behind shared metro access
+/// routers (`service_campaign` enables the builder's sharing knob), small
+/// enough for debug-mode test runs.
+fn small_campaign() -> BatchCampaign {
+    service_campaign(12, 2, 2, 42)
+}
+
+/// The number of distinct last-hop routers the `Recursive` mode will
+/// sub-localize for these targets: for every (landmark, target) pair with a
+/// usable RTT and a non-empty traceroute, the hop closest to the target.
+/// This mirrors exactly the encounters `Octant::router_constraints` makes.
+fn distinct_last_hop_routers(campaign: &BatchCampaign) -> BTreeSet<NodeId> {
+    let mut routers = BTreeSet::new();
+    for &target in &campaign.targets {
+        for &lm in &campaign.landmarks {
+            if campaign.dataset.ping(lm, target).min().is_none() {
+                continue;
+            }
+            if let Some(last) = campaign.dataset.traceroute(lm, target).last() {
+                routers.insert(last.node);
+            }
+        }
+    }
+    routers
+}
+
+#[test]
+fn n_targets_behind_r_routers_cost_exactly_r_sub_localizations_per_epoch() {
+    let campaign = small_campaign();
+    let routers = distinct_last_hop_routers(&campaign);
+    let r = routers.len();
+    let n = campaign.targets.len();
+    assert!(
+        r < n,
+        "the campaign must actually share routers (R = {r}, N = {n})"
+    );
+
+    let provider = campaign.dataset.clone().into_shared();
+    let service = GeolocationService::start(
+        ServiceConfig {
+            octant: recursive_config(),
+            ..ServiceConfig::default()
+        },
+        provider,
+        &campaign.landmarks,
+    );
+
+    // Cold wave: every target, exactly R sub-solves.
+    let cold = service.localize_blocking(&campaign.targets);
+    assert_eq!(cold.len(), n);
+    assert_eq!(
+        service.cache().sub_localizations(),
+        r as u64,
+        "epoch 1 must perform exactly one sub-localization per shared router"
+    );
+    assert_eq!(service.cache().entries_for_epoch(1), r);
+
+    // Repeat traffic: answered entirely from cache — counter unchanged.
+    let hits_before = service.cache().stats().hits;
+    service.localize_blocking(&campaign.targets[..1]);
+    assert_eq!(service.cache().sub_localizations(), r as u64);
+    assert!(service.cache().stats().hits > hits_before);
+
+    // New epoch: exactly R more, and epoch 1 is retired (keep_epochs = 1).
+    let epoch = service.refresh_model(&campaign.landmarks);
+    assert_eq!(epoch, 2);
+    service.localize_blocking(&campaign.targets);
+    assert_eq!(
+        service.cache().sub_localizations(),
+        2 * r as u64,
+        "each model epoch re-localizes each shared router exactly once"
+    );
+    assert_eq!(service.cache().entries_for_epoch(1), 0);
+    assert_eq!(service.cache().entries_for_epoch(2), r);
+    assert_eq!(service.cache().stats().evictions, r as u64);
+    service.shutdown();
+}
+
+#[test]
+fn cached_recursive_results_are_bit_identical_to_the_uncached_path() {
+    let campaign = small_campaign();
+    let provider = campaign.dataset.clone().into_shared();
+    let octant = Octant::new(recursive_config());
+    let batch = BatchGeolocator::new(recursive_config());
+    let model = octant.prepare_landmarks(&provider, &campaign.landmarks);
+
+    // Uncached reference: the sequential Recursive path.
+    let uncached: Vec<_> = campaign
+        .targets
+        .iter()
+        .map(|&t| octant.localize(&campaign.dataset, &campaign.landmarks, t))
+        .collect();
+
+    // Cached via the core seam directly (no service in the way).
+    let cache = RouterCache::default();
+    let source = cache.source(1);
+    let cached =
+        batch.localize_batch_with_routers(&provider, &model, &campaign.targets, Some(&source));
+    assert!(
+        cache.sub_localizations() > 0,
+        "the cache must have been used"
+    );
+
+    for ((&target, u), c) in campaign.targets.iter().zip(&uncached).zip(&cached) {
+        assert_eq!(c.point, u.point, "point estimate diverged for {target:?}");
+        assert_eq!(
+            c.region.as_ref().map(|r| r.area_km2()),
+            u.region.as_ref().map(|r| r.area_km2()),
+            "region diverged for {target:?}"
+        );
+        assert_eq!(c.report, u.report, "solve report diverged for {target:?}");
+        assert_eq!(c.target_height_ms, u.target_height_ms);
+    }
+
+    // And the full served path (queue + workers + registry) agrees too, on a
+    // sample target (the service's own tests cover serving more broadly).
+    let service = GeolocationService::start(
+        ServiceConfig {
+            octant: recursive_config(),
+            ..ServiceConfig::default()
+        },
+        provider,
+        &campaign.landmarks,
+    );
+    let served = service.localize_blocking(&campaign.targets[..1]);
+    assert_eq!(served[0].estimate.point, uncached[0].point);
+    assert_eq!(served[0].estimate.report, uncached[0].report);
+    service.shutdown();
+}
+
+#[test]
+fn router_estimate_source_matches_the_inline_computation() {
+    let campaign = small_campaign();
+    let routers = distinct_last_hop_routers(&campaign);
+    let octant = Octant::new(recursive_config());
+    let model = octant.prepare_landmarks(&campaign.dataset, &campaign.landmarks);
+    let cache = RouterCache::default();
+    for &router in routers.iter().take(2) {
+        let inline = octant.compute_router_estimate(&campaign.dataset, &model, router);
+        let cached = cache.get_or_compute(1, router, || {
+            octant.compute_router_estimate(&campaign.dataset, &model, router)
+        });
+        let replayed = cache.get_or_compute(1, router, || unreachable!("second lookup must hit"));
+        assert_eq!(*cached, inline);
+        assert_eq!(*replayed, inline);
+    }
+}
