@@ -29,7 +29,8 @@ fn bench_region_ops(c: &mut Criterion) {
         bench.iter(|| black_box(a.subtract(&b)))
     });
 
-    // The shape of a full positive-constraint combination: intersect 20 disks.
+    // The shape of a full positive-constraint combination: intersect 20
+    // disks — the chained pairwise reference against the single n-ary sweep.
     let twenty = disks(20);
     c.bench_function("region/intersect_20_constraint_disks", |bench| {
         bench.iter(|| {
@@ -40,11 +41,38 @@ fn bench_region_ops(c: &mut Criterion) {
             black_box(acc)
         })
     });
+    c.bench_function("region/intersect_many_20_constraint_disks", |bench| {
+        bench.iter(|| black_box(Region::intersect_many(twenty.iter())))
+    });
 
-    // Secondary-landmark constraint: dilate a small region.
+    // Secondary-landmark constraint: dilate a small region (the disk
+    // specialization) and a trapezoid-decomposed router region (the general
+    // hierarchical path), against the capsule reference.
     let small = Region::disk(Vec2::new(0.0, 0.0), 80.0);
     c.bench_function("region/dilate_router_region_300km", |bench| {
         bench.iter(|| black_box(small.dilate(300.0)))
+    });
+    c.bench_function("region/dilate_router_region_300km_reference", |bench| {
+        bench.iter(|| black_box(small.dilate_reference(300.0)))
+    });
+    // Same fixture as `router_region()` in `src/bin/region.rs` (the perf
+    // guard); keep the two in lockstep so their numbers stay comparable.
+    let decomposed = Region::disk(Vec2::new(0.0, 0.0), 140.0)
+        .intersect(&Region::disk(Vec2::new(110.0, 20.0), 130.0))
+        .subtract(&Region::disk(Vec2::new(40.0, -60.0), 70.0));
+    c.bench_function("region/dilate_decomposed_region_300km", |bench| {
+        bench.iter(|| black_box(decomposed.dilate(300.0)))
+    });
+
+    // The landmass-union shape: mostly disjoint outlines, one sweep.
+    let continents: Vec<Region> = (0..7)
+        .map(|i| {
+            let c = Vec2::new(i as f64 * 2600.0 - 9000.0, (i % 3) as f64 * 1800.0);
+            Region::disk(c, 900.0)
+        })
+        .collect();
+    c.bench_function("region/union_many_7_outlines", |bench| {
+        bench.iter(|| black_box(Region::union_many(continents.iter())))
     });
 
     // Membership and area queries on a non-trivial estimate.

@@ -1,0 +1,171 @@
+//! Region-engine micro-bench binary: the perf-regression guard for the
+//! n-ary sweep, bbox pruning and fast dilation paths.
+//!
+//! Measures, with wall-clock throughput (ops/sec):
+//!
+//! * a 16-way constraint-disk intersection — the chained pairwise reference
+//!   (`acc.intersect(d)` fifteen times) against `Region::intersect_many`'s
+//!   single sweep, also comparing the scanline **band-merge counters** and
+//!   asserting the n-ary sweep merges strictly fewer bands than the chain;
+//! * dilation of a trapezoid-decomposed router-like region at three radius
+//!   classes (60 / 300 / 900 km) — the fast dispatch (`Region::dilate`)
+//!   against the capsule reference (`Region::dilate_reference`);
+//! * the landmass-style union of disjoint outlines — `Region::union_many`
+//!   against the chained pairwise fold.
+//!
+//! Run with `cargo run --release -p octant-bench --bin region`. Flags:
+//! * `--smoke` — reduced iteration counts (CI's bench-smoke job).
+//! * `--json <path>` — write the machine-readable `BENCH_region.json`
+//!   summary ([`octant_bench::OpsBenchSummary`] format).
+
+use octant_bench::{json_path_from_args, OpsBenchSummary};
+use octant_region::scanline::stats;
+use octant_region::{Region, Vec2};
+use std::time::Instant;
+
+/// The 16 constraint-scale disks every intersection measurement uses
+/// (same layout as the `region_ops` criterion bench).
+fn constraint_disks(n: usize) -> Vec<Region> {
+    (0..n)
+        .map(|i| {
+            let angle = i as f64 * 0.7;
+            let center = Vec2::new(angle.cos() * 200.0, angle.sin() * 200.0);
+            Region::disk(center, 600.0 + 40.0 * (i % 5) as f64)
+        })
+        .collect()
+}
+
+/// A router-like region: a trapezoid-decomposed, non-convex estimate of the
+/// kind a recursive sub-solve produces. Kept vertex-for-vertex identical to
+/// the `decomposed` fixture in `benches/region_ops.rs` so the criterion
+/// bench and this perf guard measure the same workload — change both
+/// together.
+fn router_region() -> Region {
+    let a = Region::disk(Vec2::new(0.0, 0.0), 140.0);
+    let b = Region::disk(Vec2::new(110.0, 20.0), 130.0);
+    let bite = Region::disk(Vec2::new(40.0, -60.0), 70.0);
+    a.intersect(&b).subtract(&bite)
+}
+
+/// Landmass-like outlines: mostly disjoint continents plus one connected
+/// pair (the Eurasia/Africa shape), so the union exercises both the
+/// bbox-cluster concatenation and a genuine merge sweep.
+fn outlines() -> Vec<Region> {
+    let mut out: Vec<Region> = (0..5)
+        .map(|i| {
+            let c = Vec2::new(i as f64 * 3600.0 - 9000.0, (i % 3) as f64 * 2600.0 - 4000.0);
+            Region::disk(c, 900.0 + 120.0 * (i % 4) as f64)
+        })
+        .collect();
+    out.push(Region::disk(Vec2::new(7000.0, 5200.0), 1100.0));
+    out.push(Region::disk(Vec2::new(7900.0, 4400.0), 950.0));
+    out
+}
+
+/// Times `iters` runs of `f` and returns ops/sec.
+fn ops_per_sec<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = json_path_from_args(&args);
+    let iters = if smoke { 5 } else { 40 };
+
+    let mut summary = OpsBenchSummary {
+        bench: "region".into(),
+        scenario: if smoke { "smoke".into() } else { "full".into() },
+        metrics: Vec::new(),
+    };
+
+    // ---- 16-way intersection: chained pairwise vs one n-ary sweep ----------
+    let disks = constraint_disks(16);
+    let chained = |disks: &[Region]| {
+        let mut acc = disks[0].clone();
+        for d in &disks[1..] {
+            acc = acc.intersect(d);
+        }
+        acc
+    };
+    let before = stats::band_merges();
+    let chained_result = chained(&disks);
+    let chained_bands = stats::band_merges() - before;
+    let before = stats::band_merges();
+    let nary_result = Region::intersect_many(disks.iter());
+    let nary_bands = stats::band_merges() - before;
+
+    // The perf-regression guard: one fused sweep must merge strictly fewer
+    // bands than the 15 chained sweeps it replaces, and agree on the area.
+    assert!(
+        nary_bands < chained_bands,
+        "n-ary sweep merged {nary_bands} bands, chained pairwise {chained_bands}"
+    );
+    let (ca, na) = (chained_result.area(), nary_result.area());
+    assert!(
+        (ca - na).abs() / ca.max(1.0) < 1e-6,
+        "chained area {ca} vs n-ary {na}"
+    );
+
+    let chained_ops = ops_per_sec(iters, || chained(&disks));
+    let nary_ops = ops_per_sec(iters, || Region::intersect_many(disks.iter()));
+    println!("# intersect16 chained : {chained_ops:>10.1} ops/s  ({chained_bands} band merges)");
+    println!("# intersect16 n-ary   : {nary_ops:>10.1} ops/s  ({nary_bands} band merges)");
+    println!("# intersect16 speedup : {:.2}x", nary_ops / chained_ops);
+    summary.push("intersect16_chained_ops_per_sec", chained_ops);
+    summary.push("intersect16_nary_ops_per_sec", nary_ops);
+    summary.push("intersect16_speedup", nary_ops / chained_ops);
+    summary.push("intersect16_chained_band_merges", chained_bands as f64);
+    summary.push("intersect16_nary_band_merges", nary_bands as f64);
+
+    // ---- Dilation: fast dispatch vs capsule reference, 3 radius classes ----
+    let region = router_region();
+    for radius in [60.0f64, 300.0, 900.0] {
+        let fast = region.dilate(radius);
+        let reference = region.dilate_reference(radius);
+        let rel = (fast.area() - reference.area()).abs() / reference.area();
+        assert!(
+            rel < 0.02,
+            "dilate({radius}) diverges from the reference by {rel}"
+        );
+        let fast_ops = ops_per_sec(iters, || region.dilate(radius));
+        let ref_iters = (iters / 2).max(2);
+        let ref_ops = ops_per_sec(ref_iters, || region.dilate_reference(radius));
+        let label = format!("dilate_r{radius:.0}");
+        println!(
+            "# {label:<20}: {fast_ops:>10.1} ops/s fast, {ref_ops:>8.1} ops/s reference ({:.2}x)",
+            fast_ops / ref_ops
+        );
+        summary.push(format!("{label}_ops_per_sec"), fast_ops);
+        summary.push(format!("{label}_reference_ops_per_sec"), ref_ops);
+        summary.push(format!("{label}_speedup"), fast_ops / ref_ops);
+    }
+
+    // ---- Landmass-style union of disjoint outlines -------------------------
+    let lands = outlines();
+    let chained_union = |lands: &[Region]| {
+        let mut acc = lands[0].clone();
+        for l in &lands[1..] {
+            acc = acc.union(l);
+        }
+        acc
+    };
+    let union_chained_ops = ops_per_sec(iters, || chained_union(&lands));
+    let union_nary_ops = ops_per_sec(iters, || Region::union_many(lands.iter()));
+    println!("# union7 chained      : {union_chained_ops:>10.1} ops/s");
+    println!("# union7 n-ary        : {union_nary_ops:>10.1} ops/s");
+    summary.push("union7_chained_ops_per_sec", union_chained_ops);
+    summary.push("union7_nary_ops_per_sec", union_nary_ops);
+    summary.push("union7_speedup", union_nary_ops / union_chained_ops);
+
+    if let Some(path) = json_path {
+        summary
+            .write_json(&path)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("# wrote {}", path.display());
+    }
+}

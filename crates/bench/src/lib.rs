@@ -368,6 +368,59 @@ impl BenchSummary {
     }
 }
 
+/// A machine-readable summary for micro-operation benches (the `region`
+/// binary): a flat JSON object of named throughput/counter metrics instead
+/// of the target-oriented fields of [`BenchSummary`].
+///
+/// ```json
+/// {
+///   "bench": "region",
+///   "scenario": "smoke",
+///   "intersect16_chained_ops_per_sec": 41.2,
+///   "intersect16_nary_ops_per_sec": 213.0,
+///   "intersect16_speedup": 5.17,
+///   "intersect16_chained_band_merges": 2150,
+///   "intersect16_nary_band_merges": 310,
+///   "dilate_r60_ops_per_sec": 880.0,
+///   "dilate_r60_reference_ops_per_sec": 95.0,
+///   "dilate_r60_speedup": 9.3,
+///   ...
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OpsBenchSummary {
+    /// Binary name (`"region"`).
+    pub bench: String,
+    /// Workload variant (`"smoke"`, `"full"`).
+    pub scenario: String,
+    /// Named metrics, emitted in insertion order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl OpsBenchSummary {
+    /// Appends one named metric.
+    pub fn push(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push((name.into(), value));
+    }
+
+    /// Renders the summary as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<String> = vec![
+            format!("\"bench\": {}", json_string(&self.bench)),
+            format!("\"scenario\": {}", json_string(&self.scenario)),
+        ];
+        for (name, value) in &self.metrics {
+            fields.push(format!("{}: {}", json_string(name), json_f64(*value)));
+        }
+        format!("{{\n  {}\n}}\n", fields.join(",\n  "))
+    }
+
+    /// Writes the JSON summary to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');

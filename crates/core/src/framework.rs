@@ -70,6 +70,12 @@ pub struct OctantConfig {
     /// latency, guarding against over-estimated heights collapsing a
     /// constraint to nothing.
     pub max_height_adjustment_frac: f64,
+    /// Boundary-simplification tolerance (km) applied to the running region
+    /// estimate between solver iterations (see
+    /// [`crate::solver::SolverConfig::simplify_tolerance_km`]). Kept far
+    /// below the curve-flattening tolerance so it reclaims scanline seam
+    /// fragmentation without moving any decision boundary.
+    pub region_simplify_tolerance_km: f64,
 }
 
 impl Default for OctantConfig {
@@ -89,6 +95,7 @@ impl Default for OctantConfig {
             max_router_constraints: 12,
             min_positive_radius_km: 50.0,
             max_height_adjustment_frac: 0.6,
+            region_simplify_tolerance_km: 0.25,
         }
     }
 }
@@ -517,6 +524,7 @@ impl Octant {
         // ---- Solve -------------------------------------------------------------------
         let solver = Solver::new(SolverConfig {
             min_region_area_km2: self.config.min_region_area_km2,
+            simplify_tolerance_km: self.config.region_simplify_tolerance_km,
             ..SolverConfig::default()
         });
         let (mut region, report) = solver.solve(projection, constraints);

@@ -17,13 +17,16 @@ use octant_region::GeoRegion;
 /// The union of all coarse landmass outlines, expressed in `projection`.
 /// Intersecting an estimate with this region implements the paper's "the
 /// target is not in an ocean" negative constraint.
+///
+/// The outlines are merged in a single n-ary sweep ([`GeoRegion::union_many`])
+/// instead of a chain of pairwise unions; mutually bbox-disjoint continents
+/// (the common case) concatenate without any sweep at all.
 pub fn landmass_union(projection: AzimuthalEquidistant) -> GeoRegion {
-    let mut acc = GeoRegion::from_region(projection, octant_region::Region::empty());
-    for lm in LANDMASSES {
-        let region = GeoRegion::from_landmass(projection, lm);
-        acc = acc.union(&region);
-    }
-    acc
+    let regions: Vec<GeoRegion> = LANDMASSES
+        .iter()
+        .map(|lm| GeoRegion::from_landmass(projection, lm))
+        .collect();
+    GeoRegion::union_many(projection, regions.iter())
 }
 
 /// Restricts `estimate` to land. When the intersection would wipe the

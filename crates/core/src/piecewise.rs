@@ -100,6 +100,13 @@ pub fn city_hint_router_constraint(
 /// region (the recursive strategy): the secondary-landmark construction of
 /// §2, i.e. the dilation of the router's region by the latency-derived
 /// radius.
+///
+/// The router region's boundary is simplified before the dilation with a
+/// tolerance keyed to the dilation radius (1 %, clamped to 0.5–10 km): a
+/// recursive sub-solve hands back a trapezoid decomposition whose
+/// sub-kilometre seam detail is geometrically meaningless once the region is
+/// grown by hundreds of kilometres, and the Minkowski construction's cost
+/// scales with the boundary vertex count.
 pub fn secondary_landmark_constraint(
     router_region: &GeoRegion,
     residual: Latency,
@@ -108,7 +115,10 @@ pub fn secondary_landmark_constraint(
     label: impl Into<String>,
 ) -> Constraint {
     let radius = calibration.max_distance(residual);
-    let region = router_region.dilate(radius);
+    let budget_tol = Distance::from_km((radius.km() * 0.01).clamp(0.5, 10.0));
+    let region = router_region
+        .simplify_to_budget(budget_tol, 512)
+        .dilate(radius);
     Constraint::positive(region, latency_weight(residual, weight_decay_ms), label)
 }
 

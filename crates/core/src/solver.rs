@@ -31,13 +31,27 @@ pub struct SolverConfig {
     /// more likely to be an over-aggressive lower bound than real
     /// information (the weighted-combination rationale of §2.4).
     pub max_negative_removal_frac: f64,
+    /// Boundary-simplification tolerance (km) applied to the running
+    /// estimate between solver iterations. Chained boolean operations
+    /// fragment ring boundaries at scanline band seams; reclaiming the
+    /// (near-)collinear vertices after each applied constraint keeps the
+    /// cost of subsequent operations from growing with chain length. The
+    /// default is far below both the 1 km curve-flattening tolerance and
+    /// any constraint radius, so it never affects localization decisions.
+    pub simplify_tolerance_km: f64,
 }
+
+/// The estimate's representation is re-simplified with escalating tolerance
+/// whenever it exceeds this many boundary vertices (see
+/// [`octant_region::Region::simplify_to_budget`]).
+const MAX_ESTIMATE_VERTICES: usize = 4096;
 
 impl Default for SolverConfig {
     fn default() -> Self {
         SolverConfig {
             min_region_area_km2: 5_000.0,
             max_negative_removal_frac: 0.6,
+            simplify_tolerance_km: 0.25,
         }
     }
 }
@@ -126,8 +140,10 @@ impl Solver {
         // the whole combination), then fold in the remaining constraints in
         // decreasing weight order, setting aside any that would shrink the
         // estimate below the size threshold.
+        let simplify_tol = self.config.simplify_tolerance_km;
         let mut estimate = GeoRegion::world(projection);
         let mut seeded = false;
+        let mut pending: Vec<&Constraint> = Vec::with_capacity(positives.len());
         for c in &positives {
             if !seeded {
                 if c.region.area_km2() >= self.config.min_region_area_km2 {
@@ -139,12 +155,70 @@ impl Solver {
                 }
                 continue;
             }
-            let candidate = estimate.intersect(&c.region);
-            if candidate.area_km2() >= self.config.min_region_area_km2 {
-                estimate = candidate;
-                report.applied_positive += 1;
-            } else {
-                report.skipped_positive += 1;
+            pending.push(c);
+        }
+
+        // Chunked single-sweep application: along the greedy chain the
+        // estimate's area only shrinks, so if a whole chunk of constraints
+        // intersected at once (with the running estimate) clears the size
+        // threshold, then every prefix inside the chunk did too and the
+        // pairwise chain would have applied each of them — apply/skip
+        // decisions match the pairwise chain (up to the tolerance-bounded,
+        // shrink-only simplification the chain additionally applies between
+        // steps, which the floor comfortably dominates), but N−1 pairwise
+        // sweeps collapse into one n-ary sweep per chunk. A chunk that
+        // fails the threshold is replayed pairwise (so conflict resolution
+        // is unchanged) and the chunk size drops to 1 — single-constraint
+        // "chunks" go straight to the pairwise op, so conflict-heavy
+        // workloads degrade to the plain greedy chain with no wasted
+        // sweeps; consistent stretches double the chunk back up. The
+        // running estimate is an operand of every sweep, so its (small)
+        // bounding box drives the sweep's y-window pruning.
+        if seeded {
+            let mut idx = 0;
+            let mut chunk = 4usize;
+            while idx < pending.len() {
+                let end = (idx + chunk).min(pending.len());
+                let batch = &pending[idx..end];
+                let combined_ok = batch.len() > 1 && {
+                    let combined = GeoRegion::intersect_many(
+                        projection,
+                        std::iter::once(&estimate).chain(batch.iter().map(|c| &c.region)),
+                    );
+                    if combined.area_km2() >= self.config.min_region_area_km2 {
+                        report.applied_positive += batch.len();
+                        estimate = combined.simplify_to_budget(
+                            octant_geo::units::Distance::from_km(simplify_tol),
+                            MAX_ESTIMATE_VERTICES,
+                        );
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if combined_ok {
+                    chunk = (chunk * 2).min(16);
+                } else {
+                    // Replay this chunk pairwise so individual conflicting
+                    // constraints are skipped exactly as the greedy chain
+                    // would have.
+                    let mut any_skipped = false;
+                    for c in batch {
+                        let candidate = estimate.intersect(&c.region);
+                        if candidate.area_km2() >= self.config.min_region_area_km2 {
+                            estimate = candidate.simplify_to_budget(
+                                octant_geo::units::Distance::from_km(simplify_tol),
+                                MAX_ESTIMATE_VERTICES,
+                            );
+                            report.applied_positive += 1;
+                        } else {
+                            report.skipped_positive += 1;
+                            any_skipped = true;
+                        }
+                    }
+                    chunk = if any_skipped { 1 } else { (chunk * 2).min(16) };
+                }
+                idx = end;
             }
         }
 
@@ -154,7 +228,10 @@ impl Solver {
                 * (1.0 - self.config.max_negative_removal_frac.clamp(0.0, 1.0)))
             .max(self.config.min_region_area_km2);
             if candidate.area_km2() >= floor {
-                estimate = candidate;
+                estimate = candidate.simplify_to_budget(
+                    octant_geo::units::Distance::from_km(simplify_tol),
+                    MAX_ESTIMATE_VERTICES,
+                );
                 report.applied_negative += 1;
             } else {
                 report.skipped_negative += 1;

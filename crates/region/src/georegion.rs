@@ -176,6 +176,51 @@ impl GeoRegion {
         }
     }
 
+    /// Intersection of many regions in one scanline sweep (see
+    /// [`Region::intersect_many`]). Operands expressed in other projections
+    /// are reprojected onto `projection` first; operands already anchored
+    /// there (the common case — a solve shares one projection) are borrowed
+    /// rather than cloned.
+    pub fn intersect_many<'a, I>(projection: AzimuthalEquidistant, operands: I) -> GeoRegion
+    where
+        I: IntoIterator<Item = &'a GeoRegion>,
+    {
+        Self::nary(projection, operands, |regions| {
+            Region::intersect_many(regions)
+        })
+    }
+
+    /// Union of many regions in one scanline sweep (see
+    /// [`Region::union_many`]). Operands expressed in other projections are
+    /// reprojected onto `projection` first; same-projection operands are
+    /// borrowed rather than cloned.
+    pub fn union_many<'a, I>(projection: AzimuthalEquidistant, operands: I) -> GeoRegion
+    where
+        I: IntoIterator<Item = &'a GeoRegion>,
+    {
+        Self::nary(projection, operands, |regions| Region::union_many(regions))
+    }
+
+    /// Shared preamble of the n-ary wrappers: collect operands, reproject
+    /// only those anchored elsewhere (borrowing same-projection operands),
+    /// and hand the planar operand list to the requested n-ary combination.
+    fn nary<'a, I>(
+        projection: AzimuthalEquidistant,
+        operands: I,
+        combine: impl FnOnce(Vec<&Region>) -> Region,
+    ) -> GeoRegion
+    where
+        I: IntoIterator<Item = &'a GeoRegion>,
+    {
+        let ops: Vec<&GeoRegion> = operands.into_iter().collect();
+        let reprojected = reproject_where_needed(projection, &ops);
+        let regions = planar_operands(&ops, &reprojected);
+        GeoRegion {
+            projection,
+            region: combine(regions),
+        }
+    }
+
     /// Dilation by a geodesic distance (positive secondary-landmark
     /// constraint).
     pub fn dilate(&self, by: Distance) -> GeoRegion {
@@ -183,6 +228,28 @@ impl GeoRegion {
             projection: self.projection,
             region: self.region.dilate(by.km()),
         }
+    }
+
+    /// Boundary simplification with a kilometre tolerance (see
+    /// [`Region::simplify`]).
+    pub fn simplify(&self, tolerance: Distance) -> GeoRegion {
+        GeoRegion {
+            projection: self.projection,
+            region: self.region.simplify(tolerance.km()),
+        }
+    }
+
+    /// Vertex-budget simplification (see [`Region::simplify_to_budget`]).
+    pub fn simplify_to_budget(&self, tolerance: Distance, max_vertices: usize) -> GeoRegion {
+        GeoRegion {
+            projection: self.projection,
+            region: self.region.simplify_to_budget(tolerance.km(), max_vertices),
+        }
+    }
+
+    /// Total boundary vertex count of the underlying planar region.
+    pub fn vertex_count(&self) -> usize {
+        self.region.vertex_count()
     }
 
     /// Erosion by a geodesic distance (negative secondary-landmark
@@ -240,6 +307,38 @@ impl GeoRegion {
     }
 }
 
+/// Reprojects only the operands whose projection differs from `target`
+/// (slot-aligned with `ops`; `None` means the operand can be borrowed).
+fn reproject_where_needed(
+    target: AzimuthalEquidistant,
+    ops: &[&GeoRegion],
+) -> Vec<Option<GeoRegion>> {
+    ops.iter()
+        .map(|r| {
+            if great_circle_km(r.projection.center(), target.center()) < 1e-6 {
+                None
+            } else {
+                Some(r.reproject(target))
+            }
+        })
+        .collect()
+}
+
+/// Zips originals with their reprojections into the planar operand list for
+/// the n-ary sweep, borrowing wherever no reprojection was needed.
+fn planar_operands<'a>(
+    ops: &[&'a GeoRegion],
+    reprojected: &'a [Option<GeoRegion>],
+) -> Vec<&'a Region> {
+    ops.iter()
+        .zip(reprojected)
+        .map(|(orig, re)| match re {
+            Some(g) => &g.region,
+            None => &orig.region,
+        })
+        .collect()
+}
+
 // A small internal helper so reproject can rebuild a region from rings that
 // are already interior-disjoint (reprojection preserves disjointness).
 trait FromRingsRaw {
@@ -248,11 +347,11 @@ trait FromRingsRaw {
 
 impl FromRingsRaw for Region {
     fn from_rings_raw(rings: Vec<Ring>) -> Region {
-        let mut acc = Region::empty();
-        for r in rings {
-            acc = acc.union(&Region::from_ring(r));
-        }
-        acc
+        // One n-ary sweep restores the invariant against the (rare) hairline
+        // overlaps projection distortion can introduce, instead of N−1
+        // chained pairwise unions.
+        let regions: Vec<Region> = rings.into_iter().map(Region::from_ring).collect();
+        Region::union_many(regions.iter())
     }
 }
 

@@ -17,9 +17,11 @@
 //!   representation used to *construct* region boundaries (disks are
 //!   four-segment cubic Bézier circles, exactly as in the paper),
 //! * [`ring::Ring`] — flattened closed polygons with area / containment /
-//!   centroid queries,
+//!   centroid queries (bounding box and convexity cached at construction),
 //! * [`scanline`] — a robust band-sweep boolean-operation engine producing
-//!   interior-disjoint trapezoid decompositions,
+//!   interior-disjoint trapezoid decompositions, with binary
+//!   ([`scanline::boolean_op`]) and n-ary single-sweep
+//!   ([`scanline::boolean_op_many`]) entry points,
 //! * [`Region`] — the public region type with union / intersection /
 //!   difference / dilation / erosion, area, centroid, containment and
 //!   sampling,
@@ -38,6 +40,35 @@
 //! no intersection-graph traversal to get wrong — while staying faithful to
 //! the paper's representation: regions are constructed from Bézier curves,
 //! may be non-convex and disconnected, and support cheap boolean algebra.
+//!
+//! ## Performance machinery
+//!
+//! The solver-facing hot paths are engineered around four mechanisms
+//! (pinned by `tests/region_algebra.rs` / `tests/region_fastpath_parity.rs`
+//! and measured by `octant-bench`'s `region` binary):
+//!
+//! * **N-ary single sweeps** — [`Region::intersect_many`] /
+//!   [`Region::union_many`] merge all operands' per-band interval lists in
+//!   one scanline pass instead of re-decomposing an accumulator through
+//!   N−1 chained pairwise sweeps.
+//! * **Bbox pruning** — ring- and region-level bounding boxes are cached at
+//!   construction; bbox-disjoint operands skip the sweep entirely (empty
+//!   intersection, concatenated union), a convex operand covering the other
+//!   operand's box absorbs the operation into a clone, and intersections
+//!   restrict the sweep to the operands' common y-window, dropping
+//!   segments that cannot affect it (output-identical by construction).
+//! * **Fast dilation** — [`Region::dilate`] dispatches to a disk
+//!   specialization (a dilated disk is a disk), a direct convex polygon
+//!   offset, or a hierarchical n-ary merge of per-ring offsets, with an
+//!   adaptive arc-sampling budget keyed to the radius/extent ratio; the
+//!   original Minkowski-by-capsules construction survives as
+//!   [`Region::dilate_reference`], the exact reference the fast paths are
+//!   validated against.
+//! * **Vertex budgets** — [`Region::simplify`] /
+//!   [`Region::simplify_to_budget`] reclaim the boundary fragmentation
+//!   chained operations accumulate at band seams, so representation size
+//!   (and with it the cost of the next operation) stays bounded across a
+//!   solve.
 //!
 //! ```
 //! use octant_region::{Region, Vec2};

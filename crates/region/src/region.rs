@@ -3,7 +3,7 @@
 
 use crate::bezier::BezierLoop;
 use crate::ring::Ring;
-use crate::scanline::{boolean_op, BoolOp};
+use crate::scanline::{boolean_op, boolean_op_many, BoolOp, NaryOp};
 use crate::vec2::Vec2;
 use crate::{AREA_EPSILON_KM2, DEFAULT_FLATTEN_TOLERANCE_KM};
 use rand::Rng;
@@ -16,18 +16,44 @@ use serde::{Deserialize, Serialize};
 /// constructor and operation maintains that invariant, which keeps area,
 /// centroid and containment queries trivially correct. Regions are
 /// constructed from Bézier loops (disks, annuli, polygons) and combined with
-/// [`Region::union`], [`Region::intersect`] and [`Region::subtract`]; the
-/// morphological operations [`Region::dilate`] and [`Region::erode`]
-/// implement the paper's secondary-landmark constraints.
+/// [`Region::union`], [`Region::intersect`] and [`Region::subtract`] (or
+/// their single-sweep n-ary forms [`Region::union_many`] and
+/// [`Region::intersect_many`]); the morphological operations
+/// [`Region::dilate`] and [`Region::erode`] implement the paper's
+/// secondary-landmark constraints.
+///
+/// The region-level bounding box is cached at construction and consulted by
+/// every boolean operation: bbox-disjoint operands skip the sweep entirely
+/// (empty intersection, concatenated union) and a convex operand covering
+/// the other operand's bounding box absorbs the operation into a clone.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Region {
     rings: Vec<Ring>,
+    bbox: Option<(Vec2, Vec2)>,
 }
 
 impl Region {
     /// The empty region.
     pub fn empty() -> Self {
-        Region { rings: Vec::new() }
+        Region {
+            rings: Vec::new(),
+            bbox: None,
+        }
+    }
+
+    /// Builds a region from rings that are already interior-disjoint (the
+    /// boolean engine's output invariant), computing the cached bounding box.
+    fn from_disjoint_rings(rings: Vec<Ring>) -> Self {
+        let mut bbox: Option<(Vec2, Vec2)> = None;
+        for r in &rings {
+            if let Some((lo, hi)) = r.bbox() {
+                bbox = Some(match bbox {
+                    None => (lo, hi),
+                    Some((alo, ahi)) => (alo.min(lo), ahi.max(hi)),
+                });
+            }
+        }
+        Region { rings, bbox }
     }
 
     /// A region from a single ring.
@@ -35,7 +61,7 @@ impl Region {
         if ring.is_empty() || ring.area() < AREA_EPSILON_KM2 {
             Region::empty()
         } else {
-            Region { rings: vec![ring] }
+            Region::from_disjoint_rings(vec![ring])
         }
     }
 
@@ -119,18 +145,38 @@ impl Region {
         Some(acc / total)
     }
 
-    /// Axis-aligned bounding box `(min, max)`, or `None` when empty.
+    /// Axis-aligned bounding box `(min, max)`, cached at construction;
+    /// `None` when the region has no rings.
     pub fn bbox(&self) -> Option<(Vec2, Vec2)> {
-        let mut acc: Option<(Vec2, Vec2)> = None;
-        for r in &self.rings {
-            if let Some((lo, hi)) = r.bbox() {
-                acc = Some(match acc {
-                    None => (lo, hi),
-                    Some((alo, ahi)) => (alo.min(lo), ahi.max(hi)),
-                });
+        self.bbox
+    }
+
+    /// `true` when the two regions' bounding boxes do not overlap (their
+    /// interiors cannot intersect). Vacuously false when either is empty so
+    /// the scanline fast paths keep handling empty operands.
+    fn bbox_disjoint(&self, other: &Region) -> bool {
+        match (self.bbox, other.bbox) {
+            (Some((alo, ahi)), Some((blo, bhi))) => {
+                ahi.x < blo.x || bhi.x < alo.x || ahi.y < blo.y || bhi.y < alo.y
             }
+            _ => false,
         }
-        acc
+    }
+
+    /// `true` when this region is a single convex ring containing all four
+    /// corners of `bbox` — and therefore, by convexity, the whole box and
+    /// anything inside it. The cheap sufficient condition behind the
+    /// absorption fast paths.
+    fn convex_covers_bbox(&self, bbox: (Vec2, Vec2)) -> bool {
+        if self.rings.len() != 1 || !self.rings[0].is_convex() {
+            return false;
+        }
+        let ring = &self.rings[0];
+        let (lo, hi) = bbox;
+        ring.contains(lo)
+            && ring.contains(hi)
+            && ring.contains(Vec2::new(lo.x, hi.y))
+            && ring.contains(Vec2::new(hi.x, lo.y))
     }
 
     /// Point containment (even-odd over the disjoint rings, i.e. plain
@@ -171,38 +217,275 @@ impl Region {
     }
 
     /// Union with another region.
+    ///
+    /// Bbox-disjoint operands are concatenated without a sweep: their rings
+    /// cannot interact, so the interior-disjoint invariant already holds. A
+    /// convex operand covering the other's bounding box absorbs it.
     pub fn union(&self, other: &Region) -> Region {
-        Region {
-            rings: boolean_op(&self.rings, &other.rings, BoolOp::Union),
+        if self.rings.is_empty() {
+            return other.clone();
         }
+        if other.rings.is_empty() {
+            return self.clone();
+        }
+        if self.bbox_disjoint(other) {
+            let mut rings = self.rings.clone();
+            rings.extend_from_slice(&other.rings);
+            return Region::from_disjoint_rings(rings);
+        }
+        if let Some(bb) = other.bbox {
+            if self.convex_covers_bbox(bb) {
+                return self.clone();
+            }
+        }
+        if let Some(bb) = self.bbox {
+            if other.convex_covers_bbox(bb) {
+                return other.clone();
+            }
+        }
+        Region::from_disjoint_rings(boolean_op(&self.rings, &other.rings, BoolOp::Union))
     }
 
     /// Intersection with another region.
+    ///
+    /// Bbox-disjoint operands short-circuit to the empty region; a convex
+    /// operand covering the other's bounding box absorbs the operation into
+    /// a clone of the smaller operand.
     pub fn intersect(&self, other: &Region) -> Region {
-        Region {
-            rings: boolean_op(&self.rings, &other.rings, BoolOp::Intersection),
+        if self.rings.is_empty() || other.rings.is_empty() || self.bbox_disjoint(other) {
+            return Region::empty();
         }
+        if let Some(bb) = self.bbox {
+            if other.convex_covers_bbox(bb) {
+                return self.clone();
+            }
+        }
+        if let Some(bb) = other.bbox {
+            if self.convex_covers_bbox(bb) {
+                return other.clone();
+            }
+        }
+        Region::from_disjoint_rings(boolean_op(&self.rings, &other.rings, BoolOp::Intersection))
     }
 
     /// Set difference (`self` minus `other`).
+    ///
+    /// Bbox-disjoint operands return `self` unchanged; a convex subtrahend
+    /// covering `self`'s bounding box empties the result.
     pub fn subtract(&self, other: &Region) -> Region {
-        Region {
-            rings: boolean_op(&self.rings, &other.rings, BoolOp::Difference),
+        if self.rings.is_empty() {
+            return Region::empty();
         }
+        if other.rings.is_empty() || self.bbox_disjoint(other) {
+            return self.clone();
+        }
+        if let Some(bb) = self.bbox {
+            if other.convex_covers_bbox(bb) {
+                return Region::empty();
+            }
+        }
+        Region::from_disjoint_rings(boolean_op(&self.rings, &other.rings, BoolOp::Difference))
     }
 
     /// Symmetric difference.
     pub fn xor(&self, other: &Region) -> Region {
-        Region {
-            rings: boolean_op(&self.rings, &other.rings, BoolOp::Xor),
+        if self.bbox_disjoint(other) {
+            let mut rings = self.rings.clone();
+            rings.extend_from_slice(&other.rings);
+            return Region::from_disjoint_rings(rings);
         }
+        Region::from_disjoint_rings(boolean_op(&self.rings, &other.rings, BoolOp::Xor))
+    }
+
+    /// Intersection of many regions in **one scanline sweep** (instead of
+    /// N−1 chained pairwise sweeps, each re-decomposing the accumulated
+    /// intermediate result).
+    ///
+    /// Bbox pruning happens before the sweep: if the operands' bounding
+    /// boxes have no common window the result is empty without any geometry
+    /// work, and a convex operand covering the common window (e.g. the
+    /// world disk around a tight constraint set) is dropped from the sweep
+    /// because it cannot remove anything. Returns the empty region for an
+    /// empty operand list.
+    pub fn intersect_many<'a, I>(operands: I) -> Region
+    where
+        I: IntoIterator<Item = &'a Region>,
+    {
+        let ops: Vec<&Region> = operands.into_iter().collect();
+        if ops.is_empty() {
+            return Region::empty();
+        }
+        // Common bounding window of all operands.
+        let mut common: Option<(Vec2, Vec2)> = None;
+        for r in &ops {
+            let (lo, hi) = match r.bbox {
+                Some(b) => b,
+                None => return Region::empty(),
+            };
+            common = Some(match common {
+                None => (lo, hi),
+                Some((clo, chi)) => (clo.max(lo), chi.min(hi)),
+            });
+        }
+        let (clo, chi) = common.expect("non-empty operand list");
+        if clo.x >= chi.x || clo.y >= chi.y {
+            return Region::empty();
+        }
+        // Absorption: an operand that provably covers the common window is
+        // replaced (collectively, with all other such operands) by the
+        // window rectangle itself — the result always lies inside the
+        // window, so `∩ all = ∩ kept ∩ window`, and a 4-segment rectangle
+        // is far cheaper to sweep than a world-scale disk.
+        let kept: Vec<&Region> = ops
+            .iter()
+            .filter(|r| !r.convex_covers_bbox((clo, chi)))
+            .copied()
+            .collect();
+        if kept.is_empty() {
+            // Every operand covers the common window, so the intersection
+            // *is* the window.
+            return Region::rectangle(clo, chi);
+        }
+        if kept.len() == ops.len() && kept.len() == 1 {
+            return kept[0].clone();
+        }
+        let window_rect;
+        let mut ring_sets: Vec<&[Ring]> = kept.iter().map(|r| r.rings.as_slice()).collect();
+        if kept.len() != ops.len() {
+            window_rect = Region::rectangle(clo, chi);
+            ring_sets.push(window_rect.rings.as_slice());
+        }
+        Region::from_disjoint_rings(boolean_op_many(&ring_sets, NaryOp::Intersection))
+    }
+
+    /// Union of many regions in **one scanline sweep**.
+    ///
+    /// Operands are first grouped into bbox-overlap clusters: clusters are
+    /// mutually bbox-disjoint, so their results concatenate without any
+    /// geometry work (the common case for landmass outlines), and each
+    /// multi-operand cluster is merged in a single n-ary sweep. Returns the
+    /// empty region for an empty operand list.
+    pub fn union_many<'a, I>(operands: I) -> Region
+    where
+        I: IntoIterator<Item = &'a Region>,
+    {
+        let ops: Vec<&Region> = operands
+            .into_iter()
+            .filter(|r| !r.rings.is_empty())
+            .collect();
+        match ops.len() {
+            0 => return Region::empty(),
+            1 => return ops[0].clone(),
+            _ => {}
+        }
+        // Union-find over bbox overlaps.
+        let n = ops.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !ops[i].bbox_disjoint(ops[j]) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        // Clusters are gathered and processed in operand order (indexed by
+        // root, members ascending) so the output ring order — and with it
+        // `PartialEq`, float-summation order and sampling — is fully
+        // deterministic across calls and processes.
+        let mut members_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            members_of[root].push(i);
+        }
+        let mut rings: Vec<Ring> = Vec::new();
+        for members in members_of.iter().filter(|m| !m.is_empty()) {
+            if members.len() == 1 {
+                rings.extend_from_slice(&ops[members[0]].rings);
+            } else {
+                let ring_sets: Vec<&[Ring]> =
+                    members.iter().map(|&i| ops[i].rings.as_slice()).collect();
+                rings.extend(boolean_op_many(&ring_sets, NaryOp::Union));
+            }
+        }
+        Region::from_disjoint_rings(rings)
     }
 
     /// Morphological dilation by `radius_km`: every point within `radius_km`
     /// of the region. This realizes the paper's positive constraint from a
     /// *secondary* landmark whose own position is only known as a region
     /// (the union of disks centred at every point of that region).
+    ///
+    /// Dispatches to the cheapest applicable construction:
+    ///
+    /// * **disk** — a region that is a flattened circle dilates to a larger
+    ///   disk around the same centre;
+    /// * **convex ring** — the Minkowski sum of a convex polygon and a disk
+    ///   is the polygon offset outward with circular arcs at the vertices,
+    ///   built directly in `O(vertices + arc samples)` with no sweep;
+    /// * **general** — per-ring offsets (exact convex offsets where
+    ///   possible, per-edge capsules otherwise) merged with the region in
+    ///   **one** n-ary union sweep instead of the chained pairwise unions
+    ///   of [`Region::dilate_reference`].
+    ///
+    /// Arc sampling is adaptive: the flattening tolerance grows with the
+    /// ratio of `radius_km` to the region's extent, because when the
+    /// dilation dwarfs the region the result is within `O(extent)` of a
+    /// plain disk and fine boundary detail cannot matter.
     pub fn dilate(&self, radius_km: f64) -> Region {
+        if radius_km <= 0.0 || self.rings.is_empty() {
+            return self.clone();
+        }
+        let tol = self.dilation_tolerance(radius_km);
+        if self.rings.len() == 1 && self.rings[0].is_convex() {
+            let ring = &self.rings[0];
+            if let Some((center, r)) = as_disk(ring) {
+                return Region::disk_with_tolerance(center, r + radius_km, tol);
+            }
+            return Region::from_ring(convex_offset_ring(ring, radius_km, tol));
+        }
+        // General case: offset every ring (exact convex offsets where sound,
+        // per-edge capsules otherwise), then merge the offsets and the
+        // region itself **hierarchically**: spatially-sorted groups of
+        // operands are fused with one n-ary sweep each, and the (far
+        // simpler) group blobs are merged the same way until one region
+        // remains. A single flat sweep over every offset ring would pay for
+        // all the mutual overlap at once (bands × active segments grows
+        // quadratically in the ring count); the hierarchy absorbs overlap
+        // inside each small sweep, so the per-level cost stays bounded.
+        // Solid per-ring convex offsets are only sound when no ring is a
+        // hole of another; with nesting, per-edge capsules (which never
+        // cover a hole's interior) are used instead.
+        let solid_ok = !self.has_nested_rings();
+        let cap_steps = ((std::f64::consts::PI / arc_step(radius_km, tol)).ceil() as usize).max(4);
+        let mut parts: Vec<Region> = vec![self.clone()];
+        for ring in &self.rings {
+            if solid_ok && ring.is_convex() {
+                parts.push(Region::from_ring(convex_offset_ring(ring, radius_km, tol)));
+            } else {
+                for (a, b) in ring.edges() {
+                    parts.push(Region::from_ring(capsule_ring(a, b, radius_km, cap_steps)));
+                }
+            }
+        }
+        union_hierarchical(parts, 8)
+    }
+
+    /// The original Minkowski-by-capsules dilation, kept as the exact
+    /// reference construction the fast paths in [`Region::dilate`] are
+    /// validated against (`tests/region_fastpath_parity.rs`): the union of
+    /// the region with a fixed-resolution stadium around every boundary
+    /// edge, accumulated through chained pairwise sweeps.
+    pub fn dilate_reference(&self, radius_km: f64) -> Region {
         if radius_km <= 0.0 || self.rings.is_empty() {
             return self.clone();
         }
@@ -214,7 +497,7 @@ impl Region {
         let mut capsules: Vec<Ring> = Vec::new();
         for ring in &self.rings {
             for (a, b) in ring.edges() {
-                capsules.push(capsule_ring(a, b, radius_km));
+                capsules.push(capsule_ring(a, b, radius_km, REFERENCE_CAP_STEPS));
             }
         }
         // Union the capsules in batches to keep intermediate sizes small.
@@ -227,6 +510,103 @@ impl Region {
             }
         }
         acc.union(&batch)
+    }
+
+    /// The adaptive boundary tolerance (km) used when sampling dilation
+    /// arcs, keyed to the radius/extent ratio.
+    ///
+    /// Two effects compose: a floor relative to the radius (0.4 %, so large
+    /// dilation arcs are not over-sampled to absolute-kilometre precision
+    /// that downstream sweeps then pay for vertex by vertex), and a growth
+    /// factor in the radius/extent ratio (when the dilation dwarfs the
+    /// region the result is within `O(extent)` of a plain disk, so fine
+    /// boundary detail cannot matter).
+    fn dilation_tolerance(&self, radius_km: f64) -> f64 {
+        let extent = match self.bbox {
+            Some((lo, hi)) => (hi - lo).length(),
+            None => 0.0,
+        };
+        let ratio = radius_km / extent.max(1e-9);
+        DEFAULT_FLATTEN_TOLERANCE_KM.max(radius_km * 4e-3) * (1.0 + ratio / 4.0).min(8.0)
+    }
+
+    /// `true` when some ring lies inside another (a hole under the even-odd
+    /// rule). Engine-produced trapezoid decompositions never nest, so this
+    /// is almost always a cheap all-bbox-checks pass; a false positive only
+    /// costs the capsule fallback in [`Region::dilate`], never correctness.
+    fn has_nested_rings(&self) -> bool {
+        let n = self.rings.len();
+        for i in 0..n {
+            let (ilo, ihi) = match self.rings[i].bbox() {
+                Some(b) => b,
+                None => continue,
+            };
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (jlo, jhi) = match self.rings[j].bbox() {
+                    Some(b) => b,
+                    None => continue,
+                };
+                let bbox_inside =
+                    ilo.x <= jlo.x && ilo.y <= jlo.y && jhi.x <= ihi.x && jhi.y <= ihi.y;
+                if bbox_inside && !self.rings[j].points().is_empty() {
+                    // Interior-disjoint rings are either fully nested or
+                    // fully outside, so one representative point decides.
+                    if self.rings[i].contains(self.rings[j].points()[0]) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Reduces the vertex count by dropping boundary vertices whose removal
+    /// moves the boundary by at most `tolerance_km`, and rings that collapse
+    /// below the area epsilon. Chained boolean operations fragment ring
+    /// boundaries at band seams (exactly collinear splits), so a tiny
+    /// tolerance reclaims most of the fragmentation without measurably
+    /// moving the boundary; applied between solver iterations it keeps the
+    /// cost of later operations from growing with chain length.
+    pub fn simplify(&self, tolerance_km: f64) -> Region {
+        if tolerance_km <= 0.0 || self.rings.is_empty() {
+            return self.clone();
+        }
+        let rings: Vec<Ring> = self
+            .rings
+            .iter()
+            .map(|r| r.simplified(tolerance_km))
+            .filter(|r| !r.is_empty() && r.area() >= AREA_EPSILON_KM2)
+            .collect();
+        Region::from_disjoint_rings(rings)
+    }
+
+    /// Vertex-budget form of [`Region::simplify`]: escalates the tolerance
+    /// (×4 per round, up to three rounds) until the representation fits
+    /// `max_vertices`. The budget bounds the cost of every later operation
+    /// on the region regardless of how many operations produced it.
+    ///
+    /// Escalation is geometrically capped at 1 % of the region's bbox
+    /// diagonal: an over-budget representation never buys compactness by
+    /// carving more than a percent-scale band off the (shrink-only)
+    /// boundary, no matter what the caller's base tolerance was.
+    pub fn simplify_to_budget(&self, tolerance_km: f64, max_vertices: usize) -> Region {
+        let mut out = self.simplify(tolerance_km);
+        let mut tol = tolerance_km.max(1e-9);
+        let tol_cap = match self.bbox {
+            Some((lo, hi)) => (hi - lo).length() * 0.01,
+            None => return out,
+        };
+        for _ in 0..3 {
+            if out.vertex_count() <= max_vertices || tol >= tol_cap {
+                break;
+            }
+            tol = (tol * 4.0).min(tol_cap.max(tolerance_km));
+            out = out.simplify(tol);
+        }
+        out
     }
 
     /// Morphological erosion by `radius_km`: every point whose `radius_km`
@@ -300,29 +680,150 @@ impl Region {
     }
 }
 
+/// Merges many (heavily overlapping) part-regions by levels: operands are
+/// sorted for spatial locality, fused in groups of `group` with one n-ary
+/// sweep each, and the resulting blobs repeat the process until one region
+/// remains. Overlap is absorbed inside the small group sweeps, keeping
+/// every individual sweep's band × active-segment product bounded.
+fn union_hierarchical(mut parts: Vec<Region>, group: usize) -> Region {
+    let group = group.max(2);
+    while parts.len() > 1 {
+        parts.sort_by(|a, b| {
+            let ax = a.bbox.map(|(lo, hi)| lo.x + hi.x).unwrap_or(f64::INFINITY);
+            let bx = b.bbox.map(|(lo, hi)| lo.x + hi.x).unwrap_or(f64::INFINITY);
+            ax.partial_cmp(&bx).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        parts = parts
+            .chunks(group)
+            .map(|chunk| Region::union_many(chunk.iter()))
+            .collect();
+    }
+    parts.pop().unwrap_or_default()
+}
+
+/// The fixed per-cap resolution of the reference Minkowski construction
+/// ([`Region::dilate_reference`]); the fast path chooses its cap resolution
+/// adaptively instead.
+const REFERENCE_CAP_STEPS: usize = 8;
+
 /// A stadium-shaped ring (rectangle with semicircular caps) of radius `r`
-/// around the segment `[a, b]`, approximated with `CAP_STEPS` points per cap.
-fn capsule_ring(a: Vec2, b: Vec2, r: f64) -> Ring {
-    const CAP_STEPS: usize = 8;
+/// around the segment `[a, b]`, approximated with `cap_steps` points per cap.
+fn capsule_ring(a: Vec2, b: Vec2, r: f64, cap_steps: usize) -> Ring {
+    let cap_steps = cap_steps.max(2);
     let dir = (b - a).normalized();
     if dir == Vec2::ZERO {
-        return Ring::regular_polygon(a, r, 2 * CAP_STEPS);
+        return Ring::regular_polygon(a, r, 2 * cap_steps);
     }
     let normal = dir.perp();
-    let mut pts = Vec::with_capacity(2 * CAP_STEPS + 2);
+    let mut pts = Vec::with_capacity(2 * cap_steps + 2);
     // Cap around b: sweep from +normal to -normal going through +dir.
     let base_angle_b = normal.y.atan2(normal.x);
-    for i in 0..=CAP_STEPS {
-        let ang = base_angle_b - std::f64::consts::PI * i as f64 / CAP_STEPS as f64;
+    for i in 0..=cap_steps {
+        let ang = base_angle_b - std::f64::consts::PI * i as f64 / cap_steps as f64;
         pts.push(b + Vec2::new(ang.cos(), ang.sin()) * r);
     }
     // Cap around a: sweep from -normal to +normal going through -dir.
     let base_angle_a = (-normal.y).atan2(-normal.x);
-    for i in 0..=CAP_STEPS {
-        let ang = base_angle_a - std::f64::consts::PI * i as f64 / CAP_STEPS as f64;
+    for i in 0..=cap_steps {
+        let ang = base_angle_a - std::f64::consts::PI * i as f64 / cap_steps as f64;
         pts.push(a + Vec2::new(ang.cos(), ang.sin()) * r);
     }
     Ring::new(pts)
+}
+
+/// The largest arc step (radians) whose chord stays within `tol` of a circle
+/// of radius `radius` (sagitta bound `r·(1 − cos(θ/2)) ≤ tol`), clamped to a
+/// sane range.
+fn arc_step(radius: f64, tol: f64) -> f64 {
+    let c = (1.0 - tol / radius.max(1e-9)).clamp(-1.0, 1.0);
+    (2.0 * c.acos()).clamp(std::f64::consts::PI / 128.0, std::f64::consts::PI / 4.0)
+}
+
+/// Detects a ring that is (within flattening precision) a circle: a convex
+/// ring whose vertices are equidistant from its centroid. Returns the centre
+/// and the **maximum** vertex radius, so a disk built from it contains the
+/// original ring.
+fn as_disk(ring: &Ring) -> Option<(Vec2, f64)> {
+    let pts = ring.points();
+    if pts.len() < 8 || !ring.is_convex() {
+        return None;
+    }
+    let c = ring.centroid();
+    let mut rmin = f64::INFINITY;
+    let mut rmax = 0.0f64;
+    for &p in pts {
+        let d = c.distance(p);
+        rmin = rmin.min(d);
+        rmax = rmax.max(d);
+    }
+    if rmax <= 0.0 {
+        return None;
+    }
+    // Flattened Bézier circles have sub-0.03% radial spread; anything
+    // materially wider is a genuine polygon and takes the convex-offset path.
+    if (rmax - rmin) <= (2e-3 * rmax).max(1e-6) {
+        Some((c, rmax))
+    } else {
+        None
+    }
+}
+
+/// The Minkowski sum of a convex ring and a disk of radius `r`, built
+/// directly: every edge shifts outward along its normal and every vertex
+/// grows a circular arc between the adjacent edge normals, sampled at the
+/// sagitta-bounded step for `tol`. `O(vertices + arc samples)`, no sweep.
+fn convex_offset_ring(ring: &Ring, r: f64, tol: f64) -> Ring {
+    let ccw = ring.oriented_ccw();
+    let pts = ccw.points();
+    let n = pts.len();
+    if n == 0 {
+        return ccw;
+    }
+    if n == 1 {
+        return Ring::regular_polygon(
+            pts[0],
+            r,
+            16.max((std::f64::consts::TAU / arc_step(r, tol)) as usize),
+        );
+    }
+    if n == 2 {
+        let steps = ((std::f64::consts::PI / arc_step(r, tol)).ceil() as usize).max(4);
+        return capsule_ring(pts[0], pts[1], r, steps);
+    }
+    let step = arc_step(r, tol);
+    let mut out: Vec<Vec2> = Vec::with_capacity(2 * n + 8);
+    for i in 0..n {
+        let prev = pts[(i + n - 1) % n];
+        let cur = pts[i];
+        let next = pts[(i + 1) % n];
+        // Outward normals of the incoming and outgoing edges (the interior
+        // is to the left of a CCW boundary, so outward is the right-hand
+        // perpendicular).
+        let d_in = (cur - prev).normalized();
+        let d_out = (next - cur).normalized();
+        if d_in == Vec2::ZERO || d_out == Vec2::ZERO {
+            continue;
+        }
+        let n_in = Vec2::new(d_in.y, -d_in.x);
+        let n_out = Vec2::new(d_out.y, -d_out.x);
+        out.push(cur + n_in * r);
+        // Arc from n_in to n_out around the vertex (the exterior angle;
+        // non-negative for a convex CCW ring up to collinear jitter).
+        let a0 = n_in.y.atan2(n_in.x);
+        let mut delta = n_out.y.atan2(n_out.x) - a0;
+        if delta < 0.0 {
+            delta += std::f64::consts::TAU;
+        }
+        if delta < std::f64::consts::PI {
+            let k = (delta / step).ceil() as usize;
+            for s in 1..k {
+                let ang = a0 + delta * s as f64 / k as f64;
+                out.push(cur + Vec2::new(ang.cos(), ang.sin()) * r);
+            }
+        }
+        out.push(cur + n_out * r);
+    }
+    Ring::new(out)
 }
 
 #[cfg(test)]

@@ -9,9 +9,25 @@ use crate::vec2::Vec2;
 use serde::{Deserialize, Serialize};
 
 /// A closed polygon in the projection plane (kilometre coordinates).
+///
+/// The axis-aligned bounding box and the convexity flag are computed once at
+/// construction and cached: the boolean engine consults both on every
+/// operation (bbox-disjoint and absorption fast paths, convex dilation
+/// specialization), so recomputing them per query would dominate the very
+/// fast paths they enable.
+// NOTE(serde): the cached fields below are derived data. When the serde
+// stand-in is swapped for the real crate (no consumer serializes bytes
+// today), they must be recomputed on deserialize — e.g. `#[serde(from =
+// "...")]` over a points-only mirror — both for wire compatibility with
+// points-only payloads and so a tampered `convex` flag can never steer the
+// engine's convex fast paths.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Ring {
     points: Vec<Vec2>,
+    /// Cached axis-aligned bounding box (`None` for empty rings).
+    bbox: Option<(Vec2, Vec2)>,
+    /// Cached convexity of the cleaned vertex list.
+    convex: bool,
 }
 
 impl Ring {
@@ -36,7 +52,29 @@ impl Ring {
         if cleaned.len() > 1 && cleaned[0].distance(*cleaned.last().unwrap()) < 1e-12 {
             cleaned.pop();
         }
-        Ring { points: cleaned }
+        Ring::from_cleaned(cleaned)
+    }
+
+    /// Builds a ring from an already-cleaned vertex list, computing the
+    /// cached bounding box and convexity flag.
+    fn from_cleaned(points: Vec<Vec2>) -> Self {
+        let bbox = if points.is_empty() {
+            None
+        } else {
+            let mut min = points[0];
+            let mut max = points[0];
+            for &p in &points {
+                min = min.min(p);
+                max = max.max(p);
+            }
+            Some((min, max))
+        };
+        let convex = convexity(&points);
+        Ring {
+            points,
+            bbox,
+            convex,
+        }
     }
 
     /// A rectangle ring from opposite corners.
@@ -111,7 +149,7 @@ impl Ring {
         } else {
             let mut pts = self.points.clone();
             pts.reverse();
-            Ring { points: pts }
+            Ring::from_cleaned(pts)
         }
     }
 
@@ -150,18 +188,10 @@ impl Ring {
         Vec2::new(cx / (6.0 * a), cy / (6.0 * a))
     }
 
-    /// Axis-aligned bounding box `(min, max)`. Returns `None` for empty rings.
+    /// Axis-aligned bounding box `(min, max)`, cached at construction.
+    /// Returns `None` for empty rings.
     pub fn bbox(&self) -> Option<(Vec2, Vec2)> {
-        if self.points.is_empty() {
-            return None;
-        }
-        let mut min = self.points[0];
-        let mut max = self.points[0];
-        for &p in &self.points {
-            min = min.min(p);
-            max = max.max(p);
-        }
-        Some((min, max))
+        self.bbox
     }
 
     /// Even-odd (ray casting) point containment test. Points exactly on the
@@ -201,62 +231,77 @@ impl Ring {
     }
 
     /// `true` when every interior angle turns the same way (the ring is
-    /// convex). Degenerate rings report `true`.
+    /// convex). Cached at construction; degenerate rings report `true`.
     pub fn is_convex(&self) -> bool {
-        let n = self.points.len();
-        if n < 4 {
-            return true;
-        }
-        let mut sign = 0.0;
-        for i in 0..n {
-            let a = self.points[i];
-            let b = self.points[(i + 1) % n];
-            let c = self.points[(i + 2) % n];
-            let cross = (b - a).cross(c - b);
-            if cross.abs() < 1e-12 {
-                continue;
-            }
-            if sign == 0.0 {
-                sign = cross.signum();
-            } else if cross.signum() != sign {
-                return false;
-            }
-        }
-        true
+        self.convex
     }
 
     /// Translates every vertex by `offset`.
     pub fn translated(&self, offset: Vec2) -> Ring {
-        Ring {
-            points: self.points.iter().map(|&p| p + offset).collect(),
-        }
+        Ring::from_cleaned(self.points.iter().map(|&p| p + offset).collect())
     }
 
     /// Scales the ring about a centre point.
     pub fn scaled_about(&self, center: Vec2, factor: f64) -> Ring {
-        Ring {
-            points: self
-                .points
+        Ring::from_cleaned(
+            self.points
                 .iter()
                 .map(|&p| center + (p - center) * factor)
                 .collect(),
-        }
+        )
     }
 
     /// Removes vertices that are (nearly) collinear with their neighbours,
     /// reducing vertex count without changing the shape materially.
+    ///
+    /// **Shrink-only**: besides the distance tolerance, a vertex is only
+    /// removed when the chord replacing it cuts *into* the ring (a convex
+    /// corner relative to the ring's orientation) or the vertex is exactly
+    /// collinear. Replacing a reflex corner would grow the ring outward by
+    /// up to the tolerance, and a [`crate::Region`]'s interior-disjoint
+    /// rings would then overlap at shared seams — breaking the even-odd
+    /// containment rule. Shrink-only removals keep every ring inside its
+    /// original footprint, so pairwise disjointness is preserved by
+    /// construction.
     pub fn simplified(&self, tolerance: f64) -> Ring {
         let n = self.points.len();
         if n < 4 {
             return self.clone();
         }
+        let orientation = self.signed_area().signum();
         let mut keep = Vec::with_capacity(n);
+        // Adjacent non-collinear removals are disallowed within one pass:
+        // the distance test uses the *original* neighbours, so removing a
+        // whole run of vertices would compound into movement far beyond the
+        // tolerance (e.g. a sampled arc collapsing to its chord). With the
+        // guard, every replacement chord spans exactly one removed vertex —
+        // except exactly-collinear runs, where chords coincide with the
+        // boundary — keeping the per-call movement bound honest.
+        let mut removed_prev = false;
+        let mut removed_first_noncollinear = false;
         for i in 0..n {
             let prev = self.points[(i + n - 1) % n];
             let cur = self.points[i];
             let next = self.points[(i + 1) % n];
-            if cur.distance_to_segment(prev, next) > tolerance {
+            let dist = cur.distance_to_segment(prev, next);
+            let turn = (cur - prev).cross(next - cur);
+            let exactly_collinear = dist <= 1e-9;
+            let shrinks = orientation * turn >= 0.0 || exactly_collinear;
+            // The adjacency guard must also span the ring wrap-around: the
+            // last vertex is the first vertex's predecessor, so if vertex 0
+            // was removed non-collinearly, vertex n−1 may not be.
+            let wrap_blocked = i == n - 1 && removed_first_noncollinear;
+            let removable = dist <= tolerance
+                && shrinks
+                && (exactly_collinear || (!removed_prev && !wrap_blocked));
+            if removable {
+                removed_prev = true;
+                if i == 0 && !exactly_collinear {
+                    removed_first_noncollinear = true;
+                }
+            } else {
                 keep.push(cur);
+                removed_prev = false;
             }
         }
         if keep.len() < 3 {
@@ -275,6 +320,31 @@ impl Ring {
             .map(|i| (self.points[i], self.points[(i + 1) % n]))
             .collect()
     }
+}
+
+/// Convexity of a cleaned vertex list: every turn has the same sign.
+/// Degenerate (sub-quadrilateral) lists report `true`.
+fn convexity(points: &[Vec2]) -> bool {
+    let n = points.len();
+    if n < 4 {
+        return true;
+    }
+    let mut sign = 0.0;
+    for i in 0..n {
+        let a = points[i];
+        let b = points[(i + 1) % n];
+        let c = points[(i + 2) % n];
+        let cross = (b - a).cross(c - b);
+        if cross.abs() < 1e-12 {
+            continue;
+        }
+        if sign == 0.0 {
+            sign = cross.signum();
+        } else if cross.signum() != sign {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]

@@ -30,6 +30,32 @@
 use crate::ring::Ring;
 use crate::vec2::Vec2;
 
+/// Cheap instrumentation of the sweep engine, used by the perf regression
+/// guard (`octant-bench`'s `region` binary asserts that an n-ary sweep
+/// processes fewer bands than the equivalent chain of pairwise sweeps) and
+/// by micro-benchmarks. The counter is **per-thread** and monotonically
+/// increasing: callers measure deltas around operations they ran on their
+/// own thread, unperturbed by concurrent sweeps (e.g. parallel test
+/// harnesses or rayon batch workers).
+pub mod stats {
+    use std::cell::Cell;
+
+    thread_local! {
+        static BAND_MERGES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Records one processed scanline band (each band performs exactly one
+    /// interval-merge across the operands).
+    pub(crate) fn record_band() {
+        BAND_MERGES.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Total scanline bands merged by the calling thread so far.
+    pub fn band_merges() -> u64 {
+        BAND_MERGES.with(|c| c.get())
+    }
+}
+
 /// Boolean operations supported by [`boolean_op`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BoolOp {
@@ -124,6 +150,46 @@ fn crossing_y(s1: &Segment, s2: &Segment) -> Option<f64> {
         Some(s1.a.y + r.y * t)
     } else {
         None
+    }
+}
+
+/// The `[min_y, max_y]` range spanned by a segment set. Callers guarantee the
+/// set is non-empty.
+fn y_range(segs: &[Segment]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for s in segs {
+        lo = lo.min(s.min_y());
+        hi = hi.max(s.max_y());
+    }
+    (lo, hi)
+}
+
+/// Appends the y-coordinates of all pairwise segment crossings to `ys`.
+///
+/// Instead of the naive all-pairs loop this sorts segment indices by `min_y`
+/// and, for each segment, only scans forward while candidates can still
+/// overlap it vertically — near-linear for the elongated operand sets the
+/// region engine produces, identical output to the all-pairs enumeration
+/// (`ys` is sorted and deduplicated by the caller, so order is irrelevant).
+fn pairwise_crossing_ys(segs: &[Segment], ys: &mut Vec<f64>) {
+    let mut order: Vec<usize> = (0..segs.len()).collect();
+    order.sort_by(|&i, &j| {
+        segs[i]
+            .min_y()
+            .partial_cmp(&segs[j].min_y())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for (k, &i) in order.iter().enumerate() {
+        let top = segs[i].max_y() + EPS;
+        for &j in &order[k + 1..] {
+            if segs[j].min_y() > top {
+                break;
+            }
+            if let Some(y) = crossing_y(&segs[i], &segs[j]) {
+                ys.push(y);
+            }
+        }
     }
 }
 
@@ -292,8 +358,8 @@ fn emit(trap: &OpenTrapezoid, segs: &[Segment], out: &mut Vec<Ring>) {
 /// with the even-odd rule, and returns the result as a set of
 /// interior-disjoint rings (trapezoids merged vertically where possible).
 pub fn boolean_op(a: &[Ring], b: &[Ring], op: BoolOp) -> Vec<Ring> {
-    let seg_a = collect_segments(a);
-    let seg_b = collect_segments(b);
+    let mut seg_a = collect_segments(a);
+    let mut seg_b = collect_segments(b);
     if seg_a.is_empty() && seg_b.is_empty() {
         return Vec::new();
     }
@@ -311,6 +377,42 @@ pub fn boolean_op(a: &[Ring], b: &[Ring], op: BoolOp) -> Vec<Ring> {
         };
     }
 
+    // Y-window pruning. Intersection output lies inside both operands'
+    // y-ranges and difference output inside A's, so segments wholly outside
+    // that window can never span an in-window band midline: dropping them
+    // (and the out-of-window event ys) leaves the emitted trapezoids
+    // bit-identical while skipping the bands that could only produce empty
+    // interval sets.
+    let y_window = match op {
+        BoolOp::Intersection => {
+            let (alo, ahi) = y_range(&seg_a);
+            let (blo, bhi) = y_range(&seg_b);
+            Some((alo.max(blo), ahi.min(bhi)))
+        }
+        BoolOp::Difference => Some(y_range(&seg_a)),
+        BoolOp::Union | BoolOp::Xor => None,
+    };
+    if let Some((lo, hi)) = y_window {
+        if hi - lo < MIN_BAND {
+            return match op {
+                BoolOp::Intersection => Vec::new(),
+                // An empty window for Difference means A itself is degenerate.
+                _ => Vec::new(),
+            };
+        }
+        seg_a.retain(|s| s.max_y() > lo && s.min_y() < hi);
+        seg_b.retain(|s| s.max_y() > lo && s.min_y() < hi);
+        if seg_a.is_empty() {
+            return Vec::new();
+        }
+        if seg_b.is_empty() {
+            return match op {
+                BoolOp::Difference => a.to_vec(),
+                _ => Vec::new(),
+            };
+        }
+    }
+
     // All segments in one arena; A occupies [0, seg_a.len()), B the rest.
     let mut segs = seg_a;
     let b_offset = segs.len();
@@ -322,12 +424,9 @@ pub fn boolean_op(a: &[Ring], b: &[Ring], op: BoolOp) -> Vec<Ring> {
         ys.push(s.a.y);
         ys.push(s.b.y);
     }
-    for i in 0..segs.len() {
-        for j in (i + 1)..segs.len() {
-            if let Some(y) = crossing_y(&segs[i], &segs[j]) {
-                ys.push(y);
-            }
-        }
+    pairwise_crossing_ys(&segs, &mut ys);
+    if let Some((lo, hi)) = y_window {
+        ys.retain(|y| *y >= lo && *y <= hi);
     }
     ys.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
     ys.dedup_by(|x, y| (*x - *y).abs() < EPS);
@@ -340,6 +439,7 @@ pub fn boolean_op(a: &[Ring], b: &[Ring], op: BoolOp) -> Vec<Ring> {
         if y1 - y0 < MIN_BAND {
             continue;
         }
+        stats::record_band();
         let ym = 0.5 * (y0 + y1);
         let xa = crossings(&segs[..b_offset], ym, 0);
         let xb = crossings(&segs[b_offset..], ym, b_offset);
@@ -347,36 +447,7 @@ pub fn boolean_op(a: &[Ring], b: &[Ring], op: BoolOp) -> Vec<Ring> {
         let ib = pair_intervals(&xb);
         let res = interval_op(&ia, &ib, op);
 
-        // Merge with open trapezoids from the previous band where the
-        // bounding segments are identical and the bands are contiguous.
-        let mut next_open: Vec<OpenTrapezoid> = Vec::with_capacity(res.len());
-        for itv in &res {
-            let mut extended = false;
-            for ot in open.iter_mut() {
-                if ot.seg_l == itv.seg_l && ot.seg_r == itv.seg_r && (ot.y_top - y0).abs() < EPS {
-                    next_open.push(OpenTrapezoid { y_top: y1, ..*ot });
-                    // Mark as consumed by moving its top below everything.
-                    ot.y_top = f64::NEG_INFINITY;
-                    extended = true;
-                    break;
-                }
-            }
-            if !extended {
-                next_open.push(OpenTrapezoid {
-                    seg_l: itv.seg_l,
-                    seg_r: itv.seg_r,
-                    y_bottom: y0,
-                    y_top: y1,
-                });
-            }
-        }
-        // Emit trapezoids that were not extended into this band.
-        for ot in &open {
-            if ot.y_top.is_finite() {
-                emit(ot, &segs, &mut out);
-            }
-        }
-        open = next_open;
+        merge_band(&mut open, &res, y0, y1, &segs, &mut out);
     }
     for ot in &open {
         if ot.y_top.is_finite() {
@@ -384,6 +455,285 @@ pub fn boolean_op(a: &[Ring], b: &[Ring], op: BoolOp) -> Vec<Ring> {
         }
     }
     compact_trapezoids(out)
+}
+
+/// Folds one band's result intervals into the set of open trapezoids:
+/// an interval whose bounding segments match an open trapezoid ending
+/// exactly at `y0` extends it; everything else opens fresh, and open
+/// trapezoids not extended into this band are emitted. Shared verbatim by
+/// the binary and n-ary sweeps so the two engines stay in lockstep.
+fn merge_band(
+    open: &mut Vec<OpenTrapezoid>,
+    res: &[Interval],
+    y0: f64,
+    y1: f64,
+    segs: &[Segment],
+    out: &mut Vec<Ring>,
+) {
+    let mut next_open: Vec<OpenTrapezoid> = Vec::with_capacity(res.len());
+    for itv in res {
+        let mut extended = false;
+        for ot in open.iter_mut() {
+            if ot.seg_l == itv.seg_l && ot.seg_r == itv.seg_r && (ot.y_top - y0).abs() < EPS {
+                next_open.push(OpenTrapezoid { y_top: y1, ..*ot });
+                // Mark as consumed by moving its top below everything.
+                ot.y_top = f64::NEG_INFINITY;
+                extended = true;
+                break;
+            }
+        }
+        if !extended {
+            next_open.push(OpenTrapezoid {
+                seg_l: itv.seg_l,
+                seg_r: itv.seg_r,
+                y_bottom: y0,
+                y_top: y1,
+            });
+        }
+    }
+    // Emit trapezoids that were not extended into this band.
+    for ot in open.iter() {
+        if ot.y_top.is_finite() {
+            emit(ot, segs, out);
+        }
+    }
+    *open = next_open;
+}
+
+/// N-ary boolean combinations supported by [`boolean_op_many`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NaryOp {
+    /// Points in **every** operand.
+    Intersection,
+    /// Points in **at least one** operand.
+    Union,
+}
+
+/// Computes an n-ary boolean combination of polygon sets in a **single
+/// scanline sweep**, each operand interpreted with the even-odd rule.
+///
+/// Semantically equivalent to folding [`boolean_op`] over the operands
+/// (`a ∩ b ∩ c ∩ …` or `a ∪ b ∪ c ∪ …`), but the chain of N−1 pairwise
+/// sweeps — each of which re-decomposes, re-crosses and re-merges the
+/// accumulated intermediate result — is replaced by one sweep whose bands
+/// merge all N operands' interval lists at once. For intersections the
+/// sweep is additionally restricted to the common y-window of all operands
+/// and segments wholly outside it are dropped up front, since no point
+/// outside that window can lie in every operand.
+pub fn boolean_op_many(operands: &[&[Ring]], op: NaryOp) -> Vec<Ring> {
+    let mut per_op: Vec<Vec<Segment>> = Vec::with_capacity(operands.len());
+    let mut window = None;
+    match op {
+        NaryOp::Intersection => {
+            if operands.is_empty() {
+                return Vec::new();
+            }
+            let mut lo = f64::NEG_INFINITY;
+            let mut hi = f64::INFINITY;
+            for rings in operands {
+                let segs = collect_segments(rings);
+                if segs.is_empty() {
+                    // An empty operand annihilates the intersection.
+                    return Vec::new();
+                }
+                let (slo, shi) = y_range(&segs);
+                lo = lo.max(slo);
+                hi = hi.min(shi);
+                per_op.push(segs);
+            }
+            if per_op.len() == 1 {
+                return operands[0].to_vec();
+            }
+            if hi - lo < MIN_BAND {
+                return Vec::new();
+            }
+            for segs in &mut per_op {
+                segs.retain(|s| s.max_y() > lo && s.min_y() < hi);
+                if segs.is_empty() {
+                    return Vec::new();
+                }
+            }
+            window = Some((lo, hi));
+        }
+        NaryOp::Union => {
+            let mut last_non_empty = 0;
+            for (i, rings) in operands.iter().enumerate() {
+                let segs = collect_segments(rings);
+                if !segs.is_empty() {
+                    per_op.push(segs);
+                    last_non_empty = i;
+                }
+            }
+            if per_op.is_empty() {
+                return Vec::new();
+            }
+            if per_op.len() == 1 {
+                return operands[last_non_empty].to_vec();
+            }
+        }
+    }
+    let threshold = match op {
+        NaryOp::Intersection => per_op.len(),
+        NaryOp::Union => 1,
+    };
+    sweep_many(per_op, threshold, window)
+}
+
+/// The shared n-ary sweep: one band decomposition over all operands, keeping
+/// x-ranges covered by at least `threshold` operands (`threshold == n` is
+/// intersection, `threshold == 1` union).
+fn sweep_many(
+    per_op: Vec<Vec<Segment>>,
+    threshold: usize,
+    window: Option<(f64, f64)>,
+) -> Vec<Ring> {
+    let n_ops = per_op.len();
+    // One segment arena (trapezoid corners index into it) plus the owning
+    // operand of every segment.
+    let mut segs: Vec<Segment> = Vec::new();
+    let mut op_of: Vec<u32> = Vec::new();
+    for (oi, list) in per_op.iter().enumerate() {
+        for s in list {
+            segs.push(*s);
+            op_of.push(oi as u32);
+        }
+    }
+
+    // Event y-coordinates: all endpoints plus all pairwise crossings.
+    let mut ys: Vec<f64> = Vec::with_capacity(segs.len() * 2);
+    for s in &segs {
+        ys.push(s.a.y);
+        ys.push(s.b.y);
+    }
+    pairwise_crossing_ys(&segs, &mut ys);
+    if let Some((lo, hi)) = window {
+        ys.retain(|y| *y >= lo && *y <= hi);
+    }
+    ys.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    ys.dedup_by(|x, y| (*x - *y).abs() < EPS);
+
+    // Active-set maintenance: segments enter in min_y order as the sweep
+    // rises and leave once the midline passes their max_y, so each band
+    // scans only the segments that can actually span it.
+    let mut by_min: Vec<usize> = (0..segs.len()).collect();
+    by_min.sort_by(|&i, &j| {
+        segs[i]
+            .min_y()
+            .partial_cmp(&segs[j].min_y())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut next_in = 0usize;
+    let mut active: Vec<usize> = Vec::new();
+
+    let mut xs_per_op: Vec<Vec<(f64, usize)>> = vec![Vec::new(); n_ops];
+    let mut intervals_per_op: Vec<Vec<Interval>> = vec![Vec::new(); n_ops];
+    let mut out: Vec<Ring> = Vec::new();
+    let mut open: Vec<OpenTrapezoid> = Vec::new();
+
+    for w in ys.windows(2) {
+        let (y0, y1) = (w[0], w[1]);
+        if y1 - y0 < MIN_BAND {
+            continue;
+        }
+        stats::record_band();
+        let ym = 0.5 * (y0 + y1);
+
+        while next_in < by_min.len() && segs[by_min[next_in]].min_y() < ym {
+            active.push(by_min[next_in]);
+            next_in += 1;
+        }
+        active.retain(|&i| segs[i].max_y() > ym);
+
+        for xs in xs_per_op.iter_mut() {
+            xs.clear();
+        }
+        for &i in &active {
+            // Entry and exit conditions above guarantee the segment spans ym.
+            xs_per_op[op_of[i] as usize].push((segs[i].x_at(ym), i));
+        }
+        let mut dead = false;
+        for (oi, xs) in xs_per_op.iter_mut().enumerate() {
+            xs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            intervals_per_op[oi] = pair_intervals(xs);
+            if intervals_per_op[oi].is_empty() && threshold == n_ops {
+                // One empty operand empties the whole band's intersection.
+                dead = true;
+                break;
+            }
+        }
+        let res = if dead {
+            Vec::new()
+        } else {
+            interval_op_many(&intervals_per_op, threshold)
+        };
+
+        merge_band(&mut open, &res, y0, y1, &segs, &mut out);
+    }
+    for ot in &open {
+        if ot.y_top.is_finite() {
+            emit(ot, &segs, &mut out);
+        }
+    }
+    compact_trapezoids(out)
+}
+
+/// Merges N disjoint, sorted per-operand interval lists, keeping x-ranges
+/// covered by at least `threshold` operands.
+fn interval_op_many(per_op: &[Vec<Interval>], threshold: usize) -> Vec<Interval> {
+    #[derive(Clone, Copy)]
+    struct Event {
+        x: f64,
+        delta: i32,
+        seg: usize,
+    }
+    let total: usize = per_op.iter().map(|l| l.len()).sum();
+    let mut events: Vec<Event> = Vec::with_capacity(2 * total);
+    for list in per_op {
+        for itv in list {
+            events.push(Event {
+                x: itv.xl,
+                delta: 1,
+                seg: itv.seg_l,
+            });
+            events.push(Event {
+                x: itv.xr,
+                delta: -1,
+                seg: itv.seg_r,
+            });
+        }
+    }
+    // Starts before ends at equal x, so abutting intervals from different
+    // operands neither open a phantom gap (union) nor a phantom overlap
+    // wider than the EPS filter (intersection).
+    events.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.delta.cmp(&a.delta))
+    });
+
+    let mut count = 0i32;
+    let mut open: Option<(f64, usize)> = None;
+    let mut out = Vec::new();
+    for ev in events {
+        let was = count >= threshold as i32;
+        count += ev.delta;
+        let now = count >= threshold as i32;
+        if now && !was {
+            open = Some((ev.x, ev.seg));
+        } else if was && !now {
+            if let Some((xl, seg_l)) = open.take() {
+                if ev.x - xl > EPS {
+                    out.push(Interval {
+                        xl,
+                        xr: ev.x,
+                        seg_l,
+                        seg_r: ev.seg,
+                    });
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Merges vertically stacked trapezoids whose shared edge is exact and whose
@@ -646,6 +996,122 @@ mod tests {
         let union = boolean_op(&tri, &sq, BoolOp::Union);
         // Union = triangle (8) + square (8) − intersection (6) = 10.
         assert!((total_area(&union) - 10.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nary_intersection_matches_chained_pairwise() {
+        let disks: Vec<Vec<Ring>> = (0..6)
+            .map(|i| {
+                let a = i as f64 * 1.1;
+                vec![Ring::regular_polygon(
+                    Vec2::new(a.cos() * 30.0, a.sin() * 30.0),
+                    80.0,
+                    64,
+                )]
+            })
+            .collect();
+        let mut chained = disks[0].clone();
+        for d in &disks[1..] {
+            chained = boolean_op(&chained, d, BoolOp::Intersection);
+        }
+        let operands: Vec<&[Ring]> = disks.iter().map(|d| d.as_slice()).collect();
+        let nary = boolean_op_many(&operands, NaryOp::Intersection);
+        let (ca, na) = (total_area(&chained), total_area(&nary));
+        assert!(
+            (ca - na).abs() / ca.max(1.0) < 1e-6,
+            "chained {ca} vs n-ary {na}"
+        );
+        // Membership parity on a grid.
+        for i in 0..30 {
+            for j in 0..30 {
+                let p = Vec2::new(-60.0 + i as f64 * 4.0, -60.0 + j as f64 * 4.0);
+                let want = disks.iter().all(|d| contains(d, p));
+                // Skip points hugging a boundary, where either result may
+                // legitimately classify them differently.
+                let near_boundary = disks.iter().any(|d| {
+                    d[0].points()
+                        .iter()
+                        .zip(d[0].points().iter().cycle().skip(1))
+                        .any(|(&a, &b)| p.distance_to_segment(a, b) < 0.5)
+                });
+                if !near_boundary {
+                    assert_eq!(contains(&nary, p), want, "membership mismatch at {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nary_union_matches_chained_pairwise() {
+        let shapes: Vec<Vec<Ring>> = (0..5)
+            .map(|i| {
+                let x = i as f64 * 35.0;
+                vec![Ring::regular_polygon(
+                    Vec2::new(x, (i % 2) as f64 * 20.0),
+                    40.0,
+                    48,
+                )]
+            })
+            .collect();
+        let mut chained = shapes[0].clone();
+        for s in &shapes[1..] {
+            chained = boolean_op(&chained, s, BoolOp::Union);
+        }
+        let operands: Vec<&[Ring]> = shapes.iter().map(|s| s.as_slice()).collect();
+        let nary = boolean_op_many(&operands, NaryOp::Union);
+        let (ca, na) = (total_area(&chained), total_area(&nary));
+        assert!(
+            (ca - na).abs() / ca.max(1.0) < 1e-6,
+            "chained {ca} vs n-ary {na}"
+        );
+    }
+
+    #[test]
+    fn nary_intersection_empty_and_degenerate_operands() {
+        let a = square(0.0, 0.0, 1.0, 1.0);
+        let empty: Vec<Ring> = Vec::new();
+        assert!(boolean_op_many(&[], NaryOp::Intersection).is_empty());
+        assert!(boolean_op_many(&[&a, &empty], NaryOp::Intersection).is_empty());
+        let only = boolean_op_many(&[&a], NaryOp::Intersection);
+        assert!((total_area(&only) - 1.0).abs() < 1e-9);
+        assert!(boolean_op_many(&[], NaryOp::Union).is_empty());
+        let u = boolean_op_many(&[&empty, &a, &empty], NaryOp::Union);
+        assert!((total_area(&u) - 1.0).abs() < 1e-9);
+        // Disjoint y-windows annihilate the intersection without a sweep.
+        let b = square(0.0, 5.0, 1.0, 6.0);
+        assert!(boolean_op_many(&[&a, &b], NaryOp::Intersection).is_empty());
+    }
+
+    #[test]
+    fn nary_sweep_processes_fewer_bands_than_the_chain() {
+        let disks: Vec<Vec<Ring>> = (0..16)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                vec![Ring::regular_polygon(
+                    Vec2::new(a.cos() * 150.0, a.sin() * 150.0),
+                    500.0,
+                    64,
+                )]
+            })
+            .collect();
+        let before_chain = stats::band_merges();
+        let mut chained = disks[0].clone();
+        for d in &disks[1..] {
+            chained = boolean_op(&chained, d, BoolOp::Intersection);
+        }
+        let chain_bands = stats::band_merges() - before_chain;
+
+        let operands: Vec<&[Ring]> = disks.iter().map(|d| d.as_slice()).collect();
+        let before_nary = stats::band_merges();
+        let nary = boolean_op_many(&operands, NaryOp::Intersection);
+        let nary_bands = stats::band_merges() - before_nary;
+
+        assert!(
+            nary_bands < chain_bands,
+            "n-ary sweep should merge fewer bands ({nary_bands}) than 15 chained sweeps ({chain_bands})"
+        );
+        let (ca, na) = (total_area(&chained), total_area(&nary));
+        assert!((ca - na).abs() / ca.max(1.0) < 1e-6);
     }
 
     #[test]
