@@ -229,6 +229,7 @@ impl Geolocator for GeoLim {
             point,
             report,
             target_height_ms: None,
+            provenance: Default::default(),
         }
     }
 }

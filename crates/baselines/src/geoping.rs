@@ -85,6 +85,7 @@ impl Geolocator for GeoPing {
                 point: Some(point),
                 report: SolveReport::default(),
                 target_height_ms: None,
+                provenance: Default::default(),
             },
             None => LocationEstimate::unknown(),
         }

@@ -65,6 +65,7 @@ impl Geolocator for GeoTrack {
                 point: Some(point),
                 report: SolveReport::default(),
                 target_height_ms: None,
+                provenance: Default::default(),
             },
             None => LocationEstimate::unknown(),
         }

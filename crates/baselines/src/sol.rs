@@ -96,6 +96,7 @@ impl Geolocator for SpeedOfLight {
             region: Some(region),
             point,
             target_height_ms: None,
+            provenance: Default::default(),
         }
     }
 }

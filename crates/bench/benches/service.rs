@@ -14,10 +14,8 @@ use octant_bench::service_campaign;
 use octant_service::{GeolocationService, ServiceConfig};
 
 fn bench_service(c: &mut Criterion) {
-    let octant_config = OctantConfig {
-        router_localization: RouterLocalization::Recursive,
-        ..OctantConfig::default()
-    };
+    let octant_config =
+        OctantConfig::default().with_router_localization(RouterLocalization::Recursive);
     // 12 targets behind 3 shared sites: the N ≫ R serving regime.
     let campaign = service_campaign(16, 3, 4, 42);
     let provider = campaign.dataset.into_shared();
@@ -37,10 +35,7 @@ fn bench_service(c: &mut Criterion) {
             // A fresh service per iteration: measures the cold-cache serving
             // path end to end (bootstrap + exactly R sub-solves + serving).
             let service = GeolocationService::start(
-                ServiceConfig {
-                    octant: octant_config,
-                    ..ServiceConfig::default()
-                },
+                ServiceConfig::default().with_octant(octant_config),
                 provider.clone(),
                 &campaign.landmarks,
             );
@@ -50,10 +45,7 @@ fn bench_service(c: &mut Criterion) {
     });
 
     let warm_service = GeolocationService::start(
-        ServiceConfig {
-            octant: octant_config,
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::default().with_octant(octant_config),
         provider.clone(),
         &campaign.landmarks,
     );

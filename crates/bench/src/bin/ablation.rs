@@ -27,37 +27,21 @@ fn main() {
     let full = OctantConfig::default();
     let results = vec![
         variant("full", full, &campaign),
-        variant(
-            "-heights",
-            OctantConfig {
-                use_heights: false,
-                ..full
-            },
-            &campaign,
-        ),
+        variant("-heights", full.with_use_heights(false), &campaign),
         variant(
             "-piecewise",
-            OctantConfig {
-                router_localization: RouterLocalization::Off,
-                ..full
-            },
+            full.with_router_localization(RouterLocalization::Off),
             &campaign,
         ),
         variant(
             "-negative",
-            OctantConfig {
-                use_negative_constraints: false,
-                ..full
-            },
+            full.with_use_negative_constraints(false),
             &campaign,
         ),
         variant(
             "-geo/whois",
-            OctantConfig {
-                use_whois: false,
-                use_landmass_constraint: false,
-                ..full
-            },
+            full.with_use_whois(false)
+                .with_use_landmass_constraint(false),
             &campaign,
         ),
         variant("minimal", OctantConfig::minimal(), &campaign),

@@ -1,0 +1,168 @@
+//! Evidence-pipeline mix campaign: runs the leave-one-out evaluation under
+//! several source mixes — each a **configuration-only** change to the same
+//! framework — and reports accuracy, region quality, and the per-source
+//! constraint activity aggregated from the provenance reports.
+//!
+//! This is the §3-ablation axis the pipeline redesign exists for: toggling
+//! or re-weighting a constraint family is one `EvidencePipeline::adjusted`
+//! call (or one `OctantConfig` switch), never a code change.
+//!
+//! Usage: `pipeline [--smoke] [--json BENCH_pipeline.json]`
+//!
+//! The JSON summary is an [`octant_bench::OpsBenchSummary`]: per mix,
+//! `mix_<name>_median_mi` / `_p90_mi` / `_hit_rate` / `_mean_area_mi2`,
+//! plus `mix_<name>_applied_<source>` for every source that contributed.
+
+use octant::{EvidencePipeline, Octant, OctantConfig, SourceId};
+use octant_bench::{pipeline_campaign, run_technique, OpsBenchSummary, TechniqueResult};
+
+const SOURCES: &[SourceId] = &[
+    SourceId::Latency,
+    SourceId::Router,
+    SourceId::Hint,
+    SourceId::DnsName,
+    SourceId::PopulationPrior,
+    SourceId::Geography,
+];
+
+struct Mix {
+    name: &'static str,
+    octant: Octant,
+}
+
+fn mixes() -> Vec<Mix> {
+    let default_cfg = OctantConfig::default();
+    // Every source on, including the default-off DNS and population ones.
+    let everything_cfg = OctantConfig::default()
+        .with_use_dns_hints(true)
+        .with_use_population_prior(true);
+    vec![
+        Mix {
+            name: "default",
+            octant: Octant::new(default_cfg),
+        },
+        Mix {
+            name: "latency_only",
+            octant: Octant::with_pipeline(
+                default_cfg,
+                EvidencePipeline::standard().adjusted(
+                    &[SourceId::Router, SourceId::Hint, SourceId::Geography],
+                    &[],
+                ),
+            ),
+        },
+        Mix {
+            name: "no_router",
+            octant: Octant::with_pipeline(
+                default_cfg,
+                EvidencePipeline::standard().adjusted(&[SourceId::Router], &[]),
+            ),
+        },
+        Mix {
+            name: "everything",
+            octant: Octant::new(everything_cfg),
+        },
+        Mix {
+            name: "router_downweighted",
+            octant: Octant::with_pipeline(
+                default_cfg,
+                EvidencePipeline::standard().adjusted(&[], &[(SourceId::Router, 0.25)]),
+            ),
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = octant_bench::json_path_from_args(&args);
+    let sites = if smoke { 12 } else { 28 };
+
+    println!("# pipeline bench: {sites}-site leave-one-out under evidence-source mixes");
+    let campaign = pipeline_campaign(sites, 42);
+
+    // A cheap redesign guard: the implicit default pipeline and an explicit
+    // standard pipeline must agree bit-for-bit (the full pin lives in
+    // tests/pipeline_parity.rs; this keeps the bench honest on its own).
+    {
+        let implicit = Octant::new(OctantConfig::default());
+        let explicit = Octant::with_pipeline(OctantConfig::default(), EvidencePipeline::standard());
+        let model = implicit.prepare_landmarks(&campaign.dataset, &campaign.hosts[1..]);
+        let a = implicit.localize_with_model(&campaign.dataset, &model, campaign.hosts[0]);
+        let b = explicit.localize_with_model(&campaign.dataset, &model, campaign.hosts[0]);
+        let (pa, pb) = (a.point.unwrap(), b.point.unwrap());
+        assert_eq!(
+            (pa.lat.to_bits(), pa.lon.to_bits()),
+            (pb.lat.to_bits(), pb.lon.to_bits()),
+            "default pipeline must equal the explicit standard pipeline"
+        );
+    }
+
+    let mut summary = OpsBenchSummary {
+        bench: "pipeline".to_string(),
+        scenario: if smoke { "smoke" } else { "full" }.to_string(),
+        metrics: Vec::new(),
+    };
+
+    println!(
+        "{:<20} {:>11} {:>9} {:>9} {:>14}  applied by source",
+        "mix", "median (mi)", "p90 (mi)", "hit rate", "area (mi²)"
+    );
+    let all = mixes();
+    assert!(all.len() >= 4, "the campaign must cover at least 4 mixes");
+    for mix in &all {
+        let result: TechniqueResult = run_technique(&campaign, &mix.octant);
+        let mean_area = {
+            let areas: Vec<f64> = result
+                .outcomes
+                .iter()
+                .filter_map(|o| o.region_area_mi2)
+                .collect();
+            if areas.is_empty() {
+                f64::NAN
+            } else {
+                areas.iter().sum::<f64>() / areas.len() as f64
+            }
+        };
+        // Aggregate per-source applied-constraint counts from provenance.
+        let mut applied: Vec<(SourceId, u64)> = SOURCES.iter().map(|&s| (s, 0)).collect();
+        for outcome in &result.outcomes {
+            for sr in &outcome.estimate.provenance.sources {
+                if let Some(slot) = applied.iter_mut().find(|(id, _)| *id == sr.id) {
+                    slot.1 += sr.applied() as u64;
+                }
+            }
+        }
+        let applied_str: Vec<String> = applied
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(id, n)| format!("{id}:{n}"))
+            .collect();
+        println!(
+            "{:<20} {:>11.1} {:>9.1} {:>8.0}% {:>14.0}  {}",
+            mix.name,
+            result.median_miles(),
+            result.cdf.percentile(0.9).unwrap_or(f64::NAN),
+            result.hit_rate() * 100.0,
+            mean_area,
+            applied_str.join(" ")
+        );
+        summary.push(format!("mix_{}_median_mi", mix.name), result.median_miles());
+        summary.push(
+            format!("mix_{}_p90_mi", mix.name),
+            result.cdf.percentile(0.9).unwrap_or(f64::NAN),
+        );
+        summary.push(format!("mix_{}_hit_rate", mix.name), result.hit_rate());
+        summary.push(format!("mix_{}_mean_area_mi2", mix.name), mean_area);
+        for (id, n) in &applied {
+            summary.push(format!("mix_{}_applied_{}", mix.name, id), *n as f64);
+        }
+    }
+
+    if let Some(path) = json_path {
+        summary
+            .write_json(&path)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("# wrote {}", path.display());
+    }
+}

@@ -32,10 +32,8 @@ fn main() {
     // routers: the N ≫ R regime the router cache amortizes.
     let (landmark_count, target_sites, per_site) = if smoke { (16, 3, 4) } else { (16, 3, 16) };
 
-    let octant_config = OctantConfig {
-        router_localization: RouterLocalization::Recursive,
-        ..OctantConfig::default()
-    };
+    let octant_config =
+        OctantConfig::default().with_router_localization(RouterLocalization::Recursive);
 
     println!(
         "# service bench: {landmark_count} landmarks, {} targets behind {target_sites} sites, recursive router localization",
@@ -52,10 +50,7 @@ fn main() {
 
     // ---- Service: shared router cache, micro-batched request stream --------
     let service = GeolocationService::start(
-        ServiceConfig {
-            octant: octant_config,
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::default().with_octant(octant_config),
         provider,
         &campaign.landmarks,
     );

@@ -65,12 +65,24 @@ pub fn planetlab_campaign(seed: u64) -> Campaign {
 /// Builds a campaign over the first `n` built-in sites (useful for fast test
 /// and benchmark runs).
 pub fn campaign_with_sites(n: usize, seed: u64) -> Campaign {
+    campaign_from_network_config(
+        n,
+        seed,
+        NetworkConfig {
+            seed,
+            ..NetworkConfig::default()
+        },
+    )
+}
+
+/// The shared campaign recipe: the first `n` built-in sites on `config`'s
+/// topology, the default latency model, 10 probes per ping, full pairwise
+/// capture. Every site-table campaign goes through here so the recipe
+/// cannot silently diverge between variants.
+fn campaign_from_network_config(n: usize, seed: u64, config: NetworkConfig) -> Campaign {
     let sites = octant_geo::sites::all_sites();
     let n = n.min(sites.len());
-    let mut builder = NetworkBuilder::new(NetworkConfig {
-        seed,
-        ..NetworkConfig::default()
-    });
+    let mut builder = NetworkBuilder::new(config);
     for site in &sites[..n] {
         builder = builder.add_host(HostSpec::from_site(site));
     }
@@ -79,6 +91,23 @@ pub fn campaign_with_sites(n: usize, seed: u64) -> Campaign {
     let dataset = MeasurementDataset::capture(&prober);
     let hosts = dataset.host_ids();
     Campaign { dataset, hosts }
+}
+
+/// Builds the campaign the evidence-pipeline mix experiments run on: the
+/// first `n` built-in sites with every host renamed to an
+/// ISP-customer-style hostname embedding its city code
+/// (`host_dns_city_rate: 1.0`), so the `DnsNameSource` has §2.5 naming
+/// hints to mine. Everything else matches [`campaign_with_sites`].
+pub fn pipeline_campaign(n: usize, seed: u64) -> Campaign {
+    campaign_from_network_config(
+        n,
+        seed,
+        NetworkConfig {
+            seed,
+            host_dns_city_rate: 1.0,
+            ..NetworkConfig::default()
+        },
+    )
 }
 
 /// A campaign purpose-built for batch-throughput experiments: a fixed

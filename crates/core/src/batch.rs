@@ -62,6 +62,10 @@ pub struct LandmarkModel {
     /// Calibration pooled over every landmark pair (used for router
     /// constraints, whose "landmark" is not in the calibrated set).
     pub(crate) global_calibration: Calibration,
+    /// Landmarks that were supplied but dropped because they advertised no
+    /// location (diagnosable via [`LandmarkModel::dropped_landmarks`] and
+    /// every estimate's provenance report).
+    pub(crate) dropped: Vec<NodeId>,
 }
 
 impl LandmarkModel {
@@ -95,6 +99,14 @@ impl LandmarkModel {
     /// calibrate their own solve).
     pub fn contains_landmark(&self, id: NodeId) -> bool {
         self.lm_ids.contains(&id)
+    }
+
+    /// Landmarks the preparation dropped because the provider advertised no
+    /// location for them, in input order. A non-empty list means the model
+    /// covers fewer landmarks than the caller supplied — the classic
+    /// partial-coverage-dataset surprise, now visible instead of silent.
+    pub fn dropped_landmarks(&self) -> &[NodeId] {
+        &self.dropped
     }
 }
 
@@ -145,10 +157,22 @@ pub struct BatchGeolocator {
 }
 
 impl BatchGeolocator {
-    /// Creates a batch geolocator with the given pipeline configuration.
+    /// Creates a batch geolocator with the given configuration and the
+    /// standard evidence pipeline.
     pub fn new(config: OctantConfig) -> Self {
         BatchGeolocator {
             octant: Octant::new(config),
+        }
+    }
+
+    /// Creates a batch geolocator with an explicit evidence pipeline (see
+    /// [`crate::pipeline::EvidencePipeline`]).
+    pub fn with_pipeline(
+        config: OctantConfig,
+        pipeline: crate::pipeline::EvidencePipeline,
+    ) -> Self {
+        BatchGeolocator {
+            octant: Octant::with_pipeline(config, pipeline),
         }
     }
 

@@ -68,6 +68,17 @@ fn sanitize(weight: f64) -> f64 {
     }
 }
 
+/// Clamps a weight to the valid range (finite, non-negative). Used by the
+/// evidence pipeline when applying per-source weight scales.
+pub(crate) fn sanitize_weight(weight: f64) -> f64 {
+    sanitize(weight)
+}
+
+/// The default decay constant (ms) of the exponential latency weighting —
+/// the single place the paper's §2.4 weighting constant lives. Configurable
+/// per run via `OctantConfig::weight_decay_ms`.
+pub const DEFAULT_WEIGHT_DECAY_MS: f64 = 80.0;
+
 /// The exponential latency weighting of §2.4: `exp(-latency / decay)`.
 /// Nearby landmarks (small latency) approach weight 1, far landmarks decay
 /// towards 0 and lose conflicts against nearby ones.
@@ -110,10 +121,11 @@ mod tests {
 
     #[test]
     fn latency_weight_decays_monotonically() {
-        let w0 = latency_weight(Latency::ZERO, 80.0);
-        let w1 = latency_weight(Latency::from_ms(40.0), 80.0);
-        let w2 = latency_weight(Latency::from_ms(80.0), 80.0);
-        let w3 = latency_weight(Latency::from_ms(400.0), 80.0);
+        let decay = DEFAULT_WEIGHT_DECAY_MS;
+        let w0 = latency_weight(Latency::ZERO, decay);
+        let w1 = latency_weight(Latency::from_ms(40.0), decay);
+        let w2 = latency_weight(Latency::from_ms(80.0), decay);
+        let w3 = latency_weight(Latency::from_ms(400.0), decay);
         assert!((w0 - 1.0).abs() < 1e-12);
         assert!(w0 > w1 && w1 > w2 && w2 > w3);
         assert!((w2 - (-1.0f64).exp()).abs() < 1e-12);

@@ -3,10 +3,10 @@
 
 use crate::batch::{LandmarkModel, TargetScratch};
 use crate::calibration::{Calibration, CalibrationConfig, CalibrationSample};
-use crate::constraint::{latency_weight, Constraint};
-use crate::geography;
+use crate::constraint::{sanitize_weight, Constraint};
 use crate::heights::{adjust_rtt, estimate_target_height, Heights};
 use crate::piecewise;
+use crate::pipeline::{EvidencePipeline, ProvenanceReport, SourceReport, TargetContext};
 use crate::solver::{SolveReport, Solver, SolverConfig};
 use octant_geo::distance::great_circle;
 use octant_geo::point::GeoPoint;
@@ -35,7 +35,13 @@ pub enum RouterLocalization {
 /// Configuration of the full Octant pipeline. The defaults correspond to the
 /// complete system evaluated in the paper; the individual switches exist for
 /// the ablation experiments.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`OctantConfig::default`] (or [`OctantConfig::minimal`]) and customize
+/// through the builder-style `with_*` setters, so new evidence knobs can be
+/// added without breaking downstream code.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct OctantConfig {
     /// Latency→distance calibration parameters (§2.1).
     pub calibration: CalibrationConfig,
@@ -76,6 +82,25 @@ pub struct OctantConfig {
     /// below the curve-flattening tolerance so it reclaims scanline seam
     /// fragmentation without moving any decision boundary.
     pub region_simplify_tolerance_km: f64,
+    /// Parse the *target's own* hostname for `undns`-style city codes and
+    /// use the resolved city as a positive hint (the `DnsNameSource`). Off
+    /// by default: arbitrary hostnames can contain code-like labels.
+    pub use_dns_hints: bool,
+    /// Radius of the positive constraint derived from a target DNS hint.
+    pub dns_hint_radius_km: f64,
+    /// Weight of the target DNS hint (names are sometimes stale or wrong).
+    pub dns_hint_weight: f64,
+    /// Fold in the coarse population-density prior as a low-weight positive
+    /// constraint (the `PopulationPrior` source). Off by default.
+    pub use_population_prior: bool,
+    /// Grid cell size (degrees) of the population prior.
+    pub population_cell_deg: f64,
+    /// Minimum summed metro population (thousands) for a grid cell to count
+    /// as populated.
+    pub population_min_cell_k: u32,
+    /// Weight of the population prior (kept low: it is a prior, not a
+    /// measurement).
+    pub population_weight: f64,
 }
 
 impl Default for OctantConfig {
@@ -87,7 +112,7 @@ impl Default for OctantConfig {
             router_localization: RouterLocalization::CityHint,
             use_whois: true,
             use_landmass_constraint: true,
-            weight_decay_ms: 80.0,
+            weight_decay_ms: crate::constraint::DEFAULT_WEIGHT_DECAY_MS,
             min_region_area_km2: 10_000.0,
             whois_radius_km: 250.0,
             whois_weight: 0.25,
@@ -96,9 +121,63 @@ impl Default for OctantConfig {
             min_positive_radius_km: 50.0,
             max_height_adjustment_frac: 0.6,
             region_simplify_tolerance_km: 0.25,
+            use_dns_hints: false,
+            dns_hint_radius_km: 150.0,
+            dns_hint_weight: 0.35,
+            use_population_prior: false,
+            population_cell_deg: 7.5,
+            population_min_cell_k: 1500,
+            population_weight: 0.15,
         }
     }
 }
+
+crate::config_setters!(OctantConfig {
+    /// Sets the latency→distance calibration parameters (§2.1).
+    with_calibration: calibration: CalibrationConfig,
+    /// Enables/disables the §2.2 height (queuing delay) solve.
+    with_use_heights: use_heights: bool,
+    /// Enables/disables negative (exclusion) latency constraints.
+    with_use_negative_constraints: use_negative_constraints: bool,
+    /// Selects the §2.3 router localization strategy.
+    with_router_localization: router_localization: RouterLocalization,
+    /// Enables/disables the WHOIS positive hint (§2.5).
+    with_use_whois: use_whois: bool,
+    /// Enables/disables the landmass restriction (§2.5).
+    with_use_landmass_constraint: use_landmass_constraint: bool,
+    /// Sets the exponential latency-weight decay constant (ms, §2.4).
+    with_weight_decay_ms: weight_decay_ms: f64,
+    /// Sets the solver's minimum preserved area (km², §2.4).
+    with_min_region_area_km2: min_region_area_km2: f64,
+    /// Sets the WHOIS constraint radius (km).
+    with_whois_radius_km: whois_radius_km: f64,
+    /// Sets the WHOIS constraint weight.
+    with_whois_weight: whois_weight: f64,
+    /// Sets the metro uncertainty around city-hinted routers (km).
+    with_router_city_uncertainty_km: router_city_uncertainty_km: f64,
+    /// Caps the number of router-derived constraints per target.
+    with_max_router_constraints: max_router_constraints: usize,
+    /// Sets the floor on positive-constraint radii (km).
+    with_min_positive_radius_km: min_positive_radius_km: f64,
+    /// Caps the fraction of a raw RTT the height adjustment may remove.
+    with_max_height_adjustment_frac: max_height_adjustment_frac: f64,
+    /// Sets the between-iterations region simplification tolerance (km).
+    with_region_simplify_tolerance_km: region_simplify_tolerance_km: f64,
+    /// Enables/disables target-hostname DNS hints (`DnsNameSource`).
+    with_use_dns_hints: use_dns_hints: bool,
+    /// Sets the DNS-hint constraint radius (km).
+    with_dns_hint_radius_km: dns_hint_radius_km: f64,
+    /// Sets the DNS-hint constraint weight.
+    with_dns_hint_weight: dns_hint_weight: f64,
+    /// Enables/disables the population-density prior (`PopulationPrior`).
+    with_use_population_prior: use_population_prior: bool,
+    /// Sets the population prior's grid cell size (degrees).
+    with_population_cell_deg: population_cell_deg: f64,
+    /// Sets the population prior's per-cell population threshold (thousands).
+    with_population_min_cell_k: population_min_cell_k: u32,
+    /// Sets the population prior's constraint weight.
+    with_population_weight: population_weight: f64,
+});
 
 impl OctantConfig {
     /// A configuration with every optional mechanism disabled: pure
@@ -160,6 +239,28 @@ pub trait RouterEstimateSource: Sync {
         model: &LandmarkModel,
         router: NodeId,
     ) -> std::sync::Arc<RouterEstimate>;
+
+    /// Optionally answers the §2.3 secondary-landmark dilation of the
+    /// router's region by `radius` from a shared cache, expressed in the
+    /// estimate's **own** projection (the caller reprojects it onto the
+    /// target's). `None` (the default) makes the framework compute the
+    /// dilation inline, exactly as without a source.
+    ///
+    /// A caching implementation may round `radius` **up** to a radius-class
+    /// boundary so nearby residuals share one dilation (`octant-service`'s
+    /// opt-in `dilation_radius_step_km`); the resulting constraint is
+    /// slightly looser but never tighter, preserving soundness. With
+    /// rounding enabled results are no longer bit-identical to the inline
+    /// path — which is why it is opt-in and off by default.
+    fn dilated_region(
+        &self,
+        router: NodeId,
+        estimate: &RouterEstimate,
+        radius: octant_geo::units::Distance,
+    ) -> Option<std::sync::Arc<GeoRegion>> {
+        let _ = (router, estimate, radius);
+        None
+    }
 }
 
 /// The result of localizing one target.
@@ -176,6 +277,10 @@ pub struct LocationEstimate {
     /// The target's estimated height (queuing delay) in milliseconds, when
     /// heights were enabled.
     pub target_height_ms: Option<f64>,
+    /// Per-source provenance: what each evidence source contributed and how
+    /// the solver disposed of it (empty for estimates produced outside the
+    /// evidence pipeline, e.g. by the baseline techniques).
+    pub provenance: ProvenanceReport,
 }
 
 impl LocationEstimate {
@@ -186,6 +291,7 @@ impl LocationEstimate {
             point: None,
             report: SolveReport::default(),
             target_height_ms: None,
+            provenance: ProvenanceReport::default(),
         }
     }
 }
@@ -207,16 +313,27 @@ pub trait Geolocator {
     ) -> LocationEstimate;
 }
 
-/// The Octant geolocalization framework.
+/// The Octant geolocalization framework: an [`OctantConfig`] plus an
+/// [`EvidencePipeline`] of [`crate::pipeline::ConstraintSource`]s. The
+/// default pipeline ([`EvidencePipeline::standard`]) reproduces the paper's
+/// complete evidence mix; [`Octant::with_pipeline`] swaps in any other
+/// composition.
 #[derive(Debug, Clone)]
 pub struct Octant {
     config: OctantConfig,
+    pipeline: EvidencePipeline,
 }
 
 impl Octant {
-    /// Creates an Octant instance with the given configuration.
+    /// Creates an Octant instance with the given configuration and the
+    /// standard evidence pipeline.
     pub fn new(config: OctantConfig) -> Self {
-        Octant { config }
+        Octant::with_pipeline(config, EvidencePipeline::standard())
+    }
+
+    /// Creates an Octant instance with an explicit evidence pipeline.
+    pub fn with_pipeline(config: OctantConfig, pipeline: EvidencePipeline) -> Self {
+        Octant { config, pipeline }
     }
 
     /// The configuration in use.
@@ -224,10 +341,34 @@ impl Octant {
         &self.config
     }
 
+    /// The evidence pipeline in use.
+    pub fn pipeline(&self) -> &EvidencePipeline {
+        &self.pipeline
+    }
+
+    /// An empty estimate whose provenance still honours the pipeline
+    /// contract — one zeroed [`SourceReport`] per slot plus the model's
+    /// dropped-landmark diagnostics — so "no answer" cases are debuggable
+    /// through the same `provenance.source(id)` accessors as answers.
+    fn unknown_estimate(&self, model: &LandmarkModel) -> LocationEstimate {
+        LocationEstimate {
+            provenance: ProvenanceReport {
+                sources: self
+                    .pipeline
+                    .entries()
+                    .iter()
+                    .map(SourceReport::for_entry)
+                    .collect(),
+                dropped_landmarks: model.dropped_landmarks().len(),
+            },
+            ..LocationEstimate::unknown()
+        }
+    }
+
     /// Removes heights from a raw RTT, but never more than the configured
     /// fraction of it: over-estimated heights (which absorb route inflation)
     /// must not collapse a measurement to zero.
-    fn bounded_adjust(
+    pub(crate) fn bounded_adjust(
         &self,
         raw: Latency,
         landmark_height_ms: f64,
@@ -260,6 +401,7 @@ impl Octant {
         // ---- Landmark positions -------------------------------------------------
         let mut lm_ids: Vec<NodeId> = Vec::new();
         let mut lm_pos: Vec<GeoPoint> = Vec::new();
+        let mut dropped: Vec<NodeId> = Vec::new();
         for &lm in landmarks {
             if Some(lm) == exclude {
                 continue;
@@ -267,6 +409,12 @@ impl Octant {
             if let Some(pos) = provider.advertised_location(lm) {
                 lm_ids.push(lm);
                 lm_pos.push(pos);
+            } else {
+                // A landmark without an advertised location cannot
+                // contribute constraints. Record it instead of silently
+                // dropping it, so partial-coverage datasets are diagnosable
+                // from the model (and from every estimate's provenance).
+                dropped.push(lm);
             }
         }
 
@@ -323,6 +471,7 @@ impl Octant {
             heights,
             calibrations,
             global_calibration,
+            dropped,
         }
     }
 
@@ -373,6 +522,11 @@ impl Octant {
     /// reference computation behind [`RouterEstimateSource`] — the inline
     /// `Recursive` path calls it per router encounter, and a caching source
     /// calls it once per `(model, router)` and replays the result.
+    ///
+    /// Sub-solves always run the **standard** evidence pipeline (with
+    /// router and WHOIS evidence disabled via the config), independent of
+    /// the parent's pipeline: router estimates are shared across requests,
+    /// so they must not depend on per-request source selections.
     pub fn compute_router_estimate(
         &self,
         provider: &dyn ObservationProvider,
@@ -430,7 +584,7 @@ impl Octant {
         let lm_pos = &model.lm_pos;
         let heights = &model.heights;
         if lm_ids.is_empty() {
-            return LocationEstimate::unknown();
+            return self.unknown_estimate(model);
         }
 
         // ---- Target RTTs (minimum over the probes) ------------------------------
@@ -440,7 +594,7 @@ impl Octant {
             .extend(lm_ids.iter().map(|&lm| provider.ping(lm, target).min()));
         let target_rtts = &scratch.target_rtts;
         if target_rtts.iter().all(|r| r.is_none()) {
-            return LocationEstimate::unknown();
+            return self.unknown_estimate(model);
         }
 
         let target_height = estimate_target_height(lm_pos, heights, target_rtts);
@@ -454,84 +608,82 @@ impl Octant {
         // constraint disks suffer minimal distortion.
         let projection = AzimuthalEquidistant::new(target_height.coarse_position);
 
-        // ---- Latency constraints --------------------------------------------------
+        let ctx = TargetContext {
+            provider,
+            model,
+            octant: self,
+            config: &self.config,
+            target,
+            target_rtts,
+            target_height_ms,
+            projection,
+            allow_router_constraints,
+            routers,
+        };
+
+        // ---- Evidence collection (§2.1–§2.5 as pipeline sources) ------------------
+        // Constraints are concatenated in pipeline order; `ranges[i]` is the
+        // slice source `i` contributed, so the solver's per-constraint
+        // decisions can be attributed back to their source.
         scratch.constraints.clear();
         let constraints = &mut scratch.constraints;
-        for i in 0..lm_ids.len() {
-            let raw = match target_rtts[i] {
-                Some(r) => r,
-                None => continue,
-            };
-            let adjusted = if self.config.use_heights {
-                self.bounded_adjust(raw, heights.get_ms(i), target_height_ms)
-            } else {
-                raw
-            };
-            let weight = latency_weight(adjusted, self.config.weight_decay_ms);
-            let r_max = model.calibrations[i]
-                .max_distance(adjusted)
-                .max(Distance::from_km(self.config.min_positive_radius_km));
-            let region = GeoRegion::disk(projection, lm_pos[i], r_max);
-            constraints.push(Constraint::positive(region, weight, format!("lm{}+", i)));
-
-            if self.config.use_negative_constraints {
-                let r_min = model.calibrations[i].min_distance(adjusted);
-                if r_min.km() > 1.0 {
-                    let region = GeoRegion::disk(projection, lm_pos[i], r_min);
-                    constraints.push(Constraint::negative(region, weight, format!("lm{}-", i)));
-                }
-            }
-        }
-
-        // ---- Piecewise router constraints (§2.3) -----------------------------------
-        if allow_router_constraints && self.config.router_localization != RouterLocalization::Off {
-            let mut router_constraints = self.router_constraints(
-                provider,
-                model,
-                target_rtts,
-                target,
-                target_height_ms,
-                projection,
-                routers,
-            );
-            // Keep the tightest (smallest-region) router constraints.
-            router_constraints.sort_by(|a, b| {
-                a.region
-                    .area_km2()
-                    .partial_cmp(&b.region.area_km2())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            router_constraints.truncate(self.config.max_router_constraints);
-            constraints.extend(router_constraints);
-        }
-
-        // ---- WHOIS constraint (§2.5) ------------------------------------------------
-        if self.config.use_whois {
-            if let Some(ip) = host_ip(provider, target) {
-                if let Some(city) = provider.whois_city(ip) {
-                    if let Some(c) = geography::whois_constraint(
-                        projection,
-                        &city,
-                        Distance::from_km(self.config.whois_radius_km),
-                        self.config.whois_weight,
-                    ) {
-                        constraints.push(c);
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(self.pipeline.len());
+        for entry in self.pipeline.entries() {
+            let start = constraints.len();
+            if entry.enabled() {
+                let mut emitted = entry.source().constraints(&ctx);
+                let scale = entry.weight_scale();
+                if scale != 1.0 {
+                    for c in &mut emitted {
+                        c.weight = sanitize_weight(c.weight * scale);
                     }
                 }
+                constraints.append(&mut emitted);
             }
+            ranges.push((start, constraints.len()));
         }
 
         // ---- Solve -------------------------------------------------------------------
-        let solver = Solver::new(SolverConfig {
-            min_region_area_km2: self.config.min_region_area_km2,
-            simplify_tolerance_km: self.config.region_simplify_tolerance_km,
-            ..SolverConfig::default()
-        });
-        let (mut region, report) = solver.solve(projection, constraints);
+        let solver = Solver::new(
+            SolverConfig::default()
+                .with_min_region_area_km2(self.config.min_region_area_km2)
+                .with_simplify_tolerance_km(self.config.region_simplify_tolerance_km),
+        );
+        let (mut region, report, applied) = solver.solve_traced(projection, constraints);
 
-        // ---- Geographic restriction (§2.5) ---------------------------------------------
-        if self.config.use_landmass_constraint && !region.is_empty() {
-            region = geography::restrict_to_land(&region);
+        // ---- Provenance + post-solve refinements (§2.5) ---------------------------
+        let mut provenance = ProvenanceReport {
+            sources: Vec::with_capacity(self.pipeline.len()),
+            dropped_landmarks: model.dropped_landmarks().len(),
+        };
+        for (entry, &(start, end)) in self.pipeline.entries().iter().zip(&ranges) {
+            let mut sr = SourceReport::for_entry(entry);
+            for idx in start..end {
+                let c = &constraints[idx];
+                sr.total_weight += c.weight;
+                if c.is_positive() {
+                    sr.emitted_positive += 1;
+                    if applied[idx] {
+                        sr.applied_positive += 1;
+                    } else {
+                        sr.skipped_positive += 1;
+                    }
+                } else {
+                    sr.emitted_negative += 1;
+                    if applied[idx] {
+                        sr.applied_negative += 1;
+                    } else {
+                        sr.skipped_negative += 1;
+                    }
+                }
+            }
+            if entry.enabled() && entry.source().refines() {
+                let before = region.area_km2();
+                region = entry.source().refine(&ctx, region);
+                sr.area_before_km2 = Some(before);
+                sr.area_after_km2 = Some(region.area_km2());
+            }
+            provenance.sources.push(sr);
         }
 
         let point = weighted_point_estimate(
@@ -555,14 +707,17 @@ impl Octant {
             } else {
                 None
             },
+            provenance,
         }
     }
 
     /// Builds router-derived constraints for a target. In `Recursive` mode
     /// the per-router sub-solves are taken from `routers` when supplied
-    /// (e.g. a cross-target cache) and computed inline otherwise.
+    /// (e.g. a cross-target cache) and computed inline otherwise. Called by
+    /// the `RouterSource` pipeline stage, which owns the sort/truncate
+    /// policy.
     #[allow(clippy::too_many_arguments)]
-    fn router_constraints(
+    pub(crate) fn router_constraints(
         &self,
         provider: &dyn ObservationProvider,
         model: &LandmarkModel,
@@ -639,7 +794,24 @@ impl Octant {
                             self.compute_router_estimate(provider, model, last.node),
                         ),
                     };
-                    if let Some(router_region) = &router_estimate.region {
+                    // A caching source may answer the (expensive) region
+                    // dilation from a shared radius-class cache; otherwise
+                    // it is computed inline per encounter.
+                    let cached_dilation = routers.and_then(|source| {
+                        source.dilated_region(
+                            last.node,
+                            &router_estimate,
+                            piecewise::secondary_landmark_radius(residual, global_calibration),
+                        )
+                    });
+                    if let Some(dilated) = cached_dilation {
+                        out.push(piecewise::secondary_landmark_constraint_from_dilated(
+                            dilated.reproject(projection),
+                            residual,
+                            self.config.weight_decay_ms,
+                            format!("router:{}", last.hostname),
+                        ));
+                    } else if let Some(router_region) = &router_estimate.region {
                         let anchored = router_region.reproject(projection);
                         out.push(piecewise::secondary_landmark_constraint(
                             &anchored,
@@ -684,13 +856,19 @@ impl Geolocator for Octant {
     }
 }
 
+/// Looks up a host's descriptor from the provider's host list — the one
+/// place the by-id scan lives (the WHOIS and DNS-name sources both need a
+/// slice of it).
+pub(crate) fn host_descriptor(
+    provider: &dyn ObservationProvider,
+    id: NodeId,
+) -> Option<octant_netsim::observation::HostDescriptor> {
+    provider.hosts().into_iter().find(|h| h.id == id)
+}
+
 /// Looks up a host's IP address from the provider's host list.
-fn host_ip(provider: &dyn ObservationProvider, id: NodeId) -> Option<[u8; 4]> {
-    provider
-        .hosts()
-        .into_iter()
-        .find(|h| h.id == id)
-        .map(|h| h.ip)
+pub(crate) fn host_ip(provider: &dyn ObservationProvider, id: NodeId) -> Option<[u8; 4]> {
+    host_descriptor(provider, id).map(|h| h.ip)
 }
 
 /// The weighted point estimate of §2.4: instead of the plain area centroid,

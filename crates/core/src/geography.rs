@@ -81,6 +81,109 @@ pub fn is_plausible_host_location(p: GeoPoint) -> bool {
     octant_geo::landmass::is_on_land(p)
 }
 
+/// A coarse population-density prior region (§2.5's demographic
+/// constraints): the city table is aggregated onto a `cell_deg`-degree
+/// lat/lon grid, and every cell whose summed metro population clears
+/// `min_cell_population_k` contributes a disk at its population-weighted
+/// centroid, sized to cover the cell. The union of those disks is where
+/// "most hosts plausibly are" — used by the `PopulationPrior` source as a
+/// low-weight positive constraint.
+///
+/// Deterministic: cells are accumulated and unioned in sorted grid order,
+/// so repeated calls produce bit-identical regions.
+pub fn population_prior_region(
+    projection: AzimuthalEquidistant,
+    cell_deg: f64,
+    min_cell_population_k: u32,
+) -> GeoRegion {
+    use std::collections::BTreeMap;
+    let cell = cell_deg.clamp(1.0, 45.0);
+    // (pop sum, pop-weighted lat sum, pop-weighted lon sum) per grid cell.
+    let mut cells: BTreeMap<(i32, i32), (f64, f64, f64)> = BTreeMap::new();
+    for city in cities::CITIES {
+        let key = (
+            (city.lat / cell).floor() as i32,
+            (city.lon / cell).floor() as i32,
+        );
+        let pop = city.population_k as f64;
+        let entry = cells.entry(key).or_insert((0.0, 0.0, 0.0));
+        entry.0 += pop;
+        entry.1 += pop * city.lat;
+        entry.2 += pop * city.lon;
+    }
+    // A disk that covers the whole cell from its population-weighted
+    // centroid: the centroid is only guaranteed to lie *somewhere* inside
+    // the cell, so the radius must be the full equatorial cell diagonal
+    // (the farthest any cell point can be from any interior point; cells
+    // only shrink towards the poles). A tighter radius would let a metro
+    // near the far corner of a qualifying cell fall outside the prior and
+    // be wrongly excluded.
+    let radius_km = cell * 111.32 * std::f64::consts::SQRT_2;
+    let disks: Vec<GeoRegion> = cells
+        .values()
+        .filter(|(pop, _, _)| *pop >= min_cell_population_k as f64)
+        .map(|(pop, lat_sum, lon_sum)| {
+            let center = GeoPoint::new(lat_sum / pop, lon_sum / pop);
+            // A planar circle in azimuthal-equidistant covers less *true*
+            // tangential distance the farther its centre sits from the
+            // projection origin (by sin(c)/c for angular distance c).
+            // Inflate the radius by the inverse factor so the geodesic
+            // cell-coverage guarantee holds wherever the projection is
+            // centred — essential for the cached variant, which builds
+            // the prior once in a fixed reference projection. Inflation
+            // only loosens the prior, never tightens it. The factor is
+            // clamped: near the antipode the projection degenerates, but
+            // antipodal cells are ~20 000 km from the estimate and can
+            // never interact with a solve's constraint region.
+            let c_rad = octant_geo::distance::great_circle(projection.center(), center).km()
+                / octant_geo::EARTH_RADIUS_KM;
+            let inflate = if c_rad < 1e-6 {
+                1.0
+            } else {
+                (c_rad / c_rad.sin().abs().max(1e-3)).min(4.0)
+            };
+            GeoRegion::disk(projection, center, Distance::from_km(radius_km * inflate))
+        })
+        .collect();
+    GeoRegion::union_many(projection, disks.iter())
+}
+
+/// [`population_prior_region`] behind a process-wide cache: the aggregation
+/// and union depend only on the two knobs, so they are computed **once** in
+/// a fixed reference projection and reprojected onto each solve's
+/// projection (the same reproject-per-target pattern the router-constraint
+/// caches use). This is what the `PopulationPrior` source calls — without
+/// it, every target solve (and every recursive router sub-solve inheriting
+/// the flag) would rebuild the whole grid union from scratch.
+pub fn population_prior_region_cached(
+    projection: AzimuthalEquidistant,
+    cell_deg: f64,
+    min_cell_population_k: u32,
+) -> GeoRegion {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    type PriorCache = Mutex<HashMap<(u64, u32), Arc<GeoRegion>>>;
+    static CACHE: OnceLock<PriorCache> = OnceLock::new();
+
+    let key = (cell_deg.to_bits(), min_cell_population_k);
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let reference = {
+        let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(key)
+            .or_insert_with(|| {
+                let reference_projection = AzimuthalEquidistant::new(GeoPoint::new(0.0, 0.0));
+                Arc::new(population_prior_region(
+                    reference_projection,
+                    cell_deg,
+                    min_cell_population_k,
+                ))
+            })
+            .clone()
+    };
+    reference.reproject(projection)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +262,50 @@ mod tests {
     fn plausibility_check_delegates_to_landmass_data() {
         assert!(is_plausible_host_location(GeoPoint::new(40.71, -74.01)));
         assert!(!is_plausible_host_location(GeoPoint::new(0.0, -30.0)));
+    }
+
+    #[test]
+    fn population_prior_covers_metros_and_skips_open_ocean() {
+        let prior = population_prior_region(proj(), 7.5, 1500);
+        assert!(!prior.is_empty());
+        for code in ["nyc", "chi", "lhr", "nrt"] {
+            assert!(
+                prior.contains(cities::by_code(code).unwrap().location()),
+                "{code} should be inside the population prior"
+            );
+        }
+        assert!(
+            !prior.contains(GeoPoint::new(35.0, -45.0)),
+            "mid-Atlantic has no population"
+        );
+        // Deterministic across calls (bit-identical area).
+        let again = population_prior_region(proj(), 7.5, 1500);
+        assert_eq!(prior.area_km2().to_bits(), again.area_km2().to_bits());
+    }
+
+    #[test]
+    fn population_prior_threshold_filters_cells() {
+        let loose = population_prior_region(proj(), 7.5, 1000);
+        let strict = population_prior_region(proj(), 7.5, 20_000);
+        assert!(strict.area_km2() < loose.area_km2());
+    }
+
+    #[test]
+    fn cached_population_prior_still_covers_metros_after_reprojection() {
+        // The cached variant builds the prior once in a reference
+        // projection centred at (0, 0) and reprojects — the tangential
+        // compression of far-from-origin disks must not break the
+        // cell-coverage guarantee (that is what the distortion inflation
+        // in `population_prior_region` exists for).
+        let prior = population_prior_region_cached(proj(), 7.5, 1500);
+        for code in ["nyc", "chi", "lax", "sea", "lhr", "nrt"] {
+            assert!(
+                prior.contains(cities::by_code(code).unwrap().location()),
+                "{code} must stay inside the cached, reprojected prior"
+            );
+        }
+        // Second call hits the cache and reprojects identically.
+        let again = population_prior_region_cached(proj(), 7.5, 1500);
+        assert_eq!(prior.area_km2().to_bits(), again.area_km2().to_bits());
     }
 }

@@ -18,12 +18,33 @@
 //! | Paper section | Module |
 //! |---|---|
 //! | §2 constraint framework, region representation | [`constraint`], [`solver`] (regions come from `octant-region`) |
+//! | §2/§2.5 composable evidence ("any information → constraints") | [`pipeline`] |
 //! | §2.1 mapping latencies to distances (convex-hull calibration, cutoff ρ) | [`calibration`] |
 //! | §2.2 queuing delays ("heights") | [`heights`], [`linalg`] |
 //! | §2.3 indirect routes (piecewise localization of routers) | [`piecewise`] |
 //! | §2.4 handling uncertainty (weights, weighted solution) | [`constraint`], [`solver`] |
 //! | §2.5 geographic constraints (oceans, WHOIS) | [`geography`] |
 //! | §3 evaluation harness | [`eval`] |
+//!
+//! ## Evidence sources and the §2.5/§3 ablations
+//!
+//! The paper evaluates Octant by toggling constraint families (§3's
+//! ablations; §2.5's "comprehensive framework" claim). Each family is a
+//! [`pipeline::ConstraintSource`] you can enable, disable, or re-weight
+//! without touching the framework:
+//!
+//! | Evidence (paper) | Source | Switch |
+//! |---|---|---|
+//! | §2.1/§2.2 latency shells (positive + negative) | [`pipeline::LatencySource`] | [`OctantConfig::use_negative_constraints`] (negatives) |
+//! | §2.3 indirect routes via router sub-localization | [`pipeline::RouterSource`] | [`OctantConfig::router_localization`] |
+//! | §2.5 WHOIS registration hints | [`pipeline::HintSource`] | [`OctantConfig::use_whois`] |
+//! | §2.5 DNS naming hints for the target itself | [`pipeline::DnsNameSource`] | [`OctantConfig::use_dns_hints`] |
+//! | §2.5 demographic (population) priors | [`pipeline::PopulationPrior`] | [`OctantConfig::use_population_prior`] |
+//! | §2.5 oceans / uninhabitable areas | [`pipeline::GeographySource`] | [`OctantConfig::use_landmass_constraint`] |
+//!
+//! Every [`LocationEstimate`] carries a [`pipeline::ProvenanceReport`]
+//! recording what each source contributed, so an ablation study is "flip a
+//! switch, diff the provenance".
 //!
 //! The top-level entry point is [`Octant`]: configure it with an
 //! [`OctantConfig`], hand it an
@@ -52,6 +73,33 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Generates builder-style `with_*` setters for a `#[non_exhaustive]`
+/// config struct — the one place the setter pattern lives, shared by every
+/// config in this crate and in `octant-service`.
+///
+/// ```ignore
+/// octant::config_setters!(MyConfig {
+///     /// Sets the thing.
+///     with_thing: thing: usize,
+/// });
+/// ```
+#[macro_export]
+#[doc(hidden)]
+macro_rules! config_setters {
+    ($(#[$outer:meta])* $struct:ident { $($(#[$doc:meta])* $setter:ident: $field:ident: $ty:ty),+ $(,)? }) => {
+        impl $struct {
+            $(
+                $(#[$doc])*
+                #[must_use]
+                pub fn $setter(mut self, value: $ty) -> Self {
+                    self.$field = value;
+                    self
+                }
+            )+
+        }
+    };
+}
+
 pub mod batch;
 pub mod calibration;
 pub mod constraint;
@@ -61,13 +109,17 @@ pub mod geography;
 pub mod heights;
 pub mod linalg;
 pub mod piecewise;
+pub mod pipeline;
 pub mod solver;
 
 pub use batch::{BatchGeolocator, LandmarkModel, TargetScratch};
-pub use constraint::{Constraint, ConstraintKind};
+pub use constraint::{Constraint, ConstraintKind, DEFAULT_WEIGHT_DECAY_MS};
 pub use eval::{ErrorCdf, TargetOutcome};
 pub use framework::{
     Geolocator, LocationEstimate, Octant, OctantConfig, RouterEstimate, RouterEstimateSource,
     RouterLocalization,
+};
+pub use pipeline::{
+    ConstraintSource, EvidencePipeline, ProvenanceReport, SourceId, SourceReport, TargetContext,
 };
 pub use solver::{SolveReport, Solver};

@@ -96,17 +96,30 @@ pub fn city_hint_router_constraint(
     )
 }
 
+/// The §2.3 secondary-landmark dilation radius for a residual latency: the
+/// calibrated maximum distance `R(residual)`.
+pub fn secondary_landmark_radius(residual: Latency, calibration: &Calibration) -> Distance {
+    calibration.max_distance(residual)
+}
+
+/// The boundary vertex budget applied to router regions before dilation.
+pub const ROUTER_REGION_VERTEX_BUDGET: usize = 512;
+
+/// The pre-dilation simplification tolerance for a router region, keyed to
+/// the dilation radius (1 %, clamped to 0.5–10 km): a recursive sub-solve
+/// hands back a trapezoid decomposition whose sub-kilometre seam detail is
+/// geometrically meaningless once the region is grown by hundreds of
+/// kilometres, and the Minkowski construction's cost scales with the
+/// boundary vertex count.
+pub fn router_region_budget_tolerance(radius: Distance) -> Distance {
+    Distance::from_km((radius.km() * 0.01).clamp(0.5, 10.0))
+}
+
 /// Builds a positive constraint from a router localized to an arbitrary
 /// region (the recursive strategy): the secondary-landmark construction of
 /// §2, i.e. the dilation of the router's region by the latency-derived
-/// radius.
-///
-/// The router region's boundary is simplified before the dilation with a
-/// tolerance keyed to the dilation radius (1 %, clamped to 0.5–10 km): a
-/// recursive sub-solve hands back a trapezoid decomposition whose
-/// sub-kilometre seam detail is geometrically meaningless once the region is
-/// grown by hundreds of kilometres, and the Minkowski construction's cost
-/// scales with the boundary vertex count.
+/// radius (see [`secondary_landmark_radius`] and
+/// [`router_region_budget_tolerance`]).
 pub fn secondary_landmark_constraint(
     router_region: &GeoRegion,
     residual: Latency,
@@ -114,12 +127,31 @@ pub fn secondary_landmark_constraint(
     weight_decay_ms: f64,
     label: impl Into<String>,
 ) -> Constraint {
-    let radius = calibration.max_distance(residual);
-    let budget_tol = Distance::from_km((radius.km() * 0.01).clamp(0.5, 10.0));
+    let radius = secondary_landmark_radius(residual, calibration);
     let region = router_region
-        .simplify_to_budget(budget_tol, 512)
+        .simplify_to_budget(
+            router_region_budget_tolerance(radius),
+            ROUTER_REGION_VERTEX_BUDGET,
+        )
         .dilate(radius);
     Constraint::positive(region, latency_weight(residual, weight_decay_ms), label)
+}
+
+/// Builds the §2.3 secondary-landmark constraint from an **already dilated**
+/// router region (e.g. one answered by a shared radius-class dilation cache
+/// — see `RouterEstimateSource::dilated_region`), reprojected by the caller
+/// into the target's projection. Only the weighting is applied here.
+pub fn secondary_landmark_constraint_from_dilated(
+    dilated_region: GeoRegion,
+    residual: Latency,
+    weight_decay_ms: f64,
+    label: impl Into<String>,
+) -> Constraint {
+    Constraint::positive(
+        dilated_region,
+        latency_weight(residual, weight_decay_ms),
+        label,
+    )
 }
 
 /// A negative constraint from a secondary landmark: the target cannot be

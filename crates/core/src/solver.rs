@@ -20,7 +20,11 @@ use octant_region::GeoRegion;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the constraint solver.
+///
+/// `#[non_exhaustive]`: construct via [`SolverConfig::default`] and the
+/// builder-style `with_*` setters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct SolverConfig {
     /// A constraint is skipped when applying it would leave less than this
     /// much area (km²). This is the "desired size threshold" of §2.4.
@@ -39,12 +43,11 @@ pub struct SolverConfig {
     /// default is far below both the 1 km curve-flattening tolerance and
     /// any constraint radius, so it never affects localization decisions.
     pub simplify_tolerance_km: f64,
+    /// The estimate's representation is re-simplified with escalating
+    /// tolerance whenever it exceeds this many boundary vertices (see
+    /// [`octant_region::Region::simplify_to_budget`]).
+    pub max_estimate_vertices: usize,
 }
-
-/// The estimate's representation is re-simplified with escalating tolerance
-/// whenever it exceeds this many boundary vertices (see
-/// [`octant_region::Region::simplify_to_budget`]).
-const MAX_ESTIMATE_VERTICES: usize = 4096;
 
 impl Default for SolverConfig {
     fn default() -> Self {
@@ -52,9 +55,22 @@ impl Default for SolverConfig {
             min_region_area_km2: 5_000.0,
             max_negative_removal_frac: 0.6,
             simplify_tolerance_km: 0.25,
+            max_estimate_vertices: 4096,
         }
     }
 }
+
+crate::config_setters!(SolverConfig {
+    /// Sets the minimum preserved estimate area (km², §2.4).
+    with_min_region_area_km2: min_region_area_km2: f64,
+    /// Sets the cap on the estimate fraction one negative constraint may
+    /// remove.
+    with_max_negative_removal_frac: max_negative_removal_frac: f64,
+    /// Sets the between-iterations boundary-simplification tolerance (km).
+    with_simplify_tolerance_km: simplify_tolerance_km: f64,
+    /// Sets the estimate's boundary vertex budget.
+    with_max_estimate_vertices: max_estimate_vertices: usize,
+});
 
 /// Bookkeeping of what the solver did — how many constraints were applied and
 /// how many were skipped as inconsistent.
@@ -111,26 +127,46 @@ impl Solver {
         projection: AzimuthalEquidistant,
         constraints: &[Constraint],
     ) -> (GeoRegion, SolveReport) {
+        let (region, report, _) = self.solve_traced(projection, constraints);
+        (region, report)
+    }
+
+    /// [`Solver::solve`] that additionally reports, per input constraint,
+    /// whether it was applied (`true`) or set aside (`false`), aligned to
+    /// `constraints` order. This is what attributes solver decisions back
+    /// to the evidence source that emitted each constraint (the provenance
+    /// report of the pipeline API). The region and [`SolveReport`] are
+    /// identical to [`Solver::solve`]'s.
+    pub fn solve_traced(
+        &self,
+        projection: AzimuthalEquidistant,
+        constraints: &[Constraint],
+    ) -> (GeoRegion, SolveReport, Vec<bool>) {
         let mut report = SolveReport::default();
+        let mut applied = vec![false; constraints.len()];
 
-        let positives_raw: Vec<&Constraint> = constraints
+        let positives_raw: Vec<(usize, &Constraint)> = constraints
             .iter()
-            .filter(|c| c.kind == ConstraintKind::Positive)
+            .enumerate()
+            .filter(|(_, c)| c.kind == ConstraintKind::Positive)
             .collect();
-        let mut negatives: Vec<&Constraint> = constraints
+        let mut negatives: Vec<(usize, &Constraint)> = constraints
             .iter()
-            .filter(|c| c.kind == ConstraintKind::Negative)
+            .enumerate()
+            .filter(|(_, c)| c.kind == ConstraintKind::Negative)
             .collect();
 
-        let mut positives: Vec<&Constraint> = positives_raw;
+        // Stable sorts on the weight alone, so ties keep input order — the
+        // decision sequence matches the pre-traced solver exactly.
+        let mut positives: Vec<(usize, &Constraint)> = positives_raw;
         positives.sort_by(|a, b| {
-            b.weight
-                .partial_cmp(&a.weight)
+            b.1.weight
+                .partial_cmp(&a.1.weight)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         negatives.sort_by(|a, b| {
-            b.weight
-                .partial_cmp(&a.weight)
+            b.1.weight
+                .partial_cmp(&a.1.weight)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
 
@@ -143,19 +179,20 @@ impl Solver {
         let simplify_tol = self.config.simplify_tolerance_km;
         let mut estimate = GeoRegion::world(projection);
         let mut seeded = false;
-        let mut pending: Vec<&Constraint> = Vec::with_capacity(positives.len());
-        for c in &positives {
+        let mut pending: Vec<(usize, &Constraint)> = Vec::with_capacity(positives.len());
+        for &(idx, c) in &positives {
             if !seeded {
                 if c.region.area_km2() >= self.config.min_region_area_km2 {
                     estimate = c.region.reproject(projection);
                     report.applied_positive += 1;
+                    applied[idx] = true;
                     seeded = true;
                 } else {
                     report.skipped_positive += 1;
                 }
                 continue;
             }
-            pending.push(c);
+            pending.push((idx, c));
         }
 
         // Chunked single-sweep application: along the greedy chain the
@@ -174,6 +211,7 @@ impl Solver {
         // sweeps; consistent stretches double the chunk back up. The
         // running estimate is an operand of every sweep, so its (small)
         // bounding box drives the sweep's y-window pruning.
+        let max_vertices = self.config.max_estimate_vertices;
         if seeded {
             let mut idx = 0;
             let mut chunk = 4usize;
@@ -183,13 +221,16 @@ impl Solver {
                 let combined_ok = batch.len() > 1 && {
                     let combined = GeoRegion::intersect_many(
                         projection,
-                        std::iter::once(&estimate).chain(batch.iter().map(|c| &c.region)),
+                        std::iter::once(&estimate).chain(batch.iter().map(|(_, c)| &c.region)),
                     );
                     if combined.area_km2() >= self.config.min_region_area_km2 {
                         report.applied_positive += batch.len();
+                        for &(i, _) in batch {
+                            applied[i] = true;
+                        }
                         estimate = combined.simplify_to_budget(
                             octant_geo::units::Distance::from_km(simplify_tol),
-                            MAX_ESTIMATE_VERTICES,
+                            max_vertices,
                         );
                         true
                     } else {
@@ -203,14 +244,15 @@ impl Solver {
                     // constraints are skipped exactly as the greedy chain
                     // would have.
                     let mut any_skipped = false;
-                    for c in batch {
+                    for &(i, c) in batch {
                         let candidate = estimate.intersect(&c.region);
                         if candidate.area_km2() >= self.config.min_region_area_km2 {
                             estimate = candidate.simplify_to_budget(
                                 octant_geo::units::Distance::from_km(simplify_tol),
-                                MAX_ESTIMATE_VERTICES,
+                                max_vertices,
                             );
                             report.applied_positive += 1;
+                            applied[i] = true;
                         } else {
                             report.skipped_positive += 1;
                             any_skipped = true;
@@ -222,7 +264,7 @@ impl Solver {
             }
         }
 
-        for c in &negatives {
+        for &(i, c) in &negatives {
             let candidate = estimate.subtract(&c.region);
             let floor = (estimate.area_km2()
                 * (1.0 - self.config.max_negative_removal_frac.clamp(0.0, 1.0)))
@@ -230,16 +272,17 @@ impl Solver {
             if candidate.area_km2() >= floor {
                 estimate = candidate.simplify_to_budget(
                     octant_geo::units::Distance::from_km(simplify_tol),
-                    MAX_ESTIMATE_VERTICES,
+                    max_vertices,
                 );
                 report.applied_negative += 1;
+                applied[i] = true;
             } else {
                 report.skipped_negative += 1;
             }
         }
 
         report.final_area_km2 = estimate.area_km2();
-        (estimate, report)
+        (estimate, report, applied)
     }
 
     /// Convenience: solve and return the centroid point estimate alongside
@@ -379,6 +422,26 @@ mod tests {
         assert_eq!(report.applied_positive, 1);
         assert_eq!(report.skipped_positive, 1);
         assert!(region.area_km2() >= 1_000_000.0);
+    }
+
+    #[test]
+    fn traced_solve_attributes_decisions_to_input_order() {
+        let constraints = vec![
+            Constraint::positive(disk_at("nyc", 600.0), 0.9, "nyc"),
+            Constraint::positive(disk_at("was", 500.0), 0.8, "was"),
+            Constraint::positive(disk_at("lax", 300.0), 0.1, "bogus"),
+            Constraint::negative(disk_at("pit", 5000.0), 0.5, "too big"),
+        ];
+        let (region, report, applied) = Solver::default().solve_traced(proj(), &constraints);
+        assert_eq!(applied, vec![true, true, false, false]);
+        assert_eq!(
+            applied.iter().filter(|a| **a).count(),
+            report.applied_positive + report.applied_negative
+        );
+        // Identical to the untraced entry point, bit for bit.
+        let (r2, rep2) = Solver::default().solve(proj(), &constraints);
+        assert_eq!(report, rep2);
+        assert_eq!(region.area_km2().to_bits(), r2.area_km2().to_bits());
     }
 
     #[test]

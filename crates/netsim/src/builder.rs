@@ -86,6 +86,13 @@ pub struct NetworkConfig {
     /// shape where traceroute last hops are *shared across targets* (the
     /// regime `octant-service`'s router sub-localization cache amortizes).
     pub access_share_radius_km: f64,
+    /// Fraction of hosts whose DNS name is replaced by an ISP-customer-style
+    /// name embedding the host's city code
+    /// (`cpe-7.nyc.res.as64502.octantsim.net`) — the reverse-DNS convention
+    /// Octant's `DnsNameSource` mines for §2.5 naming hints. `0.0` (the
+    /// default) keeps the caller-supplied hostnames and consumes no RNG
+    /// draws, so existing topologies are byte-identical.
+    pub host_dns_city_rate: f64,
 }
 
 impl Default for NetworkConfig {
@@ -104,6 +111,7 @@ impl Default for NetworkConfig {
             access_undns_miss_rate: 0.9,
             undns_wrong_city_rate: 0.05,
             access_share_radius_km: 0.0,
+            host_dns_city_rate: 0.0,
         }
     }
 }
@@ -250,13 +258,14 @@ impl NetworkBuilder {
             };
             if let Some((_, access, provider)) = shared {
                 let host_delay = sample_last_mile(&mut rng, cfg.host_delay_ms);
+                let hostname = host_dns_name(cfg, host, provider, hi, &mut rng);
                 let host_ip = [128 + (hi / 200) as u8, (hi % 200) as u8 + 1, 13, 7];
                 let host_id = net.add_node(
                     NodeKind::Host,
                     host.location,
                     host.city_code.clone(),
                     provider,
-                    host.hostname.clone(),
+                    hostname,
                     host_ip,
                     host_delay,
                 );
@@ -346,13 +355,14 @@ impl NetworkBuilder {
 
             // The host itself.
             let host_delay = sample_last_mile(&mut rng, cfg.host_delay_ms);
+            let hostname = host_dns_name(cfg, host, provider, hi, &mut rng);
             let host_ip = [128 + (hi / 200) as u8, (hi % 200) as u8 + 1, 13, 7];
             let host_id = net.add_node(
                 NodeKind::Host,
                 host.location,
                 host.city_code.clone(),
                 provider,
-                host.hostname.clone(),
+                hostname,
                 host_ip,
                 host_delay,
             );
@@ -396,6 +406,25 @@ impl NetworkBuilder {
                 return;
             }
         }
+    }
+}
+
+/// The DNS name a host is created with: the caller-supplied hostname, or —
+/// with probability [`NetworkConfig::host_dns_city_rate`] — an
+/// ISP-customer-style name embedding the host's city code. Consumes no RNG
+/// draws when the knob is at its default of `0.0`, keeping old topologies
+/// byte-identical.
+fn host_dns_name(
+    cfg: &NetworkConfig,
+    host: &HostSpec,
+    provider: u8,
+    index: usize,
+    rng: &mut StdRng,
+) -> String {
+    if cfg.host_dns_city_rate > 0.0 && rng.gen_bool(cfg.host_dns_city_rate.clamp(0.0, 1.0)) {
+        dns::customer_hostname(&host.city_code, provider, index)
+    } else {
+        host.hostname.clone()
     }
 }
 
@@ -586,6 +615,43 @@ mod tests {
                 l.length.km()
             );
         }
+    }
+
+    #[test]
+    fn host_dns_city_rate_rewrites_hostnames_to_parsable_names() {
+        // Default: caller hostnames are kept verbatim (pinned by
+        // `hosts_are_at_their_site_locations` too), and the generated
+        // topology is byte-identical to the pre-knob builder.
+        let plain = default_net();
+        for (&h, site) in plain.hosts().iter().zip(sites::planetlab_51()) {
+            assert_eq!(plain.node(h).hostname, site.hostname);
+        }
+
+        // Full rewrite: every host name embeds its own city code.
+        let renamed = NetworkBuilder::planetlab(NetworkConfig {
+            host_dns_city_rate: 1.0,
+            ..NetworkConfig::default()
+        })
+        .build();
+        for &h in &renamed.hosts() {
+            let node = renamed.node(h);
+            let city = dns::parse_router_city(&node.hostname)
+                .unwrap_or_else(|| panic!("{} should parse", node.hostname));
+            assert_eq!(city.code, node.city_code, "{}", node.hostname);
+        }
+
+        // A partial rate renames some hosts but not all.
+        let partial = NetworkBuilder::planetlab(NetworkConfig {
+            host_dns_city_rate: 0.5,
+            ..NetworkConfig::default()
+        })
+        .build();
+        let renamed_count = partial
+            .hosts()
+            .iter()
+            .filter(|&&h| partial.node(h).hostname.starts_with("cpe-"))
+            .count();
+        assert!(renamed_count > 5 && renamed_count < 46, "{renamed_count}");
     }
 
     #[test]

@@ -60,6 +60,19 @@ pub fn provider_asn(provider: u8) -> u32 {
     64500 + provider as u32
 }
 
+/// Generates an ISP-customer-style hostname that embeds the customer's city
+/// code as its own DNS label (`cpe-12.nyc.res.as64502.octantsim.net`) — the
+/// reverse-DNS naming many access ISPs use, which Octant's `DnsNameSource`
+/// parses with [`parse_router_city`]. Deterministic (no RNG draws), so the
+/// builder's `host_dns_city_rate` knob costs exactly one RNG draw per host.
+pub fn customer_hostname(city_code: &str, provider: u8, index: usize) -> String {
+    format!(
+        "cpe-{index}.{}.res.as{}.octantsim.net",
+        city_code.to_ascii_lowercase(),
+        provider_asn(provider)
+    )
+}
+
 /// Attempts to recover the city a router resides in from its DNS name, the
 /// way `undns` does: scan the dot-separated labels for a known city code.
 /// Returns `None` for opaque names or names whose code is not in the city
@@ -137,6 +150,14 @@ mod tests {
     fn provider_asns_are_distinct() {
         assert_ne!(provider_asn(0), provider_asn(1));
         assert!(provider_asn(3) >= 64500);
+    }
+
+    #[test]
+    fn customer_hostnames_embed_a_parsable_city() {
+        let name = customer_hostname("NYC", 2, 17);
+        assert_eq!(name, "cpe-17.nyc.res.as64502.octantsim.net");
+        let city = parse_router_city(&name).expect("customer names must parse");
+        assert_eq!(city.code, "nyc");
     }
 
     #[test]

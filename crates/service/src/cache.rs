@@ -17,8 +17,10 @@
 //! under concurrent serving, not just statistically.
 
 use octant::{Octant, RouterEstimate, RouterEstimateSource};
+use octant_geo::units::Distance;
 use octant_netsim::observation::ObservationProvider;
 use octant_netsim::topology::NodeId;
+use octant_region::GeoRegion;
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::hash_map::Entry;
@@ -27,7 +29,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Sizing and retention knobs of a [`RouterCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `#[non_exhaustive]`: construct via [`RouterCacheConfig::default`] and
+/// the builder-style `with_*` setters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct RouterCacheConfig {
     /// Soft capacity cap. When an insert pushes the cache past this size,
     /// entries from **retired** epochs are evicted (oldest epoch first);
@@ -38,6 +44,20 @@ pub struct RouterCacheConfig {
     /// maintenance keeps around (the service evicts everything older than
     /// `current_epoch - keep_epochs + 1` after a model refresh). Minimum 1.
     pub keep_epochs: u64,
+    /// Radius-class width (km) of the shared router-**dilation** cache.
+    ///
+    /// The §2.3 secondary-landmark constraint dilates a router's region by
+    /// the calibrated residual radius — tens of milliseconds of CPU per
+    /// fresh 100+-ring region, and the radius differs slightly for every
+    /// `(landmark, target)` pair, so the inline path recomputes it
+    /// constantly. With a positive step, dilation radii are rounded **up**
+    /// to the next class boundary and the dilated region is cached per
+    /// `(epoch, router, radius class)`: co-sited targets share classes, so
+    /// a serving workload pays for each class once. Rounding up only ever
+    /// *loosens* a positive constraint (soundness is preserved), but the
+    /// results are no longer bit-identical to the inline path — hence the
+    /// default of `0.0`, which disables the cache entirely.
+    pub dilation_radius_step_km: f64,
 }
 
 impl Default for RouterCacheConfig {
@@ -45,9 +65,20 @@ impl Default for RouterCacheConfig {
         RouterCacheConfig {
             max_entries: 4096,
             keep_epochs: 1,
+            dilation_radius_step_km: 0.0,
         }
     }
 }
+
+octant::config_setters!(RouterCacheConfig {
+    /// Sets the soft entry cap.
+    with_max_entries: max_entries: usize,
+    /// Sets how many epochs refresh-maintenance retains.
+    with_keep_epochs: keep_epochs: u64,
+    /// Sets the dilation radius-class width (km); `0.0` disables the
+    /// dilation cache.
+    with_dilation_radius_step_km: dilation_radius_step_km: f64,
+});
 
 /// Counter snapshot of a [`RouterCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,10 +89,18 @@ pub struct RouterCacheStats {
     /// Lookups that ran the router sub-solve — one per distinct
     /// `(epoch, router)` key ever inserted.
     pub misses: u64,
-    /// Entries removed by epoch retirement or the capacity cap.
+    /// Entries removed by epoch retirement or the capacity cap, across
+    /// both cache levels (estimates and dilations).
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Dilation-cache lookups answered from a cached region.
+    pub dilation_hits: u64,
+    /// Dilation-cache lookups that ran a fresh dilation — one per distinct
+    /// `(epoch, router, radius class)` key ever inserted.
+    pub dilation_misses: u64,
+    /// Dilated regions currently resident.
+    pub dilation_entries: usize,
 }
 
 impl RouterCacheStats {
@@ -77,15 +116,40 @@ impl RouterCacheStats {
 }
 
 type CacheMap = HashMap<(u64, NodeId), Arc<OnceLock<Arc<RouterEstimate>>>>;
+type DilationMap = HashMap<(u64, NodeId, u32), Arc<OnceLock<Arc<GeoRegion>>>>;
 
-/// A thread-safe, epoch-aware cache of recursive router location estimates.
+/// Cache keys that carry their model epoch as the leading component, so
+/// one eviction routine serves both cache levels.
+trait EpochKeyed {
+    fn epoch(&self) -> u64;
+}
+
+impl EpochKeyed for (u64, NodeId) {
+    fn epoch(&self) -> u64 {
+        self.0
+    }
+}
+
+impl EpochKeyed for (u64, NodeId, u32) {
+    fn epoch(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A thread-safe, epoch-aware cache of recursive router location estimates,
+/// with an optional second level caching the §2.3 dilations of those
+/// estimates per radius class (see
+/// [`RouterCacheConfig::dilation_radius_step_km`]).
 #[derive(Debug, Default)]
 pub struct RouterCache {
     config: RouterCacheConfig,
     entries: Mutex<CacheMap>,
+    dilations: Mutex<DilationMap>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    dilation_hits: AtomicU64,
+    dilation_misses: AtomicU64,
 }
 
 impl RouterCache {
@@ -121,7 +185,7 @@ impl RouterCache {
                 Entry::Vacant(v) => {
                     let cell = Arc::new(OnceLock::new());
                     v.insert(cell.clone());
-                    self.enforce_capacity(&mut map, epoch);
+                    self.evict_over_cap(&mut map, epoch);
                     cell
                 }
             }
@@ -143,15 +207,21 @@ impl RouterCache {
 
     /// Evicts retired-epoch entries (oldest epoch first, deterministically)
     /// while the map exceeds the soft cap. Entries of `current_epoch` are
-    /// never evicted. Caller holds the map lock.
-    fn enforce_capacity(&self, map: &mut CacheMap, current_epoch: u64) {
+    /// never evicted. Caller holds the map lock; the caller's eviction
+    /// counter is bumped. Shared by the estimate and dilation maps — both
+    /// key on the epoch first, so the sorted order retires oldest epochs
+    /// first.
+    fn evict_over_cap<K, V>(&self, map: &mut HashMap<K, V>, current_epoch: u64)
+    where
+        K: Ord + Copy + std::hash::Hash + Eq + EpochKeyed,
+    {
         if map.len() <= self.config.max_entries {
             return;
         }
         let over = map.len() - self.config.max_entries;
-        let mut retired: Vec<(u64, NodeId)> = map
+        let mut retired: Vec<K> = map
             .keys()
-            .filter(|(e, _)| *e != current_epoch)
+            .filter(|k| k.epoch() != current_epoch)
             .copied()
             .collect();
         retired.sort_unstable();
@@ -165,17 +235,66 @@ impl RouterCache {
         }
     }
 
-    /// Evicts every entry whose epoch is strictly below `min_epoch`
-    /// (model-refresh maintenance). Returns the number of entries removed.
+    /// Evicts every entry (estimates **and** cached dilations) whose epoch
+    /// is strictly below `min_epoch` (model-refresh maintenance). Both
+    /// kinds count towards the eviction counter; the return value is the
+    /// number of estimate entries removed.
     pub fn retire_epochs_before(&self, min_epoch: u64) -> usize {
-        let mut map = self.entries.lock();
-        let before = map.len();
-        map.retain(|(e, _), _| *e >= min_epoch);
-        let removed = before - map.len();
-        if removed > 0 {
-            self.evictions.fetch_add(removed as u64, Ordering::Relaxed);
+        let removed = {
+            let mut map = self.entries.lock();
+            let before = map.len();
+            map.retain(|k, _| k.epoch() >= min_epoch);
+            before - map.len()
+        };
+        let dilations_removed = {
+            let mut map = self.dilations.lock();
+            let before = map.len();
+            map.retain(|k, _| k.epoch() >= min_epoch);
+            before - map.len()
+        };
+        let total = (removed + dilations_removed) as u64;
+        if total > 0 {
+            self.evictions.fetch_add(total, Ordering::Relaxed);
         }
         removed
+    }
+
+    /// Returns the dilation of `(epoch, router)`'s region for one radius
+    /// class, running `compute` exactly once per key across all threads
+    /// (same per-entry `OnceLock` in-flight deduplication as the estimate
+    /// cache). Over-cap inserts evict retired-epoch dilations first.
+    fn dilation_for(
+        &self,
+        epoch: u64,
+        router: NodeId,
+        class: u32,
+        compute: impl FnOnce() -> GeoRegion,
+    ) -> Arc<GeoRegion> {
+        let cell = {
+            let mut map = self.dilations.lock();
+            match map.entry((epoch, router, class)) {
+                Entry::Occupied(e) => e.get().clone(),
+                Entry::Vacant(v) => {
+                    let cell = Arc::new(OnceLock::new());
+                    v.insert(cell.clone());
+                    self.evict_over_cap(&mut map, epoch);
+                    cell
+                }
+            }
+        };
+        let ran = Cell::new(false);
+        let value = cell
+            .get_or_init(|| {
+                ran.set(true);
+                Arc::new(compute())
+            })
+            .clone();
+        if ran.get() {
+            self.dilation_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dilation_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
     }
 
     /// Total router sub-solves this cache has performed — the quantity the
@@ -183,6 +302,13 @@ impl RouterCache {
     /// `(epoch, router)` keys ever computed (the miss counter).
     pub fn sub_localizations(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total fresh §2.3 region dilations performed by the radius-class
+    /// dilation cache — one per distinct `(epoch, router, radius class)`
+    /// key ever computed. Always 0 while the dilation cache is disabled.
+    pub fn fresh_dilations(&self) -> u64 {
+        self.dilation_misses.load(Ordering::Relaxed)
     }
 
     /// Number of resident entries belonging to `epoch`.
@@ -211,6 +337,9 @@ impl RouterCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.len(),
+            dilation_hits: self.dilation_hits.load(Ordering::Relaxed),
+            dilation_misses: self.dilation_misses.load(Ordering::Relaxed),
+            dilation_entries: self.dilations.lock().len(),
         }
     }
 
@@ -250,6 +379,36 @@ impl RouterEstimateSource for EpochRouterSource<'_> {
         self.cache.get_or_compute(self.epoch, router, || {
             octant.compute_router_estimate(provider, model, router)
         })
+    }
+
+    /// The opt-in radius-class dilation cache: with a positive
+    /// `dilation_radius_step_km`, the requested radius is rounded **up** to
+    /// the next class boundary and the simplify+dilate of the router's
+    /// region — the dominant §2.3 cost — is computed once per
+    /// `(epoch, router, class)` and shared. Constraints get (slightly)
+    /// looser, never tighter. Disabled (`None`) at the default step of 0,
+    /// which keeps solves bit-identical to the inline path.
+    fn dilated_region(
+        &self,
+        router: NodeId,
+        estimate: &RouterEstimate,
+        radius: Distance,
+    ) -> Option<Arc<GeoRegion>> {
+        let step = self.cache.config.dilation_radius_step_km;
+        if step <= 0.0 || !radius.km().is_finite() {
+            return None;
+        }
+        let region = estimate.region.as_ref()?;
+        let class = (radius.km() / step).ceil().max(1.0) as u32;
+        let class_radius = Distance::from_km(class as f64 * step);
+        Some(self.cache.dilation_for(self.epoch, router, class, || {
+            region
+                .simplify_to_budget(
+                    octant::piecewise::router_region_budget_tolerance(class_radius),
+                    octant::piecewise::ROUTER_REGION_VERTEX_BUDGET,
+                )
+                .dilate(class_radius)
+        }))
     }
 }
 
@@ -308,10 +467,11 @@ mod tests {
 
     #[test]
     fn capacity_cap_spares_the_current_epoch() {
-        let cache = RouterCache::new(RouterCacheConfig {
-            max_entries: 4,
-            keep_epochs: 2,
-        });
+        let cache = RouterCache::new(
+            RouterCacheConfig::default()
+                .with_max_entries(4)
+                .with_keep_epochs(2),
+        );
         for id in 0..4 {
             cache.get_or_compute(1, NodeId(id), RouterEstimate::default);
         }
@@ -345,6 +505,60 @@ mod tests {
         assert_eq!(calls.load(Ordering::SeqCst), 1);
         assert_eq!(cache.sub_localizations(), 1);
         assert_eq!(cache.stats().hits, 7);
+    }
+
+    #[test]
+    fn dilation_cache_is_off_by_default_and_rounds_classes_up() {
+        use octant_geo::projection::AzimuthalEquidistant;
+        let proj = AzimuthalEquidistant::new(octant_geo_point(40.0));
+        let region = GeoRegion::disk(proj, octant_geo_point(40.0), Distance::from_km(50.0));
+        let estimate = RouterEstimate {
+            region: Some(region),
+            point: None,
+        };
+
+        // Default step 0: the hook declines and the framework dilates inline.
+        let off = RouterCache::default();
+        assert!(off
+            .source(1)
+            .dilated_region(NodeId(1), &estimate, Distance::from_km(300.0))
+            .is_none());
+        assert_eq!(off.fresh_dilations(), 0);
+
+        // Step 50 km: radii 260 and 290 share class 6 (300 km), radius 301
+        // opens class 7.
+        let cache =
+            RouterCache::new(RouterCacheConfig::default().with_dilation_radius_step_km(50.0));
+        let source = cache.source(1);
+        let a = source
+            .dilated_region(NodeId(1), &estimate, Distance::from_km(260.0))
+            .unwrap();
+        let b = source
+            .dilated_region(NodeId(1), &estimate, Distance::from_km(290.0))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same class must share one dilation");
+        assert_eq!(cache.fresh_dilations(), 1);
+        assert_eq!(cache.stats().dilation_hits, 1);
+        let c = source
+            .dilated_region(NodeId(1), &estimate, Distance::from_km(301.0))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.fresh_dilations(), 2);
+        // The class-rounded dilation is a superset of the exact one:
+        // rounding up only loosens the positive constraint.
+        let exact = estimate
+            .region
+            .as_ref()
+            .unwrap()
+            .simplify_to_budget(
+                octant::piecewise::router_region_budget_tolerance(Distance::from_km(260.0)),
+                octant::piecewise::ROUTER_REGION_VERTEX_BUDGET,
+            )
+            .dilate(Distance::from_km(260.0));
+        assert!(a.area_km2() >= exact.area_km2());
+        // Retirement clears dilations along with estimates.
+        cache.retire_epochs_before(2);
+        assert_eq!(cache.stats().dilation_entries, 0);
     }
 
     #[test]

@@ -44,18 +44,24 @@
 //! let hosts = dataset.host_ids();
 //! let (landmarks, targets) = hosts.split_at(6);
 //!
-//! let config = ServiceConfig {
-//!     octant: OctantConfig {
-//!         router_localization: RouterLocalization::Recursive,
-//!         ..OctantConfig::default()
-//!     },
-//!     ..ServiceConfig::default()
-//! };
+//! let config = ServiceConfig::default().with_octant(
+//!     OctantConfig::default().with_router_localization(RouterLocalization::Recursive),
+//! );
 //! let service = GeolocationService::start(config, dataset, landmarks);
 //! let served = service.localize_blocking(targets);
 //! assert_eq!(served.len(), targets.len());
 //! // Router sub-solves were computed once each and shared across targets:
 //! assert!(service.cache().sub_localizations() > 0);
+//!
+//! // Per-request evidence selection: disable the router source for one
+//! // request without touching the service or other requests.
+//! use octant::SourceId;
+//! use octant_service::LocalizeOptions;
+//! let ablated = service.localize_blocking_with_options(
+//!     &targets[..1],
+//!     LocalizeOptions::default().without_source(SourceId::Router),
+//! );
+//! assert!(!ablated[0].estimate.provenance.source(SourceId::Router).unwrap().enabled);
 //! service.shutdown();
 //! ```
 
@@ -68,7 +74,9 @@ pub mod service;
 
 pub use cache::{EpochRouterSource, RouterCache, RouterCacheConfig, RouterCacheStats};
 pub use registry::{ModelEpoch, ModelRegistry};
-pub use service::{GeolocationService, RequestHandle, ServedEstimate, ServiceConfig, ServiceStats};
+pub use service::{
+    GeolocationService, LocalizeOptions, RequestHandle, ServedEstimate, ServiceConfig, ServiceStats,
+};
 
 /// Shared fixtures for this crate's unit tests.
 #[cfg(test)]

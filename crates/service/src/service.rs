@@ -26,7 +26,7 @@
 
 use crate::cache::{RouterCache, RouterCacheConfig, RouterCacheStats};
 use crate::registry::ModelRegistry;
-use octant::{BatchGeolocator, LocationEstimate, Octant, OctantConfig};
+use octant::{BatchGeolocator, EvidencePipeline, LocationEstimate, Octant, OctantConfig, SourceId};
 use octant_netsim::observation::ObservationProvider;
 use octant_netsim::topology::NodeId;
 use parking_lot::Mutex as PlMutex;
@@ -36,7 +36,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Configuration of a [`GeolocationService`].
+///
+/// `#[non_exhaustive]`: construct via [`ServiceConfig::default`] and the
+/// builder-style `with_*` setters.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct ServiceConfig {
     /// The Octant pipeline configuration used for model preparation and
     /// every solve.
@@ -65,6 +69,58 @@ impl Default for ServiceConfig {
             max_wait: Duration::from_millis(2),
             cache: RouterCacheConfig::default(),
         }
+    }
+}
+
+octant::config_setters!(ServiceConfig {
+    /// Sets the Octant configuration used for models and solves.
+    with_octant: octant: OctantConfig,
+    /// Sets the worker thread count.
+    with_workers: workers: usize,
+    /// Sets the micro-batch ceiling.
+    with_max_batch: max_batch: usize,
+    /// Sets the micro-batch floor below which workers briefly wait.
+    with_min_batch: min_batch: usize,
+    /// Sets the longest wait for batch-mates.
+    with_max_wait: max_wait: Duration,
+    /// Sets the router cache configuration.
+    with_cache: cache: RouterCacheConfig,
+});
+
+/// Per-request evidence selection: which pipeline sources to disable and
+/// which to re-weight, relative to the service's base pipeline. The default
+/// (empty) options run the base pipeline untouched.
+///
+/// Options affect only the **target** solves of the request; cached router
+/// sub-localizations are shared across requests and always use the standard
+/// source mix (see [`octant::Octant::compute_router_estimate`]), so one
+/// request's ablation cannot skew another's answers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LocalizeOptions {
+    /// Sources to disable for this request.
+    pub disabled_sources: Vec<SourceId>,
+    /// Weight scales to apply per source for this request.
+    pub weight_scales: Vec<(SourceId, f64)>,
+}
+
+impl LocalizeOptions {
+    /// `true` when the options leave the base pipeline untouched.
+    pub fn is_default(&self) -> bool {
+        self.disabled_sources.is_empty() && self.weight_scales.is_empty()
+    }
+
+    /// Disables a source for this request.
+    #[must_use]
+    pub fn without_source(mut self, id: SourceId) -> Self {
+        self.disabled_sources.push(id);
+        self
+    }
+
+    /// Scales a source's constraint weights for this request.
+    #[must_use]
+    pub fn with_weight_scale(mut self, id: SourceId, scale: f64) -> Self {
+        self.weight_scales.push((id, scale));
+        self
     }
 }
 
@@ -149,11 +205,13 @@ impl RequestHandle {
     }
 }
 
-/// One queued target with its delivery slot.
+/// One queued target with its delivery slot and the request's evidence
+/// selection (`None` = the service's base pipeline).
 struct PendingTarget {
     target: NodeId,
     request: Arc<RequestState>,
     slot: usize,
+    options: Option<Arc<LocalizeOptions>>,
 }
 
 /// Queue state behind the std mutex paired with the drain condvar.
@@ -189,44 +247,89 @@ impl<P: ObservationProvider + Sync> ServiceInner<P> {
     fn serve_batch(&self, batch: Vec<PendingTarget>) {
         let epoch_model = self.registry.current();
         let source = self.cache.source(epoch_model.epoch);
-        let targets: Vec<NodeId> = batch.iter().map(|p| p.target).collect();
-        // A panicking solve must neither kill the worker (the pool would
-        // silently shrink) nor leave the batch's requests waiting forever:
-        // catch the unwind, answer every slot with an unknown estimate, and
-        // count the failure.
-        let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.batch.localize_batch_with_routers(
-                &self.provider,
-                &epoch_model.model,
-                &targets,
-                Some(&source),
-            )
-        }));
-        let estimates = match solved {
-            Ok(estimates) => estimates,
-            Err(_) => {
-                self.counters.lock().failed_batches += 1;
-                targets
-                    .iter()
-                    .map(|_| LocationEstimate::unknown())
-                    .collect()
+        let total = batch.len();
+
+        // Partition the drained batch by evidence selection: targets with
+        // the same options (by value) share one engine run. The common case
+        // — every target on the base pipeline — stays a single group.
+        let mut groups: Vec<(Option<Arc<LocalizeOptions>>, Vec<PendingTarget>)> = Vec::new();
+        for pending in batch {
+            let found = groups.iter_mut().find(|(opts, _)| {
+                match (opts.as_deref(), pending.options.as_deref()) {
+                    (None, None) => true,
+                    (Some(a), Some(b)) => a == b,
+                    _ => false,
+                }
+            });
+            match found {
+                Some((_, members)) => members.push(pending),
+                None => groups.push((pending.options.clone(), vec![pending])),
             }
-        };
+        }
+
+        // Counters are bumped before any completion is delivered: a caller
+        // woken by its last completion must observe the batch in the stats.
         {
             let mut counters = self.counters.lock();
             counters.batches += 1;
-            counters.targets_served += targets.len() as u64;
-            counters.largest_batch = counters.largest_batch.max(targets.len());
+            counters.targets_served += total as u64;
+            counters.largest_batch = counters.largest_batch.max(total);
         }
-        for (pending, estimate) in batch.into_iter().zip(estimates) {
-            pending.request.complete(
-                pending.slot,
-                ServedEstimate {
-                    target: pending.target,
-                    epoch: epoch_model.epoch,
-                    estimate,
-                },
-            );
+
+        for (options, members) in groups {
+            let targets: Vec<NodeId> = members.iter().map(|p| p.target).collect();
+            // A panicking solve must neither kill the worker (the pool
+            // would silently shrink) nor leave the batch's requests waiting
+            // forever: catch the unwind, answer every slot with an unknown
+            // estimate, and count the failure.
+            let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                match options.as_deref() {
+                    None => self.batch.localize_batch_with_routers(
+                        &self.provider,
+                        &epoch_model.model,
+                        &targets,
+                        Some(&source),
+                    ),
+                    Some(opts) => {
+                        // Per-request pipeline: the base pipeline with the
+                        // request's sources disabled/re-scaled. The model
+                        // and the router cache are shared untouched.
+                        let adjusted = BatchGeolocator::from_octant(Octant::with_pipeline(
+                            *self.batch.octant().config(),
+                            self.batch
+                                .octant()
+                                .pipeline()
+                                .adjusted(&opts.disabled_sources, &opts.weight_scales),
+                        ));
+                        adjusted.localize_batch_with_routers(
+                            &self.provider,
+                            &epoch_model.model,
+                            &targets,
+                            Some(&source),
+                        )
+                    }
+                }
+            }));
+            let estimates = match solved {
+                Ok(estimates) => estimates,
+                Err(_) => {
+                    self.counters.lock().failed_batches += 1;
+                    targets
+                        .iter()
+                        .map(|_| LocationEstimate::unknown())
+                        .collect()
+                }
+            };
+            for (pending, estimate) in members.into_iter().zip(estimates) {
+                pending.request.complete(
+                    pending.slot,
+                    ServedEstimate {
+                        target: pending.target,
+                        epoch: epoch_model.epoch,
+                        estimate,
+                    },
+                );
+            }
         }
     }
 
@@ -276,9 +379,25 @@ pub struct GeolocationService<P: ObservationProvider + Send + Sync + 'static> {
 
 impl<P: ObservationProvider + Send + Sync + 'static> GeolocationService<P> {
     /// Prepares the initial landmark model (epoch 1), spawns the worker
-    /// pool, and starts serving.
+    /// pool, and starts serving with the standard evidence pipeline.
     pub fn start(config: ServiceConfig, provider: P, landmarks: &[NodeId]) -> Self {
-        let octant = Octant::new(config.octant);
+        GeolocationService::start_with_pipeline(
+            config,
+            EvidencePipeline::standard(),
+            provider,
+            landmarks,
+        )
+    }
+
+    /// [`GeolocationService::start`] with an explicit base evidence
+    /// pipeline; per-request [`LocalizeOptions`] adjust relative to it.
+    pub fn start_with_pipeline(
+        config: ServiceConfig,
+        pipeline: EvidencePipeline,
+        provider: P,
+        landmarks: &[NodeId],
+    ) -> Self {
+        let octant = Octant::with_pipeline(config.octant, pipeline);
         let registry = ModelRegistry::bootstrap(octant.clone(), &provider, landmarks);
         let inner = Arc::new(ServiceInner {
             batch: BatchGeolocator::from_octant(octant),
@@ -313,6 +432,27 @@ impl<P: ObservationProvider + Send + Sync + 'static> GeolocationService<P> {
     /// Enqueues `targets` for localization and returns a handle to wait on.
     /// Targets from concurrent requests coalesce into shared micro-batches.
     pub fn submit(&self, targets: &[NodeId]) -> RequestHandle {
+        self.enqueue(targets, None)
+    }
+
+    /// [`GeolocationService::submit`] with per-request evidence selection:
+    /// the request's targets run on the base pipeline adjusted by
+    /// `options` (sources disabled / re-weighted). Targets from requests
+    /// with identical options still coalesce into shared engine runs.
+    pub fn submit_with_options(
+        &self,
+        targets: &[NodeId],
+        options: LocalizeOptions,
+    ) -> RequestHandle {
+        let options = if options.is_default() {
+            None
+        } else {
+            Some(Arc::new(options))
+        };
+        self.enqueue(targets, options)
+    }
+
+    fn enqueue(&self, targets: &[NodeId], options: Option<Arc<LocalizeOptions>>) -> RequestHandle {
         let state = Arc::new(RequestState {
             slots: Mutex::new((targets.len(), vec![None; targets.len()])),
             done: Condvar::new(),
@@ -324,6 +464,7 @@ impl<P: ObservationProvider + Send + Sync + 'static> GeolocationService<P> {
                     target,
                     request: state.clone(),
                     slot,
+                    options: options.clone(),
                 });
             }
             if queue.oldest_since.is_none() {
@@ -338,6 +479,16 @@ impl<P: ObservationProvider + Send + Sync + 'static> GeolocationService<P> {
     /// Convenience: [`GeolocationService::submit`] + [`RequestHandle::wait`].
     pub fn localize_blocking(&self, targets: &[NodeId]) -> Vec<ServedEstimate> {
         self.submit(targets).wait()
+    }
+
+    /// Convenience: [`GeolocationService::submit_with_options`] +
+    /// [`RequestHandle::wait`].
+    pub fn localize_blocking_with_options(
+        &self,
+        targets: &[NodeId],
+        options: LocalizeOptions,
+    ) -> Vec<ServedEstimate> {
+        self.submit_with_options(targets, options).wait()
     }
 
     /// Prepares a fresh model from `landmarks`, makes it the current epoch
@@ -496,6 +647,53 @@ mod tests {
     }
 
     #[test]
+    fn per_request_options_select_sources_without_disturbing_others() {
+        let ds = dataset(10, 19).into_shared();
+        let hosts = ds.host_ids();
+        let (landmarks, targets) = hosts.split_at(7);
+        let service = GeolocationService::start(ServiceConfig::default(), ds.clone(), landmarks);
+
+        // Baseline request on the default pipeline.
+        let base = service.localize_blocking(&targets[..2]);
+        // Same targets with the router + hint sources disabled.
+        let ablated = service.localize_blocking_with_options(
+            &targets[..2],
+            LocalizeOptions::default()
+                .without_source(SourceId::Router)
+                .without_source(SourceId::Hint),
+        );
+        for (b, a) in base.iter().zip(&ablated) {
+            assert_eq!(b.target, a.target);
+            assert!(a.estimate.point.is_some());
+            // The ablated run's provenance shows the disabled sources.
+            let prov = &a.estimate.provenance;
+            assert!(!prov.source(SourceId::Router).unwrap().enabled);
+            assert!(!prov.source(SourceId::Hint).unwrap().enabled);
+            assert_eq!(prov.source(SourceId::Router).unwrap().emitted(), 0);
+            assert!(prov.source(SourceId::Latency).unwrap().enabled);
+            assert!(
+                b.estimate
+                    .provenance
+                    .source(SourceId::Router)
+                    .unwrap()
+                    .enabled
+            );
+        }
+
+        // A repeat default-pipeline request is unaffected by the ablation.
+        let again = service.localize_blocking(&targets[..2]);
+        for (b, a) in base.iter().zip(&again) {
+            assert_eq!(b.estimate.point, a.estimate.point);
+        }
+
+        // Empty options behave exactly like plain submit.
+        let plain =
+            service.localize_blocking_with_options(&targets[..1], LocalizeOptions::default());
+        assert_eq!(plain[0].estimate.point, base[0].estimate.point);
+        service.shutdown();
+    }
+
+    #[test]
     fn refresh_mid_stream_bumps_epoch_without_breaking_requests() {
         let ds = dataset(10, 23).into_shared();
         let hosts = ds.host_ids();
@@ -519,14 +717,11 @@ mod tests {
         let hosts = ds.host_ids();
         let (landmarks, targets) = hosts.split_at(6);
         let service = GeolocationService::start(
-            ServiceConfig {
-                octant: OctantConfig {
-                    router_localization: RouterLocalization::Recursive,
-                    max_router_constraints: 3,
-                    ..OctantConfig::default()
-                },
-                ..ServiceConfig::default()
-            },
+            ServiceConfig::default().with_octant(
+                OctantConfig::default()
+                    .with_router_localization(RouterLocalization::Recursive)
+                    .with_max_router_constraints(3),
+            ),
             ds,
             landmarks,
         );

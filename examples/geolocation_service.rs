@@ -32,10 +32,8 @@ fn main() {
     // More landmarks are *cheaper* per target here: tighter constraints keep
     // the region boolean ops small, which dominates the solve cost.
     let (landmark_count, target_sites, per_site) = if smoke { (16, 3, 2) } else { (16, 4, 6) };
-    let octant_config = OctantConfig {
-        router_localization: RouterLocalization::Recursive,
-        ..OctantConfig::default()
-    };
+    let octant_config =
+        OctantConfig::default().with_router_localization(RouterLocalization::Recursive);
 
     println!(
         "# geolocation service: {landmark_count} landmarks, {} targets behind {target_sites} shared sites",
@@ -47,10 +45,7 @@ fn main() {
     println!("# campaign captured in {:.1?}", capture_start.elapsed());
 
     let service = GeolocationService::start(
-        ServiceConfig {
-            octant: octant_config,
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::default().with_octant(octant_config),
         provider.clone(),
         &campaign.landmarks,
     );

@@ -42,11 +42,11 @@ fn main() {
 
     // Routers have no advertised position, so we localize each one with
     // Octant from the landmarks' measurements to it.
-    let octant = Octant::new(OctantConfig {
-        router_localization: RouterLocalization::Off,
-        use_whois: false,
-        ..OctantConfig::default()
-    });
+    let octant = Octant::new(
+        OctantConfig::default()
+            .with_router_localization(RouterLocalization::Off)
+            .with_use_whois(false),
+    );
 
     let hops = prober.traceroute(src.id, dst.id);
     println!(

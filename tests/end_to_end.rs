@@ -106,11 +106,9 @@ fn leave_one_out_errors_are_reasonable_at_moderate_scale() {
 #[test]
 fn recursive_router_localization_runs_end_to_end() {
     let campaign = campaign_with_sites(14, 13);
-    let cfg = OctantConfig {
-        router_localization: RouterLocalization::Recursive,
-        max_router_constraints: 4,
-        ..OctantConfig::default()
-    };
+    let cfg = OctantConfig::default()
+        .with_router_localization(RouterLocalization::Recursive)
+        .with_max_router_constraints(4);
     let octant = Octant::new(cfg);
     let target = campaign.hosts[2];
     let landmarks: Vec<_> = campaign

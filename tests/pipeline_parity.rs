@@ -1,0 +1,382 @@
+//! Pins the evidence-pipeline redesign to the pre-redesign behaviour:
+//!
+//! * **Golden parity** — the default pipeline reproduces the exact
+//!   estimates the pre-pipeline framework produced on fixed replay
+//!   datasets (points, region areas, and solver reports captured from the
+//!   hardcoded implementation before the refactor), across the batch
+//!   engine, the leave-one-out landmark path, and the Recursive-mode
+//!   serving path.
+//! * **Structural parity** — `Octant::new` (implicit standard pipeline),
+//!   `Octant::with_pipeline(standard)`, the batch engine, and the service
+//!   agree bit-for-bit in one process.
+//! * **Ablation safety** — disabling any source is a config-only change
+//!   that alters the provenance report but never panics, and provenance
+//!   faithfully attributes constraints to sources.
+
+use octant::{
+    BatchGeolocator, EvidencePipeline, LocationEstimate, Octant, OctantConfig, RouterLocalization,
+    SourceId,
+};
+use octant_bench::{campaign_with_sites, service_campaign};
+use octant_service::{GeolocationService, ServiceConfig};
+
+/// Golden values captured from the pre-redesign implementation (PR 3 tree)
+/// on `campaign_with_sites(14, 42)` / `service_campaign(10, 2, 2, 7)`:
+/// `(lat, lon, area_km2, applied_pos, skipped_pos, applied_neg, skipped_neg)`.
+type Golden = (f64, f64, f64, usize, usize, usize, usize);
+
+const GOLD_BATCH: &[Golden] = &[
+    (
+        37.26239924689345,
+        -79.43193076716669,
+        131427.09677377943,
+        17,
+        1,
+        9,
+        1,
+    ),
+    (
+        27.574041044796456,
+        -83.09212822043679,
+        461576.7080832408,
+        13,
+        1,
+        10,
+        0,
+    ),
+    (
+        43.05734017816707,
+        -82.38732880214705,
+        25847.34451993904,
+        16,
+        0,
+        10,
+        0,
+    ),
+    (
+        42.44519836862665,
+        -87.19949739279,
+        24391.36079711988,
+        16,
+        0,
+        10,
+        0,
+    ),
+];
+
+const GOLD_LOO: &[Golden] = &[
+    (
+        43.388015436797346,
+        -82.32660509009219,
+        206852.5981057136,
+        12,
+        1,
+        8,
+        1,
+    ),
+    (
+        44.06943150948136,
+        -79.28970882027426,
+        45044.23173677098,
+        14,
+        0,
+        9,
+        0,
+    ),
+];
+
+const GOLD_SERVICE: &[Golden] = &[
+    (
+        34.30578706305306,
+        -85.68789616495222,
+        18726.877365810276,
+        14,
+        0,
+        10,
+        0,
+    ),
+    (
+        29.163718208767385,
+        -82.47279011966971,
+        170650.88025432415,
+        12,
+        0,
+        10,
+        0,
+    ),
+    (
+        34.2604399588837,
+        -85.69350326169862,
+        15791.466289485306,
+        13,
+        0,
+        10,
+        0,
+    ),
+    (
+        29.162723138110355,
+        -82.47426096501398,
+        170782.44431106522,
+        12,
+        0,
+        10,
+        0,
+    ),
+];
+
+fn assert_matches_golden(tag: &str, est: &LocationEstimate, gold: &Golden) {
+    let p = est.point.expect("golden estimates all have points");
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+    assert!(close(p.lat, gold.0), "{tag}: lat {} vs {}", p.lat, gold.0);
+    assert!(close(p.lon, gold.1), "{tag}: lon {} vs {}", p.lon, gold.1);
+    let area = est.region.as_ref().expect("region").area_km2();
+    assert!(close(area, gold.2), "{tag}: area {area} vs {}", gold.2);
+    assert_eq!(est.report.applied_positive, gold.3, "{tag}: applied_pos");
+    assert_eq!(est.report.skipped_positive, gold.4, "{tag}: skipped_pos");
+    assert_eq!(est.report.applied_negative, gold.5, "{tag}: applied_neg");
+    assert_eq!(est.report.skipped_negative, gold.6, "{tag}: skipped_neg");
+}
+
+#[test]
+fn default_pipeline_matches_pre_redesign_goldens_on_batch_and_loo() {
+    let c = campaign_with_sites(14, 42);
+    let (landmarks, targets) = c.hosts.split_at(10);
+
+    // Batch path.
+    let batch = BatchGeolocator::new(OctantConfig::default());
+    let ests = batch.localize_batch(&c.dataset, landmarks, targets);
+    assert_eq!(ests.len(), GOLD_BATCH.len());
+    for (i, (est, gold)) in ests.iter().zip(GOLD_BATCH).enumerate() {
+        assert_matches_golden(&format!("batch{i}"), est, gold);
+    }
+
+    // Leave-one-out landmark targets through the shared-model entry point.
+    let octant = Octant::new(OctantConfig::default());
+    let model = octant.prepare_landmarks(&c.dataset, landmarks);
+    for (i, gold) in GOLD_LOO.iter().enumerate() {
+        let est = octant.localize_with_model(&c.dataset, &model, landmarks[i]);
+        assert_matches_golden(&format!("loo{i}"), &est, gold);
+    }
+}
+
+#[test]
+fn default_pipeline_matches_pre_redesign_goldens_on_the_service_path() {
+    let sc = service_campaign(10, 2, 2, 7);
+    let provider = sc.dataset.clone().into_shared();
+    let service = GeolocationService::start(
+        ServiceConfig::default().with_octant(
+            OctantConfig::default().with_router_localization(RouterLocalization::Recursive),
+        ),
+        provider,
+        &sc.landmarks,
+    );
+    let served = service.localize_blocking(&sc.targets);
+    assert_eq!(served.len(), GOLD_SERVICE.len());
+    for (i, (s, gold)) in served.iter().zip(GOLD_SERVICE).enumerate() {
+        assert_matches_golden(&format!("svc{i}"), &s.estimate, gold);
+    }
+    service.shutdown();
+}
+
+#[test]
+fn explicit_standard_pipeline_is_bit_identical_to_the_implicit_default() {
+    let c = campaign_with_sites(12, 5);
+    let (landmarks, targets) = c.hosts.split_at(9);
+
+    let implicit = Octant::new(OctantConfig::default());
+    let explicit = Octant::with_pipeline(OctantConfig::default(), EvidencePipeline::standard());
+    let batch =
+        BatchGeolocator::with_pipeline(OctantConfig::default(), EvidencePipeline::standard());
+    let model = implicit.prepare_landmarks(&c.dataset, landmarks);
+    let batched = batch.localize_batch_with_model(&c.dataset, &model, targets);
+
+    for (&target, from_batch) in targets.iter().zip(&batched) {
+        let a = implicit.localize_with_model(&c.dataset, &model, target);
+        let b = explicit.localize_with_model(&c.dataset, &model, target);
+        let pa = a.point.unwrap();
+        let pb = b.point.unwrap();
+        assert_eq!(pa.lat.to_bits(), pb.lat.to_bits(), "{target}");
+        assert_eq!(pa.lon.to_bits(), pb.lon.to_bits(), "{target}");
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.provenance, b.provenance);
+        let pc = from_batch.point.unwrap();
+        assert_eq!(pa.lat.to_bits(), pc.lat.to_bits(), "{target} (batch)");
+        assert_eq!(a.report, from_batch.report);
+    }
+}
+
+#[test]
+fn provenance_attributes_constraints_to_their_sources() {
+    let c = campaign_with_sites(12, 11);
+    let (landmarks, targets) = c.hosts.split_at(9);
+    let octant = Octant::new(OctantConfig::default());
+    let model = octant.prepare_landmarks(&c.dataset, landmarks);
+    let est = octant.localize_with_model(&c.dataset, &model, targets[0]);
+
+    let prov = &est.provenance;
+    assert_eq!(prov.sources.len(), EvidencePipeline::standard().len());
+    let latency = prov.source(SourceId::Latency).unwrap();
+    assert!(latency.enabled);
+    assert!(latency.emitted_positive > 0, "latency shells must exist");
+    assert!(latency.total_weight > 0.0);
+    // Solver counts must add up to the per-source attributions.
+    let applied_pos: usize = prov.sources.iter().map(|s| s.applied_positive).sum();
+    let applied_neg: usize = prov.sources.iter().map(|s| s.applied_negative).sum();
+    let skipped_pos: usize = prov.sources.iter().map(|s| s.skipped_positive).sum();
+    let skipped_neg: usize = prov.sources.iter().map(|s| s.skipped_negative).sum();
+    assert_eq!(applied_pos, est.report.applied_positive);
+    assert_eq!(applied_neg, est.report.applied_negative);
+    assert_eq!(skipped_pos, est.report.skipped_positive);
+    assert_eq!(skipped_neg, est.report.skipped_negative);
+    // The landmass refinement records its before/after areas.
+    let geo = prov.source(SourceId::Geography).unwrap();
+    assert!(geo.area_before_km2.is_some());
+    assert!(geo.area_after_km2.unwrap() <= geo.area_before_km2.unwrap());
+    // The default-off sources are present, enabled, but silent.
+    assert_eq!(prov.source(SourceId::DnsName).unwrap().emitted(), 0);
+    assert_eq!(prov.source(SourceId::PopulationPrior).unwrap().emitted(), 0);
+    assert_eq!(prov.dropped_landmarks, 0);
+}
+
+#[test]
+fn disabling_any_source_changes_provenance_but_never_panics() {
+    let c = campaign_with_sites(12, 7);
+    let (landmarks, targets) = c.hosts.split_at(9);
+    let target = targets[0];
+    let baseline = Octant::new(OctantConfig::default());
+    let model = baseline.prepare_landmarks(&c.dataset, landmarks);
+    let base_est = baseline.localize_with_model(&c.dataset, &model, target);
+
+    for id in [
+        SourceId::Latency,
+        SourceId::Router,
+        SourceId::Hint,
+        SourceId::DnsName,
+        SourceId::PopulationPrior,
+        SourceId::Geography,
+    ] {
+        let pipeline = EvidencePipeline::standard().adjusted(&[id], &[]);
+        let octant = Octant::with_pipeline(OctantConfig::default(), pipeline);
+        let est = octant.localize_with_model(&c.dataset, &model, target);
+        let sr = est.provenance.source(id).unwrap();
+        assert!(!sr.enabled, "{id} must be recorded as disabled");
+        assert_eq!(sr.emitted(), 0, "{id} must contribute nothing");
+        assert_ne!(
+            est.provenance, base_est.provenance,
+            "removing {id} must be visible in the provenance"
+        );
+        if id != SourceId::Latency {
+            assert!(est.point.is_some(), "without {id} a point must still exist");
+        }
+    }
+}
+
+#[test]
+fn config_only_changes_enable_the_new_sources() {
+    use octant_netsim::builder::{HostSpec, NetworkBuilder, NetworkConfig};
+    use octant_netsim::{MeasurementDataset, Prober};
+
+    // Hosts renamed to ISP-customer style so their names carry city codes.
+    let mut builder = NetworkBuilder::new(NetworkConfig {
+        seed: 33,
+        host_dns_city_rate: 1.0,
+        ..NetworkConfig::default()
+    });
+    for site in octant_geo::sites::planetlab_51().iter().take(12) {
+        builder = builder.add_host(HostSpec::from_site(site));
+    }
+    let ds = MeasurementDataset::capture(&Prober::new(builder.build(), 33));
+    let hosts = ds.host_ids();
+    let (landmarks, targets) = hosts.split_at(9);
+
+    let cfg = OctantConfig::default()
+        .with_use_dns_hints(true)
+        .with_use_population_prior(true);
+    let octant = Octant::new(cfg);
+    let model = octant.prepare_landmarks(&ds, landmarks);
+    let est = octant.localize_with_model(&ds, &model, targets[0]);
+    let dns = est.provenance.source(SourceId::DnsName).unwrap();
+    assert_eq!(
+        dns.emitted_positive, 1,
+        "renamed hosts must yield a DNS hint"
+    );
+    let pop = est.provenance.source(SourceId::PopulationPrior).unwrap();
+    assert_eq!(pop.emitted_positive, 1, "population prior must engage");
+    assert!(est.point.is_some());
+
+    // Re-weighting is config-only too, and visible in the provenance.
+    let scaled = Octant::with_pipeline(
+        cfg,
+        EvidencePipeline::standard().adjusted(&[], &[(SourceId::DnsName, 0.5)]),
+    );
+    let scaled_est = scaled.localize_with_model(&ds, &model, targets[0]);
+    let scaled_dns = scaled_est.provenance.source(SourceId::DnsName).unwrap();
+    assert_eq!(scaled_dns.weight_scale, 0.5);
+    assert!(
+        (scaled_dns.total_weight - dns.total_weight * 0.5).abs() < 1e-12,
+        "the weight scale must be applied to the emitted constraints"
+    );
+}
+
+#[test]
+fn dropped_landmarks_are_recorded_in_model_and_provenance() {
+    use octant_geo::GeoPoint;
+    use octant_netsim::observation::{
+        HostDescriptor, ObservationProvider, PingObservation, TracerouteHop,
+    };
+    use octant_netsim::topology::NodeId;
+
+    /// Wraps a dataset but hides the advertised location of one landmark.
+    struct PartialCoverage {
+        inner: octant_netsim::MeasurementDataset,
+        hidden: NodeId,
+    }
+
+    impl ObservationProvider for PartialCoverage {
+        fn hosts(&self) -> Vec<HostDescriptor> {
+            self.inner.hosts()
+        }
+        fn ping(&self, from: NodeId, to: NodeId) -> PingObservation {
+            self.inner.ping(from, to)
+        }
+        fn traceroute(&self, from: NodeId, to: NodeId) -> Vec<TracerouteHop> {
+            self.inner.traceroute(from, to)
+        }
+        fn node_by_ip(&self, ip: [u8; 4]) -> Option<NodeId> {
+            self.inner.node_by_ip(ip)
+        }
+        fn reverse_dns(&self, ip: [u8; 4]) -> Option<String> {
+            self.inner.reverse_dns(ip)
+        }
+        fn whois_city(&self, ip: [u8; 4]) -> Option<String> {
+            self.inner.whois_city(ip)
+        }
+        fn advertised_location(&self, id: NodeId) -> Option<GeoPoint> {
+            if id == self.hidden {
+                None
+            } else {
+                self.inner.advertised_location(id)
+            }
+        }
+    }
+
+    let c = campaign_with_sites(12, 3);
+    let (landmarks, targets) = c.hosts.split_at(9);
+    let provider = PartialCoverage {
+        inner: c.dataset.clone(),
+        hidden: landmarks[4],
+    };
+
+    let octant = Octant::new(OctantConfig::default());
+    let model = octant.prepare_landmarks(&provider, landmarks);
+    assert_eq!(model.landmark_count(), landmarks.len() - 1);
+    assert_eq!(model.dropped_landmarks(), &[landmarks[4]]);
+
+    let est = octant.localize_with_model(&provider, &model, targets[0]);
+    assert_eq!(est.provenance.dropped_landmarks, 1);
+    assert!(est.point.is_some());
+
+    // Full coverage: nothing dropped.
+    let full_model = octant.prepare_landmarks(&c.dataset, landmarks);
+    assert!(full_model.dropped_landmarks().is_empty());
+}

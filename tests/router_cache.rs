@@ -16,10 +16,7 @@ use octant_service::{GeolocationService, RouterCache, ServiceConfig};
 use std::collections::BTreeSet;
 
 fn recursive_config() -> OctantConfig {
-    OctantConfig {
-        router_localization: RouterLocalization::Recursive,
-        ..OctantConfig::default()
-    }
+    OctantConfig::default().with_router_localization(RouterLocalization::Recursive)
 }
 
 /// A small serving campaign: targets co-sited behind shared metro access
@@ -61,10 +58,7 @@ fn n_targets_behind_r_routers_cost_exactly_r_sub_localizations_per_epoch() {
 
     let provider = campaign.dataset.clone().into_shared();
     let service = GeolocationService::start(
-        ServiceConfig {
-            octant: recursive_config(),
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::default().with_octant(recursive_config()),
         provider,
         &campaign.landmarks,
     );
@@ -139,10 +133,7 @@ fn cached_recursive_results_are_bit_identical_to_the_uncached_path() {
     // And the full served path (queue + workers + registry) agrees too, on a
     // sample target (the service's own tests cover serving more broadly).
     let service = GeolocationService::start(
-        ServiceConfig {
-            octant: recursive_config(),
-            ..ServiceConfig::default()
-        },
+        ServiceConfig::default().with_octant(recursive_config()),
         provider,
         &campaign.landmarks,
     );
@@ -168,4 +159,99 @@ fn router_estimate_source_matches_the_inline_computation() {
         assert_eq!(*cached, inline);
         assert_eq!(*replayed, inline);
     }
+}
+
+#[test]
+fn dilation_cache_bounds_fresh_dilations_per_radius_class() {
+    let campaign = small_campaign();
+    let routers = distinct_last_hop_routers(&campaign);
+    let r = routers.len();
+    let n = campaign.targets.len();
+    let provider = campaign.dataset.clone().into_shared();
+
+    // A generous radius class (200 km) so co-sited targets — whose residual
+    // radii differ by a few km — land in shared classes.
+    let service = GeolocationService::start(
+        ServiceConfig::default()
+            .with_octant(recursive_config())
+            .with_cache(
+                octant_service::RouterCacheConfig::default().with_dilation_radius_step_km(200.0),
+            ),
+        provider,
+        &campaign.landmarks,
+    );
+
+    // Cold wave: estimates exist, and the fresh-dilation counter is bounded
+    // by distinct (router, class) pairs — far below the N*L dilations the
+    // inline path performs.
+    let cold = service.localize_blocking(&campaign.targets);
+    assert_eq!(cold.len(), n);
+    for s in &cold {
+        assert!(s.estimate.point.is_some());
+    }
+    let stats = service.cache().stats();
+    let fresh = service.cache().fresh_dilations();
+    assert!(fresh > 0, "recursive serving must dilate router regions");
+    assert!(
+        stats.dilation_hits > 0,
+        "co-sited targets must share radius classes (got {fresh} fresh, 0 hits)"
+    );
+    assert!(
+        fresh <= (r as u64) * 8,
+        "fresh dilations ({fresh}) must stay within a few classes per router (R = {r})"
+    );
+    assert_eq!(stats.dilation_entries as u64, fresh);
+
+    // Repeat traffic: answered entirely from the dilation cache.
+    service.localize_blocking(&campaign.targets);
+    assert_eq!(
+        service.cache().fresh_dilations(),
+        fresh,
+        "a repeat wave must not dilate anything anew"
+    );
+
+    // A model refresh opens a new epoch: the old epoch's dilations retire.
+    service.refresh_model(&campaign.landmarks);
+    service.localize_blocking(&campaign.targets[..1]);
+    assert!(service.cache().fresh_dilations() > fresh);
+    service.shutdown();
+}
+
+#[test]
+fn class_rounded_dilations_stay_sound_and_close_to_exact() {
+    use octant_geo::distance::great_circle_km;
+    let campaign = small_campaign();
+    let provider = campaign.dataset.clone().into_shared();
+
+    // Exact reference: inline dilations (no dilation cache).
+    let octant = Octant::new(recursive_config());
+    let exact: Vec<_> = campaign
+        .targets
+        .iter()
+        .map(|&t| octant.localize(&campaign.dataset, &campaign.landmarks, t))
+        .collect();
+
+    let service = GeolocationService::start(
+        ServiceConfig::default()
+            .with_octant(recursive_config())
+            .with_cache(
+                octant_service::RouterCacheConfig::default().with_dilation_radius_step_km(50.0),
+            ),
+        provider,
+        &campaign.landmarks,
+    );
+    let rounded = service.localize_blocking(&campaign.targets);
+    for (&target, (e, s)) in campaign.targets.iter().zip(exact.iter().zip(&rounded)) {
+        let truth = campaign.dataset.true_location(target).unwrap();
+        let exact_err = great_circle_km(e.point.unwrap(), truth);
+        let rounded_err = great_circle_km(s.estimate.point.unwrap(), truth);
+        // Rounding a positive constraint's radius up by < one class width
+        // cannot blow the answer up: the class-rounded error stays within
+        // the exact error plus a class-scale allowance.
+        assert!(
+            rounded_err <= exact_err + 150.0,
+            "{target:?}: rounded {rounded_err:.0} km vs exact {exact_err:.0} km"
+        );
+    }
+    service.shutdown();
 }
