@@ -7,6 +7,15 @@
 //!   (`acc.intersect(d)` fifteen times) against `Region::intersect_many`'s
 //!   single sweep, also comparing the scanline **band-merge counters** and
 //!   asserting the n-ary sweep merges strictly fewer bands than the chain;
+//!   the **banded** entry point (`Region::intersect_many_banded`, no ring
+//!   stitching — the solver's chunk-gate path) is timed alongside;
+//! * the **parallel per-band merge**: the same n-ary sweep re-run with a
+//!   forced worker count, asserting the band-merge counter and the result
+//!   area are identical to the sequential sweep (the counter merge-on-join
+//!   guard);
+//! * **contour extraction** from a router-like trapezoid soup — ring-count
+//!   reduction and area parity (1e-9) are asserted, extraction throughput
+//!   and the contoured dilation variant are timed;
 //! * dilation of a trapezoid-decomposed router-like region at three radius
 //!   classes (60 / 300 / 900 km) — the fast dispatch (`Region::dilate`)
 //!   against the capsule reference (`Region::dilate_reference`);
@@ -19,8 +28,8 @@
 //!   summary ([`octant_bench::OpsBenchSummary`] format).
 
 use octant_bench::{json_path_from_args, OpsBenchSummary};
-use octant_region::scanline::stats;
-use octant_region::{Region, Vec2};
+use octant_region::scanline::{boolean_op_many_chunked, stats, NaryOp};
+use octant_region::{BandedRegion, Region, Vec2};
 use std::time::Instant;
 
 /// The 16 constraint-scale disks every intersection measurement uses
@@ -113,14 +122,82 @@ fn main() {
 
     let chained_ops = ops_per_sec(iters, || chained(&disks));
     let nary_ops = ops_per_sec(iters, || Region::intersect_many(disks.iter()));
+    let banded_ops = ops_per_sec(iters, || Region::intersect_many_banded(disks.iter()).area());
     println!("# intersect16 chained : {chained_ops:>10.1} ops/s  ({chained_bands} band merges)");
     println!("# intersect16 n-ary   : {nary_ops:>10.1} ops/s  ({nary_bands} band merges)");
+    println!("# intersect16 banded  : {banded_ops:>10.1} ops/s  (area gate, no stitch)");
     println!("# intersect16 speedup : {:.2}x", nary_ops / chained_ops);
     summary.push("intersect16_chained_ops_per_sec", chained_ops);
     summary.push("intersect16_nary_ops_per_sec", nary_ops);
+    summary.push("intersect16_banded_ops_per_sec", banded_ops);
     summary.push("intersect16_speedup", nary_ops / chained_ops);
     summary.push("intersect16_chained_band_merges", chained_bands as f64);
     summary.push("intersect16_nary_band_merges", nary_bands as f64);
+
+    // ---- Parallel per-band merge: counter + result parity ------------------
+    // Re-run the identical n-ary sweep through the explicit chunk-count
+    // hook (deterministic on any machine — forcing worker counts via env
+    // vars would be a no-op under a global-pool threading backend): the
+    // chunked per-band path must merge exactly the same number of bands
+    // into the *calling* thread's counter (thread-local accumulation +
+    // merge on join) and stitch bit-identical rings.
+    let ring_sets: Vec<&[octant_region::Ring]> = disks.iter().map(|d| d.rings()).collect();
+    let before_seq = stats::band_merges();
+    let sequential = boolean_op_many_chunked(&ring_sets, NaryOp::Intersection, 1);
+    let sequential_bands = stats::band_merges() - before_seq;
+    let before_par = stats::band_merges();
+    let parallel = boolean_op_many_chunked(&ring_sets, NaryOp::Intersection, 4);
+    let parallel_bands = stats::band_merges() - before_par;
+    assert_eq!(
+        parallel_bands, sequential_bands,
+        "parallel per-band merge must count exactly the sequential sweep's bands"
+    );
+    assert_eq!(
+        parallel, sequential,
+        "parallel per-band merge must stitch bit-identical rings"
+    );
+    println!("# parallel merge      : {parallel_bands} band merges (== sequential), bit-identical");
+    summary.push("parallel_nary_band_merges", parallel_bands as f64);
+
+    // ---- Contour extraction from router-like trapezoid soup ----------------
+    let soup = router_region();
+    let banded = BandedRegion::from_region(&soup);
+    let contours = banded.extract_contours();
+    let contour_area = BandedRegion::contour_area(&contours);
+    let rel_err = (contour_area - banded.area()).abs() / banded.area().max(1.0);
+    assert!(
+        rel_err <= 1e-9,
+        "contour area must match the bands within 1e-9 (got {rel_err:.2e})"
+    );
+    assert!(
+        contours.len() < soup.ring_count(),
+        "contours ({}) must merge the trapezoid soup ({} rings)",
+        contours.len(),
+        soup.ring_count()
+    );
+    let extract_ops = ops_per_sec(iters, || {
+        BandedRegion::from_region(&soup).extract_contours()
+    });
+    println!(
+        "# contour extraction  : {extract_ops:>10.1} ops/s  ({} soup rings -> {} contours)",
+        soup.ring_count(),
+        contours.len()
+    );
+    summary.push("contour_extract_ops_per_sec", extract_ops);
+    summary.push("contour_soup_rings", soup.ring_count() as f64);
+    summary.push("contour_rings", contours.len() as f64);
+    summary.push("contour_area_rel_err", rel_err);
+
+    let contoured_ops = ops_per_sec(iters, || soup.dilate_with_contours(&contours, 300.0));
+    let contoured = soup.dilate_with_contours(&contours, 300.0);
+    let fast = soup.dilate(300.0);
+    let rel = (contoured.area() - fast.area()).abs() / fast.area();
+    assert!(
+        rel < 0.02,
+        "contoured dilation diverges from the fast dispatch by {rel}"
+    );
+    println!("# dilate via contours : {contoured_ops:>10.1} ops/s  (r=300, {rel:.2e} area delta)");
+    summary.push("dilate_contoured_r300_ops_per_sec", contoured_ops);
 
     // ---- Dilation: fast dispatch vs capsule reference, 3 radius classes ----
     let region = router_region();

@@ -407,9 +407,18 @@ impl BenchSummary {
 ///   "scenario": "smoke",
 ///   "intersect16_chained_ops_per_sec": 41.2,
 ///   "intersect16_nary_ops_per_sec": 213.0,
+///   "intersect16_banded_ops_per_sec": 260.0,   // banded gate, no stitching
 ///   "intersect16_speedup": 5.17,
 ///   "intersect16_chained_band_merges": 2150,
 ///   "intersect16_nary_band_merges": 310,
+///   "parallel_nary_band_merges": 310,          // forced-parallel rerun; the
+///                                              // bin asserts == nary merges
+///                                              // and a bit-identical area
+///   "contour_extract_ops_per_sec": 9500.0,     // BandedRegion -> contours
+///   "contour_soup_rings": 37,                  // trapezoid rings going in
+///   "contour_rings": 1,                        // merged contours coming out
+///   "contour_area_rel_err": 1.2e-12,           // asserted <= 1e-9
+///   "dilate_contoured_r300_ops_per_sec": 210.0,
 ///   "dilate_r60_ops_per_sec": 880.0,
 ///   "dilate_r60_reference_ops_per_sec": 95.0,
 ///   "dilate_r60_speedup": 9.3,

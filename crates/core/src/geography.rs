@@ -29,13 +29,72 @@ pub fn landmass_union(projection: AzimuthalEquidistant) -> GeoRegion {
     GeoRegion::union_many(projection, regions.iter())
 }
 
+/// [`landmass_union`] behind a process-wide per-projection cache.
+///
+/// Every solve (and every recursive router sub-solve) folds the landmass
+/// restriction in, and each used to rebuild the union — projecting every
+/// outline vertex and re-running the union sweep — from scratch. The union
+/// depends only on the projection centre, so it is cached in a
+/// process-wide map keyed on the centre's coordinate bits, mirroring
+/// [`population_prior_region_cached`]'s process-wide pattern. Unlike the
+/// population prior the cached value is **built directly in the requested
+/// projection** (not reprojected from a reference projection), so cache
+/// hits are bit-identical to fresh builds — repeated solves of the same
+/// target, replayed service requests and cache-backed router sub-solves
+/// all reuse the exact region the uncached path would compute.
+///
+/// The map is bounded: when it exceeds a fixed cap (distinct projections
+/// are as numerous as distinct targets) it is cleared wholesale — the next
+/// build repopulates it, and correctness never depends on residency.
+/// Hit/miss counters are exposed through [`landmass_cache_stats`].
+pub fn landmass_union_cached(projection: AzimuthalEquidistant) -> std::sync::Arc<GeoRegion> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    type LandCache = Mutex<HashMap<(u64, u64), Arc<GeoRegion>>>;
+    static CACHE: OnceLock<LandCache> = OnceLock::new();
+    const MAX_ENTRIES: usize = 1024;
+
+    let center = projection.center();
+    let key = (center.lat.to_bits(), center.lon.to_bits());
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    {
+        let map = cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = map.get(&key) {
+            LAND_CACHE_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return hit.clone();
+        }
+    }
+    // Build outside the lock: concurrent misses may both build (identical
+    // values — the build is deterministic), but neither blocks the other.
+    LAND_CACHE_MISSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let built = Arc::new(landmass_union(projection));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if map.len() >= MAX_ENTRIES {
+        map.clear();
+    }
+    map.entry(key).or_insert_with(|| built.clone()).clone()
+}
+
+static LAND_CACHE_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static LAND_CACHE_MISSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// `(hits, misses)` counters of [`landmass_union_cached`], process-wide and
+/// monotonically increasing (callers measure deltas).
+pub fn landmass_cache_stats() -> (u64, u64) {
+    (
+        LAND_CACHE_HITS.load(std::sync::atomic::Ordering::Relaxed),
+        LAND_CACHE_MISSES.load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
+
 /// Restricts `estimate` to land. When the intersection would wipe the
 /// estimate out entirely (which can only happen if the estimate already
 /// contradicts the latency constraints), the original estimate is returned
 /// unchanged — geographic hints must never empty the solution (§2.4's
 /// robustness principle).
 pub fn restrict_to_land(estimate: &GeoRegion) -> GeoRegion {
-    let land = landmass_union(estimate.projection());
+    let land = landmass_union_cached(estimate.projection());
     let restricted = estimate.intersect(&land);
     if restricted.is_empty() {
         estimate.clone()
@@ -262,6 +321,64 @@ mod tests {
     fn plausibility_check_delegates_to_landmass_data() {
         assert!(is_plausible_host_location(GeoPoint::new(40.71, -74.01)));
         assert!(!is_plausible_host_location(GeoPoint::new(0.0, -30.0)));
+    }
+
+    #[test]
+    fn cached_landmass_union_is_bit_identical_and_counts_hits() {
+        // A projection centre no other test uses, so the first call is a
+        // genuine miss whatever the test interleaving.
+        let p = AzimuthalEquidistant::new(GeoPoint::new(51.23456, -0.54321));
+        let fresh = landmass_union(p);
+        let (_, m0) = landmass_cache_stats();
+        let first = landmass_union_cached(p);
+        let (h1, m1) = landmass_cache_stats();
+        // The counters are process-wide and other tests in this binary may
+        // drive solves concurrently, so only *our* contribution is pinned:
+        // a never-seen key must record at least one miss (ours).
+        assert!(m1 - m0 >= 1, "first lookup builds");
+        // The cached build runs in the requested projection directly, so it
+        // is bit-identical to the uncached construction.
+        assert_eq!(first.area_km2().to_bits(), fresh.area_km2().to_bits());
+        assert_eq!(first.region().ring_count(), fresh.region().ring_count());
+
+        let second = landmass_union_cached(p);
+        let (h2, _) = landmass_cache_stats();
+        // The race-proof hit evidence: the same shared value comes back (a
+        // pointer bump, not a rebuild), and at least our hit was counted.
+        assert!(
+            std::sync::Arc::ptr_eq(&first, &second),
+            "second lookup must replay the cached Arc"
+        );
+        assert!(h2 - h1 >= 1, "second lookup hits");
+        assert_eq!(second.area_km2().to_bits(), first.area_km2().to_bits());
+    }
+
+    #[test]
+    fn cached_landmass_union_reprojection_parity() {
+        // Membership agreement between unions built (and cached) under two
+        // different projection centres, and against a reprojection of one
+        // onto the other: the per-projection cache must behave exactly like
+        // building in the target projection, including for consumers that
+        // reproject regions across solves.
+        let p_east = AzimuthalEquidistant::new(GeoPoint::new(40.7001, -74.0001));
+        let p_west = AzimuthalEquidistant::new(GeoPoint::new(47.6001, -122.3001));
+        let east = landmass_union_cached(p_east);
+        let west = landmass_union_cached(p_west);
+        let east_on_west = east.reproject(p_west);
+        for code in ["nyc", "chi", "den", "sea", "mia"] {
+            let city = cities::by_code(code).unwrap().location();
+            assert!(east.contains(city), "{code} on land (east projection)");
+            assert!(west.contains(city), "{code} on land (west projection)");
+            assert!(
+                east_on_west.contains(city),
+                "{code} survives reprojection of the cached union"
+            );
+        }
+        for ocean in [GeoPoint::new(35.0, -45.0), GeoPoint::new(30.0, -160.0)] {
+            assert!(!east.contains(ocean));
+            assert!(!west.contains(ocean));
+            assert!(!east_on_west.contains(ocean));
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ use octant_geo::projection::AzimuthalEquidistant;
 use octant_geo::units::{Distance, Latency};
 use octant_netsim::dns;
 use octant_netsim::observation::TracerouteHop;
-use octant_region::GeoRegion;
+use octant_region::{GeoRegion, Ring};
 
 /// The last hop on a traceroute whose DNS name reveals its city, together
 /// with the residual latency from that hop to the traceroute destination.
@@ -135,6 +135,36 @@ pub fn secondary_landmark_constraint(
         )
         .dilate(radius);
     Constraint::positive(region, latency_weight(residual, weight_decay_ms), label)
+}
+
+/// The merged outer contours of a router region, extracted once so every
+/// radius class of a shared dilation cache can reuse them: a recursive
+/// sub-solve's estimate is trapezoid soup (hundreds of quads whose seam
+/// edges are interior, not boundary), while its contours are a handful of
+/// clean rings carrying only genuine boundary edges — the thing dilation
+/// cost actually scales with. Returned as planar rings in the region's own
+/// projection, holes preserved (clockwise).
+pub fn router_region_contours(region: &GeoRegion) -> Vec<Ring> {
+    region.contours()
+}
+
+/// The §2.3 radius-class dilation performed by `octant-service`'s banded
+/// dilation cache: each shared contour ring is budget-simplified at the
+/// class tolerance (see [`router_region_budget_tolerance`]; shrink-only on
+/// outers, hole-shrinking — i.e. region-loosening — on holes, so the
+/// result can only get looser, preserving the positive-constraint
+/// soundness that radius-class rounding already relies on), then the
+/// region is dilated through the simplified contours. The expensive
+/// contour extraction happens once per `(epoch, router)`; this per-class
+/// step is linear in the contour vertex count.
+pub fn class_dilated_router_region(
+    region: &GeoRegion,
+    contours: &[Ring],
+    class_radius: Distance,
+) -> GeoRegion {
+    let tol = router_region_budget_tolerance(class_radius);
+    let simplified: Vec<Ring> = contours.iter().map(|r| r.simplified(tol.km())).collect();
+    region.dilate_with_contours(&simplified, class_radius)
 }
 
 /// Builds the §2.3 secondary-landmark constraint from an **already dilated**

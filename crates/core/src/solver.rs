@@ -211,6 +211,17 @@ impl Solver {
         // sweeps; consistent stretches double the chunk back up. The
         // running estimate is an operand of every sweep, so its (small)
         // bounding box drives the sweep's y-window pruning.
+        //
+        // The chunk result stays **banded** across the §2.4 gate: the area
+        // is read straight off the sweep's band decomposition, and rings
+        // are only stitched at the simplify boundary of an *accepted*
+        // chunk (the stitch itself reproduces the ring-form path's rings
+        // bit for bit; a rejected chunk is discarded without ever
+        // polygonizing). The gate *value* is the per-cell trapezoid sum
+        // rather than the stitched rings' shoelace sum — equal to within
+        // last-ulp rounding, ~12 orders of magnitude below the area
+        // threshold — so decision identity is pinned empirically by the
+        // parity goldens rather than holding bit-for-bit by construction.
         let max_vertices = self.config.max_estimate_vertices;
         if seeded {
             let mut idx = 0;
@@ -219,7 +230,7 @@ impl Solver {
                 let end = (idx + chunk).min(pending.len());
                 let batch = &pending[idx..end];
                 let combined_ok = batch.len() > 1 && {
-                    let combined = GeoRegion::intersect_many(
+                    let combined = GeoRegion::intersect_many_banded(
                         projection,
                         std::iter::once(&estimate).chain(batch.iter().map(|(_, c)| &c.region)),
                     );
@@ -228,7 +239,7 @@ impl Solver {
                         for &(i, _) in batch {
                             applied[i] = true;
                         }
-                        estimate = combined.simplify_to_budget(
+                        estimate = combined.into_geo_region().simplify_to_budget(
                             octant_geo::units::Distance::from_km(simplify_tol),
                             max_vertices,
                         );

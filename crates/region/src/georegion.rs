@@ -201,6 +201,44 @@ impl GeoRegion {
         Self::nary(projection, operands, |regions| Region::union_many(regions))
     }
 
+    /// [`GeoRegion::intersect_many`] that stops at the sweep's banded
+    /// output (see [`Region::intersect_many_banded`]): the area is
+    /// available immediately, and rings are only stitched when the caller
+    /// keeps the result. This is what lets the solver hold its running
+    /// estimate in banded form across a constraint chunk and extract rings
+    /// only at the simplify boundary.
+    pub fn intersect_many_banded<'a, I>(
+        projection: AzimuthalEquidistant,
+        operands: I,
+    ) -> BandedGeoRegion
+    where
+        I: IntoIterator<Item = &'a GeoRegion>,
+    {
+        let ops: Vec<&GeoRegion> = operands.into_iter().collect();
+        let reprojected = reproject_where_needed(projection, &ops);
+        let regions = planar_operands(&ops, &reprojected);
+        BandedGeoRegion {
+            projection,
+            inner: Region::intersect_many_banded(regions),
+        }
+    }
+
+    /// The merged outer contours of the underlying planar region, in this
+    /// region's projection (see [`Region::contours`]).
+    pub fn contours(&self) -> Vec<Ring> {
+        self.region.contours()
+    }
+
+    /// Contour-fed dilation (see [`Region::dilate_with_contours`]): grows
+    /// the region by `by` using an explicit contour ring set, expressed in
+    /// this region's projection.
+    pub fn dilate_with_contours(&self, contours: &[Ring], by: Distance) -> GeoRegion {
+        GeoRegion {
+            projection: self.projection,
+            region: self.region.dilate_with_contours(contours, by.km()),
+        }
+    }
+
     /// Shared preamble of the n-ary wrappers: collect operands, reproject
     /// only those anchored elsewhere (borrowing same-projection operands),
     /// and hand the planar operand list to the requested n-ary combination.
@@ -304,6 +342,37 @@ impl GeoRegion {
             self.region
                 .max_distance_from(self.projection.project(p).into()),
         )
+    }
+}
+
+/// A banded intersection anchored to the globe: the projection plus the
+/// (possibly still banded) planar result of
+/// [`GeoRegion::intersect_many_banded`]. Area is readable without ring
+/// construction; [`BandedGeoRegion::into_geo_region`] stitches the exact
+/// rings the ring-form entry point would have produced.
+#[derive(Debug, Clone)]
+pub struct BandedGeoRegion {
+    projection: AzimuthalEquidistant,
+    inner: crate::region::BandedIntersection,
+}
+
+impl BandedGeoRegion {
+    /// Area in km², read off the bands (or the fast-path region).
+    pub fn area_km2(&self) -> f64 {
+        self.inner.area()
+    }
+
+    /// The projection the result is expressed in.
+    pub fn projection(&self) -> AzimuthalEquidistant {
+        self.projection
+    }
+
+    /// Stitches into an ordinary [`GeoRegion`].
+    pub fn into_geo_region(self) -> GeoRegion {
+        GeoRegion {
+            projection: self.projection,
+            region: self.inner.into_region(),
+        }
     }
 }
 

@@ -43,7 +43,7 @@
 //!
 //! ## Performance machinery
 //!
-//! The solver-facing hot paths are engineered around four mechanisms
+//! The solver-facing hot paths are engineered around seven mechanisms
 //! (pinned by `tests/region_algebra.rs` / `tests/region_fastpath_parity.rs`
 //! and measured by `octant-bench`'s `region` binary):
 //!
@@ -51,19 +51,47 @@
 //!   [`Region::union_many`] merge all operands' per-band interval lists in
 //!   one scanline pass instead of re-decomposing an accumulator through
 //!   N−1 chained pairwise sweeps.
+//! * **The banded core** — the sweep's native product is a
+//!   [`banded::BandedRegion`]: a y-banded interval decomposition that
+//!   answers area/bbox/containment without ring construction, participates
+//!   in further n-ary combinations as bands
+//!   ([`banded::BandedOperand::Banded`]), and converts at the edges —
+//!   [`banded::BandedRegion::to_region`] stitches the exact historical
+//!   trapezoid rings (bit-identical), and
+//!   [`Region::intersect_many_banded`] lets callers gate on area (the
+//!   solver's §2.4 size threshold) before paying for any stitching.
+//! * **Contour extraction** — [`banded::BandedRegion::extract_contours`]
+//!   stitches adjacent bands' cells into a few **merged outer contours**
+//!   (counter-clockwise outers, clockwise holes; signed areas sum to the
+//!   banded area within 1e-9) instead of trapezoid soup, so edge-scaling
+//!   consumers — the service's radius-class dilation cache, budgeted
+//!   simplification — touch boundary edges only. Extraction that cannot
+//!   stitch cleanly falls back to the trapezoid rings, never to wrong
+//!   geometry.
+//! * **Parallel per-band merge** — bands are mutually independent, so
+//!   large sweeps inside [`scanline::boolean_op_many`] compute contiguous
+//!   band chunks on rayon workers and concatenate in order;
+//!   output is bit-identical to the sequential sweep for every worker
+//!   count, and per-chunk band counts are merged into the calling thread's
+//!   [`scanline::stats`] counter on join so perf guards measure true
+//!   deltas.
 //! * **Bbox pruning** — ring- and region-level bounding boxes are cached at
 //!   construction; bbox-disjoint operands skip the sweep entirely (empty
 //!   intersection, concatenated union), a convex operand covering the other
-//!   operand's box absorbs the operation into a clone, and intersections
-//!   restrict the sweep to the operands' common y-window, dropping
-//!   segments that cannot affect it (output-identical by construction).
+//!   operand's box absorbs the operation into a clone, point containment
+//!   rejects through the cached boxes before any edge walk, and
+//!   intersections restrict the sweep to the operands' common y-window,
+//!   dropping segments that cannot affect it (output-identical by
+//!   construction).
 //! * **Fast dilation** — [`Region::dilate`] dispatches to a disk
 //!   specialization (a dilated disk is a disk), a direct convex polygon
 //!   offset, or a hierarchical n-ary merge of per-ring offsets, with an
 //!   adaptive arc-sampling budget keyed to the radius/extent ratio; the
 //!   original Minkowski-by-capsules construction survives as
 //!   [`Region::dilate_reference`], the exact reference the fast paths are
-//!   validated against.
+//!   validated against, and [`Region::dilate_with_contours`] offers the
+//!   contour-fed variant for callers (like the service's dilation cache)
+//!   that trade bit-parity for boundary-only offsets.
 //! * **Vertex budgets** — [`Region::simplify`] /
 //!   [`Region::simplify_to_budget`] reclaim the boundary fragmentation
 //!   chained operations accumulate at band seams, so representation size
@@ -88,7 +116,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod banded;
 pub mod bezier;
+mod contour;
 pub mod georegion;
 pub mod montecarlo;
 pub mod region;
@@ -96,6 +126,7 @@ pub mod ring;
 pub mod scanline;
 pub mod vec2;
 
+pub use banded::{BandedOperand, BandedRegion};
 pub use georegion::GeoRegion;
 pub use region::Region;
 pub use ring::Ring;

@@ -94,8 +94,30 @@ where
     disagreements as f64 / samples as f64
 }
 
+/// The margin-padded sampling window of a single region, read straight off
+/// its **cached** bounding box (no vertex scan — regions cache their bbox
+/// at construction, so building a window is two additions however many
+/// thousand vertices the region carries). Falls back to a unit box for
+/// empty regions so estimators never divide by a degenerate area.
+pub fn region_window(region: &Region, margin: f64) -> (Vec2, Vec2) {
+    pad_window(region.bbox(), margin)
+}
+
+/// Estimates the area of `region` by sampling over its own cached-bbox
+/// window (see [`region_window`]): the single-region convenience form of
+/// [`estimate_area`] that cannot accidentally recompute extents per call.
+pub fn estimate_region_area<R: Rng + ?Sized>(
+    rng: &mut R,
+    region: &Region,
+    margin: f64,
+    samples: usize,
+) -> f64 {
+    estimate_area(rng, region, region_window(region, margin), samples)
+}
+
 /// A bounding box that covers both regions with a margin, suitable for the
-/// estimators above. Falls back to a unit box when both regions are empty.
+/// estimators above (their cached boxes are combined — no geometry is
+/// scanned). Falls back to a unit box when both regions are empty.
 pub fn joint_bbox(a: &Region, b: &Region, margin: f64) -> (Vec2, Vec2) {
     let boxes = [a.bbox(), b.bbox()];
     let mut acc: Option<(Vec2, Vec2)> = None;
@@ -105,7 +127,12 @@ pub fn joint_bbox(a: &Region, b: &Region, margin: f64) -> (Vec2, Vec2) {
             Some((lo, hi)) => (lo.min(bb.0), hi.max(bb.1)),
         });
     }
-    match acc {
+    pad_window(acc, margin)
+}
+
+/// Shared padding/fallback of the window helpers.
+fn pad_window(bbox: Option<(Vec2, Vec2)>, margin: f64) -> (Vec2, Vec2) {
+    match bbox {
         Some((lo, hi)) => (
             lo - Vec2::new(margin, margin),
             hi + Vec2::new(margin, margin),
@@ -128,6 +155,21 @@ mod tests {
         let est = estimate_area(&mut rng, &d, bbox, 40_000);
         let rel = (est - d.area()).abs() / d.area();
         assert!(rel < 0.03, "relative error {rel}");
+        // The single-region form over the cached-bbox window agrees too,
+        // and its window is exactly the padded cached box.
+        assert_eq!(region_window(&d, 10.0), bbox);
+        let est = estimate_region_area(&mut rng, &d, 10.0, 40_000);
+        let rel = (est - d.area()).abs() / d.area();
+        assert!(rel < 0.03, "cached-window relative error {rel}");
+        // Empty regions fall back to the unit window and estimate zero.
+        assert_eq!(
+            region_window(&Region::empty(), 5.0),
+            (Vec2::new(-1.0, -1.0), Vec2::new(1.0, 1.0))
+        );
+        assert_eq!(
+            estimate_region_area(&mut rng, &Region::empty(), 5.0, 100),
+            0.0
+        );
     }
 
     #[test]

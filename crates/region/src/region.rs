@@ -1,9 +1,10 @@
 //! The planar region type: a set of interior-disjoint rings supporting the
 //! boolean algebra Octant's constraint solver is built on.
 
+use crate::banded::BandedRegion;
 use crate::bezier::BezierLoop;
 use crate::ring::Ring;
-use crate::scanline::{boolean_op, boolean_op_many, BoolOp, NaryOp};
+use crate::scanline::{self, boolean_op, boolean_op_many, BoolOp, NaryOp};
 use crate::vec2::Vec2;
 use crate::{AREA_EPSILON_KM2, DEFAULT_FLATTEN_TOLERANCE_KM};
 use rand::Rng;
@@ -43,7 +44,7 @@ impl Region {
 
     /// Builds a region from rings that are already interior-disjoint (the
     /// boolean engine's output invariant), computing the cached bounding box.
-    fn from_disjoint_rings(rings: Vec<Ring>) -> Self {
+    pub(crate) fn from_disjoint_rings(rings: Vec<Ring>) -> Self {
         let mut bbox: Option<(Vec2, Vec2)> = None;
         for r in &rings {
             if let Some((lo, hi)) = r.bbox() {
@@ -181,7 +182,21 @@ impl Region {
 
     /// Point containment (even-odd over the disjoint rings, i.e. plain
     /// membership).
+    ///
+    /// A point outside the cached bounding box is outside every ring, so
+    /// the per-ring even-odd walk is skipped entirely — pure pruning, the
+    /// answer is unchanged. Constraint scoring and rejection sampling probe
+    /// regions with mostly-missing points, which is what makes this check
+    /// worth its two comparisons.
     pub fn contains(&self, p: Vec2) -> bool {
+        match self.bbox {
+            None => return false,
+            Some((lo, hi)) => {
+                if p.x < lo.x || p.x > hi.x || p.y < lo.y || p.y > hi.y {
+                    return false;
+                }
+            }
+        }
         let mut inside = false;
         for r in &self.rings {
             if r.contains(p) {
@@ -311,16 +326,50 @@ impl Region {
     where
         I: IntoIterator<Item = &'a Region>,
     {
-        let ops: Vec<&Region> = operands.into_iter().collect();
+        // Goes straight from the sweep to rings: unlike the banded entry
+        // point, no per-cell area/bbox aggregates are computed for a
+        // result that is polygonized immediately.
+        match Region::intersect_many_pruned(operands.into_iter().collect()) {
+            PrunedIntersection::Ready(region) => region,
+            PrunedIntersection::Sweep(sweep) => {
+                Region::from_disjoint_rings(scanline::stitch_sweep(&sweep))
+            }
+        }
+    }
+
+    /// [`Region::intersect_many`] that stops at the sweep's **banded**
+    /// output instead of stitching rings: the caller reads the area (the
+    /// §2.4 size-threshold gate) straight off the bands and only pays for
+    /// ring construction when it actually keeps the result
+    /// ([`BandedIntersection::into_region`] stitches the identical rings
+    /// `intersect_many` would have returned). The bbox fast paths resolve
+    /// to ready-made regions exactly as before.
+    pub fn intersect_many_banded<'a, I>(operands: I) -> BandedIntersection
+    where
+        I: IntoIterator<Item = &'a Region>,
+    {
+        match Region::intersect_many_pruned(operands.into_iter().collect()) {
+            PrunedIntersection::Ready(region) => BandedIntersection::Ready(region),
+            PrunedIntersection::Sweep(sweep) => {
+                BandedIntersection::Banded(BandedRegion::from_sweep(sweep))
+            }
+        }
+    }
+
+    /// The shared front half of the n-ary intersection entry points: bbox
+    /// pruning, absorption and operand triage, ending either in a
+    /// fast-path region or in the raw band sweep (aggregate-free — each
+    /// entry point decides what to derive from it).
+    fn intersect_many_pruned(ops: Vec<&Region>) -> PrunedIntersection {
         if ops.is_empty() {
-            return Region::empty();
+            return PrunedIntersection::Ready(Region::empty());
         }
         // Common bounding window of all operands.
         let mut common: Option<(Vec2, Vec2)> = None;
         for r in &ops {
             let (lo, hi) = match r.bbox {
                 Some(b) => b,
-                None => return Region::empty(),
+                None => return PrunedIntersection::Ready(Region::empty()),
             };
             common = Some(match common {
                 None => (lo, hi),
@@ -329,7 +378,7 @@ impl Region {
         }
         let (clo, chi) = common.expect("non-empty operand list");
         if clo.x >= chi.x || clo.y >= chi.y {
-            return Region::empty();
+            return PrunedIntersection::Ready(Region::empty());
         }
         // Absorption: an operand that provably covers the common window is
         // replaced (collectively, with all other such operands) by the
@@ -344,10 +393,10 @@ impl Region {
         if kept.is_empty() {
             // Every operand covers the common window, so the intersection
             // *is* the window.
-            return Region::rectangle(clo, chi);
+            return PrunedIntersection::Ready(Region::rectangle(clo, chi));
         }
         if kept.len() == ops.len() && kept.len() == 1 {
-            return kept[0].clone();
+            return PrunedIntersection::Ready(kept[0].clone());
         }
         let window_rect;
         let mut ring_sets: Vec<&[Ring]> = kept.iter().map(|r| r.rings.as_slice()).collect();
@@ -355,7 +404,21 @@ impl Region {
             window_rect = Region::rectangle(clo, chi);
             ring_sets.push(window_rect.rings.as_slice());
         }
-        Region::from_disjoint_rings(boolean_op_many(&ring_sets, NaryOp::Intersection))
+        let per_op = ring_sets
+            .iter()
+            .map(|rings| scanline::collect_segments(rings))
+            .collect();
+        match scanline::plan_nary(per_op, NaryOp::Intersection) {
+            scanline::NaryPlan::Empty => PrunedIntersection::Ready(Region::empty()),
+            scanline::NaryPlan::Passthrough(i) => {
+                PrunedIntersection::Ready(Region::from_disjoint_rings(ring_sets[i].to_vec()))
+            }
+            scanline::NaryPlan::Sweep {
+                per_op,
+                threshold,
+                window,
+            } => PrunedIntersection::Sweep(scanline::sweep_bands(per_op, threshold, window)),
+        }
     }
 
     /// Union of many regions in **one scanline sweep**.
@@ -478,6 +541,57 @@ impl Region {
             }
         }
         union_hierarchical(parts, 8)
+    }
+
+    /// The merged outer contours of the region: its banded decomposition
+    /// stitched into a few clean closed boundary rings (counter-clockwise
+    /// outers, clockwise holes) instead of the internal trapezoid
+    /// decomposition. Signed areas sum to the region's area within 1e-9
+    /// (relative); see [`BandedRegion::extract_contours`].
+    pub fn contours(&self) -> Vec<Ring> {
+        BandedRegion::from_region(self).extract_contours()
+    }
+
+    /// [`Region::dilate`] driven by an explicit contour ring set (normally
+    /// [`Region::contours`], possibly simplified by the caller): the result
+    /// is the union of the region with offsets built around the **contour**
+    /// edges only — genuine boundary, not the interior seam edges of the
+    /// trapezoid decomposition — so the number of offset parts scales with
+    /// the boundary complexity instead of the cell count.
+    ///
+    /// The default [`Region::dilate`] keeps its historical per-ring
+    /// construction because serving goldens pin its exact float stream
+    /// (`tests/pipeline_parity.rs`); contour-fed dilation is used where
+    /// results are allowed to be sampling-equivalent rather than
+    /// bit-identical — the radius-class dilation cache in `octant-service`
+    /// and callers that opt in via [`Region::dilate_contoured`].
+    pub fn dilate_with_contours(&self, contours: &[Ring], radius_km: f64) -> Region {
+        if radius_km <= 0.0 || self.rings.is_empty() {
+            return self.clone();
+        }
+        let tol = self.dilation_tolerance(radius_km);
+        // A clockwise contour is a hole: solid offsets of the outer rings
+        // would fill it, so holes force the per-edge capsule construction
+        // (capsules only ever cover the boundary's neighbourhood).
+        let solid_ok = contours.iter().all(|r| r.is_ccw());
+        let cap_steps = ((std::f64::consts::PI / arc_step(radius_km, tol)).ceil() as usize).max(4);
+        let mut parts: Vec<Region> = vec![self.clone()];
+        for ring in contours {
+            if solid_ok && ring.is_convex() {
+                parts.push(Region::from_ring(convex_offset_ring(ring, radius_km, tol)));
+            } else {
+                for (a, b) in ring.edges() {
+                    parts.push(Region::from_ring(capsule_ring(a, b, radius_km, cap_steps)));
+                }
+            }
+        }
+        union_hierarchical(parts, 8)
+    }
+
+    /// Convenience: extract the contours and dilate through them (see
+    /// [`Region::dilate_with_contours`]).
+    pub fn dilate_contoured(&self, radius_km: f64) -> Region {
+        self.dilate_with_contours(&self.contours(), radius_km)
     }
 
     /// The original Minkowski-by-capsules dilation, kept as the exact
@@ -677,6 +791,45 @@ impl Region {
     /// Total number of vertices across all rings.
     pub fn vertex_count(&self) -> usize {
         self.rings.iter().map(|r| r.len()).sum()
+    }
+}
+
+/// Internal outcome of the shared n-ary intersection pruning: a fast-path
+/// region, or the raw band sweep with no aggregates derived yet.
+enum PrunedIntersection {
+    Ready(Region),
+    Sweep(crate::scanline::BandedSweep),
+}
+
+/// The outcome of [`Region::intersect_many_banded`]: either a region the
+/// bbox fast paths resolved without any sweep, or the banded decomposition
+/// the sweep produced. Either way the area is available without stitching
+/// rings, so a caller gating on area (the solver's §2.4 size threshold)
+/// only polygonizes results it keeps.
+#[derive(Debug, Clone)]
+pub enum BandedIntersection {
+    /// Resolved by a fast path — already in ring form.
+    Ready(Region),
+    /// A genuine sweep result, still banded.
+    Banded(BandedRegion),
+}
+
+impl BandedIntersection {
+    /// Total area in km², read off whichever form is held.
+    pub fn area(&self) -> f64 {
+        match self {
+            BandedIntersection::Ready(r) => r.area(),
+            BandedIntersection::Banded(b) => b.area(),
+        }
+    }
+
+    /// Converts into a ring-form region. For the banded case this stitches
+    /// exactly the rings [`Region::intersect_many`] would have returned.
+    pub fn into_region(self) -> Region {
+        match self {
+            BandedIntersection::Ready(r) => r,
+            BandedIntersection::Banded(b) => b.to_region(),
+        }
     }
 }
 

@@ -196,7 +196,21 @@ impl Ring {
 
     /// Even-odd (ray casting) point containment test. Points exactly on the
     /// boundary may be classified either way.
+    ///
+    /// Rejects through the cached bounding box first: a point outside the
+    /// box crosses the boundary an even number of times by construction, so
+    /// skipping the edge walk cannot change the answer — and multi-ring
+    /// regions probe every ring for every query point, making the two
+    /// comparisons the common case's entire cost.
     pub fn contains(&self, p: Vec2) -> bool {
+        match self.bbox {
+            None => return false,
+            Some((lo, hi)) => {
+                if p.x < lo.x || p.x > hi.x || p.y < lo.y || p.y > hi.y {
+                    return false;
+                }
+            }
+        }
         if self.is_empty() {
             return false;
         }

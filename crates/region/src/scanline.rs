@@ -50,6 +50,16 @@ pub mod stats {
         BAND_MERGES.with(|c| c.set(c.get() + 1));
     }
 
+    /// Folds `n` bands merged elsewhere into the **calling** thread's
+    /// counter. The parallel per-band path accumulates a plain count inside
+    /// each worker chunk (worker threads are ephemeral, so their own
+    /// thread-local counters would be lost) and merges the totals here on
+    /// join, keeping the caller-observed delta identical to the sequential
+    /// sweep's.
+    pub(crate) fn add_bands(n: u64) {
+        BAND_MERGES.with(|c| c.set(c.get() + n));
+    }
+
     /// Total scanline bands merged by the calling thread so far.
     pub fn band_merges() -> u64 {
         BAND_MERGES.with(|c| c.get())
@@ -87,22 +97,25 @@ const MIN_BAND: f64 = 1e-7;
 /// Trapezoids with area below this (km²) are dropped as slivers.
 const SLIVER_AREA: f64 = 1e-9;
 
+/// A boundary segment in the sweep's arena. Crate-visible so the banded
+/// representation ([`crate::banded::BandedRegion`]) can carry its cells'
+/// bounding segments without re-deriving them from rings.
 #[derive(Debug, Clone, Copy)]
-struct Segment {
-    a: Vec2,
-    b: Vec2,
+pub(crate) struct Segment {
+    pub(crate) a: Vec2,
+    pub(crate) b: Vec2,
 }
 
 impl Segment {
-    fn min_y(&self) -> f64 {
+    pub(crate) fn min_y(&self) -> f64 {
         self.a.y.min(self.b.y)
     }
-    fn max_y(&self) -> f64 {
+    pub(crate) fn max_y(&self) -> f64 {
         self.a.y.max(self.b.y)
     }
     /// The x coordinate of the segment at height `y`; the caller guarantees
     /// the segment spans `y`.
-    fn x_at(&self, y: f64) -> f64 {
+    pub(crate) fn x_at(&self, y: f64) -> f64 {
         let dy = self.b.y - self.a.y;
         if dy.abs() < 1e-15 {
             return self.a.x.min(self.b.x);
@@ -112,11 +125,20 @@ impl Segment {
     }
 }
 
-/// Collects the segments of a set of rings.
-fn collect_segments(rings: &[Ring]) -> Vec<Segment> {
+/// Collects the segments of a set of rings (iterating vertices in place —
+/// `Ring::edges` would allocate a pair list per ring, and this runs once
+/// per operand per sweep).
+pub(crate) fn collect_segments(rings: &[Ring]) -> Vec<Segment> {
     let mut out = Vec::new();
     for ring in rings {
-        for (a, b) in ring.edges() {
+        let pts = ring.points();
+        let n = pts.len();
+        if n < 2 {
+            continue;
+        }
+        out.reserve(n);
+        for i in 0..n {
+            let (a, b) = (pts[i], pts[(i + 1) % n]);
             if a.distance(b) > 1e-12 {
                 out.push(Segment { a, b });
             }
@@ -155,7 +177,7 @@ fn crossing_y(s1: &Segment, s2: &Segment) -> Option<f64> {
 
 /// The `[min_y, max_y]` range spanned by a segment set. Callers guarantee the
 /// set is non-empty.
-fn y_range(segs: &[Segment]) -> (f64, f64) {
+pub(crate) fn y_range(segs: &[Segment]) -> (f64, f64) {
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
     for s in segs {
@@ -173,20 +195,45 @@ fn y_range(segs: &[Segment]) -> (f64, f64) {
 /// region engine produces, identical output to the all-pairs enumeration
 /// (`ys` is sorted and deduplicated by the caller, so order is irrelevant).
 fn pairwise_crossing_ys(segs: &[Segment], ys: &mut Vec<f64>) {
+    // Flat bbox arrays in min_y order: the scan touches four contiguous
+    // f64 lanes instead of chasing `Segment`s, and the x-overlap reject
+    // runs before any segment data is loaded. Only the *visited pair set*
+    // changes shape here — every properly-crossing pair still computes the
+    // identical intersection y, and the caller sorts and dedups by value,
+    // so the event list is unchanged.
     let mut order: Vec<usize> = (0..segs.len()).collect();
-    order.sort_by(|&i, &j| {
+    // Tie order is irrelevant (it only permutes the visit order of pairs),
+    // so the faster unstable sort is safe.
+    order.sort_unstable_by(|&i, &j| {
         segs[i]
             .min_y()
             .partial_cmp(&segs[j].min_y())
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    for (k, &i) in order.iter().enumerate() {
-        let top = segs[i].max_y() + EPS;
-        for &j in &order[k + 1..] {
-            if segs[j].min_y() > top {
+    let n = order.len();
+    let mut min_y = Vec::with_capacity(n);
+    let mut max_y = Vec::with_capacity(n);
+    let mut min_x = Vec::with_capacity(n);
+    let mut max_x = Vec::with_capacity(n);
+    for &i in &order {
+        let s = &segs[i];
+        min_y.push(s.min_y());
+        max_y.push(s.max_y());
+        min_x.push(s.a.x.min(s.b.x));
+        max_x.push(s.a.x.max(s.b.x));
+    }
+    for k in 0..n {
+        let top = max_y[k] + EPS;
+        let (lo_x, hi_x) = (min_x[k] - EPS, max_x[k] + EPS);
+        let si = &segs[order[k]];
+        for j in (k + 1)..n {
+            if min_y[j] > top {
                 break;
             }
-            if let Some(y) = crossing_y(&segs[i], &segs[j]) {
+            if min_x[j] > hi_x || max_x[j] < lo_x {
+                continue;
+            }
+            if let Some(y) = crossing_y(si, &segs[order[j]]) {
                 ys.push(y);
             }
         }
@@ -196,77 +243,72 @@ fn pairwise_crossing_ys(segs: &[Segment], ys: &mut Vec<f64>) {
 /// An x-interval at the band midline, remembering which segments produced its
 /// endpoints so the trapezoid corners can be evaluated at the band edges.
 #[derive(Debug, Clone, Copy)]
-struct Interval {
+pub(crate) struct Interval {
     xl: f64,
     xr: f64,
-    seg_l: usize,
-    seg_r: usize,
-}
-
-/// Crossings of `segs` (restricted to indices in `index_offset..`) with the
-/// horizontal line `y = ym`, returned as `(x, global segment index)` sorted
-/// by x.
-fn crossings(segs: &[Segment], ym: f64, index_offset: usize) -> Vec<(f64, usize)> {
-    let mut xs: Vec<(f64, usize)> = Vec::new();
-    for (i, s) in segs.iter().enumerate() {
-        if s.min_y() < ym && s.max_y() > ym {
-            xs.push((s.x_at(ym), index_offset + i));
-        }
-    }
-    xs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-    xs
+    pub(crate) seg_l: usize,
+    pub(crate) seg_r: usize,
 }
 
 /// Pairs sorted crossings into intervals under the even-odd rule, then merges
 /// touching intervals (which arise from shared edges of adjacent trapezoids
-/// in the operand's own decomposition).
-fn pair_intervals(xs: &[(f64, usize)]) -> Vec<Interval> {
-    let mut intervals: Vec<Interval> = Vec::with_capacity(xs.len() / 2);
+/// in the operand's own decomposition). Writes into `out` (cleared first) so
+/// the per-band loops reuse one buffer instead of allocating per band.
+fn pair_intervals_into(xs: &[(f64, usize)], out: &mut Vec<Interval>) {
+    out.clear();
     let mut i = 0;
     // An odd trailing crossing (numerically possible when a vertex grazes the
     // midline) is ignored; the affected sliver is below the area epsilon.
+    // Pairing and touching-interval merging happen in one pass: a fresh pair
+    // either extends the last interval (shared trapezoid seam) or opens a
+    // new one.
     while i + 1 < xs.len() {
         let (xl, sl) = xs[i];
         let (xr, sr) = xs[i + 1];
-        if xr - xl > EPS {
-            intervals.push(Interval {
+        i += 2;
+        if xr - xl <= EPS {
+            continue;
+        }
+        match out.last_mut() {
+            Some(last) if xl <= last.xr + EPS => {
+                if xr > last.xr {
+                    last.xr = xr;
+                    last.seg_r = sr;
+                }
+            }
+            _ => out.push(Interval {
                 xl,
                 xr,
                 seg_l: sl,
                 seg_r: sr,
-            });
-        }
-        i += 2;
-    }
-    // Merge touching/overlapping intervals.
-    if intervals.is_empty() {
-        return intervals;
-    }
-    let mut merged: Vec<Interval> = Vec::with_capacity(intervals.len());
-    for itv in intervals {
-        match merged.last_mut() {
-            Some(last) if itv.xl <= last.xr + EPS => {
-                if itv.xr > last.xr {
-                    last.xr = itv.xr;
-                    last.seg_r = itv.seg_r;
-                }
-            }
-            _ => merged.push(itv),
+            }),
         }
     }
-    merged
 }
 
-/// Combines two disjoint, sorted interval lists with a boolean operation.
-fn interval_op(ia: &[Interval], ib: &[Interval], op: BoolOp) -> Vec<Interval> {
-    #[derive(Clone, Copy)]
-    struct Event {
-        x: f64,
-        is_a: bool,
-        is_start: bool,
-        seg: usize,
-    }
-    let mut events: Vec<Event> = Vec::with_capacity(2 * (ia.len() + ib.len()));
+/// An interval endpoint event of the binary per-band combine.
+#[derive(Clone, Copy)]
+struct BinaryEvent {
+    x: f64,
+    is_a: bool,
+    is_start: bool,
+    seg: usize,
+}
+
+/// Combines two disjoint, sorted interval lists with a boolean operation,
+/// writing into `out` (cleared first); `events` is a reusable scratch
+/// buffer so the band loop performs no per-band allocation.
+fn interval_op(
+    ia: &[Interval],
+    ib: &[Interval],
+    op: BoolOp,
+    events: &mut Vec<BinaryEvent>,
+    out: &mut Vec<Interval>,
+) {
+    type Event = BinaryEvent;
+    events.clear();
+    out.clear();
+    events.reserve(2 * (ia.len() + ib.len()));
     for itv in ia {
         events.push(Event {
             x: itv.xl,
@@ -305,8 +347,7 @@ fn interval_op(ia: &[Interval], ib: &[Interval], op: BoolOp) -> Vec<Interval> {
     let mut in_b = false;
     let mut inside = false;
     let mut open: Option<(f64, usize)> = None;
-    let mut out = Vec::new();
-    for ev in events {
+    for ev in events.iter() {
         if ev.is_a {
             in_a = ev.is_start;
         } else {
@@ -329,7 +370,6 @@ fn interval_op(ia: &[Interval], ib: &[Interval], op: BoolOp) -> Vec<Interval> {
         }
         inside = now_inside;
     }
-    out
 }
 
 /// A trapezoid being grown across consecutive bands.
@@ -428,11 +468,37 @@ pub fn boolean_op(a: &[Ring], b: &[Ring], op: BoolOp) -> Vec<Ring> {
     if let Some((lo, hi)) = y_window {
         ys.retain(|y| *y >= lo && *y <= hi);
     }
-    ys.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    // Values only — ties are bit-equal and dedup reads values — so the
+    // unstable sort is output-identical.
+    ys.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
     ys.dedup_by(|x, y| (*x - *y).abs() < EPS);
+
+    // Active-set maintenance, exactly as in the n-ary sweep: segments enter
+    // in `min_y` order as the sweep rises and leave once the midline passes
+    // their `max_y`, so each band only touches the segments that can span
+    // it. The per-band crossing lists are sorted by `(x, segment index)` —
+    // identical to the historical "scan the whole arena in index order,
+    // stable-sort by x" enumeration, so the emitted trapezoids (including
+    // equal-x ties on shared seam edges) are bit-for-bit unchanged.
+    let mut by_min: Vec<usize> = (0..segs.len()).collect();
+    by_min.sort_by(|&i, &j| {
+        segs[i]
+            .min_y()
+            .partial_cmp(&segs[j].min_y())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut next_in = 0usize;
+    let mut active: Vec<usize> = Vec::new();
 
     let mut out: Vec<Ring> = Vec::new();
     let mut open: Vec<OpenTrapezoid> = Vec::new();
+    let mut open_scratch: Vec<OpenTrapezoid> = Vec::new();
+    let mut xa: Vec<(f64, usize)> = Vec::new();
+    let mut xb: Vec<(f64, usize)> = Vec::new();
+    let mut ia: Vec<Interval> = Vec::new();
+    let mut ib: Vec<Interval> = Vec::new();
+    let mut res: Vec<Interval> = Vec::new();
+    let mut events: Vec<BinaryEvent> = Vec::new();
 
     for w in ys.windows(2) {
         let (y0, y1) = (w[0], w[1]);
@@ -441,13 +507,36 @@ pub fn boolean_op(a: &[Ring], b: &[Ring], op: BoolOp) -> Vec<Ring> {
         }
         stats::record_band();
         let ym = 0.5 * (y0 + y1);
-        let xa = crossings(&segs[..b_offset], ym, 0);
-        let xb = crossings(&segs[b_offset..], ym, b_offset);
-        let ia = pair_intervals(&xa);
-        let ib = pair_intervals(&xb);
-        let res = interval_op(&ia, &ib, op);
 
-        merge_band(&mut open, &res, y0, y1, &segs, &mut out);
+        while next_in < by_min.len() && segs[by_min[next_in]].min_y() < ym {
+            active.push(by_min[next_in]);
+            next_in += 1;
+        }
+        active.retain(|&i| segs[i].max_y() > ym);
+
+        xa.clear();
+        xb.clear();
+        for &i in &active {
+            // Entry and exit conditions above guarantee the segment spans ym.
+            let x = segs[i].x_at(ym);
+            if i < b_offset {
+                xa.push((x, i));
+            } else {
+                xb.push((x, i));
+            }
+        }
+        let by_x_then_index = |a: &(f64, usize), b: &(f64, usize)| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        };
+        xa.sort_by(by_x_then_index);
+        xb.sort_by(by_x_then_index);
+        pair_intervals_into(&xa, &mut ia);
+        pair_intervals_into(&xb, &mut ib);
+        interval_op(&ia, &ib, op, &mut events, &mut res);
+
+        merge_band(&mut open, &mut open_scratch, &res, y0, y1, &segs, &mut out);
     }
     for ot in &open {
         if ot.y_top.is_finite() {
@@ -464,31 +553,42 @@ pub fn boolean_op(a: &[Ring], b: &[Ring], op: BoolOp) -> Vec<Ring> {
 /// the binary and n-ary sweeps so the two engines stay in lockstep.
 fn merge_band(
     open: &mut Vec<OpenTrapezoid>,
+    scratch: &mut Vec<OpenTrapezoid>,
     res: &[Interval],
     y0: f64,
     y1: f64,
     segs: &[Segment],
     out: &mut Vec<Ring>,
 ) {
-    let mut next_open: Vec<OpenTrapezoid> = Vec::with_capacity(res.len());
-    for itv in res {
-        let mut extended = false;
-        for ot in open.iter_mut() {
-            if ot.seg_l == itv.seg_l && ot.seg_r == itv.seg_r && (ot.y_top - y0).abs() < EPS {
+    scratch.clear();
+    let next_open: &mut Vec<OpenTrapezoid> = scratch;
+    // `(seg_l, seg_r)` pairs are unique within `open` (a band's intervals
+    // are disjoint and each segment crosses the midline once), so *any*
+    // search strategy finds the same unique match. In the steady state a
+    // band repeats the previous band's intervals in the same positions, so
+    // probe the positional candidate first and only fall back to the
+    // linear scan on a miss.
+    for (k, itv) in res.iter().enumerate() {
+        let matches = |ot: &OpenTrapezoid| {
+            ot.seg_l == itv.seg_l && ot.seg_r == itv.seg_r && (ot.y_top - y0).abs() < EPS
+        };
+        let found = match open.get(k) {
+            Some(ot) if matches(ot) => Some(k),
+            _ => open.iter().position(matches),
+        };
+        match found {
+            Some(i) => {
+                let ot = &mut open[i];
                 next_open.push(OpenTrapezoid { y_top: y1, ..*ot });
                 // Mark as consumed by moving its top below everything.
                 ot.y_top = f64::NEG_INFINITY;
-                extended = true;
-                break;
             }
-        }
-        if !extended {
-            next_open.push(OpenTrapezoid {
+            None => next_open.push(OpenTrapezoid {
                 seg_l: itv.seg_l,
                 seg_r: itv.seg_r,
                 y_bottom: y0,
                 y_top: y1,
-            });
+            }),
         }
     }
     // Emit trapezoids that were not extended into this band.
@@ -497,7 +597,7 @@ fn merge_band(
             emit(ot, segs, out);
         }
     }
-    *open = next_open;
+    std::mem::swap(open, next_open);
 }
 
 /// N-ary boolean combinations supported by [`boolean_op_many`].
@@ -521,72 +621,222 @@ pub enum NaryOp {
 /// and segments wholly outside it are dropped up front, since no point
 /// outside that window can lie in every operand.
 pub fn boolean_op_many(operands: &[&[Ring]], op: NaryOp) -> Vec<Ring> {
-    let mut per_op: Vec<Vec<Segment>> = Vec::with_capacity(operands.len());
-    let mut window = None;
+    let per_op: Vec<Vec<Segment>> = operands
+        .iter()
+        .map(|rings| collect_segments(rings))
+        .collect();
+    match plan_nary(per_op, op) {
+        NaryPlan::Empty => Vec::new(),
+        NaryPlan::Passthrough(i) => operands[i].to_vec(),
+        NaryPlan::Sweep {
+            per_op,
+            threshold,
+            window,
+        } => stitch_sweep(&sweep_bands(per_op, threshold, window)),
+    }
+}
+
+/// [`boolean_op_many`] with an explicit band-chunk count: the deterministic
+/// hook perf guards use to exercise the **parallel per-band merge** path on
+/// any machine, independent of core count and of how the threading backend
+/// reads its configuration (a global-pool rayon initializes its worker
+/// count once per process, so flipping an env var mid-run proves nothing).
+/// Results are bit-identical to [`boolean_op_many`] for every chunk count —
+/// that is the property the `region` bench bin asserts.
+pub fn boolean_op_many_chunked(operands: &[&[Ring]], op: NaryOp, chunks: usize) -> Vec<Ring> {
+    let per_op: Vec<Vec<Segment>> = operands
+        .iter()
+        .map(|rings| collect_segments(rings))
+        .collect();
+    match plan_nary(per_op, op) {
+        NaryPlan::Empty => Vec::new(),
+        NaryPlan::Passthrough(i) => operands[i].to_vec(),
+        NaryPlan::Sweep {
+            per_op,
+            threshold,
+            window,
+        } => stitch_sweep(&sweep_bands_chunked(
+            per_op,
+            threshold,
+            window,
+            Some(chunks.max(1)),
+        )),
+    }
+}
+
+/// The resolved shape of an n-ary combination after operand triage: nothing
+/// to do, a verbatim single-operand passthrough (by original operand index),
+/// or a genuine sweep over the pruned segment lists.
+pub(crate) enum NaryPlan {
+    /// The result is the empty set.
+    Empty,
+    /// The result is exactly the operand at this (original) index.
+    Passthrough(usize),
+    /// A sweep is required.
+    Sweep {
+        /// Per-operand segment lists (pruned to the window for
+        /// intersections; empty operands removed for unions).
+        per_op: Vec<Vec<Segment>>,
+        /// Minimum operand coverage for a point to be in the result.
+        threshold: usize,
+        /// The y-window the sweep is restricted to, when one applies.
+        window: Option<(f64, f64)>,
+    },
+}
+
+/// Triage of an n-ary combination from per-operand segment lists (aligned
+/// with the caller's operand order; empty lists represent empty operands).
+/// This is the shared front half of [`boolean_op_many`] and the banded
+/// entry points, so ring-based and banded operands resolve fast paths —
+/// empty-operand annihilation, single-operand passthrough, common-window
+/// pruning — identically.
+pub(crate) fn plan_nary(mut per_op: Vec<Vec<Segment>>, op: NaryOp) -> NaryPlan {
     match op {
         NaryOp::Intersection => {
-            if operands.is_empty() {
-                return Vec::new();
+            if per_op.is_empty() {
+                return NaryPlan::Empty;
             }
             let mut lo = f64::NEG_INFINITY;
             let mut hi = f64::INFINITY;
-            for rings in operands {
-                let segs = collect_segments(rings);
+            for segs in &per_op {
                 if segs.is_empty() {
                     // An empty operand annihilates the intersection.
-                    return Vec::new();
+                    return NaryPlan::Empty;
                 }
-                let (slo, shi) = y_range(&segs);
+                let (slo, shi) = y_range(segs);
                 lo = lo.max(slo);
                 hi = hi.min(shi);
-                per_op.push(segs);
             }
             if per_op.len() == 1 {
-                return operands[0].to_vec();
+                return NaryPlan::Passthrough(0);
             }
             if hi - lo < MIN_BAND {
-                return Vec::new();
+                return NaryPlan::Empty;
             }
             for segs in &mut per_op {
                 segs.retain(|s| s.max_y() > lo && s.min_y() < hi);
                 if segs.is_empty() {
-                    return Vec::new();
+                    return NaryPlan::Empty;
                 }
             }
-            window = Some((lo, hi));
+            let threshold = per_op.len();
+            NaryPlan::Sweep {
+                per_op,
+                threshold,
+                window: Some((lo, hi)),
+            }
         }
         NaryOp::Union => {
+            let mut kept: Vec<Vec<Segment>> = Vec::with_capacity(per_op.len());
             let mut last_non_empty = 0;
-            for (i, rings) in operands.iter().enumerate() {
-                let segs = collect_segments(rings);
+            for (i, segs) in per_op.into_iter().enumerate() {
                 if !segs.is_empty() {
-                    per_op.push(segs);
+                    kept.push(segs);
                     last_non_empty = i;
                 }
             }
-            if per_op.is_empty() {
-                return Vec::new();
+            if kept.is_empty() {
+                return NaryPlan::Empty;
             }
-            if per_op.len() == 1 {
-                return operands[last_non_empty].to_vec();
+            if kept.len() == 1 {
+                return NaryPlan::Passthrough(last_non_empty);
+            }
+            NaryPlan::Sweep {
+                per_op: kept,
+                threshold: 1,
+                window: None,
             }
         }
     }
-    let threshold = match op {
-        NaryOp::Intersection => per_op.len(),
-        NaryOp::Union => 1,
-    };
-    sweep_many(per_op, threshold, window)
 }
 
-/// The shared n-ary sweep: one band decomposition over all operands, keeping
-/// x-ranges covered by at least `threshold` operands (`threshold == n` is
-/// intersection, `threshold == 1` union).
-fn sweep_many(
+/// One processed scanline band: its y-extent and the range of its merged
+/// result intervals inside the sweep's shared interval pool (possibly
+/// empty — an empty band still closes any trapezoids open below it when
+/// the bands are stitched). Pooling the intervals keeps the per-band work
+/// allocation-free: thousands of tiny `Vec`s per sweep were a measurable
+/// share of union-heavy workloads like dilation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BandData {
+    pub(crate) y0: f64,
+    pub(crate) y1: f64,
+    start: usize,
+    end: usize,
+}
+
+/// The banded outcome of an n-ary sweep: the segment arena the intervals
+/// index into, the shared interval pool, plus the processed bands in
+/// ascending-y order. This is the sweep's *native* output —
+/// [`stitch_bands`] turns it into rings, and
+/// [`crate::banded::BandedRegion`] keeps it as-is so downstream operations
+/// can consume the decomposition without re-polygonizing.
+#[derive(Debug, Clone)]
+pub(crate) struct BandedSweep {
+    pub(crate) segs: Vec<Segment>,
+    pool: Vec<Interval>,
+    pub(crate) bands: Vec<BandData>,
+}
+
+impl BandData {
+    /// Number of result intervals in this band.
+    pub(crate) fn len(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+impl BandedSweep {
+    /// An empty sweep result.
+    pub(crate) fn empty() -> Self {
+        BandedSweep {
+            segs: Vec::new(),
+            pool: Vec::new(),
+            bands: Vec::new(),
+        }
+    }
+
+    /// The result intervals of one band.
+    pub(crate) fn intervals(&self, band: &BandData) -> &[Interval] {
+        &self.pool[band.start..band.end]
+    }
+}
+
+/// Sweeps that would process at least this many bands hand contiguous band
+/// chunks to rayon workers; smaller sweeps are not worth the thread spawns
+/// of the workspace's scoped-thread rayon stand-in.
+const PARALLEL_MIN_WINDOWS: usize = 256;
+
+/// The shared n-ary sweep: one band decomposition over all operands,
+/// keeping x-ranges covered by at least `threshold` operands
+/// (`threshold == n` is intersection, `threshold == 1` union). Returns the
+/// banded decomposition; callers stitch it into rings ([`stitch_bands`]) or
+/// keep it banded.
+///
+/// Bands are independent of each other — each is fully determined by the
+/// segments spanning its midline — so large sweeps compute them in
+/// **parallel contiguous chunks** (each chunk rebuilds its active set from
+/// the shared `min_y` order, which yields exactly the sequential sweep's
+/// active list at that band), then concatenate the per-chunk band lists in
+/// order. The result is bit-identical to the sequential sweep regardless of
+/// worker count; per-chunk band counts are merged into the calling thread's
+/// [`stats`] counter on join.
+pub(crate) fn sweep_bands(
     per_op: Vec<Vec<Segment>>,
     threshold: usize,
     window: Option<(f64, f64)>,
-) -> Vec<Ring> {
+) -> BandedSweep {
+    sweep_bands_chunked(per_op, threshold, window, None)
+}
+
+/// [`sweep_bands`] with an explicit chunk-count override (`None` = decide
+/// from the band count and worker pool). The override exists for tests that
+/// pin chunked-vs-sequential bit equality without depending on the
+/// machine's core count.
+pub(crate) fn sweep_bands_chunked(
+    per_op: Vec<Vec<Segment>>,
+    threshold: usize,
+    window: Option<(f64, f64)>,
+    force_chunks: Option<usize>,
+) -> BandedSweep {
     let n_ops = per_op.len();
     // One segment arena (trapezoid corners index into it) plus the owning
     // operand of every segment.
@@ -609,12 +859,12 @@ fn sweep_many(
     if let Some((lo, hi)) = window {
         ys.retain(|y| *y >= lo && *y <= hi);
     }
-    ys.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    // Values only — ties are bit-equal and dedup reads values — so the
+    // unstable sort is output-identical.
+    ys.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
     ys.dedup_by(|x, y| (*x - *y).abs() < EPS);
 
-    // Active-set maintenance: segments enter in min_y order as the sweep
-    // rises and leave once the midline passes their max_y, so each band
-    // scans only the segments that can actually span it.
+    // Segment entry order shared by every chunk.
     let mut by_min: Vec<usize> = (0..segs.len()).collect();
     by_min.sort_by(|&i, &j| {
         segs[i]
@@ -622,20 +872,85 @@ fn sweep_many(
             .partial_cmp(&segs[j].min_y())
             .unwrap_or(std::cmp::Ordering::Equal)
     });
+
+    let windows = ys.len().saturating_sub(1);
+    let chunk_count = force_chunks.unwrap_or_else(|| {
+        let workers = rayon::current_num_threads();
+        if windows >= PARALLEL_MIN_WINDOWS && workers > 1 {
+            workers.min(windows.div_ceil(PARALLEL_MIN_WINDOWS / 2))
+        } else {
+            1
+        }
+    });
+    let (bands, pool) = if chunk_count > 1 && windows > 1 {
+        use rayon::prelude::*;
+        let chunk_count = chunk_count.min(windows);
+        let chunk_len = windows.div_ceil(chunk_count);
+        let ranges: Vec<(usize, usize)> = (0..chunk_count)
+            .map(|c| (c * chunk_len, ((c + 1) * chunk_len).min(windows)))
+            .filter(|(s, e)| s < e)
+            .collect();
+        let chunked: Vec<(Vec<BandData>, Vec<Interval>)> = ranges
+            .par_iter()
+            .map(|&(start, end)| {
+                bands_for_windows(&segs, &op_of, n_ops, threshold, &by_min, &ys, start, end)
+            })
+            .collect();
+        // Concatenate per-chunk band lists and interval pools in band
+        // order, rebasing each chunk's pool ranges onto the merged pool.
+        let mut bands: Vec<BandData> = Vec::with_capacity(windows);
+        let mut pool: Vec<Interval> = Vec::new();
+        for (chunk_bands, chunk_pool) in chunked {
+            let base = pool.len();
+            pool.extend(chunk_pool);
+            bands.extend(chunk_bands.into_iter().map(|b| BandData {
+                start: b.start + base,
+                end: b.end + base,
+                ..b
+            }));
+        }
+        stats::add_bands(bands.len() as u64);
+        (bands, pool)
+    } else {
+        let (bands, pool) =
+            bands_for_windows(&segs, &op_of, n_ops, threshold, &by_min, &ys, 0, windows);
+        stats::add_bands(bands.len() as u64);
+        (bands, pool)
+    };
+    BandedSweep { segs, pool, bands }
+}
+
+/// Computes the merged interval lists for the contiguous window range
+/// `[start, end)` of `ys`, maintaining the active set incrementally. A
+/// chunk starting mid-sweep seeds its active set by scanning `by_min` from
+/// the top — the segments with `min_y` below the first midline, in `min_y`
+/// order, filtered to those still alive — which is exactly the state the
+/// sequential sweep would have on arriving at that band, so chunked and
+/// sequential output are identical element for element.
+#[allow(clippy::too_many_arguments)]
+fn bands_for_windows(
+    segs: &[Segment],
+    op_of: &[u32],
+    n_ops: usize,
+    threshold: usize,
+    by_min: &[usize],
+    ys: &[f64],
+    start: usize,
+    end: usize,
+) -> (Vec<BandData>, Vec<Interval>) {
     let mut next_in = 0usize;
     let mut active: Vec<usize> = Vec::new();
-
     let mut xs_per_op: Vec<Vec<(f64, usize)>> = vec![Vec::new(); n_ops];
     let mut intervals_per_op: Vec<Vec<Interval>> = vec![Vec::new(); n_ops];
-    let mut out: Vec<Ring> = Vec::new();
-    let mut open: Vec<OpenTrapezoid> = Vec::new();
+    let mut events: Vec<CountEvent> = Vec::new();
+    let mut out: Vec<BandData> = Vec::with_capacity(end - start);
+    let mut pool: Vec<Interval> = Vec::new();
 
-    for w in ys.windows(2) {
-        let (y0, y1) = (w[0], w[1]);
+    for w in start..end {
+        let (y0, y1) = (ys[w], ys[w + 1]);
         if y1 - y0 < MIN_BAND {
             continue;
         }
-        stats::record_band();
         let ym = 0.5 * (y0 + y1);
 
         while next_in < by_min.len() && segs[by_min[next_in]].min_y() < ym {
@@ -652,42 +967,96 @@ fn sweep_many(
             xs_per_op[op_of[i] as usize].push((segs[i].x_at(ym), i));
         }
         let mut dead = false;
+        let mut non_empty = 0usize;
+        let mut last_non_empty = 0usize;
         for (oi, xs) in xs_per_op.iter_mut().enumerate() {
             xs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-            intervals_per_op[oi] = pair_intervals(xs);
-            if intervals_per_op[oi].is_empty() && threshold == n_ops {
-                // One empty operand empties the whole band's intersection.
-                dead = true;
-                break;
+            pair_intervals_into(xs, &mut intervals_per_op[oi]);
+            if intervals_per_op[oi].is_empty() {
+                if threshold == n_ops {
+                    // One empty operand empties the whole band's intersection.
+                    dead = true;
+                    break;
+                }
+            } else {
+                non_empty += 1;
+                last_non_empty = oi;
             }
         }
-        let res = if dead {
-            Vec::new()
-        } else {
-            interval_op_many(&intervals_per_op, threshold)
-        };
+        let pool_start = pool.len();
+        if !dead {
+            if threshold == 1 && non_empty == 1 {
+                // A union band covered by a single operand *is* that
+                // operand's interval list: the per-operand lists are
+                // already disjoint, sorted and EPS-filtered, so the event
+                // merge would reproduce them verbatim.
+                pool.extend_from_slice(&intervals_per_op[last_non_empty]);
+            } else {
+                interval_op_many(&intervals_per_op, threshold, &mut events, &mut pool);
+            }
+        }
+        out.push(BandData {
+            y0,
+            y1,
+            start: pool_start,
+            end: pool.len(),
+        });
+    }
+    (out, pool)
+}
 
-        merge_band(&mut open, &res, y0, y1, &segs, &mut out);
+/// Stitches a banded sweep result into interior-disjoint rings: the exact
+/// historical output path — every band folded through [`merge_band`] in
+/// order, trailing open trapezoids emitted, and vertically mergeable quads
+/// compacted — so `stitch_bands(sweep_bands(..))` is bit-identical to what
+/// the one-piece sweep used to return.
+pub(crate) fn stitch_sweep(sweep: &BandedSweep) -> Vec<Ring> {
+    let segs = &sweep.segs;
+    let mut out: Vec<Ring> = Vec::new();
+    let mut open: Vec<OpenTrapezoid> = Vec::new();
+    let mut open_scratch: Vec<OpenTrapezoid> = Vec::new();
+    for band in &sweep.bands {
+        merge_band(
+            &mut open,
+            &mut open_scratch,
+            sweep.intervals(band),
+            band.y0,
+            band.y1,
+            segs,
+            &mut out,
+        );
     }
     for ot in &open {
         if ot.y_top.is_finite() {
-            emit(ot, &segs, &mut out);
+            emit(ot, segs, &mut out);
         }
     }
     compact_trapezoids(out)
 }
 
+/// An interval endpoint event of the n-ary per-band combine.
+#[derive(Clone, Copy)]
+struct CountEvent {
+    x: f64,
+    delta: i32,
+    seg: usize,
+}
+
 /// Merges N disjoint, sorted per-operand interval lists, keeping x-ranges
-/// covered by at least `threshold` operands.
-fn interval_op_many(per_op: &[Vec<Interval>], threshold: usize) -> Vec<Interval> {
-    #[derive(Clone, Copy)]
-    struct Event {
-        x: f64,
-        delta: i32,
-        seg: usize,
-    }
+/// covered by at least `threshold` operands. `events` is a reusable
+/// scratch buffer (cleared here); results are **appended** to `out` (the
+/// sweep's shared interval pool), so the band loop performs no per-band
+/// allocation at all.
+fn interval_op_many(
+    per_op: &[Vec<Interval>],
+    threshold: usize,
+    events: &mut Vec<CountEvent>,
+    out: &mut Vec<Interval>,
+) {
+    type Event = CountEvent;
+    events.clear();
     let total: usize = per_op.iter().map(|l| l.len()).sum();
-    let mut events: Vec<Event> = Vec::with_capacity(2 * total);
+    events.reserve(2 * total);
     for list in per_op {
         for itv in list {
             events.push(Event {
@@ -713,8 +1082,7 @@ fn interval_op_many(per_op: &[Vec<Interval>], threshold: usize) -> Vec<Interval>
 
     let mut count = 0i32;
     let mut open: Option<(f64, usize)> = None;
-    let mut out = Vec::new();
-    for ev in events {
+    for ev in events.iter() {
         let was = count >= threshold as i32;
         count += ev.delta;
         let now = count >= threshold as i32;
@@ -733,7 +1101,6 @@ fn interval_op_many(per_op: &[Vec<Interval>], threshold: usize) -> Vec<Interval>
             }
         }
     }
-    out
 }
 
 /// Merges vertically stacked trapezoids whose shared edge is exact and whose
@@ -743,6 +1110,30 @@ fn interval_op_many(per_op: &[Vec<Interval>], threshold: usize) -> Vec<Interval>
 /// operation in a solve.
 fn compact_trapezoids(rings: Vec<Ring>) -> Vec<Ring> {
     use std::collections::HashMap;
+
+    // The edge-key map is consulted a few times per trapezoid; SipHash on
+    // the 32-byte keys was a measurable slice of union-heavy profiles, so
+    // the map uses a trivial multiply-xor hasher instead. The hash only
+    // steers bucket placement — lookups compare full keys — so the merge
+    // result is unchanged.
+    #[derive(Default)]
+    struct QuadKeyHasher(u64);
+    impl std::hash::Hasher for QuadKeyHasher {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for chunk in bytes.chunks(8) {
+                let mut buf = [0u8; 8];
+                buf[..chunk.len()].copy_from_slice(chunk);
+                self.0 = (self.0 ^ u64::from_le_bytes(buf)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+        }
+        fn write_i64(&mut self, v: i64) {
+            self.0 = (self.0 ^ v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    type QuadKeyState = std::hash::BuildHasherDefault<QuadKeyHasher>;
 
     // Only quads produced by `emit` are merged; anything else passes through.
     #[derive(Clone, Copy)]
@@ -791,7 +1182,7 @@ fn compact_trapezoids(rings: Vec<Ring>) -> Vec<Ring> {
 
     // Map from a quad's bottom edge to its index, so the quad below can find
     // the one stacked on top of it.
-    let mut by_bottom: HashMap<(i64, i64, i64, i64), usize> = HashMap::new();
+    let mut by_bottom: HashMap<(i64, i64, i64, i64), usize, QuadKeyState> = HashMap::default();
     for (i, q) in quads.iter().enumerate() {
         if let Some(q) = q {
             by_bottom.insert(key(q.bl, q.br), i);
@@ -1112,6 +1503,65 @@ mod tests {
         );
         let (ca, na) = (total_area(&chained), total_area(&nary));
         assert!((ca - na).abs() / ca.max(1.0) < 1e-6);
+    }
+
+    /// The chunked (parallel) per-band path must be bit-identical to the
+    /// sequential sweep — same bands, same intervals, same stitched rings —
+    /// and must merge the **same number of bands** into the calling
+    /// thread's counter, whatever the chunk count.
+    #[test]
+    fn chunked_band_sweep_is_bit_identical_to_sequential() {
+        let disks: Vec<Vec<Ring>> = (0..8)
+            .map(|i| {
+                let a = i as f64 * 0.9;
+                vec![Ring::regular_polygon(
+                    Vec2::new(a.cos() * 120.0, a.sin() * 120.0),
+                    400.0,
+                    96,
+                )]
+            })
+            .collect();
+        let per_op = |disks: &[Vec<Ring>]| -> Vec<Vec<Segment>> {
+            disks.iter().map(|d| collect_segments(d)).collect()
+        };
+        let window = {
+            // Mirror plan_nary's window computation for the intersection.
+            match plan_nary(per_op(&disks), NaryOp::Intersection) {
+                NaryPlan::Sweep { window, .. } => window,
+                _ => panic!("expected a sweep"),
+            }
+        };
+
+        let threshold = disks.len();
+        let before_seq = stats::band_merges();
+        let seq = sweep_bands_chunked(per_op(&disks), threshold, window, Some(1));
+        let seq_bands = stats::band_merges() - before_seq;
+
+        for chunks in [2, 3, 7] {
+            let before = stats::band_merges();
+            let par = sweep_bands_chunked(per_op(&disks), threshold, window, Some(chunks));
+            let par_bands = stats::band_merges() - before;
+            assert_eq!(
+                seq_bands, par_bands,
+                "chunked ({chunks}) band count must match sequential"
+            );
+            assert_eq!(seq.bands.len(), par.bands.len());
+            for (a, b) in seq.bands.iter().zip(&par.bands) {
+                assert_eq!(a.y0.to_bits(), b.y0.to_bits());
+                assert_eq!(a.y1.to_bits(), b.y1.to_bits());
+                let (iva, ivb) = (seq.intervals(a), par.intervals(b));
+                assert_eq!(iva.len(), ivb.len());
+                for (ia, ib) in iva.iter().zip(ivb) {
+                    assert_eq!(ia.seg_l, ib.seg_l);
+                    assert_eq!(ia.seg_r, ib.seg_r);
+                    assert_eq!(ia.xl.to_bits(), ib.xl.to_bits());
+                    assert_eq!(ia.xr.to_bits(), ib.xr.to_bits());
+                }
+            }
+            let ra = stitch_sweep(&seq);
+            let rb = stitch_sweep(&par);
+            assert_eq!(ra, rb, "stitched rings must be identical");
+        }
     }
 
     #[test]

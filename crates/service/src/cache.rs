@@ -101,6 +101,11 @@ pub struct RouterCacheStats {
     pub dilation_misses: u64,
     /// Dilated regions currently resident.
     pub dilation_entries: usize,
+    /// Fresh contour-base extractions — one per distinct `(epoch, router)`
+    /// whose dilation classes share the banded-contour intermediate.
+    pub contour_bases: u64,
+    /// Contour bases currently resident.
+    pub contour_base_entries: usize,
 }
 
 impl RouterCacheStats {
@@ -117,6 +122,20 @@ impl RouterCacheStats {
 
 type CacheMap = HashMap<(u64, NodeId), Arc<OnceLock<Arc<RouterEstimate>>>>;
 type DilationMap = HashMap<(u64, NodeId, u32), Arc<OnceLock<Arc<GeoRegion>>>>;
+type ContourMap = HashMap<(u64, NodeId), Arc<OnceLock<Arc<ContourBase>>>>;
+
+/// The banded intermediate every dilation class of one router shares: the
+/// router's region together with its merged outer contours (planar rings
+/// in the region's own projection). Extracting contours walks the banded
+/// decomposition once; each radius class then only pays a linear
+/// simplify-and-offset over genuine boundary edges instead of
+/// re-simplifying and re-offsetting the full trapezoid soup
+/// (see `octant::piecewise::class_dilated_router_region`).
+#[derive(Debug)]
+struct ContourBase {
+    region: GeoRegion,
+    contours: Vec<octant_region::Ring>,
+}
 
 /// Cache keys that carry their model epoch as the leading component, so
 /// one eviction routine serves both cache levels.
@@ -145,11 +164,13 @@ pub struct RouterCache {
     config: RouterCacheConfig,
     entries: Mutex<CacheMap>,
     dilations: Mutex<DilationMap>,
+    contour_bases: Mutex<ContourMap>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     dilation_hits: AtomicU64,
     dilation_misses: AtomicU64,
+    contour_base_misses: AtomicU64,
 }
 
 impl RouterCache {
@@ -252,7 +273,13 @@ impl RouterCache {
             map.retain(|k, _| k.epoch() >= min_epoch);
             before - map.len()
         };
-        let total = (removed + dilations_removed) as u64;
+        let bases_removed = {
+            let mut map = self.contour_bases.lock();
+            let before = map.len();
+            map.retain(|k, _| k.epoch() >= min_epoch);
+            before - map.len()
+        };
+        let total = (removed + dilations_removed + bases_removed) as u64;
         if total > 0 {
             self.evictions.fetch_add(total, Ordering::Relaxed);
         }
@@ -293,6 +320,40 @@ impl RouterCache {
             self.dilation_misses.fetch_add(1, Ordering::Relaxed);
         } else {
             self.dilation_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Returns the banded-contour intermediate shared by every dilation
+    /// class of `(epoch, router)`, extracting it exactly once across all
+    /// threads (same per-entry `OnceLock` dedup as the other levels).
+    fn contour_base_for(
+        &self,
+        epoch: u64,
+        router: NodeId,
+        compute: impl FnOnce() -> ContourBase,
+    ) -> Arc<ContourBase> {
+        let cell = {
+            let mut map = self.contour_bases.lock();
+            match map.entry((epoch, router)) {
+                Entry::Occupied(e) => e.get().clone(),
+                Entry::Vacant(v) => {
+                    let cell = Arc::new(OnceLock::new());
+                    v.insert(cell.clone());
+                    self.evict_over_cap(&mut map, epoch);
+                    cell
+                }
+            }
+        };
+        let ran = Cell::new(false);
+        let value = cell
+            .get_or_init(|| {
+                ran.set(true);
+                Arc::new(compute())
+            })
+            .clone();
+        if ran.get() {
+            self.contour_base_misses.fetch_add(1, Ordering::Relaxed);
         }
         value
     }
@@ -340,6 +401,8 @@ impl RouterCache {
             dilation_hits: self.dilation_hits.load(Ordering::Relaxed),
             dilation_misses: self.dilation_misses.load(Ordering::Relaxed),
             dilation_entries: self.dilations.lock().len(),
+            contour_bases: self.contour_base_misses.load(Ordering::Relaxed),
+            contour_base_entries: self.contour_bases.lock().len(),
         }
     }
 
@@ -383,11 +446,16 @@ impl RouterEstimateSource for EpochRouterSource<'_> {
 
     /// The opt-in radius-class dilation cache: with a positive
     /// `dilation_radius_step_km`, the requested radius is rounded **up** to
-    /// the next class boundary and the simplify+dilate of the router's
-    /// region — the dominant §2.3 cost — is computed once per
-    /// `(epoch, router, class)` and shared. Constraints get (slightly)
-    /// looser, never tighter. Disabled (`None`) at the default step of 0,
-    /// which keeps solves bit-identical to the inline path.
+    /// the next class boundary and the dilation of the router's region —
+    /// the dominant §2.3 cost — is computed once per
+    /// `(epoch, router, class)` and shared. All classes of one router
+    /// additionally share a **banded-contour intermediate** (the region's
+    /// merged outer contours, extracted once per `(epoch, router)`), so a
+    /// fresh class pays a linear offset over genuine boundary edges
+    /// instead of re-simplifying and re-offsetting the full trapezoid
+    /// soup. Constraints get (slightly) looser, never tighter. Disabled
+    /// (`None`) at the default step of 0, which keeps solves bit-identical
+    /// to the inline path.
     fn dilated_region(
         &self,
         router: NodeId,
@@ -402,12 +470,17 @@ impl RouterEstimateSource for EpochRouterSource<'_> {
         let class = (radius.km() / step).ceil().max(1.0) as u32;
         let class_radius = Distance::from_km(class as f64 * step);
         Some(self.cache.dilation_for(self.epoch, router, class, || {
-            region
-                .simplify_to_budget(
-                    octant::piecewise::router_region_budget_tolerance(class_radius),
-                    octant::piecewise::ROUTER_REGION_VERTEX_BUDGET,
-                )
-                .dilate(class_radius)
+            let base = self
+                .cache
+                .contour_base_for(self.epoch, router, || ContourBase {
+                    region: region.clone(),
+                    contours: octant::piecewise::router_region_contours(region),
+                });
+            octant::piecewise::class_dilated_router_region(
+                &base.region,
+                &base.contours,
+                class_radius,
+            )
         }))
     }
 }

@@ -13,7 +13,7 @@
 //! The workspace's proptest stand-in generates cases from a fixed per-test
 //! seed, so CI runs are reproducible by construction.
 
-use octant_region::{Region, Vec2};
+use octant_region::{BandedRegion, Region, Vec2};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -238,6 +238,80 @@ proptest! {
             "A ∩ (A∪B) = {} vs |A| = {}", lhs2.area(), a.area());
     }
 
+    /// The banded-core round trip `Region → BandedRegion → contours →
+    /// Region`: every representation is area-equal within 1e-9 (relative),
+    /// grid membership agrees away from flattening-scale boundary bands,
+    /// and contour extraction is bit-deterministic across calls.
+    #[test]
+    fn banded_contour_round_trip(
+        x in -400.0f64..400.0,
+        y in -400.0f64..400.0,
+        r in 150.0f64..500.0,
+        salt in 0u64..u64::MAX,
+        count in 2usize..7,
+    ) {
+        let shapes = shapes_from((x, y, r, salt), count);
+        let region = chained_union(&shapes);
+        let area = region.area().max(1.0);
+
+        // Region → BandedRegion.
+        let banded = BandedRegion::from_region(&region);
+        prop_assert!(
+            (banded.area() - region.area()).abs() <= 1e-9 * area,
+            "banded area {} vs region {}", banded.area(), region.area()
+        );
+
+        // BandedRegion → contours (signed areas sum to the banded area).
+        let contours = banded.extract_contours();
+        let contour_area = BandedRegion::contour_area(&contours);
+        prop_assert!(
+            (contour_area - banded.area()).abs() <= 1e-9 * area,
+            "contour area {contour_area} vs banded {}", banded.area()
+        );
+
+        // Determinism pin: extraction is bit-identical across calls.
+        let again = banded.extract_contours();
+        prop_assert_eq!(contours.len(), again.len());
+        for (a, b) in contours.iter().zip(&again) {
+            prop_assert_eq!(a.points().len(), b.points().len());
+            for (p, q) in a.points().iter().zip(b.points()) {
+                prop_assert_eq!(p.x.to_bits(), q.x.to_bits());
+                prop_assert_eq!(p.y.to_bits(), q.y.to_bits());
+            }
+        }
+
+        // Contours → Region (re-normalized through the boolean engine).
+        let rebuilt = Region::from_rings_even_odd(contours.clone());
+        prop_assert!(
+            (rebuilt.area() - region.area()).abs() <= 1e-9 * area,
+            "rebuilt area {} vs region {}", rebuilt.area(), region.area()
+        );
+
+        // Grid-membership parity of all four representations, away from
+        // the analytic boundaries.
+        let even_odd = |p: Vec2| contours.iter().filter(|c| c.contains(p)).count() % 2 == 1;
+        assert_grid_membership(&region, &shapes, 3.0, |member, p| {
+            (0..shapes.len()).any(|i| member(i, p))
+        })?;
+        if let Some((lo, hi)) = region.bbox() {
+            for gx in 0..16 {
+                for gy in 0..16 {
+                    let p = Vec2::new(
+                        lo.x + (hi.x - lo.x) * (gx as f64 + 0.5) / 16.0,
+                        lo.y + (hi.y - lo.y) * (gy as f64 + 0.5) / 16.0,
+                    );
+                    if shapes.iter().any(|s| s.boundary_distance(p) < 3.0) {
+                        continue;
+                    }
+                    let want = region.contains(p);
+                    prop_assert_eq!(banded.contains(p), want, "banded at {}", p);
+                    prop_assert_eq!(even_odd(p), want, "contours at {}", p);
+                    prop_assert_eq!(rebuilt.contains(p), want, "rebuilt at {}", p);
+                }
+            }
+        }
+    }
+
     /// Dilation is monotone in the radius and contains the original region.
     #[test]
     fn dilation_monotonicity_and_containment(
@@ -269,6 +343,52 @@ proptest! {
             }
         }
     }
+}
+
+/// Contour extraction must preserve nested rings: a region with a hole
+/// yields a counter-clockwise outer contour plus a clockwise hole contour,
+/// membership excludes the hole, and the signed areas still sum to the
+/// region's area within 1e-9.
+#[test]
+fn contour_extraction_preserves_holes() {
+    let outer = Region::disk(Vec2::new(5.0, -3.0), 300.0);
+    let hole = Region::disk(Vec2::new(20.0, 10.0), 120.0);
+    let region = outer.subtract(&hole);
+    let banded = BandedRegion::from_region(&region);
+    let contours = banded.extract_contours();
+
+    let ccw = contours.iter().filter(|r| r.is_ccw()).count();
+    let cw = contours.len() - ccw;
+    assert!(ccw >= 1, "an outer contour must wind counter-clockwise");
+    assert!(cw >= 1, "the hole must survive as a clockwise contour");
+    assert!(
+        contours.len() < banded.to_region().ring_count(),
+        "contours must be a strictly smaller representation than the soup"
+    );
+
+    let contour_area = BandedRegion::contour_area(&contours);
+    assert!(
+        (contour_area - region.area()).abs() <= 1e-9 * region.area(),
+        "signed contour area {contour_area} vs region {}",
+        region.area()
+    );
+
+    // Independent Monte-Carlo cross-check over the region's cached-bbox
+    // sampling window: the annulus area (outer minus hole) is what both
+    // the exact machinery and the contours must be describing.
+    let mut rng = StdRng::seed_from_u64(17);
+    let mc = octant_region::montecarlo::estimate_region_area(&mut rng, &region, 10.0, 30_000);
+    let rel = (mc - region.area()).abs() / region.area();
+    assert!(rel < 0.05, "Monte-Carlo area disagrees by {rel}");
+
+    // Membership: even-odd over the contours and the re-normalized region
+    // both exclude the hole and keep the annulus body.
+    let even_odd = |p: Vec2| contours.iter().filter(|c| c.contains(p)).count() % 2 == 1;
+    let rebuilt = Region::from_rings_even_odd(contours.clone());
+    let in_hole = Vec2::new(20.0, 10.0);
+    let in_body = Vec2::new(5.0, -250.0);
+    assert!(!even_odd(in_hole) && !rebuilt.contains(in_hole));
+    assert!(even_odd(in_body) && rebuilt.contains(in_body));
 }
 
 /// `dilate(0)` and `erode(0)` must short-circuit to a bit-identical clone —

@@ -202,6 +202,20 @@ fn dilation_cache_bounds_fresh_dilations_per_radius_class() {
     );
     assert_eq!(stats.dilation_entries as u64, fresh);
 
+    // The banded-contour intermediate is shared across a router's radius
+    // classes: one extraction per (epoch, router) with a region, never one
+    // per class.
+    assert!(
+        stats.contour_bases > 0,
+        "class dilations must flow through the shared contour base"
+    );
+    assert!(
+        stats.contour_bases <= r as u64,
+        "contour bases ({}) must be bounded by distinct routers (R = {r}), not classes ({fresh})",
+        stats.contour_bases
+    );
+    assert_eq!(stats.contour_base_entries as u64, stats.contour_bases);
+
     // Repeat traffic: answered entirely from the dilation cache.
     service.localize_blocking(&campaign.targets);
     assert_eq!(
@@ -210,10 +224,13 @@ fn dilation_cache_bounds_fresh_dilations_per_radius_class() {
         "a repeat wave must not dilate anything anew"
     );
 
-    // A model refresh opens a new epoch: the old epoch's dilations retire.
+    // A model refresh opens a new epoch: the old epoch's dilations (and
+    // contour bases) retire, and fresh traffic re-extracts.
+    let bases_before = service.cache().stats().contour_bases;
     service.refresh_model(&campaign.landmarks);
     service.localize_blocking(&campaign.targets[..1]);
     assert!(service.cache().fresh_dilations() > fresh);
+    assert!(service.cache().stats().contour_bases > bases_before);
     service.shutdown();
 }
 
