@@ -68,8 +68,7 @@ fn main() {
         targets: n,
         elapsed_s: batch_elapsed.as_secs_f64(),
         baseline_elapsed_s: Some(seq_elapsed.as_secs_f64()),
-        cache_hits: None,
-        cache_misses: None,
+        ..BenchSummary::default()
     };
     if let Some(path) = json_path {
         summary

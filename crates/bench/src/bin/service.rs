@@ -1,18 +1,27 @@
-//! Serving-throughput campaign binary: the online engine's axis.
+//! Serving-tier campaign binary: the online engine's axis.
 //!
-//! Runs `RouterLocalization::Recursive` — the most expensive enrichment in
-//! the framework, §3's recursive router localization — over a population of
-//! targets that share last-hop routers, twice:
+//! Two stages:
 //!
-//! 1. **baseline**: the offline batch engine with inline router sub-solves
-//!    (every target pays for every router it routes through), and
-//! 2. **service**: `octant_service::GeolocationService`, whose shared
-//!    router cache computes each router's sub-localization once per model
-//!    epoch and replays it across all targets and requests.
+//! 1. **Recursive parity** — runs `RouterLocalization::Recursive` (the most
+//!    expensive enrichment in the framework, §3's recursive router
+//!    localization) over targets that share last-hop routers, once through
+//!    the offline batch engine with inline sub-solves and once through the
+//!    service's shared router cache, and asserts the two are bit-identical.
+//!    The cache's throughput win grows with N/R (targets per shared
+//!    router).
+//! 2. **Zipf sustained traffic** — the measured campaign: a long
+//!    Zipf-distributed request stream (hot targets dominate, long cold
+//!    tail) against the sharded service, first with one shard (the
+//!    pre-sharding configuration — this is the `baseline_*` section of the
+//!    JSON), then with a multi-shard data plane (the measured run). Reports
+//!    throughput, p50/p99/p999 serve latency from the service's merged
+//!    per-shard histograms, and the shed rate (bounded queues are sized so
+//!    a healthy run sheds nothing; a nonzero shed rate in the artifact
+//!    means the tier was overloaded).
 //!
-//! The two produce bit-identical estimates on the replay-stable dataset;
-//! the throughput ratio is the cache's win, and grows with N/R (targets per
-//! shared router).
+//! The stream is submitted through a sliding window of in-flight requests,
+//! so the client applies backpressure the way a real frontend does instead
+//! of dumping the whole campaign into the queues at once.
 //!
 //! Run with `cargo run --release -p octant-bench --bin service`. Flags:
 //! * `--smoke` — reduced problem size (CI's bench-smoke job).
@@ -20,9 +29,18 @@
 //!   `BENCH_*.json` summary documented in `octant_bench`'s crate docs.
 
 use octant::{BatchGeolocator, OctantConfig, RouterLocalization};
-use octant_bench::{json_path_from_args, service_campaign, BenchSummary};
-use octant_service::{GeolocationService, ServiceConfig};
-use std::time::Instant;
+use octant_bench::{json_path_from_args, service_campaign, BenchSummary, ZipfSampler};
+use octant_netsim::topology::NodeId;
+use octant_netsim::MeasurementDataset;
+use octant_service::{GeolocationService, RequestHandle, ServiceConfig, ShardConfig};
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Targets per submitted request — the small-request shape real traffic has.
+const REQUEST_SIZE: usize = 4;
+/// In-flight request window: the client-side backpressure bound.
+const WINDOW: usize = 32;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,35 +49,33 @@ fn main() {
     // Targets concentrated behind a few sites, so they share last-hop
     // routers: the N ≫ R regime the router cache amortizes.
     let (landmark_count, target_sites, per_site) = if smoke { (16, 3, 4) } else { (16, 3, 16) };
+    // The sustained stream: total targets pushed through the serving tier.
+    let stream_len: u64 = if smoke { 2_000 } else { 120_000 };
 
-    let octant_config =
-        OctantConfig::default().with_router_localization(RouterLocalization::Recursive);
-
-    println!(
-        "# service bench: {landmark_count} landmarks, {} targets behind {target_sites} sites, recursive router localization",
-        target_sites * per_site
-    );
     let campaign = service_campaign(landmark_count, target_sites, per_site, 42);
     let provider = campaign.dataset.into_shared();
 
-    // ---- Baseline: per-target recursive batch (inline sub-solves) ----------
+    // ---- Stage 1: recursive parity (shared cache vs inline sub-solves) -----
+    let octant_config =
+        OctantConfig::default().with_router_localization(RouterLocalization::Recursive);
+    println!(
+        "# service bench: {landmark_count} landmarks, {} targets behind {target_sites} sites, recursive router localization",
+        campaign.targets.len()
+    );
     let batch = BatchGeolocator::new(octant_config);
     let base_start = Instant::now();
     let baseline = batch.localize_batch(&provider, &campaign.landmarks, &campaign.targets);
     let base_elapsed = base_start.elapsed();
 
-    // ---- Service: shared router cache, micro-batched request stream --------
     let service = GeolocationService::start(
         ServiceConfig::default().with_octant(octant_config),
-        provider,
+        provider.clone(),
         &campaign.landmarks,
     );
-    // Submit the population as a stream of small requests (4 targets each),
-    // the shape real traffic has; the queue coalesces them into micro-batches.
     let serve_start = Instant::now();
     let handles: Vec<_> = campaign
         .targets
-        .chunks(4)
+        .chunks(REQUEST_SIZE)
         .map(|chunk| service.submit(chunk))
         .collect();
     let served: Vec<_> = handles.into_iter().flat_map(|h| h.wait()).collect();
@@ -75,7 +91,6 @@ fn main() {
         identical,
         "cached serving must be bit-identical to the uncached recursive batch"
     );
-
     let stats = service.stats();
     let n = campaign.targets.len();
     println!(
@@ -87,7 +102,7 @@ fn main() {
         n as f64 / serve_elapsed.as_secs_f64()
     );
     println!(
-        "# speedup                    : {:.2}x",
+        "# cache speedup              : {:.2}x",
         base_elapsed.as_secs_f64() / serve_elapsed.as_secs_f64()
     );
     println!(
@@ -95,24 +110,130 @@ fn main() {
         stats.cache.misses,
         stats.cache.hits,
         stats.cache.hit_rate() * 100.0,
-        stats.batches
+        stats.counters.batches
+    );
+    service.shutdown();
+
+    // ---- Stage 2: Zipf sustained traffic, one shard vs a sharded plane -----
+    println!(
+        "# zipf stream: {stream_len} targets (zipf s=1.0 over {n} hosts), requests of {REQUEST_SIZE}, window {WINDOW}"
+    );
+    let one = run_zipf_stream(
+        &provider,
+        &campaign.landmarks,
+        &campaign.targets,
+        1,
+        stream_len,
+        42,
+    );
+    let shards = 4;
+    let multi = run_zipf_stream(
+        &provider,
+        &campaign.landmarks,
+        &campaign.targets,
+        shards,
+        stream_len,
+        42,
+    );
+    for (label, r) in [("1 shard ", &one), ("4 shards", &multi)] {
+        println!(
+            "# {label} : {:>8.2?}  {:>9.1} targets/s  p50 {:?}  p99 {:?}  p999 {:?}  shed {}",
+            r.elapsed,
+            stream_len as f64 / r.elapsed.as_secs_f64(),
+            r.stats.latency.p50,
+            r.stats.latency.p99,
+            r.stats.latency.p999,
+            r.stats.counters.shed(),
+        );
+    }
+    println!(
+        "# shard scaling              : {:.2}x (expect ~1x on a single core, >=2x on >=4 cores)",
+        one.elapsed.as_secs_f64() / multi.elapsed.as_secs_f64()
+    );
+    assert_eq!(
+        multi.stats.counters.targets_served + multi.stats.counters.shed(),
+        stream_len,
+        "every streamed target must resolve"
     );
 
     let summary = BenchSummary {
         bench: "service".into(),
         scenario: if smoke { "smoke".into() } else { "full".into() },
         landmarks: campaign.landmarks.len(),
-        targets: n,
-        elapsed_s: serve_elapsed.as_secs_f64(),
-        baseline_elapsed_s: Some(base_elapsed.as_secs_f64()),
+        targets: stream_len as usize,
+        elapsed_s: multi.elapsed.as_secs_f64(),
+        baseline_elapsed_s: Some(one.elapsed.as_secs_f64()),
         cache_hits: Some(stats.cache.hits),
         cache_misses: Some(stats.cache.misses),
+        shards: Some(shards),
+        requests: Some(stream_len),
+        shed: Some(multi.stats.counters.shed()),
+        shed_rate: Some(multi.stats.shed_rate()),
+        latency_p50_ms: Some(multi.stats.latency.p50.as_secs_f64() * 1e3),
+        latency_p99_ms: Some(multi.stats.latency.p99.as_secs_f64() * 1e3),
+        latency_p999_ms: Some(multi.stats.latency.p999.as_secs_f64() * 1e3),
     };
-    service.shutdown();
     if let Some(path) = json_path {
         summary
             .write_json(&path)
             .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
         println!("# wrote {}", path.display());
     }
+}
+
+struct StreamResult {
+    elapsed: Duration,
+    stats: octant_service::ServiceStats,
+}
+
+/// Pushes a seeded Zipf request stream of `stream_len` targets through a
+/// fresh service with `shards` data-plane shards and a generous (but
+/// bounded) per-shard queue, using a sliding in-flight window for client
+/// backpressure. The solve configuration is the cheap minimal pipeline —
+/// this stage measures the serving tier, not the solver.
+fn run_zipf_stream(
+    provider: &std::sync::Arc<MeasurementDataset>,
+    landmarks: &[NodeId],
+    targets: &[NodeId],
+    shards: usize,
+    stream_len: u64,
+    seed: u64,
+) -> StreamResult {
+    let service = GeolocationService::start(
+        ServiceConfig::default()
+            .with_octant(OctantConfig::minimal())
+            .with_shard(
+                ShardConfig::default()
+                    .with_count(shards)
+                    .with_queue_capacity(4096),
+            ),
+        provider.clone(),
+        landmarks,
+    );
+    let zipf = ZipfSampler::new(targets.len(), 1.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut window: VecDeque<RequestHandle> = VecDeque::with_capacity(WINDOW);
+    let start = Instant::now();
+    let mut sent: u64 = 0;
+    while sent < stream_len {
+        let take = REQUEST_SIZE.min((stream_len - sent) as usize);
+        let request: Vec<NodeId> = (0..take).map(|_| targets[zipf.sample(&mut rng)]).collect();
+        sent += take as u64;
+        window.push_back(service.submit(&request));
+        if window.len() >= WINDOW {
+            // Client-side backpressure: wait out the oldest in-flight
+            // request before submitting more.
+            let _ = window
+                .pop_front()
+                .expect("window is non-empty")
+                .wait_outcomes();
+        }
+    }
+    for handle in window {
+        let _ = handle.wait_outcomes();
+    }
+    let elapsed = start.elapsed();
+    let stats = service.stats();
+    service.shutdown();
+    StreamResult { elapsed, stats }
 }

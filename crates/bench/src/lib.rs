@@ -28,9 +28,22 @@
 //!   "cache_hits": 410,             // (optional) router-cache counters
 //!   "cache_misses": 14,
 //!   "cache_hit_rate": 0.967,      // hits / (hits + misses)
-//!   "sub_localizations": 14        // router sub-solves actually performed
+//!   "sub_localizations": 14,       // router sub-solves actually performed
+//!   "shards": 4,                   // (optional) serving-tier sections: data-
+//!   "requests": 100000,            // plane shard count, Zipf-stream targets
+//!   "shed": 0,                     // submitted, targets shed (queue-full +
+//!   "shed_rate": 0.000000,         // deadline-expired), shed / finished,
+//!   "latency_p50_ms": 1.9,         // and enqueue → completion latency
+//!   "latency_p99_ms": 6.2,         // quantiles from the service's merged
+//!   "latency_p999_ms": 8.0         // per-shard histograms
 //! }
 //! ```
+//!
+//! For the `service` bench, `elapsed_s`/`targets_per_sec` measure the
+//! sustained Zipf-distributed request stream against the sharded service,
+//! and `baseline_elapsed_s`/`speedup` are the same stream against a
+//! single-shard service — so `speedup` reports **shard scaling** (expect
+//! ≈1× on one core; ≥2× needs a ≥4-core runner).
 //!
 //! The conventional file name is `BENCH_<bench>.json` (e.g.
 //! `BENCH_service.json`); the flag takes an explicit path so campaigns can
@@ -336,6 +349,21 @@ pub struct BenchSummary {
     pub cache_hits: Option<u64>,
     /// Router-cache misses (== router sub-solves performed).
     pub cache_misses: Option<u64>,
+    /// Data-plane shard count of the measured serving run.
+    pub shards: Option<usize>,
+    /// Targets submitted by the sustained request stream (each target of
+    /// each request counts once; ≥ `targets`, which is the population size).
+    pub requests: Option<u64>,
+    /// Targets shed by the measured run (admission + deadline).
+    pub shed: Option<u64>,
+    /// Shed fraction of finished targets of the measured run.
+    pub shed_rate: Option<f64>,
+    /// Median serve latency (enqueue → completion) in milliseconds.
+    pub latency_p50_ms: Option<f64>,
+    /// 99th-percentile serve latency in milliseconds.
+    pub latency_p99_ms: Option<f64>,
+    /// 99.9th-percentile serve latency in milliseconds.
+    pub latency_p999_ms: Option<f64>,
 }
 
 impl BenchSummary {
@@ -387,6 +415,27 @@ impl BenchSummary {
         }
         if let Some(rate) = self.cache_hit_rate() {
             fields.push(format!("\"cache_hit_rate\": {}", json_f64(rate)));
+        }
+        if let Some(shards) = self.shards {
+            fields.push(format!("\"shards\": {shards}"));
+        }
+        if let Some(requests) = self.requests {
+            fields.push(format!("\"requests\": {requests}"));
+        }
+        if let Some(shed) = self.shed {
+            fields.push(format!("\"shed\": {shed}"));
+        }
+        if let Some(rate) = self.shed_rate {
+            fields.push(format!("\"shed_rate\": {}", json_f64(rate)));
+        }
+        if let Some(ms) = self.latency_p50_ms {
+            fields.push(format!("\"latency_p50_ms\": {}", json_f64(ms)));
+        }
+        if let Some(ms) = self.latency_p99_ms {
+            fields.push(format!("\"latency_p99_ms\": {}", json_f64(ms)));
+        }
+        if let Some(ms) = self.latency_p999_ms {
+            fields.push(format!("\"latency_p999_ms\": {}", json_f64(ms)));
         }
         format!("{{\n  {}\n}}\n", fields.join(",\n  "))
     }
@@ -486,6 +535,49 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// A Zipf-distributed index sampler: index 0 is the most popular item,
+/// popularity falls off as `1 / rank^s`. Serving benches use it to shape
+/// sustained request streams the way real geolocation traffic looks — a
+/// few hot targets dominating, a long tail of cold ones — which is the
+/// regime that exercises per-shard queues and the shared router cache.
+///
+/// Sampling is inverse-CDF over precomputed cumulative weights (O(log n)
+/// per draw), driven by any [`rand::Rng`], so streams are reproducible
+/// from a seed.
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A sampler over `n` items with exponent `s` (classic Zipf is
+    /// `s = 1.0`; larger skews harder). `n` must be nonzero.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler over an empty population");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws one index in `0..n`.
+    pub fn sample(&self, rng: &mut impl rand::Rng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf weights are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
 /// Parses a `--json <path>` flag from a binary's argument list. Returns
 /// `None` when the flag is absent; panics with a usage message when the flag
 /// is present without a path (a misconfigured CI invocation should fail
@@ -549,6 +641,70 @@ mod tests {
         assert!(json.contains("\"cache_hit_rate\": 0.750000"));
         assert!(json.contains("\"sub_localizations\": 10"));
         assert_eq!(summary.cache_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn zipf_sampler_skews_toward_low_ranks() {
+        use rand::SeedableRng;
+        let zipf = ZipfSampler::new(100, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            let i = zipf.sample(&mut rng);
+            assert!(i < 100);
+            counts[i] += 1;
+        }
+        // Rank 1 under Zipf(1.0, n=100) carries ~19% of the mass; the tail
+        // half carries ~13%. Loose bounds keep the test seed-robust.
+        assert!(counts[0] > counts[9] && counts[9] > 0);
+        assert!(
+            counts[0] as f64 / 20_000.0 > 0.10,
+            "head rank too cold: {}",
+            counts[0]
+        );
+        let tail: usize = counts[50..].iter().sum();
+        assert!((tail as f64) < 20_000.0 * 0.30, "tail too hot: {tail}");
+        // Reproducible from the seed.
+        let mut a = rand::rngs::StdRng::seed_from_u64(11);
+        let mut b = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn bench_summary_json_serving_fields() {
+        let summary = BenchSummary {
+            bench: "service".into(),
+            scenario: "smoke".into(),
+            landmarks: 10,
+            targets: 48,
+            elapsed_s: 2.0,
+            shards: Some(4),
+            requests: Some(2000),
+            shed: Some(0),
+            shed_rate: Some(0.0),
+            latency_p50_ms: Some(1.5),
+            latency_p99_ms: Some(6.25),
+            latency_p999_ms: Some(8.0),
+            ..BenchSummary::default()
+        };
+        let json = summary.to_json();
+        assert!(json.contains("\"shards\": 4"));
+        assert!(json.contains("\"requests\": 2000"));
+        assert!(json.contains("\"shed\": 0"));
+        assert!(json.contains("\"shed_rate\": 0.000000"));
+        assert!(json.contains("\"latency_p99_ms\": 6.250000"));
+        // And every serving field is omitted when absent.
+        let bare = BenchSummary {
+            bench: "service".into(),
+            scenario: "smoke".into(),
+            ..BenchSummary::default()
+        };
+        let json = bare.to_json();
+        for field in ["shards", "requests", "shed", "latency"] {
+            assert!(!json.contains(field), "{field} must be omitted");
+        }
     }
 
     #[test]

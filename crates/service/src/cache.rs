@@ -485,6 +485,153 @@ impl RouterEstimateSource for EpochRouterSource<'_> {
     }
 }
 
+/// A [`RouterCache`] split into independently locked **slices by router
+/// id** — the data-plane-sharding companion of the estimate cache.
+///
+/// The sharded service's worker threads all share one logical router cache
+/// (that is what keeps the exactly-R-sub-solves property *global*: a router
+/// reached from targets on different shards is still sub-solved once per
+/// epoch). What they must not share is one mutex: with N shards serving
+/// concurrently, a single map lock serializes every lookup. Each slice here
+/// is a complete [`RouterCache`] guarding a deterministic subset of router
+/// ids, so lookups for different routers contend only when they hash to the
+/// same slice.
+///
+/// With one slice this is exactly a [`RouterCache`] (same counters, same
+/// eviction), which is what the `shards = 1` parity guarantee rests on.
+#[derive(Debug)]
+pub struct ShardedRouterCache {
+    slices: Vec<RouterCache>,
+}
+
+impl ShardedRouterCache {
+    /// Creates a cache with `slices` independently locked slices, each
+    /// configured with `config` (the capacity cap applies per slice).
+    pub fn new(config: RouterCacheConfig, slices: usize) -> Self {
+        ShardedRouterCache {
+            slices: (0..slices.max(1))
+                .map(|_| RouterCache::new(config))
+                .collect(),
+        }
+    }
+
+    /// The slice responsible for `router` (deterministic by router id).
+    pub fn slice_for(&self, router: NodeId) -> &RouterCache {
+        let idx = (crate::shard::mix64(router.0 as u64) % self.slices.len() as u64) as usize;
+        &self.slices[idx]
+    }
+
+    /// The cache slices, in slice order.
+    pub fn slices(&self) -> &[RouterCache] {
+        &self.slices
+    }
+
+    /// Total router sub-solves performed across every slice — the quantity
+    /// the cache exists to minimize.
+    pub fn sub_localizations(&self) -> u64 {
+        self.slices.iter().map(|s| s.sub_localizations()).sum()
+    }
+
+    /// Total fresh §2.3 region dilations across every slice.
+    pub fn fresh_dilations(&self) -> u64 {
+        self.slices.iter().map(|s| s.fresh_dilations()).sum()
+    }
+
+    /// Number of resident estimate entries belonging to `epoch`, across
+    /// every slice.
+    pub fn entries_for_epoch(&self, epoch: u64) -> usize {
+        self.slices.iter().map(|s| s.entries_for_epoch(epoch)).sum()
+    }
+
+    /// Number of resident estimate entries across all slices and epochs.
+    pub fn len(&self) -> usize {
+        self.slices.iter().map(|s| s.len()).sum()
+    }
+
+    /// `true` when no entries are resident in any slice.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evicts every entry older than `min_epoch` from every slice; returns
+    /// the number of estimate entries removed.
+    pub fn retire_epochs_before(&self, min_epoch: u64) -> usize {
+        self.slices
+            .iter()
+            .map(|s| s.retire_epochs_before(min_epoch))
+            .sum()
+    }
+
+    /// Counters summed over every slice.
+    pub fn stats(&self) -> RouterCacheStats {
+        let mut total = RouterCacheStats::default();
+        for s in &self.slices {
+            let one = s.stats();
+            total.hits += one.hits;
+            total.misses += one.misses;
+            total.evictions += one.evictions;
+            total.entries += one.entries;
+            total.dilation_hits += one.dilation_hits;
+            total.dilation_misses += one.dilation_misses;
+            total.dilation_entries += one.dilation_entries;
+            total.contour_bases += one.contour_bases;
+            total.contour_base_entries += one.contour_base_entries;
+        }
+        total
+    }
+
+    /// Binds the sliced cache to one model epoch, yielding the
+    /// [`RouterEstimateSource`] a shard's solves consult. Each lookup
+    /// delegates to the slice owning the router.
+    pub fn source(&self, epoch: u64) -> ShardedEpochSource<'_> {
+        ShardedEpochSource { cache: self, epoch }
+    }
+}
+
+/// A [`ShardedRouterCache`] bound to one model epoch: routes each lookup to
+/// the slice owning the router and delegates to that slice's
+/// [`EpochRouterSource`], so per-slice behavior (in-flight dedup, dilation
+/// classes, counters) is exactly the single-cache behavior.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedEpochSource<'a> {
+    cache: &'a ShardedRouterCache,
+    epoch: u64,
+}
+
+impl ShardedEpochSource<'_> {
+    /// The epoch this source reads and fills.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl RouterEstimateSource for ShardedEpochSource<'_> {
+    fn router_estimate(
+        &self,
+        octant: &Octant,
+        provider: &dyn ObservationProvider,
+        model: &octant::LandmarkModel,
+        router: NodeId,
+    ) -> Arc<RouterEstimate> {
+        self.cache
+            .slice_for(router)
+            .source(self.epoch)
+            .router_estimate(octant, provider, model, router)
+    }
+
+    fn dilated_region(
+        &self,
+        router: NodeId,
+        estimate: &RouterEstimate,
+        radius: Distance,
+    ) -> Option<Arc<GeoRegion>> {
+        self.cache
+            .slice_for(router)
+            .source(self.epoch)
+            .dilated_region(router, estimate, radius)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

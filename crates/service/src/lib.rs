@@ -6,29 +6,37 @@
 //! online layer a production deployment needs — and the cross-request
 //! amortization that makes heavy traffic affordable.
 //!
-//! Three pieces, one per module:
+//! The tier is organized as a **control plane / data plane split**:
 //!
-//! * [`registry`] — a versioned [`octant::LandmarkModel`] registry. Models
-//!   are registered/refreshed by **epoch**; refresh prepares the new model
-//!   outside the lock and swaps an `Arc`, so in-flight requests finish on
-//!   the snapshot they started with.
-//! * [`cache`] — the core new piece: a **shared router sub-localization
-//!   cache** keyed by `(model epoch, router node)`. The §2.3
+//! * [`registry`] (control plane) — a versioned [`octant::LandmarkModel`]
+//!   registry. Models are registered/refreshed by **epoch**; refresh
+//!   prepares the new model outside the lock and swaps an `Arc`, so
+//!   in-flight requests finish on the snapshot they started with.
+//! * [`shard`] (control plane) — data-plane sizing ([`ShardConfig`]) and
+//!   the deterministic target → shard routing table ([`ShardRouter`],
+//!   hashed by /24 IP prefix).
+//! * [`cache`] — a **shared router sub-localization cache** keyed by
+//!   `(model epoch, router node)`. The §2.3
 //!   `RouterLocalization::Recursive` mode localizes last-hop routers with
 //!   full Octant sub-solves; those solves are target-independent, so the
 //!   cache computes each one exactly once per epoch (thread-safe via
 //!   `parking_lot` + per-entry `OnceLock` in-flight deduplication, with
 //!   hit/miss/eviction counters) and replays it to every target and request
 //!   that shares the router — results bit-identical to the uncached path on
-//!   a replay-stable provider.
-//! * [`service`] — [`GeolocationService`]: an adaptive micro-batching
-//!   request queue drained by a worker pool onto the batch engine, wired to
-//!   the registry and the cache.
+//!   a replay-stable provider. [`ShardedRouterCache`] slices it by router
+//!   id so all data-plane shards share one cache with divided lock
+//!   contention.
+//! * [`service`] (data plane) — [`ShardedService`]: N shards, each owning
+//!   its own request queue, adaptive micro-batching policy, and worker
+//!   pool, with per-request **deadlines**, bounded-queue **admission
+//!   control / load shedding**, and per-shard **latency histograms**
+//!   ([`histogram`], [`stats`]). [`GeolocationService`] is the
+//!   shards-of-one front door, bit-identical to the pre-sharding service.
 //!
 //! The seam into `octant-core` is [`octant::RouterEstimateSource`]: the
 //! framework's recursive path consults the source instead of constructing a
-//! fresh sub-`Octant` inline, and [`cache::EpochRouterSource`] is this
-//! crate's caching implementation.
+//! fresh sub-`Octant` inline, and [`cache::EpochRouterSource`] /
+//! [`cache::ShardedEpochSource`] are this crate's caching implementations.
 //!
 //! ```
 //! use octant::{OctantConfig, RouterLocalization};
@@ -54,14 +62,17 @@
 //! assert!(service.cache().sub_localizations() > 0);
 //!
 //! // Per-request evidence selection: disable the router source for one
-//! // request without touching the service or other requests.
+//! // request without touching the service or other requests. Outcomes are
+//! // typed — under the default config (no deadline, unbounded queues)
+//! // every target is Served.
 //! use octant::SourceId;
 //! use octant_service::LocalizeOptions;
-//! let ablated = service.localize_blocking_with_options(
+//! let outcomes = service.localize_blocking_with_options(
 //!     &targets[..1],
 //!     LocalizeOptions::default().without_source(SourceId::Router),
 //! );
-//! assert!(!ablated[0].estimate.provenance.source(SourceId::Router).unwrap().enabled);
+//! let ablated = outcomes[0].served().unwrap();
+//! assert!(!ablated.estimate.provenance.source(SourceId::Router).unwrap().enabled);
 //! service.shutdown();
 //! ```
 
@@ -69,14 +80,24 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod histogram;
 pub mod registry;
 pub mod service;
+pub mod shard;
+pub mod stats;
 
-pub use cache::{EpochRouterSource, RouterCache, RouterCacheConfig, RouterCacheStats};
+pub use cache::{
+    EpochRouterSource, RouterCache, RouterCacheConfig, RouterCacheStats, ShardedEpochSource,
+    ShardedRouterCache,
+};
+pub use histogram::{LatencyHistogram, LatencySummary};
 pub use registry::{ModelEpoch, ModelRegistry};
 pub use service::{
-    GeolocationService, LocalizeOptions, RequestHandle, ServedEstimate, ServiceConfig, ServiceStats,
+    GeolocationService, LocalizeOptions, RequestHandle, ServeOutcome, ServedEstimate,
+    ServiceConfig, ShardedService, ShedReason,
 };
+pub use shard::{ShardConfig, ShardRouter};
+pub use stats::{QueueSnapshot, ServiceCounters, ServiceStats, ShardStats};
 
 /// Shared fixtures for this crate's unit tests.
 #[cfg(test)]

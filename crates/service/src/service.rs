@@ -1,31 +1,58 @@
-//! The long-lived geolocation serving engine.
+//! The long-lived geolocation serving engine: a control-plane /
+//! data-plane split.
 //!
-//! [`GeolocationService`] turns the offline [`BatchGeolocator`] into an
-//! online server: callers [`submit`](GeolocationService::submit) targets
-//! from any thread and block on a [`RequestHandle`]; a pool of worker
-//! threads drains the shared queue in **adaptive micro-batches** onto the
-//! batch engine. Three pieces of shared state amortize work across requests:
+//! [`ShardedService`] turns the offline [`BatchGeolocator`] into an online
+//! server shaped like a production serving tier:
 //!
-//! * the [`ModelRegistry`] — the target-independent landmark model is
-//!   prepared once per epoch and snapshotted per batch, so a model refresh
-//!   mid-stream never interrupts in-flight solves,
-//! * the [`RouterCache`] — recursive router sub-localizations are computed
-//!   once per `(epoch, router)` and shared by every target and request,
-//! * the micro-batch itself — targets from different requests coalesce into
-//!   one batch, sharing the per-batch fan-out overhead.
+//! * the **control plane** owns the slow-changing shared state — the
+//!   [`ModelRegistry`] (epoch refresh), the configuration, the
+//!   target → shard routing table ([`crate::ShardRouter`]), and stats
+//!   aggregation;
+//! * the **data plane** is [`ShardConfig::count`] independent shards, each
+//!   owning its own bounded request queue, its own worker pool, and its own
+//!   latency histogram. Targets route to shards deterministically by /24 IP
+//!   prefix, so repeat traffic for a prefix stays on one queue;
+//! * router sub-localizations live in the router-id-sliced
+//!   [`ShardedRouterCache`] shared by **all** shards, so the
+//!   exactly-once-per-router property (and the cache locality it buys)
+//!   survives the split.
 //!
-//! ## Micro-batching policy
+//! [`GeolocationService`] — the pre-sharding name — is a type alias for
+//! [`ShardedService`]; with the default [`ShardConfig`] (`count = 1`,
+//! unbounded queue) the service is the old single-queue engine exactly, and
+//! serves bit-identical results.
 //!
-//! A worker that finds the queue non-empty drains `min(queue_len,
-//! max_batch)` targets — under load, batches grow to the ceiling on their
-//! own. When fewer than `min_batch` targets are pending, the worker waits up
-//! to `max_wait` (measured from the oldest pending enqueue) for more to
-//! arrive before serving a small batch, trading a bounded latency bump for
-//! much better amortization under trickle load. Batch size thus adapts to
-//! queue depth with no tuning beyond the two bounds.
+//! ## SLOs: deadlines, admission control, and shedding
+//!
+//! Submission never blocks on a full queue. Instead each target's slot
+//! resolves to a typed [`ServeOutcome`]:
+//!
+//! * [`ServeOutcome::Served`] — solved and delivered;
+//! * [`ServeOutcome::Shed`] — refused at **admission** because the shard's
+//!   bounded queue ([`ShardConfig::queue_capacity`]) was full;
+//! * [`ServeOutcome::DeadlineExceeded`] — the request's
+//!   [`LocalizeOptions::deadline`] expired while the target waited in the
+//!   queue; expired targets are shed at drain time and **never solved**, so
+//!   a backed-up shard spends no work on answers nobody is waiting for.
+//!
+//! [`RequestHandle::wait_outcomes`] returns the typed outcomes;
+//! [`RequestHandle::wait`] keeps the legacy always-served signature for
+//! callers that configure neither deadlines nor bounded queues.
+//!
+//! ## Micro-batching policy (per shard)
+//!
+//! A worker that finds its shard's queue non-empty drains
+//! `min(queue_len, max_batch)` targets — under load, batches grow to the
+//! ceiling on their own. When fewer than `min_batch` targets are pending,
+//! the worker waits up to `max_wait` (measured from the oldest pending
+//! enqueue) for more to arrive before serving a small batch, trading a
+//! bounded latency bump for much better amortization under trickle load.
 
-use crate::cache::{RouterCache, RouterCacheConfig, RouterCacheStats};
+use crate::cache::{RouterCacheConfig, RouterCacheStats, ShardedRouterCache};
+use crate::histogram::LatencyHistogram;
 use crate::registry::ModelRegistry;
+use crate::shard::{ShardConfig, ShardRouter};
+use crate::stats::{QueueSnapshot, ServiceCounters, ServiceStats, ShardStats};
 use octant::{BatchGeolocator, EvidencePipeline, LocationEstimate, Octant, OctantConfig, SourceId};
 use octant_netsim::observation::ObservationProvider;
 use octant_netsim::topology::NodeId;
@@ -35,7 +62,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Configuration of a [`GeolocationService`].
+/// Configuration of a [`ShardedService`].
 ///
 /// `#[non_exhaustive]`: construct via [`ServiceConfig::default`] and the
 /// builder-style `with_*` setters.
@@ -45,8 +72,9 @@ pub struct ServiceConfig {
     /// The Octant pipeline configuration used for model preparation and
     /// every solve.
     pub octant: OctantConfig,
-    /// Worker threads draining the request queue. Each worker serves one
-    /// micro-batch at a time (the batch itself fans out over rayon).
+    /// Worker threads **per shard** draining that shard's queue. Each worker
+    /// serves one micro-batch at a time (the batch itself fans out over
+    /// rayon).
     pub workers: usize,
     /// Micro-batch ceiling: a worker never drains more targets than this.
     pub max_batch: usize,
@@ -55,8 +83,13 @@ pub struct ServiceConfig {
     pub min_batch: usize,
     /// Longest time the oldest pending target may wait for batch-mates.
     pub max_wait: Duration,
-    /// Router sub-localization cache sizing and retention.
+    /// Router sub-localization cache sizing and retention (applied to each
+    /// cache slice).
     pub cache: RouterCacheConfig,
+    /// Data-plane sizing: shard count and per-shard queue bound. The
+    /// default (`count = 1`, unbounded) reproduces the pre-sharding
+    /// single-queue service exactly.
+    pub shard: ShardConfig,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +101,7 @@ impl Default for ServiceConfig {
             min_batch: 4,
             max_wait: Duration::from_millis(2),
             cache: RouterCacheConfig::default(),
+            shard: ShardConfig::default(),
         }
     }
 }
@@ -75,7 +109,7 @@ impl Default for ServiceConfig {
 octant::config_setters!(ServiceConfig {
     /// Sets the Octant configuration used for models and solves.
     with_octant: octant: OctantConfig,
-    /// Sets the worker thread count.
+    /// Sets the worker thread count per shard.
     with_workers: workers: usize,
     /// Sets the micro-batch ceiling.
     with_max_batch: max_batch: usize,
@@ -83,29 +117,57 @@ octant::config_setters!(ServiceConfig {
     with_min_batch: min_batch: usize,
     /// Sets the longest wait for batch-mates.
     with_max_wait: max_wait: Duration,
-    /// Sets the router cache configuration.
+    /// Sets the router cache configuration (per slice).
     with_cache: cache: RouterCacheConfig,
+    /// Sets the data-plane shard configuration.
+    with_shard: shard: ShardConfig,
 });
 
-/// Per-request evidence selection: which pipeline sources to disable and
-/// which to re-weight, relative to the service's base pipeline. The default
-/// (empty) options run the base pipeline untouched.
+impl ServiceConfig {
+    /// Convenience: sets the data-plane shard **count**, keeping the rest
+    /// of the shard configuration.
+    #[must_use]
+    pub fn with_shards(mut self, count: usize) -> Self {
+        self.shard.count = count;
+        self
+    }
+}
+
+/// Per-request options: evidence selection (which pipeline sources to
+/// disable or re-weight relative to the service's base pipeline) plus an
+/// optional **deadline**. The default (empty) options run the base pipeline
+/// untouched with no deadline.
 ///
-/// Options affect only the **target** solves of the request; cached router
-/// sub-localizations are shared across requests and always use the standard
-/// source mix (see [`octant::Octant::compute_router_estimate`]), so one
-/// request's ablation cannot skew another's answers.
+/// Evidence options affect only the **target** solves of the request;
+/// cached router sub-localizations are shared across requests and always
+/// use the standard source mix (see
+/// [`octant::Octant::compute_router_estimate`]), so one request's ablation
+/// cannot skew another's answers.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct LocalizeOptions {
     /// Sources to disable for this request.
     pub disabled_sources: Vec<SourceId>,
     /// Weight scales to apply per source for this request.
     pub weight_scales: Vec<(SourceId, f64)>,
+    /// Time budget for this request, measured from submission. Targets
+    /// whose deadline expires while they wait in a shard queue resolve to
+    /// [`ServeOutcome::DeadlineExceeded`] without being solved. `None` (the
+    /// default) never expires. A deadline does **not** prevent targets from
+    /// coalescing into shared engine runs — only evidence selection
+    /// partitions batches.
+    pub deadline: Option<Duration>,
 }
 
 impl LocalizeOptions {
-    /// `true` when the options leave the base pipeline untouched.
+    /// `true` when the options leave the base pipeline untouched and set no
+    /// deadline.
     pub fn is_default(&self) -> bool {
+        self.evidence_is_default() && self.deadline.is_none()
+    }
+
+    /// `true` when the evidence selection (sources disabled / re-weighted)
+    /// is untouched, regardless of any deadline.
+    pub fn evidence_is_default(&self) -> bool {
         self.disabled_sources.is_empty() && self.weight_scales.is_empty()
     }
 
@@ -122,6 +184,23 @@ impl LocalizeOptions {
         self.weight_scales.push((id, scale));
         self
     }
+
+    /// Sets the request's deadline (time budget from submission).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The evidence selection alone (deadline stripped) — the part of the
+    /// options that partitions micro-batches into engine runs.
+    fn evidence(&self) -> LocalizeOptions {
+        LocalizeOptions {
+            disabled_sources: self.disabled_sources.clone(),
+            weight_scales: self.weight_scales.clone(),
+            deadline: None,
+        }
+    }
 }
 
 /// One served target: the estimate plus the model epoch that produced it.
@@ -135,38 +214,73 @@ pub struct ServedEstimate {
     pub estimate: LocationEstimate,
 }
 
-/// Aggregate service counters.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ServiceStats {
-    /// Current model epoch.
-    pub epoch: u64,
-    /// Micro-batches served so far.
-    pub batches: u64,
-    /// Targets served so far.
-    pub targets_served: u64,
-    /// Largest micro-batch drained so far.
-    pub largest_batch: usize,
-    /// Micro-batches whose solve panicked; their targets were answered with
-    /// unknown estimates instead of hanging the request.
-    pub failed_batches: u64,
-    /// Targets currently waiting in the queue.
-    pub queue_depth: usize,
-    /// Router cache counters.
-    pub cache: RouterCacheStats,
+/// Why a target was refused instead of queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShedReason {
+    /// The target's shard had [`ShardConfig::queue_capacity`] targets
+    /// pending; admitting more would only grow latency past any SLO.
+    QueueFull,
+}
+
+/// The typed resolution of one submitted target.
+//
+// `Served` dwarfs the other variants, but outcomes live one-per-slot in the
+// request's completion vector where served is the common case — boxing the
+// estimate would cost an allocation per served target to shrink the rare
+// shed/expired slots that share the vector anyway.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ServeOutcome {
+    /// The target was solved and delivered.
+    Served(ServedEstimate),
+    /// The target was shed at admission and never queued.
+    Shed {
+        /// Why admission refused the target.
+        reason: ShedReason,
+    },
+    /// The request's deadline expired while the target waited in its shard
+    /// queue; it was dropped at drain time without being solved.
+    DeadlineExceeded,
+}
+
+impl ServeOutcome {
+    /// `true` for [`ServeOutcome::Served`].
+    pub fn is_served(&self) -> bool {
+        matches!(self, ServeOutcome::Served(_))
+    }
+
+    /// The served estimate, when there is one.
+    pub fn served(&self) -> Option<&ServedEstimate> {
+        match self {
+            ServeOutcome::Served(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into its served estimate, when there is one.
+    pub fn into_served(self) -> Option<ServedEstimate> {
+        match self {
+            ServeOutcome::Served(s) => Some(s),
+            _ => None,
+        }
+    }
 }
 
 /// Shared completion state of one submitted request.
 struct RequestState {
-    /// `(remaining, results)` — `results` is in submission order and filled
-    /// as micro-batches complete (a request may be split across batches).
-    slots: Mutex<(usize, Vec<Option<ServedEstimate>>)>,
+    /// `(remaining, outcomes)` — `outcomes` is in submission order and
+    /// filled as targets resolve (a request may be split across shards and
+    /// micro-batches).
+    slots: Mutex<(usize, Vec<Option<ServeOutcome>>)>,
     done: Condvar,
 }
 
 impl RequestState {
-    fn complete(&self, slot: usize, result: ServedEstimate) {
+    fn complete(&self, slot: usize, outcome: ServeOutcome) {
         let mut guard = self.slots.lock().unwrap_or_else(|e| e.into_inner());
-        guard.1[slot] = Some(result);
+        guard.1[slot] = Some(outcome);
         guard.0 -= 1;
         if guard.0 == 0 {
             self.done.notify_all();
@@ -174,16 +288,17 @@ impl RequestState {
     }
 }
 
-/// A handle on a submitted request; [`RequestHandle::wait`] blocks until
-/// every target of the request has been served.
+/// A handle on a submitted request; wait with
+/// [`RequestHandle::wait_outcomes`] (typed) or [`RequestHandle::wait`]
+/// (legacy, served-only).
 pub struct RequestHandle {
     state: Arc<RequestState>,
 }
 
 impl RequestHandle {
-    /// Blocks until the request completes and returns the estimates in
-    /// submission order.
-    pub fn wait(self) -> Vec<ServedEstimate> {
+    /// Blocks until every target of the request has resolved and returns
+    /// the typed outcomes in submission order.
+    pub fn wait_outcomes(self) -> Vec<ServeOutcome> {
         let mut guard = self.state.slots.lock().unwrap_or_else(|e| e.into_inner());
         while guard.0 > 0 {
             guard = self
@@ -199,19 +314,44 @@ impl RequestHandle {
             .collect()
     }
 
-    /// `true` when every target of the request has been served (non-blocking).
+    /// Blocks until the request completes and returns the served estimates
+    /// in submission order — the pre-SLO signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any target was shed or missed its deadline, which can only
+    /// happen when the caller configured a bounded queue or a deadline;
+    /// such callers must use [`RequestHandle::wait_outcomes`]. Under the
+    /// default configuration every target is served and this never panics.
+    pub fn wait(self) -> Vec<ServedEstimate> {
+        self.wait_outcomes()
+            .into_iter()
+            .map(|o| match o {
+                ServeOutcome::Served(s) => s,
+                other => panic!(
+                    "target was not served ({other:?}); requests with deadlines or bounded \
+                     queues must use wait_outcomes()"
+                ),
+            })
+            .collect()
+    }
+
+    /// `true` when every target of the request has resolved (non-blocking).
     pub fn is_done(&self) -> bool {
         self.state.slots.lock().unwrap_or_else(|e| e.into_inner()).0 == 0
     }
 }
 
-/// One queued target with its delivery slot and the request's evidence
-/// selection (`None` = the service's base pipeline).
+/// One queued target with its delivery slot, the request's evidence
+/// selection (`None` = the service's base pipeline), its deadline, and its
+/// enqueue instant (the latency-histogram clock starts here).
 struct PendingTarget {
     target: NodeId,
     request: Arc<RequestState>,
     slot: usize,
     options: Option<Arc<LocalizeOptions>>,
+    deadline: Option<Instant>,
+    enqueued_at: Instant,
 }
 
 /// Queue state behind the std mutex paired with the drain condvar.
@@ -224,12 +364,32 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// Counters + latency histogram of one shard, behind that shard's lock.
 #[derive(Debug, Default)]
-struct ServingCounters {
-    batches: u64,
-    targets_served: u64,
-    largest_batch: usize,
-    failed_batches: u64,
+struct ShardLocal {
+    counters: ServiceCounters,
+    latency: LatencyHistogram,
+}
+
+/// One data-plane shard: its queue, its drain condvar, and its local stats.
+struct Shard {
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    local: PlMutex<ShardLocal>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                oldest_since: None,
+                shutdown: false,
+            }),
+            queue_cv: Condvar::new(),
+            local: PlMutex::new(ShardLocal::default()),
+        }
+    }
 }
 
 struct ServiceInner<P> {
@@ -237,23 +397,31 @@ struct ServiceInner<P> {
     config: ServiceConfig,
     batch: BatchGeolocator,
     registry: ModelRegistry,
-    cache: RouterCache,
-    queue: Mutex<QueueState>,
-    queue_cv: Condvar,
-    counters: PlMutex<ServingCounters>,
+    cache: ShardedRouterCache,
+    router: ShardRouter,
+    shards: Vec<Shard>,
 }
 
 impl<P: ObservationProvider + Sync> ServiceInner<P> {
-    fn serve_batch(&self, batch: Vec<PendingTarget>) {
+    fn serve_batch(&self, shard_idx: usize, batch: Vec<PendingTarget>) {
+        let shard = &self.shards[shard_idx];
         let epoch_model = self.registry.current();
         let source = self.cache.source(epoch_model.epoch);
-        let total = batch.len();
+
+        // Deadline-aware shedding at drain time: targets whose deadline
+        // expired while they queued are dropped unsolved — a backed-up
+        // shard spends no work on answers nobody is waiting for.
+        let now = Instant::now();
+        let (expired, live): (Vec<PendingTarget>, Vec<PendingTarget>) = batch
+            .into_iter()
+            .partition(|p| p.deadline.is_some_and(|d| d <= now));
+        let total = live.len();
 
         // Partition the drained batch by evidence selection: targets with
         // the same options (by value) share one engine run. The common case
         // — every target on the base pipeline — stays a single group.
         let mut groups: Vec<(Option<Arc<LocalizeOptions>>, Vec<PendingTarget>)> = Vec::new();
-        for pending in batch {
+        for pending in live {
             let found = groups.iter_mut().find(|(opts, _)| {
                 match (opts.as_deref(), pending.options.as_deref()) {
                     (None, None) => true,
@@ -270,10 +438,18 @@ impl<P: ObservationProvider + Sync> ServiceInner<P> {
         // Counters are bumped before any completion is delivered: a caller
         // woken by its last completion must observe the batch in the stats.
         {
-            let mut counters = self.counters.lock();
-            counters.batches += 1;
-            counters.targets_served += total as u64;
-            counters.largest_batch = counters.largest_batch.max(total);
+            let mut local = shard.local.lock();
+            local.counters.deadline_expired += expired.len() as u64;
+            if total > 0 {
+                local.counters.batches += 1;
+                local.counters.targets_served += total as u64;
+                local.counters.largest_batch = local.counters.largest_batch.max(total);
+            }
+        }
+        for pending in expired {
+            pending
+                .request
+                .complete(pending.slot, ServeOutcome::DeadlineExceeded);
         }
 
         for (options, members) in groups {
@@ -313,36 +489,50 @@ impl<P: ObservationProvider + Sync> ServiceInner<P> {
             let estimates = match solved {
                 Ok(estimates) => estimates,
                 Err(_) => {
-                    self.counters.lock().failed_batches += 1;
+                    shard.local.lock().counters.failed_batches += 1;
                     targets
                         .iter()
                         .map(|_| LocationEstimate::unknown())
                         .collect()
                 }
             };
+            // Record the group's latencies (enqueue → resolution) before
+            // delivering its completions, so a woken caller observes a
+            // histogram that includes its own targets.
+            {
+                let mut local = shard.local.lock();
+                for pending in &members {
+                    local.latency.record(pending.enqueued_at.elapsed());
+                }
+            }
             for (pending, estimate) in members.into_iter().zip(estimates) {
                 pending.request.complete(
                     pending.slot,
-                    ServedEstimate {
+                    ServeOutcome::Served(ServedEstimate {
                         target: pending.target,
                         epoch: epoch_model.epoch,
                         estimate,
-                    },
+                    }),
                 );
             }
         }
     }
 
-    /// Blocks until a micro-batch is ready (or shutdown drains the rest) and
-    /// returns it; `None` means shut down with an empty queue.
-    fn next_batch(&self) -> Option<Vec<PendingTarget>> {
-        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+    /// Blocks until a micro-batch is ready on `shard_idx` (or shutdown
+    /// drains the rest) and returns it; `None` means shut down with an
+    /// empty queue.
+    fn next_batch(&self, shard_idx: usize) -> Option<Vec<PendingTarget>> {
+        let shard = &self.shards[shard_idx];
+        let mut queue = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if queue.pending.is_empty() {
                 if queue.shutdown {
                     return None;
                 }
-                queue = self.queue_cv.wait(queue).unwrap_or_else(|e| e.into_inner());
+                queue = shard
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
                 continue;
             }
             let waited = queue
@@ -361,7 +551,7 @@ impl<P: ObservationProvider + Sync> ServiceInner<P> {
                 return Some(batch);
             }
             let remaining = self.config.max_wait.saturating_sub(waited);
-            let (guard, _) = self
+            let (guard, _) = shard
                 .queue_cv
                 .wait_timeout(queue, remaining)
                 .unwrap_or_else(|e| e.into_inner());
@@ -370,18 +560,24 @@ impl<P: ObservationProvider + Sync> ServiceInner<P> {
     }
 }
 
-/// The cache-backed geolocation serving engine. See the module docs for the
-/// architecture; construct with [`GeolocationService::start`].
-pub struct GeolocationService<P: ObservationProvider + Send + Sync + 'static> {
+/// The sharded, SLO-aware serving engine. See the module docs for the
+/// architecture; construct with [`ShardedService::start`].
+pub struct ShardedService<P: ObservationProvider + Send + Sync + 'static> {
     inner: Arc<ServiceInner<P>>,
     workers: Vec<JoinHandle<()>>,
 }
 
-impl<P: ObservationProvider + Send + Sync + 'static> GeolocationService<P> {
-    /// Prepares the initial landmark model (epoch 1), spawns the worker
-    /// pool, and starts serving with the standard evidence pipeline.
+/// The pre-sharding name of the serving engine, kept as the front door:
+/// a [`ShardedService`] whose default [`ShardConfig`] (`count = 1`,
+/// unbounded queue) reproduces the single-queue service bit-identically.
+pub type GeolocationService<P> = ShardedService<P>;
+
+impl<P: ObservationProvider + Send + Sync + 'static> ShardedService<P> {
+    /// Prepares the initial landmark model (epoch 1), builds the routing
+    /// table, spawns each shard's worker pool, and starts serving with the
+    /// standard evidence pipeline.
     pub fn start(config: ServiceConfig, provider: P, landmarks: &[NodeId]) -> Self {
-        GeolocationService::start_with_pipeline(
+        ShardedService::start_with_pipeline(
             config,
             EvidencePipeline::standard(),
             provider,
@@ -389,106 +585,153 @@ impl<P: ObservationProvider + Send + Sync + 'static> GeolocationService<P> {
         )
     }
 
-    /// [`GeolocationService::start`] with an explicit base evidence
-    /// pipeline; per-request [`LocalizeOptions`] adjust relative to it.
+    /// [`ShardedService::start`] with an explicit base evidence pipeline;
+    /// per-request [`LocalizeOptions`] adjust relative to it.
     pub fn start_with_pipeline(
         config: ServiceConfig,
         pipeline: EvidencePipeline,
         provider: P,
         landmarks: &[NodeId],
     ) -> Self {
+        let shard_count = config.shard.count.max(1);
         let octant = Octant::with_pipeline(config.octant, pipeline);
         let registry = ModelRegistry::bootstrap(octant.clone(), &provider, landmarks);
+        let router = ShardRouter::build(&provider, shard_count);
         let inner = Arc::new(ServiceInner {
             batch: BatchGeolocator::from_octant(octant),
             registry,
-            cache: RouterCache::new(config.cache),
-            queue: Mutex::new(QueueState {
-                pending: VecDeque::new(),
-                oldest_since: None,
-                shutdown: false,
-            }),
-            queue_cv: Condvar::new(),
-            counters: PlMutex::new(ServingCounters::default()),
+            cache: ShardedRouterCache::new(config.cache, shard_count),
+            router,
+            shards: (0..shard_count).map(|_| Shard::new()).collect(),
             provider,
             config,
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let inner = inner.clone();
-                std::thread::Builder::new()
-                    .name(format!("octant-serve-{i}"))
-                    .spawn(move || {
-                        while let Some(batch) = inner.next_batch() {
-                            inner.serve_batch(batch);
-                        }
-                    })
-                    .expect("spawning a service worker thread")
+        let workers = (0..shard_count)
+            .flat_map(|shard_idx| {
+                (0..config.workers.max(1)).map({
+                    let inner = &inner;
+                    move |w| {
+                        let inner = inner.clone();
+                        std::thread::Builder::new()
+                            .name(format!("octant-serve-{shard_idx}-{w}"))
+                            .spawn(move || {
+                                while let Some(batch) = inner.next_batch(shard_idx) {
+                                    inner.serve_batch(shard_idx, batch);
+                                }
+                            })
+                            .expect("spawning a service worker thread")
+                    }
+                })
             })
             .collect();
-        GeolocationService { inner, workers }
+        ShardedService { inner, workers }
     }
 
     /// Enqueues `targets` for localization and returns a handle to wait on.
-    /// Targets from concurrent requests coalesce into shared micro-batches.
+    /// Targets from concurrent requests coalesce into shared micro-batches
+    /// on their shard.
     pub fn submit(&self, targets: &[NodeId]) -> RequestHandle {
-        self.enqueue(targets, None)
+        self.enqueue(targets, None, None)
     }
 
-    /// [`GeolocationService::submit`] with per-request evidence selection:
-    /// the request's targets run on the base pipeline adjusted by
-    /// `options` (sources disabled / re-weighted). Targets from requests
-    /// with identical options still coalesce into shared engine runs.
+    /// [`ShardedService::submit`] with per-request options: evidence
+    /// selection (the request's targets run on the base pipeline adjusted
+    /// by `options`; targets from requests with identical evidence
+    /// selections still coalesce into shared engine runs) and/or a
+    /// deadline. Slots of targets shed at admission resolve immediately.
     pub fn submit_with_options(
         &self,
         targets: &[NodeId],
         options: LocalizeOptions,
     ) -> RequestHandle {
-        let options = if options.is_default() {
+        let deadline = options.deadline.map(|d| Instant::now() + d);
+        let evidence = if options.evidence_is_default() {
             None
         } else {
-            Some(Arc::new(options))
+            Some(Arc::new(options.evidence()))
         };
-        self.enqueue(targets, options)
+        self.enqueue(targets, evidence, deadline)
     }
 
-    fn enqueue(&self, targets: &[NodeId], options: Option<Arc<LocalizeOptions>>) -> RequestHandle {
+    fn enqueue(
+        &self,
+        targets: &[NodeId],
+        options: Option<Arc<LocalizeOptions>>,
+        deadline: Option<Instant>,
+    ) -> RequestHandle {
         let state = Arc::new(RequestState {
             slots: Mutex::new((targets.len(), vec![None; targets.len()])),
             done: Condvar::new(),
         });
-        if !targets.is_empty() {
-            let mut queue = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
-            for (slot, &target) in targets.iter().enumerate() {
-                queue.pending.push_back(PendingTarget {
-                    target,
-                    request: state.clone(),
-                    slot,
-                    options: options.clone(),
-                });
+        if targets.is_empty() {
+            return RequestHandle { state };
+        }
+        // Route each slot to its shard (deterministic by target prefix),
+        // preserving submission order within each shard.
+        let mut by_shard: Vec<(usize, Vec<(usize, NodeId)>)> = Vec::new();
+        for (slot, &target) in targets.iter().enumerate() {
+            let shard = self.inner.router.shard_for(target);
+            match by_shard.iter_mut().find(|(s, _)| *s == shard) {
+                Some((_, slots)) => slots.push((slot, target)),
+                None => by_shard.push((shard, vec![(slot, target)])),
             }
-            if queue.oldest_since.is_none() {
-                queue.oldest_since = Some(Instant::now());
+        }
+        let now = Instant::now();
+        let cap = self.inner.config.shard.queue_capacity;
+        for (shard_idx, slots) in by_shard {
+            let shard = &self.inner.shards[shard_idx];
+            let mut shed: Vec<usize> = Vec::new();
+            {
+                let mut queue = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+                for (slot, target) in slots {
+                    // Admission control: a full bounded queue sheds the
+                    // target instead of growing latency past any SLO.
+                    if cap > 0 && queue.pending.len() >= cap {
+                        shed.push(slot);
+                        continue;
+                    }
+                    queue.pending.push_back(PendingTarget {
+                        target,
+                        request: state.clone(),
+                        slot,
+                        options: options.clone(),
+                        deadline,
+                        enqueued_at: now,
+                    });
+                    if queue.oldest_since.is_none() {
+                        queue.oldest_since = Some(now);
+                    }
+                }
             }
-            drop(queue);
-            self.inner.queue_cv.notify_all();
+            self.inner.shards[shard_idx].queue_cv.notify_all();
+            if !shed.is_empty() {
+                shard.local.lock().counters.shed_queue_full += shed.len() as u64;
+                for slot in shed {
+                    state.complete(
+                        slot,
+                        ServeOutcome::Shed {
+                            reason: ShedReason::QueueFull,
+                        },
+                    );
+                }
+            }
         }
         RequestHandle { state }
     }
 
-    /// Convenience: [`GeolocationService::submit`] + [`RequestHandle::wait`].
+    /// Convenience: [`ShardedService::submit`] + [`RequestHandle::wait`].
     pub fn localize_blocking(&self, targets: &[NodeId]) -> Vec<ServedEstimate> {
         self.submit(targets).wait()
     }
 
-    /// Convenience: [`GeolocationService::submit_with_options`] +
-    /// [`RequestHandle::wait`].
+    /// Convenience: [`ShardedService::submit_with_options`] +
+    /// [`RequestHandle::wait_outcomes`].
     pub fn localize_blocking_with_options(
         &self,
         targets: &[NodeId],
         options: LocalizeOptions,
-    ) -> Vec<ServedEstimate> {
-        self.submit_with_options(targets, options).wait()
+    ) -> Vec<ServeOutcome> {
+        self.submit_with_options(targets, options).wait_outcomes()
     }
 
     /// Prepares a fresh model from `landmarks`, makes it the current epoch
@@ -508,8 +751,20 @@ impl<P: ObservationProvider + Send + Sync + 'static> GeolocationService<P> {
         self.inner.registry.epoch()
     }
 
-    /// The shared router sub-localization cache (counters, eviction).
-    pub fn cache(&self) -> &RouterCache {
+    /// The shard serving `target` — the control plane's routing decision,
+    /// deterministic within (and across) epochs.
+    pub fn shard_for(&self, target: NodeId) -> usize {
+        self.inner.router.shard_for(target)
+    }
+
+    /// Number of data-plane shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The shared router sub-localization cache (sliced by router id;
+    /// counters, eviction).
+    pub fn cache(&self) -> &ShardedRouterCache {
         &self.inner.cache
     }
 
@@ -518,45 +773,95 @@ impl<P: ObservationProvider + Send + Sync + 'static> GeolocationService<P> {
         &self.inner.registry
     }
 
-    /// An aggregate counter snapshot.
+    /// The aggregate statistics snapshot: counters summed over shards,
+    /// per-shard queue gauges, merged latency quantiles.
     pub fn stats(&self) -> ServiceStats {
-        let counters = self.inner.counters.lock();
+        let mut counters = ServiceCounters::default();
+        let mut latency = LatencyHistogram::new();
+        let mut queues = Vec::with_capacity(self.inner.shards.len());
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            {
+                let local = shard.local.lock();
+                counters.absorb(&local.counters);
+                latency.merge(&local.latency);
+            }
+            queues.push(QueueSnapshot {
+                shard: i,
+                depth: shard
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pending
+                    .len(),
+            });
+        }
         ServiceStats {
             epoch: self.inner.registry.epoch(),
-            batches: counters.batches,
-            targets_served: counters.targets_served,
-            largest_batch: counters.largest_batch,
-            failed_batches: counters.failed_batches,
-            queue_depth: self
-                .inner
-                .queue
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .pending
-                .len(),
+            counters,
+            queues,
+            latency: latency.summary(),
             cache: self.inner.cache.stats(),
         }
     }
 
-    /// Drains the queue, stops the workers, and joins them. Pending requests
-    /// are served before the workers exit.
+    /// Per-shard statistics, in shard order: each shard's own counters,
+    /// queue gauge, and latency quantiles.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let (counters, latency) = {
+                    let local = shard.local.lock();
+                    (local.counters, local.latency.summary())
+                };
+                ShardStats {
+                    shard: i,
+                    counters,
+                    queue: QueueSnapshot {
+                        shard: i,
+                        depth: shard
+                            .queue
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .pending
+                            .len(),
+                    },
+                    latency,
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate router-cache counters (summed over slices). Shorthand for
+    /// `self.cache().stats()`.
+    pub fn cache_stats(&self) -> RouterCacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Drains every shard's queue, stops the workers, and joins them.
+    /// Pending requests are served before the workers exit (expired
+    /// deadlines are still shed, never solved).
     pub fn shutdown(mut self) {
         self.stop_workers();
     }
 
     fn stop_workers(&mut self) {
-        {
-            let mut queue = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
-            queue.shutdown = true;
+        for shard in &self.inner.shards {
+            {
+                let mut queue = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+                queue.shutdown = true;
+            }
+            shard.queue_cv.notify_all();
         }
-        self.inner.queue_cv.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-impl<P: ObservationProvider + Send + Sync + 'static> Drop for GeolocationService<P> {
+impl<P: ObservationProvider + Send + Sync + 'static> Drop for ShardedService<P> {
     fn drop(&mut self) {
         self.stop_workers();
     }
@@ -584,8 +889,13 @@ mod tests {
             assert!(s.estimate.point.is_some());
         }
         let stats = service.stats();
-        assert_eq!(stats.targets_served, targets.len() as u64);
-        assert!(stats.batches >= 1);
+        assert_eq!(stats.counters.targets_served, targets.len() as u64);
+        assert!(stats.counters.batches >= 1);
+        assert_eq!(stats.counters.shed(), 0);
+        assert_eq!(stats.shed_rate(), 0.0);
+        // Every served target left a latency observation.
+        assert_eq!(stats.latency.count, targets.len() as u64);
+        assert!(stats.latency.p50 <= stats.latency.p999);
         service.shutdown();
     }
 
@@ -606,6 +916,144 @@ mod tests {
     }
 
     #[test]
+    fn multi_shard_serving_is_bit_identical_to_one_shard() {
+        let ds = dataset(12, 13).into_shared();
+        let hosts = ds.host_ids();
+        let (landmarks, targets) = hosts.split_at(8);
+
+        let one = ShardedService::start(ServiceConfig::default(), ds.clone(), landmarks);
+        let single = one.localize_blocking(targets);
+        one.shutdown();
+
+        let sharded = ShardedService::start(
+            ServiceConfig::default().with_shards(3),
+            ds.clone(),
+            landmarks,
+        );
+        assert_eq!(sharded.shard_count(), 3);
+        let multi = sharded.localize_blocking(targets);
+        for (a, b) in single.iter().zip(&multi) {
+            assert_eq!(a.target, b.target, "submission order is preserved");
+            assert_eq!(a.estimate.point, b.estimate.point);
+            assert_eq!(a.estimate.report, b.estimate.report);
+        }
+        // Counters aggregate across shards; gauges stay per shard.
+        let stats = sharded.stats();
+        assert_eq!(stats.counters.targets_served, targets.len() as u64);
+        assert_eq!(stats.queues.len(), 3);
+        assert_eq!(stats.queue_depth_total(), 0);
+        let per_shard = sharded.shard_stats();
+        assert_eq!(per_shard.len(), 3);
+        let summed: u64 = per_shard.iter().map(|s| s.counters.targets_served).sum();
+        assert_eq!(summed, stats.counters.targets_served);
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_across_calls() {
+        let ds = dataset(12, 19).into_shared();
+        let hosts = ds.host_ids();
+        let (landmarks, targets) = hosts.split_at(8);
+        let service = ShardedService::start(ServiceConfig::default().with_shards(4), ds, landmarks);
+        let first: Vec<usize> = targets.iter().map(|&t| service.shard_for(t)).collect();
+        // Serving traffic does not perturb routing.
+        service.localize_blocking(targets);
+        let second: Vec<usize> = targets.iter().map(|&t| service.shard_for(t)).collect();
+        assert_eq!(first, second);
+        // Routing survives an epoch refresh (the table is static provider
+        // state, not per-epoch state).
+        service.refresh_model(landmarks);
+        let third: Vec<usize> = targets.iter().map(|&t| service.shard_for(t)).collect();
+        assert_eq!(first, third);
+        service.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_and_never_solved() {
+        let ds = dataset(10, 23).into_shared();
+        let hosts = ds.host_ids();
+        let (landmarks, targets) = hosts.split_at(7);
+        // A huge batching floor + long max_wait parks submissions in the
+        // queue long enough for a zero deadline to be expired at drain.
+        let service = ShardedService::start(
+            ServiceConfig::default()
+                .with_min_batch(1000)
+                .with_max_wait(Duration::from_millis(200)),
+            ds,
+            landmarks,
+        );
+        let outcomes = service.localize_blocking_with_options(
+            &targets[..2],
+            LocalizeOptions::default().with_deadline(Duration::ZERO),
+        );
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(
+                matches!(o, ServeOutcome::DeadlineExceeded),
+                "zero-deadline target must expire in queue, got {o:?}"
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.counters.deadline_expired, 2);
+        assert_eq!(
+            stats.counters.targets_served, 0,
+            "expired targets are never solved"
+        );
+        assert_eq!(
+            stats.latency.count, 0,
+            "expired targets leave no latency observation"
+        );
+        assert!(stats.shed_rate() > 0.99);
+
+        // A deadline that cannot expire serves normally.
+        let ok = service.localize_blocking_with_options(
+            &targets[..1],
+            LocalizeOptions::default().with_deadline(Duration::from_secs(3600)),
+        );
+        assert!(ok[0].is_served());
+        service.shutdown();
+    }
+
+    #[test]
+    fn full_bounded_queue_sheds_at_admission() {
+        let ds = dataset(10, 29).into_shared();
+        let hosts = ds.host_ids();
+        let (landmarks, targets) = hosts.split_at(7);
+        // Workers wait for a 1000-target batch for up to 10 s, so the queue
+        // cannot drain between the two submissions below.
+        let service = ShardedService::start(
+            ServiceConfig::default()
+                .with_min_batch(1000)
+                .with_max_wait(Duration::from_secs(10))
+                .with_shard(ShardConfig::default().with_queue_capacity(2)),
+            ds,
+            landmarks,
+        );
+        // 3 targets into a capacity-2 queue: the third is shed immediately,
+        // without blocking, while the first two sit in the parked queue.
+        let handle = service.submit(&targets[..3]);
+        let stats = service.stats();
+        assert_eq!(stats.counters.shed_queue_full, 1);
+        assert_eq!(stats.queue_depth_total(), 2);
+        // Shutdown drains the queue, serving the two admitted targets; only
+        // then does the handle resolve fully.
+        service.shutdown();
+        let outcomes = handle.wait_outcomes();
+        assert!(outcomes[0].is_served(), "admitted slot is served on drain");
+        assert!(outcomes[1].is_served(), "admitted slot is served on drain");
+        assert!(
+            matches!(
+                outcomes[2],
+                ServeOutcome::Shed {
+                    reason: ShedReason::QueueFull
+                }
+            ),
+            "the overflow slot reports the queue-full reason, got {:?}",
+            outcomes[2]
+        );
+    }
+
+    #[test]
     fn empty_request_completes_immediately() {
         let ds = dataset(8, 3).into_shared();
         let hosts = ds.host_ids();
@@ -622,11 +1070,7 @@ mod tests {
         let hosts = ds.host_ids();
         let (landmarks, targets) = hosts.split_at(8);
         let service = Arc::new(GeolocationService::start(
-            ServiceConfig {
-                workers: 3,
-                min_batch: 2,
-                ..ServiceConfig::default()
-            },
+            ServiceConfig::default().with_workers(3).with_min_batch(2),
             ds,
             landmarks,
         ));
@@ -643,7 +1087,7 @@ mod tests {
                 });
             }
         });
-        assert_eq!(service.stats().targets_served, 12);
+        assert_eq!(service.stats().counters.targets_served, 12);
     }
 
     #[test]
@@ -656,12 +1100,16 @@ mod tests {
         // Baseline request on the default pipeline.
         let base = service.localize_blocking(&targets[..2]);
         // Same targets with the router + hint sources disabled.
-        let ablated = service.localize_blocking_with_options(
-            &targets[..2],
-            LocalizeOptions::default()
-                .without_source(SourceId::Router)
-                .without_source(SourceId::Hint),
-        );
+        let ablated: Vec<ServedEstimate> = service
+            .localize_blocking_with_options(
+                &targets[..2],
+                LocalizeOptions::default()
+                    .without_source(SourceId::Router)
+                    .without_source(SourceId::Hint),
+            )
+            .into_iter()
+            .map(|o| o.into_served().expect("no deadline, no bound: served"))
+            .collect();
         for (b, a) in base.iter().zip(&ablated) {
             assert_eq!(b.target, a.target);
             assert!(a.estimate.point.is_some());
@@ -689,7 +1137,19 @@ mod tests {
         // Empty options behave exactly like plain submit.
         let plain =
             service.localize_blocking_with_options(&targets[..1], LocalizeOptions::default());
-        assert_eq!(plain[0].estimate.point, base[0].estimate.point);
+        assert_eq!(
+            plain[0].served().unwrap().estimate.point,
+            base[0].estimate.point
+        );
+        // A deadline alone neither blocks coalescing nor changes answers.
+        let with_deadline = service.localize_blocking_with_options(
+            &targets[..1],
+            LocalizeOptions::default().with_deadline(Duration::from_secs(3600)),
+        );
+        assert_eq!(
+            with_deadline[0].served().unwrap().estimate.point,
+            base[0].estimate.point
+        );
         service.shutdown();
     }
 
@@ -797,10 +1257,7 @@ mod tests {
         let poison = targets[0];
         let provider = std::sync::Arc::new(PoisonedProvider { inner: ds, poison });
         let service = GeolocationService::start(
-            ServiceConfig {
-                workers: 1,
-                ..ServiceConfig::default()
-            },
+            ServiceConfig::default().with_workers(1),
             provider,
             landmarks,
         );
@@ -809,7 +1266,7 @@ mod tests {
         let served = service.localize_blocking(&[poison]);
         assert_eq!(served.len(), 1);
         assert!(served[0].estimate.point.is_none());
-        assert!(service.stats().failed_batches >= 1);
+        assert!(service.stats().counters.failed_batches >= 1);
         // The single worker survived and keeps serving healthy targets.
         let healthy = service.localize_blocking(&targets[1..2]);
         assert!(healthy[0].estimate.point.is_some());

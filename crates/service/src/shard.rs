@@ -1,0 +1,171 @@
+//! Data-plane shard configuration and request routing.
+//!
+//! The serving tier's data plane is `ShardConfig::count` independent shards,
+//! each owning its own bounded request queue and worker pool. The control
+//! plane routes every submitted target to a shard **deterministically by
+//! the target's /24 IP prefix** ([`ShardRouter`]): the prefix → shard map is
+//! a pure hash of static provider facts, so the same target lands on the
+//! same shard on every call — no cross-shard coordination, no rebalancing
+//! races, and repeat traffic for one prefix stays on one queue. Router
+//! sub-localizations are *not* per-shard: they live in the router-id-sliced
+//! [`crate::ShardedRouterCache`] shared by all shards, which is what keeps
+//! the exactly-R-sub-solves property global after the split.
+
+use octant_netsim::observation::ObservationProvider;
+use octant_netsim::topology::NodeId;
+use std::collections::HashMap;
+
+/// Data-plane sizing of a sharded service.
+///
+/// `#[non_exhaustive]`: construct via [`ShardConfig::default`] and the
+/// builder-style `with_*` setters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ShardConfig {
+    /// Number of data-plane shards. Each shard owns a request queue and
+    /// `ServiceConfig::workers` worker threads. The default of 1 reproduces
+    /// the pre-sharding single-queue service exactly.
+    pub count: usize,
+    /// Bound on each shard's queue, in pending targets. Submissions beyond
+    /// the bound are **shed** at admission (`ShedReason::QueueFull`) instead
+    /// of queued. `0` (the default) means unbounded — no admission shedding,
+    /// matching the pre-sharding service.
+    pub queue_capacity: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            count: 1,
+            queue_capacity: 0,
+        }
+    }
+}
+
+octant::config_setters!(ShardConfig {
+    /// Sets the number of data-plane shards.
+    with_count: count: usize,
+    /// Sets the per-shard queue bound (`0` = unbounded).
+    with_queue_capacity: queue_capacity: usize,
+});
+
+/// SplitMix64 — the deterministic, platform-independent mixer behind both
+/// shard-routing hashes (target prefixes here, router ids in the cache
+/// slicing). Stable across runs and machines by construction, so shard
+/// assignment is reproducible.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The control plane's target → shard routing table.
+///
+/// Built once from the provider's (static) host table: each host's /24 IP
+/// prefix is hashed to a shard. Targets the provider does not list fall
+/// back to hashing their raw node id, so routing is total. Within a model
+/// epoch — in fact, for the life of the provider — the assignment never
+/// changes.
+#[derive(Debug)]
+pub struct ShardRouter {
+    shards: usize,
+    by_target: HashMap<NodeId, usize>,
+}
+
+impl ShardRouter {
+    /// Builds the routing table over `provider`'s hosts for `shards` shards.
+    pub fn build(provider: &dyn ObservationProvider, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let by_target = provider
+            .hosts()
+            .into_iter()
+            .map(|h| {
+                let prefix =
+                    u64::from(h.ip[0]) << 16 | u64::from(h.ip[1]) << 8 | u64::from(h.ip[2]);
+                (h.id, (mix64(prefix) % shards as u64) as usize)
+            })
+            .collect();
+        ShardRouter { shards, by_target }
+    }
+
+    /// Number of shards this table routes over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard serving `target`. Deterministic: the same target always
+    /// maps to the same shard, and targets sharing a /24 prefix share a
+    /// shard.
+    pub fn shard_for(&self, target: NodeId) -> usize {
+        match self.by_target.get(&target) {
+            Some(&shard) => shard,
+            None => (mix64(target.0 as u64) % self.shards as u64) as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::dataset;
+
+    #[test]
+    fn default_shard_config_matches_the_pre_sharding_service() {
+        let config = ShardConfig::default();
+        assert_eq!(config.count, 1);
+        assert_eq!(config.queue_capacity, 0, "unbounded by default");
+        let built = ShardConfig::default()
+            .with_count(4)
+            .with_queue_capacity(128);
+        assert_eq!(built.count, 4);
+        assert_eq!(built.queue_capacity, 128);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ds = dataset(10, 11);
+        let hosts = ds.host_ids();
+        let router = ShardRouter::build(&ds, 4);
+        let again = ShardRouter::build(&ds, 4);
+        for &h in &hosts {
+            let shard = router.shard_for(h);
+            assert!(shard < 4);
+            // Same table, repeat call: identical. Rebuilt table: identical.
+            assert_eq!(router.shard_for(h), shard);
+            assert_eq!(again.shard_for(h), shard);
+        }
+        // Unknown targets still route (by node id), inside range.
+        let unknown = NodeId(9_999_999);
+        assert!(router.shard_for(unknown) < 4);
+        assert_eq!(router.shard_for(unknown), router.shard_for(unknown));
+    }
+
+    #[test]
+    fn one_shard_routes_everything_to_shard_zero() {
+        let ds = dataset(8, 13);
+        let router = ShardRouter::build(&ds, 1);
+        for &h in &ds.host_ids() {
+            assert_eq!(router.shard_for(h), 0);
+        }
+        // A zero shard count is clamped to one, never a modulo-by-zero.
+        let clamped = ShardRouter::build(&ds, 0);
+        assert_eq!(clamped.shards(), 1);
+    }
+
+    #[test]
+    fn shards_see_a_spread_of_prefixes() {
+        // With enough distinct prefixes, more than one shard gets traffic
+        // (the hash must not collapse everything onto one shard).
+        let ds = dataset(16, 17);
+        let router = ShardRouter::build(&ds, 4);
+        let mut used = std::collections::BTreeSet::new();
+        for &h in &ds.host_ids() {
+            used.insert(router.shard_for(h));
+        }
+        assert!(
+            used.len() > 1,
+            "16 hosts across 4 shards must not all hash together (got {used:?})"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Serving-tier statistics: monotonic counters, point-in-time gauges, and
+//! latency quantiles — kept in **separate sections** so aggregation across
+//! shards is well-defined (counters sum, gauges are reported per shard,
+//! histograms merge).
+//!
+//! The pre-sharding `ServiceStats` mixed a point-in-time `queue_depth` gauge
+//! into a struct of monotonic counters, which had no correct cross-shard
+//! aggregation (summing gauges sampled at different instants reports a depth
+//! no shard ever had — and hides which shard is backed up). The split types
+//! here fix that asymmetry: [`ServiceCounters`] is strictly monotonic and
+//! sums, [`QueueSnapshot`] is strictly instantaneous and stays per-shard.
+
+use crate::cache::RouterCacheStats;
+use crate::histogram::LatencySummary;
+
+/// Monotonic serving counters. Within a [`ShardStats`] these are one
+/// shard's; in [`ServiceStats`] they are the sum over all shards.
+#[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
+pub struct ServiceCounters {
+    /// Micro-batches solved.
+    pub batches: u64,
+    /// Targets solved and delivered as [`ServeOutcome::Served`].
+    ///
+    /// [`ServeOutcome::Served`]: crate::ServeOutcome::Served
+    pub targets_served: u64,
+    /// Largest micro-batch drained (a high-water mark: monotonic, but maxes
+    /// rather than sums across shards).
+    pub largest_batch: usize,
+    /// Micro-batches whose solve panicked; their targets were answered with
+    /// unknown estimates instead of hanging the request.
+    pub failed_batches: u64,
+    /// Targets shed at admission because the shard's bounded queue was full.
+    pub shed_queue_full: u64,
+    /// Targets shed at drain time because their deadline expired while they
+    /// waited in the queue (they were never solved).
+    pub deadline_expired: u64,
+}
+
+impl ServiceCounters {
+    /// Total shed targets across every reason (queue-full + deadline).
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.deadline_expired
+    }
+
+    /// Folds another shard's counters into this aggregate: counters sum,
+    /// the high-water mark maxes.
+    pub fn absorb(&mut self, other: &ServiceCounters) {
+        self.batches += other.batches;
+        self.targets_served += other.targets_served;
+        self.largest_batch = self.largest_batch.max(other.largest_batch);
+        self.failed_batches += other.failed_batches;
+        self.shed_queue_full += other.shed_queue_full;
+        self.deadline_expired += other.deadline_expired;
+    }
+}
+
+/// A point-in-time gauge of one shard's queue. Never summed across shards:
+/// each snapshot is taken under that shard's queue lock, and depths sampled
+/// at different instants do not add up to anything meaningful.
+#[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
+pub struct QueueSnapshot {
+    /// The shard this gauge was sampled from.
+    pub shard: usize,
+    /// Targets waiting in the shard's queue at sampling time.
+    pub depth: usize,
+}
+
+/// One data-plane shard's statistics: its own counters, its queue gauge,
+/// and its latency quantiles.
+#[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
+pub struct ShardStats {
+    /// The shard index.
+    pub shard: usize,
+    /// The shard's monotonic counters.
+    pub counters: ServiceCounters,
+    /// The shard's queue gauge.
+    pub queue: QueueSnapshot,
+    /// Quantiles of the shard's served-request latencies
+    /// (enqueue → completion).
+    pub latency: LatencySummary,
+}
+
+/// The aggregate statistics snapshot of a serving tier.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct ServiceStats {
+    /// Current model epoch.
+    pub epoch: u64,
+    /// Counters summed over every shard (the high-water mark maxes).
+    pub counters: ServiceCounters,
+    /// Per-shard queue gauges (one entry per shard, in shard order).
+    pub queues: Vec<QueueSnapshot>,
+    /// Quantiles of the merged per-shard latency histograms.
+    pub latency: LatencySummary,
+    /// Router cache counters, summed over every cache slice.
+    pub cache: RouterCacheStats,
+}
+
+impl ServiceStats {
+    /// Total queued targets across all shards. A convenience for tests and
+    /// single-shard callers; remember each addend is a gauge sampled under
+    /// its own shard's lock, not one instant's global depth.
+    pub fn queue_depth_total(&self) -> usize {
+        self.queues.iter().map(|q| q.depth).sum()
+    }
+
+    /// Fraction of finished targets that were shed rather than served
+    /// (0 when nothing has finished).
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.counters.targets_served + self.counters.shed();
+        if total == 0 {
+            0.0
+        } else {
+            self.counters.shed() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_and_high_water_marks_max() {
+        let a = ServiceCounters {
+            batches: 3,
+            targets_served: 10,
+            largest_batch: 8,
+            failed_batches: 1,
+            shed_queue_full: 2,
+            deadline_expired: 1,
+        };
+        let b = ServiceCounters {
+            batches: 2,
+            targets_served: 5,
+            largest_batch: 12,
+            failed_batches: 0,
+            shed_queue_full: 0,
+            deadline_expired: 4,
+        };
+        let mut agg = a;
+        agg.absorb(&b);
+        assert_eq!(agg.batches, 5);
+        assert_eq!(agg.targets_served, 15);
+        assert_eq!(agg.largest_batch, 12, "high-water mark maxes, not sums");
+        assert_eq!(agg.failed_batches, 1);
+        assert_eq!(agg.shed(), 7);
+    }
+
+    #[test]
+    fn shed_rate_counts_both_reasons() {
+        let stats = ServiceStats {
+            counters: ServiceCounters {
+                targets_served: 90,
+                shed_queue_full: 6,
+                deadline_expired: 4,
+                ..ServiceCounters::default()
+            },
+            ..ServiceStats::default()
+        };
+        assert!((stats.shed_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(ServiceStats::default().shed_rate(), 0.0);
+    }
+}

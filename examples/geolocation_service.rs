@@ -13,7 +13,10 @@
 //! 3. a **model refresh mid-stream** — a new landmark-model epoch is
 //!    registered while requests are in flight, without interrupting them;
 //! 4. a **post-refresh wave** — the cache re-fills for the new epoch and
-//!    old-epoch entries are retired.
+//!    old-epoch entries are retired;
+//! 5. an **SLO wave** — requests carrying deadlines resolve to typed
+//!    outcomes: a generous deadline is served, an already-expired one is
+//!    shed at drain time without spending any solver work.
 //!
 //! Along the way the example verifies that served estimates are
 //! bit-identical to the uncached sequential `Recursive` path on the same
@@ -24,8 +27,8 @@
 
 use octant::{Geolocator, Octant, OctantConfig, RouterLocalization};
 use octant_bench::service_campaign;
-use octant_service::{GeolocationService, ServiceConfig};
-use std::time::Instant;
+use octant_service::{GeolocationService, LocalizeOptions, ServeOutcome, ServiceConfig};
+use std::time::{Duration, Instant};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -130,15 +133,49 @@ fn main() {
     }
     println!("# parity          : served estimates bit-identical to uncached Recursive ({checks} targets checked)");
 
+    // ---- Wave 4: SLOs — deadlines resolve to typed outcomes -----------------
+    // A generous deadline serves normally; an already-expired one is shed at
+    // drain time (ServeOutcome::DeadlineExceeded) without any solver work.
+    let on_time = service.localize_blocking_with_options(
+        &campaign.targets[..1],
+        LocalizeOptions::default().with_deadline(Duration::from_secs(60)),
+    );
+    let served_before = service.stats().counters.targets_served;
+    let expired = service.localize_blocking_with_options(
+        &campaign.targets[..1],
+        LocalizeOptions::default().with_deadline(Duration::ZERO),
+    );
+    assert!(on_time[0].is_served());
+    assert!(matches!(expired[0], ServeOutcome::DeadlineExceeded));
+    assert_eq!(
+        service.stats().counters.targets_served,
+        served_before,
+        "an expired target is never solved"
+    );
+    println!(
+        "# wave 4 (SLO)    : 60s deadline served on epoch {}, 0s deadline shed unsolved ({} deadline-expired total)",
+        on_time[0].served().expect("generous deadline").epoch,
+        service.stats().counters.deadline_expired
+    );
+
     let final_stats = service.stats();
     println!(
         "# totals          : {} targets in {} micro-batches (largest {}), {} sub-localizations, {} cache hits, {:.0}% hit rate",
-        final_stats.targets_served,
-        final_stats.batches,
-        final_stats.largest_batch,
+        final_stats.counters.targets_served,
+        final_stats.counters.batches,
+        final_stats.counters.largest_batch,
         final_stats.cache.misses,
         final_stats.cache.hits,
         final_stats.cache.hit_rate() * 100.0
+    );
+    println!(
+        "# latency         : {} serves, p50 {:?}, p99 {:?}, p999 {:?}, max {:?} (queue depth now {})",
+        final_stats.latency.count,
+        final_stats.latency.p50,
+        final_stats.latency.p99,
+        final_stats.latency.p999,
+        final_stats.latency.max,
+        final_stats.queue_depth_total()
     );
     service.shutdown();
 }
