@@ -230,6 +230,7 @@ impl Geolocator for GeoLim {
             report,
             target_height_ms: None,
             provenance: Default::default(),
+            profile: None,
         }
     }
 }

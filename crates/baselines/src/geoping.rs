@@ -86,6 +86,7 @@ impl Geolocator for GeoPing {
                 report: SolveReport::default(),
                 target_height_ms: None,
                 provenance: Default::default(),
+                profile: None,
             },
             None => LocationEstimate::unknown(),
         }

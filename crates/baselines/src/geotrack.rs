@@ -66,6 +66,7 @@ impl Geolocator for GeoTrack {
                 report: SolveReport::default(),
                 target_height_ms: None,
                 provenance: Default::default(),
+                profile: None,
             },
             None => LocationEstimate::unknown(),
         }

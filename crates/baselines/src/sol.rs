@@ -97,6 +97,7 @@ impl Geolocator for SpeedOfLight {
             point,
             target_height_ms: None,
             provenance: Default::default(),
+            profile: None,
         }
     }
 }

@@ -13,8 +13,8 @@
 //! `mix_<name>_median_mi` / `_p90_mi` / `_hit_rate` / `_mean_area_mi2`,
 //! plus `mix_<name>_applied_<source>` for every source that contributed.
 
-use octant::{EvidencePipeline, Octant, OctantConfig, SourceId};
-use octant_bench::{pipeline_campaign, run_technique, OpsBenchSummary, TechniqueResult};
+use octant::{BatchGeolocator, EvidencePipeline, Octant, OctantConfig, SourceId};
+use octant_bench::{pipeline_campaign, run_technique, OpsBenchSummary, StageRow, TechniqueResult};
 
 const SOURCES: &[SourceId] = &[
     SourceId::Latency,
@@ -101,7 +101,7 @@ fn main() {
     let mut summary = OpsBenchSummary {
         bench: "pipeline".to_string(),
         scenario: if smoke { "smoke" } else { "full" }.to_string(),
-        metrics: Vec::new(),
+        ..OpsBenchSummary::default()
     };
 
     println!(
@@ -156,6 +156,39 @@ fn main() {
         summary.push(format!("mix_{}_mean_area_mi2", mix.name), mean_area);
         for (id, n) in &applied {
             summary.push(format!("mix_{}_applied_{}", mix.name, id), *n as f64);
+        }
+    }
+
+    // ---- Profiled pass: per-target stage breakdown of the default mix ------
+    // Re-solves every host through the batch engine's profiled entry point
+    // (`localize_batch_profiled`), aggregating each target's captured
+    // `StageProfile` into the summary's `stage_breakdown` section — the
+    // where-does-the-solve-wall-go view next to the accuracy numbers above.
+    {
+        let batch = BatchGeolocator::new(OctantConfig::default());
+        let model = batch
+            .octant()
+            .prepare_landmarks(&campaign.dataset, &campaign.hosts[1..]);
+        let estimates = batch.localize_batch_profiled(&campaign.dataset, &model, &campaign.hosts);
+        let profiles: Vec<_> = estimates
+            .iter()
+            .filter_map(|e| e.profile.as_ref())
+            .collect();
+        assert_eq!(
+            profiles.len(),
+            estimates.len(),
+            "every profiled estimate must carry a stage profile"
+        );
+        summary.stage_breakdown = StageRow::from_profiles(profiles);
+        println!(
+            "{:<18} {:>8} {:>12} {:>10} {:>10}",
+            "stage", "count", "total ms", "p50 ms", "p99 ms"
+        );
+        for row in &summary.stage_breakdown {
+            println!(
+                "{:<18} {:>8} {:>12.3} {:>10.3} {:>10.3}",
+                row.name, row.count, row.total_ms, row.p50_ms, row.p99_ms
+            );
         }
     }
 

@@ -89,7 +89,7 @@ fn main() {
     let mut summary = OpsBenchSummary {
         bench: "region".into(),
         scenario: if smoke { "smoke".into() } else { "full".into() },
-        metrics: Vec::new(),
+        ..OpsBenchSummary::default()
     };
 
     // ---- 16-way intersection: chained pairwise vs one n-ary sweep ----------
@@ -101,12 +101,12 @@ fn main() {
         }
         acc
     };
-    let before = stats::band_merges();
+    let before = stats::thread_band_merges();
     let chained_result = chained(&disks);
-    let chained_bands = stats::band_merges() - before;
-    let before = stats::band_merges();
+    let chained_bands = stats::thread_band_merges() - before;
+    let before = stats::thread_band_merges();
     let nary_result = Region::intersect_many(disks.iter());
-    let nary_bands = stats::band_merges() - before;
+    let nary_bands = stats::thread_band_merges() - before;
 
     // The perf-regression guard: one fused sweep must merge strictly fewer
     // bands than the 15 chained sweeps it replaces, and agree on the area.
@@ -142,12 +142,12 @@ fn main() {
     // into the *calling* thread's counter (thread-local accumulation +
     // merge on join) and stitch bit-identical rings.
     let ring_sets: Vec<&[octant_region::Ring]> = disks.iter().map(|d| d.rings()).collect();
-    let before_seq = stats::band_merges();
+    let before_seq = stats::thread_band_merges();
     let sequential = boolean_op_many_chunked(&ring_sets, NaryOp::Intersection, 1);
-    let sequential_bands = stats::band_merges() - before_seq;
-    let before_par = stats::band_merges();
+    let sequential_bands = stats::thread_band_merges() - before_seq;
+    let before_par = stats::thread_band_merges();
     let parallel = boolean_op_many_chunked(&ring_sets, NaryOp::Intersection, 4);
-    let parallel_bands = stats::band_merges() - before_par;
+    let parallel_bands = stats::thread_band_merges() - before_par;
     assert_eq!(
         parallel_bands, sequential_bands,
         "parallel per-band merge must count exactly the sequential sweep's bands"

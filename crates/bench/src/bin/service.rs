@@ -19,6 +19,13 @@
 //!    a healthy run sheds nothing; a nonzero shed rate in the artifact
 //!    means the tier was overloaded).
 //!
+//! 3. **Profiled rerun** — the same multi-shard Zipf stream resubmitted
+//!    with `LocalizeOptions::with_profiling()` on every request. Its merged
+//!    per-stage histograms (`ShardedService::stats_report`) become the
+//!    JSON's `stage_breakdown` section, and its wall-clock delta against
+//!    stage 2 becomes `telemetry_overhead_pct` — the measured cost of
+//!    turning profiling on.
+//!
 //! The stream is submitted through a sliding window of in-flight requests,
 //! so the client applies backpressure the way a real frontend does instead
 //! of dumping the whole campaign into the queues at once.
@@ -29,10 +36,12 @@
 //!   `BENCH_*.json` summary documented in `octant_bench`'s crate docs.
 
 use octant::{BatchGeolocator, OctantConfig, RouterLocalization};
-use octant_bench::{json_path_from_args, service_campaign, BenchSummary, ZipfSampler};
+use octant_bench::{json_path_from_args, service_campaign, BenchSummary, StageRow, ZipfSampler};
 use octant_netsim::topology::NodeId;
 use octant_netsim::MeasurementDataset;
-use octant_service::{GeolocationService, RequestHandle, ServiceConfig, ShardConfig};
+use octant_service::{
+    GeolocationService, LocalizeOptions, RequestHandle, ServiceConfig, ShardConfig,
+};
 use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -125,6 +134,7 @@ fn main() {
         1,
         stream_len,
         42,
+        false,
     );
     let shards = 4;
     let multi = run_zipf_stream(
@@ -134,6 +144,7 @@ fn main() {
         shards,
         stream_len,
         42,
+        false,
     );
     for (label, r) in [("1 shard ", &one), ("4 shards", &multi)] {
         println!(
@@ -156,6 +167,34 @@ fn main() {
         "every streamed target must resolve"
     );
 
+    // ---- Stage 3: profiled rerun (stage breakdown + telemetry overhead) ----
+    let profiled = run_zipf_stream(
+        &provider,
+        &campaign.landmarks,
+        &campaign.targets,
+        shards,
+        stream_len,
+        42,
+        true,
+    );
+    assert_eq!(
+        profiled.stats.counters.targets_served + profiled.stats.counters.shed(),
+        stream_len,
+        "every profiled target must resolve"
+    );
+    let overhead_pct = (profiled.elapsed.as_secs_f64() - multi.elapsed.as_secs_f64())
+        / multi.elapsed.as_secs_f64()
+        * 100.0;
+    assert!(
+        overhead_pct.is_finite(),
+        "telemetry overhead must be measurable"
+    );
+    println!(
+        "# profiled rerun             : {:>8.2?}  ({overhead_pct:+.1}% vs unprofiled)",
+        profiled.elapsed
+    );
+    println!("{}", profiled.report);
+
     let summary = BenchSummary {
         bench: "service".into(),
         scenario: if smoke { "smoke".into() } else { "full".into() },
@@ -172,6 +211,13 @@ fn main() {
         latency_p50_ms: Some(multi.stats.latency.p50.as_secs_f64() * 1e3),
         latency_p99_ms: Some(multi.stats.latency.p99.as_secs_f64() * 1e3),
         latency_p999_ms: Some(multi.stats.latency.p999.as_secs_f64() * 1e3),
+        stage_breakdown: profiled
+            .report
+            .stage_breakdown
+            .iter()
+            .map(StageRow::from_service)
+            .collect(),
+        telemetry_overhead_pct: Some(overhead_pct),
     };
     if let Some(path) = json_path {
         summary
@@ -184,13 +230,17 @@ fn main() {
 struct StreamResult {
     elapsed: Duration,
     stats: octant_service::ServiceStats,
+    report: octant_service::StatsReport,
 }
 
 /// Pushes a seeded Zipf request stream of `stream_len` targets through a
 /// fresh service with `shards` data-plane shards and a generous (but
 /// bounded) per-shard queue, using a sliding in-flight window for client
 /// backpressure. The solve configuration is the cheap minimal pipeline —
-/// this stage measures the serving tier, not the solver.
+/// this stage measures the serving tier, not the solver. With `profiled`,
+/// every request opts into per-target stage capture
+/// (`LocalizeOptions::with_profiling()`).
+#[allow(clippy::too_many_arguments)]
 fn run_zipf_stream(
     provider: &std::sync::Arc<MeasurementDataset>,
     landmarks: &[NodeId],
@@ -198,6 +248,7 @@ fn run_zipf_stream(
     shards: usize,
     stream_len: u64,
     seed: u64,
+    profiled: bool,
 ) -> StreamResult {
     let service = GeolocationService::start(
         ServiceConfig::default()
@@ -219,7 +270,12 @@ fn run_zipf_stream(
         let take = REQUEST_SIZE.min((stream_len - sent) as usize);
         let request: Vec<NodeId> = (0..take).map(|_| targets[zipf.sample(&mut rng)]).collect();
         sent += take as u64;
-        window.push_back(service.submit(&request));
+        let handle = if profiled {
+            service.submit_with_options(&request, LocalizeOptions::default().with_profiling())
+        } else {
+            service.submit(&request)
+        };
+        window.push_back(handle);
         if window.len() >= WINDOW {
             // Client-side backpressure: wait out the oldest in-flight
             // request before submitting more.
@@ -234,6 +290,11 @@ fn run_zipf_stream(
     }
     let elapsed = start.elapsed();
     let stats = service.stats();
+    let report = service.stats_report();
     service.shutdown();
-    StreamResult { elapsed, stats }
+    StreamResult {
+        elapsed,
+        stats,
+        report,
+    }
 }

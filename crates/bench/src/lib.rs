@@ -35,7 +35,14 @@
 //!   "shed_rate": 0.000000,         // deadline-expired), shed / finished,
 //!   "latency_p50_ms": 1.9,         // and enqueue → completion latency
 //!   "latency_p99_ms": 6.2,         // quantiles from the service's merged
-//!   "latency_p999_ms": 8.0         // per-shard histograms
+//!   "latency_p999_ms": 8.0,        // per-shard histograms
+//!   "stage_breakdown": [           // (optional) per-stage wall-time rows
+//!     {"name": "queue_wait", "count": 2000, "total_ms": 510.2,
+//!      "p50_ms": 0.21, "p99_ms": 1.8},
+//!     {"name": "solve", "count": 510, "total_ms": 890.0, ...}
+//!   ],
+//!   "telemetry_overhead_pct": 1.4  // (optional) profiled-rerun wall-clock
+//!                                  // delta vs the measured run, in percent
 //! }
 //! ```
 //!
@@ -329,6 +336,92 @@ pub fn print_cdf_series(results: &[TechniqueResult], error_grid_miles: &[f64]) {
     }
 }
 
+/// One row of a bench summary's `stage_breakdown` array: a named serve
+/// stage with its observation count, accumulated wall time, and latency
+/// quantiles — pre-rendered in milliseconds so JSON consumers never see a
+/// `Duration`.
+#[derive(Debug, Clone)]
+pub struct StageRow {
+    /// The stage name (`queue_wait`, `solve`, `source.latency`, …).
+    pub name: String,
+    /// Number of observations folded in.
+    pub count: u64,
+    /// Total wall time across all observations, milliseconds.
+    pub total_ms: f64,
+    /// Median per-observation wall time, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-observation wall time, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl StageRow {
+    /// Converts one serving-tier stage row (from
+    /// `ShardedService::stats_report`) into the bench-summary shape.
+    pub fn from_service(stage: &octant_service::StageBreakdown) -> StageRow {
+        StageRow {
+            name: stage.name.to_string(),
+            count: stage.count,
+            total_ms: stage.total.as_secs_f64() * 1e3,
+            p50_ms: stage.latency.p50.as_secs_f64() * 1e3,
+            p99_ms: stage.latency.p99.as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Aggregates per-request [`octant_telemetry::StageProfile`]s (one per
+    /// profiled target, as returned in `LocationEstimate::profile`) into
+    /// stage rows, in first-observed stage order. Each profile contributes
+    /// one latency sample per stage it recorded.
+    pub fn from_profiles<'a>(
+        profiles: impl IntoIterator<Item = &'a octant_telemetry::StageProfile>,
+    ) -> Vec<StageRow> {
+        let mut stages: Vec<(&'static str, u64, octant_telemetry::LatencyHistogram)> = Vec::new();
+        for profile in profiles {
+            for stage in profile.stages() {
+                let slot = match stages.iter_mut().find(|(name, _, _)| *name == stage.name) {
+                    Some(slot) => slot,
+                    None => {
+                        stages.push((stage.name, 0, octant_telemetry::LatencyHistogram::default()));
+                        stages.last_mut().expect("just pushed")
+                    }
+                };
+                slot.1 += stage.calls;
+                slot.2.record(stage.wall);
+            }
+        }
+        stages
+            .into_iter()
+            .map(|(name, count, hist)| {
+                let summary = hist.summary();
+                StageRow {
+                    name: name.to_string(),
+                    count,
+                    total_ms: hist.total().as_secs_f64() * 1e3,
+                    p50_ms: summary.p50.as_secs_f64() * 1e3,
+                    p99_ms: summary.p99.as_secs_f64() * 1e3,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Renders a `stage_breakdown` array in the documented JSON shape.
+fn stage_rows_json(rows: &[StageRow]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"name\": {}, \"count\": {}, \"total_ms\": {}, \"p50_ms\": {}, \"p99_ms\": {}}}",
+                json_string(&row.name),
+                row.count,
+                json_f64(row.total_ms),
+                json_f64(row.p50_ms),
+                json_f64(row.p99_ms),
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(", "))
+}
+
 /// A machine-readable throughput-bench summary — see the crate docs for the
 /// on-disk JSON format. `None` fields are omitted from the output.
 #[derive(Debug, Clone, Default)]
@@ -364,6 +457,12 @@ pub struct BenchSummary {
     pub latency_p99_ms: Option<f64>,
     /// 99.9th-percentile serve latency in milliseconds.
     pub latency_p999_ms: Option<f64>,
+    /// Per-stage wall-time rows of the profiled rerun (omitted when empty).
+    pub stage_breakdown: Vec<StageRow>,
+    /// Wall-clock cost of profiling: the profiled rerun's elapsed time vs
+    /// the measured run, in percent (negative means the rerun was faster —
+    /// i.e. the overhead is below run-to-run noise).
+    pub telemetry_overhead_pct: Option<f64>,
 }
 
 impl BenchSummary {
@@ -437,6 +536,15 @@ impl BenchSummary {
         if let Some(ms) = self.latency_p999_ms {
             fields.push(format!("\"latency_p999_ms\": {}", json_f64(ms)));
         }
+        if !self.stage_breakdown.is_empty() {
+            fields.push(format!(
+                "\"stage_breakdown\": {}",
+                stage_rows_json(&self.stage_breakdown)
+            ));
+        }
+        if let Some(pct) = self.telemetry_overhead_pct {
+            fields.push(format!("\"telemetry_overhead_pct\": {}", json_f64(pct)));
+        }
         format!("{{\n  {}\n}}\n", fields.join(",\n  "))
     }
 
@@ -482,6 +590,8 @@ pub struct OpsBenchSummary {
     pub scenario: String,
     /// Named metrics, emitted in insertion order.
     pub metrics: Vec<(String, f64)>,
+    /// Per-stage wall-time rows of a profiled pass (omitted when empty).
+    pub stage_breakdown: Vec<StageRow>,
 }
 
 impl OpsBenchSummary {
@@ -498,6 +608,12 @@ impl OpsBenchSummary {
         ];
         for (name, value) in &self.metrics {
             fields.push(format!("{}: {}", json_string(name), json_f64(*value)));
+        }
+        if !self.stage_breakdown.is_empty() {
+            fields.push(format!(
+                "\"stage_breakdown\": {}",
+                stage_rows_json(&self.stage_breakdown)
+            ));
         }
         format!("{{\n  {}\n}}\n", fields.join(",\n  "))
     }
@@ -705,6 +821,66 @@ mod tests {
         for field in ["shards", "requests", "shed", "latency"] {
             assert!(!json.contains(field), "{field} must be omitted");
         }
+    }
+
+    #[test]
+    fn stage_breakdown_and_overhead_are_emitted_and_omitted() {
+        let mut summary = BenchSummary {
+            bench: "service".into(),
+            scenario: "smoke".into(),
+            elapsed_s: 2.0,
+            ..BenchSummary::default()
+        };
+        let json = summary.to_json();
+        assert!(
+            !json.contains("stage_breakdown") && !json.contains("telemetry_overhead_pct"),
+            "empty/absent observability fields must be omitted"
+        );
+
+        summary.stage_breakdown = vec![StageRow {
+            name: "queue_wait".into(),
+            count: 7,
+            total_ms: 1.25,
+            p50_ms: 0.125,
+            p99_ms: 0.5,
+        }];
+        summary.telemetry_overhead_pct = Some(1.5);
+        let json = summary.to_json();
+        assert!(json.contains(
+            "\"stage_breakdown\": [{\"name\": \"queue_wait\", \"count\": 7, \
+             \"total_ms\": 1.250000, \"p50_ms\": 0.125000, \"p99_ms\": 0.500000}]"
+        ));
+        assert!(json.contains("\"telemetry_overhead_pct\": 1.500000"));
+
+        let mut ops = OpsBenchSummary {
+            bench: "pipeline".into(),
+            scenario: "smoke".into(),
+            ..OpsBenchSummary::default()
+        };
+        assert!(!ops.to_json().contains("stage_breakdown"));
+        ops.stage_breakdown = summary.stage_breakdown.clone();
+        assert!(ops.to_json().contains("\"name\": \"queue_wait\""));
+    }
+
+    #[test]
+    fn stage_rows_aggregate_profiles_in_first_observed_order() {
+        use std::time::Duration;
+        let mut a = octant_telemetry::StageProfile::default();
+        a.add("solve", Duration::from_millis(4), 1);
+        a.add("solver.intersect", Duration::from_millis(3), 2);
+        let mut b = octant_telemetry::StageProfile::default();
+        b.add("solve", Duration::from_millis(6), 1);
+        let rows = StageRow::from_profiles([&a, &b]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "solve");
+        assert_eq!(rows[0].count, 2);
+        assert!(
+            (rows[0].total_ms - 10.0).abs() < 1.0,
+            "{}",
+            rows[0].total_ms
+        );
+        assert_eq!(rows[1].name, "solver.intersect");
+        assert_eq!(rows[1].count, 2, "calls sum, samples count per profile");
     }
 
     #[test]

@@ -281,6 +281,11 @@ pub struct LocationEstimate {
     /// the solver disposed of it (empty for estimates produced outside the
     /// evidence pipeline, e.g. by the baseline techniques).
     pub provenance: ProvenanceReport,
+    /// Per-stage wall-time breakdown of this solve, present only when the
+    /// caller opted into profiling (e.g.
+    /// [`crate::batch::BatchGeolocator::localize_batch_profiled`] or the
+    /// service's `LocalizeOptions::with_profiling`). `None` costs nothing.
+    pub profile: Option<octant_telemetry::StageProfile>,
 }
 
 impl LocationEstimate {
@@ -292,6 +297,7 @@ impl LocationEstimate {
             report: SolveReport::default(),
             target_height_ms: None,
             provenance: ProvenanceReport::default(),
+            profile: None,
         }
     }
 }
@@ -631,6 +637,7 @@ impl Octant {
         for entry in self.pipeline.entries() {
             let start = constraints.len();
             if entry.enabled() {
+                let _span = octant_telemetry::span(entry.source().id().span_name());
                 let mut emitted = entry.source().constraints(&ctx);
                 let scale = entry.weight_scale();
                 if scale != 1.0 {
@@ -678,6 +685,7 @@ impl Octant {
                 }
             }
             if entry.enabled() && entry.source().refines() {
+                let _span = octant_telemetry::span(entry.source().id().span_name());
                 let before = region.area_km2();
                 region = entry.source().refine(&ctx, region);
                 sr.area_before_km2 = Some(before);
@@ -708,6 +716,7 @@ impl Octant {
                 None
             },
             provenance,
+            profile: None,
         }
     }
 

@@ -46,7 +46,8 @@ pub fn landmass_union(projection: AzimuthalEquidistant) -> GeoRegion {
 /// The map is bounded: when it exceeds a fixed cap (distinct projections
 /// are as numerous as distinct targets) it is cleared wholesale — the next
 /// build repopulates it, and correctness never depends on residency.
-/// Hit/miss counters are exposed through [`landmass_cache_stats`].
+/// Hit/miss counters are published as `landmass_cache.hits` /
+/// `landmass_cache.misses` in [`octant_telemetry::MetricsRegistry::global`].
 pub fn landmass_union_cached(projection: AzimuthalEquidistant) -> std::sync::Arc<GeoRegion> {
     use std::collections::HashMap;
     use std::sync::{Arc, Mutex, OnceLock};
@@ -61,13 +62,13 @@ pub fn landmass_union_cached(projection: AzimuthalEquidistant) -> std::sync::Arc
     {
         let map = cache.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(hit) = map.get(&key) {
-            LAND_CACHE_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            land_cache_hits().inc();
             return hit.clone();
         }
     }
     // Build outside the lock: concurrent misses may both build (identical
     // values — the build is deterministic), but neither blocks the other.
-    LAND_CACHE_MISSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    land_cache_misses().inc();
     let built = Arc::new(landmass_union(projection));
     let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
     if map.len() >= MAX_ENTRIES {
@@ -76,16 +77,27 @@ pub fn landmass_union_cached(projection: AzimuthalEquidistant) -> std::sync::Arc
     map.entry(key).or_insert_with(|| built.clone()).clone()
 }
 
-static LAND_CACHE_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-static LAND_CACHE_MISSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+fn land_cache_hits() -> &'static octant_telemetry::Counter {
+    static HITS: std::sync::OnceLock<octant_telemetry::Counter> = std::sync::OnceLock::new();
+    HITS.get_or_init(|| octant_telemetry::MetricsRegistry::global().counter("landmass_cache.hits"))
+}
+
+fn land_cache_misses() -> &'static octant_telemetry::Counter {
+    static MISSES: std::sync::OnceLock<octant_telemetry::Counter> = std::sync::OnceLock::new();
+    MISSES.get_or_init(|| {
+        octant_telemetry::MetricsRegistry::global().counter("landmass_cache.misses")
+    })
+}
 
 /// `(hits, misses)` counters of [`landmass_union_cached`], process-wide and
 /// monotonically increasing (callers measure deltas).
+#[deprecated(
+    since = "0.1.0",
+    note = "read `landmass_cache.hits` / `landmass_cache.misses` from \
+            `octant_telemetry::MetricsRegistry::global()` instead"
+)]
 pub fn landmass_cache_stats() -> (u64, u64) {
-    (
-        LAND_CACHE_HITS.load(std::sync::atomic::Ordering::Relaxed),
-        LAND_CACHE_MISSES.load(std::sync::atomic::Ordering::Relaxed),
-    )
+    (land_cache_hits().get(), land_cache_misses().get())
 }
 
 /// Restricts `estimate` to land. When the intersection would wipe the
@@ -324,6 +336,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn cached_landmass_union_is_bit_identical_and_counts_hits() {
         // A projection centre no other test uses, so the first call is a
         // genuine miss whatever the test interleaving.

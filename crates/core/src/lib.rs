@@ -25,6 +25,7 @@
 //! | §2.4 handling uncertainty (weights, weighted solution) | [`constraint`], [`solver`] |
 //! | §2.5 geographic constraints (oceans, WHOIS) | [`geography`] |
 //! | §3 evaluation harness | [`eval`] |
+//! | §3 measurement methodology (stage timing, cache/solver counters) | `octant-telemetry` (spans, metrics registry, [`LocationEstimate::profile`]) |
 //!
 //! ## Evidence sources and the §2.5/§3 ablations
 //!

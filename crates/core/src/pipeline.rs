@@ -85,6 +85,22 @@ impl SourceId {
             SourceId::Custom(s) => s,
         }
     }
+
+    /// The telemetry span/stage name for this source (`source.latency`,
+    /// `source.router`, …). Custom sources share one `source.custom` stage:
+    /// span names must be `'static` and known up front, and per-request
+    /// stage tables stay bounded that way.
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            SourceId::Latency => "source.latency",
+            SourceId::Router => "source.router",
+            SourceId::Geography => "source.geography",
+            SourceId::Hint => "source.hint",
+            SourceId::DnsName => "source.dns",
+            SourceId::PopulationPrior => "source.population",
+            SourceId::Custom(_) => "source.custom",
+        }
+    }
 }
 
 impl std::fmt::Display for SourceId {

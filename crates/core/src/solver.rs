@@ -230,6 +230,7 @@ impl Solver {
                 let end = (idx + chunk).min(pending.len());
                 let batch = &pending[idx..end];
                 let combined_ok = batch.len() > 1 && {
+                    let _span = octant_telemetry::span("solver.intersect");
                     let combined = GeoRegion::intersect_many_banded(
                         projection,
                         std::iter::once(&estimate).chain(batch.iter().map(|(_, c)| &c.region)),
@@ -239,6 +240,7 @@ impl Solver {
                         for &(i, _) in batch {
                             applied[i] = true;
                         }
+                        let _simplify = octant_telemetry::span("solver.simplify");
                         estimate = combined.into_geo_region().simplify_to_budget(
                             octant_geo::units::Distance::from_km(simplify_tol),
                             max_vertices,
@@ -254,10 +256,12 @@ impl Solver {
                     // Replay this chunk pairwise so individual conflicting
                     // constraints are skipped exactly as the greedy chain
                     // would have.
+                    let _span = octant_telemetry::span("solver.fallback");
                     let mut any_skipped = false;
                     for &(i, c) in batch {
                         let candidate = estimate.intersect(&c.region);
                         if candidate.area_km2() >= self.config.min_region_area_km2 {
+                            let _simplify = octant_telemetry::span("solver.simplify");
                             estimate = candidate.simplify_to_budget(
                                 octant_geo::units::Distance::from_km(simplify_tol),
                                 max_vertices,

@@ -505,6 +505,7 @@ impl Region {
     /// dilation dwarfs the region the result is within `O(extent)` of a
     /// plain disk and fine boundary detail cannot matter.
     pub fn dilate(&self, radius_km: f64) -> Region {
+        let _span = octant_telemetry::span("region.dilate");
         if radius_km <= 0.0 || self.rings.is_empty() {
             return self.clone();
         }

@@ -33,36 +33,64 @@ use crate::vec2::Vec2;
 /// Cheap instrumentation of the sweep engine, used by the perf regression
 /// guard (`octant-bench`'s `region` binary asserts that an n-ary sweep
 /// processes fewer bands than the equivalent chain of pairwise sweeps) and
-/// by micro-benchmarks. The counter is **per-thread** and monotonically
-/// increasing: callers measure deltas around operations they ran on their
-/// own thread, unperturbed by concurrent sweeps (e.g. parallel test
-/// harnesses or rayon batch workers).
+/// by micro-benchmarks. Band counts are kept in two places by one code
+/// path: a **per-thread** monotone counter (callers measure deltas around
+/// operations they ran on their own thread, unperturbed by concurrent
+/// sweeps — e.g. parallel test harnesses or rayon batch workers) and the
+/// process-wide `region.band_merges` counter in
+/// [`octant_telemetry::MetricsRegistry::global`].
 pub mod stats {
     use std::cell::Cell;
+    use std::sync::OnceLock;
 
     thread_local! {
         static BAND_MERGES: Cell<u64> = const { Cell::new(0) };
     }
 
-    /// Records one processed scanline band (each band performs exactly one
-    /// interval-merge across the operands).
-    pub(crate) fn record_band() {
-        BAND_MERGES.with(|c| c.set(c.get() + 1));
+    /// The process-wide `region.band_merges` counter in the unified
+    /// metrics registry — the same bands the per-thread cell counts, summed
+    /// across every thread.
+    fn registry_counter() -> &'static octant_telemetry::Counter {
+        static COUNTER: OnceLock<octant_telemetry::Counter> = OnceLock::new();
+        COUNTER.get_or_init(|| {
+            octant_telemetry::MetricsRegistry::global().counter("region.band_merges")
+        })
     }
 
-    /// Folds `n` bands merged elsewhere into the **calling** thread's
-    /// counter. The parallel per-band path accumulates a plain count inside
-    /// each worker chunk (worker threads are ephemeral, so their own
-    /// thread-local counters would be lost) and merges the totals here on
-    /// join, keeping the caller-observed delta identical to the sequential
-    /// sweep's.
+    /// Folds `n` merged bands into the **calling** thread's counter and the
+    /// process-wide `region.band_merges` registry counter. Sweeps call this
+    /// once per operation (the band loop counts locally), so the registry
+    /// bump is one relaxed add per sweep, not per band. The parallel
+    /// per-band path accumulates a plain count inside each worker chunk
+    /// (worker threads are ephemeral, so their own thread-local counters
+    /// would be lost) and merges the totals here on join, keeping the
+    /// caller-observed delta identical to the sequential sweep's.
     pub(crate) fn add_bands(n: u64) {
+        if n == 0 {
+            return;
+        }
         BAND_MERGES.with(|c| c.set(c.get() + n));
+        registry_counter().add(n);
+    }
+
+    /// Total scanline bands merged by the **calling thread** so far.
+    /// Callers measure deltas around operations they ran on their own
+    /// thread, unperturbed by concurrent sweeps. For the process-wide
+    /// total, read `region.band_merges` from
+    /// [`octant_telemetry::MetricsRegistry::global`].
+    pub fn thread_band_merges() -> u64 {
+        BAND_MERGES.with(|c| c.get())
     }
 
     /// Total scanline bands merged by the calling thread so far.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `thread_band_merges()` for per-thread deltas, or the \
+                `region.band_merges` counter in `MetricsRegistry::global()` \
+                for the process-wide total"
+    )]
     pub fn band_merges() -> u64 {
-        BAND_MERGES.with(|c| c.get())
+        thread_band_merges()
     }
 }
 
@@ -500,12 +528,13 @@ pub fn boolean_op(a: &[Ring], b: &[Ring], op: BoolOp) -> Vec<Ring> {
     let mut res: Vec<Interval> = Vec::new();
     let mut events: Vec<BinaryEvent> = Vec::new();
 
+    let mut bands_merged = 0u64;
     for w in ys.windows(2) {
         let (y0, y1) = (w[0], w[1]);
         if y1 - y0 < MIN_BAND {
             continue;
         }
-        stats::record_band();
+        bands_merged += 1;
         let ym = 0.5 * (y0 + y1);
 
         while next_in < by_min.len() && segs[by_min[next_in]].min_y() < ym {
@@ -538,6 +567,7 @@ pub fn boolean_op(a: &[Ring], b: &[Ring], op: BoolOp) -> Vec<Ring> {
 
         merge_band(&mut open, &mut open_scratch, &res, y0, y1, &segs, &mut out);
     }
+    stats::add_bands(bands_merged);
     for ot in &open {
         if ot.y_top.is_finite() {
             emit(ot, &segs, &mut out);
@@ -1485,17 +1515,17 @@ mod tests {
                 )]
             })
             .collect();
-        let before_chain = stats::band_merges();
+        let before_chain = stats::thread_band_merges();
         let mut chained = disks[0].clone();
         for d in &disks[1..] {
             chained = boolean_op(&chained, d, BoolOp::Intersection);
         }
-        let chain_bands = stats::band_merges() - before_chain;
+        let chain_bands = stats::thread_band_merges() - before_chain;
 
         let operands: Vec<&[Ring]> = disks.iter().map(|d| d.as_slice()).collect();
-        let before_nary = stats::band_merges();
+        let before_nary = stats::thread_band_merges();
         let nary = boolean_op_many(&operands, NaryOp::Intersection);
-        let nary_bands = stats::band_merges() - before_nary;
+        let nary_bands = stats::thread_band_merges() - before_nary;
 
         assert!(
             nary_bands < chain_bands,
@@ -1533,14 +1563,14 @@ mod tests {
         };
 
         let threshold = disks.len();
-        let before_seq = stats::band_merges();
+        let before_seq = stats::thread_band_merges();
         let seq = sweep_bands_chunked(per_op(&disks), threshold, window, Some(1));
-        let seq_bands = stats::band_merges() - before_seq;
+        let seq_bands = stats::thread_band_merges() - before_seq;
 
         for chunks in [2, 3, 7] {
-            let before = stats::band_merges();
+            let before = stats::thread_band_merges();
             let par = sweep_bands_chunked(per_op(&disks), threshold, window, Some(chunks));
-            let par_bands = stats::band_merges() - before;
+            let par_bands = stats::thread_band_merges() - before;
             assert_eq!(
                 seq_bands, par_bands,
                 "chunked ({chunks}) band count must match sequential"

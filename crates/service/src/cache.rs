@@ -21,11 +21,11 @@ use octant_geo::units::Distance;
 use octant_netsim::observation::ObservationProvider;
 use octant_netsim::topology::NodeId;
 use octant_region::GeoRegion;
+use octant_telemetry::{Counter, MetricsRegistry};
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Sizing and retention knobs of a [`RouterCache`].
@@ -159,18 +159,41 @@ impl EpochKeyed for (u64, NodeId, u32) {
 /// with an optional second level caching the §2.3 dilations of those
 /// estimates per radius class (see
 /// [`RouterCacheConfig::dilation_radius_step_km`]).
-#[derive(Debug, Default)]
+///
+/// Counters are [`octant_telemetry::Counter`] handles registered under
+/// `router_cache.*` in [`MetricsRegistry::global`]: [`RouterCache::stats`]
+/// reads this instance's own handles (exact per-cache counts), while the
+/// registry sums every live cache — one bump, two views.
+#[derive(Debug)]
 pub struct RouterCache {
     config: RouterCacheConfig,
     entries: Mutex<CacheMap>,
     dilations: Mutex<DilationMap>,
     contour_bases: Mutex<ContourMap>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    dilation_hits: AtomicU64,
-    dilation_misses: AtomicU64,
-    contour_base_misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    dilation_hits: Counter,
+    dilation_misses: Counter,
+    contour_base_misses: Counter,
+}
+
+impl Default for RouterCache {
+    fn default() -> Self {
+        let registry = MetricsRegistry::global();
+        RouterCache {
+            config: RouterCacheConfig::default(),
+            entries: Mutex::new(HashMap::new()),
+            dilations: Mutex::new(HashMap::new()),
+            contour_bases: Mutex::new(HashMap::new()),
+            hits: registry.counter("router_cache.hits"),
+            misses: registry.counter("router_cache.misses"),
+            evictions: registry.counter("router_cache.evictions"),
+            dilation_hits: registry.counter("router_cache.dilation_hits"),
+            dilation_misses: registry.counter("router_cache.dilation_misses"),
+            contour_base_misses: registry.counter("router_cache.contour_bases"),
+        }
+    }
 }
 
 impl RouterCache {
@@ -219,9 +242,9 @@ impl RouterCache {
             })
             .clone();
         if ran.get() {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
         } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         }
         value
     }
@@ -252,7 +275,7 @@ impl RouterCache {
             evicted += 1;
         }
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.evictions.add(evicted);
         }
     }
 
@@ -281,7 +304,7 @@ impl RouterCache {
         };
         let total = (removed + dilations_removed + bases_removed) as u64;
         if total > 0 {
-            self.evictions.fetch_add(total, Ordering::Relaxed);
+            self.evictions.add(total);
         }
         removed
     }
@@ -317,9 +340,9 @@ impl RouterCache {
             })
             .clone();
         if ran.get() {
-            self.dilation_misses.fetch_add(1, Ordering::Relaxed);
+            self.dilation_misses.inc();
         } else {
-            self.dilation_hits.fetch_add(1, Ordering::Relaxed);
+            self.dilation_hits.inc();
         }
         value
     }
@@ -353,7 +376,7 @@ impl RouterCache {
             })
             .clone();
         if ran.get() {
-            self.contour_base_misses.fetch_add(1, Ordering::Relaxed);
+            self.contour_base_misses.inc();
         }
         value
     }
@@ -362,14 +385,14 @@ impl RouterCache {
     /// cache exists to minimize. Equal to the number of distinct
     /// `(epoch, router)` keys ever computed (the miss counter).
     pub fn sub_localizations(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Total fresh §2.3 region dilations performed by the radius-class
     /// dilation cache — one per distinct `(epoch, router, radius class)`
     /// key ever computed. Always 0 while the dilation cache is disabled.
     pub fn fresh_dilations(&self) -> u64 {
-        self.dilation_misses.load(Ordering::Relaxed)
+        self.dilation_misses.get()
     }
 
     /// Number of resident entries belonging to `epoch`.
@@ -394,14 +417,14 @@ impl RouterCache {
     /// A counter snapshot.
     pub fn stats(&self) -> RouterCacheStats {
         RouterCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
             entries: self.len(),
-            dilation_hits: self.dilation_hits.load(Ordering::Relaxed),
-            dilation_misses: self.dilation_misses.load(Ordering::Relaxed),
+            dilation_hits: self.dilation_hits.get(),
+            dilation_misses: self.dilation_misses.get(),
             dilation_entries: self.dilations.lock().len(),
-            contour_bases: self.contour_base_misses.load(Ordering::Relaxed),
+            contour_bases: self.contour_base_misses.get(),
             contour_base_entries: self.contour_bases.lock().len(),
         }
     }
@@ -635,7 +658,7 @@ impl RouterEstimateSource for ShardedEpochSource<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn octant_geo_point(lat: f64) -> octant_geo::GeoPoint {
         octant_geo::GeoPoint::new(lat, 0.0)

@@ -97,7 +97,9 @@ pub use service::{
     ServiceConfig, ShardedService, ShedReason,
 };
 pub use shard::{ShardConfig, ShardRouter};
-pub use stats::{QueueSnapshot, ServiceCounters, ServiceStats, ShardStats};
+pub use stats::{
+    QueueSnapshot, ServiceCounters, ServiceStats, ShardStats, StageBreakdown, StatsReport,
+};
 
 /// Shared fixtures for this crate's unit tests.
 #[cfg(test)]

@@ -52,10 +52,13 @@ use crate::cache::{RouterCacheConfig, RouterCacheStats, ShardedRouterCache};
 use crate::histogram::LatencyHistogram;
 use crate::registry::ModelRegistry;
 use crate::shard::{ShardConfig, ShardRouter};
-use crate::stats::{QueueSnapshot, ServiceCounters, ServiceStats, ShardStats};
+use crate::stats::{
+    QueueSnapshot, ServiceCounters, ServiceStats, ShardStats, StageBreakdown, StatsReport,
+};
 use octant::{BatchGeolocator, EvidencePipeline, LocationEstimate, Octant, OctantConfig, SourceId};
 use octant_netsim::observation::ObservationProvider;
 use octant_netsim::topology::NodeId;
+use octant_telemetry::{Counter, Gauge, MetricsRegistry};
 use parking_lot::Mutex as PlMutex;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -156,13 +159,21 @@ pub struct LocalizeOptions {
     /// coalescing into shared engine runs — only evidence selection
     /// partitions batches.
     pub deadline: Option<Duration>,
+    /// Record a per-stage wall-time profile for each of this request's
+    /// targets: served estimates carry
+    /// `Some(`[`octant_telemetry::StageProfile`]`)` in
+    /// [`octant::LocationEstimate::profile`], led by a `queue_wait` stage
+    /// (drain start − enqueue). Profiled targets batch separately from
+    /// unprofiled ones (profiling is part of the batch-group key), so the
+    /// default path stays bit-identical and profiling-free.
+    pub profiling: bool,
 }
 
 impl LocalizeOptions {
-    /// `true` when the options leave the base pipeline untouched and set no
-    /// deadline.
+    /// `true` when the options leave the base pipeline untouched, set no
+    /// deadline, and request no profiling.
     pub fn is_default(&self) -> bool {
-        self.evidence_is_default() && self.deadline.is_none()
+        self.evidence_is_default() && self.deadline.is_none() && !self.profiling
     }
 
     /// `true` when the evidence selection (sources disabled / re-weighted)
@@ -192,13 +203,23 @@ impl LocalizeOptions {
         self
     }
 
-    /// The evidence selection alone (deadline stripped) — the part of the
-    /// options that partitions micro-batches into engine runs.
+    /// Requests a per-stage wall-time profile for each served target (see
+    /// [`LocalizeOptions::profiling`]).
+    #[must_use]
+    pub fn with_profiling(mut self) -> Self {
+        self.profiling = true;
+        self
+    }
+
+    /// The evidence selection plus the profiling flag (deadline stripped) —
+    /// the part of the options that partitions micro-batches into engine
+    /// runs.
     fn evidence(&self) -> LocalizeOptions {
         LocalizeOptions {
             disabled_sources: self.disabled_sources.clone(),
             weight_scales: self.weight_scales.clone(),
             deadline: None,
+            profiling: self.profiling,
         }
     }
 }
@@ -326,11 +347,12 @@ impl RequestHandle {
     pub fn wait(self) -> Vec<ServedEstimate> {
         self.wait_outcomes()
             .into_iter()
-            .map(|o| match o {
+            .enumerate()
+            .map(|(index, o)| match o {
                 ServeOutcome::Served(s) => s,
                 other => panic!(
-                    "target was not served ({other:?}); requests with deadlines or bounded \
-                     queues must use wait_outcomes()"
+                    "target #{index} of the request was not served (outcome: {other:?}); \
+                     requests with deadlines or bounded queues must use wait_outcomes()"
                 ),
             })
             .collect()
@@ -364,22 +386,70 @@ struct QueueState {
     shutdown: bool,
 }
 
-/// Counters + latency histogram of one shard, behind that shard's lock.
+/// Counters, latency histogram, and per-stage histograms of one shard,
+/// behind that shard's lock.
 #[derive(Debug, Default)]
 struct ShardLocal {
     counters: ServiceCounters,
     latency: LatencyHistogram,
+    /// Per-stage wall-time histograms, in first-observed order: `queue_wait`
+    /// for every served target, `solve` at micro-batch granularity for
+    /// unprofiled groups, and every captured stage of profiled targets.
+    stages: Vec<(&'static str, LatencyHistogram)>,
 }
 
-/// One data-plane shard: its queue, its drain condvar, and its local stats.
+impl ShardLocal {
+    fn record_stage(&mut self, name: &'static str, wall: Duration) {
+        match self.stages.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, hist)) => hist.record(wall),
+            None => {
+                let mut hist = LatencyHistogram::new();
+                hist.record(wall);
+                self.stages.push((name, hist));
+            }
+        }
+    }
+}
+
+/// One shard's handles into [`MetricsRegistry::global`]: a per-shard queue
+/// gauge (`service.shard{i}.queue_depth`) plus counters mirroring the
+/// [`ServiceCounters`] under `service.*` names, bumped alongside the
+/// shard-local counters so external observers see the same numbers.
+#[derive(Debug)]
+struct ShardMetrics {
+    queue_depth: Gauge,
+    batches: Counter,
+    targets_served: Counter,
+    failed_batches: Counter,
+    shed_queue_full: Counter,
+    deadline_expired: Counter,
+}
+
+impl ShardMetrics {
+    fn new(shard_idx: usize) -> Self {
+        let registry = MetricsRegistry::global();
+        ShardMetrics {
+            queue_depth: registry.gauge(&format!("service.shard{shard_idx}.queue_depth")),
+            batches: registry.counter("service.batches"),
+            targets_served: registry.counter("service.targets_served"),
+            failed_batches: registry.counter("service.failed_batches"),
+            shed_queue_full: registry.counter("service.shed_queue_full"),
+            deadline_expired: registry.counter("service.deadline_expired"),
+        }
+    }
+}
+
+/// One data-plane shard: its queue, its drain condvar, its local stats, and
+/// its registry handles.
 struct Shard {
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     local: PlMutex<ShardLocal>,
+    metrics: ShardMetrics,
 }
 
 impl Shard {
-    fn new() -> Self {
+    fn new(shard_idx: usize) -> Self {
         Shard {
             queue: Mutex::new(QueueState {
                 pending: VecDeque::new(),
@@ -388,6 +458,7 @@ impl Shard {
             }),
             queue_cv: Condvar::new(),
             local: PlMutex::new(ShardLocal::default()),
+            metrics: ShardMetrics::new(shard_idx),
         }
     }
 }
@@ -446,6 +517,11 @@ impl<P: ObservationProvider + Sync> ServiceInner<P> {
                 local.counters.largest_batch = local.counters.largest_batch.max(total);
             }
         }
+        shard.metrics.deadline_expired.add(expired.len() as u64);
+        if total > 0 {
+            shard.metrics.batches.inc();
+            shard.metrics.targets_served.add(total as u64);
+        }
         for pending in expired {
             pending
                 .request
@@ -454,58 +530,96 @@ impl<P: ObservationProvider + Sync> ServiceInner<P> {
 
         for (options, members) in groups {
             let targets: Vec<NodeId> = members.iter().map(|p| p.target).collect();
+            let profiled = options.as_deref().is_some_and(|o| o.profiling);
+            let solve_started = Instant::now();
             // A panicking solve must neither kill the worker (the pool
             // would silently shrink) nor leave the batch's requests waiting
             // forever: catch the unwind, answer every slot with an unknown
             // estimate, and count the failure.
             let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                match options.as_deref() {
-                    None => self.batch.localize_batch_with_routers(
-                        &self.provider,
-                        &epoch_model.model,
-                        &targets,
-                        Some(&source),
-                    ),
+                // Per-request pipeline: the base pipeline with the
+                // request's sources disabled/re-scaled. The model and the
+                // router cache are shared untouched. Profiled requests with
+                // default evidence reuse the base engine directly.
+                let adjusted;
+                let engine = match options.as_deref() {
+                    None => &self.batch,
+                    Some(opts) if opts.evidence_is_default() => &self.batch,
                     Some(opts) => {
-                        // Per-request pipeline: the base pipeline with the
-                        // request's sources disabled/re-scaled. The model
-                        // and the router cache are shared untouched.
-                        let adjusted = BatchGeolocator::from_octant(Octant::with_pipeline(
+                        adjusted = BatchGeolocator::from_octant(Octant::with_pipeline(
                             *self.batch.octant().config(),
                             self.batch
                                 .octant()
                                 .pipeline()
                                 .adjusted(&opts.disabled_sources, &opts.weight_scales),
                         ));
-                        adjusted.localize_batch_with_routers(
-                            &self.provider,
-                            &epoch_model.model,
-                            &targets,
-                            Some(&source),
-                        )
+                        &adjusted
                     }
+                };
+                if profiled {
+                    engine.localize_batch_with_routers_profiled(
+                        &self.provider,
+                        &epoch_model.model,
+                        &targets,
+                        Some(&source),
+                    )
+                } else {
+                    engine.localize_batch_with_routers(
+                        &self.provider,
+                        &epoch_model.model,
+                        &targets,
+                        Some(&source),
+                    )
                 }
             }));
             let estimates = match solved {
                 Ok(estimates) => estimates,
                 Err(_) => {
                     shard.local.lock().counters.failed_batches += 1;
+                    shard.metrics.failed_batches.inc();
                     targets
                         .iter()
                         .map(|_| LocationEstimate::unknown())
                         .collect()
                 }
             };
-            // Record the group's latencies (enqueue → resolution) before
-            // delivering its completions, so a woken caller observes a
-            // histogram that includes its own targets.
+            let solve_wall = solve_started.elapsed();
+            // Record the group's latencies (enqueue → resolution) and stage
+            // histograms before delivering its completions, so a woken
+            // caller observes stats that include its own targets.
             {
                 let mut local = shard.local.lock();
                 for pending in &members {
                     local.latency.record(pending.enqueued_at.elapsed());
+                    local.record_stage(
+                        "queue_wait",
+                        now.saturating_duration_since(pending.enqueued_at),
+                    );
+                }
+                if profiled {
+                    // Profiled targets contribute their captured stages
+                    // (whose `solve` self-time plus sub-stages partition
+                    // the solve wall), not the group-level wall — folding
+                    // both in would double-count.
+                    for estimate in &estimates {
+                        if let Some(profile) = &estimate.profile {
+                            for stage in profile.stages() {
+                                local.record_stage(stage.name, stage.wall);
+                            }
+                        }
+                    }
+                } else {
+                    local.record_stage("solve", solve_wall);
                 }
             }
-            for (pending, estimate) in members.into_iter().zip(estimates) {
+            for (pending, mut estimate) in members.into_iter().zip(estimates) {
+                if let Some(profile) = estimate.profile.as_mut() {
+                    profile.prepend(
+                        "queue_wait",
+                        now.saturating_duration_since(pending.enqueued_at),
+                        1,
+                    );
+                }
                 pending.request.complete(
                     pending.slot,
                     ServeOutcome::Served(ServedEstimate {
@@ -548,6 +662,7 @@ impl<P: ObservationProvider + Sync> ServiceInner<P> {
                 if queue.pending.is_empty() {
                     queue.oldest_since = None;
                 }
+                shard.metrics.queue_depth.set(queue.pending.len() as i64);
                 return Some(batch);
             }
             let remaining = self.config.max_wait.saturating_sub(waited);
@@ -602,7 +717,7 @@ impl<P: ObservationProvider + Send + Sync + 'static> ShardedService<P> {
             registry,
             cache: ShardedRouterCache::new(config.cache, shard_count),
             router,
-            shards: (0..shard_count).map(|_| Shard::new()).collect(),
+            shards: (0..shard_count).map(Shard::new).collect(),
             provider,
             config,
         });
@@ -645,7 +760,10 @@ impl<P: ObservationProvider + Send + Sync + 'static> ShardedService<P> {
         options: LocalizeOptions,
     ) -> RequestHandle {
         let deadline = options.deadline.map(|d| Instant::now() + d);
-        let evidence = if options.evidence_is_default() {
+        // Profiled requests always carry their options: profiling is part
+        // of the batch-group key, so they never coalesce into (and never
+        // slow down) the default-path groups.
+        let evidence = if options.evidence_is_default() && !options.profiling {
             None
         } else {
             Some(Arc::new(options.evidence()))
@@ -702,10 +820,12 @@ impl<P: ObservationProvider + Send + Sync + 'static> ShardedService<P> {
                         queue.oldest_since = Some(now);
                     }
                 }
+                shard.metrics.queue_depth.set(queue.pending.len() as i64);
             }
             self.inner.shards[shard_idx].queue_cv.notify_all();
             if !shed.is_empty() {
                 shard.local.lock().counters.shed_queue_full += shed.len() as u64;
+                shard.metrics.shed_queue_full.add(shed.len() as u64);
                 for slot in shed {
                     state.complete(
                         slot,
@@ -838,6 +958,37 @@ impl<P: ObservationProvider + Send + Sync + 'static> ShardedService<P> {
     /// `self.cache().stats()`.
     pub fn cache_stats(&self) -> RouterCacheStats {
         self.inner.cache.stats()
+    }
+
+    /// The full observability export: [`ShardedService::stats`] plus the
+    /// per-stage wall-time breakdown merged over every shard and a snapshot
+    /// of [`MetricsRegistry::global`]. Render with [`StatsReport::to_json`]
+    /// (machine-readable, consumed by the bench bins' `stage_breakdown`
+    /// section) or via `Display` (a TWIAD-style text table).
+    pub fn stats_report(&self) -> StatsReport {
+        let mut stages: Vec<(&'static str, LatencyHistogram)> = Vec::new();
+        for shard in &self.inner.shards {
+            let local = shard.local.lock();
+            for (name, hist) in &local.stages {
+                match stages.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, merged)) => merged.merge(hist),
+                    None => stages.push((name, hist.clone())),
+                }
+            }
+        }
+        StatsReport {
+            stats: self.stats(),
+            stage_breakdown: stages
+                .into_iter()
+                .map(|(name, hist)| StageBreakdown {
+                    name,
+                    count: hist.count(),
+                    total: hist.total(),
+                    latency: hist.summary(),
+                })
+                .collect(),
+            registry: MetricsRegistry::global().snapshot(),
+        }
     }
 
     /// Drains every shard's queue, stops the workers, and joins them.

@@ -12,6 +12,8 @@
 
 use crate::cache::RouterCacheStats;
 use crate::histogram::LatencySummary;
+use octant_telemetry::MetricsSnapshot;
+use std::time::Duration;
 
 /// Monotonic serving counters. Within a [`ShardStats`] these are one
 /// shard's; in [`ServiceStats`] they are the sum over all shards.
@@ -116,6 +118,146 @@ impl ServiceStats {
         } else {
             self.counters.shed() as f64 / total as f64
         }
+    }
+}
+
+/// One merged per-stage wall-time row of a [`StatsReport`]: how much serve
+/// wall time the stage accumulated across every shard, with quantiles over
+/// its per-observation samples.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub struct StageBreakdown {
+    /// The stage name (`queue_wait`, `solve`, `source.latency`, …).
+    pub name: &'static str,
+    /// Number of observations folded in.
+    pub count: u64,
+    /// Total wall time across all observations.
+    pub total: Duration,
+    /// Quantiles of the per-observation wall times.
+    pub latency: LatencySummary,
+}
+
+/// The full observability export of a serving tier: the aggregate
+/// [`ServiceStats`], the merged per-stage breakdown, and a snapshot of the
+/// process-wide metrics registry. Produced by
+/// `ShardedService::stats_report`; render with [`StatsReport::to_json`] or
+/// `Display`.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct StatsReport {
+    /// Counters, queue gauges, latency quantiles, cache counters.
+    pub stats: ServiceStats,
+    /// Per-stage wall-time rows, merged over every shard, in first-observed
+    /// order (`queue_wait` leads when present).
+    pub stage_breakdown: Vec<StageBreakdown>,
+    /// A point-in-time snapshot of
+    /// [`octant_telemetry::MetricsRegistry::global`].
+    pub registry: MetricsSnapshot,
+}
+
+impl StatsReport {
+    /// Renders the report as a single JSON object (hand-rolled; the
+    /// workspace is offline, so there is no serializer dependency).
+    pub fn to_json(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::from("{");
+        out.push_str(&format!("\"epoch\": {}", s.epoch));
+        out.push_str(&format!(
+            ", \"counters\": {{\"batches\": {}, \"targets_served\": {}, \"largest_batch\": {}, \
+             \"failed_batches\": {}, \"shed_queue_full\": {}, \"deadline_expired\": {}}}",
+            s.counters.batches,
+            s.counters.targets_served,
+            s.counters.largest_batch,
+            s.counters.failed_batches,
+            s.counters.shed_queue_full,
+            s.counters.deadline_expired,
+        ));
+        out.push_str(", \"queues\": [");
+        for (i, q) in s.queues.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"shard\": {}, \"depth\": {}}}",
+                q.shard, q.depth
+            ));
+        }
+        out.push(']');
+        out.push_str(&format!(
+            ", \"latency\": {}",
+            octant_telemetry::summary_json(&s.latency)
+        ));
+        out.push_str(&format!(
+            ", \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}}}",
+            s.cache.hits, s.cache.misses, s.cache.evictions, s.cache.entries,
+        ));
+        out.push_str(", \"stage_breakdown\": [");
+        for (i, stage) in self.stage_breakdown.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"count\": {}, \"total_ms\": {:.3}, \"p50_ms\": {:.3}, \
+                 \"p99_ms\": {:.3}}}",
+                stage.name,
+                stage.count,
+                stage.total.as_secs_f64() * 1e3,
+                stage.latency.p50.as_secs_f64() * 1e3,
+                stage.latency.p99.as_secs_f64() * 1e3,
+            ));
+        }
+        out.push(']');
+        out.push_str(&format!(", \"registry\": {}", self.registry.to_json()));
+        out.push('}');
+        out
+    }
+}
+
+impl std::fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = &self.stats;
+        writeln!(
+            f,
+            "epoch {}  batches {}  served {}  shed {}  p50 {:.2} ms  p99 {:.2} ms",
+            s.epoch,
+            s.counters.batches,
+            s.counters.targets_served,
+            s.counters.shed(),
+            s.latency.p50.as_secs_f64() * 1e3,
+            s.latency.p99.as_secs_f64() * 1e3,
+        )?;
+        writeln!(
+            f,
+            "cache: {} hits / {} misses ({:.0}% hit rate), {} resident",
+            s.cache.hits,
+            s.cache.misses,
+            s.cache.hit_rate() * 100.0,
+            s.cache.entries,
+        )?;
+        let grand_total: Duration = self.stage_breakdown.iter().map(|b| b.total).sum();
+        writeln!(
+            f,
+            "{:<18} {:>8} {:>12} {:>7} {:>10} {:>10}",
+            "stage", "count", "total ms", "share", "p50 ms", "p99 ms"
+        )?;
+        for b in &self.stage_breakdown {
+            let share = if grand_total.is_zero() {
+                0.0
+            } else {
+                b.total.as_secs_f64() / grand_total.as_secs_f64() * 100.0
+            };
+            writeln!(
+                f,
+                "{:<18} {:>8} {:>12.3} {:>6.1}% {:>10.3} {:>10.3}",
+                b.name,
+                b.count,
+                b.total.as_secs_f64() * 1e3,
+                share,
+                b.latency.p50.as_secs_f64() * 1e3,
+                b.latency.p99.as_secs_f64() * 1e3,
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,245 @@
+//! Log-linear latency histograms.
+//!
+//! [`LatencyHistogram`] records durations into power-of-two buckets
+//! subdivided 16 ways (HdrHistogram-style), so every recorded value lands in
+//! a bucket whose upper bound overestimates it by at most 1/16 ≈ 6.25% —
+//! accurate enough for p50/p99/p999 SLO reporting at a fixed 976-slot
+//! footprint, with O(1) record and O(buckets) quantile extraction. The type
+//! started life inside `octant-service` (each data-plane shard owns one,
+//! merged by the control plane); it lives here so per-stage timing
+//! breakdowns and the metrics registry can share the exact same histogram.
+
+use std::time::Duration;
+
+/// Values below this many microseconds get exact one-microsecond buckets.
+const LINEAR_MAX: u64 = 16;
+/// log2 of the sub-bucket fan-out per power-of-two range.
+const SUB_BITS: u32 = 4;
+/// Total bucket count: 16 linear + 16 per power-of-two range above 2^4.
+const BUCKETS: usize = (LINEAR_MAX as usize) + ((64 - SUB_BITS as usize) << SUB_BITS);
+
+/// A mergeable log-linear histogram of latencies (microsecond resolution,
+/// ≤ 6.25% relative bucket error above 16 µs), with an exact running total.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    max_us: u64,
+    total_us: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            max_us: 0,
+            total_us: 0,
+        }
+    }
+}
+
+/// Bucket index of a microsecond value.
+fn index_of(us: u64) -> usize {
+    if us < LINEAR_MAX {
+        us as usize
+    } else {
+        // Most significant bit position (≥ SUB_BITS here), then the next
+        // SUB_BITS bits select the sub-bucket within the power-of-two range.
+        let msb = 63 - us.leading_zeros();
+        let sub = ((us >> (msb - SUB_BITS)) & ((1 << SUB_BITS) - 1)) as usize;
+        LINEAR_MAX as usize + (((msb - SUB_BITS) as usize) << SUB_BITS) + sub
+    }
+}
+
+/// Inclusive upper bound (µs) of the values mapping to bucket `index`.
+fn upper_bound_of(index: usize) -> u64 {
+    if index < LINEAR_MAX as usize {
+        index as u64
+    } else {
+        let range = (index - LINEAR_MAX as usize) >> SUB_BITS;
+        let sub = (index - LINEAR_MAX as usize) & ((1 << SUB_BITS) - 1);
+        // First value of the next sub-bucket, minus one (u128: the topmost
+        // buckets' bounds overflow u64).
+        ((((1u128 << SUB_BITS) + sub as u128 + 1) << range) - 1).min(u64::MAX as u128) as u64
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[index_of(us)] += 1;
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+        self.total_us += us as u128;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The largest recorded latency (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_us)
+    }
+
+    /// The exact sum of every recorded latency — the quantity per-stage
+    /// breakdowns divide by to compute each stage's share of the total.
+    pub fn total(&self) -> Duration {
+        let us = self.total_us.min(u64::MAX as u128) as u64;
+        Duration::from_micros(us)
+    }
+
+    /// Folds another histogram's observations into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.max_us = self.max_us.max(other.max_us);
+        self.total_us += other.total_us;
+    }
+
+    /// The latency at quantile `q` (e.g. `0.99`), as the containing bucket's
+    /// upper bound capped at the exact observed maximum. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        // Rank of the q-quantile observation, 1-based, clamped into range.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Duration::from_micros(upper_bound_of(i).min(self.max_us));
+            }
+        }
+        Duration::from_micros(self.max_us)
+    }
+
+    /// The standard SLO summary (p50 / p99 / p999 / max) of this histogram.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            max: self.max(),
+        }
+    }
+}
+
+/// The quantile snapshot a histogram reduces to in aggregate statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct LatencySummary {
+    /// Number of latencies recorded.
+    pub count: u64,
+    /// Median request latency.
+    pub p50: Duration,
+    /// 99th-percentile request latency.
+    pub p99: Duration,
+    /// 99.9th-percentile request latency.
+    pub p999: Duration,
+    /// Largest recorded request latency (exact).
+    pub max: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_u64_range_without_gaps() {
+        // Every probe value maps to a bucket whose bound is >= the value and
+        // within 6.25% relative error above the linear range.
+        let mut probe = 1u64;
+        while probe < u64::MAX / 3 {
+            for v in [probe, probe + 1, probe.saturating_mul(3) / 2] {
+                let idx = index_of(v);
+                assert!(idx < BUCKETS, "index {idx} out of range for {v}");
+                let ub = upper_bound_of(idx);
+                assert!(ub >= v, "bucket bound {ub} below value {v}");
+                if v >= LINEAR_MAX {
+                    assert!(
+                        (ub - v) as f64 <= v as f64 / 16.0 + 1.0,
+                        "bucket bound {ub} too far above {v}"
+                    );
+                }
+            }
+            probe = probe.saturating_mul(2);
+        }
+        // Bucket indices are monotone in the value.
+        for v in 0..4096u64 {
+            assert!(index_of(v + 1) >= index_of(v));
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_population() {
+        let mut h = LatencyHistogram::new();
+        // 1000 observations: 1..=1000 milliseconds.
+        for ms in 1..=1000u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), Duration::from_millis(1000));
+        // The running total is exact: 1+2+..+1000 ms.
+        assert_eq!(h.total(), Duration::from_millis(500_500));
+        let s = h.summary();
+        // Bucketed quantiles overestimate by at most 1/16.
+        let p50_ms = s.p50.as_secs_f64() * 1e3;
+        let p99_ms = s.p99.as_secs_f64() * 1e3;
+        let p999_ms = s.p999.as_secs_f64() * 1e3;
+        assert!((500.0..=535.0).contains(&p50_ms), "p50 = {p50_ms}");
+        assert!((990.0..=1000.0).contains(&p99_ms), "p99 = {p99_ms}");
+        assert!((999.0..=1000.0).contains(&p999_ms), "p999 = {p999_ms}");
+        assert!(s.p50 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+    }
+
+    #[test]
+    fn empty_and_single_observation_edge_cases() {
+        let empty = LatencyHistogram::new();
+        assert_eq!(empty.quantile(0.5), Duration::ZERO);
+        assert_eq!(empty.summary().count, 0);
+        assert_eq!(empty.total(), Duration::ZERO);
+
+        let mut one = LatencyHistogram::new();
+        one.record(Duration::from_micros(7));
+        // Sub-linear values are exact.
+        assert_eq!(one.quantile(0.0), Duration::from_micros(7));
+        assert_eq!(one.quantile(1.0), Duration::from_micros(7));
+        assert_eq!(one.total(), Duration::from_micros(7));
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let d = Duration::from_micros(i * 37 + 5);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            whole.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.total(), whole.total());
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q = {q}");
+        }
+    }
+}

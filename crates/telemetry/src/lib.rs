@@ -1,0 +1,52 @@
+//! # octant-telemetry
+//!
+//! Workspace-wide observability for the Octant reproduction, in the spirit
+//! of "instrument first, then optimize": the stages that govern Octant's
+//! accuracy and cost (per-source constraint generation, solver chunked
+//! intersections, dilation, simplification, serve-loop queueing) need
+//! trustworthy timing before any of them is worth attacking.
+//!
+//! Three pieces, all offline and dependency-free (consistent with the
+//! workspace's compat-shim policy):
+//!
+//! * [`span`](crate::span()) / [`SpanGuard`] — a lightweight tracing core
+//!   with monotonic timing, a thread-local span stack, **self-time**
+//!   accounting, and a pluggable [`Collector`] ([`NullCollector`],
+//!   [`RecordingCollector`], [`JsonLinesCollector`]). Disabled (the
+//!   default), a span costs one relaxed atomic load.
+//! * [`MetricsRegistry`] — process-wide named counters, gauges, and
+//!   histograms under stable dotted names (`router_cache.hits`,
+//!   `region.band_merges`, `service.shard0.queue_depth`, …), with a
+//!   serializable [`MetricsSnapshot`] tree. Components own their handles
+//!   (exact instance counters); the registry sums per name (exact process
+//!   totals) — one bump, one code path.
+//! * [`StageProfile`] / [`begin_capture`] — per-request stage profiles:
+//!   wrap a capture around one solve and get back each stage's wall time
+//!   and call count, with stage sums ≤ measured wall time by construction.
+//!
+//! [`LatencyHistogram`] (the log-linear histogram previously private to
+//! `octant-service`) lives here so SLO latency quantiles and per-stage
+//! breakdowns share one implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod metrics;
+mod profile;
+mod span;
+
+pub use histogram::{LatencyHistogram, LatencySummary};
+pub use metrics::{
+    summary_json, Counter, Gauge, HistogramHandle, MetricsRegistry, MetricsSnapshot,
+};
+pub use profile::{begin_capture, CaptureGuard, Stage, StageProfile};
+pub use span::{
+    clear_collector, set_collector, span, tracing_active, Collector, JsonLinesCollector,
+    NullCollector, RecordingCollector, SpanGuard, SpanRecord,
+};
+
+/// Serializes unit tests that toggle the process-wide tracing interest
+/// counter or collector, so they cannot observe each other's state.
+#[cfg(test)]
+pub(crate) static TEST_SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());

@@ -1,0 +1,559 @@
+//! The process-wide metrics registry: named counters, gauges, and
+//! histograms under stable dotted names, with a serializable snapshot.
+//!
+//! ## Handle model
+//!
+//! [`MetricsRegistry::counter`] (and friends) return an owned **handle**
+//! backed by its own atomic; the registry keeps only a weak reference. Many
+//! handles may share one name — each cache instance, shard, or thread bumps
+//! its own cacheline-private atomic, and [`MetricsRegistry::snapshot`] sums
+//! the live handles per name. When the last clone of a counter or histogram
+//! handle drops, its final value is folded into a per-name *retired*
+//! accumulator, so process totals never regress when a component (say, a
+//! service's router cache) is torn down. Gauges are instantaneous by
+//! nature, so a dropped gauge simply leaves the sum.
+//!
+//! This is what lets a component keep exact *instance* counters (its own
+//! handle) while the registry reports exact *process* totals — one bump,
+//! one code path, two views.
+
+use crate::histogram::{LatencyHistogram, LatencySummary};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Duration;
+
+/// Backing cell of a [`Counter`]: the live value plus the per-name retired
+/// accumulator the value folds into when the last handle drops.
+#[derive(Debug)]
+struct CounterCell {
+    value: AtomicU64,
+    retired: Arc<AtomicU64>,
+}
+
+impl Drop for CounterCell {
+    fn drop(&mut self) {
+        let v = self.value.load(Ordering::Relaxed);
+        if v > 0 {
+            self.retired.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A monotonically increasing counter handle. Clones share one cell; bumps
+/// are one relaxed atomic add.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<CounterCell>,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.cell.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// This handle's own value (not the per-name process total; for that,
+    /// see [`MetricsRegistry::counter_value`]).
+    pub fn get(&self) -> u64 {
+        self.cell.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed gauge handle (queue depths, resident entries).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if it is currently lower (high-water marks).
+    pub fn raise_to(&self, v: i64) {
+        self.cell.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// This handle's own value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Backing cell of a [`HistogramHandle`]; folds into the per-name retained
+/// histogram on drop, mirroring [`CounterCell`].
+#[derive(Debug)]
+struct HistogramCell {
+    hist: Mutex<LatencyHistogram>,
+    retired: Arc<Mutex<LatencyHistogram>>,
+}
+
+impl Drop for HistogramCell {
+    fn drop(&mut self) {
+        let hist = self.hist.get_mut().unwrap_or_else(|e| e.into_inner());
+        if hist.count() > 0 {
+            self.retired
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .merge(hist);
+        }
+    }
+}
+
+/// A named latency-histogram handle; records are one short mutex-guarded
+/// bucket bump.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle {
+    cell: Arc<HistogramCell>,
+}
+
+impl HistogramHandle {
+    /// Records one observation.
+    pub fn record(&self, d: Duration) {
+        self.cell
+            .hist
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(d);
+    }
+
+    /// Folds a whole histogram in.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        self.cell
+            .hist
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(other);
+    }
+
+    /// A copy of this handle's own histogram.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.cell
+            .hist
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+/// Per-name registry slot for counters.
+#[derive(Debug)]
+struct CounterSlot {
+    live: Vec<Weak<CounterCell>>,
+    retired: Arc<AtomicU64>,
+}
+
+impl Default for CounterSlot {
+    fn default() -> Self {
+        CounterSlot {
+            live: Vec::new(),
+            retired: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Per-name registry slot for histograms.
+struct HistogramSlot {
+    live: Vec<Weak<HistogramCell>>,
+    retired: Arc<Mutex<LatencyHistogram>>,
+}
+
+impl Default for HistogramSlot {
+    fn default() -> Self {
+        HistogramSlot {
+            live: Vec::new(),
+            retired: Arc::new(Mutex::new(LatencyHistogram::new())),
+        }
+    }
+}
+
+/// The registry of named metrics; usually used through
+/// [`MetricsRegistry::global`]. See the module docs for the handle model.
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, CounterSlot>>,
+    gauges: Mutex<BTreeMap<String, Vec<Weak<AtomicI64>>>>,
+    histograms: Mutex<BTreeMap<String, HistogramSlot>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry (for isolated tests; production code shares
+    /// [`MetricsRegistry::global`]).
+    pub const fn new() -> Self {
+        MetricsRegistry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The process-wide registry every Octant component registers into.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: MetricsRegistry = MetricsRegistry::new();
+        &GLOBAL
+    }
+
+    /// Creates a fresh counter handle registered under `name` (dotted
+    /// lower-case, e.g. `"router_cache.hits"`).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = map.entry(name.to_string()).or_default();
+        let cell = Arc::new(CounterCell {
+            value: AtomicU64::new(0),
+            retired: slot.retired.clone(),
+        });
+        slot.live.retain(|w| w.strong_count() > 0);
+        slot.live.push(Arc::downgrade(&cell));
+        Counter { cell }
+    }
+
+    /// Creates a fresh gauge handle registered under `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = map.entry(name.to_string()).or_default();
+        let cell = Arc::new(AtomicI64::new(0));
+        slot.retain(|w| w.strong_count() > 0);
+        slot.push(Arc::downgrade(&cell));
+        Gauge { cell }
+    }
+
+    /// Creates a fresh histogram handle registered under `name`.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = map.entry(name.to_string()).or_default();
+        let cell = Arc::new(HistogramCell {
+            hist: Mutex::new(LatencyHistogram::new()),
+            retired: slot.retired.clone(),
+        });
+        slot.live.retain(|w| w.strong_count() > 0);
+        slot.live.push(Arc::downgrade(&cell));
+        HistogramHandle { cell }
+    }
+
+    /// The process total for counter `name`: retired value plus the sum of
+    /// every live handle. Zero when the name was never registered.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        map.get(name).map_or(0, |slot| {
+            slot.retired.load(Ordering::Relaxed)
+                + slot
+                    .live
+                    .iter()
+                    .filter_map(|w| w.upgrade())
+                    .map(|c| c.value.load(Ordering::Relaxed))
+                    .sum::<u64>()
+        })
+    }
+
+    /// A point-in-time view of every metric, names sorted, dead handles
+    /// pruned. Counter and histogram totals include retired contributions.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = {
+            let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+            map.iter_mut()
+                .map(|(name, slot)| {
+                    slot.live.retain(|w| w.strong_count() > 0);
+                    let total = slot.retired.load(Ordering::Relaxed)
+                        + slot
+                            .live
+                            .iter()
+                            .filter_map(|w| w.upgrade())
+                            .map(|c| c.value.load(Ordering::Relaxed))
+                            .sum::<u64>();
+                    (name.clone(), total)
+                })
+                .collect()
+        };
+        let gauges = {
+            let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+            map.iter_mut()
+                .map(|(name, slot)| {
+                    slot.retain(|w| w.strong_count() > 0);
+                    let total = slot
+                        .iter()
+                        .filter_map(|w| w.upgrade())
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .sum::<i64>();
+                    (name.clone(), total)
+                })
+                .collect()
+        };
+        let histograms = {
+            let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+            map.iter_mut()
+                .map(|(name, slot)| {
+                    slot.live.retain(|w| w.strong_count() > 0);
+                    let mut merged = slot
+                        .retired
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .clone();
+                    for cell in slot.live.iter().filter_map(|w| w.upgrade()) {
+                        merged.merge(&cell.hist.lock().unwrap_or_else(|e| e.into_inner()));
+                    }
+                    (name.clone(), merged.summary())
+                })
+                .collect()
+        };
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A point-in-time view of a [`MetricsRegistry`]: flat sorted name/value
+/// lists, renderable as a nested JSON tree via
+/// [`MetricsSnapshot::to_json`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, process total)` for every registered counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, summed value)` for every registered gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, merged summary)` for every registered histogram, sorted.
+    pub histograms: Vec<(String, LatencySummary)>,
+}
+
+impl MetricsSnapshot {
+    /// The total for counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The value of gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Renders the snapshot as a JSON tree: dotted names become nested
+    /// objects (`"router_cache.hits"` → `{"router_cache":{"hits":N}}`),
+    /// histograms become `{count, p50_ms, p99_ms, p999_ms, max_ms}` leaves.
+    pub fn to_json(&self) -> String {
+        let mut root: BTreeMap<String, Node> = BTreeMap::new();
+        for (name, v) in &self.counters {
+            insert(&mut root, name, v.to_string());
+        }
+        for (name, v) in &self.gauges {
+            insert(&mut root, name, v.to_string());
+        }
+        for (name, s) in &self.histograms {
+            insert(&mut root, name, summary_json(s));
+        }
+        render(&root)
+    }
+}
+
+/// Renders a [`LatencySummary`] as a JSON object (milliseconds).
+pub fn summary_json(s: &LatencySummary) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \"max_ms\": {:.3}}}",
+        s.count,
+        s.p50.as_secs_f64() * 1e3,
+        s.p99.as_secs_f64() * 1e3,
+        s.p999.as_secs_f64() * 1e3,
+        s.max.as_secs_f64() * 1e3,
+    )
+}
+
+/// A node of the dotted-name JSON tree: a pre-rendered leaf value or a
+/// nested object.
+enum Node {
+    Leaf(String),
+    Branch(BTreeMap<String, Node>),
+}
+
+/// Inserts `value` at dotted path `name`, creating branches as needed. If a
+/// segment collides with an existing leaf, the remaining path is kept flat
+/// under the current level (metric names are chosen not to collide; this
+/// just keeps the renderer total).
+fn insert(map: &mut BTreeMap<String, Node>, name: &str, value: String) {
+    let mut current = map;
+    let mut parts = name.split('.').peekable();
+    while let Some(part) = parts.next() {
+        if parts.peek().is_none() {
+            current.insert(part.to_string(), Node::Leaf(value));
+            return;
+        }
+        let needs_flat = matches!(current.get(part), Some(Node::Leaf(_)));
+        if needs_flat {
+            let rest: Vec<&str> = std::iter::once(part).chain(parts).collect();
+            current.insert(rest.join("."), Node::Leaf(value));
+            return;
+        }
+        current = match current
+            .entry(part.to_string())
+            .or_insert_with(|| Node::Branch(BTreeMap::new()))
+        {
+            Node::Branch(b) => b,
+            Node::Leaf(_) => unreachable!("leaf collisions handled above"),
+        };
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render(map: &BTreeMap<String, Node>) -> String {
+    let mut out = String::from("{");
+    for (i, (key, node)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        out.push_str(&escape_json(key));
+        out.push_str("\": ");
+        match node {
+            Node::Leaf(v) => out.push_str(v),
+            Node::Branch(b) => out.push_str(&render(b)),
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_a_name_and_snapshot_sums_them() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("cache.hits");
+        let b = reg.counter("cache.hits");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 3, "instance view stays exact");
+        assert_eq!(reg.counter_value("cache.hits"), 7);
+        assert_eq!(reg.snapshot().counter("cache.hits"), Some(7));
+    }
+
+    #[test]
+    fn dropping_a_counter_retires_its_value() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("work.done");
+        a.add(10);
+        drop(a);
+        let b = reg.counter("work.done");
+        b.add(5);
+        assert_eq!(reg.counter_value("work.done"), 15);
+        // Gauges, by contrast, drop their contribution with the handle.
+        let g = reg.gauge("queue.depth");
+        g.set(7);
+        assert_eq!(reg.snapshot().gauge("queue.depth"), Some(7));
+        drop(g);
+        assert_eq!(reg.snapshot().gauge("queue.depth"), Some(0));
+    }
+
+    #[test]
+    fn gauge_supports_set_add_and_high_water() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.raise_to(10);
+        g.raise_to(4);
+        assert_eq!(g.get(), 10);
+        g.set(1);
+        assert_eq!(reg.snapshot().gauge("depth"), Some(1));
+    }
+
+    #[test]
+    fn histograms_merge_across_handles_and_retire_on_drop() {
+        let reg = MetricsRegistry::new();
+        let a = reg.histogram("stage.solve");
+        let b = reg.histogram("stage.solve");
+        a.record(Duration::from_millis(10));
+        b.record(Duration::from_millis(20));
+        let snap = reg.snapshot();
+        let (_, s) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "stage.solve")
+            .unwrap();
+        assert_eq!(s.count, 2);
+        drop(a);
+        drop(b);
+        let snap = reg.snapshot();
+        let (_, s) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "stage.solve")
+            .unwrap();
+        assert_eq!(s.count, 2, "dropped handles fold into the retired slot");
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_sorted() {
+        let reg = MetricsRegistry::new();
+        let b = reg.counter("b.two");
+        let a = reg.counter("a.one");
+        a.inc();
+        b.add(2);
+        let s1 = reg.snapshot();
+        let s2 = reg.snapshot();
+        assert_eq!(s1, s2);
+        let names: Vec<&str> = s1.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.one", "b.two"]);
+    }
+
+    #[test]
+    fn json_tree_nests_dotted_names() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("router_cache.hits");
+        c.add(12);
+        let m = reg.counter("router_cache.misses");
+        m.add(3);
+        let g = reg.gauge("service.shard0.queue_depth");
+        g.set(4);
+        let json = reg.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"router_cache\": {\"hits\": 12, \"misses\": 3}, \
+             \"service\": {\"shard0\": {\"queue_depth\": 4}}}"
+        );
+    }
+}

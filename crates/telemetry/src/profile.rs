@@ -1,0 +1,226 @@
+//! Per-request stage profiles: a thread-local capture that folds the
+//! **self time** of every span closed on the capturing thread into a named
+//! stage table.
+//!
+//! Because self times of a span tree partition the root's wall time (see
+//! [`crate::span`]), a capture wrapped around one top-level span yields a
+//! [`StageProfile`] whose stage sum equals that span's wall time — stage
+//! sums can never exceed the measured wall time by construction.
+//!
+//! Captures are thread-local on purpose: Octant's batch engine fans
+//! requests out one-target-per-worker (each target's solve runs entirely on
+//! one thread), so a capture opened inside the per-target closure observes
+//! exactly that target's stages and nothing from its neighbours.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::time::Duration;
+
+thread_local! {
+    /// The calling thread's open capture, if any.
+    static CAPTURE: RefCell<Option<StageProfile>> = const { RefCell::new(None) };
+}
+
+/// One named stage of a profile: accumulated self-wall-time and call count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage {
+    /// The stage (span) name.
+    pub name: &'static str,
+    /// Accumulated self time across all calls.
+    pub wall: Duration,
+    /// Number of spans folded into this stage.
+    pub calls: u64,
+}
+
+/// A per-request breakdown: stages in first-observed order, each with its
+/// accumulated wall time and call count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageProfile {
+    stages: Vec<Stage>,
+}
+
+impl StageProfile {
+    /// The stages, in first-observed order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// The stage named `name`, if observed.
+    pub fn stage(&self, name: &str) -> Option<&Stage> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Sum of every stage's wall time.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// `true` when no stage has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Folds `wall` and `calls` into the stage named `name`, appending the
+    /// stage if it is new.
+    pub fn add(&mut self, name: &'static str, wall: Duration, calls: u64) {
+        match self.stages.iter_mut().find(|s| s.name == name) {
+            Some(stage) => {
+                stage.wall += wall;
+                stage.calls += calls;
+            }
+            None => self.stages.push(Stage { name, wall, calls }),
+        }
+    }
+
+    /// Like [`StageProfile::add`], but a new stage is inserted at the
+    /// front — used for stages that logically precede everything already
+    /// captured (e.g. queue wait before the solve).
+    pub fn prepend(&mut self, name: &'static str, wall: Duration, calls: u64) {
+        match self.stages.iter_mut().find(|s| s.name == name) {
+            Some(stage) => {
+                stage.wall += wall;
+                stage.calls += calls;
+            }
+            None => self.stages.insert(0, Stage { name, wall, calls }),
+        }
+    }
+
+    /// Folds every stage of `other` into this profile.
+    pub fn merge(&mut self, other: &StageProfile) {
+        for stage in &other.stages {
+            self.add(stage.name, stage.wall, stage.calls);
+        }
+    }
+}
+
+/// Starts capturing span self-times on the calling thread, activating
+/// tracing process-wide for the capture's lifetime. Finish with
+/// [`CaptureGuard::finish`]; dropping the guard without finishing discards
+/// the capture. A nested capture shadows the outer one until it ends.
+pub fn begin_capture() -> CaptureGuard {
+    crate::span::interest_add();
+    let prev = CAPTURE.with(|c| c.borrow_mut().replace(StageProfile::default()));
+    CaptureGuard {
+        prev,
+        finished: false,
+        _not_send: PhantomData,
+    }
+}
+
+/// Folds one closed span's self time into the thread's open capture, if
+/// any. Called by the span core on every close while tracing is active.
+pub(crate) fn record_stage(name: &'static str, self_time: Duration) {
+    CAPTURE.with(|c| {
+        if let Some(profile) = c.borrow_mut().as_mut() {
+            profile.add(name, self_time, 1);
+        }
+    });
+}
+
+/// An open profile capture on the current thread; see [`begin_capture`].
+/// Not `Send`: the capture belongs to the thread whose spans it observes.
+pub struct CaptureGuard {
+    prev: Option<StageProfile>,
+    finished: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl CaptureGuard {
+    /// Ends the capture and returns the accumulated profile, restoring any
+    /// outer capture that was shadowed.
+    pub fn finish(mut self) -> StageProfile {
+        self.finished = true;
+        crate::span::interest_sub();
+        CAPTURE
+            .with(|c| std::mem::replace(&mut *c.borrow_mut(), self.prev.take()))
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            crate::span::interest_sub();
+            CAPTURE.with(|c| *c.borrow_mut() = self.prev.take());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::span;
+
+    #[test]
+    fn capture_partitions_the_top_span_wall_time() {
+        let _lock = crate::TEST_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let capture = begin_capture();
+        let start = std::time::Instant::now();
+        {
+            let _top = span("top");
+            std::thread::sleep(Duration::from_millis(2));
+            for _ in 0..2 {
+                let _child = span("child");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let wall = start.elapsed();
+        let profile = capture.finish();
+        assert_eq!(profile.stages().len(), 2);
+        assert_eq!(profile.stage("child").unwrap().calls, 2);
+        assert_eq!(profile.stage("top").unwrap().calls, 1);
+        // Self times partition the top span's wall: the sum can never
+        // exceed the wall time measured around the whole scope.
+        assert!(profile.total() <= wall, "{:?} > {wall:?}", profile.total());
+        assert!(profile.total() >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn unfinished_capture_is_discarded_and_interest_released() {
+        let _lock = crate::TEST_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let _capture = begin_capture();
+            let _span = span("dropped.with.capture");
+        }
+        // Interest returned to zero: new spans are inert again.
+        assert!(!crate::span::tracing_active());
+        CAPTURE.with(|c| assert!(c.borrow().is_none()));
+    }
+
+    #[test]
+    fn nested_capture_shadows_and_restores_the_outer_one() {
+        let _lock = crate::TEST_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let outer = begin_capture();
+        {
+            let _outer_span = span("outer.stage");
+        }
+        let inner = begin_capture();
+        {
+            let _inner_span = span("inner.stage");
+        }
+        let inner_profile = inner.finish();
+        {
+            let _outer_span = span("outer.stage");
+        }
+        let outer_profile = outer.finish();
+        assert!(inner_profile.stage("inner.stage").is_some());
+        assert!(inner_profile.stage("outer.stage").is_none());
+        assert_eq!(outer_profile.stage("outer.stage").unwrap().calls, 2);
+        assert!(outer_profile.stage("inner.stage").is_none());
+    }
+
+    #[test]
+    fn merge_and_prepend_accumulate_by_name() {
+        let mut a = StageProfile::default();
+        a.add("solve", Duration::from_millis(5), 1);
+        let mut b = StageProfile::default();
+        b.add("solve", Duration::from_millis(3), 1);
+        b.add("source.latency", Duration::from_millis(2), 4);
+        a.merge(&b);
+        assert_eq!(a.stage("solve").unwrap().wall, Duration::from_millis(8));
+        assert_eq!(a.stage("solve").unwrap().calls, 2);
+        a.prepend("queue_wait", Duration::from_millis(1), 1);
+        assert_eq!(a.stages()[0].name, "queue_wait");
+        assert_eq!(a.total(), Duration::from_millis(11));
+    }
+}

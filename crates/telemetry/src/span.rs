@@ -1,0 +1,349 @@
+//! The span/tracing core: monotonic timed spans on a thread-local stack,
+//! with **self-time** accounting and a pluggable [`Collector`] sink.
+//!
+//! ## Cost model
+//!
+//! Instrumented code calls [`span`] unconditionally; whether anything
+//! happens is decided by one process-wide relaxed atomic load (the
+//! *interest* counter, raised while a collector is installed or a
+//! [`crate::profile`] capture is active on any thread). While the counter is
+//! zero — the default — [`span`] returns an inert guard without reading the
+//! clock or touching the thread-local stack, so always-on instrumentation
+//! in hot paths costs one predictable load.
+//!
+//! ## Self-time semantics
+//!
+//! Each open span accumulates the elapsed time of its direct children; on
+//! close, a span reports both its wall time and its **self time** (wall
+//! minus children). Self times of the spans in a tree partition the root's
+//! wall time exactly, which is what lets stage profiles promise
+//! "stage sums ≤ wall" by construction instead of by luck.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Process-wide count of reasons to time spans: one while a collector is
+/// installed, plus one per active profile capture. Zero means [`span`] is a
+/// no-op.
+static INTEREST: AtomicU32 = AtomicU32::new(0);
+
+/// The installed collector, if any. A `RwLock` because the read path (every
+/// span close while tracing is active) vastly outnumbers installs.
+static COLLECTOR: RwLock<Option<Arc<dyn Collector>>> = RwLock::new(None);
+
+thread_local! {
+    /// The calling thread's stack of open spans.
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One open span on the thread-local stack.
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    /// Total elapsed time of already-closed direct children.
+    child_elapsed: Duration,
+}
+
+/// `true` while at least one collector or profile capture is live — the
+/// single relaxed load [`span`] is gated on.
+pub fn tracing_active() -> bool {
+    INTEREST.load(Ordering::Relaxed) != 0
+}
+
+/// Raises the interest counter (a capture or collector went live).
+pub(crate) fn interest_add() {
+    INTEREST.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Lowers the interest counter (a capture finished / collector removed).
+pub(crate) fn interest_sub() {
+    INTEREST.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Opens a span named `name`. The returned guard closes the span when
+/// dropped; bind it (`let _span = span("...")`) so it lives to the end of
+/// the timed scope. While tracing is inactive this is one relaxed atomic
+/// load and the guard is inert.
+///
+/// Span names are `&'static str` by design: stage identity is a code-level
+/// property, and static names keep the disabled path allocation-free.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !tracing_active() {
+        return SpanGuard {
+            active: false,
+            _not_send: PhantomData,
+        };
+    }
+    STACK.with(|stack| {
+        stack.borrow_mut().push(Frame {
+            name,
+            start: Instant::now(),
+            child_elapsed: Duration::ZERO,
+        })
+    });
+    SpanGuard {
+        active: true,
+        _not_send: PhantomData,
+    }
+}
+
+/// Closes its span on drop. Not `Send`: a span measures work on the thread
+/// that opened it, and the LIFO drop order of stack-bound guards is what
+/// keeps the thread-local span stack well-nested.
+pub struct SpanGuard {
+    active: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// `true` when the span is actually being timed (tracing was active
+    /// when it opened).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let record = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let frame = stack
+                .pop()
+                .expect("span guards drop in LIFO order (guards are not Send)");
+            let wall = frame.start.elapsed();
+            let parent = stack.last_mut().map(|p| {
+                p.child_elapsed += wall;
+                p.name
+            });
+            SpanRecord {
+                name: frame.name,
+                parent,
+                depth: stack.len(),
+                wall,
+                self_time: wall.saturating_sub(frame.child_elapsed),
+            }
+        });
+        crate::profile::record_stage(record.name, record.self_time);
+        let guard = COLLECTOR.read().unwrap_or_else(|e| e.into_inner());
+        if let Some(collector) = guard.as_ref() {
+            collector.record(&record);
+        }
+    }
+}
+
+/// One closed span, as delivered to a [`Collector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SpanRecord {
+    /// The span's static name.
+    pub name: &'static str,
+    /// The name of the enclosing span still open on the same thread, if any.
+    pub parent: Option<&'static str>,
+    /// Nesting depth at close time (0 = no enclosing span).
+    pub depth: usize,
+    /// Wall time from open to close.
+    pub wall: Duration,
+    /// Wall time minus the elapsed time of direct children — the span's own
+    /// share. Self times of a span tree sum to the root's wall time.
+    pub self_time: Duration,
+}
+
+/// A sink for closed spans. Implementations must be cheap and non-blocking
+/// where possible: `record` runs inline on the traced thread.
+pub trait Collector: Send + Sync {
+    /// Receives one closed span.
+    fn record(&self, span: &SpanRecord);
+}
+
+/// The do-nothing sink: installing it exercises the full span machinery
+/// (timing, stacks, self-time) while discarding every record — the
+/// reference point for overhead measurements and bit-identity checks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    fn record(&self, _span: &SpanRecord) {}
+}
+
+/// An in-memory sink that appends every record to a vector — the test and
+/// debugging collector. Clone the `Arc` you install to inspect it later.
+#[derive(Debug, Default)]
+pub struct RecordingCollector {
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+impl RecordingCollector {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        RecordingCollector::default()
+    }
+
+    /// Removes and returns everything recorded so far.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.records.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Collector for RecordingCollector {
+    fn record(&self, span: &SpanRecord) {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(*span);
+    }
+}
+
+/// A sink that writes one JSON object per closed span to a writer
+/// (`{"name":..,"parent":..,"depth":..,"wall_us":..,"self_us":..}` lines) —
+/// the poor man's trace file, readable by any JSONL tool.
+pub struct JsonLinesCollector {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonLinesCollector {
+    /// Wraps `writer`; records are written (and flushed) per span.
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        JsonLinesCollector {
+            writer: Mutex::new(Box::new(writer)),
+        }
+    }
+}
+
+impl std::fmt::Debug for JsonLinesCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonLinesCollector").finish_non_exhaustive()
+    }
+}
+
+impl Collector for JsonLinesCollector {
+    fn record(&self, span: &SpanRecord) {
+        let parent = match span.parent {
+            Some(p) => format!("\"{}\"", crate::metrics::escape_json(p)),
+            None => "null".to_string(),
+        };
+        let line = format!(
+            "{{\"name\":\"{}\",\"parent\":{},\"depth\":{},\"wall_us\":{},\"self_us\":{}}}\n",
+            crate::metrics::escape_json(span.name),
+            parent,
+            span.depth,
+            span.wall.as_micros(),
+            span.self_time.as_micros(),
+        );
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+}
+
+/// Installs `collector` as the process-wide span sink, replacing any
+/// previous one, and activates tracing. Pair with [`clear_collector`].
+pub fn set_collector(collector: Arc<dyn Collector>) {
+    let mut guard = COLLECTOR.write().unwrap_or_else(|e| e.into_inner());
+    if guard.is_none() {
+        interest_add();
+    }
+    *guard = Some(collector);
+}
+
+/// Removes the installed collector (if any), deactivating tracing unless
+/// profile captures are still live.
+pub fn clear_collector() {
+    let mut guard = COLLECTOR.write().unwrap_or_else(|e| e.into_inner());
+    if guard.take().is_some() {
+        interest_sub();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _lock = crate::TEST_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(!tracing_active());
+        let guard = span("never.recorded");
+        assert!(!guard.is_active());
+        drop(guard);
+        // The stack stayed untouched.
+        STACK.with(|s| assert!(s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn nested_spans_report_parent_depth_and_self_time() {
+        let _lock = crate::TEST_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let recorder = Arc::new(RecordingCollector::new());
+        set_collector(recorder.clone());
+        {
+            let _outer = span("outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span("inner");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        clear_collector();
+        let records = recorder.take();
+        assert_eq!(records.len(), 2);
+        // Children close (and record) before parents.
+        assert_eq!(records[0].name, "inner");
+        assert_eq!(records[0].parent, Some("outer"));
+        assert_eq!(records[0].depth, 1);
+        assert_eq!(records[1].name, "outer");
+        assert_eq!(records[1].parent, None);
+        assert_eq!(records[1].depth, 0);
+        // The parent's self time excludes the child's wall time.
+        assert!(records[1].wall >= records[0].wall);
+        assert_eq!(
+            records[1].self_time,
+            records[1].wall.saturating_sub(records[0].wall)
+        );
+    }
+
+    #[test]
+    fn json_lines_collector_writes_one_line_per_span() {
+        let _lock = crate::TEST_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        set_collector(Arc::new(JsonLinesCollector::new(buf.clone())));
+        {
+            let _a = span("alpha");
+            let _b = span("beta");
+        }
+        clear_collector();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"beta\""));
+        assert!(lines[0].contains("\"parent\":\"alpha\""));
+        assert!(lines[1].contains("\"name\":\"alpha\""));
+        assert!(lines[1].contains("\"parent\":null"));
+    }
+}

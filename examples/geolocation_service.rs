@@ -16,7 +16,12 @@
 //!    old-epoch entries are retired;
 //! 5. an **SLO wave** — requests carrying deadlines resolve to typed
 //!    outcomes: a generous deadline is served, an already-expired one is
-//!    shed at drain time without spending any solver work.
+//!    shed at drain time without spending any solver work;
+//! 6. a **profiled wave** — the same targets re-requested with
+//!    `LocalizeOptions::with_profiling()`: every served estimate carries a
+//!    per-stage `StageProfile` (queue wait, evidence sources, solver
+//!    stages), and the service's merged per-shard stage histograms print
+//!    as a breakdown table via `stats_report()`.
 //!
 //! Along the way the example verifies that served estimates are
 //! bit-identical to the uncached sequential `Recursive` path on the same
@@ -157,6 +162,40 @@ fn main() {
         on_time[0].served().expect("generous deadline").epoch,
         service.stats().counters.deadline_expired
     );
+
+    // ---- Wave 5: profiled traffic — per-request stage breakdowns ------------
+    // Profiling is opt-in per request: these targets batch separately and
+    // each served estimate carries a per-stage wall-time profile, while the
+    // earlier unprofiled waves paid nothing for the capability.
+    let profiled = service.localize_blocking_with_options(
+        &campaign.targets,
+        LocalizeOptions::default().with_profiling(),
+    );
+    let slowest = profiled
+        .iter()
+        .filter_map(|o| o.served())
+        .filter_map(|s| s.estimate.profile.as_ref())
+        .max_by_key(|p| p.total())
+        .expect("profiled wave serves at least one target");
+    println!(
+        "# wave 5 (profile): {} targets profiled; slowest request spent {:.1?} across {} stages",
+        profiled.len(),
+        slowest.total(),
+        slowest.stages().len()
+    );
+    println!(
+        "{:<18} {:>12} {:>8}   (slowest request)",
+        "stage", "wall", "calls"
+    );
+    for stage in slowest.stages() {
+        println!(
+            "{:<18} {:>12.1?} {:>8}",
+            stage.name, stage.wall, stage.calls
+        );
+    }
+    let report = service.stats_report();
+    println!("# per-stage serve breakdown, merged across shards:");
+    print!("{report}");
 
     let final_stats = service.stats();
     println!(
