@@ -45,6 +45,7 @@ use octant_geo::units::Latency;
 use octant_netsim::observation::ObservationProvider;
 use octant_netsim::topology::NodeId;
 use rayon::prelude::*;
+use std::collections::HashMap;
 
 /// The target-independent half of an Octant solve, computed once per
 /// landmark set by [`Octant::prepare_landmarks`] and shared by every target
@@ -62,6 +63,11 @@ pub struct LandmarkModel {
     /// Calibration pooled over every landmark pair (used for router
     /// constraints, whose "landmark" is not in the calibrated set).
     pub(crate) global_calibration: Calibration,
+    /// Minimum RTT observed for each ordered inter-landmark pair, keyed by
+    /// node id. Retained so an incremental re-prepare
+    /// ([`Octant::prepare_landmarks_incremental`]) can reuse the
+    /// measurements of unchanged pairs without re-querying the provider.
+    pub(crate) inter_rtts: HashMap<(NodeId, NodeId), Latency>,
     /// Landmarks that were supplied but dropped because they advertised no
     /// location (diagnosable via [`LandmarkModel::dropped_landmarks`] and
     /// every estimate's provenance report).

@@ -330,6 +330,34 @@ pub struct Octant {
     pipeline: EvidencePipeline,
 }
 
+/// What [`Octant::prepare_landmarks_incremental`] reused versus recomputed.
+/// Purely diagnostic — the produced model is bit-identical to a full
+/// [`Octant::prepare_landmarks`] regardless of what was reused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct RecalibrationReport {
+    /// The landmark roster, a position, or the dropped set differed from
+    /// the previous model, so the delta had no baseline and a full rebuild
+    /// ran instead.
+    pub full_rebuild: bool,
+    /// Ordered pairs re-measured through the provider (both endpoints
+    /// untouched pairs are never re-queried).
+    pub refreshed_pairs: usize,
+    /// Ordered pairs whose minimum RTT was carried over from the previous
+    /// model without a provider query.
+    pub reused_pairs: usize,
+    /// Refreshed pairs whose minimum actually moved. Zero means the
+    /// previous model was returned wholesale.
+    pub changed_pairs: usize,
+    /// The heights solve landed on bitwise-identical queuing delays (always
+    /// true when the previous model was reused wholesale).
+    pub heights_reused: bool,
+    /// Per-landmark calibration hulls carried over from the previous model.
+    pub calibrations_reused: usize,
+    /// Per-landmark calibration hulls re-fit from samples.
+    pub calibrations_rebuilt: usize,
+}
+
 impl Octant {
     /// Creates an Octant instance with the given configuration and the
     /// standard evidence pipeline.
@@ -471,14 +499,179 @@ impl Octant {
         }
         let global_calibration = Calibration::from_samples(pooled, self.config.calibration);
 
+        let inter_rtts = inter
+            .iter()
+            .map(|(&(i, j), &rtt)| ((lm_ids[i], lm_ids[j]), rtt))
+            .collect();
         LandmarkModel {
             lm_ids,
             lm_pos,
             heights,
             calibrations,
             global_calibration,
+            inter_rtts,
             dropped,
         }
+    }
+
+    /// Re-prepares a landmark model after some landmarks' observation sets
+    /// changed, reusing the `previous` model's measurements and solves
+    /// wherever they provably cannot have moved. The output is
+    /// **bit-identical** to a from-scratch [`Octant::prepare_landmarks`]
+    /// over the same provider state — the savings change *cost*, never the
+    /// model (pinned by `tests/ingest_parity.rs`).
+    ///
+    /// `changed` must contain every landmark whose observations may differ
+    /// from the state `previous` was prepared against (e.g.
+    /// `ObservationStore::changed_since` in `octant-netsim`); landmarks
+    /// outside the current set are ignored. Three reuse tiers apply:
+    ///
+    /// 1. **Unchanged pairs skip the provider** — only pairs with a changed
+    ///    endpoint are re-pinged (`2·K·(L−1)` probes instead of `L·(L−1)`),
+    ///    the dominant saving against a store or live prober.
+    /// 2. **No pair moved → the previous model is reused wholesale** — the
+    ///    common streaming case, since a repeat probe rarely lowers a
+    ///    minimum RTT.
+    /// 3. **Untouched landmarks keep their calibration hull** when the
+    ///    heights solve lands on bitwise-identical queuing delays.
+    ///
+    /// If the landmark set, any advertised position, or the dropped set
+    /// differs from `previous`, the delta has no defined baseline and the
+    /// method falls back to a full rebuild (reported via
+    /// [`RecalibrationReport::full_rebuild`]).
+    pub fn prepare_landmarks_incremental(
+        &self,
+        provider: &dyn ObservationProvider,
+        landmarks: &[NodeId],
+        previous: &LandmarkModel,
+        changed: &[NodeId],
+    ) -> (LandmarkModel, RecalibrationReport) {
+        // ---- Landmark roster (cheap; also the fallback trigger) -----------------
+        let mut lm_ids: Vec<NodeId> = Vec::new();
+        let mut lm_pos: Vec<GeoPoint> = Vec::new();
+        let mut dropped: Vec<NodeId> = Vec::new();
+        for &lm in landmarks {
+            if let Some(pos) = provider.advertised_location(lm) {
+                lm_ids.push(lm);
+                lm_pos.push(pos);
+            } else {
+                dropped.push(lm);
+            }
+        }
+        if lm_ids != previous.lm_ids || lm_pos != previous.lm_pos || dropped != previous.dropped {
+            let model = self.prepare_landmarks(provider, landmarks);
+            let report = RecalibrationReport {
+                full_rebuild: true,
+                refreshed_pairs: model.inter_rtts.len(),
+                calibrations_rebuilt: model.lm_ids.len(),
+                ..RecalibrationReport::default()
+            };
+            return (model, report);
+        }
+
+        // ---- Inter-landmark RTTs: re-ping only pairs with a changed endpoint ----
+        let changed_set: std::collections::HashSet<NodeId> = changed.iter().copied().collect();
+        let mut report = RecalibrationReport::default();
+        let mut inter: HashMap<(usize, usize), Latency> = HashMap::new();
+        // Landmarks adjacent to a pair whose minimum actually moved.
+        let mut dirty = vec![false; lm_ids.len()];
+        for i in 0..lm_ids.len() {
+            for j in 0..lm_ids.len() {
+                if i == j {
+                    continue;
+                }
+                let key = (lm_ids[i], lm_ids[j]);
+                let rtt = if changed_set.contains(&lm_ids[i]) || changed_set.contains(&lm_ids[j]) {
+                    report.refreshed_pairs += 1;
+                    let fresh = provider.ping(lm_ids[i], lm_ids[j]).min();
+                    if fresh != previous.inter_rtts.get(&key).copied() {
+                        report.changed_pairs += 1;
+                        dirty[i] = true;
+                        dirty[j] = true;
+                    }
+                    fresh
+                } else {
+                    // Neither endpoint changed, so `previous` already holds
+                    // exactly what the provider would answer — including the
+                    // pair's absence.
+                    report.reused_pairs += 1;
+                    previous.inter_rtts.get(&key).copied()
+                };
+                if let Some(rtt) = rtt {
+                    inter.insert((i, j), rtt);
+                }
+            }
+        }
+        if report.changed_pairs == 0 {
+            // Every refreshed pair round-tripped to the same minimum: the
+            // previous model *is* the from-scratch model.
+            report.heights_reused = true;
+            report.calibrations_reused = lm_ids.len();
+            return (previous.clone(), report);
+        }
+
+        // ---- Heights: always the full deterministic solve -----------------------
+        // The least-squares system couples every landmark, so one moved pair
+        // can shift all queuing-delay estimates; solving from the complete
+        // `inter` map keeps the result bit-identical to a full prepare.
+        let heights = if self.config.use_heights {
+            Heights::solve_landmarks(&lm_pos, &inter)
+        } else {
+            Heights::default()
+        };
+        report.heights_reused = heights == previous.heights;
+
+        // ---- Calibrations: rebuild hulls only where inputs moved ----------------
+        // Sample vectors are recomputed for every landmark (cheap pure
+        // arithmetic, and the pooled calibration needs them in the exact
+        // i-major order of a full prepare); the convex-hull fit is reused
+        // for landmarks whose samples provably match the previous model's.
+        let mut calibrations: Vec<Calibration> = Vec::with_capacity(lm_ids.len());
+        let mut pooled: Vec<CalibrationSample> = Vec::new();
+        for i in 0..lm_ids.len() {
+            let mut samples = Vec::new();
+            for j in 0..lm_ids.len() {
+                if i == j {
+                    continue;
+                }
+                if let Some(&rtt) = inter.get(&(i, j)) {
+                    let adjusted = if self.config.use_heights {
+                        self.bounded_adjust(rtt, heights.get_ms(i), heights.get_ms(j))
+                    } else {
+                        rtt
+                    };
+                    let sample = CalibrationSample {
+                        latency: adjusted,
+                        distance: great_circle(lm_pos[i], lm_pos[j]),
+                    };
+                    samples.push(sample);
+                    pooled.push(sample);
+                }
+            }
+            if report.heights_reused && !dirty[i] {
+                report.calibrations_reused += 1;
+                calibrations.push(previous.calibrations[i].clone());
+            } else {
+                report.calibrations_rebuilt += 1;
+                calibrations.push(Calibration::from_samples(samples, self.config.calibration));
+            }
+        }
+        let global_calibration = Calibration::from_samples(pooled, self.config.calibration);
+
+        let inter_rtts = inter
+            .iter()
+            .map(|(&(i, j), &rtt)| ((lm_ids[i], lm_ids[j]), rtt))
+            .collect();
+        let model = LandmarkModel {
+            lm_ids,
+            lm_pos,
+            heights,
+            calibrations,
+            global_calibration,
+            inter_rtts,
+            dropped,
+        };
+        (model, report)
     }
 
     /// Localizes one target against a prepared [`LandmarkModel`]. The model
@@ -1020,6 +1213,93 @@ mod tests {
         // Landmarks equal to the target are ignored.
         let est = octant.localize(&prober, &[hosts[0].id], hosts[0].id);
         assert!(est.point.is_none());
+    }
+
+    fn assert_models_identical(a: &LandmarkModel, b: &LandmarkModel) {
+        assert_eq!(a.lm_ids, b.lm_ids);
+        assert_eq!(a.lm_pos, b.lm_pos);
+        assert_eq!(a.heights, b.heights);
+        assert_eq!(a.calibrations, b.calibrations);
+        assert_eq!(a.global_calibration, b.global_calibration);
+        assert_eq!(a.inter_rtts, b.inter_rtts);
+        assert_eq!(a.dropped, b.dropped);
+    }
+
+    #[test]
+    fn incremental_prepare_with_no_changes_reuses_the_model_wholesale() {
+        let ds = octant_netsim::MeasurementDataset::capture(&small_prober(10, 17));
+        let landmarks = ds.host_ids();
+        let octant = Octant::new(OctantConfig::default());
+        let full = octant.prepare_landmarks(&ds, &landmarks);
+        let (inc, report) = octant.prepare_landmarks_incremental(&ds, &landmarks, &full, &[]);
+        assert_models_identical(&full, &inc);
+        assert!(!report.full_rebuild);
+        assert_eq!(report.refreshed_pairs, 0);
+        assert_eq!(report.changed_pairs, 0);
+        assert!(report.heights_reused);
+        assert_eq!(report.calibrations_reused, landmarks.len());
+        // Even re-probing some landmarks reuses everything when the minima
+        // round-trip unchanged (the dataset is replay-stable).
+        let touched = &landmarks[..3];
+        let (inc, report) = octant.prepare_landmarks_incremental(&ds, &landmarks, &full, touched);
+        assert_models_identical(&full, &inc);
+        assert!(report.refreshed_pairs > 0);
+        assert_eq!(report.changed_pairs, 0);
+    }
+
+    #[test]
+    fn incremental_prepare_matches_full_prepare_after_observation_churn() {
+        use octant_netsim::store::{ObservationRecord, StoreConfig};
+        use octant_netsim::ObservationStore;
+        let ds = octant_netsim::MeasurementDataset::capture(&small_prober(10, 19));
+        let landmarks = ds.host_ids();
+        let octant = Octant::new(OctantConfig::default());
+        let store = ObservationStore::from_dataset(StoreConfig::default(), &ds);
+        let v0 = store.version();
+        let previous = octant.prepare_landmarks(&store, &landmarks);
+
+        // A fresh, lower-minimum observation for two directed pairs touching
+        // one landmark: its observation set changed, the rest did not.
+        let faster = |from, to| {
+            let mut obs = ds.ping(from, to);
+            obs.samples.push(obs.min().unwrap() * 0.9);
+            ObservationRecord::Ping {
+                from,
+                to,
+                observation: obs,
+                seq: 1,
+            }
+        };
+        store.ingest(vec![
+            faster(landmarks[0], landmarks[4]),
+            faster(landmarks[4], landmarks[0]),
+        ]);
+        let changed = store.changed_since(v0);
+        assert_eq!(changed.len(), 2);
+
+        let full = octant.prepare_landmarks(&store, &landmarks);
+        let (inc, report) =
+            octant.prepare_landmarks_incremental(&store, &landmarks, &previous, &changed);
+        assert_models_identical(&full, &inc);
+        assert!(!report.full_rebuild);
+        assert_eq!(report.changed_pairs, 2);
+        // Only pairs adjacent to the two touched landmarks were re-measured.
+        let l = landmarks.len();
+        assert_eq!(report.refreshed_pairs + report.reused_pairs, l * (l - 1));
+        assert!(report.refreshed_pairs < l * (l - 1) / 2);
+    }
+
+    #[test]
+    fn incremental_prepare_falls_back_on_roster_change() {
+        let ds = octant_netsim::MeasurementDataset::capture(&small_prober(8, 31));
+        let landmarks = ds.host_ids();
+        let octant = Octant::new(OctantConfig::default());
+        let previous = octant.prepare_landmarks(&ds, &landmarks);
+        let shrunk: Vec<NodeId> = landmarks[..6].to_vec();
+        let (inc, report) = octant.prepare_landmarks_incremental(&ds, &shrunk, &previous, &[]);
+        assert!(report.full_rebuild);
+        let full = octant.prepare_landmarks(&ds, &shrunk);
+        assert_models_identical(&full, &inc);
     }
 
     #[test]

@@ -117,8 +117,8 @@ pub use batch::{BatchGeolocator, LandmarkModel, TargetScratch};
 pub use constraint::{Constraint, ConstraintKind, DEFAULT_WEIGHT_DECAY_MS};
 pub use eval::{ErrorCdf, TargetOutcome};
 pub use framework::{
-    Geolocator, LocationEstimate, Octant, OctantConfig, RouterEstimate, RouterEstimateSource,
-    RouterLocalization,
+    Geolocator, LocationEstimate, Octant, OctantConfig, RecalibrationReport, RouterEstimate,
+    RouterEstimateSource, RouterLocalization,
 };
 pub use pipeline::{
     ConstraintSource, EvidencePipeline, ProvenanceReport, SourceId, SourceReport, TargetContext,

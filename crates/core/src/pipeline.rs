@@ -53,8 +53,10 @@ use octant_region::GeoRegion;
 use std::sync::Arc;
 
 /// Stable identity of a [`ConstraintSource`], used for per-request source
-/// selection, weight scaling, and provenance reporting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// selection, weight scaling, and provenance reporting. The `Ord` is the
+/// declaration order (with `Custom` labels last, ordered by label) — used to
+/// canonicalize source lists into deterministic cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SourceId {
     /// Direct landmark latency constraints (§2.1/§2.2).
     Latency,

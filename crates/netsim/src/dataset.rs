@@ -31,11 +31,11 @@ pub struct DatasetHost {
 pub struct MeasurementDataset {
     /// The participating hosts.
     pub hosts: Vec<DatasetHost>,
-    pings: HashMap<(NodeId, NodeId), PingObservation>,
-    traceroutes: HashMap<(NodeId, NodeId), Vec<TracerouteHop>>,
-    dns: HashMap<[u8; 4], String>,
-    whois: HashMap<[u8; 4], String>,
-    ip_to_node: HashMap<[u8; 4], NodeId>,
+    pub(crate) pings: HashMap<(NodeId, NodeId), PingObservation>,
+    pub(crate) traceroutes: HashMap<(NodeId, NodeId), Vec<TracerouteHop>>,
+    pub(crate) dns: HashMap<[u8; 4], String>,
+    pub(crate) whois: HashMap<[u8; 4], String>,
+    pub(crate) ip_to_node: HashMap<[u8; 4], NodeId>,
 }
 
 impl MeasurementDataset {

@@ -25,7 +25,10 @@
 //!   or wrong entries,
 //! * [`observation`] — the [`observation::ObservationProvider`] trait tying
 //!   it all together, plus a recorded [`dataset::MeasurementDataset`] that
-//!   can be captured once and replayed.
+//!   can be captured once and replayed,
+//! * [`store`] — a streaming [`store::ObservationStore`] with
+//!   write-optimized batched indexing, for serving deployments where probe
+//!   observations arrive continuously instead of as one frozen capture.
 //!
 //! Everything is seeded: the same seed produces byte-identical measurements,
 //! so every figure in the evaluation regenerates exactly.
@@ -40,6 +43,7 @@ pub mod latency;
 pub mod observation;
 pub mod probe;
 pub mod routing;
+pub mod store;
 pub mod topology;
 pub mod whois;
 
@@ -47,4 +51,5 @@ pub use builder::{NetworkBuilder, NetworkConfig};
 pub use dataset::MeasurementDataset;
 pub use observation::{ObservationProvider, TracerouteHop};
 pub use probe::Prober;
+pub use store::{ObservationRecord, ObservationStore, StoreConfig, StoreStats};
 pub use topology::{Network, NodeId, NodeKind};

@@ -79,6 +79,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod answer_cache;
 pub mod cache;
 pub mod histogram;
 pub mod registry;
@@ -86,11 +87,15 @@ pub mod service;
 pub mod shard;
 pub mod stats;
 
+pub use answer_cache::{
+    AnswerCache, AnswerCacheConfig, AnswerCacheStats, AnswerKey, EvidenceKey, PrefixTable,
+    TargetKey,
+};
 pub use cache::{
     EpochRouterSource, RouterCache, RouterCacheConfig, RouterCacheStats, ShardedEpochSource,
     ShardedRouterCache,
 };
-pub use histogram::{LatencyHistogram, LatencySummary};
+pub use octant_telemetry::{LatencyHistogram, LatencySummary};
 pub use registry::{ModelEpoch, ModelRegistry};
 pub use service::{
     GeolocationService, LocalizeOptions, RequestHandle, ServeOutcome, ServedEstimate,

@@ -48,17 +48,22 @@
 //! enqueue) for more to arrive before serving a small batch, trading a
 //! bounded latency bump for much better amortization under trickle load.
 
+use crate::answer_cache::{
+    AnswerCache, AnswerCacheConfig, AnswerCacheStats, AnswerKey, EvidenceKey, PrefixTable,
+};
 use crate::cache::{RouterCacheConfig, RouterCacheStats, ShardedRouterCache};
-use crate::histogram::LatencyHistogram;
 use crate::registry::ModelRegistry;
 use crate::shard::{ShardConfig, ShardRouter};
 use crate::stats::{
     QueueSnapshot, ServiceCounters, ServiceStats, ShardStats, StageBreakdown, StatsReport,
 };
-use octant::{BatchGeolocator, EvidencePipeline, LocationEstimate, Octant, OctantConfig, SourceId};
+use octant::{
+    BatchGeolocator, EvidencePipeline, LandmarkModel, LocationEstimate, Octant, OctantConfig,
+    SourceId,
+};
 use octant_netsim::observation::ObservationProvider;
 use octant_netsim::topology::NodeId;
-use octant_telemetry::{Counter, Gauge, MetricsRegistry};
+use octant_telemetry::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
 use parking_lot::Mutex as PlMutex;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -89,6 +94,10 @@ pub struct ServiceConfig {
     /// Router sub-localization cache sizing and retention (applied to each
     /// cache slice).
     pub cache: RouterCacheConfig,
+    /// The per-target-prefix answer memo in front of the pipeline (see
+    /// [`crate::AnswerCache`]). Enabled by default; with a replay-stable
+    /// provider hits are bit-identical to fresh solves.
+    pub answers: AnswerCacheConfig,
     /// Data-plane sizing: shard count and per-shard queue bound. The
     /// default (`count = 1`, unbounded) reproduces the pre-sharding
     /// single-queue service exactly.
@@ -104,6 +113,7 @@ impl Default for ServiceConfig {
             min_batch: 4,
             max_wait: Duration::from_millis(2),
             cache: RouterCacheConfig::default(),
+            answers: AnswerCacheConfig::default(),
             shard: ShardConfig::default(),
         }
     }
@@ -122,6 +132,8 @@ octant::config_setters!(ServiceConfig {
     with_max_wait: max_wait: Duration,
     /// Sets the router cache configuration (per slice).
     with_cache: cache: RouterCacheConfig,
+    /// Sets the answer-memo configuration.
+    with_answers: answers: AnswerCacheConfig,
     /// Sets the data-plane shard configuration.
     with_shard: shard: ShardConfig,
 });
@@ -469,6 +481,8 @@ struct ServiceInner<P> {
     batch: BatchGeolocator,
     registry: ModelRegistry,
     cache: ShardedRouterCache,
+    answers: AnswerCache,
+    prefixes: PrefixTable,
     router: ShardRouter,
     shards: Vec<Shard>,
 }
@@ -528,9 +542,57 @@ impl<P: ObservationProvider + Sync> ServiceInner<P> {
                 .complete(pending.slot, ServeOutcome::DeadlineExceeded);
         }
 
-        for (options, members) in groups {
-            let targets: Vec<NodeId> = members.iter().map(|p| p.target).collect();
+        for (options, mut members) in groups {
             let profiled = options.as_deref().is_some_and(|o| o.profiling);
+            // ---- Answer memo (front cache) --------------------------------
+            // Keyed (epoch, /24 prefix, evidence): a hit replays the exact
+            // estimate this model+pipeline already produced for the prefix,
+            // skipping the solve entirely. Profiled requests bypass (their
+            // estimates carry request-specific wall-time profiles). Hits
+            // still count as served and record latency/queue_wait — they are
+            // served requests, just cheap ones.
+            let cacheable = self.answers.enabled() && !profiled;
+            let evidence = if cacheable {
+                options.as_deref().map(EvidenceKey::from_options)
+            } else {
+                None
+            };
+            if cacheable {
+                let mut misses = Vec::with_capacity(members.len());
+                for pending in members {
+                    let key = AnswerKey {
+                        epoch: epoch_model.epoch,
+                        target: self.prefixes.target_key(pending.target),
+                        evidence: evidence.clone(),
+                    };
+                    let Some(estimate) = self.answers.lookup(&key) else {
+                        misses.push(pending);
+                        continue;
+                    };
+                    {
+                        let mut local = shard.local.lock();
+                        local.latency.record(pending.enqueued_at.elapsed());
+                        local.record_stage(
+                            "queue_wait",
+                            now.saturating_duration_since(pending.enqueued_at),
+                        );
+                    }
+                    pending.request.complete(
+                        pending.slot,
+                        ServeOutcome::Served(ServedEstimate {
+                            target: pending.target,
+                            epoch: epoch_model.epoch,
+                            estimate: (*estimate).clone(),
+                        }),
+                    );
+                }
+                members = misses;
+                if members.is_empty() {
+                    continue;
+                }
+            }
+
+            let targets: Vec<NodeId> = members.iter().map(|p| p.target).collect();
             let solve_started = Instant::now();
             // A panicking solve must neither kill the worker (the pool
             // would silently shrink) nor leave the batch's requests waiting
@@ -573,7 +635,24 @@ impl<P: ObservationProvider + Sync> ServiceInner<P> {
                 }
             }));
             let estimates = match solved {
-                Ok(estimates) => estimates,
+                Ok(estimates) => {
+                    // Freshly solved answers enter the memo; a panicked
+                    // group's unknown placeholders never do (the next
+                    // request for the prefix deserves a real attempt).
+                    if cacheable {
+                        for (pending, estimate) in members.iter().zip(&estimates) {
+                            self.answers.insert(
+                                AnswerKey {
+                                    epoch: epoch_model.epoch,
+                                    target: self.prefixes.target_key(pending.target),
+                                    evidence: evidence.clone(),
+                                },
+                                Arc::new(estimate.clone()),
+                            );
+                        }
+                    }
+                    estimates
+                }
                 Err(_) => {
                     shard.local.lock().counters.failed_batches += 1;
                     shard.metrics.failed_batches.inc();
@@ -712,10 +791,13 @@ impl<P: ObservationProvider + Send + Sync + 'static> ShardedService<P> {
         let octant = Octant::with_pipeline(config.octant, pipeline);
         let registry = ModelRegistry::bootstrap(octant.clone(), &provider, landmarks);
         let router = ShardRouter::build(&provider, shard_count);
+        let prefixes = PrefixTable::build(&provider);
         let inner = Arc::new(ServiceInner {
             batch: BatchGeolocator::from_octant(octant),
             registry,
             cache: ShardedRouterCache::new(config.cache, shard_count),
+            answers: AnswerCache::new(config.answers),
+            prefixes,
             router,
             shards: (0..shard_count).map(Shard::new).collect(),
             provider,
@@ -759,7 +841,7 @@ impl<P: ObservationProvider + Send + Sync + 'static> ShardedService<P> {
         targets: &[NodeId],
         options: LocalizeOptions,
     ) -> RequestHandle {
-        let deadline = options.deadline.map(|d| Instant::now() + d);
+        let deadline = options.deadline;
         // Profiled requests always carry their options: profiling is part
         // of the batch-group key, so they never coalesce into (and never
         // slow down) the default-path groups.
@@ -775,7 +857,7 @@ impl<P: ObservationProvider + Send + Sync + 'static> ShardedService<P> {
         &self,
         targets: &[NodeId],
         options: Option<Arc<LocalizeOptions>>,
-        deadline: Option<Instant>,
+        deadline: Option<Duration>,
     ) -> RequestHandle {
         let state = Arc::new(RequestState {
             slots: Mutex::new((targets.len(), vec![None; targets.len()])),
@@ -794,7 +876,13 @@ impl<P: ObservationProvider + Send + Sync + 'static> ShardedService<P> {
                 None => by_shard.push((shard, vec![(slot, target)])),
             }
         }
-        let now = Instant::now();
+        // One admission instant per request: the deadline arithmetic, the
+        // queue-wait clock, and the shed decisions below all read this
+        // single timestamp, so a served request's reported queue_wait can
+        // never exceed its deadline budget (served ⇒ drained before
+        // `admitted + budget` ⇒ drain − admitted < budget).
+        let admitted = Instant::now();
+        let deadline = deadline.map(|d| admitted + d);
         let cap = self.inner.config.shard.queue_capacity;
         for (shard_idx, slots) in by_shard {
             let shard = &self.inner.shards[shard_idx];
@@ -814,10 +902,10 @@ impl<P: ObservationProvider + Send + Sync + 'static> ShardedService<P> {
                         slot,
                         options: options.clone(),
                         deadline,
-                        enqueued_at: now,
+                        enqueued_at: admitted,
                     });
                     if queue.oldest_since.is_none() {
-                        queue.oldest_since = Some(now);
+                        queue.oldest_since = Some(admitted);
                     }
                 }
                 shard.metrics.queue_depth.set(queue.pending.len() as i64);
@@ -859,11 +947,37 @@ impl<P: ObservationProvider + Send + Sync + 'static> ShardedService<P> {
     /// older than the configured retention window. Returns the new epoch.
     pub fn refresh_model(&self, landmarks: &[NodeId]) -> u64 {
         let epoch = self.inner.registry.refresh(&self.inner.provider, landmarks);
+        self.retire_caches(epoch);
+        epoch
+    }
+
+    /// Registers a caller-prepared model as the new current epoch and runs
+    /// the same cache retirement as [`ShardedService::refresh_model`] — the
+    /// serving end of an incremental-recalibration loop, where a refresh
+    /// task prepares the model with
+    /// [`octant::Octant::prepare_landmarks_incremental`] and hands it over.
+    /// The model must come from an [`Octant`] configured identically to the
+    /// service's.
+    pub fn register_model(&self, model: LandmarkModel, landmarks: Vec<NodeId>) -> u64 {
+        let epoch = self.inner.registry.register(model, landmarks);
+        self.retire_caches(epoch);
+        epoch
+    }
+
+    /// Epoch retirement shared by refresh and registration: both the router
+    /// cache (behind the pipeline) and the answer memo (in front of it)
+    /// drop epochs outside their retention windows. The epoch bump alone
+    /// already *invalidates* stale answers — epoch leads every key — so
+    /// retirement is about reclaiming memory promptly, not correctness.
+    fn retire_caches(&self, epoch: u64) {
         let keep = self.inner.config.cache.keep_epochs.max(1);
         self.inner
             .cache
             .retire_epochs_before(epoch.saturating_sub(keep - 1));
-        epoch
+        let keep_answers = self.inner.config.answers.keep_epochs.max(1);
+        self.inner
+            .answers
+            .retire_epochs_before(epoch.saturating_sub(keep_answers - 1));
     }
 
     /// The current model epoch.
@@ -886,6 +1000,17 @@ impl<P: ObservationProvider + Send + Sync + 'static> ShardedService<P> {
     /// counters, eviction).
     pub fn cache(&self) -> &ShardedRouterCache {
         &self.inner.cache
+    }
+
+    /// The per-target-prefix answer memo (counters, eviction).
+    pub fn answer_cache(&self) -> &AnswerCache {
+        &self.inner.answers
+    }
+
+    /// Aggregate answer-memo counters. Shorthand for
+    /// `self.answer_cache().stats()`.
+    pub fn answer_cache_stats(&self) -> AnswerCacheStats {
+        self.inner.answers.stats()
     }
 
     /// The model registry (snapshots, external registration).
@@ -921,6 +1046,7 @@ impl<P: ObservationProvider + Send + Sync + 'static> ShardedService<P> {
             queues,
             latency: latency.summary(),
             cache: self.inner.cache.stats(),
+            answers: self.inner.answers.stats(),
         }
     }
 

@@ -10,9 +10,9 @@
 //! here fix that asymmetry: [`ServiceCounters`] is strictly monotonic and
 //! sums, [`QueueSnapshot`] is strictly instantaneous and stays per-shard.
 
+use crate::answer_cache::AnswerCacheStats;
 use crate::cache::RouterCacheStats;
-use crate::histogram::LatencySummary;
-use octant_telemetry::MetricsSnapshot;
+use octant_telemetry::{LatencySummary, MetricsSnapshot};
 use std::time::Duration;
 
 /// Monotonic serving counters. Within a [`ShardStats`] these are one
@@ -99,6 +99,9 @@ pub struct ServiceStats {
     pub latency: LatencySummary,
     /// Router cache counters, summed over every cache slice.
     pub cache: RouterCacheStats,
+    /// Answer-memo counters (the per-target-prefix estimate cache in front
+    /// of the pipeline).
+    pub answers: AnswerCacheStats,
 }
 
 impl ServiceStats {
@@ -191,6 +194,16 @@ impl StatsReport {
             ", \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}}}",
             s.cache.hits, s.cache.misses, s.cache.evictions, s.cache.entries,
         ));
+        out.push_str(&format!(
+            ", \"answer_cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \
+             \"evictions\": {}, \"entries\": {}, \"hit_rate\": {:.6}}}",
+            s.answers.hits,
+            s.answers.misses,
+            s.answers.insertions,
+            s.answers.evictions,
+            s.answers.entries,
+            s.answers.hit_rate(),
+        ));
         out.push_str(", \"stage_breakdown\": [");
         for (i, stage) in self.stage_breakdown.iter().enumerate() {
             if i > 0 {
@@ -233,6 +246,14 @@ impl std::fmt::Display for StatsReport {
             s.cache.misses,
             s.cache.hit_rate() * 100.0,
             s.cache.entries,
+        )?;
+        writeln!(
+            f,
+            "answers: {} hits / {} misses ({:.0}% hit rate), {} resident",
+            s.answers.hits,
+            s.answers.misses,
+            s.answers.hit_rate() * 100.0,
+            s.answers.entries,
         )?;
         let grand_total: Duration = self.stage_breakdown.iter().map(|b| b.total).sum();
         writeln!(

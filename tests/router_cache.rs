@@ -12,7 +12,7 @@ use octant::{BatchGeolocator, Geolocator, Octant, OctantConfig, RouterLocalizati
 use octant_bench::{service_campaign, BatchCampaign};
 use octant_netsim::topology::NodeId;
 use octant_netsim::ObservationProvider;
-use octant_service::{GeolocationService, RouterCache, ServiceConfig};
+use octant_service::{AnswerCacheConfig, GeolocationService, RouterCache, ServiceConfig};
 use std::collections::BTreeSet;
 
 fn recursive_config() -> OctantConfig {
@@ -57,8 +57,13 @@ fn n_targets_behind_r_routers_cost_exactly_r_sub_localizations_per_epoch() {
     );
 
     let provider = campaign.dataset.clone().into_shared();
+    // The per-target answer memo (default on) would absorb the repeat wave
+    // before it reaches the solver; this test pins the *router* cache's
+    // accounting, so the front memo is disabled to let repeats through.
     let service = GeolocationService::start(
-        ServiceConfig::default().with_octant(recursive_config()),
+        ServiceConfig::default()
+            .with_octant(recursive_config())
+            .with_answers(AnswerCacheConfig::default().with_enabled(false)),
         provider,
         &campaign.landmarks,
     );
