@@ -262,11 +262,41 @@ impl TechniqueResult {
     pub fn hit_rate(&self) -> f64 {
         eval::region_hit_rate(&self.outcomes)
     }
+
+    /// Fraction of targets that produced no point estimate (unreachable
+    /// targets, empty constraint sets) — the robustness harness's "gave up"
+    /// rate under degraded scenarios.
+    pub fn unknown_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.error.is_none()).count() as f64
+            / self.outcomes.len() as f64
+    }
 }
 
 /// Runs the full leave-one-out evaluation of one technique over a campaign.
 pub fn run_technique(campaign: &Campaign, technique: &dyn Geolocator) -> TechniqueResult {
     let outcomes = eval::leave_one_out(&campaign.dataset, technique, &campaign.hosts);
+    let cdf = ErrorCdf::from_outcomes(&outcomes);
+    TechniqueResult {
+        name: technique.name().to_string(),
+        outcomes,
+        cdf,
+    }
+}
+
+/// Runs the full leave-one-out evaluation of one technique over an
+/// arbitrary provider and host roster — the degraded-world entry point: the
+/// robustness harness passes a [`octant_netsim::scenario::ScenarioProvider`]
+/// wrapped around a campaign's dataset, so the same hosts are evaluated
+/// under scenario degradations.
+pub fn run_technique_on(
+    provider: &dyn ObservationProvider,
+    hosts: &[NodeId],
+    technique: &dyn Geolocator,
+) -> TechniqueResult {
+    let outcomes = eval::leave_one_out(provider, technique, hosts);
     let cdf = ErrorCdf::from_outcomes(&outcomes);
     TechniqueResult {
         name: technique.name().to_string(),

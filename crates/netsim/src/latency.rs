@@ -53,6 +53,20 @@ impl LatencyModel {
         }
     }
 
+    /// Returns the model with every parameter forced into its valid range:
+    /// probabilities clamped to `[0, 1]`, means floored at `0`.
+    ///
+    /// Call this once at construction time (the [`crate::probe::Prober`]
+    /// does); [`LatencyModel::rtt_sample`] then only debug-asserts validity
+    /// instead of re-clamping on every probe.
+    pub fn normalized(mut self) -> Self {
+        self.jitter_mean_ms = self.jitter_mean_ms.max(0.0);
+        self.spike_probability = self.spike_probability.clamp(0.0, 1.0);
+        self.spike_mean_ms = self.spike_mean_ms.max(0.0);
+        self.loss_probability = self.loss_probability.clamp(0.0, 1.0);
+        self
+    }
+
     /// The deterministic floor of the round-trip time over `path`: twice the
     /// propagation delay plus every on-path node's minimum delay.
     pub fn rtt_floor(&self, net: &Network, path: &Path) -> Latency {
@@ -71,12 +85,17 @@ impl LatencyModel {
         path: &Path,
         rng: &mut R,
     ) -> Option<Latency> {
-        if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability.clamp(0.0, 1.0)) {
+        debug_assert!(
+            (0.0..=1.0).contains(&self.loss_probability)
+                && (0.0..=1.0).contains(&self.spike_probability),
+            "probabilities out of range — construct through LatencyModel::normalized"
+        );
+        if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability) {
             return None;
         }
         let mut ms = self.rtt_floor(net, path).ms();
         ms += sample_exponential(rng, self.jitter_mean_ms);
-        if self.spike_probability > 0.0 && rng.gen_bool(self.spike_probability.clamp(0.0, 1.0)) {
+        if self.spike_probability > 0.0 && rng.gen_bool(self.spike_probability) {
             ms += sample_exponential(rng, self.spike_mean_ms);
         }
         Some(Latency::from_ms(ms))
@@ -174,6 +193,24 @@ mod tests {
             .count();
         let rate = lost as f64 / 2000.0;
         assert!((rate - 0.2).abs() < 0.04, "loss rate {rate}");
+    }
+
+    #[test]
+    fn normalized_clamps_every_parameter_into_range() {
+        let m = LatencyModel {
+            jitter_mean_ms: -3.0,
+            spike_probability: 1.7,
+            spike_mean_ms: -1.0,
+            loss_probability: -0.4,
+        }
+        .normalized();
+        assert_eq!(m.jitter_mean_ms, 0.0);
+        assert_eq!(m.spike_probability, 1.0);
+        assert_eq!(m.spike_mean_ms, 0.0);
+        assert_eq!(m.loss_probability, 0.0);
+        // Already-valid models pass through untouched.
+        let d = LatencyModel::default();
+        assert_eq!(d.clone().normalized(), d);
     }
 
     #[test]

@@ -28,7 +28,12 @@
 //!   can be captured once and replayed,
 //! * [`store`] — a streaming [`store::ObservationStore`] with
 //!   write-optimized batched indexing, for serving deployments where probe
-//!   observations arrive continuously instead of as one frozen capture.
+//!   observations arrive continuously instead of as one frozen capture,
+//! * [`scenario`] — a hostile-network scenario engine: a
+//!   [`scenario::ScenarioProvider`] wrapper layering seed-deterministic
+//!   degradations (diurnal congestion, probe loss and timeouts, landmark
+//!   failure windows, latency- and DNS-spoofing adversaries) over any
+//!   provider, with every knob default-off and bit-identical passthrough.
 //!
 //! Everything is seeded: the same seed produces byte-identical measurements,
 //! so every figure in the evaluation regenerates exactly.
@@ -43,6 +48,7 @@ pub mod latency;
 pub mod observation;
 pub mod probe;
 pub mod routing;
+pub mod scenario;
 pub mod store;
 pub mod topology;
 pub mod whois;
@@ -51,5 +57,6 @@ pub use builder::{NetworkBuilder, NetworkConfig};
 pub use dataset::MeasurementDataset;
 pub use observation::{ObservationProvider, TracerouteHop};
 pub use probe::Prober;
+pub use scenario::{FailureWindow, ScenarioConfig, ScenarioProvider};
 pub use store::{ObservationRecord, ObservationStore, StoreConfig, StoreStats};
 pub use topology::{Network, NodeId, NodeKind};

@@ -1,0 +1,653 @@
+//! Hostile-network scenario engine.
+//!
+//! Everything else in this crate simulates a *clean* world: every probe is
+//! answered, no landmark ever fails, no target lies. Real deployments are
+//! messier, and Octant's central claim (§6 of the paper) is that
+//! constraint-based geolocation degrades gracefully when the evidence does.
+//! This module makes that measurable: [`ScenarioProvider`] wraps any
+//! [`ObservationProvider`] and applies composable, seed-deterministic
+//! degradations on the way out —
+//!
+//! * **diurnal congestion** — a time-of-day queueing inflation cycle added to
+//!   every RTT, with a per-pair phase (links don't all peak together),
+//! * **stochastic probe loss** — per-sample drops from a hash-derived uniform
+//!   stream, so the surviving subset is a pure function of `(seed, query,
+//!   tick)` and loss sets *nest* across rates (everything dropped at 10 % is
+//!   also dropped at 30 %, making degradation monotone by construction),
+//! * **probe timeout** — samples slower than a cutoff are discarded, the way
+//!   a prober's timeout would discard them,
+//! * **failure windows** — nodes go dark for a tick interval: pings to and
+//!   from them are unreachable, their traceroute hops vanish, and their
+//!   [`ObservationProvider::advertised_location`] returns `None` so landmark
+//!   rosters genuinely churn,
+//! * **adversarial targets** — per-node RTT inflation (latency spoofing: a
+//!   target delaying its echo replies to appear farther away) and misleading
+//!   reverse-DNS names that embed a *wrong* city in a parseable customer
+//!   naming convention.
+//!
+//! Every knob defaults to off, and an all-default [`ScenarioConfig`] is an
+//! exact passthrough: no RNG state exists at all (degradations are pure
+//! hashes), so wrapped observations are bit-identical to the inner
+//! provider's. Time is an explicit `tick` (think "hour"), advanced by the
+//! harness — never wall-clock — so every scenario replay is deterministic.
+
+use crate::dns;
+use crate::observation::{HostDescriptor, ObservationProvider, PingObservation, TracerouteHop};
+use crate::topology::NodeId;
+use octant_geo::point::GeoPoint;
+use octant_geo::units::Latency;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A half-open tick interval `[from_tick, until_tick)` during which a node
+/// is dark: unreachable, invisible in traceroutes, and publishing no
+/// advertised location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureWindow {
+    /// The failing node.
+    pub node: NodeId,
+    /// First tick (inclusive) of the outage.
+    pub from_tick: u64,
+    /// First tick (exclusive) after the outage; `u64::MAX` means forever.
+    pub until_tick: u64,
+}
+
+impl FailureWindow {
+    /// `true` when the window covers `tick`.
+    pub fn covers(&self, tick: u64) -> bool {
+        self.from_tick <= tick && tick < self.until_tick
+    }
+}
+
+/// Degradation knobs for a [`ScenarioProvider`]. All default to off; the
+/// default config is an exact passthrough (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Seed for the hash-derived uniform streams (loss decisions, diurnal
+    /// phases). Two scenarios with the same seed and knobs replay
+    /// identically.
+    pub seed: u64,
+    /// Probability that an individual probe sample is dropped. `0.0`
+    /// disables loss. Drops are decided by thresholding a per-sample hash
+    /// uniform against this rate, so raising the rate only ever drops
+    /// *additional* samples.
+    pub probe_loss: f64,
+    /// Discard samples whose (post-inflation) RTT exceeds this many
+    /// milliseconds, as a prober timeout would. `0.0` disables the cutoff.
+    pub probe_timeout_ms: f64,
+    /// Peak extra queueing delay of the diurnal congestion cycle, in
+    /// milliseconds (added to every sample, scaled by the phase of the
+    /// cycle). `0.0` disables the cycle.
+    pub diurnal_amplitude_ms: f64,
+    /// Length of the diurnal cycle in ticks (default 24: one tick per hour).
+    pub diurnal_period_ticks: u64,
+    /// Per-node latency spoofing: extra milliseconds added to every probe
+    /// *towards* the node (an adversarial target delaying its echo replies).
+    pub rtt_spoof: Vec<(NodeId, f64)>,
+    /// Per-node reverse-DNS spoofing: the node's PTR record is replaced by
+    /// an ISP-customer-style name embedding the given (wrong) city code —
+    /// use codes from [`octant_geo::cities`] so DNS-hint mining parses them.
+    pub dns_spoof: Vec<(NodeId, String)>,
+    /// Outage schedule. Multiple windows per node are allowed.
+    pub failures: Vec<FailureWindow>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 0,
+            probe_loss: 0.0,
+            probe_timeout_ms: 0.0,
+            diurnal_amplitude_ms: 0.0,
+            diurnal_period_ticks: 24,
+            rtt_spoof: Vec::new(),
+            dns_spoof: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Sets the scenario seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-sample probe loss probability (clamped to `[0, 1]`).
+    pub fn with_probe_loss(mut self, rate: f64) -> Self {
+        self.probe_loss = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the probe timeout cutoff in milliseconds (`0` disables).
+    pub fn with_probe_timeout_ms(mut self, ms: f64) -> Self {
+        self.probe_timeout_ms = ms.max(0.0);
+        self
+    }
+
+    /// Enables the diurnal congestion cycle.
+    pub fn with_diurnal(mut self, amplitude_ms: f64, period_ticks: u64) -> Self {
+        self.diurnal_amplitude_ms = amplitude_ms.max(0.0);
+        self.diurnal_period_ticks = period_ticks.max(1);
+        self
+    }
+
+    /// Adds a latency-spoofing adversary: probes towards `node` are inflated
+    /// by `extra_ms`.
+    pub fn with_rtt_spoof(mut self, node: NodeId, extra_ms: f64) -> Self {
+        self.rtt_spoof.push((node, extra_ms.max(0.0)));
+        self
+    }
+
+    /// Adds a reverse-DNS-spoofing adversary: `node`'s PTR record claims the
+    /// (wrong) `city_code`.
+    pub fn with_dns_spoof(mut self, node: NodeId, city_code: impl Into<String>) -> Self {
+        self.dns_spoof.push((node, city_code.into()));
+        self
+    }
+
+    /// Schedules an outage: `node` is dark for ticks `[from_tick,
+    /// until_tick)`.
+    pub fn with_failure(mut self, node: NodeId, from_tick: u64, until_tick: u64) -> Self {
+        self.failures.push(FailureWindow {
+            node,
+            from_tick,
+            until_tick,
+        });
+        self
+    }
+
+    /// `true` when every knob is at its default, i.e. the scenario is an
+    /// exact passthrough.
+    pub fn is_passthrough(&self) -> bool {
+        self.probe_loss == 0.0
+            && self.probe_timeout_ms == 0.0
+            && self.diurnal_amplitude_ms == 0.0
+            && self.rtt_spoof.is_empty()
+            && self.dns_spoof.is_empty()
+            && self.failures.is_empty()
+    }
+
+    fn spoof_ms(&self, node: NodeId) -> f64 {
+        self.rtt_spoof
+            .iter()
+            .filter(|&&(n, _)| n == node)
+            .map(|&(_, ms)| ms)
+            .sum()
+    }
+
+    fn is_dark(&self, node: NodeId, tick: u64) -> bool {
+        self.failures
+            .iter()
+            .any(|w| w.node == node && w.covers(tick))
+    }
+}
+
+/// An [`ObservationProvider`] adaptor applying a [`ScenarioConfig`]'s
+/// degradations to an inner provider. See the module docs.
+#[derive(Debug)]
+pub struct ScenarioProvider<P> {
+    inner: P,
+    config: ScenarioConfig,
+    tick: AtomicU64,
+}
+
+/// Per-use-site salts keeping the hash streams independent.
+const SALT_PING_LOSS: u64 = 0x01;
+const SALT_TRACE_LOSS: u64 = 0x02;
+const SALT_PHASE: u64 = 0x03;
+
+/// Identifies one RTT sample for the hash-derived loss/timeout decisions:
+/// the measurement's salt (ping vs traceroute stream), endpoints, scenario
+/// tick, and sample index. The loss *rate* is deliberately not part of the
+/// key, so the dropped sets nest across rates.
+struct SampleKey {
+    salt: u64,
+    from: NodeId,
+    to: NodeId,
+    tick: u64,
+    index: u64,
+}
+
+impl<P: ObservationProvider> ScenarioProvider<P> {
+    /// Wraps `inner` with the scenario, starting at tick 0.
+    pub fn new(inner: P, config: ScenarioConfig) -> Self {
+        ScenarioProvider {
+            inner,
+            config,
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped provider.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The scenario configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The current scenario time.
+    pub fn tick(&self) -> u64 {
+        self.tick.load(Ordering::Relaxed)
+    }
+
+    /// Jumps scenario time to `tick`.
+    pub fn set_tick(&self, tick: u64) {
+        self.tick.store(tick, Ordering::Relaxed);
+    }
+
+    /// Advances scenario time by `ticks`, returning the new tick.
+    pub fn advance(&self, ticks: u64) -> u64 {
+        self.tick.fetch_add(ticks, Ordering::Relaxed) + ticks
+    }
+
+    /// `true` when `node` is dark at the current tick.
+    pub fn is_dark(&self, node: NodeId) -> bool {
+        self.config.is_dark(node, self.tick())
+    }
+
+    /// The diurnal congestion inflation for the `from → to` direction at
+    /// `tick`, in milliseconds. Zero when the cycle is disabled.
+    fn diurnal_ms(&self, from: NodeId, to: NodeId, tick: u64) -> f64 {
+        let amp = self.config.diurnal_amplitude_ms;
+        if amp <= 0.0 {
+            return 0.0;
+        }
+        let period = self.config.diurnal_period_ticks.max(1);
+        let phase =
+            hash_chain(&[self.config.seed, SALT_PHASE, from.0 as u64, to.0 as u64]) % period;
+        let t = (tick + phase) % period;
+        let angle = 2.0 * std::f64::consts::PI * t as f64 / period as f64;
+        amp * 0.5 * (1.0 - angle.cos())
+    }
+
+    /// `true` when the sample identified by `key` is lost. Pure in
+    /// `(seed, salt, from, to, tick, index)` — the loss rate only thresholds
+    /// the hash, so loss sets nest across rates.
+    fn is_lost(&self, key: &SampleKey) -> bool {
+        let rate = self.config.probe_loss;
+        if rate <= 0.0 {
+            return false;
+        }
+        let h = hash_chain(&[
+            self.config.seed,
+            key.salt,
+            key.from.0 as u64,
+            key.to.0 as u64,
+            key.tick,
+            key.index,
+        ]);
+        unit_from_hash(h) < rate
+    }
+
+    /// Applies inflation, loss, and timeout to one sample; `None` drops it.
+    fn degrade(&self, key: &SampleKey, rtt: Latency, inflate_ms: f64) -> Option<Latency> {
+        if self.is_lost(key) {
+            return None;
+        }
+        let ms = rtt.ms() + inflate_ms;
+        let timeout = self.config.probe_timeout_ms;
+        if timeout > 0.0 && ms > timeout {
+            return None;
+        }
+        Some(if inflate_ms > 0.0 {
+            Latency::from_ms(ms)
+        } else {
+            rtt
+        })
+    }
+}
+
+impl<P: ObservationProvider> ObservationProvider for ScenarioProvider<P> {
+    fn hosts(&self) -> Vec<HostDescriptor> {
+        // Dark hosts stay in the inventory — an operator's landmark list
+        // does not shrink the moment a node stops answering.
+        self.inner.hosts()
+    }
+
+    fn ping(&self, from: NodeId, to: NodeId) -> PingObservation {
+        let tick = self.tick();
+        if self.config.is_dark(from, tick) || self.config.is_dark(to, tick) {
+            return PingObservation::default();
+        }
+        let base = self.inner.ping(from, to);
+        if self.config.is_passthrough() {
+            return base;
+        }
+        let inflate = self.diurnal_ms(from, to, tick) + self.config.spoof_ms(to);
+        let samples = base
+            .samples
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                let key = SampleKey {
+                    salt: SALT_PING_LOSS,
+                    from,
+                    to,
+                    tick,
+                    index: i as u64,
+                };
+                self.degrade(&key, s, inflate)
+            })
+            .collect();
+        PingObservation::new(samples)
+    }
+
+    fn traceroute(&self, from: NodeId, to: NodeId) -> Vec<TracerouteHop> {
+        let tick = self.tick();
+        if self.config.is_dark(from, tick) || self.config.is_dark(to, tick) {
+            return Vec::new();
+        }
+        let base = self.inner.traceroute(from, to);
+        if self.config.is_passthrough() {
+            return base;
+        }
+        base.into_iter()
+            .enumerate()
+            .filter_map(|(i, hop)| {
+                // A dark router stops answering time-exceeded: the hop
+                // disappears (real traceroutes show `* * *`).
+                if self.config.is_dark(hop.node, tick) {
+                    return None;
+                }
+                let inflate =
+                    self.diurnal_ms(from, hop.node, tick) + self.config.spoof_ms(hop.node);
+                let key = SampleKey {
+                    salt: SALT_TRACE_LOSS,
+                    from,
+                    to: hop.node,
+                    tick,
+                    index: i as u64,
+                };
+                self.degrade(&key, hop.rtt, inflate)
+                    .map(|rtt| TracerouteHop { rtt, ..hop })
+            })
+            .collect()
+    }
+
+    fn node_by_ip(&self, ip: [u8; 4]) -> Option<NodeId> {
+        self.inner.node_by_ip(ip)
+    }
+
+    fn reverse_dns(&self, ip: [u8; 4]) -> Option<String> {
+        if !self.config.dns_spoof.is_empty() {
+            if let Some(node) = self.inner.node_by_ip(ip) {
+                if let Some((_, city)) = self.config.dns_spoof.iter().find(|e| e.0 == node) {
+                    // An adversary controls its own PTR record; it claims a
+                    // parseable ISP-customer name in the wrong city.
+                    return Some(dns::customer_hostname(city, 1, node.0 as usize));
+                }
+            }
+        }
+        self.inner.reverse_dns(ip)
+    }
+
+    fn whois_city(&self, ip: [u8; 4]) -> Option<String> {
+        // WHOIS registration data is not under the target's control.
+        self.inner.whois_city(ip)
+    }
+
+    fn advertised_location(&self, id: NodeId) -> Option<GeoPoint> {
+        // A dark node publishes nothing — this is what makes landmark
+        // rosters churn under failure schedules.
+        if self.config.is_dark(id, self.tick()) {
+            return None;
+        }
+        self.inner.advertised_location(id)
+    }
+}
+
+/// SplitMix64 finalizer (same mixer the service shard router uses).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hashes a sequence of words into one well-mixed word.
+fn hash_chain(vals: &[u64]) -> u64 {
+    let mut h: u64 = 0x243f_6a88_85a3_08d3; // frac(pi), as good a nothing-up-my-sleeve as any
+    for &v in vals {
+        h = mix64(h ^ v);
+    }
+    h
+}
+
+/// Maps a hash to a uniform in `[0, 1)` using the top 53 bits.
+fn unit_from_hash(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{NetworkBuilder, NetworkConfig};
+    use crate::dataset::MeasurementDataset;
+    use crate::latency::LatencyModel;
+    use crate::probe::Prober;
+    use std::sync::Arc;
+
+    fn clean_dataset() -> Arc<MeasurementDataset> {
+        let net = NetworkBuilder::planetlab(NetworkConfig::default()).build();
+        let prober = Prober::with_options(net, LatencyModel::noiseless(), 0.0, 4, 7);
+        MeasurementDataset::capture(&prober).into_shared()
+    }
+
+    #[test]
+    fn default_config_is_exact_passthrough() {
+        let ds = clean_dataset();
+        let sc = ScenarioProvider::new(ds.clone(), ScenarioConfig::default());
+        assert!(sc.config().is_passthrough());
+        let hosts = ds.host_ids();
+        for i in 1..8 {
+            let (a, b) = (hosts[0], hosts[i]);
+            assert_eq!(sc.ping(a, b), ds.ping(a, b));
+            assert_eq!(sc.traceroute(a, b), ds.traceroute(a, b));
+        }
+        let descr = ds.hosts();
+        assert_eq!(sc.hosts(), descr);
+        for d in descr.iter().take(5) {
+            assert_eq!(sc.reverse_dns(d.ip), ds.reverse_dns(d.ip));
+            assert_eq!(sc.whois_city(d.ip), ds.whois_city(d.ip));
+            assert_eq!(sc.node_by_ip(d.ip), ds.node_by_ip(d.ip));
+            assert_eq!(sc.advertised_location(d.id), ds.advertised_location(d.id));
+        }
+        // Passthrough holds at any tick.
+        sc.set_tick(17);
+        assert_eq!(sc.ping(hosts[0], hosts[1]), ds.ping(hosts[0], hosts[1]));
+    }
+
+    #[test]
+    fn probe_loss_is_deterministic_and_nests_across_rates() {
+        let ds = clean_dataset();
+        let lo = ScenarioProvider::new(ds.clone(), ScenarioConfig::default().with_probe_loss(0.1));
+        let lo2 = ScenarioProvider::new(ds.clone(), ScenarioConfig::default().with_probe_loss(0.1));
+        let hi = ScenarioProvider::new(ds.clone(), ScenarioConfig::default().with_probe_loss(0.4));
+        let hosts = ds.host_ids();
+        let (mut kept_lo, mut kept_hi, mut total) = (0usize, 0usize, 0usize);
+        for i in 1..hosts.len() {
+            let (a, b) = (hosts[0], hosts[i]);
+            let full = ds.ping(a, b).samples;
+            let p_lo = lo.ping(a, b).samples;
+            let p_hi = hi.ping(a, b).samples;
+            assert_eq!(p_lo, lo2.ping(a, b).samples, "same seed, same losses");
+            // Nesting: every sample surviving 40% loss also survives 10%.
+            for s in &p_hi {
+                assert!(p_lo.contains(s));
+            }
+            total += full.len();
+            kept_lo += p_lo.len();
+            kept_hi += p_hi.len();
+        }
+        assert!(
+            kept_hi < kept_lo && kept_lo < total,
+            "{kept_hi} {kept_lo} {total}"
+        );
+        let rate = 1.0 - kept_lo as f64 / total as f64;
+        assert!((rate - 0.1).abs() < 0.07, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn timeout_discards_slow_samples() {
+        let ds = clean_dataset();
+        let hosts = ds.host_ids();
+        let (a, b) = (hosts[0], hosts[20]);
+        let full = ds.ping(a, b);
+        let cutoff = full.min().unwrap().ms() + 0.1;
+        let sc = ScenarioProvider::new(
+            ds.clone(),
+            ScenarioConfig::default().with_probe_timeout_ms(cutoff),
+        );
+        let kept = sc.ping(a, b);
+        assert!(!kept.is_unreachable());
+        assert!(kept.samples.iter().all(|s| s.ms() <= cutoff));
+        // A generous timeout changes nothing.
+        let lax = ScenarioProvider::new(
+            ds.clone(),
+            ScenarioConfig::default().with_probe_timeout_ms(1e9),
+        );
+        assert_eq!(lax.ping(a, b), full);
+    }
+
+    #[test]
+    fn diurnal_cycle_inflates_rtts_and_varies_with_tick() {
+        let ds = clean_dataset();
+        let hosts = ds.host_ids();
+        let (a, b) = (hosts[0], hosts[10]);
+        let base = ds.ping(a, b).min().unwrap().ms();
+        let sc =
+            ScenarioProvider::new(ds.clone(), ScenarioConfig::default().with_diurnal(40.0, 24));
+        let mins: Vec<f64> = (0..24)
+            .map(|t| {
+                sc.set_tick(t);
+                sc.ping(a, b).min().unwrap().ms()
+            })
+            .collect();
+        let lo = mins.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = mins.iter().cloned().fold(0.0, f64::max);
+        assert!(lo >= base - 1e-9, "inflation is never negative");
+        assert!(
+            lo < base + 1.0,
+            "the cycle trough sits near the clean floor"
+        );
+        assert!(hi > base + 30.0, "the cycle peak approaches the amplitude");
+        // Replaying a tick reproduces it.
+        sc.set_tick(7);
+        let once = sc.ping(a, b);
+        let twice = sc.ping(a, b);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn rtt_spoof_inflates_pings_towards_the_target_only() {
+        let ds = clean_dataset();
+        let hosts = ds.host_ids();
+        let (a, b, c) = (hosts[0], hosts[5], hosts[6]);
+        let sc = ScenarioProvider::new(
+            ds.clone(),
+            ScenarioConfig::default().with_rtt_spoof(b, 100.0),
+        );
+        let spoofed = sc.ping(a, b);
+        let clean = ds.ping(a, b);
+        assert_eq!(spoofed.samples.len(), clean.samples.len());
+        for (s, c0) in spoofed.samples.iter().zip(&clean.samples) {
+            assert!((s.ms() - c0.ms() - 100.0).abs() < 1e-9);
+        }
+        // Other targets are untouched.
+        assert_eq!(sc.ping(a, c), ds.ping(a, c));
+    }
+
+    #[test]
+    fn dns_spoof_claims_a_parseable_wrong_city() {
+        let ds = clean_dataset();
+        let victim = ds.hosts()[3].clone();
+        let sc = ScenarioProvider::new(
+            ds.clone(),
+            ScenarioConfig::default().with_dns_spoof(victim.id, "nrt"),
+        );
+        let name = sc.reverse_dns(victim.ip).unwrap();
+        assert_ne!(name, victim.hostname);
+        let city = dns::parse_router_city(&name).expect("spoofed name should parse");
+        assert_eq!(city.code, "nrt");
+        // Un-spoofed hosts keep their real PTR records.
+        let other = &ds.hosts()[4];
+        assert_eq!(sc.reverse_dns(other.ip), ds.reverse_dns(other.ip));
+        // WHOIS is not under the adversary's control.
+        assert_eq!(sc.whois_city(victim.ip), ds.whois_city(victim.ip));
+    }
+
+    #[test]
+    fn failure_windows_take_nodes_dark_and_bring_them_back() {
+        let ds = clean_dataset();
+        let hosts = ds.host_ids();
+        let (dead, live) = (hosts[2], hosts[9]);
+        let sc = ScenarioProvider::new(
+            ds.clone(),
+            ScenarioConfig::default().with_failure(dead, 1, 5),
+        );
+        // Tick 0: before the window, everything works.
+        assert!(!sc.ping(live, dead).is_unreachable());
+        assert!(sc.advertised_location(dead).is_some());
+        // Ticks 1..5: dark in both directions, no location published.
+        for t in 1..5 {
+            sc.set_tick(t);
+            assert!(sc.is_dark(dead));
+            assert!(sc.ping(live, dead).is_unreachable());
+            assert!(sc.ping(dead, live).is_unreachable());
+            assert!(sc.traceroute(live, dead).is_empty());
+            assert!(sc.advertised_location(dead).is_none());
+            // Unaffected pairs keep working.
+            assert!(!sc.ping(live, hosts[12]).is_unreachable());
+        }
+        // Tick 5: recovered.
+        sc.set_tick(5);
+        assert!(!sc.is_dark(dead));
+        assert_eq!(sc.ping(live, dead), ds.ping(live, dead));
+        assert!(sc.advertised_location(dead).is_some());
+    }
+
+    #[test]
+    fn dark_routers_disappear_from_traceroutes() {
+        let ds = clean_dataset();
+        let hosts = ds.host_ids();
+        let (a, b) = (hosts[0], hosts[30]);
+        let clean_hops = ds.traceroute(a, b);
+        assert!(clean_hops.len() >= 2, "need a multi-hop path for this test");
+        let victim = clean_hops[0].node;
+        let sc = ScenarioProvider::new(
+            ds.clone(),
+            ScenarioConfig::default().with_failure(victim, 0, u64::MAX),
+        );
+        let hops = sc.traceroute(a, b);
+        assert_eq!(
+            hops.len(),
+            clean_hops.len() - clean_hops.iter().filter(|h| h.node == victim).count()
+        );
+        assert!(hops.iter().all(|h| h.node != victim));
+    }
+
+    #[test]
+    fn advance_moves_scenario_time() {
+        let ds = clean_dataset();
+        let sc = ScenarioProvider::new(ds, ScenarioConfig::default());
+        assert_eq!(sc.tick(), 0);
+        assert_eq!(sc.advance(3), 3);
+        assert_eq!(sc.tick(), 3);
+        sc.set_tick(1);
+        assert_eq!(sc.tick(), 1);
+    }
+
+    #[test]
+    fn hash_uniforms_look_uniform() {
+        let n = 10_000u64;
+        let mean = (0..n)
+            .map(|i| unit_from_hash(hash_chain(&[42, 0xabc, i])))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -59,7 +59,7 @@ use crate::stats::{
 };
 use octant::{
     BatchGeolocator, EvidencePipeline, LandmarkModel, LocationEstimate, Octant, OctantConfig,
-    SourceId,
+    RecalibrationReport, SourceId,
 };
 use octant_netsim::observation::ObservationProvider;
 use octant_netsim::topology::NodeId;
@@ -964,6 +964,30 @@ impl<P: ObservationProvider + Send + Sync + 'static> ShardedService<P> {
         epoch
     }
 
+    /// The refresh-under-fire path: delta-recalibrates the *current* epoch's
+    /// model against `landmarks`, re-probing only the calibration state
+    /// touched by `changed` nodes (a roster change — a landmark appearing,
+    /// vanishing, or moving — falls back to a full rebuild), then registers
+    /// the result as the new epoch and retires stale cache entries. Batches
+    /// already in flight keep serving from their own epoch snapshot for
+    /// their whole lifetime, so no request ever observes a half-swapped
+    /// model. Returns the new epoch and the recalibration cost breakdown.
+    pub fn refresh_model_incremental(
+        &self,
+        landmarks: &[NodeId],
+        changed: &[NodeId],
+    ) -> (u64, RecalibrationReport) {
+        let previous = self.inner.registry.current();
+        let (model, report) = self.inner.registry.octant().prepare_landmarks_incremental(
+            &self.inner.provider,
+            landmarks,
+            &previous.model,
+            changed,
+        );
+        let epoch = self.register_model(model, landmarks.to_vec());
+        (epoch, report)
+    }
+
     /// Epoch retirement shared by refresh and registration: both the router
     /// cache (behind the pipeline) and the answer memo (in front of it)
     /// drop epochs outside their retention windows. The epoch bump alone
@@ -1445,6 +1469,33 @@ mod tests {
         // Same landmarks, replay-stable provider → identical estimates
         // across epochs.
         assert_eq!(first[0].estimate.point, second[0].estimate.point);
+        service.shutdown();
+    }
+
+    #[test]
+    fn incremental_refresh_reuses_unchanged_calibration() {
+        let ds = dataset(10, 31).into_shared();
+        let hosts = ds.host_ids();
+        let (landmarks, targets) = hosts.split_at(7);
+        let service = GeolocationService::start(ServiceConfig::default(), ds.clone(), landmarks);
+        let first = service.localize_blocking(&targets[..1]);
+        // Nothing changed: wholesale reuse, no rebuild, epoch still bumps.
+        let (epoch, report) = service.refresh_model_incremental(landmarks, &[]);
+        assert_eq!(epoch, 2);
+        assert!(!report.full_rebuild);
+        assert_eq!(report.changed_pairs, 0);
+        let second = service.localize_blocking(&targets[..1]);
+        assert_eq!(second[0].epoch, 2);
+        assert_eq!(first[0].estimate.point, second[0].estimate.point);
+        // A changed landmark refreshes its pairs and reuses the rest.
+        let (epoch, report) = service.refresh_model_incremental(landmarks, &landmarks[..1]);
+        assert_eq!(epoch, 3);
+        assert!(!report.full_rebuild);
+        assert!(report.refreshed_pairs > 0);
+        assert!(report.reused_pairs > 0);
+        // Replay-stable provider → re-probing changes nothing downstream.
+        let third = service.localize_blocking(&targets[..1]);
+        assert_eq!(first[0].estimate.point, third[0].estimate.point);
         service.shutdown();
     }
 

@@ -7,11 +7,25 @@
 //! geographic path with per-hop detour factors, flagging hops where policy
 //! routing sends traffic far off the great circle.
 //!
-//! Run with `cargo run --release -p octant-bench --example network_diagnosis`.
+//! A second act runs the same machinery in *degraded mode*: two landmarks go
+//! dark mid-serve (a `ScenarioProvider` failure window), a re-probe wave
+//! through the `ObservationStore` detects the churn, and the sharded service
+//! recalibrates to a new epoch while requests are in flight — printing the
+//! `RecalibrationReport` and the before/after accuracy.
+//!
+//! Run with `cargo run --release --example network_diagnosis`.
 
-use octant::{Geolocator, Octant, OctantConfig, RouterLocalization};
+use octant::{ErrorCdf, Geolocator, Octant, OctantConfig, RouterLocalization};
+use octant_bench::{pipeline_campaign, Campaign};
 use octant_geo::distance::great_circle_km;
-use octant_netsim::{NetworkBuilder, NetworkConfig, ObservationProvider, Prober};
+use octant_geo::units::Distance;
+use octant_netsim::scenario::{ScenarioConfig, ScenarioProvider};
+use octant_netsim::{
+    MeasurementDataset, NetworkBuilder, NetworkConfig, ObservationProvider, ObservationRecord,
+    ObservationStore, Prober, StoreConfig,
+};
+use octant_service::{ServedEstimate, ServiceConfig, ShardedService};
+use std::sync::Arc;
 
 fn main() {
     let network = NetworkBuilder::planetlab(NetworkConfig::default()).build();
@@ -82,4 +96,85 @@ fn main() {
     } else {
         println!("=> the path follows the geodesic reasonably closely");
     }
+
+    degraded_mode_wave();
+}
+
+/// Act 2: keep serving while the landmark roster churns underneath us.
+fn degraded_mode_wave() {
+    println!("\n== degraded mode: serving through landmark churn ==");
+    let Campaign { dataset, hosts } = pipeline_campaign(12, 99);
+    let ds = dataset.into_shared();
+    let (landmarks, targets) = hosts.split_at(8);
+
+    // Two landmarks fail at tick 1 and never come back.
+    let cfg = ScenarioConfig::default()
+        .with_failure(landmarks[0], 1, u64::MAX)
+        .with_failure(landmarks[1], 1, u64::MAX);
+    let provider = Arc::new(ScenarioProvider::new(ds.clone(), cfg));
+    let service = ShardedService::start(
+        ServiceConfig::default().with_shards(2),
+        provider.clone(),
+        landmarks,
+    );
+    let store = ObservationStore::from_dataset(StoreConfig::default(), ds.as_ref());
+
+    let before = service.localize_blocking(targets);
+    println!(
+        "healthy roster:  {} landmarks, {} targets, median error {:.1} mi",
+        landmarks.len(),
+        targets.len(),
+        median_error_mi(ds.as_ref(), &before)
+    );
+
+    // The failure window opens; a routine re-probe wave from the (now dark)
+    // landmarks returns empty observations, and the store's change tracking
+    // names exactly the churned nodes.
+    provider.set_tick(1);
+    let dark = &landmarks[..2];
+    let v = store.version();
+    let records: Vec<ObservationRecord> = dark
+        .iter()
+        .flat_map(|&d| landmarks.iter().map(move |&lm| (d, lm)))
+        .map(|(d, lm)| ObservationRecord::Ping {
+            from: d,
+            to: lm,
+            observation: provider.ping(d, lm),
+            seq: 1,
+        })
+        .collect();
+    store.ingest(records);
+    let changed = store.changed_since(v);
+    println!("re-probe wave:   store flags changed landmarks {changed:?}");
+
+    let (epoch, report) = service.refresh_model_incremental(landmarks, &changed);
+    println!(
+        "recalibration:   epoch {epoch}, full_rebuild={}, {} pairs refreshed, {} reused, \
+         {} calibrations rebuilt",
+        report.full_rebuild,
+        report.refreshed_pairs,
+        report.reused_pairs,
+        report.calibrations_rebuilt
+    );
+
+    let after = service.localize_blocking(targets);
+    println!(
+        "degraded roster: {} landmarks dark, median error {:.1} mi",
+        dark.len(),
+        median_error_mi(ds.as_ref(), &after)
+    );
+    println!("=> the service rode out the churn without dropping a request");
+    service.shutdown();
+}
+
+fn median_error_mi(ds: &MeasurementDataset, served: &[ServedEstimate]) -> f64 {
+    let errors: Vec<Distance> = served
+        .iter()
+        .filter_map(|s| {
+            let truth = ds.true_location(s.target)?;
+            let point = s.estimate.point?;
+            Some(Distance::from_km(great_circle_km(point, truth)))
+        })
+        .collect();
+    ErrorCdf::from_errors(&errors).median().unwrap_or(f64::NAN)
 }

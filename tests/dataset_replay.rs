@@ -5,6 +5,7 @@
 use octant::{Geolocator, Octant, OctantConfig};
 use octant_netsim::builder::{HostSpec, NetworkBuilder, NetworkConfig};
 use octant_netsim::latency::LatencyModel;
+use octant_netsim::scenario::{ScenarioConfig, ScenarioProvider};
 use octant_netsim::{MeasurementDataset, ObservationProvider, Prober};
 
 fn noiseless_prober(n: usize, seed: u64) -> Prober {
@@ -81,6 +82,128 @@ fn capture_is_deterministic_for_a_seed() {
             }
         }
     }
+}
+
+/// Every scenario knob defaults to off, and off means *off*: wrapping a
+/// dataset in a default [`ScenarioProvider`] must be bit-identical to the raw
+/// dataset across every observation type. This pins the neutrality contract —
+/// the scenario engine consumes no RNG draws and performs no re-rounding
+/// until a knob is actually turned.
+#[test]
+fn default_scenario_wrapper_is_bit_identical_to_the_raw_dataset() {
+    let dataset = MeasurementDataset::capture(&noiseless_prober(12, 21));
+    let wrapped = ScenarioProvider::new(&dataset, ScenarioConfig::default());
+    assert!(wrapped.config().is_passthrough());
+
+    assert_eq!(wrapped.hosts(), dataset.hosts());
+    let hosts = dataset.hosts();
+    for a in &hosts {
+        assert_eq!(wrapped.reverse_dns(a.ip), dataset.reverse_dns(a.ip));
+        assert_eq!(wrapped.whois_city(a.ip), dataset.whois_city(a.ip));
+        assert_eq!(wrapped.node_by_ip(a.ip), dataset.node_by_ip(a.ip));
+        assert_eq!(
+            wrapped.advertised_location(a.id),
+            dataset.advertised_location(a.id)
+        );
+        for b in &hosts {
+            if a.id == b.id {
+                continue;
+            }
+            assert_eq!(
+                wrapped.ping(a.id, b.id),
+                dataset.ping(a.id, b.id),
+                "ping {}->{}",
+                a.id,
+                b.id
+            );
+            assert_eq!(
+                wrapped.traceroute(a.id, b.id),
+                dataset.traceroute(a.id, b.id),
+                "traceroute {}->{}",
+                a.id,
+                b.id
+            );
+        }
+    }
+}
+
+/// Each degradation mode is a pure function of (seed, knobs, endpoints,
+/// tick): two providers built the same way agree sample-for-sample, and the
+/// loss pattern actually moves when the seed does.
+#[test]
+fn scenario_degradations_are_deterministic_per_seed() {
+    let dataset = MeasurementDataset::capture(&noiseless_prober(10, 21));
+    let hosts = dataset.host_ids();
+    let modes: Vec<(&str, ScenarioConfig)> = vec![
+        (
+            "loss",
+            ScenarioConfig::default().with_seed(9).with_probe_loss(0.3),
+        ),
+        (
+            "timeout",
+            ScenarioConfig::default()
+                .with_seed(9)
+                .with_probe_timeout_ms(60.0),
+        ),
+        (
+            "diurnal",
+            ScenarioConfig::default()
+                .with_seed(9)
+                .with_diurnal(25.0, 24),
+        ),
+        (
+            "spoof",
+            ScenarioConfig::default()
+                .with_seed(9)
+                .with_rtt_spoof(hosts[0], 20.0)
+                .with_dns_spoof(hosts[0], "lhr"),
+        ),
+        (
+            "failure",
+            ScenarioConfig::default()
+                .with_seed(9)
+                .with_failure(hosts[1], 0, u64::MAX),
+        ),
+    ];
+    for (name, cfg) in &modes {
+        let x = ScenarioProvider::new(&dataset, cfg.clone());
+        let y = ScenarioProvider::new(&dataset, cfg.clone());
+        x.set_tick(5);
+        y.set_tick(5);
+        for &a in &hosts {
+            for &b in &hosts {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(x.ping(a, b), y.ping(a, b), "mode {name}: ping {a}->{b}");
+                assert_eq!(
+                    x.traceroute(a, b),
+                    y.traceroute(a, b),
+                    "mode {name}: traceroute {a}->{b}"
+                );
+            }
+        }
+    }
+
+    // Reseeding relocates the loss pattern: at least one pair must observe a
+    // different sample set under a different seed.
+    let a = ScenarioProvider::new(
+        &dataset,
+        ScenarioConfig::default().with_seed(1).with_probe_loss(0.3),
+    );
+    let b = ScenarioProvider::new(
+        &dataset,
+        ScenarioConfig::default().with_seed(2).with_probe_loss(0.3),
+    );
+    let diverged = hosts.iter().any(|&x| {
+        hosts
+            .iter()
+            .any(|&y| x != y && a.ping(x, y) != b.ping(x, y))
+    });
+    assert!(
+        diverged,
+        "the loss pattern must depend on the scenario seed"
+    );
 }
 
 #[test]

@@ -1,0 +1,163 @@
+//! Integration tests for the hostile-network scenario engine: evidence-level
+//! degradation pins, and the full churn loop (failure windows → store-driven
+//! change detection → incremental epoch refresh through the sharded service
+//! while requests are in flight). These mirror the `robustness` bench harness
+//! at test scale, so regressions surface in `cargo test` rather than only in
+//! the bench job.
+
+use octant_bench::{pipeline_campaign, Campaign};
+use octant_netsim::scenario::{ScenarioConfig, ScenarioProvider};
+use octant_netsim::{
+    NodeId, ObservationProvider, ObservationRecord, ObservationStore, StoreConfig,
+};
+use octant_service::{ServeOutcome, ServiceConfig, ShardedService};
+use std::sync::Arc;
+
+/// Mean pairwise minimum RTT through a scenario-wrapped campaign capture —
+/// the evidence-level degradation indicator the bench harness pins.
+fn mean_min_rtt(provider: &dyn ObservationProvider, hosts: &[NodeId]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &a in hosts {
+        for &b in hosts {
+            if a == b {
+                continue;
+            }
+            if let Some(min) = provider.ping(a, b).min() {
+                sum += min.ms();
+                n += 1;
+            }
+        }
+    }
+    sum / n.max(1) as f64
+}
+
+/// Probe loss uses hash-derived uniforms with the rate excluded from the
+/// hash, so the dropped sets nest across rates and pairwise minima can only
+/// inflate as the rate rises. The same holds for the spoof ladder, which
+/// adds delay outright.
+#[test]
+fn evidence_degrades_monotonically_along_the_loss_and_spoof_ladders() {
+    let Campaign { dataset, hosts } = pipeline_campaign(10, 42);
+    let ds = dataset.into_shared();
+
+    let rtt_at_loss = |rate: f64| {
+        let cfg = ScenarioConfig::default().with_seed(7).with_probe_loss(rate);
+        mean_min_rtt(&ScenarioProvider::new(ds.clone(), cfg), &hosts)
+    };
+    let clean = rtt_at_loss(0.0);
+    let loss10 = rtt_at_loss(0.10);
+    let loss40 = rtt_at_loss(0.40);
+    assert!(loss10 >= clean, "loss must not deflate minimum RTTs");
+    assert!(
+        loss40 >= loss10,
+        "nested loss sets: minima only rise with the rate"
+    );
+
+    let rtt_at_spoof = |extra_ms: f64| {
+        let mut cfg = ScenarioConfig::default().with_seed(7);
+        for &h in hosts.iter().step_by(3) {
+            cfg = cfg.with_rtt_spoof(h, extra_ms);
+        }
+        mean_min_rtt(&ScenarioProvider::new(ds.clone(), cfg), &hosts)
+    };
+    let spoof10 = rtt_at_spoof(10.0);
+    let spoof30 = rtt_at_spoof(30.0);
+    assert!(
+        spoof10 > clean && spoof30 > spoof10,
+        "spoofing inflates RTTs strictly"
+    );
+
+    // A mid-cycle diurnal snapshot also inflates — at tick 0 every pair sits
+    // at a hash-derived phase, so some congestion is already present.
+    let congested = {
+        let cfg = ScenarioConfig::default()
+            .with_seed(7)
+            .with_diurnal(40.0, 24);
+        let p = ScenarioProvider::new(ds.clone(), cfg);
+        p.set_tick(12);
+        mean_min_rtt(&p, &hosts)
+    };
+    assert!(congested > clean, "diurnal congestion adds queueing delay");
+}
+
+/// The full churn loop: two landmarks go dark mid-serve, their re-probes come
+/// back empty through the store, `changed_since` names exactly the dark set,
+/// and `refresh_model_incremental` swaps the epoch (roster change → full
+/// rebuild) without failing or shedding the in-flight wave.
+#[test]
+fn landmark_churn_refreshes_the_epoch_without_dropping_in_flight_requests() {
+    let Campaign { dataset, hosts } = pipeline_campaign(12, 42);
+    let ds = dataset.into_shared();
+    let (landmarks, targets) = hosts.split_at(8);
+
+    let churn_cfg = ScenarioConfig::default()
+        .with_failure(landmarks[0], 1, u64::MAX)
+        .with_failure(landmarks[1], 1, u64::MAX);
+    let provider = Arc::new(ScenarioProvider::new(ds.clone(), churn_cfg));
+    let service = ShardedService::start(
+        ServiceConfig::default().with_shards(2),
+        provider.clone(),
+        landmarks,
+    );
+    let store = ObservationStore::from_dataset(StoreConfig::default(), ds.as_ref());
+
+    // Before the failure window opens the scenario is a passthrough for the
+    // roster, so a no-change incremental refresh reuses every pair and leaves
+    // the estimates untouched.
+    let before = service.localize_blocking(targets);
+    let (epoch, report) = service.refresh_model_incremental(landmarks, &[]);
+    assert_eq!(epoch, 2);
+    assert!(!report.full_rebuild);
+    assert_eq!(report.changed_pairs, 0);
+    let unchanged = service.localize_blocking(targets);
+    for (a, b) in before.iter().zip(&unchanged) {
+        assert_eq!(
+            a.estimate.point, b.estimate.point,
+            "no-op refresh moved an estimate"
+        );
+    }
+
+    // The window opens: dark landmarks answer nothing; ingesting their empty
+    // re-probes makes `changed_since` name exactly them.
+    provider.set_tick(1);
+    let dark = &landmarks[..2];
+    assert!(dark.iter().all(|&d| provider.is_dark(d)));
+    assert!(provider.ping(dark[0], landmarks[3]).is_unreachable());
+    let v = store.version();
+    let records: Vec<ObservationRecord> = dark
+        .iter()
+        .flat_map(|&d| landmarks.iter().map(move |&lm| (d, lm)))
+        .map(|(d, lm)| ObservationRecord::Ping {
+            from: d,
+            to: lm,
+            observation: provider.ping(d, lm),
+            seq: 1,
+        })
+        .collect();
+    store.ingest(records);
+    let changed = store.changed_since(v);
+    assert_eq!(changed, dark.to_vec());
+
+    let handle = service.submit(targets);
+    let (epoch, report) = service.refresh_model_incremental(landmarks, &changed);
+    let outcomes = handle.wait_outcomes();
+    assert_eq!(epoch, 3);
+    assert!(report.full_rebuild, "losing landmarks changes the roster");
+    assert_eq!(
+        outcomes
+            .iter()
+            .filter(|o| matches!(o, ServeOutcome::Served(_)))
+            .count(),
+        targets.len(),
+        "every in-flight request must survive the epoch swap"
+    );
+    let stats = service.stats();
+    assert_eq!(stats.counters.failed_batches, 0);
+    assert_eq!(stats.counters.shed(), 0);
+
+    let after = service.localize_blocking(targets);
+    assert!(after.iter().all(|s| s.epoch == 3));
+    assert!(after.iter().all(|s| s.estimate.point.is_some()));
+    service.shutdown();
+}
