@@ -1,14 +1,23 @@
 //! Serving-tier campaign binary: the online engine's axis.
 //!
-//! Two stages:
+//! Stages:
 //!
-//! 1. **Recursive parity** — runs `RouterLocalization::Recursive` (the most
-//!    expensive enrichment in the framework, §3's recursive router
-//!    localization) over targets that share last-hop routers, once through
-//!    the offline batch engine with inline sub-solves and once through the
-//!    service's shared router cache, and asserts the two are bit-identical.
-//!    The cache's throughput win grows with N/R (targets per shared
-//!    router).
+//! 1. **Recursive parity + measured serving** — runs
+//!    `RouterLocalization::Recursive` (the most expensive enrichment in the
+//!    framework, §3's recursive router localization) over targets that
+//!    share last-hop routers three ways: the offline batch engine with
+//!    inline sub-solves (the `recursive_baseline_ms_per_target` reference),
+//!    a service with the radius-class dilation cache opted **out**
+//!    (asserted bit-identical to the batch run), and a default-config
+//!    service with the dilation cache **on** — the measured
+//!    `recursive_ms_per_target` run, asserted sampling-equivalent (point
+//!    estimates within a small geodesic shift of the exact run).
+//!
+//! 1b. **Dilation step sweep** — re-solves the campaign through the router
+//!    cache at several `dilation_radius_step_km` settings and reports the
+//!    median/p90/max point-estimate shift vs the exact step-0 run — the
+//!    accuracy envelope behind the default step
+//!    (`dilation_step<step>_{median,p90,max}_shift_km` in the JSON).
 //! 2. **Zipf sustained traffic** — the measured campaign: a long
 //!    Zipf-distributed request stream (hot targets dominate, long cold
 //!    tail) against the sharded service, first with one shard (the
@@ -35,12 +44,13 @@
 //! * `--json <path>` — additionally write the machine-readable
 //!   `BENCH_*.json` summary documented in `octant_bench`'s crate docs.
 
-use octant::{BatchGeolocator, OctantConfig, RouterLocalization};
+use octant::{BatchGeolocator, Octant, OctantConfig, RouterLocalization};
 use octant_bench::{json_path_from_args, service_campaign, BenchSummary, StageRow, ZipfSampler};
 use octant_netsim::topology::NodeId;
-use octant_netsim::MeasurementDataset;
+use octant_netsim::{MeasurementDataset, ObservationProvider};
 use octant_service::{
-    GeolocationService, LocalizeOptions, RequestHandle, ServiceConfig, ShardConfig,
+    GeolocationService, LocalizeOptions, RequestHandle, RouterCache, RouterCacheConfig,
+    ServiceConfig, ShardConfig,
 };
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -76,8 +86,12 @@ fn main() {
     let baseline = batch.localize_batch(&provider, &campaign.landmarks, &campaign.targets);
     let base_elapsed = base_start.elapsed();
 
+    // Bit-parity run: dilation cache opted out (step 0), so serving must
+    // reproduce the uncached batch engine byte for byte.
     let service = GeolocationService::start(
-        ServiceConfig::default().with_octant(octant_config),
+        ServiceConfig::default()
+            .with_octant(octant_config)
+            .with_cache(RouterCacheConfig::default().with_dilation_radius_step_km(0.0)),
         provider.clone(),
         &campaign.landmarks,
     );
@@ -98,30 +112,139 @@ fn main() {
         .all(|((&t, b), s)| s.target == t && s.estimate.point == b.point);
     assert!(
         identical,
-        "cached serving must be bit-identical to the uncached recursive batch"
+        "cached serving (dilation cache off) must be bit-identical to the uncached recursive batch"
     );
     let stats = service.stats();
+    service.shutdown();
+
+    // Measured run: the characterized default config — radius-class
+    // dilation cache on. Sampling-equivalent, not bit-identical: assert the
+    // point estimates stay within a small geodesic shift of the exact run.
+    let fast_service = GeolocationService::start(
+        ServiceConfig::default().with_octant(octant_config),
+        provider.clone(),
+        &campaign.landmarks,
+    );
+    let fast_start = Instant::now();
+    let handles: Vec<_> = campaign
+        .targets
+        .chunks(REQUEST_SIZE)
+        .map(|chunk| fast_service.submit(chunk))
+        .collect();
+    let fast: Vec<_> = handles.into_iter().flat_map(|h| h.wait()).collect();
+    let fast_elapsed = fast_start.elapsed();
+    let fast_stats = fast_service.stats();
+    fast_service.shutdown();
+    let fast_points: Vec<_> = fast.iter().map(|s| s.estimate.point).collect();
+    let base_points: Vec<_> = baseline.iter().map(|b| b.point).collect();
+    let default_step_shift = quantiles(&point_shifts_km(&base_points, &fast_points));
+
+    // The accuracy gate. Class-rounded dilation shifts point estimates
+    // (tens of km on this campaign — the cached seam trades the exact float
+    // stream for shared work), but what must hold for the default to be
+    // safe is that accuracy against **ground truth** is preserved: the
+    // shift sits far below the estimator's intrinsic error scale, so the
+    // median error may move only by noise (±10% + a few km of quantile
+    // granularity), not degrade outright.
+    let truths: Vec<_> = campaign
+        .targets
+        .iter()
+        .map(|&t| provider.advertised_location(t))
+        .collect();
+    let errors_km = |points: &[Option<octant_geo::GeoPoint>]| -> Vec<f64> {
+        points
+            .iter()
+            .zip(&truths)
+            .filter_map(|(p, t)| match (p, t) {
+                (Some(p), Some(t)) => Some(octant_geo::distance::great_circle_km(*p, *t)),
+                _ => None,
+            })
+            .collect()
+    };
+    let base_err = quantiles(&errors_km(&base_points));
+    let fast_err = quantiles(&errors_km(&fast_points));
+    assert!(
+        fast_err.0 <= base_err.0 * 1.10 + 5.0,
+        "default dilation step degraded the median error: {:.1} km vs exact {:.1} km",
+        fast_err.0,
+        base_err.0
+    );
+
     let n = campaign.targets.len();
+    let base_ms = base_elapsed.as_secs_f64() * 1e3 / n as f64;
+    let fast_ms = fast_elapsed.as_secs_f64() * 1e3 / n as f64;
     println!(
-        "# recursive batch (uncached) : {base_elapsed:>10.1?}  ({:.1} targets/s)",
+        "# recursive batch (uncached) : {base_elapsed:>10.1?}  ({:.1} targets/s, {base_ms:.1} ms/target)",
         n as f64 / base_elapsed.as_secs_f64()
     );
     println!(
-        "# service (shared cache)     : {serve_elapsed:>10.1?}  ({:.1} targets/s)",
+        "# service (exact, step 0)    : {serve_elapsed:>10.1?}  ({:.1} targets/s)",
         n as f64 / serve_elapsed.as_secs_f64()
     );
     println!(
-        "# cache speedup              : {:.2}x",
-        base_elapsed.as_secs_f64() / serve_elapsed.as_secs_f64()
+        "# service (default config)   : {fast_elapsed:>10.1?}  ({:.1} targets/s, {fast_ms:.1} ms/target)",
+        n as f64 / fast_elapsed.as_secs_f64()
     );
     println!(
-        "# router cache               : {} sub-localizations, {} hits, {:.1}% hit rate, {} micro-batches",
+        "# recursive speedup          : {:.2}x vs uncached batch (default-config shift: median {:.3} km, p90 {:.3} km, max {:.3} km)",
+        base_elapsed.as_secs_f64() / fast_elapsed.as_secs_f64(),
+        default_step_shift.0,
+        default_step_shift.1,
+        default_step_shift.2,
+    );
+    println!(
+        "# accuracy vs ground truth   : median error {:.1} km (exact {:.1}), p90 {:.1} km (exact {:.1})",
+        fast_err.0, base_err.0, fast_err.1, base_err.1
+    );
+    println!(
+        "# router cache               : {} sub-localizations, {} hits, {:.1}% hit rate, {} micro-batches, {} fresh dilations",
         stats.cache.misses,
         stats.cache.hits,
         stats.cache.hit_rate() * 100.0,
-        stats.counters.batches
+        stats.counters.batches,
+        fast_stats.cache.dilation_misses,
     );
-    service.shutdown();
+
+    // ---- Stage 1b: dilation radius-class accuracy envelope ----------------
+    // Re-solve the campaign through the router-cache seam at several class
+    // widths: the characterization behind the 25 km default. Rounding
+    // residual radii up only loosens positive constraints (soundness is
+    // structural); these rows quantify how far the point estimates move vs
+    // the exact step-0 solve and — the criterion that matters — how the
+    // error against ground truth responds.
+    let octant = Octant::new(octant_config);
+    let model = octant.prepare_landmarks(&provider, &campaign.landmarks);
+    let steps: &[f64] = if smoke {
+        &[10.0, 25.0, 50.0]
+    } else {
+        &[12.5, 25.0, 50.0, 100.0]
+    };
+    let mut step_metrics: Vec<(String, f64)> = Vec::new();
+    for &step in steps {
+        let cache =
+            RouterCache::new(RouterCacheConfig::default().with_dilation_radius_step_km(step));
+        let source = cache.source(1);
+        let run =
+            batch.localize_batch_with_routers(&provider, &model, &campaign.targets, Some(&source));
+        let run_points: Vec<_> = run.iter().map(|r| r.point).collect();
+        let (median, p90, max) = quantiles(&point_shifts_km(&base_points, &run_points));
+        let err = quantiles(&errors_km(&run_points));
+        println!(
+            "# dilation step {step:>5.1} km     : median shift {median:.3} km, p90 {p90:.3} km, max {max:.3} km | median error {:.1} km (exact {:.1}), p90 {:.1} km (exact {:.1}) | {} fresh dilations",
+            err.0, base_err.0, err.1, base_err.1,
+            cache.fresh_dilations()
+        );
+        let tag = if step.fract() == 0.0 {
+            format!("{}", step as u64)
+        } else {
+            format!("{step}").replace('.', "p")
+        };
+        step_metrics.push((format!("dilation_step{tag}_median_shift_km"), median));
+        step_metrics.push((format!("dilation_step{tag}_p90_shift_km"), p90));
+        step_metrics.push((format!("dilation_step{tag}_max_shift_km"), max));
+        step_metrics.push((format!("dilation_step{tag}_median_error_km"), err.0));
+        step_metrics.push((format!("dilation_step{tag}_p90_error_km"), err.1));
+    }
 
     // ---- Stage 2: Zipf sustained traffic, one shard vs a sharded plane -----
     println!(
@@ -195,6 +318,23 @@ fn main() {
     );
     println!("{}", profiled.report);
 
+    let mut metrics: Vec<(String, f64)> = vec![
+        ("recursive_baseline_ms_per_target".into(), base_ms),
+        ("recursive_ms_per_target".into(), fast_ms),
+        (
+            "recursive_speedup".into(),
+            base_elapsed.as_secs_f64() / fast_elapsed.as_secs_f64(),
+        ),
+        (
+            "dilation_default_median_shift_km".into(),
+            default_step_shift.0,
+        ),
+        ("dilation_default_p90_shift_km".into(), default_step_shift.1),
+        ("recursive_median_error_km".into(), fast_err.0),
+        ("recursive_exact_median_error_km".into(), base_err.0),
+    ];
+    metrics.extend(step_metrics);
+
     let summary = BenchSummary {
         bench: "service".into(),
         scenario: if smoke { "smoke".into() } else { "full".into() },
@@ -204,6 +344,7 @@ fn main() {
         baseline_elapsed_s: Some(one.elapsed.as_secs_f64()),
         cache_hits: Some(stats.cache.hits),
         cache_misses: Some(stats.cache.misses),
+        metrics,
         shards: Some(shards),
         requests: Some(stream_len),
         shed: Some(multi.stats.counters.shed()),
@@ -231,6 +372,36 @@ struct StreamResult {
     elapsed: Duration,
     stats: octant_service::ServiceStats,
     report: octant_service::StatsReport,
+}
+
+/// Per-target geodesic shift (km) between two point-estimate vectors.
+/// Presence must agree — a target resolving under one configuration but not
+/// the other would mean the class rounding changed solvability, which the
+/// soundness argument (rounding up only loosens constraints) rules out.
+fn point_shifts_km(
+    base: &[Option<octant_geo::GeoPoint>],
+    run: &[Option<octant_geo::GeoPoint>],
+) -> Vec<f64> {
+    assert_eq!(base.len(), run.len());
+    base.iter()
+        .zip(run)
+        .map(|(b, r)| match (b, r) {
+            (Some(b), Some(r)) => octant_geo::distance::great_circle_km(*b, *r),
+            (None, None) => 0.0,
+            _ => panic!("point-estimate presence diverged between dilation steps"),
+        })
+        .collect()
+}
+
+/// `(median, p90, max)` of a shift vector (0s for an empty one).
+fn quantiles(shifts: &[f64]) -> (f64, f64, f64) {
+    if shifts.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut sorted = shifts.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("shifts are finite"));
+    let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+    (at(0.5), at(0.9), sorted[sorted.len() - 1])
 }
 
 /// Pushes a seeded Zipf request stream of `stream_len` targets through a

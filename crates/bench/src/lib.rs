@@ -41,8 +41,17 @@
 //!      "p50_ms": 0.21, "p99_ms": 1.8},
 //!     {"name": "solve", "count": 510, "total_ms": 890.0, ...}
 //!   ],
-//!   "telemetry_overhead_pct": 1.4  // (optional) profiled-rerun wall-clock
+//!   "telemetry_overhead_pct": 1.4, // (optional) profiled-rerun wall-clock
 //!                                  // delta vs the measured run, in percent
+//!   "recursive_ms_per_target": 21.4,          // Recursive serving stage:
+//!   "recursive_baseline_ms_per_target": 67.0, // default-config service vs
+//!   "recursive_speedup": 3.1,                 // uncached inline batch
+//!   "dilation_default_median_shift_km": 0.0,  // point-estimate shift of the
+//!   "dilation_default_p90_shift_km": 0.1,     // default dilation step vs
+//!                                             // the exact step-0 solve
+//!   "dilation_step25_median_shift_km": 0.0,   // step-sweep envelope rows
+//!   "dilation_step25_p90_shift_km": 0.1,      // (one triple per swept
+//!   "dilation_step25_max_shift_km": 0.4       // class width)
 //! }
 //! ```
 //!
@@ -50,7 +59,11 @@
 //! sustained Zipf-distributed request stream against the sharded service,
 //! and `baseline_elapsed_s`/`speedup` are the same stream against a
 //! single-shard service — so `speedup` reports **shard scaling** (expect
-//! ≈1× on one core; ≥2× needs a ≥4-core runner).
+//! ≈1× on one core; ≥2× needs a ≥4-core runner). The `recursive_*` fields
+//! come from stage 1's Recursive campaign (the §3 hot path): ms/target of
+//! the default-config service next to the uncached inline batch engine,
+//! plus the dilation radius-class accuracy envelope behind the default
+//! cache step ([`BenchSummary::metrics`] carries them).
 //!
 //! The conventional file name is `BENCH_<bench>.json` (e.g.
 //! `BENCH_service.json`); the flag takes an explicit path so campaigns can
@@ -493,6 +506,10 @@ pub struct BenchSummary {
     /// the measured run, in percent (negative means the rerun was faster —
     /// i.e. the overhead is below run-to-run noise).
     pub telemetry_overhead_pct: Option<f64>,
+    /// Extra named metrics, emitted verbatim in insertion order (the
+    /// `service` bench's `recursive_*_ms_per_target` and
+    /// `dilation_step*_shift_km` fields live here).
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl BenchSummary {
@@ -575,6 +592,9 @@ impl BenchSummary {
         if let Some(pct) = self.telemetry_overhead_pct {
             fields.push(format!("\"telemetry_overhead_pct\": {}", json_f64(pct)));
         }
+        for (name, value) in &self.metrics {
+            fields.push(format!("{}: {}", json_string(name), json_f64(*value)));
+        }
         format!("{{\n  {}\n}}\n", fields.join(",\n  "))
     }
 
@@ -609,6 +629,17 @@ impl BenchSummary {
 ///   "dilate_r60_ops_per_sec": 880.0,
 ///   "dilate_r60_reference_ops_per_sec": 95.0,
 ///   "dilate_r60_speedup": 9.3,
+///   "crossing_scan_ops_rescan": 39000,         // crossing-enumeration work on
+///   "crossing_scan_ops_eventq": 17000,         // the 16-way case: candidate-
+///                                              // pair visits per forced mode
+///                                              // (the bin asserts eventq <
+///                                              // rescan and bit-identical
+///                                              // sweep output)
+///   "crossing_scan_reduction": 2.3,            // rescan / eventq
+///   "sweep_mode_rescan": 210,                  // adaptive-dispatch tallies
+///   "sweep_mode_eventq": 12,                   // over the whole bench run
+///   "walk_unions": 64,                         // intersection-walk dilation
+///   "walk_fallbacks": 2,                       // merges vs sweep fallbacks
 ///   ...
 /// }
 /// ```
@@ -781,11 +812,15 @@ mod tests {
         summary.baseline_elapsed_s = Some(8.0);
         summary.cache_hits = Some(30);
         summary.cache_misses = Some(10);
+        summary
+            .metrics
+            .push(("recursive_ms_per_target".into(), 21.5));
         let json = summary.to_json();
         assert!(json.contains("\"speedup\": 4.000000"));
         assert!(json.contains("\"baseline_targets_per_sec\": 6.000000"));
         assert!(json.contains("\"cache_hit_rate\": 0.750000"));
         assert!(json.contains("\"sub_localizations\": 10"));
+        assert!(json.contains("\"recursive_ms_per_target\": 21.500000"));
         assert_eq!(summary.cache_hit_rate(), Some(0.75));
     }
 

@@ -43,7 +43,7 @@
 //!
 //! ## Performance machinery
 //!
-//! The solver-facing hot paths are engineered around seven mechanisms
+//! The solver-facing hot paths are engineered around nine mechanisms
 //! (pinned by `tests/region_algebra.rs` / `tests/region_fastpath_parity.rs`
 //! and measured by `octant-bench`'s `region` binary):
 //!
@@ -51,6 +51,20 @@
 //!   [`Region::union_many`] merge all operands' per-band interval lists in
 //!   one scanline pass instead of re-decomposing an accumulator through
 //!   N−1 chained pairwise sweeps.
+//! * **Event-queue crossing enumeration** — every sweep needs the y-set of
+//!   all pairwise segment crossings. Small operand sets use the forward
+//!   rescan over `min_y`-sorted bboxes; at
+//!   [`scanline::EVENTQ_MIN_SEGMENTS`] segments and beyond the sweep
+//!   switches to a Bentley–Ottmann event queue (one priority queue of
+//!   start / end / crossing events, an active set ordered by `(min_x,
+//!   rank)` so a starting segment examines only the x-overlapping prefix)
+//!   costing O((n+k)·log n) where the rescan degrades to O(n·m) on
+//!   y-degenerate sets. Both enumerations visit the identical
+//!   properly-crossing pair set with identical argument order, so the
+//!   adaptive dispatch is **bit-invisible**; [`scanline::set_crossing_mode`]
+//!   forces either mode for parity suites and perf guards, and the
+//!   `region.sweep_mode.*` / `region.crossing_scan_ops` telemetry counters
+//!   expose the dispatch decisions and the work each mode performed.
 //! * **The banded core** — the sweep's native product is a
 //!   [`banded::BandedRegion`]: a y-banded interval decomposition that
 //!   answers area/bbox/containment without ring construction, participates
@@ -59,15 +73,21 @@
 //!   [`banded::BandedRegion::to_region`] stitches the exact historical
 //!   trapezoid rings (bit-identical), and
 //!   [`Region::intersect_many_banded`] lets callers gate on area (the
-//!   solver's §2.4 size threshold) before paying for any stitching.
+//!   solver's §2.4 size threshold) before paying for any stitching. Inside
+//!   the n-ary band loop the active list keeps its `(x, entry-order)`
+//!   sorted order **incrementally** across bands (adjacent midlines only
+//!   swap segments that actually cross between them, so an adaptive
+//!   insertion pass beats a from-scratch per-operand sort), which is
+//!   bit-identical because that order is a history-independent total
+//!   order.
 //! * **Contour extraction** — [`banded::BandedRegion::extract_contours`]
 //!   stitches adjacent bands' cells into a few **merged outer contours**
 //!   (counter-clockwise outers, clockwise holes; signed areas sum to the
 //!   banded area within 1e-9) instead of trapezoid soup, so edge-scaling
-//!   consumers — the service's radius-class dilation cache, budgeted
-//!   simplification — touch boundary edges only. Extraction that cannot
-//!   stitch cleanly falls back to the trapezoid rings, never to wrong
-//!   geometry.
+//!   consumers — dilation, the service's radius-class dilation cache,
+//!   budgeted simplification — touch boundary edges only. Extraction that
+//!   cannot stitch cleanly falls back to the trapezoid rings, never to
+//!   wrong geometry.
 //! * **Parallel per-band merge** — bands are mutually independent, so
 //!   large sweeps inside [`scanline::boolean_op_many`] compute contiguous
 //!   band chunks on rayon workers and concatenate in order;
@@ -85,18 +105,40 @@
 //!   construction).
 //! * **Fast dilation** — [`Region::dilate`] dispatches to a disk
 //!   specialization (a dilated disk is a disk), a direct convex polygon
-//!   offset, or a hierarchical n-ary merge of per-ring offsets, with an
-//!   adaptive arc-sampling budget keyed to the radius/extent ratio; the
-//!   original Minkowski-by-capsules construction survives as
-//!   [`Region::dilate_reference`], the exact reference the fast paths are
-//!   validated against, and [`Region::dilate_with_contours`] offers the
-//!   contour-fed variant for callers (like the service's dilation cache)
-//!   that trade bit-parity for boundary-only offsets.
+//!   offset, or the contour-fed general path: the region's merged contours
+//!   are offset (exact convex offsets or per-edge capsules) and merged by
+//!   the intersection walk below, falling back to a hierarchical n-ary
+//!   sweep when the walk declines. The original Minkowski-by-capsules
+//!   construction survives as [`Region::dilate_reference`], the exact
+//!   reference the fast paths are validated against.
+//! * **Intersection-walking union** — the offset-ring merge inside
+//!   dilation computes ring-pair intersection points and walks the
+//!   alternating boundary arcs that lie outside every other operand
+//!   (hierarchical pairwise folds over clean oriented boundaries), so the
+//!   Minkowski union of 100+ mutually-overlapping offset rings never
+//!   re-sweeps the whole soup. The walk refuses degenerate configurations
+//!   (coincident boundaries, unstitchable chains, out-of-bounds net area)
+//!   and falls back to the band sweep — fast geometry or no geometry,
+//!   never wrong geometry; `region.walk_unions` / `region.walk_fallbacks`
+//!   count the outcomes.
 //! * **Vertex budgets** — [`Region::simplify`] /
 //!   [`Region::simplify_to_budget`] reclaim the boundary fragmentation
 //!   chained operations accumulate at band seams, so representation size
 //!   (and with it the cost of the next operation) stays bounded across a
 //!   solve.
+//!
+//! ### Dilation float-stream policy
+//!
+//! Through PR 7 the default [`Region::dilate`] kept its historical
+//! per-ring construction byte-for-byte because the serving goldens pinned
+//! its exact float stream. That debt is now retired: the default general
+//! path routes through [`Region::dilate_with_contours`] (boundary-only
+//! offsets + intersection walk), the goldens were re-captured once against
+//! the new stream, and `tests/pipeline_parity.rs` pins the new stream the
+//! same way it pinned the old one. [`Region::dilate_reference`] remains
+//! the slow exact-construction oracle, and the sampling-equivalence
+//! envelope between the two is asserted in
+//! `tests/region_fastpath_parity.rs`.
 //!
 //! ```
 //! use octant_region::{Region, Vec2};
@@ -125,6 +167,7 @@ pub mod region;
 pub mod ring;
 pub mod scanline;
 pub mod vec2;
+mod walk;
 
 pub use banded::{BandedOperand, BandedRegion};
 pub use georegion::GeoRegion;

@@ -6,6 +6,7 @@ use crate::bezier::BezierLoop;
 use crate::ring::Ring;
 use crate::scanline::{self, boolean_op, boolean_op_many, BoolOp, NaryOp};
 use crate::vec2::Vec2;
+use crate::walk;
 use crate::{AREA_EPSILON_KM2, DEFAULT_FLATTEN_TOLERANCE_KM};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -495,15 +496,22 @@ impl Region {
     /// * **convex ring** — the Minkowski sum of a convex polygon and a disk
     ///   is the polygon offset outward with circular arcs at the vertices,
     ///   built directly in `O(vertices + arc samples)` with no sweep;
-    /// * **general** — per-ring offsets (exact convex offsets where
-    ///   possible, per-edge capsules otherwise) merged with the region in
-    ///   **one** n-ary union sweep instead of the chained pairwise unions
-    ///   of [`Region::dilate_reference`].
+    /// * **general** — the region's merged contours (genuine boundary, not
+    ///   trapezoid seam edges) are offset — exact convex offsets where
+    ///   sound, per-edge capsules otherwise — and merged by the
+    ///   intersection walk of [`Region::dilate_with_contours`], with a
+    ///   hierarchical n-ary sweep as the fallback when the walk declines.
     ///
     /// Arc sampling is adaptive: the flattening tolerance grows with the
     /// ratio of `radius_km` to the region's extent, because when the
     /// dilation dwarfs the region the result is within `O(extent)` of a
     /// plain disk and fine boundary detail cannot matter.
+    ///
+    /// Through PR 7 the general case kept a historical per-ring
+    /// construction whose exact float stream the serving goldens pinned;
+    /// that debt is retired — the goldens were re-captured once against the
+    /// contour-fed stream (see the float-stream policy note in the crate
+    /// docs).
     pub fn dilate(&self, radius_km: f64) -> Region {
         let _span = octant_telemetry::span("region.dilate");
         if radius_km <= 0.0 || self.rings.is_empty() {
@@ -517,31 +525,7 @@ impl Region {
             }
             return Region::from_ring(convex_offset_ring(ring, radius_km, tol));
         }
-        // General case: offset every ring (exact convex offsets where sound,
-        // per-edge capsules otherwise), then merge the offsets and the
-        // region itself **hierarchically**: spatially-sorted groups of
-        // operands are fused with one n-ary sweep each, and the (far
-        // simpler) group blobs are merged the same way until one region
-        // remains. A single flat sweep over every offset ring would pay for
-        // all the mutual overlap at once (bands × active segments grows
-        // quadratically in the ring count); the hierarchy absorbs overlap
-        // inside each small sweep, so the per-level cost stays bounded.
-        // Solid per-ring convex offsets are only sound when no ring is a
-        // hole of another; with nesting, per-edge capsules (which never
-        // cover a hole's interior) are used instead.
-        let solid_ok = !self.has_nested_rings();
-        let cap_steps = ((std::f64::consts::PI / arc_step(radius_km, tol)).ceil() as usize).max(4);
-        let mut parts: Vec<Region> = vec![self.clone()];
-        for ring in &self.rings {
-            if solid_ok && ring.is_convex() {
-                parts.push(Region::from_ring(convex_offset_ring(ring, radius_km, tol)));
-            } else {
-                for (a, b) in ring.edges() {
-                    parts.push(Region::from_ring(capsule_ring(a, b, radius_km, cap_steps)));
-                }
-            }
-        }
-        union_hierarchical(parts, 8)
+        self.dilate_with_contours(&self.contours(), radius_km)
     }
 
     /// The merged outer contours of the region: its banded decomposition
@@ -560,12 +544,16 @@ impl Region {
     /// trapezoid decomposition — so the number of offset parts scales with
     /// the boundary complexity instead of the cell count.
     ///
-    /// The default [`Region::dilate`] keeps its historical per-ring
-    /// construction because serving goldens pin its exact float stream
-    /// (`tests/pipeline_parity.rs`); contour-fed dilation is used where
-    /// results are allowed to be sampling-equivalent rather than
-    /// bit-identical — the radius-class dilation cache in `octant-service`
-    /// and callers that opt in via [`Region::dilate_contoured`].
+    /// The offset rings are merged with the region by the
+    /// intersection-walking union (`walk` module): ring-pair crossing
+    /// points are computed directly and the alternating outside arcs are
+    /// stitched into the union boundary, so the 100+ mutually-overlapping
+    /// offset rings of a fragmented constraint region never pay for a full
+    /// re-sweep of the soup. The walk refuses degenerate configurations
+    /// (coincident boundaries, unstitchable chains, implausible net area)
+    /// and this method then falls back to the historical hierarchical
+    /// n-ary sweep — fast geometry or no geometry, never wrong geometry.
+    /// `region.walk_unions` / `region.walk_fallbacks` count the outcomes.
     pub fn dilate_with_contours(&self, contours: &[Ring], radius_km: f64) -> Region {
         if radius_km <= 0.0 || self.rings.is_empty() {
             return self.clone();
@@ -576,16 +564,34 @@ impl Region {
         // (capsules only ever cover the boundary's neighbourhood).
         let solid_ok = contours.iter().all(|r| r.is_ccw());
         let cap_steps = ((std::f64::consts::PI / arc_step(radius_km, tol)).ceil() as usize).max(4);
-        let mut parts: Vec<Region> = vec![self.clone()];
+        // Offset rings are kept **unoriented** in construction order: the
+        // sweep fallback below must reproduce the historical float stream
+        // exactly (orientation flips segment direction, which changes
+        // `x_at` rounding), so only the walk's operand clones are oriented.
+        let mut offset_rings: Vec<Ring> = Vec::new();
         for ring in contours {
             if solid_ok && ring.is_convex() {
-                parts.push(Region::from_ring(convex_offset_ring(ring, radius_km, tol)));
+                offset_rings.push(convex_offset_ring(ring, radius_km, tol));
             } else {
                 for (a, b) in ring.edges() {
-                    parts.push(Region::from_ring(capsule_ring(a, b, radius_km, cap_steps)));
+                    offset_rings.push(capsule_ring(a, b, radius_km, cap_steps));
                 }
             }
         }
+        // Walk operands: the contour set (already oriented CCW-outer /
+        // CW-hole by extraction) plus each offset ring oriented CCW.
+        let mut operands: Vec<Vec<Ring>> = Vec::with_capacity(offset_rings.len() + 1);
+        operands.push(contours.to_vec());
+        for ring in &offset_rings {
+            operands.push(vec![ring.oriented_ccw()]);
+        }
+        if let Some(rings) = walk::union_walk_many(operands) {
+            scanline::stats::add_walk_outcome(false);
+            return materialize_walk(rings);
+        }
+        scanline::stats::add_walk_outcome(true);
+        let mut parts: Vec<Region> = vec![self.clone()];
+        parts.extend(offset_rings.into_iter().map(Region::from_ring));
         union_hierarchical(parts, 8)
     }
 
@@ -643,39 +649,6 @@ impl Region {
         };
         let ratio = radius_km / extent.max(1e-9);
         DEFAULT_FLATTEN_TOLERANCE_KM.max(radius_km * 4e-3) * (1.0 + ratio / 4.0).min(8.0)
-    }
-
-    /// `true` when some ring lies inside another (a hole under the even-odd
-    /// rule). Engine-produced trapezoid decompositions never nest, so this
-    /// is almost always a cheap all-bbox-checks pass; a false positive only
-    /// costs the capsule fallback in [`Region::dilate`], never correctness.
-    fn has_nested_rings(&self) -> bool {
-        let n = self.rings.len();
-        for i in 0..n {
-            let (ilo, ihi) = match self.rings[i].bbox() {
-                Some(b) => b,
-                None => continue,
-            };
-            for j in 0..n {
-                if i == j {
-                    continue;
-                }
-                let (jlo, jhi) = match self.rings[j].bbox() {
-                    Some(b) => b,
-                    None => continue,
-                };
-                let bbox_inside =
-                    ilo.x <= jlo.x && ilo.y <= jlo.y && jhi.x <= ihi.x && jhi.y <= ihi.y;
-                if bbox_inside && !self.rings[j].points().is_empty() {
-                    // Interior-disjoint rings are either fully nested or
-                    // fully outside, so one representative point decides.
-                    if self.rings[i].contains(self.rings[j].points()[0]) {
-                        return true;
-                    }
-                }
-            }
-        }
-        false
     }
 
     /// Reduces the vertex count by dropping boundary vertices whose removal
@@ -853,6 +826,23 @@ fn union_hierarchical(mut parts: Vec<Region>, group: usize) -> Region {
             .collect();
     }
     parts.pop().unwrap_or_default()
+}
+
+/// Turns the intersection walk's output boundary (CCW outers, CW holes,
+/// mutually non-crossing) into a [`Region`].
+///
+/// `Region::area` sums **absolute** ring areas, so the walk's rings can only
+/// be adopted verbatim when none is a hole. A hole-free union boundary never
+/// nests one CCW ring inside another, so the all-CCW case is genuinely
+/// disjoint and [`Region::from_disjoint_rings`] applies. Any CW ring means
+/// even-odd nesting, which one single-operand sweep normalizes into the
+/// engine's interior-disjoint trapezoid form.
+fn materialize_walk(rings: Vec<Ring>) -> Region {
+    if rings.iter().all(|r| r.is_ccw()) {
+        Region::from_disjoint_rings(rings)
+    } else {
+        BandedRegion::from_rings(&rings).to_region()
+    }
 }
 
 /// The fixed per-cap resolution of the reference Minkowski construction

@@ -45,6 +45,11 @@ pub mod stats {
 
     thread_local! {
         static BAND_MERGES: Cell<u64> = const { Cell::new(0) };
+        static CROSSING_SCAN_OPS: Cell<u64> = const { Cell::new(0) };
+        static SWEEP_RESCAN: Cell<u64> = const { Cell::new(0) };
+        static SWEEP_EVENTQ: Cell<u64> = const { Cell::new(0) };
+        static WALK_UNIONS: Cell<u64> = const { Cell::new(0) };
+        static WALK_FALLBACKS: Cell<u64> = const { Cell::new(0) };
     }
 
     /// The process-wide `region.band_merges` counter in the unified
@@ -55,6 +60,49 @@ pub mod stats {
         COUNTER.get_or_init(|| {
             octant_telemetry::MetricsRegistry::global().counter("region.band_merges")
         })
+    }
+
+    /// `region.crossing_scan_ops`: candidate pairs examined while
+    /// enumerating segment crossings, whichever enumeration ran.
+    fn scan_ops_counter() -> &'static octant_telemetry::Counter {
+        static COUNTER: OnceLock<octant_telemetry::Counter> = OnceLock::new();
+        COUNTER.get_or_init(|| {
+            octant_telemetry::MetricsRegistry::global().counter("region.crossing_scan_ops")
+        })
+    }
+
+    /// `region.sweep_mode.rescan` / `region.sweep_mode.eventq`: how many
+    /// sweeps each crossing-enumeration mode served, so the adaptive
+    /// dispatch decision shows up in `stats_report()`.
+    fn sweep_mode_counter(eventq: bool) -> &'static octant_telemetry::Counter {
+        static RESCAN: OnceLock<octant_telemetry::Counter> = OnceLock::new();
+        static EVENTQ: OnceLock<octant_telemetry::Counter> = OnceLock::new();
+        if eventq {
+            EVENTQ.get_or_init(|| {
+                octant_telemetry::MetricsRegistry::global().counter("region.sweep_mode.eventq")
+            })
+        } else {
+            RESCAN.get_or_init(|| {
+                octant_telemetry::MetricsRegistry::global().counter("region.sweep_mode.rescan")
+            })
+        }
+    }
+
+    /// `region.walk_unions` / `region.walk_fallbacks`: intersection-walking
+    /// union attempts that produced a stitched result vs. those that
+    /// declined and fell back to the band sweep.
+    fn walk_counter(fallback: bool) -> &'static octant_telemetry::Counter {
+        static UNIONS: OnceLock<octant_telemetry::Counter> = OnceLock::new();
+        static FALLBACKS: OnceLock<octant_telemetry::Counter> = OnceLock::new();
+        if fallback {
+            FALLBACKS.get_or_init(|| {
+                octant_telemetry::MetricsRegistry::global().counter("region.walk_fallbacks")
+            })
+        } else {
+            UNIONS.get_or_init(|| {
+                octant_telemetry::MetricsRegistry::global().counter("region.walk_unions")
+            })
+        }
     }
 
     /// Folds `n` merged bands into the **calling** thread's counter and the
@@ -80,6 +128,66 @@ pub mod stats {
     /// [`octant_telemetry::MetricsRegistry::global`].
     pub fn thread_band_merges() -> u64 {
         BAND_MERGES.with(|c| c.get())
+    }
+
+    /// Folds `n` examined crossing-candidate pairs into the calling
+    /// thread's counter and the process-wide `region.crossing_scan_ops`
+    /// registry counter. Both crossing enumerations call this once per
+    /// sweep with their total, so the registry sees one relaxed add per
+    /// sweep.
+    pub(crate) fn add_crossing_scans(n: u64) {
+        if n == 0 {
+            return;
+        }
+        CROSSING_SCAN_OPS.with(|c| c.set(c.get() + n));
+        scan_ops_counter().add(n);
+    }
+
+    /// Total crossing-scan candidate examinations performed by the calling
+    /// thread so far (see `add_crossing_scans`). The perf guard compares
+    /// this delta between the event-queue and rescan enumerations on the
+    /// same operand set.
+    pub fn thread_crossing_scan_ops() -> u64 {
+        CROSSING_SCAN_OPS.with(|c| c.get())
+    }
+
+    /// Records one sweep served by the event-queue (`true`) or rescan
+    /// (`false`) crossing enumeration.
+    pub(crate) fn add_sweep_mode(eventq: bool) {
+        if eventq {
+            SWEEP_EVENTQ.with(|c| c.set(c.get() + 1));
+        } else {
+            SWEEP_RESCAN.with(|c| c.set(c.get() + 1));
+        }
+        sweep_mode_counter(eventq).add(1);
+    }
+
+    /// `(rescan, eventq)` sweep counts for the calling thread so far.
+    pub fn thread_sweep_mode_counts() -> (u64, u64) {
+        (
+            SWEEP_RESCAN.with(|c| c.get()),
+            SWEEP_EVENTQ.with(|c| c.get()),
+        )
+    }
+
+    /// Records one successful intersection-walking union (`fallback ==
+    /// false`) or one attempt that declined to the band sweep.
+    pub(crate) fn add_walk_outcome(fallback: bool) {
+        if fallback {
+            WALK_FALLBACKS.with(|c| c.set(c.get() + 1));
+        } else {
+            WALK_UNIONS.with(|c| c.set(c.get() + 1));
+        }
+        walk_counter(fallback).add(1);
+    }
+
+    /// `(walked, fell_back)` intersection-walk outcomes for the calling
+    /// thread so far.
+    pub fn thread_walk_counts() -> (u64, u64) {
+        (
+            WALK_UNIONS.with(|c| c.get()),
+            WALK_FALLBACKS.with(|c| c.get()),
+        )
     }
 
     /// Total scanline bands merged by the calling thread so far.
@@ -215,12 +323,82 @@ pub(crate) fn y_range(segs: &[Segment]) -> (f64, f64) {
     (lo, hi)
 }
 
-/// Appends the y-coordinates of all pairwise segment crossings to `ys`.
+/// How a sweep enumerates its segment-crossing events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossingMode {
+    /// Choose per sweep from the operand size ([`EVENTQ_MIN_SEGMENTS`]).
+    Auto,
+    /// Always use the forward-rescan enumeration (the historical oracle).
+    Rescan,
+    /// Always use the Bentley–Ottmann event-queue enumeration.
+    EventQueue,
+}
+
+thread_local! {
+    static CROSSING_MODE: std::cell::Cell<CrossingMode> =
+        const { std::cell::Cell::new(CrossingMode::Auto) };
+}
+
+/// Overrides the crossing enumeration for sweeps on the **calling thread**.
+/// The default, [`CrossingMode::Auto`], dispatches per sweep; the forced
+/// modes exist so parity suites and perf guards can pin the two
+/// enumerations against each other. Both modes feed the caller's
+/// sort-and-dedup, and both visit the identical properly-crossing pair set
+/// with identical `crossing_y` argument order, so the emitted geometry is
+/// bit-identical whichever mode serves a sweep.
+pub fn set_crossing_mode(mode: CrossingMode) {
+    CROSSING_MODE.with(|m| m.set(mode));
+}
+
+/// The calling thread's current [`CrossingMode`].
+pub fn crossing_mode() -> CrossingMode {
+    CROSSING_MODE.with(|m| m.get())
+}
+
+/// Below this many segments the event queue's heap traffic costs more than
+/// the rescan's cache-friendly forward scan saves; measured on the region
+/// bench's constraint-scale operand sets.
+pub const EVENTQ_MIN_SEGMENTS: usize = 96;
+
+/// Appends the y-coordinates of all pairwise segment crossings to `ys`,
+/// dispatching between the two enumerations per [`CrossingMode`] and
+/// recording the decision in the [`stats`] sweep-mode tallies.
+fn crossing_ys(segs: &[Segment], ys: &mut Vec<f64>) {
+    let eventq = match crossing_mode() {
+        CrossingMode::Rescan => false,
+        CrossingMode::EventQueue => true,
+        CrossingMode::Auto => segs.len() >= EVENTQ_MIN_SEGMENTS,
+    };
+    stats::add_sweep_mode(eventq);
+    if eventq {
+        eventq_crossing_ys(segs, ys);
+    } else {
+        pairwise_crossing_ys(segs, ys);
+    }
+}
+
+/// Sorts segment indices by `(min_y, index)` — the shared rank order of
+/// both crossing enumerations. The tie on the original index keeps the two
+/// enumerations' `crossing_y` argument order identical even when segments
+/// start at bit-equal heights, which is what makes the dispatch
+/// output-transparent.
+fn rank_by_min_y(segs: &[Segment]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..segs.len()).collect();
+    order.sort_unstable_by(|&i, &j| {
+        segs[i]
+            .min_y()
+            .partial_cmp(&segs[j].min_y())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| i.cmp(&j))
+    });
+    order
+}
+
+/// The forward-rescan crossing enumeration (the historical oracle).
 ///
-/// Instead of the naive all-pairs loop this sorts segment indices by `min_y`
-/// and, for each segment, only scans forward while candidates can still
-/// overlap it vertically — near-linear for the elongated operand sets the
-/// region engine produces, identical output to the all-pairs enumeration
+/// Sorts segment indices by `min_y` and, for each segment, scans forward
+/// while candidates can still overlap it vertically — near-linear for
+/// elongated operand sets, identical output to the all-pairs enumeration
 /// (`ys` is sorted and deduplicated by the caller, so order is irrelevant).
 fn pairwise_crossing_ys(segs: &[Segment], ys: &mut Vec<f64>) {
     // Flat bbox arrays in min_y order: the scan touches four contiguous
@@ -229,15 +407,7 @@ fn pairwise_crossing_ys(segs: &[Segment], ys: &mut Vec<f64>) {
     // changes shape here — every properly-crossing pair still computes the
     // identical intersection y, and the caller sorts and dedups by value,
     // so the event list is unchanged.
-    let mut order: Vec<usize> = (0..segs.len()).collect();
-    // Tie order is irrelevant (it only permutes the visit order of pairs),
-    // so the faster unstable sort is safe.
-    order.sort_unstable_by(|&i, &j| {
-        segs[i]
-            .min_y()
-            .partial_cmp(&segs[j].min_y())
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    let order = rank_by_min_y(segs);
     let n = order.len();
     let mut min_y = Vec::with_capacity(n);
     let mut max_y = Vec::with_capacity(n);
@@ -250,11 +420,13 @@ fn pairwise_crossing_ys(segs: &[Segment], ys: &mut Vec<f64>) {
         min_x.push(s.a.x.min(s.b.x));
         max_x.push(s.a.x.max(s.b.x));
     }
+    let mut scan_ops = 0u64;
     for k in 0..n {
         let top = max_y[k] + EPS;
         let (lo_x, hi_x) = (min_x[k] - EPS, max_x[k] + EPS);
         let si = &segs[order[k]];
         for j in (k + 1)..n {
+            scan_ops += 1;
             if min_y[j] > top {
                 break;
             }
@@ -266,6 +438,128 @@ fn pairwise_crossing_ys(segs: &[Segment], ys: &mut Vec<f64>) {
             }
         }
     }
+    stats::add_crossing_scans(scan_ops);
+}
+
+/// The Bentley–Ottmann event-queue crossing enumeration.
+///
+/// One priority queue drives the sweep: a *start* event at each segment's
+/// `min_y`, an *end* event at `max_y + EPS`, and a *crossing* event for
+/// every discovered intersection (popped crossings flow into `ys`). The
+/// active set — segments whose y-span covers the sweepline — is kept
+/// sorted by `(min_x, rank)`, so a starting segment only examines the
+/// prefix that can overlap it in x instead of rescanning every vertical
+/// neighbour: O((n + k)·log n) for n segments and k crossings, where the
+/// rescan degrades to O(n·m) when m segments share a y-slice.
+///
+/// **Pair-set identity with the rescan** (what makes the adaptive dispatch
+/// invisible): both enumerations rank segments by the same `(min_y, index)`
+/// order. The rescan pairs ranks `k < r` exactly when
+/// `min_y[r] <= max_y[k] + EPS` and their x-spans overlap within EPS. Here,
+/// when `Start(r)` pops, the active set holds precisely the ranks `k < r`
+/// with `max_y[k] + EPS >= min_y[r]` — equal-height starts pop in rank
+/// order, and ends at `max_y + EPS` pop *after* an equal-height start, so
+/// the boundary case keeps the rescan's inclusive `<=` — and the same
+/// symmetric EPS x-overlap test gates each candidate. Every surviving pair
+/// calls `crossing_y` with the earlier rank first, matching the rescan's
+/// argument order, so the appended y values are bit-identical.
+fn eventq_crossing_ys(segs: &[Segment], ys: &mut Vec<f64>) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// A sweep event; `kind` is 0 = start, 1 = end, 2 = crossing, ordered
+    /// start-before-end-before-crossing at equal heights.
+    struct Ev {
+        y: f64,
+        kind: u8,
+        rank: u32,
+    }
+    impl PartialEq for Ev {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == std::cmp::Ordering::Equal
+        }
+    }
+    impl Eq for Ev {}
+    impl PartialOrd for Ev {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Ev {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.y
+                .total_cmp(&other.y)
+                .then(self.kind.cmp(&other.kind))
+                .then(self.rank.cmp(&other.rank))
+        }
+    }
+
+    let order = rank_by_min_y(segs);
+    let n = order.len();
+    let mut min_y = Vec::with_capacity(n);
+    let mut max_y = Vec::with_capacity(n);
+    let mut min_x = Vec::with_capacity(n);
+    let mut max_x = Vec::with_capacity(n);
+    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::with_capacity(2 * n);
+    for (rank, &i) in order.iter().enumerate() {
+        let s = &segs[i];
+        min_y.push(s.min_y());
+        max_y.push(s.max_y());
+        min_x.push(s.a.x.min(s.b.x));
+        max_x.push(s.a.x.max(s.b.x));
+        heap.push(Reverse(Ev {
+            y: s.min_y(),
+            kind: 0,
+            rank: rank as u32,
+        }));
+        heap.push(Reverse(Ev {
+            y: s.max_y() + EPS,
+            kind: 1,
+            rank: rank as u32,
+        }));
+    }
+
+    // Active segments, sorted by `(min_x, rank)`.
+    let mut active: Vec<(f64, u32)> = Vec::new();
+    let mut scan_ops = 0u64;
+    while let Some(Reverse(ev)) = heap.pop() {
+        let r = ev.rank as usize;
+        match ev.kind {
+            0 => {
+                // Examine the active prefix that can reach this segment's
+                // x-span, then join the active set.
+                let hi_x = max_x[r] + EPS;
+                let lo_x = min_x[r] - EPS;
+                let cut = active.partition_point(|&(mx, _)| mx <= hi_x);
+                scan_ops += cut as u64;
+                let sr = &segs[order[r]];
+                for &(_, k) in &active[..cut] {
+                    if max_x[k as usize] < lo_x {
+                        continue;
+                    }
+                    if let Some(y) = crossing_y(&segs[order[k as usize]], sr) {
+                        heap.push(Reverse(Ev {
+                            y,
+                            kind: 2,
+                            rank: u32::MAX,
+                        }));
+                    }
+                }
+                let entry = (min_x[r], ev.rank);
+                let at = active.partition_point(|&e| e < entry);
+                active.insert(at, entry);
+            }
+            1 => {
+                let entry = (min_x[r], ev.rank);
+                let at = active.partition_point(|&e| e < entry);
+                if active.get(at) == Some(&entry) {
+                    active.remove(at);
+                }
+            }
+            _ => ys.push(ev.y),
+        }
+    }
+    stats::add_crossing_scans(scan_ops);
 }
 
 /// An x-interval at the band midline, remembering which segments produced its
@@ -492,7 +786,7 @@ pub fn boolean_op(a: &[Ring], b: &[Ring], op: BoolOp) -> Vec<Ring> {
         ys.push(s.a.y);
         ys.push(s.b.y);
     }
-    pairwise_crossing_ys(&segs, &mut ys);
+    crossing_ys(&segs, &mut ys);
     if let Some((lo, hi)) = y_window {
         ys.retain(|y| *y >= lo && *y <= hi);
     }
@@ -885,7 +1179,7 @@ pub(crate) fn sweep_bands_chunked(
         ys.push(s.a.y);
         ys.push(s.b.y);
     }
-    pairwise_crossing_ys(&segs, &mut ys);
+    crossing_ys(&segs, &mut ys);
     if let Some((lo, hi)) = window {
         ys.retain(|y| *y >= lo && *y <= hi);
     }
@@ -950,6 +1244,28 @@ pub(crate) fn sweep_bands_chunked(
     BandedSweep { segs, pool, bands }
 }
 
+/// One entry of the incrementally ordered active list: the segment's x at
+/// the current band midline, its position in the shared `by_min` entry
+/// order (`seq`, the tie-break), and its arena index.
+#[derive(Debug, Clone, Copy)]
+struct ActiveSeg {
+    x: f64,
+    seq: u32,
+    idx: u32,
+}
+
+/// Strict `(x, seq)` order of the active list. Comparing `x` through
+/// `partial_cmp` and breaking ties on the entry sequence reproduces
+/// exactly what the historical per-band stable sort by x produced from a
+/// `by_min`-ordered list, so the interval pairing sees identical input.
+fn active_before(a: &ActiveSeg, b: &ActiveSeg) -> bool {
+    match a.x.partial_cmp(&b.x) {
+        Some(std::cmp::Ordering::Less) => true,
+        Some(std::cmp::Ordering::Equal) => a.seq < b.seq,
+        _ => false,
+    }
+}
+
 /// Computes the merged interval lists for the contiguous window range
 /// `[start, end)` of `ys`, maintaining the active set incrementally. A
 /// chunk starting mid-sweep seeds its active set by scanning `by_min` from
@@ -957,6 +1273,15 @@ pub(crate) fn sweep_bands_chunked(
 /// order, filtered to those still alive — which is exactly the state the
 /// sequential sweep would have on arriving at that band, so chunked and
 /// sequential output are identical element for element.
+///
+/// The active list is kept **sorted by `(x, seq)` across bands** instead of
+/// being re-sorted per operand per band: consecutive midlines only swap the
+/// segments that actually cross between them, so an adaptive insertion pass
+/// (cost: active size + inversions) repairs the order, and entrants
+/// binary-insert at their position. Because `(x, seq)` is a total order
+/// that does not depend on the previous band's arrangement, the maintained
+/// list equals the from-scratch sort at every band — chunked seeding stays
+/// bit-identical.
 #[allow(clippy::too_many_arguments)]
 fn bands_for_windows(
     segs: &[Segment],
@@ -969,7 +1294,7 @@ fn bands_for_windows(
     end: usize,
 ) -> (Vec<BandData>, Vec<Interval>) {
     let mut next_in = 0usize;
-    let mut active: Vec<usize> = Vec::new();
+    let mut ordered: Vec<ActiveSeg> = Vec::new();
     let mut xs_per_op: Vec<Vec<(f64, usize)>> = vec![Vec::new(); n_ops];
     let mut intervals_per_op: Vec<Vec<Interval>> = vec![Vec::new(); n_ops];
     let mut events: Vec<CountEvent> = Vec::new();
@@ -983,24 +1308,52 @@ fn bands_for_windows(
         }
         let ym = 0.5 * (y0 + y1);
 
+        // Drop dead segments and re-evaluate the survivors at the new
+        // midline (entry/exit conditions guarantee each survivor spans ym).
+        ordered.retain_mut(|e| {
+            let s = &segs[e.idx as usize];
+            if s.max_y() > ym {
+                e.x = s.x_at(ym);
+                true
+            } else {
+                false
+            }
+        });
+        // Adjacent bands reorder only the segments that cross between
+        // their midlines, so the list is near-sorted: one adaptive
+        // insertion pass restores exact `(x, seq)` order.
+        for i in 1..ordered.len() {
+            let mut j = i;
+            while j > 0 && active_before(&ordered[j], &ordered[j - 1]) {
+                ordered.swap(j - 1, j);
+                j -= 1;
+            }
+        }
         while next_in < by_min.len() && segs[by_min[next_in]].min_y() < ym {
-            active.push(by_min[next_in]);
+            let idx = by_min[next_in] as u32;
+            let s = &segs[by_min[next_in]];
+            if s.max_y() > ym {
+                let e = ActiveSeg {
+                    x: s.x_at(ym),
+                    seq: next_in as u32,
+                    idx,
+                };
+                let at = ordered.partition_point(|o| active_before(o, &e));
+                ordered.insert(at, e);
+            }
             next_in += 1;
         }
-        active.retain(|&i| segs[i].max_y() > ym);
 
         for xs in xs_per_op.iter_mut() {
             xs.clear();
         }
-        for &i in &active {
-            // Entry and exit conditions above guarantee the segment spans ym.
-            xs_per_op[op_of[i] as usize].push((segs[i].x_at(ym), i));
+        for e in &ordered {
+            xs_per_op[op_of[e.idx as usize] as usize].push((e.x, e.idx as usize));
         }
         let mut dead = false;
         let mut non_empty = 0usize;
         let mut last_non_empty = 0usize;
         for (oi, xs) in xs_per_op.iter_mut().enumerate() {
-            xs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             pair_intervals_into(xs, &mut intervals_per_op[oi]);
             if intervals_per_op[oi].is_empty() {
                 if threshold == n_ops {

@@ -55,8 +55,20 @@ pub struct RouterCacheConfig {
     /// `(epoch, router, radius class)`: co-sited targets share classes, so
     /// a serving workload pays for each class once. Rounding up only ever
     /// *loosens* a positive constraint (soundness is preserved), but the
-    /// results are no longer bit-identical to the inline path — hence the
-    /// default of `0.0`, which disables the cache entirely.
+    /// results are no longer bit-identical to the step-`0.0` inline path.
+    ///
+    /// **Default: 25.0 km.** The accuracy envelope was characterized on
+    /// the pipeline campaign (`octant-bench`'s `service` binary, dilation
+    /// step-sweep stage). Point estimates *do* move — typically tens of
+    /// km — but almost all of that shift comes from the cache's shared
+    /// contour-simplification seam and is nearly independent of the step
+    /// (step 1 km and step 25 km move points about equally). What the
+    /// characterization gates on is **error against ground truth**: across
+    /// the step sweep the median and p90 error stay within a few percent
+    /// of the exact inline path's — inside run-to-run noise and far below
+    /// the intrinsic error scale the paper reports. Set `0.0` (via
+    /// [`RouterCacheConfig::with_dilation_radius_step_km`]) to opt out and
+    /// recover the exact per-radius inline float stream.
     pub dilation_radius_step_km: f64,
 }
 
@@ -65,7 +77,7 @@ impl Default for RouterCacheConfig {
         RouterCacheConfig {
             max_entries: 4096,
             keep_epochs: 1,
-            dilation_radius_step_km: 0.0,
+            dilation_radius_step_km: 25.0,
         }
     }
 }
@@ -476,9 +488,10 @@ impl RouterEstimateSource for EpochRouterSource<'_> {
     /// merged outer contours, extracted once per `(epoch, router)`), so a
     /// fresh class pays a linear offset over genuine boundary edges
     /// instead of re-simplifying and re-offsetting the full trapezoid
-    /// soup. Constraints get (slightly) looser, never tighter. Disabled
-    /// (`None`) at the default step of 0, which keeps solves bit-identical
-    /// to the inline path.
+    /// soup. Constraints get (slightly) looser, never tighter. Setting the
+    /// step to 0 disables the cache (`None`), which keeps solves
+    /// bit-identical to the inline path; the characterized default is a
+    /// 25 km step (see [`RouterCacheConfig::dilation_radius_step_km`]).
     fn dilated_region(
         &self,
         router: NodeId,
@@ -751,7 +764,7 @@ mod tests {
     }
 
     #[test]
-    fn dilation_cache_is_off_by_default_and_rounds_classes_up() {
+    fn dilation_cache_is_on_by_default_and_rounds_classes_up() {
         use octant_geo::projection::AzimuthalEquidistant;
         let proj = AzimuthalEquidistant::new(octant_geo_point(40.0));
         let region = GeoRegion::disk(proj, octant_geo_point(40.0), Distance::from_km(50.0));
@@ -760,8 +773,19 @@ mod tests {
             point: None,
         };
 
-        // Default step 0: the hook declines and the framework dilates inline.
-        let off = RouterCache::default();
+        // Characterized default: a positive step, so the hook serves
+        // class-rounded dilations out of the box.
+        assert_eq!(RouterCacheConfig::default().dilation_radius_step_km, 25.0);
+        let on = RouterCache::default();
+        assert!(on
+            .source(1)
+            .dilated_region(NodeId(1), &estimate, Distance::from_km(300.0))
+            .is_some());
+        assert_eq!(on.fresh_dilations(), 1);
+
+        // Step 0 opts out: the hook declines and the framework dilates
+        // inline, bit-identical to the uncached float stream.
+        let off = RouterCache::new(RouterCacheConfig::default().with_dilation_radius_step_km(0.0));
         assert!(off
             .source(1)
             .dilated_region(NodeId(1), &estimate, Distance::from_km(300.0))

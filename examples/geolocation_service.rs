@@ -25,14 +25,20 @@
 //!
 //! Along the way the example verifies that served estimates are
 //! bit-identical to the uncached sequential `Recursive` path on the same
-//! replay-stable dataset.
+//! replay-stable dataset. To make that demonstration exact, the service
+//! opts out of the (default-on) radius-class dilation cache with a step of
+//! `0.0` — the default 25 km step trades bit-identity for shared
+//! dilations (sound, characterized on ground-truth error; see
+//! `RouterCacheConfig::dilation_radius_step_km`).
 //!
 //! Run with `cargo run --release --example geolocation_service` (pass
 //! `--smoke` for a reduced problem size, as CI does).
 
 use octant::{Geolocator, Octant, OctantConfig, RouterLocalization};
 use octant_bench::service_campaign;
-use octant_service::{GeolocationService, LocalizeOptions, ServeOutcome, ServiceConfig};
+use octant_service::{
+    GeolocationService, LocalizeOptions, RouterCacheConfig, ServeOutcome, ServiceConfig,
+};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -52,8 +58,12 @@ fn main() {
     let provider = campaign.dataset.into_shared();
     println!("# campaign captured in {:.1?}", capture_start.elapsed());
 
+    // Step 0 disables the radius-class dilation cache so the parity check
+    // below can assert exact bit-identity against the uncached path.
     let service = GeolocationService::start(
-        ServiceConfig::default().with_octant(octant_config),
+        ServiceConfig::default()
+            .with_octant(octant_config)
+            .with_cache(RouterCacheConfig::default().with_dilation_radius_step_km(0.0)),
         provider.clone(),
         &campaign.landmarks,
     );

@@ -12,9 +12,14 @@
 //!   construction, kept as the exact reference — within the documented
 //!   arc-sampling bound, against the *analytic* dilated area where one
 //!   exists (tighter than the reference itself achieves), and bit-identical
-//!   across repeated evaluation so end-to-end medians stay byte-stable.
+//!   across repeated evaluation so end-to-end medians stay byte-stable;
+//! * the **intersection-walking union** that merges the offset rings inside
+//!   the general `dilate` is pinned against [`Region::dilate_reference`]
+//!   for containment and radius-monotonicity, and its engagement is
+//!   observable through the `region.walk_unions` / `region.walk_fallbacks`
+//!   thread counters — "fast geometry or no geometry, never wrong geometry".
 
-use octant_region::scanline::{boolean_op, BoolOp};
+use octant_region::scanline::{boolean_op, stats, BoolOp};
 use octant_region::{Region, Ring, Vec2};
 
 fn sweep(a: &Region, b: &Region, op: BoolOp) -> Region {
@@ -256,6 +261,78 @@ fn general_dilation_path_parity_on_a_trapezoid_decomposition() {
         lens.dilate(radius),
         "general path must be deterministic"
     );
+}
+
+/// The intersection-walking union actually engages on the general dilation
+/// path (walk counters move, no fallback on this clean fixture), and its
+/// result contains everything the reference construction contains — up to
+/// the arc-sampling band — while containing the original region exactly.
+#[test]
+fn walk_union_dilation_engages_and_contains_the_reference() {
+    let (a, b, _) = seed_disks();
+    let lens = a.intersect(&b);
+    assert!(lens.ring_count() > 1, "seed lens should be decomposed");
+    let radius = 150.0;
+
+    let (walks_before, falls_before) = stats::thread_walk_counts();
+    let fast = lens.dilate(radius);
+    let (walks_after, falls_after) = stats::thread_walk_counts();
+    assert!(
+        walks_after > walks_before,
+        "the general dilation path must route through the intersection walk"
+    );
+    assert_eq!(
+        falls_after, falls_before,
+        "a clean lens fixture must not trip the walk's anomaly fallback"
+    );
+
+    // Containment both ways, up to the documented sampling bands:
+    // the original is contained exactly; reference-interior points may sit
+    // in the fast path's slightly-different arc band near the boundary.
+    let reference = lens.dilate_reference(radius);
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    for _ in 0..80 {
+        if let Some(p) = lens.sample_point(&mut rng) {
+            assert!(fast.contains(p), "walk dilation lost interior point {p}");
+        }
+        if let Some(p) = reference.sample_point(&mut rng) {
+            assert!(
+                fast.contains(p) || fast.distance_to(p) < 5.0,
+                "reference point {p} escaped the walk dilation"
+            );
+        }
+    }
+}
+
+/// Radius-monotonicity through the walk path: growing the radius never
+/// shrinks the region, and every smaller dilation stays inside the larger
+/// one pointwise (up to the arc-sampling band).
+#[test]
+fn walk_union_dilation_is_monotone_in_the_radius() {
+    let (a, b, _) = seed_disks();
+    let lens = a.intersect(&b);
+    let radii = [40.0, 90.0, 180.0, 360.0];
+    let grown: Vec<Region> = radii.iter().map(|&r| lens.dilate(r)).collect();
+    use rand::SeedableRng;
+    for w in grown.windows(2) {
+        let (small, large) = (&w[0], &w[1]);
+        assert!(
+            small.area() <= large.area() * (1.0 + 1e-9),
+            "dilation area shrank when the radius grew: {} vs {}",
+            small.area(),
+            large.area()
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        for _ in 0..60 {
+            if let Some(p) = small.sample_point(&mut rng) {
+                assert!(
+                    large.contains(p) || large.distance_to(p) < 5.0,
+                    "smaller dilation escaped the larger at {p}"
+                );
+            }
+        }
+    }
 }
 
 #[test]

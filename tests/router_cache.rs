@@ -60,10 +60,16 @@ fn n_targets_behind_r_routers_cost_exactly_r_sub_localizations_per_epoch() {
     // The per-target answer memo (default on) would absorb the repeat wave
     // before it reaches the solver; this test pins the *router* cache's
     // accounting, so the front memo is disabled to let repeats through.
+    // The (default-on) radius-class dilation cache is disabled too: its
+    // entries share the eviction counter this test asserts exact R-counts
+    // on.
     let service = GeolocationService::start(
         ServiceConfig::default()
             .with_octant(recursive_config())
-            .with_answers(AnswerCacheConfig::default().with_enabled(false)),
+            .with_answers(AnswerCacheConfig::default().with_enabled(false))
+            .with_cache(
+                octant_service::RouterCacheConfig::default().with_dilation_radius_step_km(0.0),
+            ),
         provider,
         &campaign.landmarks,
     );
@@ -114,8 +120,12 @@ fn cached_recursive_results_are_bit_identical_to_the_uncached_path() {
         .map(|&t| octant.localize(&campaign.dataset, &campaign.landmarks, t))
         .collect();
 
-    // Cached via the core seam directly (no service in the way).
-    let cache = RouterCache::default();
+    // Cached via the core seam directly (no service in the way). The
+    // radius-class dilation cache (default-on) trades bit-identity for
+    // shared dilations, so this bit-parity pin opts out with step 0.
+    let cache = RouterCache::new(
+        octant_service::RouterCacheConfig::default().with_dilation_radius_step_km(0.0),
+    );
     let source = cache.source(1);
     let cached =
         batch.localize_batch_with_routers(&provider, &model, &campaign.targets, Some(&source));
@@ -138,7 +148,11 @@ fn cached_recursive_results_are_bit_identical_to_the_uncached_path() {
     // And the full served path (queue + workers + registry) agrees too, on a
     // sample target (the service's own tests cover serving more broadly).
     let service = GeolocationService::start(
-        ServiceConfig::default().with_octant(recursive_config()),
+        ServiceConfig::default()
+            .with_octant(recursive_config())
+            .with_cache(
+                octant_service::RouterCacheConfig::default().with_dilation_radius_step_km(0.0),
+            ),
         provider,
         &campaign.landmarks,
     );

@@ -39,9 +39,17 @@ fn one_shard_and_many_shards_match_the_offline_batch_engine_bit_for_bit() {
         &campaign.targets,
     );
 
-    // The front door: default config = one shard, unbounded queue.
+    // Services opt out of the (default-on) radius-class dilation cache:
+    // this test pins bit-identity against the inline offline engine, and
+    // class-rounded dilations are sampling-equivalent, not bit-identical.
+    let exact_cache =
+        octant_service::RouterCacheConfig::default().with_dilation_radius_step_km(0.0);
+
+    // The front door: default shards = one shard, unbounded queue.
     let one = GeolocationService::start(
-        ServiceConfig::default().with_octant(recursive_config()),
+        ServiceConfig::default()
+            .with_octant(recursive_config())
+            .with_cache(exact_cache),
         provider.clone(),
         &campaign.landmarks,
     );
@@ -53,7 +61,8 @@ fn one_shard_and_many_shards_match_the_offline_batch_engine_bit_for_bit() {
     let sharded = ShardedService::start(
         ServiceConfig::default()
             .with_octant(recursive_config())
-            .with_shards(3),
+            .with_shards(3)
+            .with_cache(exact_cache),
         provider,
         &campaign.landmarks,
     );
